@@ -1,0 +1,146 @@
+//! The pluggable anonymizer interface.
+//!
+//! The CommVM "redirects all AnonVM traffic to the anonymizer, which in
+//! turns transmits traffic through the anonymity network via the
+//! CommVM's NAT-based Internet connection" (§3.3). From the Nym
+//! Manager's perspective an anonymizer is: a startup procedure, a
+//! per-transfer cost model, a linkability contract, and optional
+//! persistent state.
+
+use nymix_net::Ip;
+use nymix_sim::SimDuration;
+
+/// Which anonymizer a CommVM is configured with.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AnonymizerKind {
+    /// Tor onion routing (§4.1): good security, good scalability.
+    Tor,
+    /// Dissent DC-nets (§4.1): provable traffic-analysis resistance,
+    /// less scalable.
+    Dissent,
+    /// Lightweight VPN/NAT relaying: "low-cost anonymization with weak
+    /// security" (§3.3).
+    Incognito,
+    /// SWEET email tunnel (§4.1): censorship circumvention, very slow.
+    Sweet,
+}
+
+impl AnonymizerKind {
+    /// All supported kinds (for sweeps and ablations).
+    pub const ALL: [AnonymizerKind; 4] = [
+        AnonymizerKind::Tor,
+        AnonymizerKind::Dissent,
+        AnonymizerKind::Incognito,
+        AnonymizerKind::Sweet,
+    ];
+}
+
+/// One labelled phase of anonymizer startup (Figure 7 decomposition).
+#[derive(Debug, Clone, PartialEq)]
+pub struct StartupPhase {
+    /// Human-readable label ("fetch consensus", "build circuit", ...).
+    pub label: String,
+    /// How long the phase takes.
+    pub duration: SimDuration,
+}
+
+impl StartupPhase {
+    /// Creates a phase.
+    pub fn new(label: &str, duration: SimDuration) -> Self {
+        Self {
+            label: label.to_string(),
+            duration,
+        }
+    }
+}
+
+/// Cost model applied to a transfer riding the anonymizer.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TransferCost {
+    /// Multiplicative byte overhead (cells, padding, control traffic).
+    /// Tor's measured fixed cost is "approximately 12%" (§5.2).
+    pub byte_overhead: f64,
+    /// Extra latency per connection establishment (circuit/stream
+    /// setup round trips).
+    pub connect_latency: SimDuration,
+    /// Hard per-flow throughput ceiling in bytes/second, if the
+    /// anonymizer imposes one (`f64::INFINITY` otherwise).
+    pub rate_cap: f64,
+}
+
+impl TransferCost {
+    /// Inflates a payload size by the byte overhead.
+    pub fn wire_bytes(&self, payload: f64) -> f64 {
+        payload * (1.0 + self.byte_overhead)
+    }
+}
+
+/// A pluggable anonymity/circumvention module.
+pub trait Anonymizer {
+    /// Short name ("tor", "dissent", ...).
+    fn name(&self) -> &'static str;
+
+    /// Which kind this is.
+    fn kind(&self) -> AnonymizerKind;
+
+    /// The startup phases from process launch to "ready to carry
+    /// traffic". `cold` is true when no persistent state is available
+    /// (fresh/ephemeral nym); warm starts reuse cached directory data
+    /// and entry guards (§3.5).
+    fn startup_phases(&self, cold: bool) -> Vec<StartupPhase>;
+
+    /// Total startup duration (sum of phases).
+    fn startup_time(&self, cold: bool) -> SimDuration {
+        self.startup_phases(cold)
+            .into_iter()
+            .fold(SimDuration::ZERO, |acc, p| acc + p.duration)
+    }
+
+    /// The per-transfer cost model.
+    fn transfer_cost(&self) -> TransferCost;
+
+    /// The source address a destination server observes.
+    fn exit_address(&self, client_public: Ip) -> Ip;
+
+    /// Whether the destination can learn the client's network location.
+    fn hides_source(&self) -> bool {
+        self.exit_address(Ip::parse("203.0.113.9")) != Ip::parse("203.0.113.9")
+    }
+
+    /// Whether name resolution happens remotely (no cleartext DNS on
+    /// the local network). Tor uses its built-in DNS port; Dissent and
+    /// SWEET proxy UDP (§4.1).
+    fn remote_dns(&self) -> bool;
+
+    /// Serializes persistent state worth carrying across sessions
+    /// (e.g. Tor entry guards). Empty if stateless.
+    fn save_state(&self) -> Vec<u8> {
+        Vec::new()
+    }
+
+    /// Restores persistent state saved by [`Anonymizer::save_state`].
+    /// Returns `false` if the blob is unrecognized.
+    fn restore_state(&mut self, _blob: &[u8]) -> bool {
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wire_bytes_inflation() {
+        let cost = TransferCost {
+            byte_overhead: 0.12,
+            connect_latency: SimDuration::ZERO,
+            rate_cap: f64::INFINITY,
+        };
+        assert!((cost.wire_bytes(1000.0) - 1120.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn all_kinds_enumerated() {
+        assert_eq!(AnonymizerKind::ALL.len(), 4);
+    }
+}

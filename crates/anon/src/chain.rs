@@ -1,0 +1,212 @@
+//! Serial anonymizer composition.
+//!
+//! §3.3: "In principle, anonymizers can be combined by connecting
+//! CommVMs in serial, or within the same CommVM: we have built
+//! experimental Nymix configurations combining Tor and Dissent to
+//! achieve 'best of both worlds' anonymity."
+//!
+//! A [`SerialChain`] runs its stages in order: the AnonVM's traffic
+//! enters the first stage and exits the Internet from the *last*
+//! stage's address. Costs compose: byte overheads multiply, latencies
+//! add, rate caps take the minimum; startup runs all stages.
+
+use nymix_net::Ip;
+use nymix_sim::SimDuration;
+
+use crate::api::{Anonymizer, AnonymizerKind, StartupPhase, TransferCost};
+
+/// A serial composition of anonymizers.
+pub struct SerialChain {
+    stages: Vec<Box<dyn Anonymizer>>,
+}
+
+impl SerialChain {
+    /// Builds a chain from `stages`, first stage innermost (closest to
+    /// the AnonVM).
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty chain.
+    pub fn new(stages: Vec<Box<dyn Anonymizer>>) -> Self {
+        assert!(!stages.is_empty(), "chain needs at least one stage");
+        Self { stages }
+    }
+
+    /// Number of stages.
+    pub fn len(&self) -> usize {
+        self.stages.len()
+    }
+
+    /// Whether the chain is empty (never true post-construction).
+    pub fn is_empty(&self) -> bool {
+        self.stages.is_empty()
+    }
+
+    /// The stages.
+    pub fn stages(&self) -> &[Box<dyn Anonymizer>] {
+        &self.stages
+    }
+}
+
+impl Anonymizer for SerialChain {
+    fn name(&self) -> &'static str {
+        "serial-chain"
+    }
+
+    fn kind(&self) -> AnonymizerKind {
+        // Reported as the outermost stage's kind: that is whose network
+        // behaviour the wide area observes.
+        self.stages.last().expect("non-empty").kind()
+    }
+
+    fn startup_phases(&self, cold: bool) -> Vec<StartupPhase> {
+        let mut phases = Vec::new();
+        for (i, stage) in self.stages.iter().enumerate() {
+            for p in stage.startup_phases(cold) {
+                phases.push(StartupPhase::new(
+                    &format!("stage{}[{}]: {}", i, stage.name(), p.label),
+                    p.duration,
+                ));
+            }
+        }
+        phases
+    }
+
+    fn transfer_cost(&self) -> TransferCost {
+        let mut inflate = 1.0;
+        let mut latency = SimDuration::ZERO;
+        let mut cap = f64::INFINITY;
+        for stage in &self.stages {
+            let c = stage.transfer_cost();
+            inflate *= 1.0 + c.byte_overhead;
+            latency = latency + c.connect_latency;
+            cap = cap.min(c.rate_cap);
+        }
+        TransferCost {
+            byte_overhead: inflate - 1.0,
+            connect_latency: latency,
+            rate_cap: cap,
+        }
+    }
+
+    fn exit_address(&self, client_public: Ip) -> Ip {
+        // Each stage sees the previous stage's exit as "the client".
+        let mut addr = client_public;
+        for stage in &self.stages {
+            addr = stage.exit_address(addr);
+        }
+        addr
+    }
+
+    fn remote_dns(&self) -> bool {
+        // Safe iff the innermost stage already keeps DNS off the LAN.
+        self.stages.first().expect("non-empty").remote_dns()
+    }
+
+    fn save_state(&self) -> Vec<u8> {
+        // Length-prefixed concatenation of stage states.
+        let mut out = Vec::new();
+        for stage in &self.stages {
+            let blob = stage.save_state();
+            out.extend_from_slice(&(blob.len() as u32).to_le_bytes());
+            out.extend_from_slice(&blob);
+        }
+        out
+    }
+
+    fn restore_state(&mut self, blob: &[u8]) -> bool {
+        let mut off = 0usize;
+        for stage in &mut self.stages {
+            if blob.len() < off + 4 {
+                return false;
+            }
+            let len = u32::from_le_bytes(blob[off..off + 4].try_into().expect("4 bytes")) as usize;
+            off += 4;
+            if blob.len() < off + len {
+                return false;
+            }
+            if !stage.restore_state(&blob[off..off + len]) {
+                return false;
+            }
+            off += len;
+        }
+        off == blob.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dissent::DissentNet;
+    use crate::incognito::Incognito;
+    use crate::tor::{TorClient, TorDirectory};
+    use nymix_sim::Rng;
+
+    fn tor() -> TorClient {
+        let dir = TorDirectory::generate(3, 100);
+        let mut rng = Rng::seed_from(1);
+        let mut t = TorClient::bootstrap(&dir, &mut rng);
+        t.build_circuit(&dir, &mut rng).unwrap();
+        t
+    }
+
+    #[test]
+    fn tor_over_dissent_composes_costs() {
+        let chain = SerialChain::new(vec![
+            Box::new(tor()),
+            Box::new(DissentNet::new(4, 3, 64, 9)),
+        ]);
+        assert_eq!(chain.len(), 2);
+        let cost = chain.transfer_cost();
+        // 1.12 * 1.30 - 1 = 0.456.
+        assert!((cost.byte_overhead - 0.456).abs() < 1e-9);
+        assert!(cost.rate_cap.is_finite());
+        let tor_only = tor().transfer_cost().connect_latency;
+        assert!(cost.connect_latency > tor_only);
+        assert!(chain.hides_source());
+    }
+
+    #[test]
+    fn exit_is_last_stage() {
+        let chain = SerialChain::new(vec![
+            Box::new(tor()),
+            Box::new(DissentNet::new(4, 3, 64, 9)),
+        ]);
+        let exit = chain.exit_address(Ip::parse("203.0.113.9"));
+        assert_eq!(exit, Ip([198, 19, 0, 1])); // Dissent's servers.
+    }
+
+    #[test]
+    fn incognito_inside_chain_still_hides_if_outer_hides() {
+        let chain = SerialChain::new(vec![Box::new(Incognito::new()), Box::new(tor())]);
+        assert!(chain.hides_source());
+        // But DNS safety is the *innermost* stage's property.
+        assert!(!chain.remote_dns());
+    }
+
+    #[test]
+    fn startup_concatenates_stages() {
+        let chain = SerialChain::new(vec![Box::new(tor()), Box::new(Incognito::new())]);
+        let phases = chain.startup_phases(true);
+        assert!(phases.iter().any(|p| p.label.contains("stage0[tor]")));
+        assert!(phases.iter().any(|p| p.label.contains("stage1[incognito]")));
+        let total = chain.startup_time(true);
+        let parts = tor().startup_time(true) + Incognito::new().startup_time(true);
+        assert_eq!(total, parts);
+    }
+
+    #[test]
+    fn state_roundtrip_through_chain() {
+        let mut chain = SerialChain::new(vec![Box::new(tor()), Box::new(Incognito::new())]);
+        let blob = chain.save_state();
+        assert!(chain.restore_state(&blob));
+        assert!(!chain.restore_state(&blob[..blob.len() - 1]));
+        assert!(!chain.restore_state(&[blob.clone(), vec![0u8; 3]].concat()));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one stage")]
+    fn empty_chain_rejected() {
+        let _ = SerialChain::new(vec![]);
+    }
+}

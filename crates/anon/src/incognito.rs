@@ -1,0 +1,82 @@
+//! The lightweight incognito mode.
+//!
+//! §3.3: "A lightweight incognito mode uses simple VPN relaying to
+//! provide low-cost anonymization with weak security." §4.1: "Our
+//! incognito mode makes use of Linux' IPTables masquerade mode in order
+//! to provide a NAT interface into the Internet."
+//!
+//! It still gives the AnonVM a pristine, homogenized environment and
+//! amnesia — but the destination sees the user's own public address, so
+//! it does **not** protect against network-level tracking. Tests assert
+//! that contract explicitly.
+
+use nymix_net::Ip;
+use nymix_sim::SimDuration;
+
+use crate::api::{Anonymizer, AnonymizerKind, StartupPhase, TransferCost};
+
+/// The NAT-based incognito anonymizer.
+#[derive(Debug, Clone, Default)]
+pub struct Incognito;
+
+impl Incognito {
+    /// Creates the incognito module.
+    pub fn new() -> Self {
+        Self
+    }
+}
+
+impl Anonymizer for Incognito {
+    fn name(&self) -> &'static str {
+        "incognito"
+    }
+
+    fn kind(&self) -> AnonymizerKind {
+        AnonymizerKind::Incognito
+    }
+
+    fn startup_phases(&self, _cold: bool) -> Vec<StartupPhase> {
+        vec![StartupPhase::new(
+            "configure iptables masquerade",
+            SimDuration::from_millis(400),
+        )]
+    }
+
+    fn transfer_cost(&self) -> TransferCost {
+        TransferCost {
+            byte_overhead: 0.01, // NAT/encap bookkeeping only.
+            connect_latency: SimDuration::from_millis(5),
+            rate_cap: f64::INFINITY,
+        }
+    }
+
+    fn exit_address(&self, client_public: Ip) -> Ip {
+        client_public // The defining weakness: no source hiding.
+    }
+
+    fn remote_dns(&self) -> bool {
+        false // DNS goes out the NAT like everything else.
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reveals_source_by_design() {
+        let inc = Incognito::new();
+        let me = Ip::parse("203.0.113.9");
+        assert_eq!(inc.exit_address(me), me);
+        assert!(!inc.hides_source());
+        assert!(!inc.remote_dns());
+    }
+
+    #[test]
+    fn minimal_overhead() {
+        let inc = Incognito::new();
+        assert!(inc.transfer_cost().byte_overhead < 0.02);
+        assert!(inc.startup_time(true).as_secs_f64() < 1.0);
+        assert_eq!(inc.startup_time(true), inc.startup_time(false));
+    }
+}

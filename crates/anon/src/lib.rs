@@ -1,0 +1,48 @@
+//! Pluggable anonymizers — the CommVM's contents.
+//!
+//! §3.3/§4.1: "Nymix treats the anonymizer as a pluggable module, and
+//! offers the user a choice of several alternative anonymizers
+//! pre-configured to address different security/performance tradeoffs."
+//! The prototype ships Tor, Dissent, SWEET, and a lightweight incognito
+//! (NAT) mode, and supports combining anonymizers in serial.
+//!
+//! Each anonymizer implements the [`Anonymizer`] trait: a startup plan
+//! (what Figure 7's "Start Tor" phase measures), a transfer cost model
+//! (Figure 5's ~12% Tor overhead), an exit-address/linkability contract
+//! (what the §5.1 leak analysis checks), and optional persistent state
+//! (Tor entry guards — the §3.5 security argument for quasi-persistent
+//! nyms).
+//!
+//! Modules:
+//!
+//! * [`api`] — the trait and shared request/cost types.
+//! * [`tor`] — onion routing: directory, guards, 3-hop circuits, layered
+//!   cell encryption (real ChaCha20 layers), guard persistence.
+//! * [`dissent`] — an anytrust DC-net with XOR ciphertexts and verified
+//!   message recovery.
+//! * [`incognito`] — the NAT-based incognito mode (weak, fast).
+//! * [`sweet`] — the email-tunnel transport.
+//! * [`chain`] — serial composition ("best of both worlds", §3.3).
+//! * [`stegotorus`] — the StegoTorus camouflage transport (§4).
+//! * [`socks`] — the RFC 1928 SOCKS5 codec the AnonVM browser speaks
+//!   to the CommVM (§4.1).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod api;
+pub mod chain;
+pub mod dissent;
+pub mod incognito;
+pub mod socks;
+pub mod stegotorus;
+pub mod sweet;
+pub mod tor;
+
+pub use api::{Anonymizer, AnonymizerKind, StartupPhase, TransferCost};
+pub use chain::SerialChain;
+pub use dissent::DissentNet;
+pub use incognito::Incognito;
+pub use stegotorus::{Chopper, CoverProtocol, StegoTorus};
+pub use sweet::Sweet;
+pub use tor::{TorClient, TorDirectory, TorState};

@@ -1,0 +1,244 @@
+//! SOCKS5 (RFC 1928) message codec.
+//!
+//! §4.1: "Nymix has the necessary configuration to support anonymizers,
+//! circumvention tools, and other communication tools that use either a
+//! SOCKS or virtual network interfaces." The AnonVM's browser speaks
+//! SOCKS5 to the CommVM's anonymizer (Chromium is launched with
+//! `--proxy=socks5://10.0.2.2:9050`); this module implements the wire
+//! messages of the handshake and CONNECT request so that path carries
+//! real, parseable bytes.
+
+use nymix_net::Ip;
+
+/// SOCKS protocol version byte.
+pub const VERSION: u8 = 0x05;
+
+/// Authentication methods (we support NO AUTH, as tor does locally).
+pub const METHOD_NO_AUTH: u8 = 0x00;
+const METHOD_NO_ACCEPTABLE: u8 = 0xFF;
+
+/// A CONNECT destination.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SocksAddr {
+    /// IPv4 literal.
+    V4(Ip),
+    /// Domain name (resolved remotely — the leak-free path; Tor's
+    /// SOCKS interface resolves names at the exit).
+    Domain(String),
+}
+
+/// Reply codes (RFC 1928 §6).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReplyCode {
+    /// Succeeded.
+    Succeeded = 0x00,
+    /// General failure.
+    GeneralFailure = 0x01,
+    /// Network unreachable.
+    NetworkUnreachable = 0x03,
+    /// Host unreachable.
+    HostUnreachable = 0x04,
+    /// TTL expired.
+    TtlExpired = 0x06,
+}
+
+/// Codec errors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SocksError {
+    /// Input ended early.
+    Truncated,
+    /// Wrong version byte.
+    BadVersion(u8),
+    /// Server offered no acceptable method.
+    NoAcceptableMethod,
+    /// Unknown address type.
+    BadAddressType(u8),
+    /// Malformed domain string.
+    BadDomain,
+}
+
+impl core::fmt::Display for SocksError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            SocksError::Truncated => write!(f, "socks message truncated"),
+            SocksError::BadVersion(v) => write!(f, "bad socks version {v:#x}"),
+            SocksError::NoAcceptableMethod => write!(f, "no acceptable auth method"),
+            SocksError::BadAddressType(t) => write!(f, "bad address type {t:#x}"),
+            SocksError::BadDomain => write!(f, "malformed domain"),
+        }
+    }
+}
+
+impl std::error::Error for SocksError {}
+
+/// Encodes the client method-selection greeting.
+pub fn encode_greeting() -> Vec<u8> {
+    vec![VERSION, 1, METHOD_NO_AUTH]
+}
+
+/// Parses the server's method selection; returns the chosen method.
+pub fn parse_method_selection(bytes: &[u8]) -> Result<u8, SocksError> {
+    if bytes.len() < 2 {
+        return Err(SocksError::Truncated);
+    }
+    if bytes[0] != VERSION {
+        return Err(SocksError::BadVersion(bytes[0]));
+    }
+    if bytes[1] == METHOD_NO_ACCEPTABLE {
+        return Err(SocksError::NoAcceptableMethod);
+    }
+    Ok(bytes[1])
+}
+
+/// Encodes a CONNECT request.
+pub fn encode_connect(dest: &SocksAddr, port: u16) -> Vec<u8> {
+    let mut out = vec![VERSION, 0x01 /* CONNECT */, 0x00 /* RSV */];
+    match dest {
+        SocksAddr::V4(ip) => {
+            out.push(0x01);
+            out.extend_from_slice(&ip.0);
+        }
+        SocksAddr::Domain(name) => {
+            out.push(0x03);
+            out.push(name.len() as u8);
+            out.extend_from_slice(name.as_bytes());
+        }
+    }
+    out.extend_from_slice(&port.to_be_bytes());
+    out
+}
+
+/// Parses a CONNECT request; returns `(dest, port)`.
+pub fn parse_connect(bytes: &[u8]) -> Result<(SocksAddr, u16), SocksError> {
+    if bytes.len() < 4 {
+        return Err(SocksError::Truncated);
+    }
+    if bytes[0] != VERSION {
+        return Err(SocksError::BadVersion(bytes[0]));
+    }
+    let (addr, rest) = match bytes[3] {
+        0x01 => {
+            if bytes.len() < 8 {
+                return Err(SocksError::Truncated);
+            }
+            (
+                SocksAddr::V4(Ip([bytes[4], bytes[5], bytes[6], bytes[7]])),
+                &bytes[8..],
+            )
+        }
+        0x03 => {
+            if bytes.len() < 5 {
+                return Err(SocksError::Truncated);
+            }
+            let len = bytes[4] as usize;
+            if bytes.len() < 5 + len {
+                return Err(SocksError::Truncated);
+            }
+            let name = core::str::from_utf8(&bytes[5..5 + len])
+                .map_err(|_| SocksError::BadDomain)?;
+            (SocksAddr::Domain(name.to_string()), &bytes[5 + len..])
+        }
+        t => return Err(SocksError::BadAddressType(t)),
+    };
+    if rest.len() < 2 {
+        return Err(SocksError::Truncated);
+    }
+    Ok((addr, u16::from_be_bytes([rest[0], rest[1]])))
+}
+
+/// Encodes a server reply with a bind address of 0.0.0.0:0 (as tor
+/// does).
+pub fn encode_reply(code: ReplyCode) -> Vec<u8> {
+    let mut out = vec![VERSION, code as u8, 0x00, 0x01];
+    out.extend_from_slice(&[0, 0, 0, 0, 0, 0]);
+    out
+}
+
+/// Parses a server reply; returns the code.
+pub fn parse_reply(bytes: &[u8]) -> Result<ReplyCode, SocksError> {
+    if bytes.len() < 2 {
+        return Err(SocksError::Truncated);
+    }
+    if bytes[0] != VERSION {
+        return Err(SocksError::BadVersion(bytes[0]));
+    }
+    Ok(match bytes[1] {
+        0x00 => ReplyCode::Succeeded,
+        0x03 => ReplyCode::NetworkUnreachable,
+        0x04 => ReplyCode::HostUnreachable,
+        0x06 => ReplyCode::TtlExpired,
+        _ => ReplyCode::GeneralFailure,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn handshake_roundtrip() {
+        let greeting = encode_greeting();
+        assert_eq!(greeting, vec![0x05, 0x01, 0x00]);
+        assert_eq!(parse_method_selection(&[0x05, 0x00]).unwrap(), METHOD_NO_AUTH);
+        assert_eq!(
+            parse_method_selection(&[0x05, 0xFF]),
+            Err(SocksError::NoAcceptableMethod)
+        );
+        assert_eq!(
+            parse_method_selection(&[0x04, 0x00]),
+            Err(SocksError::BadVersion(0x04))
+        );
+    }
+
+    #[test]
+    fn connect_domain_roundtrip() {
+        // The leak-free form: the name goes to the anonymizer, not to
+        // a local resolver.
+        let req = encode_connect(&SocksAddr::Domain("twitter.com".into()), 443);
+        let (addr, port) = parse_connect(&req).unwrap();
+        assert_eq!(addr, SocksAddr::Domain("twitter.com".into()));
+        assert_eq!(port, 443);
+    }
+
+    #[test]
+    fn connect_ipv4_roundtrip() {
+        let ip = Ip::parse("198.51.100.11");
+        let req = encode_connect(&SocksAddr::V4(ip), 80);
+        let (addr, port) = parse_connect(&req).unwrap();
+        assert_eq!(addr, SocksAddr::V4(ip));
+        assert_eq!(port, 80);
+    }
+
+    #[test]
+    fn connect_rejects_malformed() {
+        assert_eq!(parse_connect(&[0x05, 0x01]), Err(SocksError::Truncated));
+        let mut req = encode_connect(&SocksAddr::Domain("x.com".into()), 1);
+        req[0] = 0x04;
+        assert_eq!(parse_connect(&req), Err(SocksError::BadVersion(0x04)));
+        assert_eq!(
+            parse_connect(&[0x05, 0x01, 0x00, 0x02, 0, 0]),
+            Err(SocksError::BadAddressType(0x02))
+        );
+        let truncated = encode_connect(&SocksAddr::Domain("example.org".into()), 443);
+        assert_eq!(
+            parse_connect(&truncated[..truncated.len() - 3]),
+            Err(SocksError::Truncated)
+        );
+    }
+
+    #[test]
+    fn reply_roundtrip() {
+        for code in [
+            ReplyCode::Succeeded,
+            ReplyCode::NetworkUnreachable,
+            ReplyCode::HostUnreachable,
+            ReplyCode::TtlExpired,
+        ] {
+            let bytes = encode_reply(code);
+            assert_eq!(parse_reply(&bytes).unwrap(), code);
+            assert_eq!(bytes.len(), 10);
+        }
+        assert_eq!(parse_reply(&[0x05, 0x5A]).unwrap(), ReplyCode::GeneralFailure);
+        assert_eq!(parse_reply(&[0x05]), Err(SocksError::Truncated));
+    }
+}

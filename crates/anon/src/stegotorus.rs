@@ -1,0 +1,256 @@
+//! StegoTorus: a camouflage pluggable transport over Tor.
+//!
+//! §4: "The Chromium Web browser was chosen in order to support
+//! circumvention software, specifically StegoTorus." StegoTorus
+//! (Weinberg et al., CCS'12) disguises Tor traffic as innocuous cover
+//! protocols (HTTP, Skype-like streams) so a censor's DPI cannot
+//! recognize — and block — the Tor handshake.
+//!
+//! The model wraps any inner anonymizer: cells are chopped and
+//! re-framed into cover-protocol messages (real re-framing of bytes,
+//! testable), at a bandwidth and latency premium.
+
+use nymix_net::Ip;
+use nymix_sim::SimDuration;
+
+use crate::api::{Anonymizer, AnonymizerKind, StartupPhase, TransferCost};
+
+/// Cover protocols StegoTorus can mimic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CoverProtocol {
+    /// HTTP request/response bodies.
+    Http,
+    /// A lossy audio-stream shape.
+    SkypeLike,
+}
+
+impl CoverProtocol {
+    /// Per-message payload capacity of the cover channel.
+    pub fn chunk_payload(self) -> usize {
+        match self {
+            CoverProtocol::Http => 1024,
+            CoverProtocol::SkypeLike => 160,
+        }
+    }
+
+    /// Framing overhead per message (headers/padding).
+    pub fn chunk_overhead(self) -> usize {
+        match self {
+            CoverProtocol::Http => 220,
+            CoverProtocol::SkypeLike => 24,
+        }
+    }
+}
+
+/// The StegoTorus chopper: re-frames a byte stream into cover messages.
+#[derive(Debug, Clone)]
+pub struct Chopper {
+    cover: CoverProtocol,
+    seq: u32,
+}
+
+impl Chopper {
+    /// A chopper for the given cover protocol.
+    pub fn new(cover: CoverProtocol) -> Self {
+        Self { cover, seq: 0 }
+    }
+
+    /// Chops `data` into cover messages: `seq || len || payload` inside
+    /// a cover-protocol envelope.
+    pub fn chop(&mut self, data: &[u8]) -> Vec<Vec<u8>> {
+        let cap = self.cover.chunk_payload();
+        let mut out = Vec::new();
+        for chunk in data.chunks(cap.max(1)) {
+            let mut msg = Vec::with_capacity(chunk.len() + 8);
+            msg.extend_from_slice(&self.seq.to_le_bytes());
+            self.seq = self.seq.wrapping_add(1);
+            msg.extend_from_slice(&(chunk.len() as u32).to_le_bytes());
+            msg.extend_from_slice(chunk);
+            out.push(msg);
+        }
+        if out.is_empty() {
+            // Even an empty write emits one cover message (traffic
+            // shape maintenance).
+            let mut msg = Vec::new();
+            msg.extend_from_slice(&self.seq.to_le_bytes());
+            self.seq = self.seq.wrapping_add(1);
+            msg.extend_from_slice(&0u32.to_le_bytes());
+            out.push(msg);
+        }
+        out
+    }
+
+    /// Reassembles chopped messages back into the byte stream.
+    ///
+    /// Returns `None` on malformed or out-of-order input.
+    pub fn reassemble(messages: &[Vec<u8>]) -> Option<Vec<u8>> {
+        let mut out = Vec::new();
+        let mut expect_seq: Option<u32> = None;
+        for msg in messages {
+            if msg.len() < 8 {
+                return None;
+            }
+            let seq = u32::from_le_bytes(msg[..4].try_into().ok()?);
+            if let Some(e) = expect_seq {
+                if seq != e {
+                    return None;
+                }
+            }
+            expect_seq = Some(seq.wrapping_add(1));
+            let len = u32::from_le_bytes(msg[4..8].try_into().ok()?) as usize;
+            if msg.len() != 8 + len {
+                return None;
+            }
+            out.extend_from_slice(&msg[8..]);
+        }
+        Some(out)
+    }
+}
+
+/// StegoTorus wrapping an inner anonymizer (normally Tor).
+pub struct StegoTorus<A: Anonymizer> {
+    inner: A,
+    cover: CoverProtocol,
+}
+
+impl<A: Anonymizer> StegoTorus<A> {
+    /// Wraps `inner` with the given cover protocol.
+    pub fn new(inner: A, cover: CoverProtocol) -> Self {
+        Self { inner, cover }
+    }
+
+    /// The cover protocol in use.
+    pub fn cover(&self) -> CoverProtocol {
+        self.cover
+    }
+
+    /// The wrapped anonymizer.
+    pub fn inner(&self) -> &A {
+        &self.inner
+    }
+}
+
+impl<A: Anonymizer> Anonymizer for StegoTorus<A> {
+    fn name(&self) -> &'static str {
+        "stegotorus"
+    }
+
+    fn kind(&self) -> AnonymizerKind {
+        self.inner.kind()
+    }
+
+    fn startup_phases(&self, cold: bool) -> Vec<StartupPhase> {
+        let mut phases = self.inner.startup_phases(cold);
+        phases.push(StartupPhase::new(
+            "establish cover-protocol session",
+            SimDuration::from_millis(1_300),
+        ));
+        phases
+    }
+
+    fn transfer_cost(&self) -> TransferCost {
+        let inner = self.inner.transfer_cost();
+        // Chopping adds per-chunk framing: overhead/(payload+overhead)
+        // of extra bytes on top of the inner cost.
+        let chunk_tax = self.cover.chunk_overhead() as f64
+            / self.cover.chunk_payload() as f64;
+        TransferCost {
+            byte_overhead: (1.0 + inner.byte_overhead) * (1.0 + chunk_tax) - 1.0,
+            connect_latency: inner.connect_latency + SimDuration::from_millis(180),
+            rate_cap: inner.rate_cap,
+        }
+    }
+
+    fn exit_address(&self, client_public: Ip) -> Ip {
+        self.inner.exit_address(client_public)
+    }
+
+    fn remote_dns(&self) -> bool {
+        self.inner.remote_dns()
+    }
+
+    fn save_state(&self) -> Vec<u8> {
+        self.inner.save_state()
+    }
+
+    fn restore_state(&mut self, blob: &[u8]) -> bool {
+        self.inner.restore_state(blob)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::incognito::Incognito;
+    use crate::tor::{TorClient, TorDirectory};
+    use nymix_sim::Rng;
+
+    fn tor() -> TorClient {
+        let dir = TorDirectory::generate(4, 80);
+        let mut rng = Rng::seed_from(4);
+        let mut t = TorClient::bootstrap(&dir, &mut rng);
+        t.build_circuit(&dir, &mut rng).unwrap();
+        t
+    }
+
+    #[test]
+    fn chop_reassemble_roundtrip() {
+        for cover in [CoverProtocol::Http, CoverProtocol::SkypeLike] {
+            let mut chopper = Chopper::new(cover);
+            let data: Vec<u8> = (0..5000u32).map(|i| (i % 251) as u8).collect();
+            let msgs = chopper.chop(&data);
+            assert!(msgs.len() >= data.len() / cover.chunk_payload());
+            assert_eq!(Chopper::reassemble(&msgs).unwrap(), data);
+        }
+    }
+
+    #[test]
+    fn reassembly_detects_reordering_and_tampering() {
+        let mut chopper = Chopper::new(CoverProtocol::SkypeLike);
+        let msgs = chopper.chop(&[7u8; 800]);
+        assert!(msgs.len() > 2);
+        let mut reordered = msgs.clone();
+        reordered.swap(0, 1);
+        assert!(Chopper::reassemble(&reordered).is_none());
+        let mut truncated = msgs.clone();
+        truncated[0].pop();
+        assert!(Chopper::reassemble(&truncated).is_none());
+    }
+
+    #[test]
+    fn empty_write_still_emits_cover_traffic() {
+        let mut chopper = Chopper::new(CoverProtocol::Http);
+        let msgs = chopper.chop(&[]);
+        assert_eq!(msgs.len(), 1);
+        assert_eq!(Chopper::reassemble(&msgs).unwrap(), Vec::<u8>::new());
+    }
+
+    #[test]
+    fn cost_compounds_over_inner_transport() {
+        let st = StegoTorus::new(tor(), CoverProtocol::Http);
+        let plain = tor().transfer_cost();
+        let wrapped = st.transfer_cost();
+        assert!(wrapped.byte_overhead > plain.byte_overhead);
+        assert!(wrapped.connect_latency > plain.connect_latency);
+        // Still hides the source and keeps DNS remote.
+        assert!(st.hides_source());
+        assert!(st.remote_dns());
+        assert_eq!(st.kind(), AnonymizerKind::Tor);
+    }
+
+    #[test]
+    fn startup_appends_cover_session() {
+        let st = StegoTorus::new(Incognito::new(), CoverProtocol::SkypeLike);
+        let phases = st.startup_phases(true);
+        assert!(phases.last().unwrap().label.contains("cover-protocol"));
+        assert!(st.startup_time(true) > Incognito::new().startup_time(true));
+    }
+
+    #[test]
+    fn state_passthrough() {
+        let mut st = StegoTorus::new(tor(), CoverProtocol::Http);
+        let blob = st.save_state();
+        assert!(st.restore_state(&blob));
+        assert!(!st.restore_state(b"garbage"));
+    }
+}

@@ -1,0 +1,97 @@
+//! SWEET: serving the Web by exploiting email tunnels.
+//!
+//! §4.1: "we have tested ... our own implementation of SWEET" — a
+//! censorship-circumvention transport that tunnels web traffic through
+//! email round trips (Houmansadr et al.). Functionally it hides the
+//! destination from a censor and the source from the destination (the
+//! tunnel endpoint originates the real requests), at the cost of very
+//! high latency and very low throughput.
+
+use nymix_net::Ip;
+use nymix_sim::SimDuration;
+
+use crate::api::{Anonymizer, AnonymizerKind, StartupPhase, TransferCost};
+
+/// Calibration constants for the SWEET model.
+pub mod calib {
+    use nymix_sim::SimDuration;
+
+    /// Email round-trip latency per connection (queue + poll).
+    pub const EMAIL_RTT: SimDuration = SimDuration(8_000_000);
+
+    /// MIME/base64 encapsulation overhead.
+    pub const BYTE_OVERHEAD: f64 = 0.45;
+
+    /// Throughput ceiling of an email-tunnel transport.
+    pub const RATE_CAP: f64 = 64_000.0; // bytes/second
+}
+
+/// The SWEET email-tunnel anonymizer.
+#[derive(Debug, Clone, Default)]
+pub struct Sweet;
+
+impl Sweet {
+    /// Creates the SWEET module.
+    pub fn new() -> Self {
+        Self
+    }
+}
+
+impl Anonymizer for Sweet {
+    fn name(&self) -> &'static str {
+        "sweet"
+    }
+
+    fn kind(&self) -> AnonymizerKind {
+        AnonymizerKind::Sweet
+    }
+
+    fn startup_phases(&self, cold: bool) -> Vec<StartupPhase> {
+        let mut phases = vec![StartupPhase::new(
+            "launch sweet proxy",
+            SimDuration::from_millis(1_200),
+        )];
+        if cold {
+            phases.push(StartupPhase::new(
+                "authenticate mail account",
+                SimDuration::from_millis(2_500),
+            ));
+        }
+        phases.push(StartupPhase::new(
+            "probe tunnel (one email RTT)",
+            calib::EMAIL_RTT,
+        ));
+        phases
+    }
+
+    fn transfer_cost(&self) -> TransferCost {
+        TransferCost {
+            byte_overhead: calib::BYTE_OVERHEAD,
+            connect_latency: calib::EMAIL_RTT,
+            rate_cap: calib::RATE_CAP,
+        }
+    }
+
+    fn exit_address(&self, _client_public: Ip) -> Ip {
+        Ip([198, 19, 1, 1]) // The tunnel endpoint's address.
+    }
+
+    fn remote_dns(&self) -> bool {
+        true // "both Dissent and SWEET support UDP based proxying" (§4.1).
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn very_slow_but_hiding() {
+        let s = Sweet::new();
+        assert!(s.hides_source());
+        assert!(s.remote_dns());
+        assert!(s.transfer_cost().rate_cap < 100_000.0);
+        assert!(s.transfer_cost().connect_latency.as_secs_f64() >= 8.0);
+        assert!(s.startup_time(true) > s.startup_time(false));
+    }
+}

@@ -1,0 +1,74 @@
+//! Property-based tests for the anonymizer substrates.
+
+use nymix_anon::dissent::DissentNet;
+use nymix_anon::tor::{TorClient, TorDirectory, TorState};
+use nymix_sim::Rng;
+use proptest::prelude::*;
+
+proptest! {
+    /// DC-net correctness: any set of per-client messages (one per
+    /// client at most) is recovered exactly; idle slots stay zero.
+    #[test]
+    fn dcnet_recovers_arbitrary_messages(
+        seed in any::<u64>(),
+        n_clients in 2usize..6,
+        m_servers in 1usize..4,
+        msgs in proptest::collection::vec(proptest::collection::vec(any::<u8>(), 0..32), 0..6),
+    ) {
+        let slot = 32;
+        let mut net = DissentNet::new(n_clients, m_servers, slot, seed);
+        let sched: Vec<(usize, Vec<u8>)> = msgs
+            .into_iter()
+            .enumerate()
+            .filter(|(i, _)| *i < n_clients)
+            .collect();
+        let cts = net.run_round(&sched);
+        prop_assert_eq!(cts.len(), n_clients + m_servers);
+        let slots = net.reveal(&cts);
+        for i in 0..n_clients {
+            let expect = sched.iter().find(|(o, _)| *o == i).map(|(_, m)| m.clone()).unwrap_or_default();
+            prop_assert_eq!(&slots[i][..expect.len()], &expect[..]);
+            prop_assert!(slots[i][expect.len()..].iter().all(|&b| b == 0), "slot {} dirty", i);
+        }
+    }
+
+    /// Onion cells always unwrap to the payload after exactly three
+    /// peels, and to garbage before.
+    #[test]
+    fn onion_layering(seed in any::<u64>(), payload in proptest::collection::vec(any::<u8>(), 1..256)) {
+        let dir = TorDirectory::generate(seed, 60);
+        let mut rng = Rng::seed_from(seed ^ 1);
+        let mut tor = TorClient::bootstrap(&dir, &mut rng);
+        let mut circuit = tor.build_circuit(&dir, &mut rng).expect("relays available");
+        let mut cell = circuit.wrap(&payload);
+        prop_assert_ne!(&cell, &payload);
+        circuit.peel(0, &mut cell);
+        circuit.peel(1, &mut cell);
+        prop_assert_ne!(&cell, &payload);
+        circuit.peel(2, &mut cell);
+        prop_assert_eq!(&cell, &payload);
+    }
+
+    /// Guard-state serialization round-trips and rejects truncation.
+    #[test]
+    fn tor_state_roundtrip(seed in any::<u64>()) {
+        let dir = TorDirectory::generate(seed, 40);
+        let mut rng = Rng::seed_from(seed);
+        let state = TorState::fresh(&dir, &mut rng);
+        let blob = state.to_bytes();
+        prop_assert_eq!(TorState::from_bytes(&blob).expect("parses"), state);
+        for cut in 0..blob.len() {
+            prop_assert!(TorState::from_bytes(&blob[..cut]).is_none());
+        }
+    }
+
+    /// Deterministic guard seeding is a pure function of
+    /// (location, password).
+    #[test]
+    fn deterministic_guards(loc in "[a-z]{1,16}", pw in "[a-z]{1,16}", seed in any::<u64>()) {
+        let dir = TorDirectory::generate(seed, 50);
+        let a = TorState::deterministic(&dir, &loc, &pw);
+        let b = TorState::deterministic(&dir, &loc, &pw);
+        prop_assert_eq!(a, b);
+    }
+}

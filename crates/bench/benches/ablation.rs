@@ -1,0 +1,22 @@
+//! Criterion benches for the ablation knobs.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench_ablations(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablations");
+    group.sample_size(10);
+    group.bench_function("ksm_on_off_3_nymboxes", |b| {
+        b.iter(|| black_box(nymix_bench::ablation_ksm(black_box(42), 3)));
+    });
+    group.bench_function("compression_on_off", |b| {
+        b.iter(|| black_box(nymix_bench::ablation_compression(black_box(42))));
+    });
+    group.bench_function("anonymizer_sweep", |b| {
+        b.iter(|| black_box(nymix_bench::ablation_anonymizers(black_box(42))));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_ablations);
+criterion_main!(benches);

@@ -1,0 +1,15 @@
+//! Criterion bench for the Figure 4 experiment (Peacekeeper sweep).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench_fig4(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig4_cpu");
+    group.bench_function("peacekeeper_sweep_0_to_8", |b| {
+        b.iter(|| black_box(nymix_bench::fig4_cpu()));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig4);
+criterion_main!(benches);

@@ -1,0 +1,15 @@
+//! Criterion bench for the Figure 5 experiment (parallel downloads).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench_fig5(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig5_download");
+    group.bench_function("parallel_downloads_1_to_8", |b| {
+        b.iter(|| black_box(nymix_bench::fig5_download()));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig5);
+criterion_main!(benches);

@@ -1,0 +1,15 @@
+//! Criterion bench for the Table 1 experiment (installed-OS repair).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench_table1(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table1_installed_os");
+    group.bench_function("repair_and_boot_all_windows", |b| {
+        b.iter(|| black_box(nymix_bench::table1_installed_os()));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_table1);
+criterion_main!(benches);

@@ -1,0 +1,17 @@
+//! Criterion bench for the Figure 3 experiment (launch 8 nymboxes,
+//! interact, account memory + KSM).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench_fig3(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig3_memory");
+    group.sample_size(10);
+    group.bench_function("launch_8_nymboxes_with_ksm", |b| {
+        b.iter(|| black_box(nymix_bench::fig3_memory(black_box(42))));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig3);
+criterion_main!(benches);

@@ -1,0 +1,54 @@
+//! Microbenchmarks for the hot primitives behind the experiments:
+//! SHA-256, ChaCha20-Poly1305, LZSS, KSM scanning, onion wrapping.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::hint::black_box;
+
+fn bench_crypto(c: &mut Criterion) {
+    let data = vec![0xabu8; 64 * 1024];
+    let key = [7u8; 32];
+    let nonce = [1u8; 12];
+
+    let mut group = c.benchmark_group("primitives");
+    group.throughput(Throughput::Bytes(data.len() as u64));
+    group.bench_function("sha256_64k", |b| {
+        b.iter(|| black_box(nymix_crypto::sha256(black_box(&data))));
+    });
+    group.bench_function("aead_seal_64k", |b| {
+        b.iter(|| black_box(nymix_crypto::seal(&key, &nonce, b"", black_box(&data))));
+    });
+    group.bench_function("lzss_compress_64k", |b| {
+        b.iter(|| black_box(nymix_store::lzss::compress(black_box(&data))));
+    });
+    group.finish();
+}
+
+fn bench_ksm(c: &mut Criterion) {
+    use nymix_vmm::{PageClass, VmMemory};
+    let mut vms = Vec::new();
+    for i in 0..4u64 {
+        let mut m = VmMemory::allocate(i, 64 * 1024 * 1024);
+        m.fill(0, 2000, PageClass::Shared(0));
+        m.fill(2000, 10_000, PageClass::Unique(0));
+        vms.push(m);
+    }
+    c.bench_function("ksm_scan_4x64MiB", |b| {
+        b.iter(|| black_box(nymix_vmm::ksm::scan(vms.iter().map(|v| v.page_ids()))));
+    });
+}
+
+fn bench_onion(c: &mut Criterion) {
+    use nymix_anon::tor::{TorClient, TorDirectory};
+    use nymix_sim::Rng;
+    let dir = TorDirectory::generate(1, 100);
+    let mut rng = Rng::seed_from(2);
+    let mut tor = TorClient::bootstrap(&dir, &mut rng);
+    let mut circuit = tor.build_circuit(&dir, &mut rng).expect("circuit");
+    let cell = vec![0u8; 514];
+    c.bench_function("onion_wrap_514B_cell", |b| {
+        b.iter(|| black_box(circuit.wrap(black_box(&cell))));
+    });
+}
+
+criterion_group!(benches, bench_crypto, bench_ksm, bench_onion);
+criterion_main!(benches);

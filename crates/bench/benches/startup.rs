@@ -1,0 +1,16 @@
+//! Criterion bench for the Figure 7 experiment (startup by phase).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench_fig7(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig7_startup");
+    group.sample_size(10);
+    group.bench_function("three_usage_models", |b| {
+        b.iter(|| black_box(nymix_bench::fig7_startup(black_box(42))));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig7);
+criterion_main!(benches);

@@ -1,0 +1,16 @@
+//! Criterion bench for the Figure 6 experiment (save/restore cycles).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench_fig6(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig6_storage");
+    group.sample_size(10);
+    group.bench_function("four_sites_three_cycles_scale64", |b| {
+        b.iter(|| black_box(nymix_bench::fig6_storage(black_box(42), 64, 3)));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig6);
+criterion_main!(benches);

@@ -1,0 +1,20 @@
+//! Ablation studies for the design choices DESIGN.md calls out.
+
+fn main() {
+    let (with, without) = nymix_bench::ablation_ksm(42, 6);
+    println!("# Ablation: KSM (6 nymboxes)");
+    println!("used memory with KSM:    {with:.0} MiB");
+    println!("used memory without KSM: {without:.0} MiB");
+    println!("saving: {:.1}%\n", (1.0 - with / without) * 100.0);
+
+    let (sealed, raw) = nymix_bench::ablation_compression(42);
+    println!("# Ablation: archive compression (one Facebook session)");
+    println!("raw payload:    {raw} bytes");
+    println!("sealed archive: {sealed} bytes");
+    println!("ratio: {:.2}\n", sealed as f64 / raw as f64);
+
+    println!("# Ablation: anonymizer choice (fresh-nym startup, byte overhead)");
+    for (name, startup, overhead) in nymix_bench::ablation_anonymizers(42) {
+        println!("{name:>10}: startup {startup:.1}s, byte overhead {:.0}%", overhead * 100.0);
+    }
+}

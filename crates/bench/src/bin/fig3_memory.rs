@@ -1,0 +1,12 @@
+//! Regenerates Figure 3: RAM usage and KSM shared pages vs nym count.
+
+fn main() {
+    let samples = nymix_bench::fig3_memory(42);
+    println!("{}", nymix_bench::fig3_table(&samples).render());
+    let last = samples.last().expect("eight samples");
+    println!(
+        "KSM saving at {} nyms: {:.1}% (paper: \"over 5% saving at 8 nyms\")",
+        last.nyms,
+        last.ksm_saving() * 100.0
+    );
+}

@@ -1,0 +1,12 @@
+//! Regenerates Figure 4: Peacekeeper scores vs parallel nyms.
+
+fn main() {
+    let samples = nymix_bench::fig4_cpu();
+    println!("{}", nymix_bench::fig4_table(&samples).render());
+    let native = samples[0].actual;
+    let single = samples[1].actual;
+    println!(
+        "virtualization overhead: {:.1}% (paper: \"about a 20% overhead\")",
+        (1.0 - single / native) * 100.0
+    );
+}

@@ -1,0 +1,7 @@
+//! Regenerates Figure 5: parallel kernel download times.
+
+fn main() {
+    let samples = nymix_bench::fig5_download();
+    println!("{}", nymix_bench::fig5_table(&samples).render());
+    println!("(paper: \"relatively linear ... fixed cost, approximately 12% overhead\")");
+}

@@ -1,0 +1,8 @@
+//! Regenerates Figure 7: startup time by phase per usage model.
+
+fn main() {
+    let samples = nymix_bench::fig7_startup(42);
+    println!("{}", nymix_bench::fig7_table(&samples).render());
+    println!("(paper: fresh nymboxes load within 15-25 s; quasi-persistent nyms");
+    println!(" outperform ephemeral on the Tor phase but pay an ephemeral fetch)");
+}

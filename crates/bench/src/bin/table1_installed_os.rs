@@ -1,0 +1,7 @@
+//! Regenerates Table 1: installed-OS-as-nym repair/boot/size.
+
+fn main() {
+    let rows = nymix_bench::table1_installed_os();
+    println!("{}", nymix_bench::table1_table(&rows).render());
+    println!("(paper: Vista 133.7/37.7/4.9, Win7 129.3/34.3/4.5, Win8 157.0/58.7/14)");
+}

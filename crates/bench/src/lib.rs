@@ -1,0 +1,16 @@
+//! The experiment library: one function per table/figure.
+//!
+//! Every function is deterministic given its seed and returns the data
+//! the paper plots; the `fig*`/`table*` binaries print the same
+//! rows/series the paper reports, and the Criterion benches time the
+//! underlying operations. `EXPERIMENTS.md` records paper-vs-measured
+//! values for each experiment.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod experiments;
+pub mod report;
+
+pub use experiments::*;
+pub use report::Table;

@@ -1,0 +1,1049 @@
+//! The Nym Manager.
+//!
+//! "Nymix's most crucial component is its Nym Manager, which manages
+//! nyms and separates all client-side browsing and other activities
+//! into separate virtual machines or nymboxes for each nym" (§3.1).
+//!
+//! The manager owns the whole machine model: the hypervisor (VMs,
+//! memory, CPU), the packet fabric (isolation), the fluid flow network
+//! (timing), the relay directory, DNS, cloud providers, and local
+//! storage. Its operations implement the §3.5 workflow verbatim:
+//! *start a fresh nym*, *store nym* (pause → sync → compress → encrypt
+//! → upload via the nym's own CommVM), and *load an existing nym*
+//! (ephemeral fetch nym → download → decrypt → resume).
+
+use std::collections::BTreeMap;
+
+use nymix_anon::tor::{TorClient, TorDirectory, TorState};
+use nymix_anon::{Anonymizer, AnonymizerKind, DissentNet, Incognito, Sweet};
+use nymix_net::dns::DnsDb;
+use nymix_net::firewall::{Action, Direction, Firewall, Rule};
+use nymix_net::flow::calib as netcal;
+use nymix_net::{Fabric, FlowNet, Ip, LinkId, Mac, NodeId, NodeKind};
+use nymix_sim::{Rng, SimDuration, SimTime};
+use nymix_store::{open_sealed, seal_archive, CloudProvider, LocalStore, NymArchive};
+use nymix_vmm::{Hypervisor, HypervisorError, VmConfig};
+use nymix_workload::browser::BrowserState;
+use nymix_workload::{BrowserSession, Site};
+
+use crate::nymbox::{Nymbox, UsageModel};
+use crate::timing::{calib as tcal, StartupBreakdown};
+
+/// Identifies a nym within a manager.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct NymId(pub u64);
+
+/// Where quasi-persistent state is kept (§3.5).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StorageDest {
+    /// Anonymous cloud storage: deniable, needs an ephemeral fetch nym.
+    Cloud {
+        /// Provider name (must be registered).
+        provider: String,
+        /// Pseudonymous account id.
+        account: String,
+        /// Account credential.
+        credential: String,
+    },
+    /// Local partition / USB drive: faster, not deniable.
+    Local,
+}
+
+/// Errors from Nym Manager operations.
+#[derive(Debug)]
+pub enum NymManagerError {
+    /// The hypervisor refused (usually memory admission).
+    Hypervisor(HypervisorError),
+    /// Unknown nym id.
+    NoSuchNym(NymId),
+    /// Unknown cloud provider.
+    NoSuchProvider(String),
+    /// Storage/crypto failure on save or restore.
+    Storage(String),
+    /// The nym has no stored state to restore.
+    NothingStored,
+}
+
+impl core::fmt::Display for NymManagerError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            NymManagerError::Hypervisor(e) => write!(f, "hypervisor: {e}"),
+            NymManagerError::NoSuchNym(id) => write!(f, "no such nym: {id:?}"),
+            NymManagerError::NoSuchProvider(p) => write!(f, "no such provider: {p}"),
+            NymManagerError::Storage(s) => write!(f, "storage: {s}"),
+            NymManagerError::NothingStored => write!(f, "no stored state for nym"),
+        }
+    }
+}
+
+impl std::error::Error for NymManagerError {}
+
+impl From<HypervisorError> for NymManagerError {
+    fn from(e: HypervisorError) -> Self {
+        NymManagerError::Hypervisor(e)
+    }
+}
+
+struct NymEntry {
+    nymbox: Nymbox,
+    anonymizer: Box<dyn Anonymizer>,
+    browser: Option<BrowserState>,
+}
+
+/// The Nym Manager and its machine model.
+pub struct NymManager {
+    hv: Hypervisor,
+    fabric: Fabric,
+    flows: FlowNet,
+    access_link: LinkId,
+    dns: DnsDb,
+    directory: TorDirectory,
+    rng: Rng,
+    clock: SimTime,
+    nyms: BTreeMap<NymId, NymEntry>,
+    next_nym: u64,
+    cloud: BTreeMap<String, CloudProvider>,
+    local: LocalStore,
+    browser_scale: u64,
+    /// Per-record sizes of the most recent save: (anonvm, commvm,
+    /// other) payload bytes — Figure 6's "AnonVM content accounting
+    /// for 85% of the pseudonym size" breakdown.
+    last_save_breakdown: Option<(usize, usize, usize)>,
+    // Fabric landmarks.
+    hyp_node: NodeId,
+    internet_node: NodeId,
+    intranet_node: NodeId,
+    public_ip: Ip,
+    lan_gateway_ip: Ip,
+}
+
+impl NymManager {
+    /// Boots Nymix on the paper's testbed (minimal base image for
+    /// speed; `browser_scale` divides browser byte volumes — use 1 for
+    /// full fidelity, 16–64 for fast runs).
+    pub fn new(seed: u64, browser_scale: u64) -> Self {
+        let mut fabric = Fabric::new();
+        let public_ip = Ip::parse("203.0.113.9");
+        let lan_gateway_ip = Ip::parse("192.168.1.1");
+
+        // The hypervisor host: NAT from nymboxes to the access link,
+        // plus a leg on the local intranet.
+        let hyp_node = fabric.add_node("hypervisor", NodeKind::Nat);
+        let hyp_wan = fabric.add_iface(hyp_node, Mac::host_nic(1), public_ip);
+        let hyp_lan = fabric.add_iface(hyp_node, Mac::host_nic(2), Ip::parse("192.168.1.100"));
+
+        // The wide-area Internet: owns every evaluation-site address.
+        let internet_node = fabric.add_node("internet", NodeKind::Internet);
+        let inet_iface = fabric.add_iface(internet_node, Mac::host_nic(3), Ip::parse("198.51.100.1"));
+        let dns = DnsDb::with_eval_sites();
+        for (i, name) in [
+            "gmail.com",
+            "twitter.com",
+            "youtube.com",
+            "blog.torproject.org",
+            "bbc.co.uk",
+            "facebook.com",
+            "slashdot.org",
+            "espn.com",
+            "kernel.deterlab.net",
+            "cloud.dropbox.example",
+            "cloud.drive.example",
+        ]
+        .iter()
+        .enumerate()
+        {
+            let ip = dns.resolve(name).expect("eval site registered");
+            fabric.add_iface(internet_node, Mac::host_nic(100 + i as u32), ip);
+        }
+        // Tor relays live on the internet node too (198.18.0.0/15).
+        for i in 0..4u32 {
+            fabric.add_iface(
+                internet_node,
+                Mac::host_nic(200 + i),
+                Ip([198, 18, 0, i as u8]),
+            );
+        }
+        fabric.connect(hyp_node, hyp_wan, internet_node, inet_iface);
+        fabric.add_route(internet_node, Ip::parse("0.0.0.0"), 0, inet_iface);
+
+        // The local intranet (what CommVMs must NOT reach, §5.1).
+        let intranet_node = fabric.add_node("intranet-fileserver", NodeKind::Host);
+        let intr_iface = fabric.add_iface(intranet_node, Mac::host_nic(4), lan_gateway_ip);
+        fabric.connect(hyp_node, hyp_lan, intranet_node, intr_iface);
+        fabric.add_route(intranet_node, Ip::parse("0.0.0.0"), 0, intr_iface);
+
+        // Hypervisor routing: LAN to the LAN leg, everything else WAN.
+        fabric.add_route(hyp_node, Ip::parse("0.0.0.0"), 0, hyp_wan);
+        fabric.add_route(hyp_node, Ip::parse("192.168.1.0"), 24, hyp_lan);
+
+        // Fluid network: the shaped 10 Mbit/s access link.
+        let mut flows = FlowNet::new();
+        let access_link = flows.add_link(netcal::ACCESS_LINK_BPS, netcal::ACCESS_ONE_WAY);
+
+        let mut rng = Rng::seed_from(seed);
+        let directory = TorDirectory::generate(rng.next_u64(), 120);
+
+        // Boot-time DHCP: the only LAN traffic an idle Nymix host emits
+        // (§5.1: "The Nymix hypervisor emitted only traffic for DHCP and
+        // anonymizer traffic").
+        let dhcp = nymix_net::fabric::Packet::udp(
+            Ip::parse("192.168.1.100"),
+            lan_gateway_ip,
+            67,
+            300,
+        );
+        let _ = fabric.send(hyp_node, dhcp);
+
+        Self {
+            hv: Hypervisor::paper_testbed_minimal(),
+            fabric,
+            flows,
+            access_link,
+            dns,
+            directory,
+            rng,
+            clock: SimTime::ZERO,
+            nyms: BTreeMap::new(),
+            next_nym: 1,
+            cloud: BTreeMap::new(),
+            local: LocalStore::new(),
+            browser_scale,
+            last_save_breakdown: None,
+            hyp_node,
+            internet_node,
+            intranet_node,
+            public_ip,
+            lan_gateway_ip,
+        }
+    }
+
+    /// Registers a cloud provider (e.g. "dropbox") with one account.
+    pub fn register_cloud(&mut self, provider: &str, account: &str, credential: &str) {
+        let mut p = CloudProvider::new(provider);
+        p.create_account(account, credential);
+        self.cloud.insert(provider.to_string(), p);
+    }
+
+    /// Current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.clock
+    }
+
+    /// The hypervisor (for memory/CPU accounting).
+    pub fn hypervisor(&self) -> &Hypervisor {
+        &self.hv
+    }
+
+    /// Mutable hypervisor access (ablation knobs like KSM).
+    pub fn hypervisor_mut(&mut self) -> &mut Hypervisor {
+        &mut self.hv
+    }
+
+    /// The packet fabric (for validation probes).
+    pub fn fabric(&self) -> &Fabric {
+        &self.fabric
+    }
+
+    /// Mutable fabric access (validation probes mutate trace state).
+    pub fn fabric_mut(&mut self) -> &mut Fabric {
+        &mut self.fabric
+    }
+
+    /// A registered cloud provider.
+    pub fn cloud_provider(&self, name: &str) -> Option<&CloudProvider> {
+        self.cloud.get(name)
+    }
+
+    /// The local store.
+    pub fn local_store(&self) -> &LocalStore {
+        &self.local
+    }
+
+    /// Live nym ids.
+    pub fn nym_ids(&self) -> Vec<NymId> {
+        self.nyms.keys().copied().collect()
+    }
+
+    /// A live nymbox.
+    pub fn nymbox(&self, id: NymId) -> Result<&Nymbox, NymManagerError> {
+        self.nyms
+            .get(&id)
+            .map(|e| &e.nymbox)
+            .ok_or(NymManagerError::NoSuchNym(id))
+    }
+
+    /// The anonymizer running in a nym's CommVM.
+    pub fn anonymizer(&self, id: NymId) -> Result<&dyn Anonymizer, NymManagerError> {
+        self.nyms
+            .get(&id)
+            .map(|e| e.anonymizer.as_ref())
+            .ok_or(NymManagerError::NoSuchNym(id))
+    }
+
+    fn build_anonymizer(&mut self, kind: AnonymizerKind) -> Box<dyn Anonymizer> {
+        match kind {
+            AnonymizerKind::Tor => {
+                let mut tor = TorClient::bootstrap(&self.directory, &mut self.rng);
+                // The startup phases include the circuit build; give the
+                // client its live circuit so exit_address is a real exit.
+                let _ = tor.build_circuit(&self.directory, &mut self.rng);
+                Box::new(tor)
+            }
+            AnonymizerKind::Dissent => {
+                Box::new(DissentNet::new(8, 3, 512, self.rng.next_u64()))
+            }
+            AnonymizerKind::Incognito => Box::new(Incognito::new()),
+            AnonymizerKind::Sweet => Box::new(Sweet::new()),
+        }
+    }
+
+    /// Starts a fresh nym (§3.5 workflow: "start a fresh nym").
+    ///
+    /// Returns the nym id and the startup breakdown (boot + anonymizer
+    /// phases; page load is measured by [`NymManager::visit_site`]).
+    pub fn create_nym(
+        &mut self,
+        name: &str,
+        kind: AnonymizerKind,
+        model: UsageModel,
+    ) -> Result<(NymId, StartupBreakdown), NymManagerError> {
+        let anonymizer = self.build_anonymizer(kind);
+        self.instantiate(name, kind, model, anonymizer, None, true)
+    }
+
+    fn instantiate(
+        &mut self,
+        name: &str,
+        kind: AnonymizerKind,
+        model: UsageModel,
+        mut anonymizer: Box<dyn Anonymizer>,
+        restored: Option<RestoredState>,
+        cold: bool,
+    ) -> Result<(NymId, StartupBreakdown), NymManagerError> {
+        // VMs.
+        let anon_vm = self.hv.create_vm(VmConfig::anonvm())?;
+        let comm_vm = match self.hv.create_vm(VmConfig::commvm()) {
+            Ok(id) => id,
+            Err(e) => {
+                // Roll back the half-built nymbox.
+                let _ = self.hv.destroy_vm(anon_vm);
+                return Err(e.into());
+            }
+        };
+        self.hv.boot(anon_vm)?;
+        self.hv.boot(comm_vm)?;
+
+        // Restore saved disk layers and anonymizer state if present.
+        if let Some(state) = restored {
+            let vm = self.hv.vm_mut(anon_vm)?;
+            let _ = vm.take_disk_upper();
+            assert!(vm.push_disk_upper(state.anon_upper));
+            let vm = self.hv.vm_mut(comm_vm)?;
+            let _ = vm.take_disk_upper();
+            assert!(vm.push_disk_upper(state.comm_upper));
+            if let Some(blob) = state.anonymizer_state {
+                anonymizer.restore_state(&blob);
+            }
+        }
+
+        // Network wiring: AnonVM --(virtual wire)-- CommVM --(uplink)--
+        // hypervisor NAT. Addresses are identical for every nymbox
+        // (§4.2 homogeneity).
+        let n = self.next_nym;
+        let anon_node = self
+            .fabric
+            .add_node(&format!("anonvm-{n}"), NodeKind::Host);
+        let anon_if = self
+            .fabric
+            .add_iface(anon_node, Mac::ANONVM_FIXED, Ip::ANONVM_FIXED);
+        let comm_node = self.fabric.add_node(&format!("commvm-{n}"), NodeKind::Nat);
+        let comm_wire = self
+            .fabric
+            .add_iface(comm_node, Mac::COMMVM_FIXED, Ip::COMMVM_WIRE);
+        let comm_up = self
+            .fabric
+            .add_iface(comm_node, Mac::COMMVM_FIXED, Ip::parse("10.0.3.2"));
+        let hyp_leg = self
+            .fabric
+            .add_iface(self.hyp_node, Mac::host_nic(1000 + n as u32), Ip::parse("10.0.3.1"));
+        self.fabric.connect(anon_node, anon_if, comm_node, comm_wire);
+        self.fabric.connect(comm_node, comm_up, self.hyp_node, hyp_leg);
+        self.fabric.add_route(anon_node, Ip::parse("0.0.0.0"), 0, anon_if);
+        self.fabric
+            .add_route(comm_node, Ip::parse("10.0.2.0"), 24, comm_wire);
+        self.fabric.add_route(comm_node, Ip::parse("0.0.0.0"), 0, comm_up);
+
+        // CommVM egress policy: wire + uplink gateway + public Internet
+        // only. Private space (the user's LAN, other VMs) is
+        // unreachable — the §5.1 matrix.
+        let mut fw = Firewall::default_drop();
+        fw.push(Rule {
+            direction: Direction::In,
+            src: Some((Ip::parse("10.0.2.0"), 24)),
+            dst: None,
+            proto: None,
+            dst_port: None,
+            action: Action::Allow,
+        });
+        fw.push(Rule {
+            direction: Direction::In,
+            src: None,
+            dst: Some((Ip::parse("10.0.3.2"), 32)),
+            proto: None,
+            dst_port: None,
+            action: Action::Allow,
+        });
+        for (net, len) in [
+            (Ip::parse("192.168.0.0"), 16u8),
+            (Ip::parse("172.16.0.0"), 12),
+            (Ip::parse("10.0.2.0"), 24),
+        ] {
+            fw.push(Rule {
+                direction: Direction::Out,
+                src: None,
+                dst: Some((net, len)),
+                proto: None,
+                dst_port: None,
+                action: if net == Ip::parse("10.0.2.0") {
+                    Action::Allow // Its own wire.
+                } else {
+                    Action::Drop
+                },
+            });
+        }
+        fw.push(Rule {
+            direction: Direction::Out,
+            src: None,
+            dst: Some((Ip::parse("10.0.0.0"), 8)),
+            proto: None,
+            dst_port: None,
+            action: Action::Drop,
+        });
+        fw.push(Rule::allow_all(Direction::Out));
+        // Out rules above are evaluated before the default drop; the
+        // 10/8 drop must come after the wire allow but before allow-all
+        // — the push order above encodes exactly that.
+        self.fabric.set_firewall(comm_node, fw);
+
+        // Startup timing.
+        let breakdown = StartupBreakdown {
+            ephemeral_fetch: SimDuration::ZERO,
+            boot_vm: tcal::ANONVM_BOOT,
+            start_anonymizer: anonymizer.startup_time(cold),
+            load_page: SimDuration::ZERO,
+        };
+        self.clock += breakdown.boot_vm + breakdown.start_anonymizer;
+
+        let id = NymId(self.next_nym);
+        self.next_nym += 1;
+        self.nyms.insert(
+            id,
+            NymEntry {
+                nymbox: Nymbox {
+                    name: name.to_string(),
+                    model,
+                    anonymizer: kind,
+                    anon_vm,
+                    comm_vm,
+                    anon_node,
+                    comm_node,
+                    restored: false, // restore_nym overwrites after fetch
+                },
+                anonymizer,
+                browser: None,
+            },
+        );
+        Ok((id, breakdown))
+    }
+
+    /// Visits `site` in the nym's browser. Returns the page-load time
+    /// (network via the anonymizer + render).
+    pub fn visit_site(&mut self, id: NymId, site: Site) -> Result<SimDuration, NymManagerError> {
+        let entry = self.nyms.get_mut(&id).ok_or(NymManagerError::NoSuchNym(id))?;
+        let cost = entry.anonymizer.transfer_cost();
+        let profile = site.profile();
+
+        // Network: the page rides the shared access link, inflated by
+        // the anonymizer and throttled by its cap (if any).
+        let start = self.clock;
+        let wire = cost.wire_bytes(profile.page_weight as f64);
+        let flow = self
+            .flows
+            .start_flow(start, vec![self.access_link], wire);
+        let mut finish = start;
+        while self.flows.flow_remaining(flow).is_some() {
+            let next = self
+                .flows
+                .next_event()
+                .expect("flow pending implies an event");
+            self.flows.advance(next);
+            finish = next;
+        }
+        if let Some(t) = self.flows.completions().get(&flow) {
+            finish = *t;
+        }
+        let network = finish.since(start) + cost.connect_latency;
+        let load = network + tcal::PAGE_RENDER;
+        self.clock = start + load;
+
+        // Client-side state: the browser writes cache/cookies into the
+        // AnonVM and dirties guest memory.
+        let entry_comm = entry.nymbox.comm_vm;
+        let vm = self.hv.vm_mut(entry.nymbox.anon_vm)?;
+        // Rendering overwrites a slice of previously-pristine shared
+        // pages too, slightly reducing what KSM can merge (the
+        // before/after gap in Figure 3's shared-pages series).
+        vm.memory_mut().dirty_shared_pages(512);
+        let state = entry.browser.take().unwrap_or_else(|| {
+            BrowserState::fresh(Rng::seed_from(self.rng.next_u64()), self.browser_scale)
+        });
+        let mut session = BrowserSession::resume(vm, state);
+        session.visit(site);
+        entry.browser = Some(session.suspend());
+
+        // The CommVM's anonymizer also accretes disk state (consensus
+        // cache, descriptors, logs) — the other ~15% of a saved nym's
+        // payload (§5.3).
+        let scale = self.browser_scale as usize;
+        let comm = self.hv.vm_mut(entry_comm)?;
+        let consensus = nymix_fs::Path::new("/var/lib/tor/cached-consensus");
+        if !comm.disk().exists(&consensus) {
+            comm.disk_mut()
+                .write(&consensus, deterministic_blob(0xC0_45, 2_500_000 / scale))
+                .map_err(|e| NymManagerError::Storage(e.to_string()))?;
+        }
+        comm.disk_mut()
+            .append(
+                &nymix_fs::Path::new("/var/lib/tor/cached-descriptors"),
+                &deterministic_blob(0xDE_5C, 180_000 / scale),
+            )
+            .map_err(|e| NymManagerError::Storage(e.to_string()))?;
+        Ok(load)
+    }
+
+    /// Injects an evercookie-style stain into the nym's browser (§3.3
+    /// attack model; used by the amnesia tests).
+    pub fn inject_stain(&mut self, id: NymId, marker: &str) -> Result<(), NymManagerError> {
+        let entry = self.nyms.get_mut(&id).ok_or(NymManagerError::NoSuchNym(id))?;
+        let vm = self.hv.vm_mut(entry.nymbox.anon_vm)?;
+        let state = entry.browser.take().unwrap_or_else(|| {
+            BrowserState::fresh(Rng::seed_from(self.rng.next_u64()), self.browser_scale)
+        });
+        let mut session = BrowserSession::resume(vm, state);
+        session.inject_stain(marker);
+        entry.browser = Some(session.suspend());
+        Ok(())
+    }
+
+    /// Whether a stain marker is visible in the nym's AnonVM.
+    pub fn has_stain(&mut self, id: NymId, marker: &str) -> Result<bool, NymManagerError> {
+        let entry = self.nyms.get_mut(&id).ok_or(NymManagerError::NoSuchNym(id))?;
+        let vm = self.hv.vm_mut(entry.nymbox.anon_vm)?;
+        let state = entry
+            .browser
+            .take()
+            .unwrap_or_else(|| BrowserState::fresh(Rng::seed_from(0), self.browser_scale));
+        let session = BrowserSession::resume(vm, state);
+        let stained = session.has_stain(marker);
+        entry.browser = Some(session.suspend());
+        Ok(stained)
+    }
+
+    /// Stores a nym (§3.5 "store nym"): pause, sync, compress, encrypt,
+    /// upload through the nym's own CommVM. Returns the sealed size and
+    /// the wall-clock cost.
+    pub fn save_nym(
+        &mut self,
+        id: NymId,
+        password: &str,
+        dest: &StorageDest,
+    ) -> Result<(usize, SimDuration), NymManagerError> {
+        let entry = self.nyms.get_mut(&id).ok_or(NymManagerError::NoSuchNym(id))?;
+        let label = storage_label(&entry.nymbox.name, dest);
+
+        // Pause both VMs, snapshot the writable layers, resume.
+        let anon_vm = entry.nymbox.anon_vm;
+        let comm_vm = entry.nymbox.comm_vm;
+        self.hv.vm_mut(anon_vm)?.pause();
+        self.hv.vm_mut(comm_vm)?.pause();
+        let anon_upper = self
+            .hv
+            .vm(anon_vm)?
+            .disk()
+            .upper()
+            .cloned()
+            .ok_or_else(|| NymManagerError::Storage("anon upper missing".into()))?;
+        let comm_upper = self
+            .hv
+            .vm(comm_vm)?
+            .disk()
+            .upper()
+            .cloned()
+            .ok_or_else(|| NymManagerError::Storage("comm upper missing".into()))?;
+        self.hv.vm_mut(anon_vm)?.resume();
+        self.hv.vm_mut(comm_vm)?.resume();
+
+        let entry = self.nyms.get(&id).expect("checked above");
+        let mut archive = NymArchive::new();
+        archive.put_layer("anonvm.disk", &anon_upper);
+        archive.put_layer("commvm.disk", &comm_upper);
+        archive.put("anonymizer.state", entry.anonymizer.save_state());
+        archive.put(
+            "meta",
+            format!(
+                "name={};model={:?};anonymizer={}",
+                entry.nymbox.name,
+                entry.nymbox.model,
+                entry.anonymizer.name()
+            )
+            .into_bytes(),
+        );
+        if let Some(browser) = &entry.browser {
+            archive.put("browser.state", browser.to_bytes());
+        }
+        let anon_bytes = archive.get("anonvm.disk").map_or(0, <[u8]>::len);
+        let comm_bytes = archive.get("commvm.disk").map_or(0, <[u8]>::len);
+        let other_bytes = archive.payload_bytes() - anon_bytes - comm_bytes;
+        self.last_save_breakdown = Some((anon_bytes, comm_bytes, other_bytes));
+        let sealed = seal_archive(&archive, password, &label, &mut self.rng);
+        let sealed_len = sealed.len();
+
+        // Upload through the CommVM's anonymizer.
+        let cost = entry.anonymizer.transfer_cost();
+        let exit_ip = entry.anonymizer.exit_address(self.public_ip);
+        let duration = match dest {
+            StorageDest::Cloud {
+                provider,
+                account,
+                credential,
+            } => {
+                let upload_secs = self.transfer_secs(cost.wire_bytes(sealed_len as f64 * self.browser_scale as f64));
+                let p = self
+                    .cloud
+                    .get_mut(provider)
+                    .ok_or_else(|| NymManagerError::NoSuchProvider(provider.clone()))?;
+                p.put(account, credential, &label, sealed, exit_ip)
+                    .map_err(|e| NymManagerError::Storage(e.to_string()))?;
+                SimDuration::from_secs_f64(upload_secs)
+            }
+            StorageDest::Local => {
+                self.local.put(&label, sealed);
+                SimDuration::from_millis(300) // USB write.
+            }
+        };
+        self.clock += duration;
+        Ok((sealed_len, duration))
+    }
+
+    /// Loads a stored nym (§3.5 "load an existing nym").
+    ///
+    /// For cloud storage this spins up an ephemeral fetch nym first
+    /// ("Nymix starts an ephemeral nym for the purpose of gathering the
+    /// nym's state anonymously"), whose cost appears as the
+    /// `ephemeral_fetch` phase.
+    pub fn restore_nym(
+        &mut self,
+        name: &str,
+        kind: AnonymizerKind,
+        model: UsageModel,
+        password: &str,
+        dest: &StorageDest,
+    ) -> Result<(NymId, StartupBreakdown), NymManagerError> {
+        let label = storage_label(name, dest);
+        let (blob, ephemeral_fetch) = match dest {
+            StorageDest::Cloud {
+                provider,
+                account,
+                credential,
+            } => {
+                // The throwaway nym: boot + cold anonymizer + download.
+                let fetch_anonymizer = self.build_anonymizer(kind);
+                let boot = tcal::ANONVM_BOOT + fetch_anonymizer.startup_time(true);
+                let exit_ip = fetch_anonymizer.exit_address(self.public_ip);
+                let cost = fetch_anonymizer.transfer_cost();
+                let p = self
+                    .cloud
+                    .get_mut(provider)
+                    .ok_or_else(|| NymManagerError::NoSuchProvider(provider.clone()))?;
+                let blob = p
+                    .get(account, credential, &label, exit_ip)
+                    .map_err(|e| NymManagerError::Storage(e.to_string()))?;
+                let dl_secs =
+                    self.transfer_secs(cost.wire_bytes(blob.len() as f64 * self.browser_scale as f64));
+                let total = boot
+                    + SimDuration::from_secs_f64(dl_secs)
+                    + tcal::RESTORE_UNPACK;
+                (blob, total)
+            }
+            StorageDest::Local => {
+                let blob = self
+                    .local
+                    .get(&label)
+                    .ok_or(NymManagerError::NothingStored)?
+                    .to_vec();
+                (blob, tcal::RESTORE_UNPACK)
+            }
+        };
+        self.clock += ephemeral_fetch;
+
+        let archive =
+            open_sealed(&blob, password, &label).map_err(|e| NymManagerError::Storage(e.to_string()))?;
+        let anon_upper = archive
+            .get_layer("anonvm.disk")
+            .map_err(|e| NymManagerError::Storage(e.to_string()))?;
+        let comm_upper = archive
+            .get_layer("commvm.disk")
+            .map_err(|e| NymManagerError::Storage(e.to_string()))?;
+        let anonymizer_state = archive.get("anonymizer.state").map(|b| b.to_vec());
+        let browser = archive
+            .get("browser.state")
+            .and_then(BrowserState::from_bytes);
+
+        let anonymizer = self.build_anonymizer(kind);
+        let (id, mut breakdown) = self.instantiate(
+            name,
+            kind,
+            model,
+            anonymizer,
+            Some(RestoredState {
+                anon_upper,
+                comm_upper,
+                anonymizer_state,
+            }),
+            false, // Warm start: guards and consensus restored.
+        )?;
+        if let Some(b) = browser {
+            self.nyms.get_mut(&id).expect("just inserted").browser = Some(b);
+        }
+        self.nyms.get_mut(&id).expect("just inserted").nymbox.restored = true;
+        breakdown.ephemeral_fetch = ephemeral_fetch;
+        Ok((id, breakdown))
+    }
+
+    /// Destroys a nym: both VMs are securely wiped; "turning off a
+    /// pseudonym results in amnesia" (§3.4).
+    pub fn destroy_nym(&mut self, id: NymId) -> Result<(), NymManagerError> {
+        let entry = self.nyms.remove(&id).ok_or(NymManagerError::NoSuchNym(id))?;
+        self.hv.destroy_vm(entry.nymbox.anon_vm)?;
+        self.hv.destroy_vm(entry.nymbox.comm_vm)?;
+        Ok(())
+    }
+
+    /// Seconds to move `wire_bytes` across the access link right now
+    /// (serial ops: assumes the link is otherwise idle).
+    fn transfer_secs(&self, wire_bytes: f64) -> f64 {
+        wire_bytes / netcal::ACCESS_LINK_BPS + netcal::ACCESS_ONE_WAY.as_secs_f64()
+    }
+
+    /// Uncompressed per-record sizes of the most recent [`Self::save_nym`]:
+    /// `(anonvm_bytes, commvm_bytes, other_bytes)`.
+    pub fn last_save_breakdown(&self) -> Option<(usize, usize, usize)> {
+        self.last_save_breakdown
+    }
+
+    /// The browser byte-scale divisor this manager runs with.
+    pub fn browser_scale(&self) -> u64 {
+        self.browser_scale
+    }
+
+    /// The user's public IP (what incognito mode leaks).
+    pub fn public_ip(&self) -> Ip {
+        self.public_ip
+    }
+
+    /// The intranet host's address (the §5.1 "must not reach" target).
+    pub fn intranet_ip(&self) -> Ip {
+        self.lan_gateway_ip
+    }
+
+    /// Fabric node of the intranet host.
+    pub fn intranet_node(&self) -> NodeId {
+        self.intranet_node
+    }
+
+    /// Fabric node of the Internet.
+    pub fn internet_node(&self) -> NodeId {
+        self.internet_node
+    }
+
+    /// Fabric node of the hypervisor.
+    pub fn hypervisor_node(&self) -> NodeId {
+        self.hyp_node
+    }
+
+    /// The DNS database.
+    pub fn dns(&self) -> &DnsDb {
+        &self.dns
+    }
+
+    /// The relay directory (for guard analysis).
+    pub fn directory(&self) -> &TorDirectory {
+        &self.directory
+    }
+
+    /// Applies the §3.5 deterministic-guard extension to a nym: derive
+    /// guard choice from the storage location and password so the
+    /// ephemeral fetch nym converges on the same entry relays.
+    pub fn seed_guards_deterministically(
+        &mut self,
+        id: NymId,
+        storage_location: &str,
+        password: &str,
+    ) -> Result<TorState, NymManagerError> {
+        let state = TorState::deterministic(&self.directory, storage_location, password);
+        let entry = self.nyms.get_mut(&id).ok_or(NymManagerError::NoSuchNym(id))?;
+        entry.anonymizer.restore_state(&state.to_bytes());
+        Ok(state)
+    }
+}
+
+struct RestoredState {
+    anon_upper: nymix_fs::Layer,
+    comm_upper: nymix_fs::Layer,
+    anonymizer_state: Option<Vec<u8>>,
+}
+
+/// Deterministic semi-compressible filler (directory documents are
+/// text-ish: ~half repeated tokens, half digest material).
+fn deterministic_blob(tag: u64, len: usize) -> Vec<u8> {
+    let mut out = Vec::with_capacity(len);
+    let mut x = tag ^ 0x9e3779b97f4a7c15;
+    while out.len() < len {
+        x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        if x & 1 == 0 {
+            out.extend_from_slice(b"router relay-descriptor bandwidth=");
+        }
+        out.extend_from_slice(&x.to_le_bytes());
+    }
+    out.truncate(len);
+    out
+}
+
+fn storage_label(name: &str, dest: &StorageDest) -> String {
+    match dest {
+        StorageDest::Cloud { provider, account, .. } => {
+            format!("nym:{name}@{provider}/{account}")
+        }
+        StorageDest::Local => format!("nym:{name}@local"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn manager() -> NymManager {
+        NymManager::new(42, 64)
+    }
+
+    #[test]
+    fn fresh_nym_within_paper_band() {
+        let mut m = manager();
+        let (id, breakdown) =
+            m.create_nym("reader", AnonymizerKind::Tor, UsageModel::Ephemeral).unwrap();
+        let page = m.visit_site(id, Site::Twitter).unwrap();
+        let total = breakdown.total() + page;
+        // Abstract: "loads within 15 to 25 seconds".
+        assert!(
+            (15.0..25.0).contains(&total.as_secs_f64()),
+            "total {total}"
+        );
+    }
+
+    #[test]
+    fn nymbox_is_two_vms() {
+        let mut m = manager();
+        let (id, _) = m.create_nym("n", AnonymizerKind::Tor, UsageModel::Ephemeral).unwrap();
+        let nb = m.nymbox(id).unwrap();
+        assert_ne!(nb.anon_vm, nb.comm_vm);
+        assert_eq!(m.hypervisor().vm_count(), 2);
+        let anon = m.hypervisor().vm(nb.anon_vm).unwrap();
+        let comm = m.hypervisor().vm(nb.comm_vm).unwrap();
+        assert_eq!(anon.config().role, nymix_vmm::VmRole::Anon);
+        assert_eq!(comm.config().role, nymix_vmm::VmRole::Comm);
+    }
+
+    #[test]
+    fn destroy_wipes_and_frees() {
+        let mut m = manager();
+        let (id, _) = m.create_nym("n", AnonymizerKind::Tor, UsageModel::Ephemeral).unwrap();
+        m.visit_site(id, Site::Bbc).unwrap();
+        m.destroy_nym(id).unwrap();
+        assert_eq!(m.hypervisor().vm_count(), 0);
+        assert!(matches!(
+            m.visit_site(id, Site::Bbc),
+            Err(NymManagerError::NoSuchNym(_))
+        ));
+    }
+
+    #[test]
+    fn stain_does_not_survive_ephemeral_nym() {
+        let mut m = manager();
+        let (id, _) = m.create_nym("n", AnonymizerKind::Tor, UsageModel::Ephemeral).unwrap();
+        m.inject_stain(id, "evercookie-77").unwrap();
+        assert!(m.has_stain(id, "evercookie-77").unwrap());
+        m.destroy_nym(id).unwrap();
+        let (id2, _) = m.create_nym("n", AnonymizerKind::Tor, UsageModel::Ephemeral).unwrap();
+        assert!(!m.has_stain(id2, "evercookie-77").unwrap());
+    }
+
+    #[test]
+    fn save_restore_roundtrip_via_cloud() {
+        let mut m = manager();
+        m.register_cloud("dropbox", "anon-4711", "tok");
+        let (id, _) = m
+            .create_nym("alice", AnonymizerKind::Tor, UsageModel::Persistent)
+            .unwrap();
+        m.visit_site(id, Site::Twitter).unwrap();
+        let dest = StorageDest::Cloud {
+            provider: "dropbox".into(),
+            account: "anon-4711".into(),
+            credential: "tok".into(),
+        };
+        let (size, _dur) = m.save_nym(id, "pw", &dest).unwrap();
+        assert!(size > 0);
+        m.destroy_nym(id).unwrap();
+
+        let (id2, breakdown) = m
+            .restore_nym("alice", AnonymizerKind::Tor, UsageModel::Persistent, "pw", &dest)
+            .unwrap();
+        assert!(breakdown.ephemeral_fetch > SimDuration::ZERO);
+        assert!(m.nymbox(id2).unwrap().restored);
+        // Credentials survived: the browser still knows twitter.com.
+        let vm = m.hypervisor().vm(m.nymbox(id2).unwrap().anon_vm).unwrap();
+        assert!(vm
+            .disk()
+            .exists(&nymix_fs::Path::new("/home/user/.config/chromium/logins/twitter.com")));
+    }
+
+    #[test]
+    fn wrong_password_fails_restore() {
+        let mut m = manager();
+        let (id, _) = m
+            .create_nym("bob", AnonymizerKind::Tor, UsageModel::Persistent)
+            .unwrap();
+        m.save_nym(id, "right", &StorageDest::Local).unwrap();
+        m.destroy_nym(id).unwrap();
+        assert!(matches!(
+            m.restore_nym("bob", AnonymizerKind::Tor, UsageModel::Persistent, "wrong", &StorageDest::Local),
+            Err(NymManagerError::Storage(_))
+        ));
+    }
+
+    #[test]
+    fn local_restore_skips_ephemeral_nym() {
+        let mut m = manager();
+        let (id, _) = m
+            .create_nym("carol", AnonymizerKind::Tor, UsageModel::PreConfigured)
+            .unwrap();
+        m.save_nym(id, "pw", &StorageDest::Local).unwrap();
+        m.destroy_nym(id).unwrap();
+        let (_, breakdown) = m
+            .restore_nym("carol", AnonymizerKind::Tor, UsageModel::PreConfigured, "pw", &StorageDest::Local)
+            .unwrap();
+        assert!(breakdown.ephemeral_fetch < SimDuration::from_secs(3));
+        // Warm anonymizer start beats a cold one.
+        let (_, fresh) = m
+            .create_nym("fresh", AnonymizerKind::Tor, UsageModel::Ephemeral)
+            .unwrap();
+        assert!(breakdown.start_anonymizer < fresh.start_anonymizer);
+    }
+
+    #[test]
+    fn cloud_provider_never_sees_user_ip() {
+        let mut m = manager();
+        m.register_cloud("drive", "acct", "tok");
+        let (id, _) = m
+            .create_nym("dave", AnonymizerKind::Tor, UsageModel::Persistent)
+            .unwrap();
+        let dest = StorageDest::Cloud {
+            provider: "drive".into(),
+            account: "acct".into(),
+            credential: "tok".into(),
+        };
+        m.save_nym(id, "pw", &dest).unwrap();
+        let user_ip = m.public_ip();
+        let provider = m.cloud_provider("drive").unwrap();
+        for entry in provider.access_log() {
+            assert_ne!(entry.observed_ip, user_ip, "provider saw the user");
+        }
+    }
+
+    #[test]
+    fn incognito_mode_leaks_ip_to_provider() {
+        // The documented trade-off: incognito's exit is the user.
+        let mut m = manager();
+        m.register_cloud("drive", "acct", "tok");
+        let (id, _) = m
+            .create_nym("erin", AnonymizerKind::Incognito, UsageModel::Persistent)
+            .unwrap();
+        let dest = StorageDest::Cloud {
+            provider: "drive".into(),
+            account: "acct".into(),
+            credential: "tok".into(),
+        };
+        m.save_nym(id, "pw", &dest).unwrap();
+        let user_ip = m.public_ip();
+        assert!(m
+            .cloud_provider("drive")
+            .unwrap()
+            .access_log()
+            .iter()
+            .any(|e| e.observed_ip == user_ip));
+    }
+
+    #[test]
+    fn persistent_nym_grows_across_cycles() {
+        let mut m = manager();
+        let (mut id, _) = m
+            .create_nym("grower", AnonymizerKind::Tor, UsageModel::Persistent)
+            .unwrap();
+        let mut sizes = Vec::new();
+        for _ in 0..4 {
+            m.visit_site(id, Site::Facebook).unwrap();
+            let (size, _) = m.save_nym(id, "pw", &StorageDest::Local).unwrap();
+            sizes.push(size);
+            m.destroy_nym(id).unwrap();
+            let (nid, _) = m
+                .restore_nym("grower", AnonymizerKind::Tor, UsageModel::Persistent, "pw", &StorageDest::Local)
+                .unwrap();
+            id = nid;
+        }
+        assert!(
+            sizes.windows(2).all(|w| w[1] > w[0]),
+            "persistent nym should grow: {sizes:?}"
+        );
+    }
+
+    #[test]
+    fn deterministic_guard_extension() {
+        let mut m = manager();
+        let (a, _) = m.create_nym("x", AnonymizerKind::Tor, UsageModel::Persistent).unwrap();
+        let s1 = m
+            .seed_guards_deterministically(a, "dropbox://nyms/x", "pw")
+            .unwrap();
+        let (b, _) = m.create_nym("y", AnonymizerKind::Tor, UsageModel::Ephemeral).unwrap();
+        let s2 = m
+            .seed_guards_deterministically(b, "dropbox://nyms/x", "pw")
+            .unwrap();
+        assert_eq!(s1, s2, "same location+password must give same guards");
+    }
+
+    #[test]
+    fn admission_eventually_refuses() {
+        let mut m = manager();
+        let mut created = 0;
+        loop {
+            match m.create_nym("n", AnonymizerKind::Incognito, UsageModel::Ephemeral) {
+                Ok(_) => created += 1,
+                Err(NymManagerError::Hypervisor(HypervisorError::InsufficientMemory {
+                    ..
+                })) => break,
+                Err(e) => panic!("unexpected: {e}"),
+            }
+            assert!(created < 64);
+        }
+        // 16 GiB host, ~706 MiB/nymbox: low twenties.
+        assert!((20..24).contains(&created), "created {created}");
+    }
+}

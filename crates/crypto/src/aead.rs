@@ -1,0 +1,185 @@
+//! RFC 8439 ChaCha20-Poly1305 authenticated encryption.
+//!
+//! This is the construction Nymix uses to seal quasi-persistent nym
+//! archives before they leave the machine (§3.5): the cloud provider sees
+//! only ciphertext, and tampering (e.g. a provider splicing one nym's
+//! state into another) is detected on restore.
+
+use crate::chacha20::{self, ChaCha20, KEY_LEN, NONCE_LEN};
+use crate::ct;
+use crate::poly1305::{poly1305_tag, TAG_LEN};
+
+/// Error returned when decryption fails authentication.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AeadError {
+    /// The Poly1305 tag did not verify; the ciphertext or associated data
+    /// was modified, or the wrong key/nonce was used.
+    TagMismatch,
+    /// The ciphertext is shorter than a tag.
+    Truncated,
+}
+
+impl core::fmt::Display for AeadError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            AeadError::TagMismatch => write!(f, "authentication tag mismatch"),
+            AeadError::Truncated => write!(f, "ciphertext shorter than tag"),
+        }
+    }
+}
+
+impl std::error::Error for AeadError {}
+
+fn poly_key(key: &[u8; KEY_LEN], nonce: &[u8; NONCE_LEN]) -> [u8; 32] {
+    let block = chacha20::block(key, 0, nonce);
+    let mut out = [0u8; 32];
+    out.copy_from_slice(&block[..32]);
+    out
+}
+
+fn mac_data(otk: &[u8; 32], aad: &[u8], ciphertext: &[u8]) -> [u8; TAG_LEN] {
+    let mut mac_input = Vec::with_capacity(aad.len() + ciphertext.len() + 32);
+    mac_input.extend_from_slice(aad);
+    mac_input.extend_from_slice(&[0u8; 16][..(16 - aad.len() % 16) % 16]);
+    mac_input.extend_from_slice(ciphertext);
+    mac_input.extend_from_slice(&[0u8; 16][..(16 - ciphertext.len() % 16) % 16]);
+    mac_input.extend_from_slice(&(aad.len() as u64).to_le_bytes());
+    mac_input.extend_from_slice(&(ciphertext.len() as u64).to_le_bytes());
+    poly1305_tag(otk, &mac_input)
+}
+
+/// Encrypts `plaintext` with associated data `aad`; returns
+/// `ciphertext || tag`.
+///
+/// # Examples
+///
+/// ```
+/// use nymix_crypto::{seal, open};
+///
+/// let key = [0u8; 32];
+/// let nonce = [0u8; 12];
+/// let boxed = seal(&key, &nonce, b"nym:alice", b"secret state");
+/// let back = open(&key, &nonce, b"nym:alice", &boxed).unwrap();
+/// assert_eq!(back, b"secret state");
+/// ```
+pub fn seal(key: &[u8; KEY_LEN], nonce: &[u8; NONCE_LEN], aad: &[u8], plaintext: &[u8]) -> Vec<u8> {
+    let mut out = plaintext.to_vec();
+    ChaCha20::new(key, nonce, 1).apply(&mut out);
+    let otk = poly_key(key, nonce);
+    let tag = mac_data(&otk, aad, &out);
+    out.extend_from_slice(&tag);
+    out
+}
+
+/// Decrypts `boxed` (`ciphertext || tag`), verifying `aad`.
+///
+/// # Errors
+///
+/// Returns [`AeadError::Truncated`] if `boxed` is shorter than a tag and
+/// [`AeadError::TagMismatch`] if authentication fails.
+pub fn open(
+    key: &[u8; KEY_LEN],
+    nonce: &[u8; NONCE_LEN],
+    aad: &[u8],
+    boxed: &[u8],
+) -> Result<Vec<u8>, AeadError> {
+    if boxed.len() < TAG_LEN {
+        return Err(AeadError::Truncated);
+    }
+    let (ciphertext, tag) = boxed.split_at(boxed.len() - TAG_LEN);
+    let otk = poly_key(key, nonce);
+    let want = mac_data(&otk, aad, ciphertext);
+    if !ct::eq(&want, tag) {
+        return Err(AeadError::TagMismatch);
+    }
+    let mut out = ciphertext.to_vec();
+    ChaCha20::new(key, nonce, 1).apply(&mut out);
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hex(bytes: &[u8]) -> String {
+        bytes.iter().map(|b| format!("{b:02x}")).collect()
+    }
+
+    #[test]
+    fn rfc8439_aead_vector() {
+        // RFC 8439 §2.8.2.
+        let mut key = [0u8; 32];
+        for (i, b) in key.iter_mut().enumerate() {
+            *b = 0x80 + i as u8;
+        }
+        let nonce: [u8; 12] = [0x07, 0x00, 0x00, 0x00, 0x40, 0x41, 0x42, 0x43, 0x44, 0x45, 0x46, 0x47];
+        let aad: [u8; 12] = [0x50, 0x51, 0x52, 0x53, 0xc0, 0xc1, 0xc2, 0xc3, 0xc4, 0xc5, 0xc6, 0xc7];
+        let plaintext = b"Ladies and Gentlemen of the class of '99: If I could offer you \
+only one tip for the future, sunscreen would be it.";
+        let boxed = seal(&key, &nonce, &aad, plaintext);
+        let (ct_part, tag) = boxed.split_at(boxed.len() - 16);
+        assert_eq!(
+            hex(&ct_part[..16]),
+            "d31a8d34648e60db7b86afbc53ef7ec2",
+            "first ciphertext block"
+        );
+        assert_eq!(hex(tag), "1ae10b594f09e26a7e902ecbd0600691");
+        let back = open(&key, &nonce, &aad, &boxed).unwrap();
+        assert_eq!(back, plaintext);
+    }
+
+    #[test]
+    fn tamper_detected() {
+        let key = [1u8; 32];
+        let nonce = [2u8; 12];
+        let mut boxed = seal(&key, &nonce, b"", b"hello world");
+        boxed[0] ^= 1;
+        assert_eq!(open(&key, &nonce, b"", &boxed), Err(AeadError::TagMismatch));
+    }
+
+    #[test]
+    fn aad_mismatch_detected() {
+        let key = [1u8; 32];
+        let nonce = [2u8; 12];
+        let boxed = seal(&key, &nonce, b"nym:a", b"hello");
+        assert_eq!(
+            open(&key, &nonce, b"nym:b", &boxed),
+            Err(AeadError::TagMismatch)
+        );
+    }
+
+    #[test]
+    fn wrong_key_detected() {
+        let nonce = [2u8; 12];
+        let boxed = seal(&[1u8; 32], &nonce, b"", b"hello");
+        assert_eq!(
+            open(&[3u8; 32], &nonce, b"", &boxed),
+            Err(AeadError::TagMismatch)
+        );
+    }
+
+    #[test]
+    fn truncated_rejected() {
+        assert_eq!(open(&[0u8; 32], &[0u8; 12], b"", &[1, 2, 3]), Err(AeadError::Truncated));
+    }
+
+    #[test]
+    fn empty_plaintext_roundtrip() {
+        let key = [9u8; 32];
+        let nonce = [8u8; 12];
+        let boxed = seal(&key, &nonce, b"aad", b"");
+        assert_eq!(boxed.len(), 16);
+        assert_eq!(open(&key, &nonce, b"aad", &boxed).unwrap(), b"");
+    }
+
+    #[test]
+    fn various_lengths_roundtrip() {
+        let key = [7u8; 32];
+        let nonce = [6u8; 12];
+        for len in [1usize, 15, 16, 17, 63, 64, 65, 1000] {
+            let msg = vec![0xabu8; len];
+            let boxed = seal(&key, &nonce, b"x", &msg);
+            assert_eq!(open(&key, &nonce, b"x", &boxed).unwrap(), msg, "len {len}");
+        }
+    }
+}

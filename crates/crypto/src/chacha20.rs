@@ -1,0 +1,226 @@
+//! RFC 8439 ChaCha20 stream cipher.
+//!
+//! ChaCha20 serves two roles in Nymix: it is the bulk cipher of the
+//! [`crate::aead`] construction that seals quasi-persistent nym state, and
+//! it is the pseudo-random generator that expands pairwise DC-net seeds
+//! into transmission pads for the Dissent anonymizer.
+
+/// Bytes in a ChaCha20 key.
+pub const KEY_LEN: usize = 32;
+
+/// Bytes in a ChaCha20 nonce.
+pub const NONCE_LEN: usize = 12;
+
+/// Bytes produced per block invocation.
+pub const BLOCK_LEN: usize = 64;
+
+const SIGMA: [u32; 4] = [0x61707865, 0x3320646e, 0x79622d32, 0x6b206574];
+
+#[inline]
+fn quarter_round(state: &mut [u32; 16], a: usize, b: usize, c: usize, d: usize) {
+    state[a] = state[a].wrapping_add(state[b]);
+    state[d] = (state[d] ^ state[a]).rotate_left(16);
+    state[c] = state[c].wrapping_add(state[d]);
+    state[b] = (state[b] ^ state[c]).rotate_left(12);
+    state[a] = state[a].wrapping_add(state[b]);
+    state[d] = (state[d] ^ state[a]).rotate_left(8);
+    state[c] = state[c].wrapping_add(state[d]);
+    state[b] = (state[b] ^ state[c]).rotate_left(7);
+}
+
+/// Computes one 64-byte ChaCha20 keystream block.
+pub fn block(key: &[u8; KEY_LEN], counter: u32, nonce: &[u8; NONCE_LEN]) -> [u8; BLOCK_LEN] {
+    let mut state = [0u32; 16];
+    state[..4].copy_from_slice(&SIGMA);
+    for i in 0..8 {
+        state[4 + i] = u32::from_le_bytes([
+            key[i * 4],
+            key[i * 4 + 1],
+            key[i * 4 + 2],
+            key[i * 4 + 3],
+        ]);
+    }
+    state[12] = counter;
+    for i in 0..3 {
+        state[13 + i] = u32::from_le_bytes([
+            nonce[i * 4],
+            nonce[i * 4 + 1],
+            nonce[i * 4 + 2],
+            nonce[i * 4 + 3],
+        ]);
+    }
+    let mut working = state;
+    for _ in 0..10 {
+        quarter_round(&mut working, 0, 4, 8, 12);
+        quarter_round(&mut working, 1, 5, 9, 13);
+        quarter_round(&mut working, 2, 6, 10, 14);
+        quarter_round(&mut working, 3, 7, 11, 15);
+        quarter_round(&mut working, 0, 5, 10, 15);
+        quarter_round(&mut working, 1, 6, 11, 12);
+        quarter_round(&mut working, 2, 7, 8, 13);
+        quarter_round(&mut working, 3, 4, 9, 14);
+    }
+    let mut out = [0u8; BLOCK_LEN];
+    for i in 0..16 {
+        let word = working[i].wrapping_add(state[i]);
+        out[i * 4..i * 4 + 4].copy_from_slice(&word.to_le_bytes());
+    }
+    out
+}
+
+/// Streaming ChaCha20 keystream generator.
+///
+/// # Examples
+///
+/// ```
+/// use nymix_crypto::ChaCha20;
+///
+/// let key = [7u8; 32];
+/// let nonce = [1u8; 12];
+/// let mut msg = *b"nymbox state";
+/// ChaCha20::new(&key, &nonce, 1).apply(&mut msg);
+/// assert_ne!(&msg, b"nymbox state");
+/// ChaCha20::new(&key, &nonce, 1).apply(&mut msg);
+/// assert_eq!(&msg, b"nymbox state");
+/// ```
+pub struct ChaCha20 {
+    key: [u8; KEY_LEN],
+    nonce: [u8; NONCE_LEN],
+    counter: u32,
+    buf: [u8; BLOCK_LEN],
+    buf_pos: usize,
+}
+
+impl ChaCha20 {
+    /// Creates a cipher positioned at `initial_counter`.
+    pub fn new(key: &[u8; KEY_LEN], nonce: &[u8; NONCE_LEN], initial_counter: u32) -> Self {
+        Self {
+            key: *key,
+            nonce: *nonce,
+            counter: initial_counter,
+            buf: [0u8; BLOCK_LEN],
+            buf_pos: BLOCK_LEN,
+        }
+    }
+
+    /// XORs the keystream into `data` in place (encrypts or decrypts).
+    pub fn apply(&mut self, data: &mut [u8]) {
+        for byte in data {
+            if self.buf_pos == BLOCK_LEN {
+                self.buf = block(&self.key, self.counter, &self.nonce);
+                self.counter = self.counter.wrapping_add(1);
+                self.buf_pos = 0;
+            }
+            *byte ^= self.buf[self.buf_pos];
+            self.buf_pos += 1;
+        }
+    }
+
+    /// Produces `len` bytes of raw keystream.
+    ///
+    /// Used as a deterministic PRG (e.g. DC-net pads): the keystream of a
+    /// shared secret key is the pad both DC-net peers compute.
+    pub fn keystream(&mut self, len: usize) -> Vec<u8> {
+        let mut out = vec![0u8; len];
+        self.apply(&mut out);
+        out
+    }
+}
+
+/// Encrypts (or decrypts) `data` in place with the RFC 8439 convention of
+/// starting the keystream at block counter 1 (block 0 is reserved for the
+/// Poly1305 one-time key in the AEAD construction).
+pub fn chacha20_xor(key: &[u8; KEY_LEN], nonce: &[u8; NONCE_LEN], data: &mut [u8]) {
+    ChaCha20::new(key, nonce, 1).apply(data);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hex(bytes: &[u8]) -> String {
+        bytes.iter().map(|b| format!("{b:02x}")).collect()
+    }
+
+    fn test_key() -> [u8; 32] {
+        let mut k = [0u8; 32];
+        for (i, b) in k.iter_mut().enumerate() {
+            *b = i as u8;
+        }
+        k
+    }
+
+    #[test]
+    fn rfc8439_block_vector() {
+        // RFC 8439 §2.3.2.
+        let key = test_key();
+        let nonce = [
+            0x00, 0x00, 0x00, 0x09, 0x00, 0x00, 0x00, 0x4a, 0x00, 0x00, 0x00, 0x00,
+        ];
+        let out = block(&key, 1, &nonce);
+        assert_eq!(
+            hex(&out),
+            "10f1e7e4d13b5915500fdd1fa32071c4c7d1f4c733c068030422aa9ac3d46c4e\
+             d2826446079faa0914c2d705d98b02a2b5129cd1de164eb9cbd083e8a2503c4e"
+        );
+    }
+
+    #[test]
+    fn rfc8439_encrypt_vector() {
+        // RFC 8439 §2.4.2 ("sunscreen" plaintext).
+        let key = test_key();
+        let nonce = [
+            0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x4a, 0x00, 0x00, 0x00, 0x00,
+        ];
+        let mut data = *b"Ladies and Gentlemen of the class of '99: If I could offer you \
+only one tip for the future, sunscreen would be it.";
+        chacha20_xor(&key, &nonce, &mut data);
+        assert_eq!(
+            hex(&data),
+            "6e2e359a2568f98041ba0728dd0d6981e97e7aec1d4360c20a27afccfd9fae0b\
+             f91b65c5524733ab8f593dabcd62b3571639d624e65152ab8f530c359f0861d8\
+             07ca0dbf500d6a6156a38e088a22b65e52bc514d16ccf806818ce91ab7793736\
+             5af90bbf74a35be6b40b8eedf2785e42874d"
+        );
+    }
+
+    #[test]
+    fn streaming_matches_block_boundaries() {
+        let key = test_key();
+        let nonce = [3u8; 12];
+        let mut a = vec![0u8; 200];
+        ChaCha20::new(&key, &nonce, 0).apply(&mut a);
+        // Apply in uneven chunks; result must be identical.
+        let mut b = vec![0u8; 200];
+        let mut c = ChaCha20::new(&key, &nonce, 0);
+        let mut off = 0;
+        for chunk in [1usize, 63, 64, 65, 7] {
+            c.apply(&mut b[off..off + chunk]);
+            off += chunk;
+        }
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn keystream_is_deterministic() {
+        let key = [9u8; 32];
+        let nonce = [4u8; 12];
+        let k1 = ChaCha20::new(&key, &nonce, 0).keystream(100);
+        let k2 = ChaCha20::new(&key, &nonce, 0).keystream(100);
+        assert_eq!(k1, k2);
+        let k3 = ChaCha20::new(&key, &nonce, 1).keystream(100);
+        assert_ne!(k1, k3);
+    }
+
+    #[test]
+    fn roundtrip_inverts() {
+        let key = [0x42u8; 32];
+        let nonce = [0x24u8; 12];
+        let msg: Vec<u8> = (0..1000u32).map(|i| (i % 251) as u8).collect();
+        let mut work = msg.clone();
+        chacha20_xor(&key, &nonce, &mut work);
+        assert_ne!(work, msg);
+        chacha20_xor(&key, &nonce, &mut work);
+        assert_eq!(work, msg);
+    }
+}

@@ -1,0 +1,41 @@
+//! Cryptographic primitives for Nymix, implemented from scratch.
+//!
+//! Nymix encrypts quasi-persistent nym state before shipping it to cloud
+//! storage (§3.5 of the paper), verifies the read-only host partition with a
+//! Merkle tree (§3.4), and builds DC-net pads for the Dissent anonymizer
+//! (§3.3/§4.1). This crate provides the primitives those paths need:
+//!
+//! * [`sha256`](mod@crate::sha256) — FIPS 180-4 SHA-256.
+//! * [`hmac`] — RFC 2104 HMAC-SHA256.
+//! * [`hkdf`] — RFC 5869 HKDF-SHA256 extract/expand.
+//! * [`pbkdf2`] — RFC 8018 PBKDF2-HMAC-SHA256 password KDF.
+//! * [`chacha20`] — RFC 8439 ChaCha20 stream cipher.
+//! * [`poly1305`] — RFC 8439 Poly1305 one-time authenticator.
+//! * [`aead`] — RFC 8439 ChaCha20-Poly1305 AEAD.
+//! * [`merkle`] — binary Merkle hash tree over disk blocks.
+//! * [`ct`] — constant-time comparison helpers.
+//!
+//! All implementations are validated against published test vectors in
+//! their module tests. The crate has no dependencies and performs no I/O.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod aead;
+pub mod chacha20;
+pub mod ct;
+pub mod hkdf;
+pub mod hmac;
+pub mod merkle;
+pub mod pbkdf2;
+pub mod poly1305;
+pub mod sha256;
+
+pub use aead::{open, seal, AeadError};
+pub use chacha20::ChaCha20;
+pub use hkdf::{hkdf_expand, hkdf_extract};
+pub use hmac::hmac_sha256;
+pub use merkle::MerkleTree;
+pub use pbkdf2::pbkdf2_hmac_sha256;
+pub use poly1305::poly1305_tag;
+pub use sha256::{sha256, Sha256};

@@ -1,0 +1,250 @@
+//! Binary Merkle hash tree over fixed-size disk blocks.
+//!
+//! §3.4 of the paper: Nymix must guarantee that the read-only host OS
+//! partition shared by every AnonVM/CommVM was never modified — a single
+//! flipped block would make every subsequently created VM trackable. The
+//! proposed (there unimplemented) mechanism checks "all disk blocks loaded
+//! from the host OS partition ... against a well-known Merkle tree as they
+//! are accessed, and safely shut\[s\] down ... if a modified block is
+//! detected". This module implements that tree; `nymix-fs` wires it into
+//! the base-image read path.
+
+use crate::sha256::{Sha256, DIGEST_LEN};
+
+/// A 32-byte node hash.
+pub type Hash = [u8; DIGEST_LEN];
+
+/// Domain-separation prefixes so a leaf can never be confused with an
+/// interior node (second-preimage hardening).
+const LEAF_TAG: u8 = 0x00;
+const NODE_TAG: u8 = 0x01;
+
+fn leaf_hash(block: &[u8]) -> Hash {
+    let mut h = Sha256::new();
+    h.update(&[LEAF_TAG]);
+    h.update(block);
+    h.finalize()
+}
+
+fn node_hash(left: &Hash, right: &Hash) -> Hash {
+    let mut h = Sha256::new();
+    h.update(&[NODE_TAG]);
+    h.update(left);
+    h.update(right);
+    h.finalize()
+}
+
+/// A Merkle tree committed over an ordered sequence of blocks.
+///
+/// Levels are stored bottom-up; an odd node at any level is paired with
+/// itself (Bitcoin-style duplication is avoided by instead promoting the
+/// node unchanged, which cannot introduce ambiguity because the block
+/// count is part of the committed header).
+#[derive(Debug, Clone)]
+pub struct MerkleTree {
+    levels: Vec<Vec<Hash>>,
+    block_count: usize,
+}
+
+impl MerkleTree {
+    /// Builds a tree over `blocks`.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use nymix_crypto::MerkleTree;
+    ///
+    /// let blocks: Vec<Vec<u8>> = (0..4u8).map(|i| vec![i; 16]).collect();
+    /// let tree = MerkleTree::build(blocks.iter().map(|b| b.as_slice()));
+    /// let proof = tree.prove(2).unwrap();
+    /// assert!(MerkleTree::verify(&tree.root(), 2, &blocks[2], &proof, 4));
+    /// ```
+    pub fn build<'a, I>(blocks: I) -> Self
+    where
+        I: IntoIterator<Item = &'a [u8]>,
+    {
+        let leaves: Vec<Hash> = blocks.into_iter().map(leaf_hash).collect();
+        let block_count = leaves.len();
+        let mut levels = vec![leaves];
+        while levels.last().map(|l| l.len()).unwrap_or(0) > 1 {
+            let prev = levels.last().expect("at least one level exists");
+            let mut next = Vec::with_capacity(prev.len().div_ceil(2));
+            for pair in prev.chunks(2) {
+                if pair.len() == 2 {
+                    next.push(node_hash(&pair[0], &pair[1]));
+                } else {
+                    next.push(pair[0]); // Promote odd node unchanged.
+                }
+            }
+            levels.push(next);
+        }
+        Self { levels, block_count }
+    }
+
+    /// Number of committed blocks.
+    pub fn block_count(&self) -> usize {
+        self.block_count
+    }
+
+    /// The root commitment. An empty tree commits to the hash of the
+    /// empty leaf set (all-zero is avoided to keep roots unambiguous).
+    pub fn root(&self) -> Hash {
+        match self.levels.last() {
+            Some(level) if !level.is_empty() => level[0],
+            _ => leaf_hash(b"nymix:empty-merkle-tree"),
+        }
+    }
+
+    /// Produces the sibling path proving block `index`.
+    ///
+    /// Each element is `(sibling_hash, sibling_is_left)`.
+    pub fn prove(&self, index: usize) -> Option<Vec<(Hash, bool)>> {
+        if index >= self.block_count {
+            return None;
+        }
+        let mut proof = Vec::new();
+        let mut pos = index;
+        for level in &self.levels[..self.levels.len().saturating_sub(1)] {
+            let sibling = pos ^ 1;
+            if sibling < level.len() {
+                proof.push((level[sibling], sibling < pos));
+            }
+            pos /= 2;
+        }
+        Some(proof)
+    }
+
+    /// Verifies that `block` is the `index`-th of `block_count` blocks
+    /// under `root`.
+    pub fn verify(
+        root: &Hash,
+        index: usize,
+        block: &[u8],
+        proof: &[(Hash, bool)],
+        block_count: usize,
+    ) -> bool {
+        if index >= block_count {
+            return false;
+        }
+        let mut acc = leaf_hash(block);
+        let mut pos = index;
+        let mut width = block_count;
+        let mut proof_iter = proof.iter();
+        while width > 1 {
+            let has_sibling = (pos ^ 1) < width;
+            if has_sibling {
+                let Some((sibling, sibling_is_left)) = proof_iter.next() else {
+                    return false;
+                };
+                // The proof's claimed orientation must match the index.
+                if *sibling_is_left != (pos % 2 == 1) {
+                    return false;
+                }
+                acc = if *sibling_is_left {
+                    node_hash(sibling, &acc)
+                } else {
+                    node_hash(&acc, sibling)
+                };
+            }
+            pos /= 2;
+            width = width.div_ceil(2);
+        }
+        proof_iter.next().is_none() && crate::ct::eq(&acc, root)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn blocks(n: usize) -> Vec<Vec<u8>> {
+        (0..n).map(|i| format!("block-{i}").into_bytes()).collect()
+    }
+
+    fn build(n: usize) -> (MerkleTree, Vec<Vec<u8>>) {
+        let b = blocks(n);
+        let t = MerkleTree::build(b.iter().map(|x| x.as_slice()));
+        (t, b)
+    }
+
+    #[test]
+    fn all_proofs_verify_for_various_sizes() {
+        for n in [1usize, 2, 3, 4, 5, 7, 8, 9, 16, 31] {
+            let (tree, data) = build(n);
+            for i in 0..n {
+                let proof = tree.prove(i).expect("in range");
+                assert!(
+                    MerkleTree::verify(&tree.root(), i, &data[i], &proof, n),
+                    "n={n} i={i}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn modified_block_rejected() {
+        let (tree, data) = build(8);
+        let proof = tree.prove(3).unwrap();
+        let mut tampered = data[3].clone();
+        tampered[0] ^= 0x80;
+        assert!(!MerkleTree::verify(&tree.root(), 3, &tampered, &proof, 8));
+    }
+
+    #[test]
+    fn wrong_index_rejected() {
+        let (tree, data) = build(8);
+        let proof = tree.prove(3).unwrap();
+        assert!(!MerkleTree::verify(&tree.root(), 4, &data[3], &proof, 8));
+    }
+
+    #[test]
+    fn truncated_proof_rejected() {
+        let (tree, data) = build(8);
+        let mut proof = tree.prove(3).unwrap();
+        proof.pop();
+        assert!(!MerkleTree::verify(&tree.root(), 3, &data[3], &proof, 8));
+    }
+
+    #[test]
+    fn extended_proof_rejected() {
+        let (tree, data) = build(8);
+        let mut proof = tree.prove(3).unwrap();
+        proof.push(([0u8; 32], false));
+        assert!(!MerkleTree::verify(&tree.root(), 3, &data[3], &proof, 8));
+    }
+
+    #[test]
+    fn leaf_cannot_impersonate_node() {
+        // Hash of (left||right) as a *leaf* must not equal the parent node.
+        let (tree, data) = build(2);
+        let l = leaf_hash(&data[0]);
+        let r = leaf_hash(&data[1]);
+        let mut fake = Vec::new();
+        fake.extend_from_slice(&l);
+        fake.extend_from_slice(&r);
+        assert_ne!(leaf_hash(&fake), tree.root());
+    }
+
+    #[test]
+    fn out_of_range_proof_is_none() {
+        let (tree, _) = build(4);
+        assert!(tree.prove(4).is_none());
+    }
+
+    #[test]
+    fn empty_tree_has_stable_root() {
+        let t1 = MerkleTree::build(core::iter::empty());
+        let t2 = MerkleTree::build(core::iter::empty());
+        assert_eq!(t1.root(), t2.root());
+        assert_eq!(t1.block_count(), 0);
+    }
+
+    #[test]
+    fn roots_differ_on_any_block_change() {
+        let (t1, _) = build(5);
+        let mut data = blocks(5);
+        data[4][0] ^= 1;
+        let t2 = MerkleTree::build(data.iter().map(|x| x.as_slice()));
+        assert_ne!(t1.root(), t2.root());
+    }
+}

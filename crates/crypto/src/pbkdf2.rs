@@ -1,0 +1,109 @@
+//! RFC 8018 PBKDF2-HMAC-SHA256.
+//!
+//! Nymix derives the archive master secret from the user's nym password
+//! and the nym's storage label (§3.5 workflow: "a password to encrypt it
+//! with"). PBKDF2 slows down offline guessing if a cloud provider or a
+//! confiscating adversary obtains the encrypted archive.
+
+use crate::hmac::hmac_sha256;
+use crate::sha256::DIGEST_LEN;
+
+/// Derives `len` bytes from `password` and `salt` with `iterations`
+/// rounds of PBKDF2-HMAC-SHA256.
+///
+/// # Panics
+///
+/// Panics if `iterations` is zero.
+///
+/// # Examples
+///
+/// ```
+/// let key = nymix_crypto::pbkdf2_hmac_sha256(b"hunter2", b"nym:alice", 1000, 32);
+/// assert_eq!(key.len(), 32);
+/// ```
+pub fn pbkdf2_hmac_sha256(password: &[u8], salt: &[u8], iterations: u32, len: usize) -> Vec<u8> {
+    assert!(iterations > 0, "PBKDF2 requires at least one iteration");
+    let mut out = Vec::with_capacity(len);
+    let mut block_index = 1u32;
+    while out.len() < len {
+        let mut msg = salt.to_vec();
+        msg.extend_from_slice(&block_index.to_be_bytes());
+        let mut u = hmac_sha256(password, &msg);
+        let mut acc = u;
+        for _ in 1..iterations {
+            u = hmac_sha256(password, &u);
+            for i in 0..DIGEST_LEN {
+                acc[i] ^= u[i];
+            }
+        }
+        let take = (len - out.len()).min(DIGEST_LEN);
+        out.extend_from_slice(&acc[..take]);
+        block_index = block_index.wrapping_add(1);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hex(bytes: &[u8]) -> String {
+        bytes.iter().map(|b| format!("{b:02x}")).collect()
+    }
+
+    #[test]
+    fn known_vector_one_iteration() {
+        // Widely published PBKDF2-HMAC-SHA256 vector.
+        let dk = pbkdf2_hmac_sha256(b"password", b"salt", 1, 32);
+        assert_eq!(
+            hex(&dk),
+            "120fb6cffcf8b32c43e7225256c4f837a86548c92ccc35480805987cb70be17b"
+        );
+    }
+
+    #[test]
+    fn known_vector_two_iterations() {
+        let dk = pbkdf2_hmac_sha256(b"password", b"salt", 2, 32);
+        assert_eq!(
+            hex(&dk),
+            "ae4d0c95af6b46d32d0adff928f06dd02a303f8ef3c251dfd6e2d85a95474c43"
+        );
+    }
+
+    #[test]
+    fn known_vector_4096_iterations() {
+        let dk = pbkdf2_hmac_sha256(b"password", b"salt", 4096, 32);
+        assert_eq!(
+            hex(&dk),
+            "c5e478d59288c841aa530db6845c4c8d962893a001ce4e11a4963873aa98134a"
+        );
+    }
+
+    #[test]
+    fn longer_output_spans_blocks() {
+        let dk = pbkdf2_hmac_sha256(
+            b"passwordPASSWORDpassword",
+            b"saltSALTsaltSALTsaltSALTsaltSALTsalt",
+            4096,
+            40,
+        );
+        assert_eq!(
+            hex(&dk),
+            "348c89dbcbd32b2f32d814b8116e84cf2b17347ebc1800181c4e2a1fb8dd53e1\
+             c635518c7dac47e9"
+        );
+    }
+
+    #[test]
+    fn different_salts_differ() {
+        let a = pbkdf2_hmac_sha256(b"pw", b"nym:a", 10, 32);
+        let b = pbkdf2_hmac_sha256(b"pw", b"nym:b", 10, 32);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one iteration")]
+    fn zero_iterations_rejected() {
+        let _ = pbkdf2_hmac_sha256(b"pw", b"s", 0, 32);
+    }
+}

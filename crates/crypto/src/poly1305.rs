@@ -1,0 +1,234 @@
+//! RFC 8439 Poly1305 one-time authenticator.
+//!
+//! Implemented with 26-bit limbs over the prime `2^130 - 5`, the classic
+//! portable representation. Only used through [`crate::aead`], which derives
+//! a fresh one-time key per message as RFC 8439 requires.
+
+/// Bytes in a Poly1305 one-time key.
+pub const KEY_LEN: usize = 32;
+
+/// Bytes in a Poly1305 tag.
+pub const TAG_LEN: usize = 16;
+
+/// Computes the Poly1305 tag of `msg` under the one-time key `key`.
+///
+/// # Examples
+///
+/// ```
+/// let tag = nymix_crypto::poly1305_tag(&[1u8; 32], b"msg");
+/// assert_eq!(tag.len(), 16);
+/// ```
+pub fn poly1305_tag(key: &[u8; KEY_LEN], msg: &[u8]) -> [u8; TAG_LEN] {
+    // Clamp r per RFC 8439 §2.5.
+    let t0 = u32::from_le_bytes([key[0], key[1], key[2], key[3]]);
+    let t1 = u32::from_le_bytes([key[4], key[5], key[6], key[7]]);
+    let t2 = u32::from_le_bytes([key[8], key[9], key[10], key[11]]);
+    let t3 = u32::from_le_bytes([key[12], key[13], key[14], key[15]]);
+
+    let r0 = t0 & 0x03ffffff;
+    let r1 = ((t0 >> 26) | (t1 << 6)) & 0x03ffff03;
+    let r2 = ((t1 >> 20) | (t2 << 12)) & 0x03ffc0ff;
+    let r3 = ((t2 >> 14) | (t3 << 18)) & 0x03f03fff;
+    let r4 = (t3 >> 8) & 0x000fffff;
+
+    let s1 = r1 * 5;
+    let s2 = r2 * 5;
+    let s3 = r3 * 5;
+    let s4 = r4 * 5;
+
+    let mut h0: u32 = 0;
+    let mut h1: u32 = 0;
+    let mut h2: u32 = 0;
+    let mut h3: u32 = 0;
+    let mut h4: u32 = 0;
+
+    let mut chunks = msg.chunks(16);
+    for chunk in &mut chunks {
+        let mut block = [0u8; 17];
+        block[..chunk.len()].copy_from_slice(chunk);
+        block[chunk.len()] = 1; // The "high bit" pad byte.
+
+        let b0 = u32::from_le_bytes([block[0], block[1], block[2], block[3]]);
+        let b1 = u32::from_le_bytes([block[4], block[5], block[6], block[7]]);
+        let b2 = u32::from_le_bytes([block[8], block[9], block[10], block[11]]);
+        let b3 = u32::from_le_bytes([block[12], block[13], block[14], block[15]]);
+        let b4 = block[16] as u32;
+
+        h0 = h0.wrapping_add(b0 & 0x03ffffff);
+        h1 = h1.wrapping_add(((b0 >> 26) | (b1 << 6)) & 0x03ffffff);
+        h2 = h2.wrapping_add(((b1 >> 20) | (b2 << 12)) & 0x03ffffff);
+        h3 = h3.wrapping_add(((b2 >> 14) | (b3 << 18)) & 0x03ffffff);
+        h4 = h4.wrapping_add((b3 >> 8) | (b4 << 24));
+
+        // h *= r (mod 2^130 - 5), schoolbook with the 5x folding trick.
+        let d0 = (h0 as u64) * (r0 as u64)
+            + (h1 as u64) * (s4 as u64)
+            + (h2 as u64) * (s3 as u64)
+            + (h3 as u64) * (s2 as u64)
+            + (h4 as u64) * (s1 as u64);
+        let mut d1 = (h0 as u64) * (r1 as u64)
+            + (h1 as u64) * (r0 as u64)
+            + (h2 as u64) * (s4 as u64)
+            + (h3 as u64) * (s3 as u64)
+            + (h4 as u64) * (s2 as u64);
+        let mut d2 = (h0 as u64) * (r2 as u64)
+            + (h1 as u64) * (r1 as u64)
+            + (h2 as u64) * (r0 as u64)
+            + (h3 as u64) * (s4 as u64)
+            + (h4 as u64) * (s3 as u64);
+        let mut d3 = (h0 as u64) * (r3 as u64)
+            + (h1 as u64) * (r2 as u64)
+            + (h2 as u64) * (r1 as u64)
+            + (h3 as u64) * (r0 as u64)
+            + (h4 as u64) * (s4 as u64);
+        let mut d4 = (h0 as u64) * (r4 as u64)
+            + (h1 as u64) * (r3 as u64)
+            + (h2 as u64) * (r2 as u64)
+            + (h3 as u64) * (r1 as u64)
+            + (h4 as u64) * (r0 as u64);
+
+        // Partial carry propagation.
+        let mut c: u64;
+        c = d0 >> 26;
+        h0 = (d0 & 0x03ffffff) as u32;
+        d1 += c;
+        c = d1 >> 26;
+        h1 = (d1 & 0x03ffffff) as u32;
+        d2 += c;
+        c = d2 >> 26;
+        h2 = (d2 & 0x03ffffff) as u32;
+        d3 += c;
+        c = d3 >> 26;
+        h3 = (d3 & 0x03ffffff) as u32;
+        d4 += c;
+        c = d4 >> 26;
+        h4 = (d4 & 0x03ffffff) as u32;
+        h0 = h0.wrapping_add((c as u32) * 5);
+        let c2 = h0 >> 26;
+        h0 &= 0x03ffffff;
+        h1 = h1.wrapping_add(c2);
+    }
+
+    // Full carry propagation.
+    let mut c = h1 >> 26;
+    h1 &= 0x03ffffff;
+    h2 = h2.wrapping_add(c);
+    c = h2 >> 26;
+    h2 &= 0x03ffffff;
+    h3 = h3.wrapping_add(c);
+    c = h3 >> 26;
+    h3 &= 0x03ffffff;
+    h4 = h4.wrapping_add(c);
+    c = h4 >> 26;
+    h4 &= 0x03ffffff;
+    h0 = h0.wrapping_add(c * 5);
+    c = h0 >> 26;
+    h0 &= 0x03ffffff;
+    h1 = h1.wrapping_add(c);
+
+    // Compute h + -p = h - (2^130 - 5) and select it if non-negative.
+    let mut g0 = h0.wrapping_add(5);
+    c = g0 >> 26;
+    g0 &= 0x03ffffff;
+    let mut g1 = h1.wrapping_add(c);
+    c = g1 >> 26;
+    g1 &= 0x03ffffff;
+    let mut g2 = h2.wrapping_add(c);
+    c = g2 >> 26;
+    g2 &= 0x03ffffff;
+    let mut g3 = h3.wrapping_add(c);
+    c = g3 >> 26;
+    g3 &= 0x03ffffff;
+    let g4 = h4.wrapping_add(c).wrapping_sub(1 << 26);
+
+    // Constant-time select: mask is all-ones when g >= p.
+    let mask = (g4 >> 31).wrapping_sub(1);
+    h0 = (h0 & !mask) | (g0 & mask);
+    h1 = (h1 & !mask) | (g1 & mask);
+    h2 = (h2 & !mask) | (g2 & mask);
+    h3 = (h3 & !mask) | (g3 & mask);
+    h4 = (h4 & !mask) | (g4 & mask);
+
+    // Serialize back to 128 bits.
+    let f0 = h0 | (h1 << 26);
+    let f1 = (h1 >> 6) | (h2 << 20);
+    let f2 = (h2 >> 12) | (h3 << 14);
+    let f3 = (h3 >> 18) | (h4 << 8);
+
+    // tag = (h + s) mod 2^128.
+    let s0 = u32::from_le_bytes([key[16], key[17], key[18], key[19]]) as u64;
+    let s1k = u32::from_le_bytes([key[20], key[21], key[22], key[23]]) as u64;
+    let s2k = u32::from_le_bytes([key[24], key[25], key[26], key[27]]) as u64;
+    let s3k = u32::from_le_bytes([key[28], key[29], key[30], key[31]]) as u64;
+
+    let mut acc = (f0 as u64) + s0;
+    let o0 = acc as u32;
+    acc >>= 32;
+    acc += (f1 as u64) + s1k;
+    let o1 = acc as u32;
+    acc >>= 32;
+    acc += (f2 as u64) + s2k;
+    let o2 = acc as u32;
+    acc >>= 32;
+    acc += (f3 as u64) + s3k;
+    let o3 = acc as u32;
+
+    let mut tag = [0u8; TAG_LEN];
+    tag[0..4].copy_from_slice(&o0.to_le_bytes());
+    tag[4..8].copy_from_slice(&o1.to_le_bytes());
+    tag[8..12].copy_from_slice(&o2.to_le_bytes());
+    tag[12..16].copy_from_slice(&o3.to_le_bytes());
+    tag
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hex(bytes: &[u8]) -> String {
+        bytes.iter().map(|b| format!("{b:02x}")).collect()
+    }
+
+    #[test]
+    fn rfc8439_vector() {
+        // RFC 8439 §2.5.2.
+        let key: [u8; 32] = [
+            0x85, 0xd6, 0xbe, 0x78, 0x57, 0x55, 0x6d, 0x33, 0x7f, 0x44, 0x52, 0xfe, 0x42, 0xd5,
+            0x06, 0xa8, 0x01, 0x03, 0x80, 0x8a, 0xfb, 0x0d, 0xb2, 0xfd, 0x4a, 0xbf, 0xf6, 0xaf,
+            0x41, 0x49, 0xf5, 0x1b,
+        ];
+        let tag = poly1305_tag(&key, b"Cryptographic Forum Research Group");
+        assert_eq!(hex(&tag), "a8061dc1305136c6c22b8baf0c0127a9");
+    }
+
+    #[test]
+    fn zero_key_zero_message() {
+        let tag = poly1305_tag(&[0u8; 32], b"");
+        assert_eq!(tag, [0u8; 16]);
+    }
+
+    #[test]
+    fn tag_depends_on_message() {
+        let key = [0x11u8; 32];
+        assert_ne!(poly1305_tag(&key, b"aaaa"), poly1305_tag(&key, b"aaab"));
+    }
+
+    #[test]
+    fn tag_depends_on_key() {
+        assert_ne!(
+            poly1305_tag(&[1u8; 32], b"same message"),
+            poly1305_tag(&[2u8; 32], b"same message")
+        );
+    }
+
+    #[test]
+    fn block_boundary_lengths() {
+        // Exercise the partial-final-block path on either side of 16 bytes.
+        let key = [0x5au8; 32];
+        let msg = [0xc3u8; 64];
+        let mut tags = std::collections::HashSet::new();
+        for len in [0usize, 1, 15, 16, 17, 31, 32, 33, 48, 63, 64] {
+            assert!(tags.insert(poly1305_tag(&key, &msg[..len])), "len {len}");
+        }
+    }
+}

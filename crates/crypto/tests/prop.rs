@@ -1,0 +1,96 @@
+//! Property-based tests for the crypto primitives.
+
+use nymix_crypto::{open, seal, ChaCha20, MerkleTree, Sha256};
+use proptest::prelude::*;
+
+proptest! {
+    #[test]
+    fn sha256_incremental_equals_oneshot(data in proptest::collection::vec(any::<u8>(), 0..2048),
+                                         split in 0usize..2048) {
+        let split = split.min(data.len());
+        let mut h = Sha256::new();
+        h.update(&data[..split]);
+        h.update(&data[split..]);
+        prop_assert_eq!(h.finalize(), nymix_crypto::sha256(&data));
+    }
+
+    #[test]
+    fn chacha_roundtrip(key in any::<[u8; 32]>(), nonce in any::<[u8; 12]>(),
+                        mut data in proptest::collection::vec(any::<u8>(), 0..1024)) {
+        let orig = data.clone();
+        ChaCha20::new(&key, &nonce, 1).apply(&mut data);
+        ChaCha20::new(&key, &nonce, 1).apply(&mut data);
+        prop_assert_eq!(data, orig);
+    }
+
+    #[test]
+    fn chacha_chunking_irrelevant(key in any::<[u8; 32]>(), nonce in any::<[u8; 12]>(),
+                                  data in proptest::collection::vec(any::<u8>(), 1..512),
+                                  cuts in proptest::collection::vec(1usize..64, 0..8)) {
+        let mut whole = data.clone();
+        ChaCha20::new(&key, &nonce, 0).apply(&mut whole);
+        let mut chunked = data.clone();
+        let mut c = ChaCha20::new(&key, &nonce, 0);
+        let mut off = 0usize;
+        for cut in cuts {
+            if off >= chunked.len() { break; }
+            let end = (off + cut).min(chunked.len());
+            c.apply(&mut chunked[off..end]);
+            off = end;
+        }
+        c.apply(&mut chunked[off..]);
+        prop_assert_eq!(whole, chunked);
+    }
+
+    #[test]
+    fn aead_roundtrip(key in any::<[u8; 32]>(), nonce in any::<[u8; 12]>(),
+                      aad in proptest::collection::vec(any::<u8>(), 0..64),
+                      msg in proptest::collection::vec(any::<u8>(), 0..1024)) {
+        let boxed = seal(&key, &nonce, &aad, &msg);
+        prop_assert_eq!(boxed.len(), msg.len() + 16);
+        prop_assert_eq!(open(&key, &nonce, &aad, &boxed).unwrap(), msg);
+    }
+
+    #[test]
+    fn aead_any_bitflip_detected(key in any::<[u8; 32]>(), nonce in any::<[u8; 12]>(),
+                                 msg in proptest::collection::vec(any::<u8>(), 1..256),
+                                 flip_byte in any::<usize>(), flip_bit in 0u8..8) {
+        let mut boxed = seal(&key, &nonce, b"aad", &msg);
+        let idx = flip_byte % boxed.len();
+        boxed[idx] ^= 1 << flip_bit;
+        prop_assert!(open(&key, &nonce, b"aad", &boxed).is_err());
+    }
+
+    #[test]
+    fn merkle_proofs_verify(blocks in proptest::collection::vec(
+        proptest::collection::vec(any::<u8>(), 0..64), 1..40)) {
+        let tree = MerkleTree::build(blocks.iter().map(|b| b.as_slice()));
+        let n = blocks.len();
+        for (i, b) in blocks.iter().enumerate() {
+            let proof = tree.prove(i).unwrap();
+            prop_assert!(MerkleTree::verify(&tree.root(), i, b, &proof, n));
+        }
+    }
+
+    #[test]
+    fn merkle_cross_block_proofs_fail(blocks in proptest::collection::vec(
+        proptest::collection::vec(any::<u8>(), 1..32), 2..20), i in any::<usize>(), j in any::<usize>()) {
+        let n = blocks.len();
+        let (i, j) = (i % n, j % n);
+        prop_assume!(i != j && blocks[i] != blocks[j]);
+        let tree = MerkleTree::build(blocks.iter().map(|b| b.as_slice()));
+        let proof = tree.prove(i).unwrap();
+        prop_assert!(!MerkleTree::verify(&tree.root(), i, &blocks[j], &proof, n));
+    }
+
+    #[test]
+    fn hkdf_deterministic(salt in proptest::collection::vec(any::<u8>(), 0..32),
+                          ikm in proptest::collection::vec(any::<u8>(), 1..64),
+                          info in proptest::collection::vec(any::<u8>(), 0..32),
+                          len in 1usize..200) {
+        let a = nymix_crypto::hkdf::derive(&salt, &ikm, &info, len);
+        let b = nymix_crypto::hkdf::derive(&salt, &ikm, &info, len);
+        prop_assert_eq!(&a, &b);
+        prop_assert_eq!(a.len(), len);
+    }
+}

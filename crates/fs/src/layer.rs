@@ -1,0 +1,228 @@
+//! A single filesystem layer.
+//!
+//! Layers are stacked by [`crate::union::UnionFs`]. The Nymix prototype
+//! gives every VM three layers (§4.2): the shared base image, a
+//! role-specific configuration image, and a RAM-backed writable image.
+
+use std::collections::BTreeMap;
+
+use crate::path::Path;
+
+/// What a layer is for — controls mutability and accounting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LayerKind {
+    /// The shared read-only base image (the Nymix USB OS partition).
+    Base,
+    /// A read-only role configuration image (AnonVM / CommVM / SaniVM).
+    Config,
+    /// A RAM-backed writable layer (tmpfs); counted against host RAM.
+    Writable,
+}
+
+/// A node in a layer's tree.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Node {
+    /// A regular file with contents.
+    File(Vec<u8>),
+    /// A directory (children are implied by paths beneath it).
+    Dir,
+    /// A whiteout: masks any same-path node in lower layers.
+    Whiteout,
+}
+
+impl Node {
+    /// Bytes of file content (0 for dirs and whiteouts).
+    pub fn size(&self) -> usize {
+        match self {
+            Node::File(data) => data.len(),
+            _ => 0,
+        }
+    }
+}
+
+/// One filesystem layer: a map from normalized paths to nodes.
+///
+/// # Examples
+///
+/// ```
+/// use nymix_fs::{Layer, LayerKind, Path};
+///
+/// let mut l = Layer::new(LayerKind::Writable);
+/// l.put_file(Path::new("/tmp/x"), b"data".to_vec());
+/// assert_eq!(l.get(&Path::new("/tmp/x")).unwrap().size(), 4);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Layer {
+    kind: LayerKind,
+    nodes: BTreeMap<Path, Node>,
+}
+
+impl Layer {
+    /// Creates an empty layer with an implicit root directory.
+    pub fn new(kind: LayerKind) -> Self {
+        let mut nodes = BTreeMap::new();
+        nodes.insert(Path::root(), Node::Dir);
+        Self { kind, nodes }
+    }
+
+    /// The layer's kind.
+    pub fn kind(&self) -> LayerKind {
+        self.kind
+    }
+
+    /// Whether the union may write into this layer.
+    pub fn is_writable(&self) -> bool {
+        self.kind == LayerKind::Writable
+    }
+
+    /// Looks up a node.
+    pub fn get(&self, path: &Path) -> Option<&Node> {
+        self.nodes.get(path)
+    }
+
+    /// Inserts a file, creating parent directories within this layer.
+    pub fn put_file(&mut self, path: Path, data: Vec<u8>) {
+        self.ensure_parents(&path);
+        self.nodes.insert(path, Node::File(data));
+    }
+
+    /// Inserts a directory, creating parents within this layer.
+    pub fn put_dir(&mut self, path: Path) {
+        self.ensure_parents(&path);
+        self.nodes.insert(path, Node::Dir);
+    }
+
+    /// Inserts a whiteout, masking lower layers at `path`.
+    pub fn put_whiteout(&mut self, path: Path) {
+        self.ensure_parents(&path);
+        self.nodes.insert(path, Node::Whiteout);
+    }
+
+    /// Removes a node from this layer (not a whiteout — actually forgets
+    /// the entry). Returns the removed node.
+    pub fn remove(&mut self, path: &Path) -> Option<Node> {
+        if path.is_root() {
+            return None;
+        }
+        self.nodes.remove(path)
+    }
+
+    /// Iterates all `(path, node)` entries in path order.
+    pub fn entries(&self) -> impl Iterator<Item = (&Path, &Node)> {
+        self.nodes.iter()
+    }
+
+    /// Direct children of `dir` present in this layer.
+    pub fn children_of<'a>(&'a self, dir: &'a Path) -> impl Iterator<Item = (&'a Path, &'a Node)> {
+        let depth = dir.depth() + 1;
+        self.nodes
+            .iter()
+            .filter(move |(p, _)| p.depth() == depth && p.starts_with(dir))
+    }
+
+    /// Total bytes of file content stored in this layer.
+    ///
+    /// For [`LayerKind::Writable`] layers this is the RAM the layer costs
+    /// the host (the prototype's "writable image" lives in RAM; §4.2).
+    pub fn content_bytes(&self) -> usize {
+        self.nodes.values().map(Node::size).sum()
+    }
+
+    /// Number of nodes (excluding the implicit root).
+    pub fn node_count(&self) -> usize {
+        self.nodes.len().saturating_sub(1)
+    }
+
+    /// Overwrites every file's bytes with zeros, then clears the tree.
+    ///
+    /// Models the secure-erase pass Nymix performs when a nym shuts down
+    /// (§3.4: "securely erases the AnonVM's and CommVM's memory").
+    pub fn secure_wipe(&mut self) {
+        for node in self.nodes.values_mut() {
+            if let Node::File(data) = node {
+                data.fill(0);
+            }
+        }
+        self.nodes.clear();
+        self.nodes.insert(Path::root(), Node::Dir);
+    }
+
+    fn ensure_parents(&mut self, path: &Path) {
+        let mut cur = path.parent();
+        while let Some(dir) = cur {
+            if dir.is_root() {
+                break;
+            }
+            // Never clobber an existing file/whiteout with a dir; union
+            // semantics treat that as corruption we'd rather surface.
+            self.nodes.entry(dir.clone()).or_insert(Node::Dir);
+            cur = dir.parent();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn put_and_get() {
+        let mut l = Layer::new(LayerKind::Writable);
+        l.put_file(Path::new("/a/b/c.txt"), b"hello".to_vec());
+        assert_eq!(l.get(&Path::new("/a/b/c.txt")), Some(&Node::File(b"hello".to_vec())));
+        // Parents auto-created.
+        assert_eq!(l.get(&Path::new("/a")), Some(&Node::Dir));
+        assert_eq!(l.get(&Path::new("/a/b")), Some(&Node::Dir));
+        assert_eq!(l.node_count(), 3);
+    }
+
+    #[test]
+    fn children_listing() {
+        let mut l = Layer::new(LayerKind::Config);
+        l.put_file(Path::new("/etc/rc.local"), vec![1]);
+        l.put_file(Path::new("/etc/network/interfaces"), vec![2]);
+        l.put_file(Path::new("/usr/bin/tor"), vec![3]);
+        let etc = Path::new("/etc");
+        let kids: Vec<String> = l.children_of(&etc).map(|(p, _)| p.to_string()).collect();
+        assert_eq!(kids, vec!["/etc/network", "/etc/rc.local"]);
+    }
+
+    #[test]
+    fn whiteout_and_remove() {
+        let mut l = Layer::new(LayerKind::Writable);
+        l.put_whiteout(Path::new("/etc/motd"));
+        assert_eq!(l.get(&Path::new("/etc/motd")), Some(&Node::Whiteout));
+        assert_eq!(l.remove(&Path::new("/etc/motd")), Some(Node::Whiteout));
+        assert_eq!(l.get(&Path::new("/etc/motd")), None);
+        // Root can't be removed.
+        assert_eq!(l.remove(&Path::root()), None);
+    }
+
+    #[test]
+    fn content_accounting() {
+        let mut l = Layer::new(LayerKind::Writable);
+        assert_eq!(l.content_bytes(), 0);
+        l.put_file(Path::new("/x"), vec![0u8; 100]);
+        l.put_file(Path::new("/y"), vec![0u8; 28]);
+        l.put_dir(Path::new("/z"));
+        assert_eq!(l.content_bytes(), 128);
+    }
+
+    #[test]
+    fn secure_wipe_clears_everything() {
+        let mut l = Layer::new(LayerKind::Writable);
+        l.put_file(Path::new("/secret"), b"tyrannistan plans".to_vec());
+        l.secure_wipe();
+        assert_eq!(l.node_count(), 0);
+        assert_eq!(l.content_bytes(), 0);
+        assert_eq!(l.get(&Path::root()), Some(&Node::Dir));
+    }
+
+    #[test]
+    fn overwrite_replaces_content() {
+        let mut l = Layer::new(LayerKind::Writable);
+        l.put_file(Path::new("/f"), vec![1; 10]);
+        l.put_file(Path::new("/f"), vec![2; 3]);
+        assert_eq!(l.content_bytes(), 3);
+    }
+}

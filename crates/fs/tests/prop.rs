@@ -1,0 +1,130 @@
+//! Property-based tests for the union filesystem invariants.
+
+use nymix_fs::{Layer, LayerKind, Path, UnionFs};
+use proptest::prelude::*;
+
+/// Random small path from a constrained alphabet so collisions happen.
+fn arb_path() -> impl Strategy<Value = Path> {
+    proptest::collection::vec(prop_oneof!["a", "b", "c", "d"], 1..4)
+        .prop_map(|parts: Vec<String>| Path::new(&format!("/{}", parts.join("/"))))
+}
+
+#[derive(Debug, Clone)]
+enum Op {
+    Write(Path, Vec<u8>),
+    Unlink(Path),
+    Read(Path),
+}
+
+fn arb_op() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (arb_path(), proptest::collection::vec(any::<u8>(), 0..16))
+            .prop_map(|(p, d)| Op::Write(p, d)),
+        arb_path().prop_map(Op::Unlink),
+        arb_path().prop_map(Op::Read),
+    ]
+}
+
+proptest! {
+    /// The union behaves like a flat map (the model), regardless of what
+    /// sits in lower layers — and lower layers never change.
+    #[test]
+    fn union_matches_flat_model(
+        base_files in proptest::collection::btree_map(arb_path(), proptest::collection::vec(any::<u8>(), 0..8), 0..6),
+        ops in proptest::collection::vec(arb_op(), 0..40),
+    ) {
+        // Keep only base files whose ancestors are not themselves files:
+        // a real filesystem image cannot contain a file under a file.
+        let keys: Vec<Path> = base_files.keys().cloned().collect();
+        let base_files: std::collections::BTreeMap<Path, Vec<u8>> = base_files
+            .into_iter()
+            .filter(|(p, _)| {
+                let mut anc = p.parent();
+                while let Some(a) = anc {
+                    if a.is_root() { break; }
+                    if keys.contains(&a) {
+                        return false;
+                    }
+                    anc = a.parent();
+                }
+                true
+            })
+            .collect();
+        let mut base = Layer::new(LayerKind::Base);
+        let mut model: std::collections::BTreeMap<Path, Vec<u8>> = Default::default();
+        for (p, d) in &base_files {
+            base.put_file(p.clone(), d.clone());
+            model.insert(p.clone(), d.clone());
+        }
+
+        let baseline = base.clone();
+        let mut fs = UnionFs::new(vec![base, Layer::new(LayerKind::Writable)]).unwrap();
+
+        for op in ops {
+            match op {
+                Op::Write(p, d) => {
+                    let ok = fs.write(&p, d.clone()).is_ok();
+                    // Model: write succeeds unless a model ancestor-file or
+                    // dir conflict exists; mirror by trying and comparing.
+                    if ok {
+                        model.insert(p, d);
+                    }
+                }
+                Op::Unlink(p) => {
+                    let ok = fs.unlink(&p).is_ok();
+                    if ok {
+                        prop_assert!(model.remove(&p).is_some());
+                    } else {
+                        // Model may only contain it if union failed for
+                        // kind reasons; files always unlink fine.
+                        prop_assert!(!model.contains_key(&p));
+                    }
+                }
+                Op::Read(p) => {
+                    match (fs.read(&p), model.get(&p)) {
+                        (Ok(got), Some(want)) => prop_assert_eq!(&got, want),
+                        (Err(_), None) => {}
+                        (Ok(_), None) => prop_assert!(false, "read hit missing model entry"),
+                        (Err(e), Some(_)) => prop_assert!(false, "model has entry union lost: {e}"),
+                    }
+                }
+            }
+        }
+
+        // Invariant: the base layer is bit-identical after any op mix.
+        for (p, n) in baseline.entries() {
+            prop_assert_eq!(fs.layer(0).get(p), Some(n));
+        }
+    }
+
+    /// Save/restore of the upper layer preserves the visible state.
+    #[test]
+    fn upper_layer_roundtrip(
+        ops in proptest::collection::vec(arb_op(), 0..30),
+    ) {
+        let mut base = Layer::new(LayerKind::Base);
+        base.put_file(Path::new("/a/seed"), vec![1, 2, 3]);
+        let mut fs = UnionFs::new(vec![base, Layer::new(LayerKind::Writable)]).unwrap();
+        for op in ops {
+            match op {
+                Op::Write(p, d) => { let _ = fs.write(&p, d); }
+                Op::Unlink(p) => { let _ = fs.unlink(&p); }
+                Op::Read(_) => {}
+            }
+        }
+        let visible: Vec<(Path, Vec<u8>)> = fs
+            .walk_files(&Path::root())
+            .into_iter()
+            .map(|p| { let d = fs.read(&p).unwrap(); (p, d) })
+            .collect();
+        // Simulate nym save/restore: detach the upper, re-attach it.
+        let upper = fs.take_upper().unwrap();
+        prop_assert!(fs.push_upper(upper));
+        let after: Vec<(Path, Vec<u8>)> = fs
+            .walk_files(&Path::root())
+            .into_iter()
+            .map(|p| { let d = fs.read(&p).unwrap(); (p, d) })
+            .collect();
+        prop_assert_eq!(visible, after);
+    }
+}

@@ -1,0 +1,147 @@
+//! Link- and network-layer addresses.
+//!
+//! §4.2: "Each independent set of AnonVMs and CommVMs have the same
+//! Ethernet and IP addresses" — address *uniformity* across nymboxes is
+//! a fingerprinting defence, so addresses are first-class values here
+//! and tests assert that every AnonVM sees the identical pair.
+
+use core::fmt;
+
+/// A 48-bit Ethernet address.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Mac(pub [u8; 6]);
+
+impl Mac {
+    /// The broadcast address `ff:ff:ff:ff:ff:ff`.
+    pub const BROADCAST: Mac = Mac([0xff; 6]);
+
+    /// The fixed, homogenized MAC every AnonVM presents (QEMU's default
+    /// vendor prefix) — one more bit of cross-user uniformity.
+    pub const ANONVM_FIXED: Mac = Mac([0x52, 0x54, 0x00, 0x12, 0x34, 0x56]);
+
+    /// The fixed MAC every CommVM presents.
+    pub const COMMVM_FIXED: Mac = Mac([0x52, 0x54, 0x00, 0x12, 0x34, 0x57]);
+
+    /// A deterministic "hardware" MAC for host NICs, derived from an id.
+    pub fn host_nic(id: u32) -> Mac {
+        let b = id.to_be_bytes();
+        Mac([0x00, 0x1b, b[0], b[1], b[2], b[3]])
+    }
+}
+
+impl fmt::Display for Mac {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let b = self.0;
+        write!(
+            f,
+            "{:02x}:{:02x}:{:02x}:{:02x}:{:02x}:{:02x}",
+            b[0], b[1], b[2], b[3], b[4], b[5]
+        )
+    }
+}
+
+/// An IPv4 address.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Ip(pub [u8; 4]);
+
+impl Ip {
+    /// The fixed AnonVM-side address of the virtual wire (identical in
+    /// every nymbox, per §4.2).
+    pub const ANONVM_FIXED: Ip = Ip([10, 0, 2, 15]);
+
+    /// The fixed CommVM-side address of the virtual wire.
+    pub const COMMVM_WIRE: Ip = Ip([10, 0, 2, 2]);
+
+    /// Parses dotted-quad notation.
+    ///
+    /// # Panics
+    ///
+    /// Panics on malformed input — addresses in this simulator are
+    /// always program constants.
+    pub fn parse(s: &str) -> Ip {
+        let mut out = [0u8; 4];
+        let mut parts = s.split('.');
+        for slot in &mut out {
+            *slot = parts
+                .next()
+                .and_then(|p| p.parse().ok())
+                .expect("malformed IPv4 literal");
+        }
+        assert!(parts.next().is_none(), "malformed IPv4 literal");
+        Ip(out)
+    }
+
+    /// Whether the address is in RFC 1918 private space.
+    pub fn is_private(&self) -> bool {
+        let [a, b, _, _] = self.0;
+        a == 10 || (a == 172 && (16..=31).contains(&b)) || (a == 192 && b == 168)
+    }
+
+    /// Whether `self` lies within `network/prefix_len`.
+    pub fn in_subnet(&self, network: Ip, prefix_len: u8) -> bool {
+        let mask = if prefix_len == 0 {
+            0
+        } else {
+            u32::MAX << (32 - prefix_len as u32)
+        };
+        (u32::from_be_bytes(self.0) & mask) == (u32::from_be_bytes(network.0) & mask)
+    }
+}
+
+impl fmt::Display for Ip {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let b = self.0;
+        write!(f, "{}.{}.{}.{}", b[0], b[1], b[2], b[3])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_and_display() {
+        let ip = Ip::parse("192.168.1.7");
+        assert_eq!(ip, Ip([192, 168, 1, 7]));
+        assert_eq!(ip.to_string(), "192.168.1.7");
+        assert_eq!(Mac::BROADCAST.to_string(), "ff:ff:ff:ff:ff:ff");
+    }
+
+    #[test]
+    #[should_panic(expected = "malformed")]
+    fn parse_rejects_garbage() {
+        let _ = Ip::parse("1.2.3");
+    }
+
+    #[test]
+    fn private_space() {
+        assert!(Ip::parse("10.1.2.3").is_private());
+        assert!(Ip::parse("172.16.0.1").is_private());
+        assert!(Ip::parse("172.31.255.255").is_private());
+        assert!(!Ip::parse("172.32.0.1").is_private());
+        assert!(Ip::parse("192.168.0.1").is_private());
+        assert!(!Ip::parse("8.8.8.8").is_private());
+    }
+
+    #[test]
+    fn subnets() {
+        let net = Ip::parse("10.0.2.0");
+        assert!(Ip::parse("10.0.2.15").in_subnet(net, 24));
+        assert!(!Ip::parse("10.0.3.15").in_subnet(net, 24));
+        assert!(Ip::parse("10.99.0.1").in_subnet(Ip::parse("10.0.0.0"), 8));
+        assert!(Ip::parse("1.2.3.4").in_subnet(Ip::parse("9.9.9.9"), 0));
+    }
+
+    #[test]
+    fn fixed_addresses_are_uniform() {
+        // Homogenization: the constants are the same for every nymbox by
+        // construction; this test pins them against accidental change.
+        assert_eq!(Ip::ANONVM_FIXED.to_string(), "10.0.2.15");
+        assert_eq!(Mac::ANONVM_FIXED.to_string(), "52:54:00:12:34:56");
+    }
+
+    #[test]
+    fn host_nics_are_distinct() {
+        assert_ne!(Mac::host_nic(1), Mac::host_nic(2));
+    }
+}

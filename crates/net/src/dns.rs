@@ -1,0 +1,104 @@
+//! Name resolution.
+//!
+//! DNS is the classic anonymizer-bypass channel: a browser that resolves
+//! names directly (UDP/53) leaks every visited domain to the local
+//! resolver even when page fetches ride the anonymizer. §4.1: "While Tor
+//! does not support UDP redirection, it has a built-in DNS server" — so
+//! in Nymix the AnonVM's resolver points *into* the CommVM, and the
+//! anonymizer resolves names remotely.
+
+use std::collections::BTreeMap;
+
+use crate::addr::Ip;
+
+/// A name→address database (the simulated global DNS).
+#[derive(Debug, Clone, Default)]
+pub struct DnsDb {
+    records: BTreeMap<String, Ip>,
+}
+
+impl DnsDb {
+    /// An empty database.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The well-known site set used by the paper's experiments (§5.2),
+    /// plus experiment infrastructure, mapped into documentation/test
+    /// address space.
+    pub fn with_eval_sites() -> Self {
+        let mut db = Self::new();
+        let sites = [
+            ("gmail.com", "198.51.100.10"),
+            ("twitter.com", "198.51.100.11"),
+            ("youtube.com", "198.51.100.12"),
+            ("blog.torproject.org", "198.51.100.13"),
+            ("bbc.co.uk", "198.51.100.14"),
+            ("facebook.com", "198.51.100.15"),
+            ("slashdot.org", "198.51.100.16"),
+            ("espn.com", "198.51.100.17"),
+            ("kernel.deterlab.net", "198.51.100.20"),
+            ("cloud.dropbox.example", "198.51.100.30"),
+            ("cloud.drive.example", "198.51.100.31"),
+        ];
+        for (name, ip) in sites {
+            db.insert(name, Ip::parse(ip));
+        }
+        db
+    }
+
+    /// Adds or replaces a record.
+    pub fn insert(&mut self, name: &str, ip: Ip) {
+        self.records.insert(name.to_ascii_lowercase(), ip);
+    }
+
+    /// Looks up a name.
+    pub fn resolve(&self, name: &str) -> Option<Ip> {
+        self.records.get(&name.to_ascii_lowercase()).copied()
+    }
+
+    /// Number of records.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// Whether the database is empty.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+}
+
+/// How a nymbox resolves names — determines whether lookups leak.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ResolverMode {
+    /// Resolve through the anonymizer (Tor's DNS port / Dissent UDP
+    /// proxying): no cleartext DNS ever leaves the CommVM.
+    ThroughAnonymizer,
+    /// Resolve directly against a LAN resolver: leaks visited names.
+    /// Present to model the misconfiguration Nymix prevents.
+    DirectUdp53,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eval_sites_present() {
+        let db = DnsDb::with_eval_sites();
+        assert_eq!(db.resolve("twitter.com"), Some(Ip::parse("198.51.100.11")));
+        assert_eq!(db.resolve("TWITTER.COM"), Some(Ip::parse("198.51.100.11")));
+        assert!(db.resolve("example.invalid").is_none());
+        assert!(db.len() >= 8);
+        assert!(!db.is_empty());
+    }
+
+    #[test]
+    fn insert_replaces() {
+        let mut db = DnsDb::new();
+        db.insert("a.example", Ip::parse("1.1.1.1"));
+        db.insert("a.example", Ip::parse("2.2.2.2"));
+        assert_eq!(db.resolve("a.example"), Some(Ip::parse("2.2.2.2")));
+        assert_eq!(db.len(), 1);
+    }
+}

@@ -1,0 +1,225 @@
+//! Per-node packet filtering.
+//!
+//! The CommVM's iptables configuration is what forces all AnonVM traffic
+//! into the anonymizer and blocks everything else (§4.1: "Our incognito
+//! mode makes use of Linux' IPTables masquerade mode"). Firewalls here
+//! are ordered rule lists with a default action, evaluated per packet
+//! and direction.
+
+use crate::addr::Ip;
+use crate::fabric::{Packet, Proto};
+
+/// Allow or drop.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Action {
+    /// Let the packet through.
+    Allow,
+    /// Silently drop the packet (probes see "no response, as if the
+    /// host did not exist" — §5.1).
+    Drop,
+}
+
+/// Direction relative to the node evaluating the rule.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Direction {
+    /// Packet arriving at the node.
+    In,
+    /// Packet leaving the node.
+    Out,
+}
+
+/// A single match-and-act rule.
+#[derive(Debug, Clone)]
+pub struct Rule {
+    /// Which direction this rule applies to.
+    pub direction: Direction,
+    /// Source subnet filter (`None` matches any).
+    pub src: Option<(Ip, u8)>,
+    /// Destination subnet filter (`None` matches any).
+    pub dst: Option<(Ip, u8)>,
+    /// Protocol filter (`None` matches any).
+    pub proto: Option<Proto>,
+    /// Destination-port filter (`None` matches any).
+    pub dst_port: Option<u16>,
+    /// What to do on match.
+    pub action: Action,
+}
+
+impl Rule {
+    /// An allow-everything rule for a direction.
+    pub fn allow_all(direction: Direction) -> Rule {
+        Rule {
+            direction,
+            src: None,
+            dst: None,
+            proto: None,
+            dst_port: None,
+            action: Action::Allow,
+        }
+    }
+
+    fn matches(&self, direction: Direction, packet: &Packet) -> bool {
+        if self.direction != direction {
+            return false;
+        }
+        if let Some((net, len)) = self.src {
+            if !packet.src.in_subnet(net, len) {
+                return false;
+            }
+        }
+        if let Some((net, len)) = self.dst {
+            if !packet.dst.in_subnet(net, len) {
+                return false;
+            }
+        }
+        if let Some(proto) = self.proto {
+            if packet.proto != proto {
+                return false;
+            }
+        }
+        if let Some(port) = self.dst_port {
+            if packet.dst_port != port {
+                return false;
+            }
+        }
+        true
+    }
+}
+
+/// An ordered rule list with a default action.
+///
+/// # Examples
+///
+/// ```
+/// use nymix_net::firewall::{Action, Direction, Firewall, Rule};
+/// use nymix_net::fabric::{Packet, Proto};
+/// use nymix_net::Ip;
+///
+/// // Default-deny with one allow rule.
+/// let mut fw = Firewall::default_drop();
+/// fw.push(Rule {
+///     direction: Direction::Out,
+///     src: None,
+///     dst: Some((Ip::parse("10.0.2.0"), 24)),
+///     proto: None,
+///     dst_port: None,
+///     action: Action::Allow,
+/// });
+/// let pkt = Packet::udp(Ip::parse("10.0.2.15"), Ip::parse("10.0.2.2"), 9030, 64);
+/// assert_eq!(fw.check(Direction::Out, &pkt), Action::Allow);
+/// let leak = Packet::udp(Ip::parse("10.0.2.15"), Ip::parse("8.8.8.8"), 53, 64);
+/// assert_eq!(fw.check(Direction::Out, &leak), Action::Drop);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Firewall {
+    rules: Vec<Rule>,
+    default: Action,
+}
+
+impl Firewall {
+    /// A firewall that allows everything (external Internet nodes).
+    pub fn permissive() -> Self {
+        Self {
+            rules: Vec::new(),
+            default: Action::Allow,
+        }
+    }
+
+    /// A firewall that drops everything not explicitly allowed.
+    pub fn default_drop() -> Self {
+        Self {
+            rules: Vec::new(),
+            default: Action::Drop,
+        }
+    }
+
+    /// Appends a rule (evaluated in insertion order, first match wins).
+    pub fn push(&mut self, rule: Rule) {
+        self.rules.push(rule);
+    }
+
+    /// Evaluates the packet.
+    pub fn check(&self, direction: Direction, packet: &Packet) -> Action {
+        for rule in &self.rules {
+            if rule.matches(direction, packet) {
+                return rule.action;
+            }
+        }
+        self.default
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pkt(src: &str, dst: &str, proto: Proto, port: u16) -> Packet {
+        Packet {
+            src: Ip::parse(src),
+            dst: Ip::parse(dst),
+            proto,
+            dst_port: port,
+            bytes: 100,
+        }
+    }
+
+    #[test]
+    fn default_actions() {
+        let p = pkt("1.1.1.1", "2.2.2.2", Proto::Tcp, 80);
+        assert_eq!(Firewall::permissive().check(Direction::In, &p), Action::Allow);
+        assert_eq!(Firewall::default_drop().check(Direction::In, &p), Action::Drop);
+    }
+
+    #[test]
+    fn first_match_wins() {
+        let mut fw = Firewall::default_drop();
+        fw.push(Rule {
+            direction: Direction::Out,
+            src: None,
+            dst: None,
+            proto: Some(Proto::Udp),
+            dst_port: Some(53),
+            action: Action::Drop,
+        });
+        fw.push(Rule::allow_all(Direction::Out));
+        // DNS blocked even though a later rule allows everything.
+        assert_eq!(
+            fw.check(Direction::Out, &pkt("10.0.2.15", "8.8.8.8", Proto::Udp, 53)),
+            Action::Drop
+        );
+        assert_eq!(
+            fw.check(Direction::Out, &pkt("10.0.2.15", "8.8.8.8", Proto::Tcp, 443)),
+            Action::Allow
+        );
+    }
+
+    #[test]
+    fn direction_is_honoured() {
+        let mut fw = Firewall::default_drop();
+        fw.push(Rule::allow_all(Direction::Out));
+        let p = pkt("1.1.1.1", "2.2.2.2", Proto::Tcp, 80);
+        assert_eq!(fw.check(Direction::Out, &p), Action::Allow);
+        assert_eq!(fw.check(Direction::In, &p), Action::Drop);
+    }
+
+    #[test]
+    fn subnet_filters() {
+        let mut fw = Firewall::default_drop();
+        fw.push(Rule {
+            direction: Direction::In,
+            src: Some((Ip::parse("10.0.2.0"), 24)),
+            dst: None,
+            proto: None,
+            dst_port: None,
+            action: Action::Allow,
+        });
+        assert_eq!(
+            fw.check(Direction::In, &pkt("10.0.2.99", "10.0.2.2", Proto::Tcp, 9050)),
+            Action::Allow
+        );
+        assert_eq!(
+            fw.check(Direction::In, &pkt("10.9.9.9", "10.0.2.2", Proto::Tcp, 9050)),
+            Action::Drop
+        );
+    }
+}

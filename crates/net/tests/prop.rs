@@ -1,0 +1,88 @@
+//! Property-based tests for the fluid flow network: max-min fairness
+//! invariants that must hold for any topology.
+
+use nymix_net::{FlowNet, LinkId};
+use nymix_sim::{SimDuration, SimTime};
+use proptest::prelude::*;
+
+proptest! {
+    /// Feasibility: per-link allocated rate never exceeds capacity.
+    #[test]
+    fn link_capacities_respected(
+        capacities in proptest::collection::vec(1.0f64..100.0, 1..5),
+        flows in proptest::collection::vec(
+            (proptest::collection::vec(any::<proptest::sample::Index>(), 1..4), 10.0f64..1e6),
+            1..10),
+    ) {
+        let mut net = FlowNet::new();
+        let links: Vec<LinkId> = capacities
+            .iter()
+            .map(|c| net.add_link(*c, SimDuration::ZERO))
+            .collect();
+        let mut ids = Vec::new();
+        let mut paths = Vec::new();
+        for (idxs, bytes) in &flows {
+            let mut path: Vec<LinkId> = idxs.iter().map(|i| links[i.index(links.len())]).collect();
+            path.dedup();
+            ids.push(net.start_flow(SimTime::ZERO, path.clone(), *bytes));
+            paths.push(path);
+        }
+        // Per-link sum of crossing-flow rates <= capacity.
+        for (li, cap) in capacities.iter().enumerate() {
+            let sum: f64 = ids
+                .iter()
+                .zip(&paths)
+                .filter(|(_, p)| p.iter().any(|l| l.0 == li))
+                .map(|(id, _)| net.flow_rate(*id).unwrap_or(0.0))
+                .sum();
+            prop_assert!(sum <= cap + 1e-6, "link {li}: {sum} > {cap}");
+        }
+        // Every flow gets a strictly positive rate (no starvation).
+        for id in &ids {
+            prop_assert!(net.flow_rate(*id).expect("active") > 0.0);
+        }
+    }
+
+    /// Max-min property: a flow's rate can only be limited by a link
+    /// where the capacity is fully used.
+    #[test]
+    fn bottleneck_justification(
+        capacities in proptest::collection::vec(1.0f64..50.0, 1..4),
+        n_flows in 1usize..8,
+    ) {
+        let mut net = FlowNet::new();
+        let links: Vec<LinkId> = capacities
+            .iter()
+            .map(|c| net.add_link(*c, SimDuration::ZERO))
+            .collect();
+        // Each flow crosses all links (a chain topology).
+        let ids: Vec<_> = (0..n_flows)
+            .map(|_| net.start_flow(SimTime::ZERO, links.clone(), 1e9))
+            .collect();
+        // All flows identical => identical rates, equal to the tightest
+        // link's fair share.
+        let min_cap = capacities.iter().cloned().fold(f64::INFINITY, f64::min);
+        let expect = min_cap / n_flows as f64;
+        for id in ids {
+            let rate = net.flow_rate(id).expect("active");
+            prop_assert!((rate - expect).abs() < 1e-6, "rate {rate} expect {expect}");
+        }
+    }
+
+    /// Completion times are monotone in transfer size on a quiet link.
+    #[test]
+    fn completion_monotone_in_bytes(sizes in proptest::collection::vec(1.0f64..1e6, 2..6)) {
+        let mut sorted = sizes.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("no NaN"));
+        let mut times = Vec::new();
+        for s in &sorted {
+            let mut net = FlowNet::new();
+            let l = net.add_link(1e5, SimDuration::from_millis(40));
+            let f = net.start_flow(SimTime::ZERO, vec![l], *s);
+            times.push(net.run_to_completion()[&f]);
+        }
+        for w in times.windows(2) {
+            prop_assert!(w[1] >= w[0]);
+        }
+    }
+}

@@ -1,0 +1,38 @@
+//! The SaniVM's scrubbing toolchain.
+//!
+//! §3.6: nymboxes never touch local files directly; a dedicated,
+//! non-networked SaniVM mounts the user's data, runs "a suite of
+//! scrubbing tools that inspect the files to be transferred, attempt to
+//! identify potential risks such as hidden metadata or visible faces in
+//! photos, present the user a list of these files and potential risks,
+//! and offer to apply appropriate scrubbing transformations".
+//!
+//! §4.3: two modes — a MAT-style metadata stripper, and a rasterizer
+//! that "converts the document into a series of images", scrubbing
+//! anything non-visual.
+//!
+//! Real JPEG/PDF/DOCX parsers are out of scope; instead [`formats`]
+//! defines structured synthetic containers with the same *risk surface*
+//! (EXIF GPS + serial numbers, document author/revision metadata,
+//! hidden layers, steganographic payloads, detectable faces), complete
+//! with binary serialization so scrubbing is a real byte-level
+//! transformation.
+//!
+//! * [`formats`] — synthetic JPEG/PDF/DOC containers and codecs.
+//! * [`risk`] — the automated risk analyzer.
+//! * [`scrub`](mod@crate::scrub) — the transformations and paranoia-level pipeline.
+//! * [`containers`] — PNG and multi-file archive formats, recursive
+//!   scrubbing, and the any-format analyzer entry point.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod containers;
+pub mod formats;
+pub mod risk;
+pub mod scrub;
+
+pub use containers::{analyze_any, FileArchive, PngImage};
+pub use formats::{DocFile, JpegImage, MediaFile, PdfDoc};
+pub use risk::{analyze, Risk, RiskKind, Severity};
+pub use scrub::{scrub, ParanoiaLevel, ScrubReport, Transform};

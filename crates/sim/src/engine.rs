@@ -1,0 +1,246 @@
+//! The discrete-event loop.
+//!
+//! An [`Engine`] advances a simulated clock by executing timed callbacks
+//! over a user-supplied world type `W`. Callbacks may schedule further
+//! callbacks; the run ends when the queue drains (or a horizon is hit).
+//!
+//! Ties are broken by insertion order, so runs are fully deterministic.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use crate::time::{SimDuration, SimTime};
+
+type Callback<W> = Box<dyn FnOnce(&mut Engine<W>, &mut W)>;
+
+struct Entry<W> {
+    at: SimTime,
+    seq: u64,
+    callback: Callback<W>,
+}
+
+impl<W> PartialEq for Entry<W> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+
+impl<W> Eq for Entry<W> {}
+
+impl<W> PartialOrd for Entry<W> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<W> Ord for Entry<W> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; invert for earliest-first.
+        other
+            .at
+            .cmp(&self.at)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// A discrete-event simulation engine over world type `W`.
+///
+/// # Examples
+///
+/// ```
+/// use nymix_sim::{Engine, SimDuration};
+///
+/// let mut engine = Engine::new();
+/// let mut hits: Vec<u64> = Vec::new();
+/// engine.schedule_in(SimDuration::from_secs(2), |eng, world: &mut Vec<u64>| {
+///     world.push(eng.now().as_micros());
+/// });
+/// engine.run(&mut hits);
+/// assert_eq!(hits, vec![2_000_000]);
+/// ```
+pub struct Engine<W> {
+    now: SimTime,
+    seq: u64,
+    queue: BinaryHeap<Entry<W>>,
+    executed: u64,
+}
+
+impl<W> Default for Engine<W> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<W> Engine<W> {
+    /// Creates an engine with the clock at zero and an empty queue.
+    pub fn new() -> Self {
+        Self {
+            now: SimTime::ZERO,
+            seq: 0,
+            queue: BinaryHeap::new(),
+            executed: 0,
+        }
+    }
+
+    /// Current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Number of callbacks executed so far.
+    pub fn executed(&self) -> u64 {
+        self.executed
+    }
+
+    /// Number of callbacks still queued.
+    pub fn pending(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Schedules `callback` at absolute time `at`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `at` is in the past.
+    pub fn schedule_at<F>(&mut self, at: SimTime, callback: F)
+    where
+        F: FnOnce(&mut Engine<W>, &mut W) + 'static,
+    {
+        assert!(at >= self.now, "cannot schedule into the past");
+        let seq = self.seq;
+        self.seq += 1;
+        self.queue.push(Entry {
+            at,
+            seq,
+            callback: Box::new(callback),
+        });
+    }
+
+    /// Schedules `callback` after `delay`.
+    pub fn schedule_in<F>(&mut self, delay: SimDuration, callback: F)
+    where
+        F: FnOnce(&mut Engine<W>, &mut W) + 'static,
+    {
+        self.schedule_at(self.now + delay, callback);
+    }
+
+    /// Runs until the queue is empty. Returns the final clock value.
+    pub fn run(&mut self, world: &mut W) -> SimTime {
+        while self.step(world) {}
+        self.now
+    }
+
+    /// Runs until the queue is empty or the clock would pass `horizon`.
+    ///
+    /// Events scheduled after the horizon stay queued; the clock is left
+    /// at the last executed event (or the horizon if nothing ran).
+    pub fn run_until(&mut self, world: &mut W, horizon: SimTime) -> SimTime {
+        loop {
+            match self.queue.peek() {
+                Some(entry) if entry.at <= horizon => {
+                    self.step(world);
+                }
+                _ => break,
+            }
+        }
+        if self.now < horizon {
+            self.now = horizon;
+        }
+        self.now
+    }
+
+    /// Executes the next event, if any. Returns whether one ran.
+    pub fn step(&mut self, world: &mut W) -> bool {
+        let Some(entry) = self.queue.pop() else {
+            return false;
+        };
+        debug_assert!(entry.at >= self.now, "event queue went backwards");
+        self.now = entry.at;
+        self.executed += 1;
+        (entry.callback)(self, world);
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn events_run_in_time_order() {
+        let mut engine: Engine<Vec<u32>> = Engine::new();
+        engine.schedule_in(SimDuration::from_secs(3), |_, w| w.push(3));
+        engine.schedule_in(SimDuration::from_secs(1), |_, w| w.push(1));
+        engine.schedule_in(SimDuration::from_secs(2), |_, w| w.push(2));
+        let mut log = Vec::new();
+        let end = engine.run(&mut log);
+        assert_eq!(log, vec![1, 2, 3]);
+        assert_eq!(end, SimTime(3_000_000));
+        assert_eq!(engine.executed(), 3);
+    }
+
+    #[test]
+    fn ties_break_by_insertion_order() {
+        let mut engine: Engine<Vec<u32>> = Engine::new();
+        for i in 0..10 {
+            engine.schedule_at(SimTime(500), move |_, w: &mut Vec<u32>| w.push(i));
+        }
+        let mut log = Vec::new();
+        engine.run(&mut log);
+        assert_eq!(log, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn cascading_events() {
+        let mut engine: Engine<u32> = Engine::new();
+        fn tick(engine: &mut Engine<u32>, world: &mut u32) {
+            *world += 1;
+            if *world < 5 {
+                engine.schedule_in(SimDuration::from_secs(1), tick);
+            }
+        }
+        engine.schedule_in(SimDuration::from_secs(1), tick);
+        let mut count = 0;
+        let end = engine.run(&mut count);
+        assert_eq!(count, 5);
+        assert_eq!(end, SimTime(5_000_000));
+    }
+
+    #[test]
+    fn run_until_respects_horizon() {
+        let mut engine: Engine<Vec<u32>> = Engine::new();
+        engine.schedule_in(SimDuration::from_secs(1), |_, w| w.push(1));
+        engine.schedule_in(SimDuration::from_secs(10), |_, w| w.push(10));
+        let mut log = Vec::new();
+        let t = engine.run_until(&mut log, SimTime(5_000_000));
+        assert_eq!(log, vec![1]);
+        assert_eq!(t, SimTime(5_000_000));
+        assert_eq!(engine.pending(), 1);
+        engine.run(&mut log);
+        assert_eq!(log, vec![1, 10]);
+    }
+
+    #[test]
+    #[should_panic(expected = "into the past")]
+    fn scheduling_into_past_panics() {
+        let mut engine: Engine<()> = Engine::new();
+        engine.schedule_at(SimTime(10), |eng, _| {
+            eng.schedule_at(SimTime(5), |_, _| {});
+        });
+        engine.run(&mut ());
+    }
+
+    #[test]
+    fn zero_delay_event_runs_now() {
+        let mut engine: Engine<Vec<u64>> = Engine::new();
+        engine.schedule_at(SimTime(7), |eng, w: &mut Vec<u64>| {
+            eng.schedule_in(SimDuration::ZERO, |eng2, w2: &mut Vec<u64>| {
+                w2.push(eng2.now().as_micros());
+            });
+            w.push(eng.now().as_micros());
+        });
+        let mut log = Vec::new();
+        engine.run(&mut log);
+        assert_eq!(log, vec![7, 7]);
+    }
+}

@@ -1,0 +1,446 @@
+//! Fluid-flow (generalized processor sharing) resource model.
+//!
+//! A [`FluidResource`] has a fixed capacity (e.g. 4.0 "cores", or
+//! 10 Mbit/s of link bandwidth) divided among active jobs by weighted
+//! max-min fairness with optional per-job rate caps — the standard
+//! water-filling allocation. Between membership changes, rates are
+//! constant, so job progress integrates exactly; the owning simulation
+//! advances the resource to the current time before mutating it and asks
+//! for the next completion time to schedule a wake-up event.
+//!
+//! This models the paper's quad-core CPU contention (Figure 4: eight
+//! one-vCPU nymboxes on four cores) and its shaped 10 Mbit/s DeterLab
+//! link (Figure 5: up to eight parallel kernel downloads).
+
+use std::collections::BTreeMap;
+
+use crate::time::{SimDuration, SimTime};
+
+/// Identifies a job within a [`FluidResource`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct JobId(pub u64);
+
+#[derive(Debug, Clone)]
+struct Job {
+    remaining: f64,
+    weight: f64,
+    rate_cap: f64,
+    rate: f64,
+    done_work: f64,
+}
+
+/// A shared capacity with weighted max-min fair allocation.
+///
+/// Work units are abstract: bytes for links, core-seconds for CPUs.
+/// Capacity is work units per second.
+///
+/// # Examples
+///
+/// ```
+/// use nymix_sim::{FluidResource, SimTime};
+///
+/// // A 10-unit/s link with two equal flows of 10 units each.
+/// let mut link = FluidResource::new(10.0);
+/// let a = link.add_job(SimTime::ZERO, 10.0, 1.0, f64::INFINITY);
+/// let b = link.add_job(SimTime::ZERO, 10.0, 1.0, f64::INFINITY);
+/// // Each gets 5 units/s, so both finish at t=2s.
+/// let t = link.next_completion(SimTime::ZERO).unwrap();
+/// assert_eq!(t, SimTime(2_000_000));
+/// let done = link.advance(t);
+/// assert!(done.contains(&a) && done.contains(&b));
+/// ```
+#[derive(Debug, Clone)]
+pub struct FluidResource {
+    capacity: f64,
+    jobs: BTreeMap<JobId, Job>,
+    next_id: u64,
+    last_advanced: SimTime,
+    generation: u64,
+    utilization_area: f64,
+}
+
+impl FluidResource {
+    /// Creates a resource with the given capacity (work units/second).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is not strictly positive and finite.
+    pub fn new(capacity: f64) -> Self {
+        assert!(
+            capacity.is_finite() && capacity > 0.0,
+            "capacity must be positive"
+        );
+        Self {
+            capacity,
+            jobs: BTreeMap::new(),
+            next_id: 0,
+            last_advanced: SimTime::ZERO,
+            generation: 0,
+            utilization_area: 0.0,
+        }
+    }
+
+    /// Total capacity.
+    pub fn capacity(&self) -> f64 {
+        self.capacity
+    }
+
+    /// Number of active jobs.
+    pub fn active_jobs(&self) -> usize {
+        self.jobs.len()
+    }
+
+    /// Monotone counter bumped on every membership change; lets event
+    /// handlers discard stale wake-ups.
+    pub fn generation(&self) -> u64 {
+        self.generation
+    }
+
+    /// Integral of allocated rate over time — total work served so far.
+    pub fn work_served(&self) -> f64 {
+        self.utilization_area
+    }
+
+    /// Adds a job needing `work` units, with fairness `weight` and an
+    /// optional rate cap (`f64::INFINITY` for none).
+    ///
+    /// The resource must already have been advanced to `now`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `work` is negative/non-finite or `weight` is not
+    /// strictly positive.
+    pub fn add_job(&mut self, now: SimTime, work: f64, weight: f64, rate_cap: f64) -> JobId {
+        assert!(work.is_finite() && work >= 0.0, "work must be non-negative");
+        assert!(weight > 0.0, "weight must be positive");
+        self.advance(now);
+        let id = JobId(self.next_id);
+        self.next_id += 1;
+        self.jobs.insert(
+            id,
+            Job {
+                remaining: work,
+                weight,
+                rate_cap: rate_cap.max(0.0),
+                rate: 0.0,
+                done_work: 0.0,
+            },
+        );
+        self.generation += 1;
+        self.reallocate();
+        id
+    }
+
+    /// Removes a job before completion (e.g. a nym is destroyed while
+    /// downloading). Returns the work it had left, or `None` if unknown.
+    pub fn cancel_job(&mut self, now: SimTime, id: JobId) -> Option<f64> {
+        self.advance(now);
+        let job = self.jobs.remove(&id)?;
+        self.generation += 1;
+        self.reallocate();
+        Some(job.remaining)
+    }
+
+    /// Remaining work for `id`, if it is still active.
+    pub fn remaining(&self, id: JobId) -> Option<f64> {
+        self.jobs.get(&id).map(|j| j.remaining)
+    }
+
+    /// Current allocated rate for `id`, if active.
+    pub fn rate(&self, id: JobId) -> Option<f64> {
+        self.jobs.get(&id).map(|j| j.rate)
+    }
+
+    /// Advances the fluid state to `now`, returning jobs that completed
+    /// (in completion order; simultaneous completions in id order).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `now` is before the last advance.
+    pub fn advance(&mut self, now: SimTime) -> Vec<JobId> {
+        assert!(
+            now >= self.last_advanced,
+            "fluid resource advanced backwards"
+        );
+        let mut completed = Vec::new();
+        let mut t = self.last_advanced;
+        // Between completions rates are constant; step from completion
+        // to completion until we reach `now`.
+        while t < now {
+            let dt_total = now.since(t).as_secs_f64();
+            // Earliest completion under current rates.
+            let mut min_dt = dt_total;
+            for job in self.jobs.values() {
+                if job.rate > 0.0 {
+                    let dt = job.remaining / job.rate;
+                    if dt < min_dt {
+                        min_dt = dt;
+                    }
+                }
+            }
+            let step = min_dt.min(dt_total);
+            let mut finished_now = Vec::new();
+            for (id, job) in self.jobs.iter_mut() {
+                let served = job.rate * step;
+                job.remaining = (job.remaining - served).max(0.0);
+                job.done_work += served;
+                self.utilization_area += served;
+                // Use a small epsilon relative to work scale to absorb
+                // floating-point residue.
+                if job.remaining <= 1e-9 {
+                    finished_now.push(*id);
+                }
+            }
+            let advanced_us = (step * 1e6).round() as u64;
+            t = SimTime(t.0 + advanced_us.max(if step > 0.0 { 1 } else { 0 }));
+            if t > now {
+                t = now;
+            }
+            if !finished_now.is_empty() {
+                for id in &finished_now {
+                    self.jobs.remove(id);
+                }
+                completed.extend(finished_now);
+                self.generation += 1;
+                self.reallocate();
+            } else if step >= dt_total {
+                break;
+            }
+        }
+        self.last_advanced = now;
+        completed
+    }
+
+    /// Absolute time of the next job completion given current rates, or
+    /// `None` if no job is running (or all are rate-starved).
+    ///
+    /// Rounded *up* to the next whole microsecond so the returned time
+    /// is strictly after `now` — callers advance-then-poll in a loop,
+    /// and a same-instant event would spin forever on sub-microsecond
+    /// residue.
+    pub fn next_completion(&self, now: SimTime) -> Option<SimTime> {
+        let mut best: Option<f64> = None;
+        for job in self.jobs.values() {
+            if job.rate > 0.0 {
+                let dt = job.remaining / job.rate;
+                best = Some(best.map_or(dt, |b: f64| b.min(dt)));
+            }
+        }
+        best.map(|dt| now + SimDuration(((dt * 1e6).ceil()).max(1.0) as u64))
+    }
+
+    /// Water-filling: weighted max-min allocation with rate caps.
+    fn reallocate(&mut self) {
+        let mut unallocated = self.capacity;
+        let mut pending: Vec<JobId> = self.jobs.keys().copied().collect();
+        for job in self.jobs.values_mut() {
+            job.rate = 0.0;
+        }
+        // Iteratively satisfy capped jobs, then split the rest by weight.
+        loop {
+            if pending.is_empty() || unallocated <= 1e-12 {
+                break;
+            }
+            let total_weight: f64 = pending
+                .iter()
+                .map(|id| self.jobs[id].weight)
+                .sum();
+            let mut any_capped = false;
+            let mut next_pending = Vec::with_capacity(pending.len());
+            for id in &pending {
+                let job = &self.jobs[id];
+                let fair = unallocated * job.weight / total_weight;
+                if job.rate_cap <= fair {
+                    any_capped = true;
+                } else {
+                    next_pending.push(*id);
+                }
+            }
+            if !any_capped {
+                for id in &pending {
+                    let job = self.jobs.get_mut(id).expect("job exists");
+                    job.rate = unallocated * job.weight / total_weight;
+                }
+                break;
+            }
+            // Fix capped jobs at their caps and redistribute.
+            for id in &pending {
+                let job = self.jobs.get_mut(id).expect("job exists");
+                let fair = unallocated * job.weight / total_weight;
+                if job.rate_cap <= fair {
+                    job.rate = job.rate_cap;
+                }
+            }
+            let capped_sum: f64 = pending
+                .iter()
+                .filter(|id| !next_pending.contains(id))
+                .map(|id| self.jobs[id].rate)
+                .sum();
+            unallocated -= capped_sum;
+            pending = next_pending;
+        }
+    }
+}
+
+/// Convenience: total time to serve `work` units alone on a resource of
+/// `capacity`, with an optional rate cap.
+pub fn solo_service_time(work: f64, capacity: f64, rate_cap: f64) -> SimDuration {
+    let rate = capacity.min(rate_cap);
+    SimDuration::from_secs_f64(work / rate)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(secs: f64) -> SimTime {
+        SimTime((secs * 1e6).round() as u64)
+    }
+
+    #[test]
+    fn single_job_runs_at_capacity() {
+        let mut r = FluidResource::new(4.0);
+        let id = r.add_job(SimTime::ZERO, 8.0, 1.0, f64::INFINITY);
+        assert_eq!(r.rate(id), Some(4.0));
+        assert_eq!(r.next_completion(SimTime::ZERO), Some(t(2.0)));
+        let done = r.advance(t(2.0));
+        assert_eq!(done, vec![id]);
+        assert_eq!(r.active_jobs(), 0);
+    }
+
+    #[test]
+    fn equal_jobs_share_equally() {
+        let mut r = FluidResource::new(10.0);
+        let a = r.add_job(SimTime::ZERO, 10.0, 1.0, f64::INFINITY);
+        let b = r.add_job(SimTime::ZERO, 20.0, 1.0, f64::INFINITY);
+        assert_eq!(r.rate(a), Some(5.0));
+        assert_eq!(r.rate(b), Some(5.0));
+        // a finishes at 2s; b then gets full capacity: 10 left at t=2,
+        // finishing at t=3.
+        let done = r.advance(t(2.0));
+        assert_eq!(done, vec![a]);
+        assert!((r.rate(b).unwrap() - 10.0).abs() < 1e-9);
+        let done = r.advance(t(3.0));
+        assert_eq!(done, vec![b]);
+    }
+
+    #[test]
+    fn weights_bias_allocation() {
+        let mut r = FluidResource::new(9.0);
+        let heavy = r.add_job(SimTime::ZERO, 100.0, 2.0, f64::INFINITY);
+        let light = r.add_job(SimTime::ZERO, 100.0, 1.0, f64::INFINITY);
+        assert!((r.rate(heavy).unwrap() - 6.0).abs() < 1e-9);
+        assert!((r.rate(light).unwrap() - 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn rate_caps_respected_and_redistributed() {
+        let mut r = FluidResource::new(10.0);
+        let capped = r.add_job(SimTime::ZERO, 100.0, 1.0, 2.0);
+        let free = r.add_job(SimTime::ZERO, 100.0, 1.0, f64::INFINITY);
+        assert!((r.rate(capped).unwrap() - 2.0).abs() < 1e-9);
+        assert!((r.rate(free).unwrap() - 8.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn single_vcpu_on_quad_core_is_capped_at_one_core() {
+        // The Figure 4 setup: each nymbox has one vCPU (cap 1.0 core) on
+        // a 4-core host.
+        let mut r = FluidResource::new(4.0);
+        let ids: Vec<JobId> = (0..2)
+            .map(|_| r.add_job(SimTime::ZERO, 10.0, 1.0, 1.0))
+            .collect();
+        for id in &ids {
+            assert!((r.rate(*id).unwrap() - 1.0).abs() < 1e-9);
+        }
+        // With 8 vCPUs the 4 cores are oversubscribed: 0.5 core each.
+        let mut r = FluidResource::new(4.0);
+        let ids: Vec<JobId> = (0..8)
+            .map(|_| r.add_job(SimTime::ZERO, 10.0, 1.0, 1.0))
+            .collect();
+        for id in &ids {
+            assert!((r.rate(*id).unwrap() - 0.5).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn midstream_arrival_slows_existing_job() {
+        let mut r = FluidResource::new(10.0);
+        let a = r.add_job(SimTime::ZERO, 20.0, 1.0, f64::INFINITY);
+        // After 1s, a has 10 left. b arrives; both get 5/s.
+        let b = r.add_job(t(1.0), 10.0, 1.0, f64::INFINITY);
+        assert!((r.remaining(a).unwrap() - 10.0).abs() < 1e-9);
+        // Both complete at t=3.
+        let done = r.advance(t(3.0));
+        assert_eq!(done.len(), 2);
+        assert!(done.contains(&a) && done.contains(&b));
+    }
+
+    #[test]
+    fn cancel_returns_remaining_and_speeds_up_others() {
+        let mut r = FluidResource::new(10.0);
+        let a = r.add_job(SimTime::ZERO, 100.0, 1.0, f64::INFINITY);
+        let b = r.add_job(SimTime::ZERO, 100.0, 1.0, f64::INFINITY);
+        let left = r.cancel_job(t(1.0), a).unwrap();
+        assert!((left - 95.0).abs() < 1e-9);
+        assert!((r.rate(b).unwrap() - 10.0).abs() < 1e-9);
+        assert!(r.cancel_job(t(1.0), a).is_none());
+    }
+
+    #[test]
+    fn work_conservation() {
+        // Total served work equals capacity * time while backlogged.
+        let mut r = FluidResource::new(7.0);
+        for i in 0..5 {
+            r.add_job(SimTime::ZERO, 100.0 + i as f64, 1.0 + i as f64 * 0.3, f64::INFINITY);
+        }
+        r.advance(t(10.0));
+        assert!((r.work_served() - 70.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn zero_work_job_completes_immediately_on_advance() {
+        let mut r = FluidResource::new(1.0);
+        let id = r.add_job(SimTime::ZERO, 0.0, 1.0, f64::INFINITY);
+        let done = r.advance(t(0.001));
+        assert_eq!(done, vec![id]);
+    }
+
+    #[test]
+    fn generation_bumps_on_membership_changes() {
+        let mut r = FluidResource::new(1.0);
+        let g0 = r.generation();
+        let id = r.add_job(SimTime::ZERO, 5.0, 1.0, f64::INFINITY);
+        assert!(r.generation() > g0);
+        let g1 = r.generation();
+        r.cancel_job(t(0.5), id);
+        assert!(r.generation() > g1);
+    }
+
+    #[test]
+    fn next_completion_none_when_idle() {
+        let r = FluidResource::new(1.0);
+        assert_eq!(r.next_completion(SimTime::ZERO), None);
+    }
+
+    #[test]
+    fn solo_service_time_helper() {
+        assert_eq!(solo_service_time(10.0, 4.0, f64::INFINITY), SimDuration::from_secs_f64(2.5));
+        assert_eq!(solo_service_time(10.0, 4.0, 1.0), SimDuration::from_secs(10));
+    }
+
+    #[test]
+    fn many_completions_in_one_advance() {
+        let mut r = FluidResource::new(1.0);
+        let mut ids = Vec::new();
+        for i in 1..=5 {
+            ids.push(r.add_job(SimTime::ZERO, i as f64, 1.0, f64::INFINITY));
+        }
+        // Staggered completions, all before t=100.
+        let done = r.advance(t(100.0));
+        assert_eq!(done.len(), 5);
+        assert_eq!(r.active_jobs(), 0);
+        // First to finish is the smallest job.
+        assert_eq!(done[0], ids[0]);
+    }
+}

@@ -1,0 +1,135 @@
+//! Small statistics helpers for experiment reporting.
+
+/// An ordered series of `(x, y)` observations, e.g. "(number of nyms,
+/// used memory MB)" for Figure 3.
+#[derive(Debug, Clone, Default)]
+pub struct Series {
+    name: String,
+    points: Vec<(f64, f64)>,
+}
+
+impl Series {
+    /// Creates an empty named series.
+    pub fn new(name: impl Into<String>) -> Self {
+        Self {
+            name: name.into(),
+            points: Vec::new(),
+        }
+    }
+
+    /// Series label.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Appends an observation.
+    pub fn push(&mut self, x: f64, y: f64) {
+        self.points.push((x, y));
+    }
+
+    /// All observations in insertion order.
+    pub fn points(&self) -> &[(f64, f64)] {
+        &self.points
+    }
+
+    /// The y value at the given x, if present.
+    pub fn y_at(&self, x: f64) -> Option<f64> {
+        self.points
+            .iter()
+            .find(|(px, _)| (*px - x).abs() < 1e-9)
+            .map(|(_, y)| *y)
+    }
+
+    /// Renders the series as `name: (x, y) (x, y) ...` table rows.
+    pub fn render(&self) -> String {
+        let mut out = format!("{}:", self.name);
+        for (x, y) in &self.points {
+            out.push_str(&format!(" ({x:.3}, {y:.3})"));
+        }
+        out
+    }
+}
+
+/// Summary statistics of a sample.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Summary {
+    /// Sample size.
+    pub count: usize,
+    /// Arithmetic mean (0 for an empty sample).
+    pub mean: f64,
+    /// Population standard deviation.
+    pub stddev: f64,
+    /// Minimum (0 for an empty sample).
+    pub min: f64,
+    /// Maximum (0 for an empty sample).
+    pub max: f64,
+}
+
+impl Summary {
+    /// Computes summary statistics over `samples`.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// let s = nymix_sim::Summary::of(&[1.0, 2.0, 3.0]);
+    /// assert_eq!(s.mean, 2.0);
+    /// assert_eq!(s.min, 1.0);
+    /// ```
+    pub fn of(samples: &[f64]) -> Self {
+        if samples.is_empty() {
+            return Self {
+                count: 0,
+                mean: 0.0,
+                stddev: 0.0,
+                min: 0.0,
+                max: 0.0,
+            };
+        }
+        let count = samples.len();
+        let mean = samples.iter().sum::<f64>() / count as f64;
+        let var = samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / count as f64;
+        let min = samples.iter().copied().fold(f64::INFINITY, f64::min);
+        let max = samples.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        Self {
+            count,
+            mean,
+            stddev: var.sqrt(),
+            min,
+            max,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn series_basics() {
+        let mut s = Series::new("used-memory");
+        s.push(1.0, 600.0);
+        s.push(2.0, 1200.0);
+        assert_eq!(s.name(), "used-memory");
+        assert_eq!(s.points().len(), 2);
+        assert_eq!(s.y_at(2.0), Some(1200.0));
+        assert_eq!(s.y_at(3.0), None);
+        assert!(s.render().contains("(1.000, 600.000)"));
+    }
+
+    #[test]
+    fn summary_of_known_sample() {
+        let s = Summary::of(&[2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]);
+        assert_eq!(s.mean, 5.0);
+        assert!((s.stddev - 2.0).abs() < 1e-12);
+        assert_eq!(s.min, 2.0);
+        assert_eq!(s.max, 9.0);
+        assert_eq!(s.count, 8);
+    }
+
+    #[test]
+    fn summary_empty() {
+        let s = Summary::of(&[]);
+        assert_eq!(s.count, 0);
+        assert_eq!(s.mean, 0.0);
+    }
+}

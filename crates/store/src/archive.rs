@@ -1,0 +1,311 @@
+//! The nym archive container.
+//!
+//! A [`NymArchive`] is what the Nym Manager produces when the user
+//! selects *store nym* (§3.5): the AnonVM and CommVM writable layers
+//! serialized, plus named records for anonymizer state (Tor guards) and
+//! metadata. Binary format (all integers little-endian):
+//!
+//! ```text
+//! magic "NYM1" | record_count u32 | records...
+//! record: name_len u16 | name | data_len u64 | data
+//! layer payload: entry_count u32 | entries...
+//! entry: path_len u16 | path | tag u8 (0=file,1=dir,2=whiteout) |
+//!        data_len u64 | data (files only)
+//! ```
+
+use nymix_fs::{Layer, LayerKind, Node, Path};
+
+/// Errors from archive parsing.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ArchiveError {
+    /// Bad magic or structural truncation.
+    Malformed,
+    /// Unknown node tag in a layer payload.
+    BadTag(u8),
+}
+
+impl core::fmt::Display for ArchiveError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            ArchiveError::Malformed => write!(f, "malformed nym archive"),
+            ArchiveError::BadTag(t) => write!(f, "unknown layer node tag {t}"),
+        }
+    }
+}
+
+impl std::error::Error for ArchiveError {}
+
+/// A named-record container for one nym's persistent state.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct NymArchive {
+    records: Vec<(String, Vec<u8>)>,
+}
+
+const MAGIC: &[u8; 4] = b"NYM1";
+
+impl NymArchive {
+    /// An empty archive.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds (or replaces) a named record.
+    pub fn put(&mut self, name: &str, data: Vec<u8>) {
+        if let Some(slot) = self.records.iter_mut().find(|(n, _)| n == name) {
+            slot.1 = data;
+        } else {
+            self.records.push((name.to_string(), data));
+        }
+    }
+
+    /// Fetches a record.
+    pub fn get(&self, name: &str) -> Option<&[u8]> {
+        self.records
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, d)| d.as_slice())
+    }
+
+    /// Record names in insertion order.
+    pub fn names(&self) -> Vec<&str> {
+        self.records.iter().map(|(n, _)| n.as_str()).collect()
+    }
+
+    /// Total payload bytes across records.
+    pub fn payload_bytes(&self) -> usize {
+        self.records.iter().map(|(_, d)| d.len()).sum()
+    }
+
+    /// Adds a serialized writable layer under `name`.
+    pub fn put_layer(&mut self, name: &str, layer: &Layer) {
+        self.put(name, serialize_layer(layer));
+    }
+
+    /// Reconstructs a writable layer from record `name`.
+    pub fn get_layer(&self, name: &str) -> Result<Layer, ArchiveError> {
+        let data = self.get(name).ok_or(ArchiveError::Malformed)?;
+        deserialize_layer(data)
+    }
+
+    /// Serializes the archive.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = MAGIC.to_vec();
+        out.extend_from_slice(&(self.records.len() as u32).to_le_bytes());
+        for (name, data) in &self.records {
+            out.extend_from_slice(&(name.len() as u16).to_le_bytes());
+            out.extend_from_slice(name.as_bytes());
+            out.extend_from_slice(&(data.len() as u64).to_le_bytes());
+            out.extend_from_slice(data);
+        }
+        out
+    }
+
+    /// Parses a serialized archive.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self, ArchiveError> {
+        let mut r = Reader::new(bytes);
+        if r.take(4)? != MAGIC {
+            return Err(ArchiveError::Malformed);
+        }
+        let count = r.u32()?;
+        let mut records = Vec::with_capacity(count as usize);
+        for _ in 0..count {
+            let name_len = r.u16()? as usize;
+            let name = String::from_utf8(r.take(name_len)?.to_vec())
+                .map_err(|_| ArchiveError::Malformed)?;
+            let data_len = r.u64()? as usize;
+            let data = r.take(data_len)?.to_vec();
+            records.push((name, data));
+        }
+        if !r.done() {
+            return Err(ArchiveError::Malformed);
+        }
+        Ok(Self { records })
+    }
+}
+
+fn serialize_layer(layer: &Layer) -> Vec<u8> {
+    let entries: Vec<(&Path, &Node)> = layer
+        .entries()
+        .filter(|(p, _)| !p.is_root())
+        .collect();
+    let mut out = Vec::new();
+    out.extend_from_slice(&(entries.len() as u32).to_le_bytes());
+    for (path, node) in entries {
+        let p = path.to_string();
+        out.extend_from_slice(&(p.len() as u16).to_le_bytes());
+        out.extend_from_slice(p.as_bytes());
+        match node {
+            Node::File(data) => {
+                out.push(0);
+                out.extend_from_slice(&(data.len() as u64).to_le_bytes());
+                out.extend_from_slice(data);
+            }
+            Node::Dir => out.push(1),
+            Node::Whiteout => out.push(2),
+        }
+    }
+    out
+}
+
+fn deserialize_layer(bytes: &[u8]) -> Result<Layer, ArchiveError> {
+    let mut r = Reader::new(bytes);
+    let count = r.u32()?;
+    let mut layer = Layer::new(LayerKind::Writable);
+    for _ in 0..count {
+        let path_len = r.u16()? as usize;
+        let path_str = String::from_utf8(r.take(path_len)?.to_vec())
+            .map_err(|_| ArchiveError::Malformed)?;
+        let path = Path::new(&path_str);
+        match r.u8()? {
+            0 => {
+                let len = r.u64()? as usize;
+                layer.put_file(path, r.take(len)?.to_vec());
+            }
+            1 => layer.put_dir(path),
+            2 => layer.put_whiteout(path),
+            t => return Err(ArchiveError::BadTag(t)),
+        }
+    }
+    if !r.done() {
+        return Err(ArchiveError::Malformed);
+    }
+    Ok(layer)
+}
+
+struct Reader<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn new(bytes: &'a [u8]) -> Self {
+        Self { bytes, pos: 0 }
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], ArchiveError> {
+        if self.pos + n > self.bytes.len() {
+            return Err(ArchiveError::Malformed);
+        }
+        let s = &self.bytes[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    fn u8(&mut self) -> Result<u8, ArchiveError> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u16(&mut self) -> Result<u16, ArchiveError> {
+        Ok(u16::from_le_bytes(self.take(2)?.try_into().expect("2")))
+    }
+
+    fn u32(&mut self) -> Result<u32, ArchiveError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().expect("4")))
+    }
+
+    fn u64(&mut self) -> Result<u64, ArchiveError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().expect("8")))
+    }
+
+    fn done(&self) -> bool {
+        self.pos == self.bytes.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_layer() -> Layer {
+        let mut l = Layer::new(LayerKind::Writable);
+        l.put_file(Path::new("/home/user/.config/chromium/cookies"), vec![9; 500]);
+        l.put_file(Path::new("/home/user/bookmarks"), b"tor blog".to_vec());
+        l.put_dir(Path::new("/home/user/cache"));
+        l.put_whiteout(Path::new("/etc/motd"));
+        l
+    }
+
+    #[test]
+    fn record_roundtrip() {
+        let mut a = NymArchive::new();
+        a.put("meta", b"nym=alice".to_vec());
+        a.put("tor.state", vec![1, 2, 3]);
+        a.put("meta", b"nym=alice-v2".to_vec()); // replace
+        let bytes = a.to_bytes();
+        let b = NymArchive::from_bytes(&bytes).unwrap();
+        assert_eq!(a, b);
+        assert_eq!(b.get("meta").unwrap(), b"nym=alice-v2");
+        assert_eq!(b.names(), vec!["meta", "tor.state"]);
+        assert_eq!(b.get("missing"), None);
+    }
+
+    #[test]
+    fn layer_roundtrip_preserves_everything() {
+        let layer = sample_layer();
+        let mut a = NymArchive::new();
+        a.put_layer("anonvm.disk", &layer);
+        let bytes = a.to_bytes();
+        let restored = NymArchive::from_bytes(&bytes)
+            .unwrap()
+            .get_layer("anonvm.disk")
+            .unwrap();
+        // Compare every entry.
+        let orig: Vec<_> = layer.entries().collect();
+        let back: Vec<_> = restored.entries().collect();
+        assert_eq!(orig.len(), back.len());
+        for ((p1, n1), (p2, n2)) in orig.iter().zip(back.iter()) {
+            assert_eq!(p1, p2);
+            assert_eq!(n1, n2);
+        }
+    }
+
+    #[test]
+    fn truncation_rejected() {
+        let mut a = NymArchive::new();
+        a.put("x", vec![0u8; 100]);
+        let bytes = a.to_bytes();
+        for cut in [0usize, 3, 4, 8, 10, bytes.len() - 1] {
+            assert!(NymArchive::from_bytes(&bytes[..cut]).is_err(), "cut {cut}");
+        }
+    }
+
+    #[test]
+    fn trailing_garbage_rejected() {
+        let mut a = NymArchive::new();
+        a.put("x", vec![1]);
+        let mut bytes = a.to_bytes();
+        bytes.push(0);
+        assert_eq!(NymArchive::from_bytes(&bytes), Err(ArchiveError::Malformed));
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        let mut bytes = NymArchive::new().to_bytes();
+        bytes[0] ^= 1;
+        assert_eq!(NymArchive::from_bytes(&bytes), Err(ArchiveError::Malformed));
+    }
+
+    #[test]
+    fn bad_layer_tag_rejected() {
+        let mut payload = Vec::new();
+        payload.extend_from_slice(&1u32.to_le_bytes());
+        payload.extend_from_slice(&2u16.to_le_bytes());
+        payload.extend_from_slice(b"/x");
+        payload.push(7); // bad tag
+        let mut a = NymArchive::new();
+        a.put("layer", payload);
+        assert!(matches!(a.get_layer("layer"), Err(ArchiveError::BadTag(7))));
+        assert!(matches!(
+            a.get_layer("missing"),
+            Err(ArchiveError::Malformed)
+        ));
+    }
+
+    #[test]
+    fn payload_accounting() {
+        let mut a = NymArchive::new();
+        a.put("a", vec![0; 10]);
+        a.put("b", vec![0; 32]);
+        assert_eq!(a.payload_bytes(), 42);
+    }
+}

@@ -1,0 +1,315 @@
+//! Simulated cloud storage providers.
+//!
+//! §3.5: "By utilizing free-to-use cloud storage options, such as
+//! DropBox or Google Drive, a user can create a pseudonymous cloud
+//! account for each pseudonym. Because all interactions with the cloud
+//! storage are anonymized, the cloud provider learns nothing about the
+//! account owner."
+//!
+//! The provider model therefore records exactly what a real provider
+//! would observe — account id, object name, blob bytes, and the *source
+//! address of the connection* — so tests can check the deniability
+//! claims: blobs are ciphertext, and the observed address is an
+//! anonymizer exit, never the user.
+
+use std::collections::BTreeMap;
+
+use nymix_net::Ip;
+
+/// Errors from provider operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CloudError {
+    /// Unknown account.
+    NoSuchAccount,
+    /// Wrong account credential.
+    BadCredential,
+    /// Unknown object.
+    NoSuchObject,
+}
+
+impl core::fmt::Display for CloudError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            CloudError::NoSuchAccount => write!(f, "no such account"),
+            CloudError::BadCredential => write!(f, "bad credential"),
+            CloudError::NoSuchObject => write!(f, "no such object"),
+        }
+    }
+}
+
+impl std::error::Error for CloudError {}
+
+/// One observed provider-side event (the provider's access log).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AccessLogEntry {
+    /// Account the operation touched.
+    pub account: String,
+    /// Operation ("put", "get", "list", "login").
+    pub op: &'static str,
+    /// Object name, if applicable.
+    pub object: Option<String>,
+    /// Source address the provider observed.
+    pub observed_ip: Ip,
+    /// Blob size, if applicable.
+    pub bytes: usize,
+}
+
+#[derive(Debug, Clone)]
+struct Account {
+    credential: String,
+    objects: BTreeMap<String, Vec<u8>>,
+}
+
+/// A cloud storage provider.
+///
+/// # Examples
+///
+/// ```
+/// use nymix_store::CloudProvider;
+/// use nymix_net::Ip;
+///
+/// let mut dropbox = CloudProvider::new("dropbox");
+/// dropbox.create_account("anon4711", "token");
+/// let exit = Ip::parse("198.18.0.5"); // a Tor exit, not the user
+/// dropbox.put("anon4711", "token", "nym.bin", vec![1, 2, 3], exit).unwrap();
+/// assert_eq!(dropbox.get("anon4711", "token", "nym.bin", exit).unwrap(), vec![1, 2, 3]);
+/// ```
+#[derive(Debug, Clone)]
+pub struct CloudProvider {
+    name: String,
+    accounts: BTreeMap<String, Account>,
+    log: Vec<AccessLogEntry>,
+}
+
+impl CloudProvider {
+    /// A provider with no accounts.
+    pub fn new(name: &str) -> Self {
+        Self {
+            name: name.to_string(),
+            accounts: BTreeMap::new(),
+            log: Vec::new(),
+        }
+    }
+
+    /// Provider name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Registers a (pseudonymous) account.
+    pub fn create_account(&mut self, account: &str, credential: &str) {
+        self.accounts.insert(
+            account.to_string(),
+            Account {
+                credential: credential.to_string(),
+                objects: BTreeMap::new(),
+            },
+        );
+    }
+
+    fn auth(&self, account: &str, credential: &str) -> Result<(), CloudError> {
+        let acct = self
+            .accounts
+            .get(account)
+            .ok_or(CloudError::NoSuchAccount)?;
+        if acct.credential != credential {
+            return Err(CloudError::BadCredential);
+        }
+        Ok(())
+    }
+
+    /// Stores an object.
+    pub fn put(
+        &mut self,
+        account: &str,
+        credential: &str,
+        object: &str,
+        data: Vec<u8>,
+        observed_ip: Ip,
+    ) -> Result<(), CloudError> {
+        self.auth(account, credential)?;
+        let bytes = data.len();
+        self.accounts
+            .get_mut(account)
+            .expect("authenticated above")
+            .objects
+            .insert(object.to_string(), data);
+        self.log.push(AccessLogEntry {
+            account: account.to_string(),
+            op: "put",
+            object: Some(object.to_string()),
+            observed_ip,
+            bytes,
+        });
+        Ok(())
+    }
+
+    /// Retrieves an object.
+    pub fn get(
+        &mut self,
+        account: &str,
+        credential: &str,
+        object: &str,
+        observed_ip: Ip,
+    ) -> Result<Vec<u8>, CloudError> {
+        self.auth(account, credential)?;
+        let data = self
+            .accounts
+            .get(account)
+            .expect("authenticated above")
+            .objects
+            .get(object)
+            .cloned()
+            .ok_or(CloudError::NoSuchObject)?;
+        self.log.push(AccessLogEntry {
+            account: account.to_string(),
+            op: "get",
+            object: Some(object.to_string()),
+            observed_ip,
+            bytes: data.len(),
+        });
+        Ok(data)
+    }
+
+    /// Lists an account's object names.
+    pub fn list(
+        &mut self,
+        account: &str,
+        credential: &str,
+        observed_ip: Ip,
+    ) -> Result<Vec<String>, CloudError> {
+        self.auth(account, credential)?;
+        self.log.push(AccessLogEntry {
+            account: account.to_string(),
+            op: "list",
+            object: None,
+            observed_ip,
+            bytes: 0,
+        });
+        Ok(self
+            .accounts
+            .get(account)
+            .expect("authenticated above")
+            .objects
+            .keys()
+            .cloned()
+            .collect())
+    }
+
+    /// Deletes an object.
+    pub fn delete(
+        &mut self,
+        account: &str,
+        credential: &str,
+        object: &str,
+        observed_ip: Ip,
+    ) -> Result<(), CloudError> {
+        self.auth(account, credential)?;
+        self.accounts
+            .get_mut(account)
+            .expect("authenticated above")
+            .objects
+            .remove(object)
+            .ok_or(CloudError::NoSuchObject)?;
+        self.log.push(AccessLogEntry {
+            account: account.to_string(),
+            op: "delete",
+            object: Some(object.to_string()),
+            observed_ip,
+            bytes: 0,
+        });
+        Ok(())
+    }
+
+    /// The provider's full access log (the adversary's subpoena view).
+    pub fn access_log(&self) -> &[AccessLogEntry] {
+        &self.log
+    }
+
+    /// Stored size of an object, if present.
+    pub fn object_size(&self, account: &str, object: &str) -> Option<usize> {
+        self.accounts.get(account)?.objects.get(object).map(Vec::len)
+    }
+
+    /// Everything the provider could hand an adversary about `account`:
+    /// the raw blobs. (Deniability analysis: are they distinguishable
+    /// from random?)
+    pub fn subpoena(&self, account: &str) -> Vec<(&str, &[u8])> {
+        self.accounts
+            .get(account)
+            .map(|a| {
+                a.objects
+                    .iter()
+                    .map(|(k, v)| (k.as_str(), v.as_slice()))
+                    .collect()
+            })
+            .unwrap_or_default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn exit() -> Ip {
+        Ip::parse("198.18.0.7")
+    }
+
+    #[test]
+    fn put_get_list_delete() {
+        let mut p = CloudProvider::new("drive");
+        p.create_account("a1", "c1");
+        p.put("a1", "c1", "o1", vec![1, 2], exit()).unwrap();
+        p.put("a1", "c1", "o2", vec![3], exit()).unwrap();
+        assert_eq!(p.get("a1", "c1", "o1", exit()).unwrap(), vec![1, 2]);
+        assert_eq!(p.list("a1", "c1", exit()).unwrap(), vec!["o1", "o2"]);
+        assert_eq!(p.object_size("a1", "o2"), Some(1));
+        p.delete("a1", "c1", "o2", exit()).unwrap();
+        assert_eq!(
+            p.get("a1", "c1", "o2", exit()),
+            Err(CloudError::NoSuchObject)
+        );
+    }
+
+    #[test]
+    fn auth_enforced() {
+        let mut p = CloudProvider::new("drive");
+        p.create_account("a1", "c1");
+        assert_eq!(
+            p.put("a1", "wrong", "o", vec![], exit()),
+            Err(CloudError::BadCredential)
+        );
+        assert_eq!(
+            p.get("nobody", "c", "o", exit()),
+            Err(CloudError::NoSuchAccount)
+        );
+    }
+
+    #[test]
+    fn access_log_records_observed_ip_only() {
+        let mut p = CloudProvider::new("drive");
+        p.create_account("anon", "c");
+        let user_ip = Ip::parse("203.0.113.9");
+        let tor_exit = Ip::parse("198.18.0.40");
+        p.put("anon", "c", "nym.bin", vec![0; 64], tor_exit).unwrap();
+        p.get("anon", "c", "nym.bin", tor_exit).unwrap();
+        // The provider's log contains only the exit address.
+        assert_eq!(p.access_log().len(), 2);
+        for entry in p.access_log() {
+            assert_eq!(entry.observed_ip, tor_exit);
+            assert_ne!(entry.observed_ip, user_ip);
+        }
+    }
+
+    #[test]
+    fn subpoena_returns_blobs() {
+        let mut p = CloudProvider::new("drive");
+        p.create_account("anon", "c");
+        p.put("anon", "c", "x", vec![0xAB; 10], exit()).unwrap();
+        let dump = p.subpoena("anon");
+        assert_eq!(dump.len(), 1);
+        assert_eq!(dump[0].0, "x");
+        assert_eq!(dump[0].1, &[0xAB; 10][..]);
+        assert!(p.subpoena("ghost").is_empty());
+    }
+}

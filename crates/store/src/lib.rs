@@ -1,0 +1,40 @@
+//! Quasi-persistent nym storage.
+//!
+//! §3.5: "When not in use, an encrypted copy of the data is migrated to
+//! another storage device — either to another local partition or USB
+//! drive, or to the cloud... the nym manager pauses the nym's AnonVM
+//! and CommVM, syncs their file systems, compresses and encrypts their
+//! temporary file system disk images, resumes the VMs, and uploads the
+//! contents through the nym's CommVM."
+//!
+//! This crate implements that pipeline's storage half:
+//!
+//! * [`lzss`] — the compressor ("compresses ... their disk images").
+//! * [`archive`] — the container: writable-layer serialization plus
+//!   named records (Tor guard state, metadata).
+//! * [`sealed`] — password-based authenticated encryption of archives
+//!   (PBKDF2 → ChaCha20-Poly1305).
+//! * [`cloud`] — simulated cloud providers with pseudonymous accounts;
+//!   records what the provider *observes* so tests can verify the
+//!   deniability story ("the cloud provider learns nothing about the
+//!   account owner").
+//! * [`local`] — local-partition/USB storage, including what a
+//!   confiscating adversary finds.
+//! * [`versioned`] — retained snapshot history with rollback (the
+//!   stained-snapshot escape hatch).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod archive;
+pub mod cloud;
+pub mod local;
+pub mod lzss;
+pub mod sealed;
+pub mod versioned;
+
+pub use archive::NymArchive;
+pub use cloud::{CloudError, CloudProvider};
+pub use local::LocalStore;
+pub use sealed::{open_sealed, seal_archive, SealedError};
+pub use versioned::VersionedStore;

@@ -1,0 +1,294 @@
+//! LZSS compression.
+//!
+//! A windowed dictionary compressor in the LZSS family: output is a
+//! stream of flag-grouped items, each either a literal byte or a
+//! `(distance, length)` back-reference into a 4 KiB sliding window.
+//! Nym archives are mostly browser profile/cache data — a mix of highly
+//! repetitive text (HTML, JSON, SQLite) and incompressible media — so a
+//! simple LZSS captures the right size behaviour for Figure 6.
+//!
+//! Format: repeated groups of `flag_byte` + 8 items. Flag bit *i* set
+//! means item *i* is a literal byte; clear means a 2-byte match token:
+//! 12 bits of distance (1-based) and 4 bits of length-3 (match lengths
+//! 3..=18). The stream is prefixed with the 8-byte plaintext length.
+
+const WINDOW: usize = 4096;
+const MIN_MATCH: usize = 3;
+const MAX_MATCH: usize = 18;
+
+/// Compresses `data`.
+///
+/// # Examples
+///
+/// ```
+/// let data = b"abcabcabcabcabcabc".to_vec();
+/// let packed = nymix_store::lzss::compress(&data);
+/// assert!(packed.len() < data.len() + 9);
+/// assert_eq!(nymix_store::lzss::decompress(&packed).unwrap(), data);
+/// ```
+pub fn compress(data: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(data.len() / 2 + 16);
+    out.extend_from_slice(&(data.len() as u64).to_le_bytes());
+
+    // Hash chains over 3-byte prefixes for match finding.
+    let mut head: Vec<i64> = vec![-1; 1 << 13];
+    let mut prev: Vec<i64> = vec![-1; data.len().max(1)];
+    let hash = |a: u8, b: u8, c: u8| -> usize {
+        ((a as usize) << 6 ^ (b as usize) << 3 ^ c as usize) & ((1 << 13) - 1)
+    };
+
+    let mut items: Vec<(bool, u8, u16)> = Vec::new(); // (is_literal, lit, token)
+    let mut i = 0usize;
+    while i < data.len() {
+        let mut best_len = 0usize;
+        let mut best_dist = 0usize;
+        if i + MIN_MATCH <= data.len() {
+            let h = hash(data[i], data[i + 1], data[i + 2]);
+            let mut candidate = head[h];
+            let mut tries = 32;
+            while candidate >= 0 && tries > 0 {
+                let c = candidate as usize;
+                let dist = i - c;
+                if dist > WINDOW {
+                    break;
+                }
+                let mut len = 0usize;
+                let max = MAX_MATCH.min(data.len() - i);
+                while len < max && data[c + len] == data[i + len] {
+                    len += 1;
+                }
+                if len > best_len {
+                    best_len = len;
+                    best_dist = dist;
+                    if len == MAX_MATCH {
+                        break;
+                    }
+                }
+                candidate = prev[c];
+                tries -= 1;
+            }
+        }
+        if best_len >= MIN_MATCH {
+            let token = (((best_dist - 1) as u16) << 4) | ((best_len - MIN_MATCH) as u16);
+            items.push((false, 0, token));
+            // Insert every covered position into the chains.
+            for k in i..i + best_len {
+                if k + MIN_MATCH <= data.len() {
+                    let h = hash(data[k], data[k + 1], data[k + 2]);
+                    prev[k] = head[h];
+                    head[h] = k as i64;
+                }
+            }
+            i += best_len;
+        } else {
+            items.push((true, data[i], 0));
+            if i + MIN_MATCH <= data.len() {
+                let h = hash(data[i], data[i + 1], data[i + 2]);
+                prev[i] = head[h];
+                head[h] = i as i64;
+            }
+            i += 1;
+        }
+    }
+
+    for group in items.chunks(8) {
+        let mut flag = 0u8;
+        for (k, (is_lit, _, _)) in group.iter().enumerate() {
+            if *is_lit {
+                flag |= 1 << k;
+            }
+        }
+        out.push(flag);
+        for (is_lit, lit, token) in group {
+            if *is_lit {
+                out.push(*lit);
+            } else {
+                out.extend_from_slice(&token.to_le_bytes());
+            }
+        }
+    }
+    out
+}
+
+/// Error from [`decompress`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LzssError {
+    /// Input ended mid-stream.
+    Truncated,
+    /// A back-reference pointed before the start of output.
+    BadReference,
+    /// Output length disagreed with the header.
+    LengthMismatch,
+}
+
+impl core::fmt::Display for LzssError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            LzssError::Truncated => write!(f, "compressed stream truncated"),
+            LzssError::BadReference => write!(f, "back-reference out of range"),
+            LzssError::LengthMismatch => write!(f, "decompressed length mismatch"),
+        }
+    }
+}
+
+impl std::error::Error for LzssError {}
+
+/// Decompresses a [`compress`] stream.
+pub fn decompress(packed: &[u8]) -> Result<Vec<u8>, LzssError> {
+    if packed.len() < 8 {
+        return Err(LzssError::Truncated);
+    }
+    let expect_len =
+        u64::from_le_bytes(packed[..8].try_into().expect("8 bytes")) as usize;
+    // The header is untrusted input: a match token encodes at most
+    // MAX_MATCH bytes per 2 wire bytes, so anything claiming more than
+    // that is malformed — reject before allocating.
+    if expect_len > 8 + (packed.len().saturating_sub(8)).saturating_mul(MAX_MATCH) {
+        return Err(LzssError::Truncated);
+    }
+    let mut out = Vec::with_capacity(expect_len);
+    let mut pos = 8usize;
+    while out.len() < expect_len {
+        if pos >= packed.len() {
+            return Err(LzssError::Truncated);
+        }
+        let flag = packed[pos];
+        pos += 1;
+        for k in 0..8 {
+            if out.len() >= expect_len {
+                break;
+            }
+            if flag & (1 << k) != 0 {
+                let Some(&b) = packed.get(pos) else {
+                    return Err(LzssError::Truncated);
+                };
+                out.push(b);
+                pos += 1;
+            } else {
+                if pos + 2 > packed.len() {
+                    return Err(LzssError::Truncated);
+                }
+                let token = u16::from_le_bytes([packed[pos], packed[pos + 1]]);
+                pos += 2;
+                let dist = (token >> 4) as usize + 1;
+                let len = (token & 0x0f) as usize + MIN_MATCH;
+                if dist > out.len() {
+                    return Err(LzssError::BadReference);
+                }
+                let start = out.len() - dist;
+                for j in 0..len {
+                    let b = out[start + j];
+                    out.push(b);
+                }
+            }
+        }
+    }
+    if out.len() != expect_len {
+        return Err(LzssError::LengthMismatch);
+    }
+    Ok(out)
+}
+
+/// Compression ratio achieved on `data` (compressed/original; lower is
+/// better; >1 means expansion).
+pub fn ratio(data: &[u8]) -> f64 {
+    if data.is_empty() {
+        return 1.0;
+    }
+    compress(data).len() as f64 / data.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_roundtrip() {
+        let packed = compress(b"");
+        assert_eq!(decompress(&packed).unwrap(), b"");
+    }
+
+    #[test]
+    fn short_roundtrip() {
+        for data in [&b"a"[..], b"ab", b"abc", b"aaaa", b"abcd"] {
+            let packed = compress(data);
+            assert_eq!(decompress(&packed).unwrap(), data, "{data:?}");
+        }
+    }
+
+    #[test]
+    fn repetitive_text_compresses_well() {
+        let data: Vec<u8> = b"<div class=\"tweet\">hello world</div>\n"
+            .iter()
+            .copied()
+            .cycle()
+            .take(50_000)
+            .collect();
+        let packed = compress(&data);
+        assert!(
+            packed.len() < data.len() / 4,
+            "ratio {}",
+            packed.len() as f64 / data.len() as f64
+        );
+        assert_eq!(decompress(&packed).unwrap(), data);
+    }
+
+    #[test]
+    fn random_data_barely_expands() {
+        // Keystream bytes are incompressible; expansion is bounded by
+        // the flag bytes (1/8) plus the header.
+        let key = [1u8; 32];
+        let data = nymix_crypto::ChaCha20::new(&key, &[0u8; 12], 0).keystream(10_000);
+        let packed = compress(&data);
+        assert!(packed.len() <= data.len() + data.len() / 8 + 9 + 8);
+        assert_eq!(decompress(&packed).unwrap(), data);
+    }
+
+    #[test]
+    fn long_match_chains() {
+        let mut data = vec![0u8; 100_000];
+        for (i, b) in data.iter_mut().enumerate() {
+            *b = (i / 1000) as u8;
+        }
+        let packed = compress(&data);
+        assert!(packed.len() < data.len() / 5);
+        assert_eq!(decompress(&packed).unwrap(), data);
+    }
+
+    #[test]
+    fn window_boundary_matches() {
+        // Repetition farther apart than the window cannot match, but
+        // the stream must still round-trip.
+        let mut data = Vec::new();
+        data.extend_from_slice(&[7u8; 100]);
+        data.extend(std::iter::repeat(0u8).take(WINDOW + 50));
+        data.extend_from_slice(&[7u8; 100]);
+        let packed = compress(&data);
+        assert_eq!(decompress(&packed).unwrap(), data);
+    }
+
+    #[test]
+    fn truncation_detected() {
+        let packed = compress(b"hello hello hello hello");
+        for cut in [0usize, 4, 8, 9, packed.len() - 1] {
+            assert!(decompress(&packed[..cut]).is_err(), "cut {cut}");
+        }
+    }
+
+    #[test]
+    fn bad_reference_detected() {
+        // Handcraft: header len 3, one group with a match token first.
+        let mut packed = Vec::new();
+        packed.extend_from_slice(&3u64.to_le_bytes());
+        packed.push(0x00); // all matches
+        packed.extend_from_slice(&(0xffu16 << 4).to_le_bytes()); // dist 256 into empty output
+        assert_eq!(decompress(&packed), Err(LzssError::BadReference));
+    }
+
+    #[test]
+    fn ratio_helper() {
+        assert_eq!(ratio(b""), 1.0);
+        let text: Vec<u8> = b"abcabcabc".iter().copied().cycle().take(5000).collect();
+        assert!(ratio(&text) < 0.3);
+    }
+}

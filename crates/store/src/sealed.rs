@@ -1,0 +1,205 @@
+//! Password-sealed archives.
+//!
+//! The store-nym workflow asks the user for "a name for the nym, a
+//! password to encrypt it with" (§3.5). Sealing pipeline:
+//!
+//! ```text
+//! archive bytes → LZSS compress → ChaCha20-Poly1305 under a key
+//! derived with PBKDF2-HMAC-SHA256(password, salt=label||random)
+//! ```
+//!
+//! The label (nym name / storage location) is bound as AEAD associated
+//! data, so an adversary — or a confused user — cannot splice one nym's
+//! ciphertext into another nym's slot undetected.
+
+use nymix_crypto::{open, pbkdf2_hmac_sha256, seal};
+use nymix_sim::Rng;
+
+use crate::archive::NymArchive;
+use crate::lzss;
+
+/// PBKDF2 iteration count (modest: sealing happens on every save).
+pub const KDF_ITERATIONS: u32 = 10_000;
+
+const MAGIC: &[u8; 4] = b"NYS1";
+const SALT_LEN: usize = 16;
+const NONCE_LEN: usize = 12;
+
+/// Errors from unsealing.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SealedError {
+    /// Structural problem with the sealed blob.
+    Malformed,
+    /// Wrong password, wrong label, or tampered ciphertext.
+    AuthFailed,
+    /// Decompression failed after successful authentication (archive
+    /// corrupted before sealing — should be impossible).
+    Corrupt,
+}
+
+impl core::fmt::Display for SealedError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            SealedError::Malformed => write!(f, "malformed sealed nym"),
+            SealedError::AuthFailed => write!(f, "authentication failed (wrong password/label?)"),
+            SealedError::Corrupt => write!(f, "archive corrupt after decryption"),
+        }
+    }
+}
+
+impl std::error::Error for SealedError {}
+
+fn derive_key(password: &str, label: &str, salt: &[u8]) -> [u8; 32] {
+    let mut full_salt = label.as_bytes().to_vec();
+    full_salt.push(0);
+    full_salt.extend_from_slice(salt);
+    let dk = pbkdf2_hmac_sha256(password.as_bytes(), &full_salt, KDF_ITERATIONS, 32);
+    let mut key = [0u8; 32];
+    key.copy_from_slice(&dk);
+    key
+}
+
+/// Seals an archive under `password`, bound to `label`.
+///
+/// `rng` supplies the salt and nonce (deterministic in simulations).
+///
+/// # Examples
+///
+/// ```
+/// use nymix_store::{seal_archive, open_sealed, NymArchive};
+/// use nymix_sim::Rng;
+///
+/// let mut a = NymArchive::new();
+/// a.put("meta", b"nym=alice".to_vec());
+/// let blob = seal_archive(&a, "hunter2", "nym:alice", &mut Rng::seed_from(1));
+/// let back = open_sealed(&blob, "hunter2", "nym:alice").unwrap();
+/// assert_eq!(back.get("meta").unwrap(), b"nym=alice");
+/// ```
+pub fn seal_archive(
+    archive: &NymArchive,
+    password: &str,
+    label: &str,
+    rng: &mut Rng,
+) -> Vec<u8> {
+    let mut salt = [0u8; SALT_LEN];
+    rng.fill_bytes(&mut salt);
+    let mut nonce = [0u8; NONCE_LEN];
+    rng.fill_bytes(&mut nonce);
+    let key = derive_key(password, label, &salt);
+    let compressed = lzss::compress(&archive.to_bytes());
+    let boxed = seal(&key, &nonce, label.as_bytes(), &compressed);
+    let mut out = MAGIC.to_vec();
+    out.extend_from_slice(&salt);
+    out.extend_from_slice(&nonce);
+    out.extend_from_slice(&boxed);
+    out
+}
+
+/// Opens a sealed blob.
+pub fn open_sealed(blob: &[u8], password: &str, label: &str) -> Result<NymArchive, SealedError> {
+    if blob.len() < 4 + SALT_LEN + NONCE_LEN || &blob[..4] != MAGIC {
+        return Err(SealedError::Malformed);
+    }
+    let salt = &blob[4..4 + SALT_LEN];
+    let mut nonce = [0u8; NONCE_LEN];
+    nonce.copy_from_slice(&blob[4 + SALT_LEN..4 + SALT_LEN + NONCE_LEN]);
+    let boxed = &blob[4 + SALT_LEN + NONCE_LEN..];
+    let key = derive_key(password, label, salt);
+    let compressed =
+        open(&key, &nonce, label.as_bytes(), boxed).map_err(|_| SealedError::AuthFailed)?;
+    let bytes = lzss::decompress(&compressed).map_err(|_| SealedError::Corrupt)?;
+    NymArchive::from_bytes(&bytes).map_err(|_| SealedError::Corrupt)
+}
+
+/// The sealed size an archive would produce (for storage accounting
+/// without materializing the ciphertext twice).
+pub fn sealed_size(archive: &NymArchive) -> usize {
+    lzss::compress(&archive.to_bytes()).len() + 4 + SALT_LEN + NONCE_LEN + 16
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn archive() -> NymArchive {
+        let mut a = NymArchive::new();
+        a.put("meta", b"nym=bob;site=twitter".to_vec());
+        a.put(
+            "anonvm.disk",
+            b"<html>cache</html>".repeat(200).to_vec(),
+        );
+        a
+    }
+
+    #[test]
+    fn roundtrip() {
+        let a = archive();
+        let blob = seal_archive(&a, "pw", "nym:bob", &mut Rng::seed_from(5));
+        let b = open_sealed(&blob, "pw", "nym:bob").unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn wrong_password_fails() {
+        let blob = seal_archive(&archive(), "pw", "nym:bob", &mut Rng::seed_from(5));
+        assert_eq!(
+            open_sealed(&blob, "wrong", "nym:bob"),
+            Err(SealedError::AuthFailed)
+        );
+    }
+
+    #[test]
+    fn wrong_label_fails() {
+        // Splicing bob's blob into alice's slot must not decrypt.
+        let blob = seal_archive(&archive(), "pw", "nym:bob", &mut Rng::seed_from(5));
+        assert_eq!(
+            open_sealed(&blob, "pw", "nym:alice"),
+            Err(SealedError::AuthFailed)
+        );
+    }
+
+    #[test]
+    fn tamper_fails() {
+        let mut blob = seal_archive(&archive(), "pw", "nym:bob", &mut Rng::seed_from(5));
+        let last = blob.len() - 1;
+        blob[last] ^= 1;
+        assert_eq!(
+            open_sealed(&blob, "pw", "nym:bob"),
+            Err(SealedError::AuthFailed)
+        );
+        assert_eq!(
+            open_sealed(b"junk", "pw", "nym:bob"),
+            Err(SealedError::Malformed)
+        );
+    }
+
+    #[test]
+    fn ciphertext_looks_random() {
+        // The provider stores only high-entropy bytes: no plaintext
+        // marker from the archive appears in the sealed blob.
+        let blob = seal_archive(&archive(), "pw", "nym:bob", &mut Rng::seed_from(5));
+        let needle = b"twitter";
+        assert!(!blob
+            .windows(needle.len())
+            .any(|w| w == needle));
+    }
+
+    #[test]
+    fn compression_helps_repetitive_state() {
+        let a = archive();
+        let sealed = seal_archive(&a, "pw", "l", &mut Rng::seed_from(1));
+        assert!(sealed.len() < a.to_bytes().len() / 2);
+        assert_eq!(sealed_size(&a), sealed.len());
+    }
+
+    #[test]
+    fn salts_differ_across_seals() {
+        let mut rng = Rng::seed_from(9);
+        let a = seal_archive(&archive(), "pw", "l", &mut rng);
+        let b = seal_archive(&archive(), "pw", "l", &mut rng);
+        assert_ne!(a, b, "fresh salt/nonce per save");
+        // Both still open.
+        assert!(open_sealed(&a, "pw", "l").is_ok());
+        assert!(open_sealed(&b, "pw", "l").is_ok());
+    }
+}

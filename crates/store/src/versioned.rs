@@ -1,0 +1,152 @@
+//! Versioned nym snapshots.
+//!
+//! The paper's store-nym workflow overwrites one object per nym. A
+//! practical deployment wants a small history: the pre-configured model
+//! (§3.5) is "never updating the stored nym state unless the user
+//! explicitly requests another snapshot", and keeping the previous
+//! snapshot(s) protects against a save that captures a freshly stained
+//! session — the user can roll back past the stain.
+//!
+//! [`VersionedStore`] wraps any put/get key-value backend with
+//! `name@vN` keys, retention, and rollback.
+
+use std::collections::BTreeMap;
+
+/// A store keeping up to `retain` versions per nym name.
+#[derive(Debug, Clone)]
+pub struct VersionedStore {
+    objects: BTreeMap<String, Vec<u8>>,
+    latest: BTreeMap<String, u64>,
+    retain: usize,
+}
+
+impl VersionedStore {
+    /// A store retaining `retain` versions per name.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `retain` is zero.
+    pub fn new(retain: usize) -> Self {
+        assert!(retain > 0, "must retain at least one version");
+        Self {
+            objects: BTreeMap::new(),
+            latest: BTreeMap::new(),
+            retain,
+        }
+    }
+
+    fn key(name: &str, version: u64) -> String {
+        format!("{name}@v{version}")
+    }
+
+    /// Saves a new version of `name`; returns its version number.
+    /// Old versions beyond the retention window are pruned (and their
+    /// bytes forgotten — a real backend would also shred them).
+    pub fn save(&mut self, name: &str, blob: Vec<u8>) -> u64 {
+        let version = self.latest.get(name).map_or(1, |v| v + 1);
+        self.objects.insert(Self::key(name, version), blob);
+        self.latest.insert(name.to_string(), version);
+        // Prune.
+        if version as usize > self.retain {
+            let cutoff = version - self.retain as u64;
+            for v in 1..=cutoff {
+                self.objects.remove(&Self::key(name, v));
+            }
+        }
+        version
+    }
+
+    /// Loads a specific version.
+    pub fn load(&self, name: &str, version: u64) -> Option<&[u8]> {
+        self.objects.get(&Self::key(name, version)).map(Vec::as_slice)
+    }
+
+    /// Loads the newest version, with its number.
+    pub fn load_latest(&self, name: &str) -> Option<(u64, &[u8])> {
+        let v = *self.latest.get(name)?;
+        Some((v, self.load(name, v)?))
+    }
+
+    /// Rolls back: deletes the newest version so the previous one
+    /// becomes latest (the stained-snapshot escape hatch). Returns the
+    /// new latest version, or `None` if no older version remains.
+    pub fn rollback(&mut self, name: &str) -> Option<u64> {
+        let v = *self.latest.get(name)?;
+        self.objects.remove(&Self::key(name, v));
+        let prev = v.checked_sub(1).filter(|p| {
+            *p > 0 && self.objects.contains_key(&Self::key(name, *p))
+        })?;
+        self.latest.insert(name.to_string(), prev);
+        Some(prev)
+    }
+
+    /// Versions currently held for `name`, ascending.
+    pub fn versions(&self, name: &str) -> Vec<u64> {
+        let latest = self.latest.get(name).copied().unwrap_or(0);
+        (1..=latest)
+            .filter(|v| self.objects.contains_key(&Self::key(name, *v)))
+            .collect()
+    }
+
+    /// Total bytes held.
+    pub fn total_bytes(&self) -> usize {
+        self.objects.values().map(Vec::len).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn save_load_latest() {
+        let mut s = VersionedStore::new(3);
+        assert_eq!(s.save("alice", vec![1]), 1);
+        assert_eq!(s.save("alice", vec![2]), 2);
+        let (v, blob) = s.load_latest("alice").unwrap();
+        assert_eq!((v, blob), (2, &[2u8][..]));
+        assert_eq!(s.load("alice", 1), Some(&[1u8][..]));
+        assert!(s.load_latest("bob").is_none());
+    }
+
+    #[test]
+    fn retention_prunes_old_versions() {
+        let mut s = VersionedStore::new(2);
+        for i in 1..=5u8 {
+            s.save("n", vec![i]);
+        }
+        assert_eq!(s.versions("n"), vec![4, 5]);
+        assert_eq!(s.load("n", 3), None);
+        assert_eq!(s.load("n", 5), Some(&[5u8][..]));
+        assert_eq!(s.total_bytes(), 2);
+    }
+
+    #[test]
+    fn rollback_escapes_a_stained_snapshot() {
+        let mut s = VersionedStore::new(3);
+        s.save("n", b"clean".to_vec());
+        s.save("n", b"stained".to_vec());
+        assert_eq!(s.load_latest("n").unwrap().1, b"stained");
+        let v = s.rollback("n").unwrap();
+        assert_eq!(v, 1);
+        assert_eq!(s.load_latest("n").unwrap().1, b"clean");
+        // No older version left: rollback now fails and latest is gone
+        // with a further rollback attempt refused.
+        assert!(s.rollback("n").is_none());
+    }
+
+    #[test]
+    fn rollback_without_history_fails() {
+        let mut s = VersionedStore::new(2);
+        assert!(s.rollback("ghost").is_none());
+        s.save("n", vec![1]);
+        // Only one version: rolling back would leave nothing.
+        assert!(s.rollback("n").is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one version")]
+    fn zero_retention_rejected() {
+        let _ = VersionedStore::new(0);
+    }
+}

@@ -1,0 +1,128 @@
+//! The guest-visible hardware surface.
+//!
+//! §4.2: "Nymix configures the VM to reduce the ability for an adversary
+//! to fingerprint a VM. Each independent set of AnonVMs and CommVMs have
+//! the same Ethernet and IP addresses. The resolution within an AnonVM
+//! is consistently set to 1024x768 ... Each VM has only a single CPU
+//! listed in /proc/cpuinfo as a QEMU Virtual CPU."
+//!
+//! A [`Fingerprint`] is everything a compromised guest (or a
+//! fingerprinting web page) can observe about its "hardware". Nymix's
+//! structural homogeneity claim is that this struct is *identical* for
+//! every AnonVM on every Nymix machine — tests assert exactly that.
+
+use nymix_net::{Ip, Mac};
+
+/// The observable hardware identity of a VM.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Fingerprint {
+    /// CPU model string in `/proc/cpuinfo`.
+    pub cpu_model: String,
+    /// Number of CPUs the guest sees.
+    pub cpu_count: u32,
+    /// Display resolution.
+    pub resolution: (u32, u32),
+    /// Guest NIC MAC address.
+    pub mac: Mac,
+    /// Guest IP address.
+    pub ip: Ip,
+    /// Guest RAM in MiB (rounded as the guest OS reports it).
+    pub ram_mib: u32,
+    /// Guest disk size in MiB.
+    pub disk_mib: u32,
+}
+
+impl Fingerprint {
+    /// The canonical homogenized AnonVM surface.
+    pub fn anonvm(ram_mib: u32, disk_mib: u32) -> Self {
+        Self {
+            cpu_model: "QEMU Virtual CPU version 2.0.0".to_string(),
+            cpu_count: 1,
+            resolution: (1024, 768),
+            mac: Mac::ANONVM_FIXED,
+            ip: Ip::ANONVM_FIXED,
+            ram_mib,
+            disk_mib,
+        }
+    }
+
+    /// The canonical homogenized CommVM surface.
+    pub fn commvm(ram_mib: u32, disk_mib: u32) -> Self {
+        Self {
+            cpu_model: "QEMU Virtual CPU version 2.0.0".to_string(),
+            cpu_count: 1,
+            resolution: (1024, 768),
+            mac: Mac::COMMVM_FIXED,
+            ip: Ip::COMMVM_WIRE,
+            ram_mib,
+            disk_mib,
+        }
+    }
+
+    /// A distinguishing "bare metal" surface, for contrast in tests and
+    /// the installed-OS nym (which intentionally keeps its own look).
+    pub fn bare_metal(serial: u32) -> Self {
+        Self {
+            cpu_model: "Intel(R) Core(TM) i7-4770 CPU @ 3.40GHz".to_string(),
+            cpu_count: 8,
+            resolution: (1920, 1080),
+            mac: Mac::host_nic(serial),
+            ip: Ip::parse("192.168.1.100"),
+            ram_mib: 16_384,
+            disk_mib: 512_000,
+        }
+    }
+
+    /// Serializes the surface the way a fingerprinting script would
+    /// (stable text form; equal strings = equal fingerprints).
+    pub fn canonical_string(&self) -> String {
+        format!(
+            "cpu={};n={};res={}x{};mac={};ip={};ram={};disk={}",
+            self.cpu_model,
+            self.cpu_count,
+            self.resolution.0,
+            self.resolution.1,
+            self.mac,
+            self.ip,
+            self.ram_mib,
+            self.disk_mib
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn anonvms_are_indistinguishable() {
+        // Two different users' AnonVMs with the standard config.
+        let user1 = Fingerprint::anonvm(384, 128);
+        let user2 = Fingerprint::anonvm(384, 128);
+        assert_eq!(user1, user2);
+        assert_eq!(user1.canonical_string(), user2.canonical_string());
+    }
+
+    #[test]
+    fn anonvm_differs_from_bare_metal() {
+        let vm = Fingerprint::anonvm(384, 128);
+        let host = Fingerprint::bare_metal(7);
+        assert_ne!(vm, host);
+        assert_eq!(vm.cpu_count, 1);
+        assert_eq!(vm.resolution, (1024, 768));
+    }
+
+    #[test]
+    fn bare_metal_machines_are_distinguishable() {
+        assert_ne!(Fingerprint::bare_metal(1), Fingerprint::bare_metal(2));
+    }
+
+    #[test]
+    fn commvm_shares_cpu_surface_but_not_addresses() {
+        let a = Fingerprint::anonvm(384, 128);
+        let c = Fingerprint::commvm(128, 16);
+        assert_eq!(a.cpu_model, c.cpu_model);
+        assert_ne!(a.mac, c.mac);
+        assert_ne!(a.ip, c.ip);
+    }
+}

@@ -1,0 +1,63 @@
+//! Property-based tests for VMM memory/KSM invariants.
+
+use nymix_vmm::{ksm, PageClass, VmMemory, PAGE_SIZE};
+use proptest::prelude::*;
+
+proptest! {
+    /// KSM identity: scanned == physical + sharing, and shared frames
+    /// never exceed physical frames.
+    #[test]
+    fn ksm_accounting_identity(layouts in proptest::collection::vec(
+        (1u64..100, 1usize..64, 0usize..32, 0usize..32), 1..6)) {
+        let mut vms = Vec::new();
+        for (tag, pages, shared, uniq) in layouts {
+            let mut m = VmMemory::allocate(tag, pages * PAGE_SIZE);
+            let shared = shared.min(pages);
+            let uniq = uniq.min(pages - shared);
+            m.fill(0, shared, PageClass::Shared(0));
+            m.fill(shared, uniq, PageClass::Unique(0));
+            vms.push(m);
+        }
+        let stats = ksm::scan(vms.iter().map(|v| v.page_ids()));
+        prop_assert_eq!(stats.pages_scanned, stats.pages_physical + stats.pages_sharing);
+        prop_assert!(stats.pages_shared <= stats.pages_physical);
+        prop_assert!(stats.pages_sharing < stats.pages_scanned.max(1));
+    }
+
+    /// Merging more VMs never decreases total savings.
+    #[test]
+    fn ksm_savings_monotone_in_vm_count(n in 2usize..8, shared in 1usize..32, uniq in 0usize..32) {
+        let pages = shared + uniq;
+        let mut vms = Vec::new();
+        let mut prev = 0usize;
+        for tag in 0..n as u64 {
+            let mut m = VmMemory::allocate(tag, pages * PAGE_SIZE);
+            m.fill(0, shared, PageClass::Shared(0));
+            m.fill(shared, uniq, PageClass::Unique(0));
+            vms.push(m);
+            let s = ksm::scan(vms.iter().map(|v| v.page_ids())).saved_bytes();
+            prop_assert!(s >= prev);
+            prev = s;
+        }
+    }
+
+    /// Secure wipe always zeroes everything, regardless of prior state.
+    #[test]
+    fn wipe_is_total(pages in 1usize..128, ops in proptest::collection::vec(
+        (0usize..128, 0u8..3), 0..20)) {
+        let mut m = VmMemory::allocate(7, pages * PAGE_SIZE);
+        for (idx, kind) in ops {
+            let idx = idx % pages;
+            let class = match kind {
+                0 => PageClass::Zero,
+                1 => PageClass::Shared(idx as u32),
+                _ => PageClass::Unique(idx as u32),
+            };
+            m.set_page(idx, class);
+        }
+        m.secure_wipe();
+        prop_assert!(m.is_wiped());
+        let (zero, shared, unique) = m.census();
+        prop_assert_eq!((zero, shared, unique), (pages, 0, 0));
+    }
+}

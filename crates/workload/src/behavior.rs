@@ -1,0 +1,146 @@
+//! Typical user behaviours on a page.
+//!
+//! §5.2: "Where applicable, we signed into Web sites and simulated some
+//! typical user behaviors, such as reading the latest news." Behaviours
+//! matter to the resource model because they differ in what they write
+//! (drafts, uploads, downloads) and how much CPU/network they burn
+//! beyond the page load.
+
+use nymix_fs::Path;
+use nymix_sim::SimDuration;
+
+use crate::browser::BrowserSession;
+use crate::sites::Site;
+
+/// A scripted user action inside a loaded page.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Behavior {
+    /// Scroll through the latest items (network: incremental fetches).
+    ReadLatestNews,
+    /// Compose and submit a post of `len` characters (writes a draft,
+    /// uploads a small body).
+    Post(usize),
+    /// Upload an attachment of `bytes` (e.g. Bob's scrubbed photo).
+    Upload(u64),
+    /// Download an attachment of `bytes`.
+    Download(u64),
+}
+
+/// Resource cost of one behaviour.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BehaviorCost {
+    /// Bytes fetched.
+    pub down_bytes: u64,
+    /// Bytes sent.
+    pub up_bytes: u64,
+    /// Interactive CPU time.
+    pub cpu: SimDuration,
+}
+
+impl Behavior {
+    /// The behaviour's resource cost on `site`.
+    pub fn cost(&self, site: Site) -> BehaviorCost {
+        let profile = site.profile();
+        match self {
+            Behavior::ReadLatestNews => BehaviorCost {
+                down_bytes: profile.revisit_cache_growth / 2,
+                up_bytes: 4_096,
+                cpu: SimDuration::from_millis(2_500),
+            },
+            Behavior::Post(len) => BehaviorCost {
+                down_bytes: 16_384,
+                up_bytes: *len as u64 + 2_048,
+                cpu: SimDuration::from_millis(800),
+            },
+            Behavior::Upload(bytes) => BehaviorCost {
+                down_bytes: 8_192,
+                up_bytes: *bytes + 4_096,
+                cpu: SimDuration::from_millis(400),
+            },
+            Behavior::Download(bytes) => BehaviorCost {
+                down_bytes: *bytes,
+                up_bytes: 2_048,
+                cpu: SimDuration::from_millis(300),
+            },
+        }
+    }
+
+    /// Executes the behaviour's client-side effects in the browser
+    /// (drafts, downloaded files); returns the cost.
+    pub fn perform(&self, session: &mut BrowserSession<'_>, site: Site) -> BehaviorCost {
+        let cost = self.cost(site);
+        match self {
+            Behavior::Post(len) => {
+                session.write_profile_file(
+                    &Path::new(&format!(
+                        "/home/user/.config/chromium/drafts/{}",
+                        site.profile().domain
+                    )),
+                    vec![b'x'; *len / session.scale() as usize + 1],
+                );
+            }
+            Behavior::Download(bytes) => {
+                session.write_profile_file(
+                    &Path::new("/home/user/Downloads/attachment.bin"),
+                    vec![0xD0; (*bytes / session.scale()).max(1) as usize],
+                );
+            }
+            Behavior::ReadLatestNews | Behavior::Upload(_) => {}
+        }
+        cost
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nymix_fs::Layer;
+    use nymix_sim::Rng;
+    use nymix_vmm::{Vm, VmConfig, VmId};
+
+    fn vm() -> Vm {
+        let mut vm = Vm::new(
+            VmId(1),
+            VmConfig::anonvm(),
+            nymix_fs::BaseImage::minimal().to_layer(),
+            Layer::new(nymix_fs::LayerKind::Config),
+        );
+        vm.boot(0.05, 0.3);
+        vm
+    }
+
+    #[test]
+    fn costs_scale_with_site_and_kind() {
+        let read_fb = Behavior::ReadLatestNews.cost(Site::Facebook);
+        let read_tb = Behavior::ReadLatestNews.cost(Site::TorBlog);
+        assert!(read_fb.down_bytes > read_tb.down_bytes);
+        let up = Behavior::Upload(1_000_000).cost(Site::Twitter);
+        assert!(up.up_bytes > up.down_bytes);
+        let down = Behavior::Download(1_000_000).cost(Site::Twitter);
+        assert!(down.down_bytes > down.up_bytes);
+    }
+
+    #[test]
+    fn post_leaves_a_draft() {
+        let mut vm = vm();
+        let mut session = BrowserSession::new(&mut vm, Rng::seed_from(1), 64);
+        session.visit(Site::Twitter);
+        Behavior::Post(280).perform(&mut session, Site::Twitter);
+        drop(session);
+        assert!(vm.disk().exists(&Path::new(
+            "/home/user/.config/chromium/drafts/twitter.com"
+        )));
+    }
+
+    #[test]
+    fn download_lands_in_downloads() {
+        let mut vm = vm();
+        let mut session = BrowserSession::new(&mut vm, Rng::seed_from(2), 64);
+        session.visit(Site::Gmail);
+        Behavior::Download(500_000).perform(&mut session, Site::Gmail);
+        drop(session);
+        assert!(vm
+            .disk()
+            .exists(&Path::new("/home/user/Downloads/attachment.bin")));
+    }
+}

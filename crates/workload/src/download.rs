@@ -1,0 +1,110 @@
+//! The bulk-download workload (Figure 5).
+//!
+//! §5.2: "we download the current Linux kernel version 3.14.2, from a
+//! server running within DeterLab in order to guarantee the 10 Mbit
+//! download rate. We varied the number of parallel downloading nyms...
+//! As we scale the number of nyms, the performance remains relatively
+//! linear, indicating that Tor ... has a fixed cost, approximately 12%
+//! overhead."
+
+use nymix_net::flow::calib as netcal;
+use nymix_net::{FlowNet, LinkId};
+use nymix_sim::{SimDuration, SimTime};
+
+use crate::sites::Site;
+
+/// A bulk transfer specification.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DownloadSpec {
+    /// Payload bytes.
+    pub bytes: f64,
+    /// Byte inflation applied by the transport (e.g. Tor's 0.12).
+    pub overhead: f64,
+}
+
+impl DownloadSpec {
+    /// The linux-3.14.2 artifact.
+    pub fn linux_kernel(overhead: f64) -> Self {
+        Self {
+            bytes: netcal::LINUX_KERNEL_BYTES,
+            overhead,
+        }
+    }
+
+    /// A site page-load transfer (Figure 7's final phase).
+    pub fn page_load(site: Site, overhead: f64) -> Self {
+        Self {
+            bytes: site.profile().page_weight as f64,
+            overhead,
+        }
+    }
+
+    /// Bytes that actually cross the wire.
+    pub fn wire_bytes(&self) -> f64 {
+        self.bytes * (1.0 + self.overhead)
+    }
+}
+
+/// Runs `n` identical parallel downloads over one shared access link
+/// and returns each download's completion time in seconds.
+pub fn run_parallel_downloads(spec: DownloadSpec, n: usize) -> Vec<f64> {
+    let mut net = FlowNet::new();
+    let access: LinkId = net.add_link(netcal::ACCESS_LINK_BPS, netcal::ACCESS_ONE_WAY);
+    let flows: Vec<_> = (0..n)
+        .map(|_| net.start_flow(SimTime::ZERO, vec![access], spec.wire_bytes()))
+        .collect();
+    let done = net.run_to_completion();
+    flows.iter().map(|f| done[f].as_secs_f64()).collect()
+}
+
+/// The "Ideal" series of Figure 5: `n` parallel raw downloads with no
+/// transport overhead.
+pub fn ideal_time(bytes: f64, n: usize) -> f64 {
+    n as f64 * bytes / netcal::ACCESS_LINK_BPS
+        + SimDuration::from_micros(netcal::ACCESS_ONE_WAY.as_micros()).as_secs_f64()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_download_near_ideal_plus_overhead() {
+        let spec = DownloadSpec::linux_kernel(netcal::TOR_BYTE_OVERHEAD);
+        let t = run_parallel_downloads(spec, 1)[0];
+        let ideal = ideal_time(netcal::LINUX_KERNEL_BYTES, 1);
+        let ratio = t / ideal;
+        assert!((ratio - 1.12).abs() < 0.01, "ratio {ratio}");
+    }
+
+    #[test]
+    fn scaling_is_linear() {
+        let spec = DownloadSpec::linux_kernel(netcal::TOR_BYTE_OVERHEAD);
+        let t1 = run_parallel_downloads(spec, 1)[0];
+        for n in [2usize, 4, 8] {
+            let tn = run_parallel_downloads(spec, n);
+            assert_eq!(tn.len(), n);
+            for t in &tn {
+                assert!(
+                    (t / (t1 * n as f64) - 1.0).abs() < 0.02,
+                    "n={n}: {t} vs {}",
+                    t1 * n as f64
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn no_overhead_download_matches_ideal() {
+        let spec = DownloadSpec::linux_kernel(0.0);
+        let t = run_parallel_downloads(spec, 1)[0];
+        assert!((t - ideal_time(netcal::LINUX_KERNEL_BYTES, 1)).abs() < 0.01);
+    }
+
+    #[test]
+    fn page_load_spec() {
+        let spec = DownloadSpec::page_load(Site::Twitter, 0.12);
+        assert!(spec.bytes > 1e6);
+        assert!(spec.wire_bytes() > spec.bytes);
+    }
+}

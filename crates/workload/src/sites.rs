@@ -1,0 +1,192 @@
+//! Per-site behaviour profiles.
+//!
+//! §5.2 visits "Gmail, Twitter, Youtube, Tor Blog, BBC, Facebook,
+//! Slashdot, and ESPN. Where applicable, we signed into Web sites and
+//! simulated some typical user behaviors". §5.3 grows four persistent
+//! nyms against Twitter, Facebook, Gmail, and the Tor Blog; "much of
+//! [the growth] is dominated by contents in Chromium cache".
+//!
+//! Profiles are calibrated so the Figure 6 trajectories land at the
+//! paper's magnitudes (tens of MB after ten save/restore cycles,
+//! Facebook heaviest, Tor Blog lightest).
+
+/// The eight evaluation sites.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Site {
+    /// gmail.com (login).
+    Gmail,
+    /// twitter.com (login).
+    Twitter,
+    /// youtube.com.
+    Youtube,
+    /// blog.torproject.org.
+    TorBlog,
+    /// bbc.co.uk.
+    Bbc,
+    /// facebook.com (login).
+    Facebook,
+    /// slashdot.org.
+    Slashdot,
+    /// espn.com.
+    Espn,
+}
+
+impl Site {
+    /// The §5.2 visit order (one new site per added nym).
+    pub const VISIT_ORDER: [Site; 8] = [
+        Site::Gmail,
+        Site::Twitter,
+        Site::Youtube,
+        Site::TorBlog,
+        Site::Bbc,
+        Site::Facebook,
+        Site::Slashdot,
+        Site::Espn,
+    ];
+
+    /// The four §5.3 storage-experiment sites.
+    pub const STORAGE_SITES: [Site; 4] = [Site::Gmail, Site::Facebook, Site::Twitter, Site::TorBlog];
+
+    /// The site's behaviour profile.
+    pub fn profile(self) -> SiteProfile {
+        match self {
+            Site::Gmail => SiteProfile {
+                domain: "gmail.com",
+                login: true,
+                page_weight: 2_600_000,
+                first_visit_cache: 9_000_000,
+                revisit_cache_growth: 4_200_000,
+                compressible_fraction: 0.55,
+                cookie_bytes: 9_000,
+                memory_dirty_mib: 55,
+            },
+            Site::Twitter => SiteProfile {
+                domain: "twitter.com",
+                login: true,
+                page_weight: 1_900_000,
+                first_visit_cache: 6_000_000,
+                revisit_cache_growth: 2_600_000,
+                compressible_fraction: 0.45,
+                cookie_bytes: 7_000,
+                memory_dirty_mib: 45,
+            },
+            Site::Youtube => SiteProfile {
+                domain: "youtube.com",
+                login: false,
+                page_weight: 3_400_000,
+                first_visit_cache: 14_000_000,
+                revisit_cache_growth: 8_000_000,
+                compressible_fraction: 0.15,
+                cookie_bytes: 4_000,
+                memory_dirty_mib: 80,
+            },
+            Site::TorBlog => SiteProfile {
+                domain: "blog.torproject.org",
+                login: false,
+                page_weight: 700_000,
+                first_visit_cache: 1_600_000,
+                revisit_cache_growth: 700_000,
+                compressible_fraction: 0.75,
+                cookie_bytes: 1_200,
+                memory_dirty_mib: 20,
+            },
+            Site::Bbc => SiteProfile {
+                domain: "bbc.co.uk",
+                login: false,
+                page_weight: 2_100_000,
+                first_visit_cache: 7_500_000,
+                revisit_cache_growth: 3_000_000,
+                compressible_fraction: 0.40,
+                cookie_bytes: 5_000,
+                memory_dirty_mib: 40,
+            },
+            Site::Facebook => SiteProfile {
+                domain: "facebook.com",
+                login: true,
+                page_weight: 2_800_000,
+                first_visit_cache: 11_000_000,
+                revisit_cache_growth: 5_400_000,
+                compressible_fraction: 0.40,
+                cookie_bytes: 12_000,
+                memory_dirty_mib: 60,
+            },
+            Site::Slashdot => SiteProfile {
+                domain: "slashdot.org",
+                login: false,
+                page_weight: 1_200_000,
+                first_visit_cache: 3_000_000,
+                revisit_cache_growth: 1_200_000,
+                compressible_fraction: 0.70,
+                cookie_bytes: 2_500,
+                memory_dirty_mib: 25,
+            },
+            Site::Espn => SiteProfile {
+                domain: "espn.com",
+                login: false,
+                page_weight: 2_500_000,
+                first_visit_cache: 8_000_000,
+                revisit_cache_growth: 3_600_000,
+                compressible_fraction: 0.35,
+                cookie_bytes: 4_500,
+                memory_dirty_mib: 45,
+            },
+        }
+    }
+}
+
+/// Behavioural parameters of one site.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SiteProfile {
+    /// DNS name.
+    pub domain: &'static str,
+    /// Whether the experiment signs in and stores credentials.
+    pub login: bool,
+    /// Bytes fetched to render the landing page (Figure 7's "Load
+    /// webpage" phase).
+    pub page_weight: u64,
+    /// Cache bytes written on the first visit.
+    pub first_visit_cache: u64,
+    /// Additional cache bytes per subsequent visit ("triggering a fetch
+    /// of any new site updates", §5.3).
+    pub revisit_cache_growth: u64,
+    /// Fraction of cache content that is compressible text/markup (the
+    /// rest models already-compressed media).
+    pub compressible_fraction: f64,
+    /// Cookie-jar bytes after login/visit.
+    pub cookie_bytes: u64,
+    /// Guest memory dirtied by rendering, MiB (drives Figure 3's
+    /// before/after gap).
+    pub memory_dirty_mib: usize,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_sites_have_profiles() {
+        for site in Site::VISIT_ORDER {
+            let p = site.profile();
+            assert!(!p.domain.is_empty());
+            assert!(p.page_weight > 0);
+            assert!((0.0..=1.0).contains(&p.compressible_fraction));
+        }
+    }
+
+    #[test]
+    fn storage_sites_ordering_matches_paper() {
+        // Facebook grows fastest, Tor Blog slowest (Figure 6).
+        let growth = |s: Site| s.profile().revisit_cache_growth;
+        assert!(growth(Site::Facebook) > growth(Site::Gmail));
+        assert!(growth(Site::Gmail) > growth(Site::Twitter));
+        assert!(growth(Site::Twitter) > growth(Site::TorBlog));
+    }
+
+    #[test]
+    fn login_sites_match_paper() {
+        assert!(Site::Gmail.profile().login);
+        assert!(Site::Twitter.profile().login);
+        assert!(Site::Facebook.profile().login);
+        assert!(!Site::TorBlog.profile().login);
+    }
+}

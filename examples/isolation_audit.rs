@@ -1,0 +1,42 @@
+//! The §5.1 validation, as a runnable audit: launch several nyms, fire
+//! the full probe matrix, and print the simulated-Wireshark verdict.
+//!
+//! Run with: `cargo run --example isolation_audit`
+
+use nymix::validate_isolation;
+
+fn main() {
+    for n in [1usize, 4, 8] {
+        match validate_isolation(n) {
+            Ok(report) => {
+                println!("== {n} concurrent nym(s): {} probes ==", report.probes.len());
+                for p in &report.probes {
+                    println!(
+                        "  [{}] {:<40} delivered={} expected={}",
+                        if p.ok() { "ok" } else { "FAIL" },
+                        p.label,
+                        p.delivered,
+                        p.expected_delivered
+                    );
+                }
+                println!(
+                    "  anon IP leaked to WAN: {} | cleartext DNS to LAN: {}",
+                    report.anon_ip_leaked, report.cleartext_dns_leaked
+                );
+                println!(
+                    "  verdict: {}\n",
+                    if report.passed() { "PASS" } else { "FAIL" }
+                );
+                if !report.passed() {
+                    std::process::exit(1);
+                }
+            }
+            Err(e) => {
+                eprintln!("validation error at n={n}: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+    println!("isolation matrix matches §5.1: AnonVMs reach only their CommVM;");
+    println!("CommVMs reach only the Internet; nothing reaches the intranet.");
+}

@@ -1,0 +1,18 @@
+//! Facade crate for the Nymix workspace.
+//!
+//! Hosts the runnable examples (`examples/`) and the cross-crate
+//! integration tests (`tests/`), and re-exports every sub-crate so a
+//! downstream user can depend on `nymix-suite` alone.
+
+#![forbid(unsafe_code)]
+
+pub use nymix;
+pub use nymix_anon as anon;
+pub use nymix_crypto as crypto;
+pub use nymix_fs as fs;
+pub use nymix_net as net;
+pub use nymix_sanitizer as sanitizer;
+pub use nymix_sim as sim;
+pub use nymix_store as store;
+pub use nymix_vmm as vmm;
+pub use nymix_workload as workload;

@@ -1,0 +1,126 @@
+//! §5.1 validation as integration tests: the simulated-Wireshark leak
+//! checks and the cross-VM reachability matrix.
+
+use nymix::{validate_isolation, NymManager, UsageModel};
+use nymix_anon::AnonymizerKind;
+use nymix_net::fabric::Packet;
+use nymix_net::Ip;
+
+#[test]
+fn isolation_matrix_passes_at_all_scales() {
+    for n in [1usize, 2, 4, 8] {
+        let report = validate_isolation(n).expect("validation runs");
+        assert!(
+            report.passed(),
+            "n={n} failures: {:?}",
+            report.failures()
+        );
+        assert_eq!(report.probes.len(), n * 6);
+    }
+}
+
+#[test]
+fn anonvm_ip_never_crosses_the_wan() {
+    // Drive real traffic (probes) and inspect every frame the
+    // hypervisor emitted toward the Internet: the AnonVM's fixed
+    // address must never be the source (both NAT layers rewrite it).
+    let mut m = NymManager::new(99, 64);
+    let (id, _) = m
+        .create_nym("n", AnonymizerKind::Tor, UsageModel::Ephemeral)
+        .expect("capacity");
+    let nb = m.nymbox(id).expect("live").clone();
+    let target = m.dns().resolve("bbc.co.uk").expect("site");
+    m.fabric_mut().clear_trace();
+    let status = m
+        .fabric_mut()
+        .send(nb.anon_node, Packet::tcp(Ip::ANONVM_FIXED, target, 443, 1500));
+    assert!(status.delivered(), "AnonVM reaches the Internet via CommVM+NAT");
+    let wan_frames: Vec<_> = m
+        .fabric()
+        .tracer()
+        .entries()
+        .iter()
+        .filter(|e| e.to_node == "internet")
+        .collect();
+    assert!(!wan_frames.is_empty());
+    for f in wan_frames {
+        assert_ne!(f.packet.src, Ip::ANONVM_FIXED, "AnonVM IP leaked: {f:?}");
+        assert_eq!(f.packet.src, m.public_ip(), "WAN sees only the public NAT address");
+    }
+}
+
+#[test]
+fn commvm_cannot_reach_intranet_even_with_many_nyms() {
+    let mut m = NymManager::new(5, 64);
+    let mut nodes = Vec::new();
+    for i in 0..4 {
+        let (id, _) = m
+            .create_nym(&format!("n{i}"), AnonymizerKind::Tor, UsageModel::Ephemeral)
+            .expect("capacity");
+        nodes.push(m.nymbox(id).expect("live").comm_node);
+    }
+    let intranet = m.intranet_ip();
+    for node in nodes {
+        let status = m
+            .fabric_mut()
+            .send(node, Packet::tcp(Ip::parse("10.0.3.2"), intranet, 445, 512));
+        assert!(!status.delivered(), "CommVM reached the intranet");
+    }
+}
+
+#[test]
+fn anonymizer_contracts_match_paper() {
+    // Tor/Dissent/SWEET hide the source; incognito does not (§3.3).
+    let mut m = NymManager::new(6, 64);
+    for kind in AnonymizerKind::ALL {
+        let (id, _) = m
+            .create_nym("k", kind, UsageModel::Ephemeral)
+            .expect("capacity");
+        let hides = m.anonymizer(id).expect("live").hides_source();
+        match kind {
+            AnonymizerKind::Incognito => assert!(!hides, "{kind:?}"),
+            _ => assert!(hides, "{kind:?}"),
+        }
+        m.destroy_nym(id).expect("live");
+    }
+}
+
+#[test]
+fn no_cleartext_dns_with_remote_dns_anonymizers() {
+    // Tor resolves through its DNS port: nothing on UDP/53 should ever
+    // appear from the CommVM toward the LAN resolver.
+    let mut m = NymManager::new(8, 64);
+    let (id, _) = m
+        .create_nym("n", AnonymizerKind::Tor, UsageModel::Ephemeral)
+        .expect("capacity");
+    assert!(m.anonymizer(id).expect("live").remote_dns());
+    let report = validate_isolation(2).expect("runs");
+    assert!(!report.cleartext_dns_leaked);
+}
+
+#[test]
+fn fingerprints_identical_across_nyms_and_machines() {
+    // §4.2 homogeneity: two different users' AnonVMs are
+    // indistinguishable down to MAC, IP, resolution, and CPU model.
+    let mut alice = NymManager::new(1, 64);
+    let mut bob = NymManager::new(2, 64);
+    let (a, _) = alice
+        .create_nym("a", AnonymizerKind::Tor, UsageModel::Ephemeral)
+        .expect("capacity");
+    let (b, _) = bob
+        .create_nym("b", AnonymizerKind::Dissent, UsageModel::Persistent)
+        .expect("capacity");
+    let fa = alice
+        .hypervisor()
+        .vm(alice.nymbox(a).expect("live").anon_vm)
+        .expect("vm")
+        .fingerprint()
+        .clone();
+    let fb = bob
+        .hypervisor()
+        .vm(bob.nymbox(b).expect("live").anon_vm)
+        .expect("vm")
+        .fingerprint()
+        .clone();
+    assert_eq!(fa, fb);
+}

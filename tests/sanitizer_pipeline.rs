@@ -1,0 +1,115 @@
+//! Cross-crate sanitizer pipeline tests: camera-roll archives through
+//! the SaniVM into a nymbox, with the §3.6 risk workflow end to end.
+
+use nymix_fs::{Layer, LayerKind, Path, UnionFs};
+use nymix_sanitizer::containers::{analyze_any, sample_camera_roll, FileArchive, PngImage};
+use nymix_sanitizer::{JpegImage, MediaFile, ParanoiaLevel, RiskKind};
+use nymix::SaniVm;
+use nymix_vmm::{Vm, VmConfig, VmId};
+
+fn anon_vm() -> Vm {
+    let mut vm = Vm::new(
+        VmId(42),
+        VmConfig::anonvm(),
+        nymix_fs::BaseImage::minimal().to_layer(),
+        Layer::new(LayerKind::Config),
+    );
+    vm.boot(0.05, 0.3);
+    vm
+}
+
+fn host_fs(files: &[(&str, Vec<u8>)]) -> UnionFs {
+    let mut base = Layer::new(LayerKind::Base);
+    for (p, d) in files {
+        base.put_file(Path::new(p), d.clone());
+    }
+    UnionFs::new(vec![base]).expect("valid stack")
+}
+
+#[test]
+fn camera_roll_risks_are_itemized_per_member() {
+    let roll = sample_camera_roll();
+    let risks = analyze_any(&roll.to_bytes());
+    // The JPEG's GPS and the PNG's Location chunk both surface, tagged
+    // by member name.
+    assert!(risks
+        .iter()
+        .any(|r| r.kind == RiskKind::GpsLocation && r.detail.starts_with("protest.jpg:")));
+    assert!(risks
+        .iter()
+        .any(|r| r.kind == RiskKind::GpsLocation && r.detail.starts_with("screen.png:")));
+    // The unknown text member cannot be certified.
+    assert!(risks
+        .iter()
+        .any(|r| r.kind == RiskKind::UnknownFormat && r.detail.starts_with("notes.txt:")));
+}
+
+#[test]
+fn archive_scrub_produces_a_cleanable_subset() {
+    let (clean, reports) = sample_camera_roll().scrub_members(ParanoiaLevel::Paranoid);
+    assert_eq!(clean.members.len(), 2);
+    // Every non-PNG member gets a report; only notes.txt stays risky.
+    assert_eq!(reports.len(), 2);
+    for (name, report) in &reports {
+        assert_eq!(report.clean(), name != "notes.txt", "{name}");
+    }
+    for (_, data) in &clean.members {
+        assert!(analyze_any(data).is_empty());
+    }
+    // The cleaned archive round-trips.
+    let parsed = FileArchive::parse(&clean.to_bytes()).expect("parses");
+    assert_eq!(parsed, clean);
+}
+
+#[test]
+fn sanivm_blocks_png_with_location_chunk_at_basic_level() {
+    // PNGs are not understood by the MAT-style scrubber (only by the
+    // container path), so a Basic transfer must refuse them as
+    // unknown-format rather than pass identifying chunks through.
+    let png = PngImage::screenshot().to_bytes();
+    let mut sani = SaniVm::new();
+    sani.mount_host_fs("cam", host_fs(&[("/dcim/screen.png", png)]));
+    let mut vm = anon_vm();
+    let result = sani.transfer_to_nym(
+        "cam",
+        &Path::new("/dcim/screen.png"),
+        "poster",
+        &mut vm,
+        ParanoiaLevel::Basic,
+        false,
+    );
+    assert!(result.is_err(), "risky PNG must not reach the nymbox");
+    assert!(vm.disk().walk_files(&Path::new("/media")).is_empty());
+}
+
+#[test]
+fn full_bob_pipeline_photo_to_nymbox() {
+    // The §2 scenario end to end: camera file with GPS + serial +
+    // faces, through the SaniVM at Paranoid, into the posting nym.
+    let photo = MediaFile::Jpeg(JpegImage::protest_photo()).to_bytes();
+    let mut sani = SaniVm::new();
+    sani.mount_host_fs("camera", host_fs(&[("/dcim/img_0001.jpg", photo)]));
+    let mut vm = anon_vm();
+    let (report, landed) = sani
+        .transfer_to_nym(
+            "camera",
+            &Path::new("/dcim/img_0001.jpg"),
+            "tyr-press",
+            &mut vm,
+            ParanoiaLevel::Paranoid,
+            false,
+        )
+        .expect("paranoid scrub certifies the photo");
+    assert!(report.risks_before.len() >= 4, "the photo was a minefield");
+    assert!(report.clean());
+    let delivered = vm.disk().read(&landed).expect("file landed");
+    match MediaFile::parse(&delivered) {
+        MediaFile::Jpeg(j) => {
+            assert!(j.exif.is_empty(), "EXIF survived");
+            assert!(j.faces.is_empty(), "faces survived");
+            assert!(j.watermark.is_none(), "watermark survived");
+            assert!(j.stego_payload.is_none());
+        }
+        other => panic!("unexpected delivery: {other:?}"),
+    }
+}
