@@ -49,19 +49,15 @@ struct SeedSet {
 }
 
 impl SeedSet {
-    /// Expands this participant's pad for `round` over `len` bytes:
-    /// the XOR of one ChaCha20 stream per seed.
-    fn pad(&self, round: u64, len: usize) -> Vec<u8> {
-        let mut out = vec![0u8; len];
+    /// XORs this participant's pad for `round` into `acc`: one ChaCha20
+    /// stream per pairwise seed, expanded directly into the accumulator —
+    /// no per-seed keystream allocation.
+    fn pad_xor_into(&self, round: u64, acc: &mut [u8]) {
+        let mut nonce = [0u8; 12];
+        nonce[..8].copy_from_slice(&round.to_le_bytes());
         for seed in &self.seeds {
-            let mut nonce = [0u8; 12];
-            nonce[..8].copy_from_slice(&round.to_le_bytes());
-            let stream = ChaCha20::new(seed, &nonce, 0).keystream(len);
-            for (o, s) in out.iter_mut().zip(stream) {
-                *o ^= s;
-            }
+            ChaCha20::new(seed, &nonce, 0).xor_into(acc);
         }
-        out
     }
 }
 
@@ -153,14 +149,14 @@ impl DissentNet {
         self.round += 1;
         let mut ciphertexts = Vec::with_capacity(n + self.servers.len());
         for (i, client) in self.clients.iter().enumerate() {
-            let mut ct = client.pad(self.round, schedule_len);
+            // One ciphertext allocation per participant (it is returned);
+            // all pad streams expand straight into it.
+            let mut ct = vec![0u8; schedule_len];
+            client.pad_xor_into(self.round, &mut ct);
             for (owner, msg) in messages {
                 if *owner == i {
                     assert!(*owner < n, "client index out of range");
-                    assert!(
-                        msg.len() <= self.slot_len,
-                        "message exceeds slot length"
-                    );
+                    assert!(msg.len() <= self.slot_len, "message exceeds slot length");
                     let base = i * self.slot_len;
                     for (k, &b) in msg.iter().enumerate() {
                         ct[base + k] ^= b;
@@ -170,7 +166,9 @@ impl DissentNet {
             ciphertexts.push(ct);
         }
         for server in &self.servers {
-            ciphertexts.push(server.pad(self.round, schedule_len));
+            let mut ct = vec![0u8; schedule_len];
+            server.pad_xor_into(self.round, &mut ct);
+            ciphertexts.push(ct);
         }
         ciphertexts
     }
@@ -191,10 +189,7 @@ impl DissentNet {
                 *c ^= b;
             }
         }
-        combined
-            .chunks(self.slot_len)
-            .map(|c| c.to_vec())
-            .collect()
+        combined.chunks(self.slot_len).map(|c| c.to_vec()).collect()
     }
 }
 
@@ -285,14 +280,20 @@ impl Anonymizer for DissentNet {
     fn startup_phases(&self, cold: bool) -> Vec<StartupPhase> {
         let mut phases = vec![StartupPhase::new("launch dissent", calib::PROCESS_LAUNCH)];
         if cold {
-            phases.push(StartupPhase::new("anytrust key agreement", calib::KEY_AGREEMENT));
+            phases.push(StartupPhase::new(
+                "anytrust key agreement",
+                calib::KEY_AGREEMENT,
+            ));
         } else {
             phases.push(StartupPhase::new(
                 "resume session keys",
                 SimDuration(calib::KEY_AGREEMENT.0 / 3),
             ));
         }
-        phases.push(StartupPhase::new("join round schedule", calib::ROUND_LATENCY));
+        phases.push(StartupPhase::new(
+            "join round schedule",
+            calib::ROUND_LATENCY,
+        ));
         phases
     }
 

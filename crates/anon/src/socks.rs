@@ -134,8 +134,8 @@ pub fn parse_connect(bytes: &[u8]) -> Result<(SocksAddr, u16), SocksError> {
             if bytes.len() < 5 + len {
                 return Err(SocksError::Truncated);
             }
-            let name = core::str::from_utf8(&bytes[5..5 + len])
-                .map_err(|_| SocksError::BadDomain)?;
+            let name =
+                core::str::from_utf8(&bytes[5..5 + len]).map_err(|_| SocksError::BadDomain)?;
             (SocksAddr::Domain(name.to_string()), &bytes[5 + len..])
         }
         t => return Err(SocksError::BadAddressType(t)),
@@ -179,7 +179,10 @@ mod tests {
     fn handshake_roundtrip() {
         let greeting = encode_greeting();
         assert_eq!(greeting, vec![0x05, 0x01, 0x00]);
-        assert_eq!(parse_method_selection(&[0x05, 0x00]).unwrap(), METHOD_NO_AUTH);
+        assert_eq!(
+            parse_method_selection(&[0x05, 0x00]).unwrap(),
+            METHOD_NO_AUTH
+        );
         assert_eq!(
             parse_method_selection(&[0x05, 0xFF]),
             Err(SocksError::NoAcceptableMethod)
@@ -238,7 +241,10 @@ mod tests {
             assert_eq!(parse_reply(&bytes).unwrap(), code);
             assert_eq!(bytes.len(), 10);
         }
-        assert_eq!(parse_reply(&[0x05, 0x5A]).unwrap(), ReplyCode::GeneralFailure);
+        assert_eq!(
+            parse_reply(&[0x05, 0x5A]).unwrap(),
+            ReplyCode::GeneralFailure
+        );
         assert_eq!(parse_reply(&[0x05]), Err(SocksError::Truncated));
     }
 }

@@ -152,8 +152,7 @@ impl<A: Anonymizer> Anonymizer for StegoTorus<A> {
         let inner = self.inner.transfer_cost();
         // Chopping adds per-chunk framing: overhead/(payload+overhead)
         // of extra bytes on top of the inner cost.
-        let chunk_tax = self.cover.chunk_overhead() as f64
-            / self.cover.chunk_payload() as f64;
+        let chunk_tax = self.cover.chunk_overhead() as f64 / self.cover.chunk_payload() as f64;
         TransferCost {
             byte_overhead: (1.0 + inner.byte_overhead) * (1.0 + chunk_tax) - 1.0,
             connect_latency: inner.connect_latency + SimDuration::from_millis(180),

@@ -61,7 +61,7 @@ impl TorDirectory {
     /// Roughly a third are guards, a third exits, mirroring consensus
     /// flag proportions.
     pub fn generate(seed: u64, n: usize) -> Self {
-        let mut rng = Rng::seed_from(seed ^ 0x7d155_0f_d1_5e_ed);
+        let mut rng = Rng::seed_from(seed ^ 0x7d1550fd15eed);
         let mut relays = Vec::with_capacity(n);
         for i in 0..n {
             let mut onion_key = [0u8; 32];
@@ -71,12 +71,7 @@ impl TorDirectory {
                 bandwidth: rng.range_f64(1e6, 20e6),
                 is_guard: rng.chance(0.35),
                 is_exit: rng.chance(0.30),
-                address: Ip([
-                    198,
-                    18,
-                    (i / 256) as u8,
-                    (i % 256) as u8,
-                ]),
+                address: Ip([198, 18, (i / 256) as u8, (i % 256) as u8]),
                 onion_key,
             });
         }
@@ -238,25 +233,71 @@ pub struct Circuit {
     keys: [[u8; 32]; 3],
     /// Cell counter (nonce material).
     counter: u32,
+    /// Reusable cell buffer for [`Circuit::wrap`], so steady-state
+    /// wrapping performs no allocation.
+    cell_buf: Vec<u8>,
 }
 
+/// Bytes of cell processed per combined-keystream chunk in
+/// [`Circuit::wrap_into`]: all three layer streams stay in registers/L1
+/// while the cell is traversed once.
+const WRAP_CHUNK: usize = 256;
+
 impl Circuit {
-    /// Onion-wraps `payload`: encrypts with the exit key first, the
-    /// guard key last, so each relay peels exactly one layer.
-    pub fn wrap(&mut self, payload: &[u8]) -> Vec<u8> {
-        let mut cell = payload.to_vec();
+    /// Onion-wraps `payload` into `cell` (cleared and refilled): encrypts
+    /// with the exit key first, the guard key last, so each relay peels
+    /// exactly one layer.
+    ///
+    /// All three onion layers are applied in one pass over the cell: the
+    /// cell is walked in [`WRAP_CHUNK`]-byte windows and each window gets
+    /// all three per-hop keystreams XORed in while it is hot in cache.
+    /// After circuit setup this performs no heap allocation (the caller's
+    /// buffer is reused across cells).
+    pub fn wrap_into(&mut self, payload: &[u8], cell: &mut Vec<u8>) {
         self.counter = self.counter.wrapping_add(1);
-        for key in self.keys.iter().rev() {
-            let nonce = self.nonce();
-            ChaCha20::new(key, &nonce, 1).apply(&mut cell);
+        let nonce = self.nonce();
+        cell.clear();
+        cell.extend_from_slice(payload);
+        // Layer order is irrelevant to the resulting bytes (XOR commutes),
+        // but each relay still peels exactly one keyed layer.
+        let mut layers = [
+            ChaCha20::new(&self.keys[0], &nonce, 1),
+            ChaCha20::new(&self.keys[1], &nonce, 1),
+            ChaCha20::new(&self.keys[2], &nonce, 1),
+        ];
+        for chunk in cell.chunks_mut(WRAP_CHUNK) {
+            for layer in layers.iter_mut() {
+                layer.xor_into(chunk);
+            }
         }
+    }
+
+    /// Onion-wraps `payload`, returning the cell as a fresh `Vec`.
+    ///
+    /// Thin allocating wrapper over [`Circuit::wrap_into`]; bulk senders
+    /// should use `wrap_into` or [`Circuit::wrap_cell`] to avoid the
+    /// per-cell allocation.
+    pub fn wrap(&mut self, payload: &[u8]) -> Vec<u8> {
+        let mut cell = Vec::new();
+        self.wrap_into(payload, &mut cell);
         cell
     }
 
-    /// Peels the layer belonging to hop `hop_index` (0 = guard).
+    /// Onion-wraps `payload` into the circuit's internal reusable buffer
+    /// and returns it; zero allocations once the buffer has grown to the
+    /// cell size. The returned slice is valid until the next wrap.
+    pub fn wrap_cell(&mut self, payload: &[u8]) -> &[u8] {
+        let mut cell = std::mem::take(&mut self.cell_buf);
+        self.wrap_into(payload, &mut cell);
+        self.cell_buf = cell;
+        &self.cell_buf
+    }
+
+    /// Peels the layer belonging to hop `hop_index` (0 = guard), in place
+    /// and allocation-free.
     pub fn peel(&self, hop_index: usize, cell: &mut [u8]) {
         let nonce = self.nonce();
-        ChaCha20::new(&self.keys[hop_index], &nonce, 1).apply(cell);
+        ChaCha20::new(&self.keys[hop_index], &nonce, 1).xor_into(cell);
     }
 
     fn nonce(&self) -> [u8; 12] {
@@ -366,6 +407,7 @@ impl TorClient {
             hops,
             keys,
             counter: 0,
+            cell_buf: Vec::new(),
         })
     }
 }
@@ -382,14 +424,8 @@ impl Anonymizer for TorClient {
     fn startup_phases(&self, cold: bool) -> Vec<StartupPhase> {
         let mut phases = vec![StartupPhase::new("launch tor", calib::PROCESS_LAUNCH)];
         if cold {
-            phases.push(StartupPhase::new(
-                "fetch consensus",
-                calib::CONSENSUS_FETCH,
-            ));
-            phases.push(StartupPhase::new(
-                "guard handshake",
-                calib::HOP_HANDSHAKE,
-            ));
+            phases.push(StartupPhase::new("fetch consensus", calib::CONSENSUS_FETCH));
+            phases.push(StartupPhase::new("guard handshake", calib::HOP_HANDSHAKE));
         } else {
             phases.push(StartupPhase::new(
                 "revalidate cached consensus/guards",
@@ -484,6 +520,32 @@ mod tests {
         assert_ne!(&cell[..], &payload[..]);
         circuit.peel(2, &mut cell);
         assert_eq!(&cell[..], &payload[..]);
+    }
+
+    #[test]
+    fn wrap_variants_agree() {
+        // wrap / wrap_into / wrap_cell must produce identical bytes for
+        // identical counter positions, including payloads straddling the
+        // 256-byte combined-keystream chunk.
+        let (dir, mut rng) = setup();
+        let mut tor = TorClient::bootstrap(&dir, &mut rng);
+        for len in [1usize, 64, 255, 256, 257, 514, 1024] {
+            let payload: Vec<u8> = (0..len).map(|i| (i % 251) as u8).collect();
+            let mut a = tor.build_circuit(&dir, &mut rng).unwrap();
+            let mut b = a.clone();
+            let mut c = a.clone();
+            let boxed = a.wrap(&payload);
+            let mut reused = Vec::new();
+            b.wrap_into(&payload, &mut reused);
+            assert_eq!(boxed, reused, "wrap_into len {len}");
+            assert_eq!(boxed, c.wrap_cell(&payload), "wrap_cell len {len}");
+            // And the cell still peels back to the payload hop by hop.
+            let mut cell = boxed;
+            a.peel(0, &mut cell);
+            a.peel(1, &mut cell);
+            a.peel(2, &mut cell);
+            assert_eq!(cell, payload, "peel len {len}");
+        }
     }
 
     #[test]

@@ -25,10 +25,10 @@ proptest! {
         let cts = net.run_round(&sched);
         prop_assert_eq!(cts.len(), n_clients + m_servers);
         let slots = net.reveal(&cts);
-        for i in 0..n_clients {
+        for (i, slot) in slots.iter().enumerate().take(n_clients) {
             let expect = sched.iter().find(|(o, _)| *o == i).map(|(_, m)| m.clone()).unwrap_or_default();
-            prop_assert_eq!(&slots[i][..expect.len()], &expect[..]);
-            prop_assert!(slots[i][expect.len()..].iter().all(|&b| b == 0), "slot {} dirty", i);
+            prop_assert_eq!(&slot[..expect.len()], &expect[..]);
+            prop_assert!(slot[expect.len()..].iter().all(|&b| b == 0), "slot {} dirty", i);
         }
     }
 

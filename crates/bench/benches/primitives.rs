@@ -17,6 +17,24 @@ fn bench_crypto(c: &mut Criterion) {
     group.bench_function("aead_seal_64k", |b| {
         b.iter(|| black_box(nymix_crypto::seal(&key, &nonce, b"", black_box(&data))));
     });
+    group.bench_function("aead_seal_in_place_64k", |b| {
+        let mut buf = data.clone();
+        b.iter(|| {
+            black_box(nymix_crypto::seal_in_place_detached(
+                &key,
+                &nonce,
+                b"",
+                black_box(&mut buf),
+            ))
+        });
+    });
+    group.bench_function("chacha20_xor_into_64k", |b| {
+        let mut buf = data.clone();
+        b.iter(|| {
+            let mut c = nymix_crypto::ChaCha20::new(&key, &nonce, 1);
+            c.xor_into(black_box(&mut buf));
+        });
+    });
     group.bench_function("lzss_compress_64k", |b| {
         b.iter(|| black_box(nymix_store::lzss::compress(black_box(&data))));
     });
@@ -48,7 +66,53 @@ fn bench_onion(c: &mut Criterion) {
     c.bench_function("onion_wrap_514B_cell", |b| {
         b.iter(|| black_box(circuit.wrap(black_box(&cell))));
     });
+
+    // 3-hop onion wrap/peel over 512 B cells, reusing one cell buffer so
+    // the steady state is allocation-free (Figure 5's data-plane cost).
+    const CELL: usize = 512;
+    let payload = vec![0xa5u8; CELL];
+    let mut group = c.benchmark_group("onion");
+    group.throughput(Throughput::Bytes(CELL as u64));
+    group.bench_function("wrap_3hop_512B", |b| {
+        let mut circuit = tor.build_circuit(&dir, &mut rng).expect("circuit");
+        let mut buf = Vec::with_capacity(CELL);
+        b.iter(|| {
+            circuit.wrap_into(black_box(&payload), &mut buf);
+            black_box(buf.len())
+        });
+    });
+    group.bench_function("peel_3hop_512B", |b| {
+        let mut circuit = tor.build_circuit(&dir, &mut rng).expect("circuit");
+        let mut buf = Vec::with_capacity(CELL);
+        circuit.wrap_into(&payload, &mut buf);
+        b.iter(|| {
+            // Each peel XORs one hop's keystream in place; peeling the
+            // same cell repeatedly keeps the buffer hot and measures the
+            // pure relay-side cost.
+            circuit.peel(0, black_box(&mut buf));
+            circuit.peel(1, &mut buf);
+            circuit.peel(2, &mut buf);
+        });
+    });
+    group.finish();
 }
 
-criterion_group!(benches, bench_crypto, bench_ksm, bench_onion);
+fn bench_dcnet(c: &mut Criterion) {
+    use nymix_anon::DissentNet;
+    // 4 clients x 3 servers, 512 B slots: each run_round expands
+    // (n + m) participant pads over the full n*slot schedule.
+    let n_clients = 4usize;
+    let m_servers = 3usize;
+    let slot = 512usize;
+    let mut net = DissentNet::new(n_clients, m_servers, slot, 99);
+    let pad_bytes = (n_clients + m_servers) * n_clients * slot;
+    let mut group = c.benchmark_group("dcnet");
+    group.throughput(Throughput::Bytes(pad_bytes as u64));
+    group.bench_function("pad_expansion_4c3s_512B", |b| {
+        b.iter(|| black_box(net.run_round(black_box(&[]))));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_crypto, bench_ksm, bench_onion, bench_dcnet);
 criterion_main!(benches);

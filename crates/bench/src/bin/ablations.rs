@@ -15,6 +15,9 @@ fn main() {
 
     println!("# Ablation: anonymizer choice (fresh-nym startup, byte overhead)");
     for (name, startup, overhead) in nymix_bench::ablation_anonymizers(42) {
-        println!("{name:>10}: startup {startup:.1}s, byte overhead {:.0}%", overhead * 100.0);
+        println!(
+            "{name:>10}: startup {startup:.1}s, byte overhead {:.0}%",
+            overhead * 100.0
+        );
     }
 }

@@ -32,7 +32,10 @@ fn main() {
 
     match nymix::validate_isolation(3) {
         Ok(report) if report.passed() => {
-            println!("§5.1 isolation matrix: PASS ({} probes)", report.probes.len());
+            println!(
+                "§5.1 isolation matrix: PASS ({} probes)",
+                report.probes.len()
+            );
         }
         Ok(report) => {
             println!("§5.1 isolation matrix: FAIL {:?}", report.failures());

@@ -227,7 +227,13 @@ pub fn fig6_storage(seed: u64, scale: u64, cycles: usize) -> Vec<StorageSample> 
             });
             m.destroy_nym(id).expect("destroy");
             let (nid, _) = m
-                .restore_nym(&name, AnonymizerKind::Tor, UsageModel::Persistent, "pw", &dest)
+                .restore_nym(
+                    &name,
+                    AnonymizerKind::Tor,
+                    UsageModel::Persistent,
+                    "pw",
+                    &dest,
+                )
                 .expect("restore");
             id = nid;
         }
@@ -307,7 +313,13 @@ pub fn fig7_startup(seed: u64) -> Vec<StartupSample> {
     m.save_nym(id, "pw", &StorageDest::Local).expect("save");
     m.destroy_nym(id).expect("destroy");
     let (id, b) = m
-        .restore_nym("pre", AnonymizerKind::Tor, UsageModel::PreConfigured, "pw", &StorageDest::Local)
+        .restore_nym(
+            "pre",
+            AnonymizerKind::Tor,
+            UsageModel::PreConfigured,
+            "pw",
+            &StorageDest::Local,
+        )
         .expect("restore");
     let page = m.visit_site(id, Site::Twitter).expect("visit");
     out.push(StartupSample {
@@ -335,7 +347,13 @@ pub fn fig7_startup(seed: u64) -> Vec<StartupSample> {
     m.save_nym(id, "pw", &dest).expect("save");
     m.destroy_nym(id).expect("destroy");
     let (id, b) = m
-        .restore_nym("pers", AnonymizerKind::Tor, UsageModel::Persistent, "pw", &dest)
+        .restore_nym(
+            "pers",
+            AnonymizerKind::Tor,
+            UsageModel::Persistent,
+            "pw",
+            &dest,
+        )
         .expect("restore");
     let page = m.visit_site(id, Site::Twitter).expect("visit");
     m.save_nym(id, "pw", &dest).expect("save-back");
@@ -356,7 +374,14 @@ pub fn fig7_startup(seed: u64) -> Vec<StartupSample> {
 pub fn fig7_table(samples: &[StartupSample]) -> Table {
     let mut t = Table::new(
         "Figure 7: average startup time by phase (seconds)",
-        &["config", "boot-vm", "start-tor", "load-page", "ephemeral-nym", "total"],
+        &[
+            "config",
+            "boot-vm",
+            "start-tor",
+            "load-page",
+            "ephemeral-nym",
+            "total",
+        ],
     );
     for s in samples {
         t.row(&[
@@ -457,7 +482,11 @@ pub fn ablation_anonymizers(seed: u64) -> Vec<(String, f64, f64)> {
             let (id, b) = m
                 .create_nym("a", *kind, UsageModel::Ephemeral)
                 .expect("capacity");
-            let overhead = m.anonymizer(id).expect("live").transfer_cost().byte_overhead;
+            let overhead = m
+                .anonymizer(id)
+                .expect("live")
+                .transfer_cost()
+                .byte_overhead;
             (
                 format!("{kind:?}"),
                 (b.boot_vm + b.start_anonymizer).as_secs_f64(),

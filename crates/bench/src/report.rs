@@ -26,12 +26,7 @@ impl Table {
 
     /// Convenience for numeric rows.
     pub fn row_f64(&mut self, cells: &[f64]) {
-        self.row(
-            &cells
-                .iter()
-                .map(|v| format!("{v:.2}"))
-                .collect::<Vec<_>>(),
-        );
+        self.row(&cells.iter().map(|v| format!("{v:.2}")).collect::<Vec<_>>());
     }
 
     /// Number of data rows.

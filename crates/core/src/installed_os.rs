@@ -194,8 +194,7 @@ impl InstalledOs {
             Path::new("/users/owner/wifi-passwords.xml"),
             b"<wifi ssid=\"home\" psk=\"...\"/>".to_vec(),
         );
-        let disk = UnionFs::new(vec![base, Layer::new(LayerKind::Writable)])
-            .expect("valid stack");
+        let disk = UnionFs::new(vec![base, Layer::new(LayerKind::Writable)]).expect("valid stack");
         Self {
             kind,
             disk,
@@ -263,8 +262,8 @@ impl InstalledOs {
             self.repaired = true;
         }
 
-        let boot_secs = spec.kernel_boot_secs
-            + f64::from(spec.service_count) * spec.per_service_secs;
+        let boot_secs =
+            spec.kernel_boot_secs + f64::from(spec.service_count) * spec.per_service_secs;
 
         RepairOutcome {
             repair_time: SimDuration::from_secs_f64(repair_secs),
@@ -355,9 +354,17 @@ mod tests {
             .write(&Path::new("/users/owner/new-file"), vec![1; 100])
             .unwrap();
         assert!(!os.physical_disk_touched());
-        assert!(os.disk().layer(0).get(&Path::new("/users/owner/new-file")).is_none());
+        assert!(os
+            .disk()
+            .layer(0)
+            .get(&Path::new("/users/owner/new-file"))
+            .is_none());
         // Base registry hive untouched even though repair rewrote it.
-        assert!(os.disk().layer(0).get(&Path::new("/os/registry/system.hive")).is_some());
+        assert!(os
+            .disk()
+            .layer(0)
+            .get(&Path::new("/os/registry/system.hive"))
+            .is_some());
     }
 
     #[test]

@@ -37,4 +37,6 @@ pub use manager::{NymId, NymManager, NymManagerError, StorageDest};
 pub use nymbox::{Nymbox, UsageModel};
 pub use sanivm::SaniVm;
 pub use timing::StartupBreakdown;
-pub use validation::{validate_idle_traffic, validate_isolation, IdleTrafficReport, IsolationReport};
+pub use validation::{
+    validate_idle_traffic, validate_isolation, IdleTrafficReport, IsolationReport,
+};

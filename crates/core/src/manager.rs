@@ -134,7 +134,8 @@ impl NymManager {
 
         // The wide-area Internet: owns every evaluation-site address.
         let internet_node = fabric.add_node("internet", NodeKind::Internet);
-        let inet_iface = fabric.add_iface(internet_node, Mac::host_nic(3), Ip::parse("198.51.100.1"));
+        let inet_iface =
+            fabric.add_iface(internet_node, Mac::host_nic(3), Ip::parse("198.51.100.1"));
         let dns = DnsDb::with_eval_sites();
         for (i, name) in [
             "gmail.com",
@@ -186,12 +187,8 @@ impl NymManager {
         // Boot-time DHCP: the only LAN traffic an idle Nymix host emits
         // (§5.1: "The Nymix hypervisor emitted only traffic for DHCP and
         // anonymizer traffic").
-        let dhcp = nymix_net::fabric::Packet::udp(
-            Ip::parse("192.168.1.100"),
-            lan_gateway_ip,
-            67,
-            300,
-        );
+        let dhcp =
+            nymix_net::fabric::Packet::udp(Ip::parse("192.168.1.100"), lan_gateway_ip, 67, 300);
         let _ = fabric.send(hyp_node, dhcp);
 
         Self {
@@ -289,9 +286,7 @@ impl NymManager {
                 let _ = tor.build_circuit(&self.directory, &mut self.rng);
                 Box::new(tor)
             }
-            AnonymizerKind::Dissent => {
-                Box::new(DissentNet::new(8, 3, 512, self.rng.next_u64()))
-            }
+            AnonymizerKind::Dissent => Box::new(DissentNet::new(8, 3, 512, self.rng.next_u64())),
             AnonymizerKind::Incognito => Box::new(Incognito::new()),
             AnonymizerKind::Sweet => Box::new(Sweet::new()),
         }
@@ -350,9 +345,7 @@ impl NymManager {
         // hypervisor NAT. Addresses are identical for every nymbox
         // (§4.2 homogeneity).
         let n = self.next_nym;
-        let anon_node = self
-            .fabric
-            .add_node(&format!("anonvm-{n}"), NodeKind::Host);
+        let anon_node = self.fabric.add_node(&format!("anonvm-{n}"), NodeKind::Host);
         let anon_if = self
             .fabric
             .add_iface(anon_node, Mac::ANONVM_FIXED, Ip::ANONVM_FIXED);
@@ -363,15 +356,21 @@ impl NymManager {
         let comm_up = self
             .fabric
             .add_iface(comm_node, Mac::COMMVM_FIXED, Ip::parse("10.0.3.2"));
-        let hyp_leg = self
-            .fabric
-            .add_iface(self.hyp_node, Mac::host_nic(1000 + n as u32), Ip::parse("10.0.3.1"));
-        self.fabric.connect(anon_node, anon_if, comm_node, comm_wire);
-        self.fabric.connect(comm_node, comm_up, self.hyp_node, hyp_leg);
-        self.fabric.add_route(anon_node, Ip::parse("0.0.0.0"), 0, anon_if);
+        let hyp_leg = self.fabric.add_iface(
+            self.hyp_node,
+            Mac::host_nic(1000 + n as u32),
+            Ip::parse("10.0.3.1"),
+        );
+        self.fabric
+            .connect(anon_node, anon_if, comm_node, comm_wire);
+        self.fabric
+            .connect(comm_node, comm_up, self.hyp_node, hyp_leg);
+        self.fabric
+            .add_route(anon_node, Ip::parse("0.0.0.0"), 0, anon_if);
         self.fabric
             .add_route(comm_node, Ip::parse("10.0.2.0"), 24, comm_wire);
-        self.fabric.add_route(comm_node, Ip::parse("0.0.0.0"), 0, comm_up);
+        self.fabric
+            .add_route(comm_node, Ip::parse("0.0.0.0"), 0, comm_up);
 
         // CommVM egress policy: wire + uplink gateway + public Internet
         // only. Private space (the user's LAN, other VMs) is
@@ -459,7 +458,10 @@ impl NymManager {
     /// Visits `site` in the nym's browser. Returns the page-load time
     /// (network via the anonymizer + render).
     pub fn visit_site(&mut self, id: NymId, site: Site) -> Result<SimDuration, NymManagerError> {
-        let entry = self.nyms.get_mut(&id).ok_or(NymManagerError::NoSuchNym(id))?;
+        let entry = self
+            .nyms
+            .get_mut(&id)
+            .ok_or(NymManagerError::NoSuchNym(id))?;
         let cost = entry.anonymizer.transfer_cost();
         let profile = site.profile();
 
@@ -467,9 +469,7 @@ impl NymManager {
         // the anonymizer and throttled by its cap (if any).
         let start = self.clock;
         let wire = cost.wire_bytes(profile.page_weight as f64);
-        let flow = self
-            .flows
-            .start_flow(start, vec![self.access_link], wire);
+        let flow = self.flows.start_flow(start, vec![self.access_link], wire);
         let mut finish = start;
         while self.flows.flow_remaining(flow).is_some() {
             let next = self
@@ -524,7 +524,10 @@ impl NymManager {
     /// Injects an evercookie-style stain into the nym's browser (§3.3
     /// attack model; used by the amnesia tests).
     pub fn inject_stain(&mut self, id: NymId, marker: &str) -> Result<(), NymManagerError> {
-        let entry = self.nyms.get_mut(&id).ok_or(NymManagerError::NoSuchNym(id))?;
+        let entry = self
+            .nyms
+            .get_mut(&id)
+            .ok_or(NymManagerError::NoSuchNym(id))?;
         let vm = self.hv.vm_mut(entry.nymbox.anon_vm)?;
         let state = entry.browser.take().unwrap_or_else(|| {
             BrowserState::fresh(Rng::seed_from(self.rng.next_u64()), self.browser_scale)
@@ -537,7 +540,10 @@ impl NymManager {
 
     /// Whether a stain marker is visible in the nym's AnonVM.
     pub fn has_stain(&mut self, id: NymId, marker: &str) -> Result<bool, NymManagerError> {
-        let entry = self.nyms.get_mut(&id).ok_or(NymManagerError::NoSuchNym(id))?;
+        let entry = self
+            .nyms
+            .get_mut(&id)
+            .ok_or(NymManagerError::NoSuchNym(id))?;
         let vm = self.hv.vm_mut(entry.nymbox.anon_vm)?;
         let state = entry
             .browser
@@ -558,7 +564,10 @@ impl NymManager {
         password: &str,
         dest: &StorageDest,
     ) -> Result<(usize, SimDuration), NymManagerError> {
-        let entry = self.nyms.get_mut(&id).ok_or(NymManagerError::NoSuchNym(id))?;
+        let entry = self
+            .nyms
+            .get_mut(&id)
+            .ok_or(NymManagerError::NoSuchNym(id))?;
         let label = storage_label(&entry.nymbox.name, dest);
 
         // Pause both VMs, snapshot the writable layers, resume.
@@ -617,7 +626,8 @@ impl NymManager {
                 account,
                 credential,
             } => {
-                let upload_secs = self.transfer_secs(cost.wire_bytes(sealed_len as f64 * self.browser_scale as f64));
+                let upload_secs = self
+                    .transfer_secs(cost.wire_bytes(sealed_len as f64 * self.browser_scale as f64));
                 let p = self
                     .cloud
                     .get_mut(provider)
@@ -668,11 +678,9 @@ impl NymManager {
                 let blob = p
                     .get(account, credential, &label, exit_ip)
                     .map_err(|e| NymManagerError::Storage(e.to_string()))?;
-                let dl_secs =
-                    self.transfer_secs(cost.wire_bytes(blob.len() as f64 * self.browser_scale as f64));
-                let total = boot
-                    + SimDuration::from_secs_f64(dl_secs)
-                    + tcal::RESTORE_UNPACK;
+                let dl_secs = self
+                    .transfer_secs(cost.wire_bytes(blob.len() as f64 * self.browser_scale as f64));
+                let total = boot + SimDuration::from_secs_f64(dl_secs) + tcal::RESTORE_UNPACK;
                 (blob, total)
             }
             StorageDest::Local => {
@@ -686,8 +694,8 @@ impl NymManager {
         };
         self.clock += ephemeral_fetch;
 
-        let archive =
-            open_sealed(&blob, password, &label).map_err(|e| NymManagerError::Storage(e.to_string()))?;
+        let archive = open_sealed(&blob, password, &label)
+            .map_err(|e| NymManagerError::Storage(e.to_string()))?;
         let anon_upper = archive
             .get_layer("anonvm.disk")
             .map_err(|e| NymManagerError::Storage(e.to_string()))?;
@@ -715,7 +723,11 @@ impl NymManager {
         if let Some(b) = browser {
             self.nyms.get_mut(&id).expect("just inserted").browser = Some(b);
         }
-        self.nyms.get_mut(&id).expect("just inserted").nymbox.restored = true;
+        self.nyms
+            .get_mut(&id)
+            .expect("just inserted")
+            .nymbox
+            .restored = true;
         breakdown.ephemeral_fetch = ephemeral_fetch;
         Ok((id, breakdown))
     }
@@ -723,7 +735,10 @@ impl NymManager {
     /// Destroys a nym: both VMs are securely wiped; "turning off a
     /// pseudonym results in amnesia" (§3.4).
     pub fn destroy_nym(&mut self, id: NymId) -> Result<(), NymManagerError> {
-        let entry = self.nyms.remove(&id).ok_or(NymManagerError::NoSuchNym(id))?;
+        let entry = self
+            .nyms
+            .remove(&id)
+            .ok_or(NymManagerError::NoSuchNym(id))?;
         self.hv.destroy_vm(entry.nymbox.anon_vm)?;
         self.hv.destroy_vm(entry.nymbox.comm_vm)?;
         Ok(())
@@ -791,7 +806,10 @@ impl NymManager {
         password: &str,
     ) -> Result<TorState, NymManagerError> {
         let state = TorState::deterministic(&self.directory, storage_location, password);
-        let entry = self.nyms.get_mut(&id).ok_or(NymManagerError::NoSuchNym(id))?;
+        let entry = self
+            .nyms
+            .get_mut(&id)
+            .ok_or(NymManagerError::NoSuchNym(id))?;
         entry.anonymizer.restore_state(&state.to_bytes());
         Ok(state)
     }
@@ -809,7 +827,9 @@ fn deterministic_blob(tag: u64, len: usize) -> Vec<u8> {
     let mut out = Vec::with_capacity(len);
     let mut x = tag ^ 0x9e3779b97f4a7c15;
     while out.len() < len {
-        x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        x = x
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
         if x & 1 == 0 {
             out.extend_from_slice(b"router relay-descriptor bandwidth=");
         }
@@ -821,7 +841,9 @@ fn deterministic_blob(tag: u64, len: usize) -> Vec<u8> {
 
 fn storage_label(name: &str, dest: &StorageDest) -> String {
     match dest {
-        StorageDest::Cloud { provider, account, .. } => {
+        StorageDest::Cloud {
+            provider, account, ..
+        } => {
             format!("nym:{name}@{provider}/{account}")
         }
         StorageDest::Local => format!("nym:{name}@local"),
@@ -839,21 +861,21 @@ mod tests {
     #[test]
     fn fresh_nym_within_paper_band() {
         let mut m = manager();
-        let (id, breakdown) =
-            m.create_nym("reader", AnonymizerKind::Tor, UsageModel::Ephemeral).unwrap();
+        let (id, breakdown) = m
+            .create_nym("reader", AnonymizerKind::Tor, UsageModel::Ephemeral)
+            .unwrap();
         let page = m.visit_site(id, Site::Twitter).unwrap();
         let total = breakdown.total() + page;
         // Abstract: "loads within 15 to 25 seconds".
-        assert!(
-            (15.0..25.0).contains(&total.as_secs_f64()),
-            "total {total}"
-        );
+        assert!((15.0..25.0).contains(&total.as_secs_f64()), "total {total}");
     }
 
     #[test]
     fn nymbox_is_two_vms() {
         let mut m = manager();
-        let (id, _) = m.create_nym("n", AnonymizerKind::Tor, UsageModel::Ephemeral).unwrap();
+        let (id, _) = m
+            .create_nym("n", AnonymizerKind::Tor, UsageModel::Ephemeral)
+            .unwrap();
         let nb = m.nymbox(id).unwrap();
         assert_ne!(nb.anon_vm, nb.comm_vm);
         assert_eq!(m.hypervisor().vm_count(), 2);
@@ -866,7 +888,9 @@ mod tests {
     #[test]
     fn destroy_wipes_and_frees() {
         let mut m = manager();
-        let (id, _) = m.create_nym("n", AnonymizerKind::Tor, UsageModel::Ephemeral).unwrap();
+        let (id, _) = m
+            .create_nym("n", AnonymizerKind::Tor, UsageModel::Ephemeral)
+            .unwrap();
         m.visit_site(id, Site::Bbc).unwrap();
         m.destroy_nym(id).unwrap();
         assert_eq!(m.hypervisor().vm_count(), 0);
@@ -879,11 +903,15 @@ mod tests {
     #[test]
     fn stain_does_not_survive_ephemeral_nym() {
         let mut m = manager();
-        let (id, _) = m.create_nym("n", AnonymizerKind::Tor, UsageModel::Ephemeral).unwrap();
+        let (id, _) = m
+            .create_nym("n", AnonymizerKind::Tor, UsageModel::Ephemeral)
+            .unwrap();
         m.inject_stain(id, "evercookie-77").unwrap();
         assert!(m.has_stain(id, "evercookie-77").unwrap());
         m.destroy_nym(id).unwrap();
-        let (id2, _) = m.create_nym("n", AnonymizerKind::Tor, UsageModel::Ephemeral).unwrap();
+        let (id2, _) = m
+            .create_nym("n", AnonymizerKind::Tor, UsageModel::Ephemeral)
+            .unwrap();
         assert!(!m.has_stain(id2, "evercookie-77").unwrap());
     }
 
@@ -905,15 +933,21 @@ mod tests {
         m.destroy_nym(id).unwrap();
 
         let (id2, breakdown) = m
-            .restore_nym("alice", AnonymizerKind::Tor, UsageModel::Persistent, "pw", &dest)
+            .restore_nym(
+                "alice",
+                AnonymizerKind::Tor,
+                UsageModel::Persistent,
+                "pw",
+                &dest,
+            )
             .unwrap();
         assert!(breakdown.ephemeral_fetch > SimDuration::ZERO);
         assert!(m.nymbox(id2).unwrap().restored);
         // Credentials survived: the browser still knows twitter.com.
         let vm = m.hypervisor().vm(m.nymbox(id2).unwrap().anon_vm).unwrap();
-        assert!(vm
-            .disk()
-            .exists(&nymix_fs::Path::new("/home/user/.config/chromium/logins/twitter.com")));
+        assert!(vm.disk().exists(&nymix_fs::Path::new(
+            "/home/user/.config/chromium/logins/twitter.com"
+        )));
     }
 
     #[test]
@@ -925,7 +959,13 @@ mod tests {
         m.save_nym(id, "right", &StorageDest::Local).unwrap();
         m.destroy_nym(id).unwrap();
         assert!(matches!(
-            m.restore_nym("bob", AnonymizerKind::Tor, UsageModel::Persistent, "wrong", &StorageDest::Local),
+            m.restore_nym(
+                "bob",
+                AnonymizerKind::Tor,
+                UsageModel::Persistent,
+                "wrong",
+                &StorageDest::Local
+            ),
             Err(NymManagerError::Storage(_))
         ));
     }
@@ -939,7 +979,13 @@ mod tests {
         m.save_nym(id, "pw", &StorageDest::Local).unwrap();
         m.destroy_nym(id).unwrap();
         let (_, breakdown) = m
-            .restore_nym("carol", AnonymizerKind::Tor, UsageModel::PreConfigured, "pw", &StorageDest::Local)
+            .restore_nym(
+                "carol",
+                AnonymizerKind::Tor,
+                UsageModel::PreConfigured,
+                "pw",
+                &StorageDest::Local,
+            )
             .unwrap();
         assert!(breakdown.ephemeral_fetch < SimDuration::from_secs(3));
         // Warm anonymizer start beats a cold one.
@@ -1005,7 +1051,13 @@ mod tests {
             sizes.push(size);
             m.destroy_nym(id).unwrap();
             let (nid, _) = m
-                .restore_nym("grower", AnonymizerKind::Tor, UsageModel::Persistent, "pw", &StorageDest::Local)
+                .restore_nym(
+                    "grower",
+                    AnonymizerKind::Tor,
+                    UsageModel::Persistent,
+                    "pw",
+                    &StorageDest::Local,
+                )
                 .unwrap();
             id = nid;
         }
@@ -1018,11 +1070,15 @@ mod tests {
     #[test]
     fn deterministic_guard_extension() {
         let mut m = manager();
-        let (a, _) = m.create_nym("x", AnonymizerKind::Tor, UsageModel::Persistent).unwrap();
+        let (a, _) = m
+            .create_nym("x", AnonymizerKind::Tor, UsageModel::Persistent)
+            .unwrap();
         let s1 = m
             .seed_guards_deterministically(a, "dropbox://nyms/x", "pw")
             .unwrap();
-        let (b, _) = m.create_nym("y", AnonymizerKind::Tor, UsageModel::Ephemeral).unwrap();
+        let (b, _) = m
+            .create_nym("y", AnonymizerKind::Tor, UsageModel::Ephemeral)
+            .unwrap();
         let s2 = m
             .seed_guards_deterministically(b, "dropbox://nyms/x", "pw")
             .unwrap();

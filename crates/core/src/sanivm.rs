@@ -136,9 +136,10 @@ impl SaniVm {
         // Step 3: SaniVM → hypervisor → AnonVM via chained VirtFS
         // shares (§4.3). The scrubbed output is what crosses.
         self.fs.write(&staged, report.output.clone())?;
-        let mut hypervisor_fs = UnionFs::new(vec![Layer::new(LayerKind::Writable)])
-            .expect("valid stack");
-        let sani_to_hyp = VirtfsShare::new(inbox.clone(), Path::new("/shared"), ShareMode::ReadWrite);
+        let mut hypervisor_fs =
+            UnionFs::new(vec![Layer::new(LayerKind::Writable)]).expect("valid stack");
+        let sani_to_hyp =
+            VirtfsShare::new(inbox.clone(), Path::new("/shared"), ShareMode::ReadWrite);
         // copy_out moves guest (SaniVM) files back to "host" (here the
         // hypervisor's staging fs).
         let hyp_share = VirtfsShare::new(Path::new("/shared"), inbox.clone(), ShareMode::ReadWrite);
@@ -166,7 +167,10 @@ mod tests {
             Path::new("/photos/protest.jpg"),
             MediaFile::Jpeg(JpegImage::protest_photo()).to_bytes(),
         );
-        base.put_file(Path::new("/docs/memo.pdf"), MediaFile::Pdf(nymix_sanitizer::PdfDoc::memo()).to_bytes());
+        base.put_file(
+            Path::new("/docs/memo.pdf"),
+            MediaFile::Pdf(nymix_sanitizer::PdfDoc::memo()).to_bytes(),
+        );
         UnionFs::new(vec![base]).expect("valid stack")
     }
 

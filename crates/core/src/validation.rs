@@ -78,7 +78,11 @@ pub struct IdleTrafficReport {
 pub fn validate_idle_traffic(n: usize) -> Result<IdleTrafficReport, NymManagerError> {
     let mut m = NymManager::new(0x1D7E, 64);
     for i in 0..n {
-        m.create_nym(&format!("idle-{i}"), AnonymizerKind::Tor, UsageModel::Ephemeral)?;
+        m.create_nym(
+            &format!("idle-{i}"),
+            AnonymizerKind::Tor,
+            UsageModel::Ephemeral,
+        )?;
     }
     // No browsing: the host is idle. Inspect everything captured since
     // boot (the DHCP exchange) and since the nyms launched.
@@ -201,10 +205,9 @@ pub fn validate_isolation(n: usize) -> Result<IsolationReport, NymManagerError> 
         .entries()
         .iter()
         .any(|e| e.packet.src == Ip::ANONVM_FIXED && e.from_node == "hypervisor");
-    let cleartext_dns_leaked = tracer
-        .entries()
-        .iter()
-        .any(|e| e.from_node.starts_with("commvm") && e.packet.dst_port == 53 && e.packet.dst == intranet);
+    let cleartext_dns_leaked = tracer.entries().iter().any(|e| {
+        e.from_node.starts_with("commvm") && e.packet.dst_port == 53 && e.packet.dst == intranet
+    });
 
     Ok(IsolationReport {
         probes,

@@ -4,10 +4,22 @@
 //! archives before they leave the machine (§3.5): the cloud provider sees
 //! only ciphertext, and tampering (e.g. a provider splicing one nym's
 //! state into another) is detected on restore.
+//!
+//! Layout convention (RFC 8439 §2.8): block counter 0 of the ChaCha20
+//! keystream derives the Poly1305 one-time key; the payload keystream
+//! starts at block counter 1. The MAC input is
+//! `aad || pad16 || ciphertext || pad16 || len(aad) || len(ciphertext)`,
+//! streamed through the incremental [`Poly1305`] hasher — no scratch copy
+//! of aad + ciphertext is ever assembled.
+//!
+//! The primary entry points are the allocation-free
+//! [`seal_in_place_detached`] / [`open_in_place_detached`], which
+//! encrypt/decrypt a caller buffer in place with a detached tag;
+//! [`seal`] / [`open`] are thin boxing wrappers.
 
 use crate::chacha20::{self, ChaCha20, KEY_LEN, NONCE_LEN};
 use crate::ct;
-use crate::poly1305::{poly1305_tag, TAG_LEN};
+use crate::poly1305::{Poly1305, TAG_LEN};
 
 /// Error returned when decryption fails authentication.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -37,19 +49,84 @@ fn poly_key(key: &[u8; KEY_LEN], nonce: &[u8; NONCE_LEN]) -> [u8; 32] {
     out
 }
 
+/// MACs `aad` and `ciphertext` in the RFC 8439 AEAD layout, streaming the
+/// slices directly through the incremental hasher.
 fn mac_data(otk: &[u8; 32], aad: &[u8], ciphertext: &[u8]) -> [u8; TAG_LEN] {
-    let mut mac_input = Vec::with_capacity(aad.len() + ciphertext.len() + 32);
-    mac_input.extend_from_slice(aad);
-    mac_input.extend_from_slice(&[0u8; 16][..(16 - aad.len() % 16) % 16]);
-    mac_input.extend_from_slice(ciphertext);
-    mac_input.extend_from_slice(&[0u8; 16][..(16 - ciphertext.len() % 16) % 16]);
-    mac_input.extend_from_slice(&(aad.len() as u64).to_le_bytes());
-    mac_input.extend_from_slice(&(ciphertext.len() as u64).to_le_bytes());
-    poly1305_tag(otk, &mac_input)
+    let mut mac = Poly1305::new(otk);
+    mac.update(aad);
+    mac.pad_to_block();
+    mac.update(ciphertext);
+    mac.pad_to_block();
+    let mut lengths = [0u8; 16];
+    lengths[..8].copy_from_slice(&(aad.len() as u64).to_le_bytes());
+    lengths[8..].copy_from_slice(&(ciphertext.len() as u64).to_le_bytes());
+    mac.update(&lengths);
+    mac.finalize()
+}
+
+/// Encrypts `data` in place and returns the detached tag.
+///
+/// Performs no heap allocation: the caller owns the buffer, the keystream
+/// is XORed in block-wise, and the tag is computed by streaming the
+/// ciphertext through Poly1305.
+///
+/// # Examples
+///
+/// ```
+/// use nymix_crypto::{open_in_place_detached, seal_in_place_detached};
+///
+/// let key = [0u8; 32];
+/// let nonce = [0u8; 12];
+/// let mut buf = *b"secret state";
+/// let tag = seal_in_place_detached(&key, &nonce, b"nym:alice", &mut buf);
+/// assert_ne!(&buf, b"secret state");
+/// open_in_place_detached(&key, &nonce, b"nym:alice", &mut buf, &tag).unwrap();
+/// assert_eq!(&buf, b"secret state");
+/// ```
+pub fn seal_in_place_detached(
+    key: &[u8; KEY_LEN],
+    nonce: &[u8; NONCE_LEN],
+    aad: &[u8],
+    data: &mut [u8],
+) -> [u8; TAG_LEN] {
+    ChaCha20::new(key, nonce, 1).xor_into(data);
+    let otk = poly_key(key, nonce);
+    mac_data(&otk, aad, data)
+}
+
+/// Verifies `tag` over `aad` and the ciphertext in `data`, then decrypts
+/// `data` in place.
+///
+/// The buffer is left untouched unless authentication succeeds.
+///
+/// # Errors
+///
+/// Returns [`AeadError::Truncated`] if `tag` is not exactly [`TAG_LEN`]
+/// bytes and [`AeadError::TagMismatch`] if authentication fails.
+pub fn open_in_place_detached(
+    key: &[u8; KEY_LEN],
+    nonce: &[u8; NONCE_LEN],
+    aad: &[u8],
+    data: &mut [u8],
+    tag: &[u8],
+) -> Result<(), AeadError> {
+    if tag.len() != TAG_LEN {
+        return Err(AeadError::Truncated);
+    }
+    let otk = poly_key(key, nonce);
+    let want = mac_data(&otk, aad, data);
+    if !ct::eq(&want, tag) {
+        return Err(AeadError::TagMismatch);
+    }
+    ChaCha20::new(key, nonce, 1).xor_into(data);
+    Ok(())
 }
 
 /// Encrypts `plaintext` with associated data `aad`; returns
 /// `ciphertext || tag`.
+///
+/// Thin wrapper over [`seal_in_place_detached`] that allocates the output
+/// box; bulk paths should use the in-place form on a reused buffer.
 ///
 /// # Examples
 ///
@@ -63,15 +140,17 @@ fn mac_data(otk: &[u8; 32], aad: &[u8], ciphertext: &[u8]) -> [u8; TAG_LEN] {
 /// assert_eq!(back, b"secret state");
 /// ```
 pub fn seal(key: &[u8; KEY_LEN], nonce: &[u8; NONCE_LEN], aad: &[u8], plaintext: &[u8]) -> Vec<u8> {
-    let mut out = plaintext.to_vec();
-    ChaCha20::new(key, nonce, 1).apply(&mut out);
-    let otk = poly_key(key, nonce);
-    let tag = mac_data(&otk, aad, &out);
+    let mut out = Vec::with_capacity(plaintext.len() + TAG_LEN);
+    out.extend_from_slice(plaintext);
+    let tag = seal_in_place_detached(key, nonce, aad, &mut out);
     out.extend_from_slice(&tag);
     out
 }
 
 /// Decrypts `boxed` (`ciphertext || tag`), verifying `aad`.
+///
+/// Thin wrapper over [`open_in_place_detached`] that copies the ciphertext
+/// into a fresh buffer; bulk paths should use the in-place form.
 ///
 /// # Errors
 ///
@@ -87,13 +166,8 @@ pub fn open(
         return Err(AeadError::Truncated);
     }
     let (ciphertext, tag) = boxed.split_at(boxed.len() - TAG_LEN);
-    let otk = poly_key(key, nonce);
-    let want = mac_data(&otk, aad, ciphertext);
-    if !ct::eq(&want, tag) {
-        return Err(AeadError::TagMismatch);
-    }
     let mut out = ciphertext.to_vec();
-    ChaCha20::new(key, nonce, 1).apply(&mut out);
+    open_in_place_detached(key, nonce, aad, &mut out, tag)?;
     Ok(out)
 }
 
@@ -112,8 +186,12 @@ mod tests {
         for (i, b) in key.iter_mut().enumerate() {
             *b = 0x80 + i as u8;
         }
-        let nonce: [u8; 12] = [0x07, 0x00, 0x00, 0x00, 0x40, 0x41, 0x42, 0x43, 0x44, 0x45, 0x46, 0x47];
-        let aad: [u8; 12] = [0x50, 0x51, 0x52, 0x53, 0xc0, 0xc1, 0xc2, 0xc3, 0xc4, 0xc5, 0xc6, 0xc7];
+        let nonce: [u8; 12] = [
+            0x07, 0x00, 0x00, 0x00, 0x40, 0x41, 0x42, 0x43, 0x44, 0x45, 0x46, 0x47,
+        ];
+        let aad: [u8; 12] = [
+            0x50, 0x51, 0x52, 0x53, 0xc0, 0xc1, 0xc2, 0xc3, 0xc4, 0xc5, 0xc6, 0xc7,
+        ];
         let plaintext = b"Ladies and Gentlemen of the class of '99: If I could offer you \
 only one tip for the future, sunscreen would be it.";
         let boxed = seal(&key, &nonce, &aad, plaintext);
@@ -126,6 +204,42 @@ only one tip for the future, sunscreen would be it.";
         assert_eq!(hex(tag), "1ae10b594f09e26a7e902ecbd0600691");
         let back = open(&key, &nonce, &aad, &boxed).unwrap();
         assert_eq!(back, plaintext);
+    }
+
+    #[test]
+    fn in_place_matches_boxed() {
+        let key = [0x21u8; 32];
+        let nonce = [0x12u8; 12];
+        let aad = b"assoc";
+        for len in [0usize, 1, 16, 63, 64, 65, 500] {
+            let msg = vec![0x6du8; len];
+            let boxed = seal(&key, &nonce, aad, &msg);
+            let mut buf = msg.clone();
+            let tag = seal_in_place_detached(&key, &nonce, aad, &mut buf);
+            assert_eq!(&boxed[..len], &buf[..], "ciphertext len {len}");
+            assert_eq!(&boxed[len..], &tag[..], "tag len {len}");
+            open_in_place_detached(&key, &nonce, aad, &mut buf, &tag).unwrap();
+            assert_eq!(buf, msg, "roundtrip len {len}");
+        }
+    }
+
+    #[test]
+    fn in_place_open_rejects_tamper_without_decrypting() {
+        let key = [4u8; 32];
+        let nonce = [5u8; 12];
+        let mut buf = b"payload bytes".to_vec();
+        let mut tag = seal_in_place_detached(&key, &nonce, b"", &mut buf);
+        tag[0] ^= 1;
+        let before = buf.clone();
+        assert_eq!(
+            open_in_place_detached(&key, &nonce, b"", &mut buf, &tag),
+            Err(AeadError::TagMismatch)
+        );
+        assert_eq!(buf, before, "buffer must stay ciphertext on failure");
+        assert_eq!(
+            open_in_place_detached(&key, &nonce, b"", &mut buf, &tag[..15]),
+            Err(AeadError::Truncated)
+        );
     }
 
     #[test]
@@ -160,7 +274,10 @@ only one tip for the future, sunscreen would be it.";
 
     #[test]
     fn truncated_rejected() {
-        assert_eq!(open(&[0u8; 32], &[0u8; 12], b"", &[1, 2, 3]), Err(AeadError::Truncated));
+        assert_eq!(
+            open(&[0u8; 32], &[0u8; 12], b"", &[1, 2, 3]),
+            Err(AeadError::Truncated)
+        );
     }
 
     #[test]

@@ -15,6 +15,29 @@
 //! * [`merkle`] — binary Merkle hash tree over disk blocks.
 //! * [`ct`] — constant-time comparison helpers.
 //!
+//! # The in-place hot path
+//!
+//! Everything Nymix moves in bulk — onion-wrapped Tor cells, DC-net pads,
+//! sealed nym archives — runs through ChaCha20/Poly1305, so these
+//! primitives are built for block-level, zero-copy operation:
+//!
+//! * [`ChaCha20::xor_into`] XORs keystream directly into a caller buffer,
+//!   word-vectorized over 64-byte blocks (4-block batched kernel), with
+//!   [`ChaCha20::seek`] for repositioning. No keystream `Vec` is ever
+//!   allocated; `ChaCha20::keystream` is deprecated accordingly.
+//! * [`Poly1305`] is an incremental `update`/`finalize` hasher, so MACs
+//!   stream over scattered slices without a scratch copy.
+//! * [`seal_in_place_detached`] / [`open_in_place_detached`] encrypt and
+//!   authenticate a caller buffer in place with a detached tag; the
+//!   allocating [`seal`] / [`open`] are thin wrappers over them.
+//!
+//! # AEAD counter convention
+//!
+//! Per RFC 8439 §2.8, ChaCha20 block counter 0 under the message nonce
+//! derives the Poly1305 one-time key, and payload keystream starts at
+//! block counter 1. Standalone cipher users (e.g. DC-net pad expansion)
+//! are free to start at counter 0.
+//!
 //! All implementations are validated against published test vectors in
 //! their module tests. The crate has no dependencies and performs no I/O.
 
@@ -31,11 +54,11 @@ pub mod pbkdf2;
 pub mod poly1305;
 pub mod sha256;
 
-pub use aead::{open, seal, AeadError};
+pub use aead::{open, open_in_place_detached, seal, seal_in_place_detached, AeadError};
 pub use chacha20::ChaCha20;
 pub use hkdf::{hkdf_expand, hkdf_extract};
 pub use hmac::hmac_sha256;
 pub use merkle::MerkleTree;
 pub use pbkdf2::pbkdf2_hmac_sha256;
-pub use poly1305::poly1305_tag;
+pub use poly1305::{poly1305_tag, Poly1305};
 pub use sha256::{sha256, Sha256};

@@ -78,7 +78,10 @@ impl MerkleTree {
             }
             levels.push(next);
         }
-        Self { levels, block_count }
+        Self {
+            levels,
+            block_count,
+        }
     }
 
     /// Number of committed blocks.
@@ -171,10 +174,10 @@ mod tests {
     fn all_proofs_verify_for_various_sizes() {
         for n in [1usize, 2, 3, 4, 5, 7, 8, 9, 16, 31] {
             let (tree, data) = build(n);
-            for i in 0..n {
+            for (i, block) in data.iter().enumerate() {
                 let proof = tree.prove(i).expect("in range");
                 assert!(
-                    MerkleTree::verify(&tree.root(), i, &data[i], &proof, n),
+                    MerkleTree::verify(&tree.root(), i, block, &proof, n),
                     "n={n} i={i}"
                 );
             }

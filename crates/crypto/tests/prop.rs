@@ -1,6 +1,9 @@
 //! Property-based tests for the crypto primitives.
 
-use nymix_crypto::{open, seal, ChaCha20, MerkleTree, Sha256};
+use nymix_crypto::{
+    open, open_in_place_detached, poly1305_tag, seal, seal_in_place_detached, ChaCha20, MerkleTree,
+    Poly1305, Sha256,
+};
 use proptest::prelude::*;
 
 proptest! {
@@ -81,6 +84,61 @@ proptest! {
         let tree = MerkleTree::build(blocks.iter().map(|b| b.as_slice()));
         let proof = tree.prove(i).unwrap();
         prop_assert!(!MerkleTree::verify(&tree.root(), i, &blocks[j], &proof, n));
+    }
+
+    #[test]
+    fn poly1305_streaming_equals_oneshot(key in any::<[u8; 32]>(),
+                                         data in proptest::collection::vec(any::<u8>(), 0..1024),
+                                         cuts in proptest::collection::vec(1usize..48, 0..12)) {
+        // Feeding the message through `update` in arbitrary chunk splits
+        // must equal the one-shot tag, regardless of where the 16-byte
+        // block boundaries fall relative to the cuts.
+        let mut mac = Poly1305::new(&key);
+        let mut off = 0usize;
+        for cut in cuts {
+            if off >= data.len() { break; }
+            let end = (off + cut).min(data.len());
+            mac.update(&data[off..end]);
+            off = end;
+        }
+        mac.update(&data[off..]);
+        prop_assert_eq!(mac.finalize(), poly1305_tag(&key, &data));
+    }
+
+    #[test]
+    fn aead_in_place_matches_boxed(key in any::<[u8; 32]>(), nonce in any::<[u8; 12]>(),
+                                   aad in proptest::collection::vec(any::<u8>(), 0..64),
+                                   msg in proptest::collection::vec(any::<u8>(), 0..1024)) {
+        // seal_in_place_detached must produce exactly the bytes of seal,
+        // and open_in_place_detached must round-trip and agree with open.
+        let boxed = seal(&key, &nonce, &aad, &msg);
+        let mut buf = msg.clone();
+        let tag = seal_in_place_detached(&key, &nonce, &aad, &mut buf);
+        prop_assert_eq!(&boxed[..msg.len()], &buf[..]);
+        prop_assert_eq!(&boxed[msg.len()..], &tag[..]);
+        open_in_place_detached(&key, &nonce, &aad, &mut buf, &tag).unwrap();
+        prop_assert_eq!(&buf, &msg);
+        prop_assert_eq!(open(&key, &nonce, &aad, &boxed).unwrap(), msg);
+    }
+
+    #[test]
+    fn chacha_xor_into_accumulates_pads(seeds in proptest::collection::vec(any::<[u8; 32]>(), 1..5),
+                                        nonce in any::<[u8; 12]>(), len in 1usize..600) {
+        // XOR-accumulating streams via xor_into (the DC-net pad path) must
+        // equal materializing each stream and XORing byte-wise.
+        let mut acc = vec![0u8; len];
+        for seed in &seeds {
+            ChaCha20::new(seed, &nonce, 0).xor_into(&mut acc);
+        }
+        let mut want = vec![0u8; len];
+        for seed in &seeds {
+            let mut stream = vec![0u8; len];
+            ChaCha20::new(seed, &nonce, 0).apply(&mut stream);
+            for (w, s) in want.iter_mut().zip(&stream) {
+                *w ^= s;
+            }
+        }
+        prop_assert_eq!(acc, want);
     }
 
     #[test]

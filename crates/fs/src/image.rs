@@ -159,10 +159,7 @@ impl VerifiedImage {
         let proof = &self.proofs[index];
         if MerkleTree::verify(&self.root, index, block, proof, self.block_count) {
             self.verified_reads += 1;
-            Ok(self
-                .image
-                .read_block(index)
-                .expect("checked above"))
+            Ok(self.image.read_block(index).expect("checked above"))
         } else {
             Err(TamperDetected { block: index })
         }
@@ -258,7 +255,9 @@ impl BaseImage {
         let mut key = [0u8; 32];
         key.copy_from_slice(&digest);
         let nonce = [0u8; 12];
-        nymix_crypto::ChaCha20::new(&key, &nonce, 0).keystream(size)
+        let mut content = vec![0u8; size];
+        nymix_crypto::ChaCha20::new(&key, &nonce, 0).xor_into(&mut content);
+        content
     }
 
     /// Files in the image.

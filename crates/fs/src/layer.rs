@@ -169,7 +169,10 @@ mod tests {
     fn put_and_get() {
         let mut l = Layer::new(LayerKind::Writable);
         l.put_file(Path::new("/a/b/c.txt"), b"hello".to_vec());
-        assert_eq!(l.get(&Path::new("/a/b/c.txt")), Some(&Node::File(b"hello".to_vec())));
+        assert_eq!(
+            l.get(&Path::new("/a/b/c.txt")),
+            Some(&Node::File(b"hello".to_vec()))
+        );
         // Parents auto-created.
         assert_eq!(l.get(&Path::new("/a")), Some(&Node::Dir));
         assert_eq!(l.get(&Path::new("/a/b")), Some(&Node::Dir));

@@ -112,10 +112,7 @@ impl UnionFs {
         let Some(quota) = self.quota_bytes else {
             return Ok(());
         };
-        let existing_in_upper = self
-            .upper()
-            .and_then(|u| u.get(path))
-            .map_or(0, Node::size);
+        let existing_in_upper = self.upper().and_then(|u| u.get(path)).map_or(0, Node::size);
         let needed = self.upper_bytes() - existing_in_upper + new_len;
         if needed > quota {
             Err(FsError::NoSpace { quota, needed })
@@ -332,7 +329,10 @@ impl UnionFs {
     }
 
     fn exists_below_top(&self, path: &Path) -> bool {
-        for layer in self.layers[..self.layers.len().saturating_sub(1)].iter().rev() {
+        for layer in self.layers[..self.layers.len().saturating_sub(1)]
+            .iter()
+            .rev()
+        {
             match layer.get(path) {
                 Some(Node::Whiteout) => return false,
                 Some(_) => return true,
@@ -408,7 +408,10 @@ mod tests {
         let mut fs = two_layer(&[("/f", b"old")]);
         fs.write(&Path::new("/f"), b"new".to_vec()).unwrap();
         assert_eq!(fs.read(&Path::new("/f")).unwrap(), b"new");
-        assert_eq!(fs.layer(0).get(&Path::new("/f")), Some(&Node::File(b"old".to_vec())));
+        assert_eq!(
+            fs.layer(0).get(&Path::new("/f")),
+            Some(&Node::File(b"old".to_vec()))
+        );
     }
 
     #[test]
@@ -429,7 +432,10 @@ mod tests {
         let mut fs = two_layer(&[("/doc", b"x")]);
         fs.unlink(&Path::new("/doc")).unwrap();
         assert!(!fs.exists(&Path::new("/doc")));
-        assert_eq!(fs.upper().unwrap().get(&Path::new("/doc")), Some(&Node::Whiteout));
+        assert_eq!(
+            fs.upper().unwrap().get(&Path::new("/doc")),
+            Some(&Node::Whiteout)
+        );
         // Base still holds the data (read-only protection).
         assert!(fs.layer(0).get(&Path::new("/doc")).is_some());
     }
@@ -485,10 +491,7 @@ mod tests {
     #[test]
     fn read_only_union_rejects_writes() {
         let mut fs = UnionFs::new(vec![base_with(&[("/f", b"x")])]).unwrap();
-        assert_eq!(
-            fs.write(&Path::new("/g"), vec![1]),
-            Err(FsError::ReadOnly)
-        );
+        assert_eq!(fs.write(&Path::new("/g"), vec![1]), Err(FsError::ReadOnly));
     }
 
     #[test]
@@ -572,7 +575,10 @@ mod tests {
         // Second write would exceed the 100-byte disk.
         assert!(matches!(
             fs.write(&Path::new("/b"), vec![0; 50]),
-            Err(FsError::NoSpace { quota: 100, needed: 110 })
+            Err(FsError::NoSpace {
+                quota: 100,
+                needed: 110
+            })
         ));
         // Overwriting an existing file only counts the delta.
         fs.write(&Path::new("/a"), vec![0; 90]).unwrap();

@@ -145,12 +145,20 @@ mod tests {
     fn copy_out_requires_rw() {
         let guest = fs_with(&[("/media/out/f", b"x")]);
         let mut host = fs_with(&[]);
-        let ro = VirtfsShare::new(Path::new("/drop"), Path::new("/media/out"), ShareMode::ReadOnly);
+        let ro = VirtfsShare::new(
+            Path::new("/drop"),
+            Path::new("/media/out"),
+            ShareMode::ReadOnly,
+        );
         assert_eq!(
             ro.copy_out(&guest, &mut host, &Path::new("/media/out/f")),
             Err(FsError::ReadOnly)
         );
-        let rw = VirtfsShare::new(Path::new("/drop"), Path::new("/media/out"), ShareMode::ReadWrite);
+        let rw = VirtfsShare::new(
+            Path::new("/drop"),
+            Path::new("/media/out"),
+            ShareMode::ReadWrite,
+        );
         let landed = rw
             .copy_out(&guest, &mut host, &Path::new("/media/out/f"))
             .unwrap();
@@ -163,15 +171,23 @@ mod tests {
         let host = fs_with(&[("/outbox/f", b"orig")]);
         let mut guest = fs_with(&[]);
         let share = VirtfsShare::new(Path::new("/outbox"), Path::new("/in"), ShareMode::ReadOnly);
-        share.copy_in(&host, &mut guest, &Path::new("/outbox/f")).unwrap();
-        guest.write(&Path::new("/in/f"), b"mutated".to_vec()).unwrap();
+        share
+            .copy_in(&host, &mut guest, &Path::new("/outbox/f"))
+            .unwrap();
+        guest
+            .write(&Path::new("/in/f"), b"mutated".to_vec())
+            .unwrap();
         // Host copy unaffected: no aliasing between VMs.
         assert_eq!(host.read(&Path::new("/outbox/f")).unwrap(), b"orig");
     }
 
     #[test]
     fn visible_files_lists_subtree_only() {
-        let host = fs_with(&[("/outbox/a", b"1"), ("/outbox/sub/b", b"2"), ("/etc/c", b"3")]);
+        let host = fs_with(&[
+            ("/outbox/a", b"1"),
+            ("/outbox/sub/b", b"2"),
+            ("/etc/c", b"3"),
+        ]);
         let share = VirtfsShare::new(Path::new("/outbox"), Path::new("/in"), ShareMode::ReadOnly);
         let names: Vec<String> = share
             .visible_files(&host)

@@ -320,10 +320,10 @@ impl Fabric {
         let node = &self.nodes[current.0];
         let mut best: Option<(u8, usize)> = None;
         for route in &node.routes {
-            if packet.dst.in_subnet(route.network, route.prefix) {
-                if best.map_or(true, |(p, _)| route.prefix > p) {
-                    best = Some((route.prefix, route.iface));
-                }
+            if packet.dst.in_subnet(route.network, route.prefix)
+                && best.is_none_or(|(p, _)| route.prefix > p)
+            {
+                best = Some((route.prefix, route.iface));
             }
         }
         let Some((_, iface_idx)) = best else {
@@ -465,7 +465,13 @@ mod tests {
             host,
             Packet::tcp(Ip::parse("10.0.0.2"), Ip::parse("198.51.100.1"), 443, 1000),
         );
-        assert_eq!(status, DeliveryStatus::Delivered { node: inet, hops: 2 });
+        assert_eq!(
+            status,
+            DeliveryStatus::Delivered {
+                node: inet,
+                hops: 2
+            }
+        );
         // On the WAN link, the private source must not appear.
         let wan = f.tracer().on_link(1);
         assert_eq!(wan.len(), 1);
@@ -503,7 +509,12 @@ mod tests {
         );
         let status = f.send(
             inet,
-            Packet::tcp(Ip::parse("198.51.100.1"), Ip::parse("203.0.113.9"), 443, 100),
+            Packet::tcp(
+                Ip::parse("198.51.100.1"),
+                Ip::parse("203.0.113.9"),
+                443,
+                100,
+            ),
         );
         assert_eq!(status, DeliveryStatus::Delivered { node: nat, hops: 1 });
     }
@@ -537,7 +548,10 @@ mod tests {
         f.connect(a, ia, b, ib1);
         f.connect(b, ib2, c, ic);
         f.add_route(a, Ip::parse("0.0.0.0"), 0, ia);
-        let status = f.send(a, Packet::icmp(Ip::parse("10.0.0.1"), Ip::parse("10.0.1.3")));
+        let status = f.send(
+            a,
+            Packet::icmp(Ip::parse("10.0.0.1"), Ip::parse("10.0.1.3")),
+        );
         assert_eq!(
             status,
             DeliveryStatus::Dropped {
@@ -611,7 +625,10 @@ mod tests {
         let r3 = f.add_iface(r, Mac::host_nic(6), Ip::parse("10.0.2.1"));
         f.connect(src, is, r, r3);
         f.add_route(src, Ip::parse("0.0.0.0"), 0, is);
-        let status = f.send(src, Packet::icmp(Ip::parse("10.0.2.2"), Ip::parse("10.0.1.2")));
+        let status = f.send(
+            src,
+            Packet::icmp(Ip::parse("10.0.2.2"), Ip::parse("10.0.1.2")),
+        );
         assert_eq!(status, DeliveryStatus::Delivered { node: b, hops: 2 });
     }
 
@@ -626,7 +643,10 @@ mod tests {
         f.connect(r1, i1, r2, i2);
         f.add_route(r1, Ip::parse("0.0.0.0"), 0, i1);
         f.add_route(r2, Ip::parse("0.0.0.0"), 0, i2);
-        let status = f.send(r1, Packet::icmp(Ip::parse("10.0.0.1"), Ip::parse("8.8.8.8")));
+        let status = f.send(
+            r1,
+            Packet::icmp(Ip::parse("10.0.0.1"), Ip::parse("8.8.8.8")),
+        );
         assert!(matches!(
             status,
             DeliveryStatus::Dropped {

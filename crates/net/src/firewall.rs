@@ -166,8 +166,14 @@ mod tests {
     #[test]
     fn default_actions() {
         let p = pkt("1.1.1.1", "2.2.2.2", Proto::Tcp, 80);
-        assert_eq!(Firewall::permissive().check(Direction::In, &p), Action::Allow);
-        assert_eq!(Firewall::default_drop().check(Direction::In, &p), Action::Drop);
+        assert_eq!(
+            Firewall::permissive().check(Direction::In, &p),
+            Action::Allow
+        );
+        assert_eq!(
+            Firewall::default_drop().check(Direction::In, &p),
+            Action::Drop
+        );
     }
 
     #[test]
@@ -188,7 +194,10 @@ mod tests {
             Action::Drop
         );
         assert_eq!(
-            fw.check(Direction::Out, &pkt("10.0.2.15", "8.8.8.8", Proto::Tcp, 443)),
+            fw.check(
+                Direction::Out,
+                &pkt("10.0.2.15", "8.8.8.8", Proto::Tcp, 443)
+            ),
             Action::Allow
         );
     }
@@ -214,11 +223,17 @@ mod tests {
             action: Action::Allow,
         });
         assert_eq!(
-            fw.check(Direction::In, &pkt("10.0.2.99", "10.0.2.2", Proto::Tcp, 9050)),
+            fw.check(
+                Direction::In,
+                &pkt("10.0.2.99", "10.0.2.2", Proto::Tcp, 9050)
+            ),
             Action::Allow
         );
         assert_eq!(
-            fw.check(Direction::In, &pkt("10.9.9.9", "10.0.2.2", Proto::Tcp, 9050)),
+            fw.check(
+                Direction::In,
+                &pkt("10.9.9.9", "10.0.2.2", Proto::Tcp, 9050)
+            ),
             Action::Drop
         );
     }

@@ -251,7 +251,7 @@ impl FlowNet {
             for (li, &n) in users.iter().enumerate() {
                 if n > 0 {
                     let share = residual[li] / n as f64;
-                    if bottleneck.map_or(true, |(_, s)| share < s) {
+                    if bottleneck.is_none_or(|(_, s)| share < s) {
                         bottleneck = Some((li, share));
                     }
                 }

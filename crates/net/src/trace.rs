@@ -60,7 +60,10 @@ impl Tracer {
 
     /// Frames transmitted by the named node (on any link).
     pub fn sent_by(&self, node: &str) -> Vec<&TraceEntry> {
-        self.entries.iter().filter(|e| e.from_node == node).collect()
+        self.entries
+            .iter()
+            .filter(|e| e.from_node == node)
+            .collect()
     }
 
     /// Whether any captured frame satisfies `pred`.
@@ -105,8 +108,18 @@ mod tests {
     #[test]
     fn record_and_query() {
         let mut t = Tracer::new();
-        t.record(0, "anonvm", "commvm", &pkt("10.0.2.15", "10.0.2.2", Proto::Udp, 9030));
-        t.record(1, "commvm", "internet", &pkt("203.0.113.9", "198.51.100.1", Proto::Tcp, 443));
+        t.record(
+            0,
+            "anonvm",
+            "commvm",
+            &pkt("10.0.2.15", "10.0.2.2", Proto::Udp, 9030),
+        );
+        t.record(
+            1,
+            "commvm",
+            "internet",
+            &pkt("203.0.113.9", "198.51.100.1", Proto::Tcp, 443),
+        );
         assert_eq!(t.entries().len(), 2);
         assert_eq!(t.on_link(0).len(), 1);
         assert_eq!(t.sent_by("commvm").len(), 1);

@@ -143,7 +143,7 @@ impl PngImage {
                 detail: format!("{} private ancillary chunk(s)", self.private_chunks.len()),
             });
         }
-        risks.sort_by(|a, b| b.severity.cmp(&a.severity));
+        risks.sort_by_key(|r| std::cmp::Reverse(r.severity));
         risks
     }
 
@@ -267,7 +267,7 @@ pub fn analyze_any(bytes: &[u8]) -> Vec<Risk> {
                 member_risks
             })
             .collect();
-        risks.sort_by(|a, b| b.severity.cmp(&a.severity));
+        risks.sort_by_key(|r| std::cmp::Reverse(r.severity));
         return risks;
     }
     analyze(&MediaFile::parse(bytes))
@@ -351,7 +351,8 @@ mod tests {
         );
         // Member names are prefixed in nested reports.
         let risks = analyze_any(&sample_camera_roll().to_bytes());
-        assert!(risks.iter().any(|r| r.detail.starts_with("protest.jpg:")
-            || r.detail.starts_with("screen.png:")));
+        assert!(risks
+            .iter()
+            .any(|r| r.detail.starts_with("protest.jpg:") || r.detail.starts_with("screen.png:")));
     }
 }

@@ -87,8 +87,18 @@ impl JpegImage {
                 artist: Some("bob".to_string()),
             },
             faces: vec![
-                Region { x: 100, y: 80, w: 60, h: 60 },
-                Region { x: 300, y: 120, w: 48, h: 48 },
+                Region {
+                    x: 100,
+                    y: 80,
+                    w: 60,
+                    h: 60,
+                },
+                Region {
+                    x: 300,
+                    y: 120,
+                    w: 48,
+                    h: 48,
+                },
             ],
             stego_payload: None,
             watermark: Some(0xC0FFEE),

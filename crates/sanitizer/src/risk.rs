@@ -187,11 +187,14 @@ pub fn analyze(file: &MediaFile) -> Vec<Risk> {
             risks.push(Risk::new(
                 RiskKind::UnknownFormat,
                 Severity::Medium,
-                format!("unrecognized format ({} bytes); cannot certify", bytes.len()),
+                format!(
+                    "unrecognized format ({} bytes); cannot certify",
+                    bytes.len()
+                ),
             ));
         }
     }
-    risks.sort_by(|a, b| b.severity.cmp(&a.severity));
+    risks.sort_by_key(|r| std::cmp::Reverse(r.severity));
     risks
 }
 

@@ -88,7 +88,7 @@ fn apply_to_jpeg(j: &mut JpegImage, t: Transform) {
                         count += 1;
                     }
                 }
-                let avg = if count > 0 { (sum / count) as u8 } else { 0 };
+                let avg = sum.checked_div(count).unwrap_or(0) as u8;
                 for y in face.y..face.y.saturating_add(face.h).min(j.height) {
                     for x in face.x..face.x.saturating_add(face.w).min(j.width) {
                         j.pixels[y as usize * j.width as usize + x as usize] = avg;
@@ -265,7 +265,10 @@ mod tests {
         let img = JpegImage::protest_photo();
         let face = img.faces[0];
         let before = img.pixels[face.y as usize * img.width as usize + face.x as usize + 5];
-        let report = scrub(&MediaFile::Jpeg(img.clone()).to_bytes(), ParanoiaLevel::Careful);
+        let report = scrub(
+            &MediaFile::Jpeg(img.clone()).to_bytes(),
+            ParanoiaLevel::Careful,
+        );
         if let MediaFile::Jpeg(j) = MediaFile::parse(&report.output) {
             let region: Vec<u8> = (0..face.h as usize)
                 .flat_map(|dy| {
@@ -287,7 +290,10 @@ mod tests {
         let memo = PdfDoc::memo();
         let report = scrub(&MediaFile::Pdf(memo).to_bytes(), ParanoiaLevel::Paranoid);
         assert!(report.clean(), "risks remain: {:?}", report.risks_after);
-        assert!(matches!(MediaFile::parse(&report.output), MediaFile::Jpeg(_)));
+        assert!(matches!(
+            MediaFile::parse(&report.output),
+            MediaFile::Jpeg(_)
+        ));
     }
 
     #[test]

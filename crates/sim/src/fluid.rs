@@ -241,10 +241,7 @@ impl FluidResource {
             if pending.is_empty() || unallocated <= 1e-12 {
                 break;
             }
-            let total_weight: f64 = pending
-                .iter()
-                .map(|id| self.jobs[id].weight)
-                .sum();
+            let total_weight: f64 = pending.iter().map(|id| self.jobs[id].weight).sum();
             let mut any_capped = false;
             let mut next_pending = Vec::with_capacity(pending.len());
             for id in &pending {
@@ -392,7 +389,12 @@ mod tests {
         // Total served work equals capacity * time while backlogged.
         let mut r = FluidResource::new(7.0);
         for i in 0..5 {
-            r.add_job(SimTime::ZERO, 100.0 + i as f64, 1.0 + i as f64 * 0.3, f64::INFINITY);
+            r.add_job(
+                SimTime::ZERO,
+                100.0 + i as f64,
+                1.0 + i as f64 * 0.3,
+                f64::INFINITY,
+            );
         }
         r.advance(t(10.0));
         assert!((r.work_served() - 70.0).abs() < 1e-6);
@@ -425,8 +427,14 @@ mod tests {
 
     #[test]
     fn solo_service_time_helper() {
-        assert_eq!(solo_service_time(10.0, 4.0, f64::INFINITY), SimDuration::from_secs_f64(2.5));
-        assert_eq!(solo_service_time(10.0, 4.0, 1.0), SimDuration::from_secs(10));
+        assert_eq!(
+            solo_service_time(10.0, 4.0, f64::INFINITY),
+            SimDuration::from_secs_f64(2.5)
+        );
+        assert_eq!(
+            solo_service_time(10.0, 4.0, 1.0),
+            SimDuration::from_secs(10)
+        );
     }
 
     #[test]

@@ -136,10 +136,7 @@ mod tests {
         let t = SimTime::ZERO + SimDuration::from_secs(2);
         assert_eq!(t.as_micros(), 2_000_000);
         assert_eq!(t.since(SimTime::ZERO), SimDuration::from_secs(2));
-        assert_eq!(
-            SimDuration::from_millis(1500).as_secs_f64(),
-            1.5,
-        );
+        assert_eq!(SimDuration::from_millis(1500).as_secs_f64(), 1.5,);
     }
 
     #[test]

@@ -124,10 +124,7 @@ impl NymArchive {
 }
 
 fn serialize_layer(layer: &Layer) -> Vec<u8> {
-    let entries: Vec<(&Path, &Node)> = layer
-        .entries()
-        .filter(|(p, _)| !p.is_root())
-        .collect();
+    let entries: Vec<(&Path, &Node)> = layer.entries().filter(|(p, _)| !p.is_root()).collect();
     let mut out = Vec::new();
     out.extend_from_slice(&(entries.len() as u32).to_le_bytes());
     for (path, node) in entries {
@@ -153,8 +150,8 @@ fn deserialize_layer(bytes: &[u8]) -> Result<Layer, ArchiveError> {
     let mut layer = Layer::new(LayerKind::Writable);
     for _ in 0..count {
         let path_len = r.u16()? as usize;
-        let path_str = String::from_utf8(r.take(path_len)?.to_vec())
-            .map_err(|_| ArchiveError::Malformed)?;
+        let path_str =
+            String::from_utf8(r.take(path_len)?.to_vec()).map_err(|_| ArchiveError::Malformed)?;
         let path = Path::new(&path_str);
         match r.u8()? {
             0 => {
@@ -218,7 +215,10 @@ mod tests {
 
     fn sample_layer() -> Layer {
         let mut l = Layer::new(LayerKind::Writable);
-        l.put_file(Path::new("/home/user/.config/chromium/cookies"), vec![9; 500]);
+        l.put_file(
+            Path::new("/home/user/.config/chromium/cookies"),
+            vec![9; 500],
+        );
         l.put_file(Path::new("/home/user/bookmarks"), b"tor blog".to_vec());
         l.put_dir(Path::new("/home/user/cache"));
         l.put_whiteout(Path::new("/etc/motd"));

@@ -228,7 +228,11 @@ impl CloudProvider {
 
     /// Stored size of an object, if present.
     pub fn object_size(&self, account: &str, object: &str) -> Option<usize> {
-        self.accounts.get(account)?.objects.get(object).map(Vec::len)
+        self.accounts
+            .get(account)?
+            .objects
+            .get(object)
+            .map(Vec::len)
     }
 
     /// Everything the provider could hand an adversary about `account`:
@@ -291,7 +295,8 @@ mod tests {
         p.create_account("anon", "c");
         let user_ip = Ip::parse("203.0.113.9");
         let tor_exit = Ip::parse("198.18.0.40");
-        p.put("anon", "c", "nym.bin", vec![0; 64], tor_exit).unwrap();
+        p.put("anon", "c", "nym.bin", vec![0; 64], tor_exit)
+            .unwrap();
         p.get("anon", "c", "nym.bin", tor_exit).unwrap();
         // The provider's log contains only the exit address.
         assert_eq!(p.access_log().len(), 2);

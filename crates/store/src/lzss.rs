@@ -138,8 +138,7 @@ pub fn decompress(packed: &[u8]) -> Result<Vec<u8>, LzssError> {
     if packed.len() < 8 {
         return Err(LzssError::Truncated);
     }
-    let expect_len =
-        u64::from_le_bytes(packed[..8].try_into().expect("8 bytes")) as usize;
+    let expect_len = u64::from_le_bytes(packed[..8].try_into().expect("8 bytes")) as usize;
     // The header is untrusted input: a match token encodes at most
     // MAX_MATCH bytes per 2 wire bytes, so anything claiming more than
     // that is malformed — reject before allocating.
@@ -238,7 +237,8 @@ mod tests {
         // Keystream bytes are incompressible; expansion is bounded by
         // the flag bytes (1/8) plus the header.
         let key = [1u8; 32];
-        let data = nymix_crypto::ChaCha20::new(&key, &[0u8; 12], 0).keystream(10_000);
+        let mut data = vec![0u8; 10_000];
+        nymix_crypto::ChaCha20::new(&key, &[0u8; 12], 0).xor_into(&mut data);
         let packed = compress(&data);
         assert!(packed.len() <= data.len() + data.len() / 8 + 9 + 8);
         assert_eq!(decompress(&packed).unwrap(), data);
@@ -261,7 +261,7 @@ mod tests {
         // the stream must still round-trip.
         let mut data = Vec::new();
         data.extend_from_slice(&[7u8; 100]);
-        data.extend(std::iter::repeat(0u8).take(WINDOW + 50));
+        data.extend(std::iter::repeat_n(0u8, WINDOW + 50));
         data.extend_from_slice(&[7u8; 100]);
         let packed = compress(&data);
         assert_eq!(decompress(&packed).unwrap(), data);

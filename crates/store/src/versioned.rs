@@ -58,7 +58,9 @@ impl VersionedStore {
 
     /// Loads a specific version.
     pub fn load(&self, name: &str, version: u64) -> Option<&[u8]> {
-        self.objects.get(&Self::key(name, version)).map(Vec::as_slice)
+        self.objects
+            .get(&Self::key(name, version))
+            .map(Vec::as_slice)
     }
 
     /// Loads the newest version, with its number.
@@ -73,9 +75,9 @@ impl VersionedStore {
     pub fn rollback(&mut self, name: &str) -> Option<u64> {
         let v = *self.latest.get(name)?;
         self.objects.remove(&Self::key(name, v));
-        let prev = v.checked_sub(1).filter(|p| {
-            *p > 0 && self.objects.contains_key(&Self::key(name, *p))
-        })?;
+        let prev = v
+            .checked_sub(1)
+            .filter(|p| *p > 0 && self.objects.contains_key(&Self::key(name, *p)))?;
         self.latest.insert(name.to_string(), prev);
         Some(prev)
     }

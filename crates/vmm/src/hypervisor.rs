@@ -502,7 +502,8 @@ mod tests {
         let c = comm.get(&Path::new("/etc/rc.local")).unwrap();
         assert_ne!(a, c);
         let sani = Hypervisor::role_config_layer(VmRole::Sani);
-        if let nymix_fs::Node::File(data) = sani.get(&Path::new("/etc/network/interfaces")).unwrap() {
+        if let nymix_fs::Node::File(data) = sani.get(&Path::new("/etc/network/interfaces")).unwrap()
+        {
             assert!(String::from_utf8_lossy(data).contains("air-gapped"));
         } else {
             panic!("missing interfaces file");

@@ -69,11 +69,7 @@ where
     }
     let physical = counts.len();
     let shared = counts.values().filter(|&&c| c >= 2).count();
-    let sharing = counts
-        .values()
-        .filter(|&&c| c >= 2)
-        .map(|&c| c - 1)
-        .sum();
+    let sharing = counts.values().filter(|&&c| c >= 2).map(|&c| c - 1).sum();
     KsmStats {
         pages_scanned: scanned,
         pages_physical: physical,

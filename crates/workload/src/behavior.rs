@@ -123,22 +123,24 @@ mod tests {
     #[test]
     fn post_leaves_a_draft() {
         let mut vm = vm();
-        let mut session = BrowserSession::new(&mut vm, Rng::seed_from(1), 64);
-        session.visit(Site::Twitter);
-        Behavior::Post(280).perform(&mut session, Site::Twitter);
-        drop(session);
-        assert!(vm.disk().exists(&Path::new(
-            "/home/user/.config/chromium/drafts/twitter.com"
-        )));
+        {
+            let mut session = BrowserSession::new(&mut vm, Rng::seed_from(1), 64);
+            session.visit(Site::Twitter);
+            Behavior::Post(280).perform(&mut session, Site::Twitter);
+        }
+        assert!(vm
+            .disk()
+            .exists(&Path::new("/home/user/.config/chromium/drafts/twitter.com")));
     }
 
     #[test]
     fn download_lands_in_downloads() {
         let mut vm = vm();
-        let mut session = BrowserSession::new(&mut vm, Rng::seed_from(2), 64);
-        session.visit(Site::Gmail);
-        Behavior::Download(500_000).perform(&mut session, Site::Gmail);
-        drop(session);
+        {
+            let mut session = BrowserSession::new(&mut vm, Rng::seed_from(2), 64);
+            session.visit(Site::Gmail);
+            Behavior::Download(500_000).perform(&mut session, Site::Gmail);
+        }
         assert!(vm
             .disk()
             .exists(&Path::new("/home/user/Downloads/attachment.bin")));

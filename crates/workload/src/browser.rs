@@ -228,8 +228,12 @@ impl<'a> BrowserSession<'a> {
         let mut jar = format!("# cookies for {domain}\n").into_bytes();
         while jar.len() < scaled {
             jar.extend_from_slice(
-                format!("session={:016x}; tracking={:016x};\n", self.rng.next_u64(), self.rng.next_u64())
-                    .as_bytes(),
+                format!(
+                    "session={:016x}; tracking={:016x};\n",
+                    self.rng.next_u64(),
+                    self.rng.next_u64()
+                )
+                .as_bytes(),
             );
         }
         self.vm

@@ -45,7 +45,8 @@ impl Site {
     ];
 
     /// The four §5.3 storage-experiment sites.
-    pub const STORAGE_SITES: [Site; 4] = [Site::Gmail, Site::Facebook, Site::Twitter, Site::TorBlog];
+    pub const STORAGE_SITES: [Site; 4] =
+        [Site::Gmail, Site::Facebook, Site::Twitter, Site::TorBlog];
 
     /// The site's behaviour profile.
     pub fn profile(self) -> SiteProfile {

@@ -37,13 +37,18 @@ fn session(
         sites.len(),
         total.as_secs_f64()
     );
-    world.peak_memory_mib = world.peak_memory_mib.max(world.nymix.hypervisor().used_memory_mib());
+    world.peak_memory_mib = world
+        .peak_memory_mib
+        .max(world.nymix.hypervisor().used_memory_mib());
     // The session lasts half an hour, then the nym evaporates.
-    engine.schedule_in(SimDuration::from_secs(30 * 60), move |eng, w: &mut World| {
-        w.nymix.destroy_nym(id).expect("live");
-        w.sessions_done += 1;
-        println!("[{:>8}] {name:<10} destroyed (amnesia)", eng.now());
-    });
+    engine.schedule_in(
+        SimDuration::from_secs(30 * 60),
+        move |eng, w: &mut World| {
+            w.nymix.destroy_nym(id).expect("live");
+            w.sessions_done += 1;
+            println!("[{:>8}] {name:<10} destroyed (amnesia)", eng.now());
+        },
+    );
 }
 
 fn main() {
@@ -55,17 +60,41 @@ fn main() {
     };
 
     // 07:30 — coffee and headlines (throwaway nym, Tor).
-    engine.schedule_in(SimDuration::from_secs(7 * 3600 + 30 * 60), |eng, w: &mut World| {
-        session(eng, w, "news", AnonymizerKind::Tor, &[Site::Bbc, Site::Slashdot]);
-    });
+    engine.schedule_in(
+        SimDuration::from_secs(7 * 3600 + 30 * 60),
+        |eng, w: &mut World| {
+            session(
+                eng,
+                w,
+                "news",
+                AnonymizerKind::Tor,
+                &[Site::Bbc, Site::Slashdot],
+            );
+        },
+    );
     // 12:15 — lunch: mail + video (incognito is fine for this role).
-    engine.schedule_in(SimDuration::from_secs(12 * 3600 + 15 * 60), |eng, w: &mut World| {
-        session(eng, w, "lunch", AnonymizerKind::Incognito, &[Site::Gmail, Site::Youtube]);
-    });
+    engine.schedule_in(
+        SimDuration::from_secs(12 * 3600 + 15 * 60),
+        |eng, w: &mut World| {
+            session(
+                eng,
+                w,
+                "lunch",
+                AnonymizerKind::Incognito,
+                &[Site::Gmail, Site::Youtube],
+            );
+        },
+    );
     // 22:00 — the pseudonymous feed, over Dissent, while most users are
     // online (intersection hygiene).
     engine.schedule_in(SimDuration::from_secs(22 * 3600), |eng, w: &mut World| {
-        session(eng, w, "nightpost", AnonymizerKind::Dissent, &[Site::Twitter]);
+        session(
+            eng,
+            w,
+            "nightpost",
+            AnonymizerKind::Dissent,
+            &[Site::Twitter],
+        );
     });
 
     let end = engine.run(&mut world);

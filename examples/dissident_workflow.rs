@@ -78,7 +78,9 @@ fn main() {
         account: "throwaway-8841".into(),
         credential: "app-token".into(),
     };
-    let (size, duration) = nymix.save_nym(nym, "len(gth)-of-rope", &dest).expect("save");
+    let (size, duration) = nymix
+        .save_nym(nym, "len(gth)-of-rope", &dest)
+        .expect("save");
     println!(
         "nym sealed to cloud: {size} bytes in {:.1}s",
         duration.as_secs_f64()
@@ -95,6 +97,9 @@ fn main() {
     );
     let provider = nymix.cloud_provider("dropbox").expect("registered");
     let user_ip = nymix.public_ip();
-    let saw_user = provider.access_log().iter().any(|e| e.observed_ip == user_ip);
+    let saw_user = provider
+        .access_log()
+        .iter()
+        .any(|e| e.observed_ip == user_ip);
     println!("cloud provider ever saw Bob's IP: {saw_user}");
 }

@@ -14,7 +14,13 @@ use nymix_sim::Rng;
 
 /// The adversary watches who is online each day; Bob (user 0) posts to
 /// his pseudonymous feed on some days.
-fn simulate(days: usize, population: u32, p_online: f64, floor: Option<usize>, seed: u64) -> (usize, u32, u32) {
+fn simulate(
+    days: usize,
+    population: u32,
+    p_online: f64,
+    floor: Option<usize>,
+    seed: u64,
+) -> (usize, u32, u32) {
     let mut rng = Rng::seed_from(seed);
     let mut adversary = IntersectionAdversary::new();
     let mut policy = floor.map(BuddiesPolicy::new);
@@ -22,9 +28,8 @@ fn simulate(days: usize, population: u32, p_online: f64, floor: Option<usize>, s
     let mut suppressed = 0u32;
     for _ in 0..days {
         // Who is online today? Bob always is (he wants to post).
-        let mut online: BTreeSet<UserId> = (1..population)
-            .filter(|_| rng.chance(p_online))
-            .collect();
+        let mut online: BTreeSet<UserId> =
+            (1..population).filter(|_| rng.chance(p_online)).collect();
         online.insert(0);
         // Bob posts roughly twice a week.
         if !rng.chance(2.0 / 7.0) {

@@ -9,7 +9,10 @@ fn main() {
     for n in [1usize, 4, 8] {
         match validate_isolation(n) {
             Ok(report) => {
-                println!("== {n} concurrent nym(s): {} probes ==", report.probes.len());
+                println!(
+                    "== {n} concurrent nym(s): {} probes ==",
+                    report.probes.len()
+                );
                 for p in &report.probes {
                     println!(
                         "  [{}] {:<40} delivered={} expected={}",

@@ -18,11 +18,24 @@ use nymix_workload::Site;
 
 /// The menu commands a user can issue.
 enum Command {
-    StartFreshNym { name: &'static str },
-    Browse { name: &'static str, site: Site },
-    StoreNym { name: &'static str, password: &'static str },
-    CloseNym { name: &'static str },
-    LoadExistingNym { name: &'static str, password: &'static str },
+    StartFreshNym {
+        name: &'static str,
+    },
+    Browse {
+        name: &'static str,
+        site: Site,
+    },
+    StoreNym {
+        name: &'static str,
+        password: &'static str,
+    },
+    CloseNym {
+        name: &'static str,
+    },
+    LoadExistingNym {
+        name: &'static str,
+        password: &'static str,
+    },
 }
 
 fn run(script: Vec<Command>) -> Result<(), NymManagerError> {
@@ -38,7 +51,8 @@ fn run(script: Vec<Command>) -> Result<(), NymManagerError> {
     for cmd in script {
         match cmd {
             Command::StartFreshNym { name } => {
-                let (id, b) = nymix.create_nym(name, AnonymizerKind::Tor, UsageModel::Persistent)?;
+                let (id, b) =
+                    nymix.create_nym(name, AnonymizerKind::Tor, UsageModel::Persistent)?;
                 live.insert(name, id);
                 println!("> start a fresh nym '{name}'");
                 println!("  {}", b.render(name));
@@ -90,12 +104,27 @@ fn main() {
     // Night two: load it back (credentials intact), read, store again.
     let script = vec![
         Command::StartFreshNym { name: "tyr-press" },
-        Command::Browse { name: "tyr-press", site: Site::Twitter },
-        Command::StoreNym { name: "tyr-press", password: "len(gth)-of-rope" },
+        Command::Browse {
+            name: "tyr-press",
+            site: Site::Twitter,
+        },
+        Command::StoreNym {
+            name: "tyr-press",
+            password: "len(gth)-of-rope",
+        },
         Command::CloseNym { name: "tyr-press" },
-        Command::LoadExistingNym { name: "tyr-press", password: "len(gth)-of-rope" },
-        Command::Browse { name: "tyr-press", site: Site::Twitter },
-        Command::StoreNym { name: "tyr-press", password: "len(gth)-of-rope" },
+        Command::LoadExistingNym {
+            name: "tyr-press",
+            password: "len(gth)-of-rope",
+        },
+        Command::Browse {
+            name: "tyr-press",
+            site: Site::Twitter,
+        },
+        Command::StoreNym {
+            name: "tyr-press",
+            password: "len(gth)-of-rope",
+        },
         Command::CloseNym { name: "tyr-press" },
     ];
     run(script).expect("workflow succeeds");

@@ -35,7 +35,10 @@ fn main() {
         .create_nym("forum", AnonymizerKind::Dissent, UsageModel::Ephemeral)
         .expect("capacity");
     let t = nymix.visit_site(forum, Site::Slashdot).expect("live");
-    println!("forum nym: slashdot in {:.1}s over dissent", t.as_secs_f64());
+    println!(
+        "forum nym: slashdot in {:.1}s over dissent",
+        t.as_secs_f64()
+    );
 
     // The three roles are structurally unlinkable: identical guest
     // fingerprints, separate anonymizer instances, no shared state.
@@ -81,7 +84,13 @@ fn main() {
 
     // Tomorrow: the family nym comes back with logins intact.
     let (family2, breakdown) = nymix
-        .restore_nym("family", AnonymizerKind::Tor, UsageModel::Persistent, "family-pw", &dest)
+        .restore_nym(
+            "family",
+            AnonymizerKind::Tor,
+            UsageModel::Persistent,
+            "family-pw",
+            &dest,
+        )
         .expect("restore");
     println!(
         "family nym restored (ephemeral fetch {:.1}s); facebook login kept: {}",

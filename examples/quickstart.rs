@@ -18,9 +18,11 @@ fn main() {
     let (nym, startup) = nymix
         .create_nym("reader", AnonymizerKind::Tor, UsageModel::Ephemeral)
         .expect("host has room for a nymbox");
-    println!("nymbox up: boot {:.1}s + tor {:.1}s",
+    println!(
+        "nymbox up: boot {:.1}s + tor {:.1}s",
         startup.boot_vm.as_secs_f64(),
-        startup.start_anonymizer.as_secs_f64());
+        startup.start_anonymizer.as_secs_f64()
+    );
 
     // Browse. All traffic rides the nym's private Tor client; the page
     // load time includes the anonymizer's byte and latency overhead.

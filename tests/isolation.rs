@@ -10,11 +10,7 @@ use nymix_net::Ip;
 fn isolation_matrix_passes_at_all_scales() {
     for n in [1usize, 2, 4, 8] {
         let report = validate_isolation(n).expect("validation runs");
-        assert!(
-            report.passed(),
-            "n={n} failures: {:?}",
-            report.failures()
-        );
+        assert!(report.passed(), "n={n} failures: {:?}", report.failures());
         assert_eq!(report.probes.len(), n * 6);
     }
 }
@@ -31,10 +27,14 @@ fn anonvm_ip_never_crosses_the_wan() {
     let nb = m.nymbox(id).expect("live").clone();
     let target = m.dns().resolve("bbc.co.uk").expect("site");
     m.fabric_mut().clear_trace();
-    let status = m
-        .fabric_mut()
-        .send(nb.anon_node, Packet::tcp(Ip::ANONVM_FIXED, target, 443, 1500));
-    assert!(status.delivered(), "AnonVM reaches the Internet via CommVM+NAT");
+    let status = m.fabric_mut().send(
+        nb.anon_node,
+        Packet::tcp(Ip::ANONVM_FIXED, target, 443, 1500),
+    );
+    assert!(
+        status.delivered(),
+        "AnonVM reaches the Internet via CommVM+NAT"
+    );
     let wan_frames: Vec<_> = m
         .fabric()
         .tracer()
@@ -45,7 +45,11 @@ fn anonvm_ip_never_crosses_the_wan() {
     assert!(!wan_frames.is_empty());
     for f in wan_frames {
         assert_ne!(f.packet.src, Ip::ANONVM_FIXED, "AnonVM IP leaked: {f:?}");
-        assert_eq!(f.packet.src, m.public_ip(), "WAN sees only the public NAT address");
+        assert_eq!(
+            f.packet.src,
+            m.public_ip(),
+            "WAN sees only the public NAT address"
+        );
     }
 }
 

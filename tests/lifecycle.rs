@@ -32,12 +32,19 @@ fn stain_survives_persistent_but_not_preconfigured_nym() {
         .create_nym("pre", AnonymizerKind::Tor, UsageModel::PreConfigured)
         .expect("capacity");
     m.visit_site(pre, Site::Twitter).expect("live");
-    m.save_nym(pre, "pw", &StorageDest::Local).expect("snapshot");
+    m.save_nym(pre, "pw", &StorageDest::Local)
+        .expect("snapshot");
     m.inject_stain(pre, "mullenize").expect("live");
     assert!(m.has_stain(pre, "mullenize").expect("live"));
     m.destroy_nym(pre).expect("live");
     let (pre2, _) = m
-        .restore_nym("pre", AnonymizerKind::Tor, UsageModel::PreConfigured, "pw", &StorageDest::Local)
+        .restore_nym(
+            "pre",
+            AnonymizerKind::Tor,
+            UsageModel::PreConfigured,
+            "pw",
+            &StorageDest::Local,
+        )
         .expect("restore");
     assert!(
         !m.has_stain(pre2, "mullenize").expect("live"),
@@ -53,7 +60,13 @@ fn stain_survives_persistent_but_not_preconfigured_nym() {
     m.save_nym(pers, "pw", &cloud_dest()).expect("save");
     m.destroy_nym(pers).expect("live");
     let (pers2, _) = m
-        .restore_nym("pers", AnonymizerKind::Tor, UsageModel::Persistent, "pw", &cloud_dest())
+        .restore_nym(
+            "pers",
+            AnonymizerKind::Tor,
+            UsageModel::Persistent,
+            "pw",
+            &cloud_dest(),
+        )
         .expect("restore");
     assert!(
         m.has_stain(pers2, "mullenize").expect("live"),
@@ -74,7 +87,13 @@ fn tor_guards_persist_across_save_restore() {
     m.save_nym(id, "pw", &cloud_dest()).expect("save");
     m.destroy_nym(id).expect("live");
     let (id2, _) = m
-        .restore_nym("guarded", AnonymizerKind::Tor, UsageModel::Persistent, "pw", &cloud_dest())
+        .restore_nym(
+            "guarded",
+            AnonymizerKind::Tor,
+            UsageModel::Persistent,
+            "pw",
+            &cloud_dest(),
+        )
         .expect("restore");
     let after = TorState::from_bytes(&m.anonymizer(id2).expect("live").save_state())
         .expect("tor state parses");
@@ -140,7 +159,13 @@ fn deleted_cloud_object_means_nym_gone() {
         credential: "tok".into(),
     };
     assert!(m
-        .restore_nym("gone", AnonymizerKind::Tor, UsageModel::Persistent, "pw", &bad)
+        .restore_nym(
+            "gone",
+            AnonymizerKind::Tor,
+            UsageModel::Persistent,
+            "pw",
+            &bad
+        )
         .is_err());
 }
 

@@ -1,10 +1,10 @@
 //! Cross-crate sanitizer pipeline tests: camera-roll archives through
 //! the SaniVM into a nymbox, with the §3.6 risk workflow end to end.
 
+use nymix::SaniVm;
 use nymix_fs::{Layer, LayerKind, Path, UnionFs};
 use nymix_sanitizer::containers::{analyze_any, sample_camera_roll, FileArchive, PngImage};
 use nymix_sanitizer::{JpegImage, MediaFile, ParanoiaLevel, RiskKind};
-use nymix::SaniVm;
 use nymix_vmm::{Vm, VmConfig, VmId};
 
 fn anon_vm() -> Vm {

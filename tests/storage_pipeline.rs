@@ -58,7 +58,10 @@ fn local_storage_is_evidence_cloud_is_not() {
         .create_nym("bob", AnonymizerKind::Tor, UsageModel::Persistent)
         .expect("capacity");
     m.save_nym(id, "pw", &StorageDest::Local).expect("save");
-    assert!(!m.local_store().is_deniable(), "local blob is evidence (§2)");
+    assert!(
+        !m.local_store().is_deniable(),
+        "local blob is evidence (§2)"
+    );
 
     let mut m2 = manager(23);
     let (id2, _) = m2
@@ -66,7 +69,10 @@ fn local_storage_is_evidence_cloud_is_not() {
         .expect("capacity");
     m2.visit_site(id2, Site::Gmail).expect("live");
     m2.save_nym(id2, "pw", &dest()).expect("save");
-    assert!(m2.local_store().is_deniable(), "cloud storage leaves no local trace");
+    assert!(
+        m2.local_store().is_deniable(),
+        "cloud storage leaves no local trace"
+    );
 }
 
 #[test]
@@ -90,7 +96,13 @@ fn save_restore_preserves_browser_state_exactly() {
     m.save_nym(id, "pw", &dest()).expect("save");
     m.destroy_nym(id).expect("live");
     let (id2, _) = m
-        .restore_nym("dave", AnonymizerKind::Tor, UsageModel::Persistent, "pw", &dest())
+        .restore_nym(
+            "dave",
+            AnonymizerKind::Tor,
+            UsageModel::Persistent,
+            "pw",
+            &dest(),
+        )
         .expect("restore");
     let nb2 = m.nymbox(id2).expect("live").clone();
     let files_after: Vec<String> = m
@@ -122,7 +134,13 @@ fn growing_nym_sizes_match_fig6_shape() {
             sizes.push(s);
             m.destroy_nym(id).expect("live");
             let (nid, _) = m
-                .restore_nym(&name, AnonymizerKind::Tor, UsageModel::Persistent, "pw", &dest())
+                .restore_nym(
+                    &name,
+                    AnonymizerKind::Tor,
+                    UsageModel::Persistent,
+                    "pw",
+                    &dest(),
+                )
                 .expect("restore");
             id = nid;
         }
