@@ -41,6 +41,67 @@ fn bench_crypto(c: &mut Criterion) {
     group.finish();
 }
 
+fn bench_kdf(c: &mut Criterion) {
+    // The save/restore KDF cost: 10k iterations is what sealing pays on
+    // every nym store/load (KDF_ITERATIONS in nymix-store).
+    c.bench_function("pbkdf2_hmac_sha256_10k", |b| {
+        b.iter(|| {
+            black_box(nymix_crypto::pbkdf2_hmac_sha256(
+                black_box(b"hunter2"),
+                black_box(b"nym:alice\x000123456789abcdef"),
+                10_000,
+                32,
+            ))
+        });
+    });
+}
+
+fn bench_seal(c: &mut Criterion) {
+    use nymix_sim::Rng;
+    use nymix_store::NymArchive;
+
+    // A 64 KiB-ish archive with the browser-cache content mix: mostly
+    // repetitive HTML plus an incompressible tail (media).
+    let mut a = NymArchive::new();
+    let html: Vec<u8> = b"<div class=\"post\"><span>timeline entry</span></div>\n"
+        .iter()
+        .copied()
+        .cycle()
+        .take(48 * 1024)
+        .collect();
+    let mut media = vec![0u8; 16 * 1024];
+    nymix_crypto::ChaCha20::new(&[9u8; 32], &[0u8; 12], 0).xor_into(&mut media);
+    a.put("anonvm.disk", html);
+    a.put("commvm.disk", media);
+    let payload = a.payload_bytes() as u64;
+
+    let mut group = c.benchmark_group("seal");
+    group.throughput(Throughput::Bytes(payload));
+    group.sample_size(10);
+    group.bench_function("seal_64k", |b| {
+        let mut rng = Rng::seed_from(7);
+        b.iter(|| {
+            black_box(nymix_store::seal_archive(
+                black_box(&a),
+                "pw",
+                "nym:bench",
+                &mut rng,
+            ))
+        });
+    });
+    group.bench_function("unseal_64k", |b| {
+        let blob = nymix_store::seal_archive(&a, "pw", "nym:bench", &mut Rng::seed_from(7));
+        b.iter(|| {
+            black_box(nymix_store::open_sealed(
+                black_box(&blob),
+                "pw",
+                "nym:bench",
+            ))
+        });
+    });
+    group.finish();
+}
+
 fn bench_ksm(c: &mut Criterion) {
     use nymix_vmm::{PageClass, VmMemory};
     let mut vms = Vec::new();
@@ -114,5 +175,13 @@ fn bench_dcnet(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_crypto, bench_ksm, bench_onion, bench_dcnet);
+criterion_group!(
+    benches,
+    bench_crypto,
+    bench_kdf,
+    bench_seal,
+    bench_ksm,
+    bench_onion,
+    bench_dcnet
+);
 criterion_main!(benches);

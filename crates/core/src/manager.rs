@@ -21,7 +21,7 @@ use nymix_net::firewall::{Action, Direction, Firewall, Rule};
 use nymix_net::flow::calib as netcal;
 use nymix_net::{Fabric, FlowNet, Ip, LinkId, Mac, NodeId, NodeKind};
 use nymix_sim::{Rng, SimDuration, SimTime};
-use nymix_store::{open_sealed, seal_archive, CloudProvider, LocalStore, NymArchive};
+use nymix_store::{seal_into, unseal_raw_into, CloudProvider, LocalStore, NymArchive, SealScratch};
 use nymix_vmm::{Hypervisor, HypervisorError, VmConfig};
 use nymix_workload::browser::BrowserState;
 use nymix_workload::{BrowserSession, Site};
@@ -109,6 +109,12 @@ pub struct NymManager {
     /// other) payload bytes — Figure 6's "AnonVM content accounting
     /// for 85% of the pseudonym size" breakdown.
     last_save_breakdown: Option<(usize, usize, usize)>,
+    /// Reusable sealing arena: store-nym runs on every save and
+    /// restore-nym on every load, so the serialize/compress (and
+    /// decrypt/decompress) working memory persists across both.
+    seal_scratch: SealScratch,
+    /// Ciphertext working copy for restores, reused alongside the arena.
+    unseal_work: Vec<u8>,
     // Fabric landmarks.
     hyp_node: NodeId,
     internet_node: NodeId,
@@ -206,6 +212,8 @@ impl NymManager {
             local: LocalStore::new(),
             browser_scale,
             last_save_breakdown: None,
+            seal_scratch: SealScratch::new(),
+            unseal_work: Vec::new(),
             hyp_node,
             internet_node,
             intranet_node,
@@ -614,7 +622,15 @@ impl NymManager {
         let comm_bytes = archive.get("commvm.disk").map_or(0, <[u8]>::len);
         let other_bytes = archive.payload_bytes() - anon_bytes - comm_bytes;
         self.last_save_breakdown = Some((anon_bytes, comm_bytes, other_bytes));
-        let sealed = seal_archive(&archive, password, &label, &mut self.rng);
+        let mut sealed = Vec::new();
+        seal_into(
+            &archive,
+            password,
+            &label,
+            &mut self.rng,
+            &mut self.seal_scratch,
+            &mut sealed,
+        );
         let sealed_len = sealed.len();
 
         // Upload through the CommVM's anonymizer.
@@ -694,8 +710,17 @@ impl NymManager {
         };
         self.clock += ephemeral_fetch;
 
-        let archive = open_sealed(&blob, password, &label)
+        let archive = {
+            let bytes = unseal_raw_into(
+                &blob,
+                password,
+                &label,
+                &mut self.unseal_work,
+                &mut self.seal_scratch,
+            )
             .map_err(|e| NymManagerError::Storage(e.to_string()))?;
+            NymArchive::from_bytes(bytes).map_err(|e| NymManagerError::Storage(e.to_string()))?
+        };
         let anon_upper = archive
             .get_layer("anonvm.disk")
             .map_err(|e| NymManagerError::Storage(e.to_string()))?;

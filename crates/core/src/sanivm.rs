@@ -120,7 +120,7 @@ impl SaniVm {
 
         // Step 1: user drops the file into the nym's inbox (copy into
         // the SaniVM's own fs — the host stays untouched).
-        let data = host_fs.read(host_path)?;
+        let data = host_fs.read(host_path)?.to_vec();
         let inbox = Self::nym_inbox(nym_name);
         let staged = inbox.join(host_path.file_name().unwrap_or("file"));
         self.fs.write(&staged, data.clone())?;
@@ -244,7 +244,7 @@ mod tests {
         assert_eq!(landed.to_string(), "/media/incoming/protest.jpg");
         let delivered = vm.disk().read(&landed).unwrap();
         // What landed is the scrubbed output, not the original.
-        if let MediaFile::Jpeg(j) = MediaFile::parse(&delivered) {
+        if let MediaFile::Jpeg(j) = MediaFile::parse(delivered) {
             assert!(j.exif.is_empty());
             assert!(j.faces.is_empty());
             assert!(j.watermark.is_none());
@@ -276,7 +276,10 @@ mod tests {
     fn host_files_never_modified() {
         let mut sani = SaniVm::new();
         let host = host_fs_with_photo();
-        let before = host.read(&Path::new("/photos/protest.jpg")).unwrap();
+        let before = host
+            .read(&Path::new("/photos/protest.jpg"))
+            .unwrap()
+            .to_vec();
         sani.mount_host_fs("os", host);
         let mut vm = anon_vm();
         let _ = sani.transfer_to_nym(
@@ -316,6 +319,6 @@ mod tests {
             .unwrap();
         assert!(report.clean());
         let delivered = vm.disk().read(&landed).unwrap();
-        assert!(matches!(MediaFile::parse(&delivered), MediaFile::Jpeg(_)));
+        assert!(matches!(MediaFile::parse(delivered), MediaFile::Jpeg(_)));
     }
 }

@@ -31,6 +31,20 @@
 //!   authenticate a caller buffer in place with a detached tag; the
 //!   allocating [`seal`] / [`open`] are thin wrappers over them.
 //!
+//! The SHA-256 stack gets the same treatment for the save/restore path:
+//!
+//! * The compression function is fully unrolled with a rolling 16-word
+//!   schedule window, and [`Sha256::update`] compresses aligned input
+//!   directly from the caller's slice (no staging buffer).
+//! * [`sha256_x4`] hashes four equal-length messages (with a shared
+//!   prefix) in one interleaved pass; [`MerkleTree::build`] batches leaf
+//!   and interior-node hashing on it.
+//! * [`HmacKey`] caches the ipad/opad midstates so every MAC under a
+//!   reused key skips the key-block compressions; [`HmacKey::mac32`] is
+//!   the two-compression PBKDF2 iteration shape, and
+//!   [`pbkdf2_hmac_sha256_into`] derives keys into a caller buffer with
+//!   a multi-part salt and no allocation.
+//!
 //! # AEAD counter convention
 //!
 //! Per RFC 8439 §2.8, ChaCha20 block counter 0 under the message nonce
@@ -57,8 +71,8 @@ pub mod sha256;
 pub use aead::{open, open_in_place_detached, seal, seal_in_place_detached, AeadError};
 pub use chacha20::ChaCha20;
 pub use hkdf::{hkdf_expand, hkdf_extract};
-pub use hmac::hmac_sha256;
+pub use hmac::{hmac_sha256, HmacKey};
 pub use merkle::MerkleTree;
-pub use pbkdf2::pbkdf2_hmac_sha256;
+pub use pbkdf2::{pbkdf2_hmac_sha256, pbkdf2_hmac_sha256_into};
 pub use poly1305::{poly1305_tag, Poly1305};
-pub use sha256::{sha256, Sha256};
+pub use sha256::{sha256, sha256_x4, Sha256};

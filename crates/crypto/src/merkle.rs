@@ -8,8 +8,15 @@
 //! are accessed, and safely shut\[s\] down ... if a modified block is
 //! detected". This module implements that tree; `nymix-fs` wires it into
 //! the base-image read path.
+//!
+//! Tree construction is built on the interleaved multi-buffer SHA-256
+//! kernel ([`sha256_x4`]): runs of four equal-length blocks hash in one
+//! lockstep pass (disk blocks are uniform, so in practice every leaf
+//! group batches), and interior levels — whose inputs are always exactly
+//! two 32-byte child hashes — batch four parents at a time. All levels
+//! live in one flat node array instead of per-level allocations.
 
-use crate::sha256::{Sha256, DIGEST_LEN};
+use crate::sha256::{sha256_x4, Sha256, DIGEST_LEN};
 
 /// A 32-byte node hash.
 pub type Hash = [u8; DIGEST_LEN];
@@ -36,13 +43,17 @@ fn node_hash(left: &Hash, right: &Hash) -> Hash {
 
 /// A Merkle tree committed over an ordered sequence of blocks.
 ///
-/// Levels are stored bottom-up; an odd node at any level is paired with
-/// itself (Bitcoin-style duplication is avoided by instead promoting the
-/// node unchanged, which cannot introduce ambiguity because the block
-/// count is part of the committed header).
+/// Levels are stored bottom-up, concatenated in one flat node array with
+/// a start offset per level; an odd node at any level is promoted
+/// unchanged (Bitcoin-style duplication is avoided, which cannot
+/// introduce ambiguity because the block count is part of the committed
+/// header).
 #[derive(Debug, Clone)]
 pub struct MerkleTree {
-    levels: Vec<Vec<Hash>>,
+    /// Every level's nodes, bottom-up: leaves first, root last.
+    nodes: Vec<Hash>,
+    /// Start index of each level within `nodes`.
+    level_starts: Vec<usize>,
     block_count: usize,
 }
 
@@ -63,23 +74,71 @@ impl MerkleTree {
     where
         I: IntoIterator<Item = &'a [u8]>,
     {
-        let leaves: Vec<Hash> = blocks.into_iter().map(leaf_hash).collect();
-        let block_count = leaves.len();
-        let mut levels = vec![leaves];
-        while levels.last().map(|l| l.len()).unwrap_or(0) > 1 {
-            let prev = levels.last().expect("at least one level exists");
-            let mut next = Vec::with_capacity(prev.len().div_ceil(2));
-            for pair in prev.chunks(2) {
-                if pair.len() == 2 {
-                    next.push(node_hash(&pair[0], &pair[1]));
-                } else {
-                    next.push(pair[0]); // Promote odd node unchanged.
-                }
+        let blocks: Vec<&[u8]> = blocks.into_iter().collect();
+        let block_count = blocks.len();
+        // A tree over n leaves has at most 2n nodes (plus promotions).
+        let mut nodes: Vec<Hash> = Vec::with_capacity(2 * block_count + 2);
+
+        // Leaves: batch runs of four equal-length blocks through the
+        // interleaved kernel; ragged runs fall back to scalar hashing.
+        let mut i = 0;
+        while i < block_count {
+            if i + 4 <= block_count
+                && blocks[i + 1..i + 4]
+                    .iter()
+                    .all(|b| b.len() == blocks[i].len())
+            {
+                nodes.extend_from_slice(&sha256_x4(
+                    &[LEAF_TAG],
+                    [blocks[i], blocks[i + 1], blocks[i + 2], blocks[i + 3]],
+                ));
+                i += 4;
+            } else {
+                nodes.push(leaf_hash(blocks[i]));
+                i += 1;
             }
-            levels.push(next);
+        }
+
+        // Interior levels: pair inputs are 64 bytes of adjacent child
+        // hashes, staged four pairs at a time for the lockstep kernel.
+        let mut level_starts = vec![0usize];
+        let mut start = 0usize;
+        let mut width = block_count;
+        while width > 1 {
+            let next_start = nodes.len();
+            let pairs = width / 2;
+            let mut p = 0usize;
+            let mut stage = [[0u8; 2 * DIGEST_LEN]; 4];
+            while p + 4 <= pairs {
+                for (l, buf) in stage.iter_mut().enumerate() {
+                    let child = start + 2 * (p + l);
+                    buf[..DIGEST_LEN].copy_from_slice(&nodes[child]);
+                    buf[DIGEST_LEN..].copy_from_slice(&nodes[child + 1]);
+                }
+                nodes.extend_from_slice(&sha256_x4(
+                    &[NODE_TAG],
+                    [&stage[0], &stage[1], &stage[2], &stage[3]],
+                ));
+                p += 4;
+            }
+            while p < pairs {
+                let child = start + 2 * p;
+                let h = node_hash(&nodes[child], &nodes[child + 1]);
+                nodes.push(h);
+                p += 1;
+            }
+            if width % 2 == 1 {
+                // Promote the odd node unchanged.
+                let last = nodes[start + width - 1];
+                nodes.push(last);
+            }
+            level_starts.push(next_start);
+            start = next_start;
+            width = width.div_ceil(2);
         }
         Self {
-            levels,
+            nodes,
+            level_starts,
             block_count,
         }
     }
@@ -89,12 +148,23 @@ impl MerkleTree {
         self.block_count
     }
 
+    /// The nodes of level `index` (0 = leaves).
+    fn level(&self, index: usize) -> &[Hash] {
+        let start = self.level_starts[index];
+        let end = self
+            .level_starts
+            .get(index + 1)
+            .copied()
+            .unwrap_or(self.nodes.len());
+        &self.nodes[start..end]
+    }
+
     /// The root commitment. An empty tree commits to the hash of the
     /// empty leaf set (all-zero is avoided to keep roots unambiguous).
     pub fn root(&self) -> Hash {
-        match self.levels.last() {
-            Some(level) if !level.is_empty() => level[0],
-            _ => leaf_hash(b"nymix:empty-merkle-tree"),
+        match self.nodes.last() {
+            Some(root) => *root,
+            None => leaf_hash(b"nymix:empty-merkle-tree"),
         }
     }
 
@@ -107,7 +177,8 @@ impl MerkleTree {
         }
         let mut proof = Vec::new();
         let mut pos = index;
-        for level in &self.levels[..self.levels.len().saturating_sub(1)] {
+        for li in 0..self.level_starts.len().saturating_sub(1) {
+            let level = self.level(li);
             let sibling = pos ^ 1;
             if sibling < level.len() {
                 proof.push((level[sibling], sibling < pos));
@@ -170,6 +241,28 @@ mod tests {
         (t, b)
     }
 
+    /// Reference build: scalar hashing, per-level vectors, as the seed
+    /// implemented it. The batched build must commit to the same root.
+    fn reference_root(blocks: &[Vec<u8>]) -> Hash {
+        let mut level: Vec<Hash> = blocks.iter().map(|b| leaf_hash(b)).collect();
+        if level.is_empty() {
+            return leaf_hash(b"nymix:empty-merkle-tree");
+        }
+        while level.len() > 1 {
+            level = level
+                .chunks(2)
+                .map(|pair| {
+                    if pair.len() == 2 {
+                        node_hash(&pair[0], &pair[1])
+                    } else {
+                        pair[0]
+                    }
+                })
+                .collect();
+        }
+        level[0]
+    }
+
     #[test]
     fn all_proofs_verify_for_various_sizes() {
         for n in [1usize, 2, 3, 4, 5, 7, 8, 9, 16, 31] {
@@ -181,6 +274,21 @@ mod tests {
                     "n={n} i={i}"
                 );
             }
+        }
+    }
+
+    #[test]
+    fn batched_build_matches_scalar_reference() {
+        // Equal-length blocks (the x4 fast path) and ragged lengths (the
+        // scalar fallback) must both agree with the reference build.
+        for n in 0usize..=33 {
+            let uniform: Vec<Vec<u8>> = (0..n).map(|i| vec![i as u8; 64]).collect();
+            let tree = MerkleTree::build(uniform.iter().map(|b| b.as_slice()));
+            assert_eq!(tree.root(), reference_root(&uniform), "uniform n={n}");
+
+            let ragged: Vec<Vec<u8>> = (0..n).map(|i| vec![i as u8; 1 + (i % 7)]).collect();
+            let tree = MerkleTree::build(ragged.iter().map(|b| b.as_slice()));
+            assert_eq!(tree.root(), reference_root(&ragged), "ragged n={n}");
         }
     }
 

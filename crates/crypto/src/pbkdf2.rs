@@ -4,9 +4,55 @@
 //! and the nym's storage label (§3.5 workflow: "a password to encrypt it
 //! with"). PBKDF2 slows down offline guessing if a cloud provider or a
 //! confiscating adversary obtains the encrypted archive.
+//!
+//! The iteration loop runs on [`HmacKey::mac32`]: the password's
+//! ipad/opad midstates are compressed once up front, so every
+//! `U_{n+1} = HMAC(P, U_n)` step costs two SHA-256 compressions instead
+//! of the four a from-scratch HMAC pays. Sealing latency is linear in
+//! this loop, so the midstate cache directly halves save/restore time.
 
-use crate::hmac::hmac_sha256;
+use crate::hmac::HmacKey;
 use crate::sha256::DIGEST_LEN;
+
+/// Derives key material from `password` and a salt supplied as
+/// concatenated `salt_parts`, writing exactly `out.len()` bytes into
+/// `out` without allocating.
+///
+/// Callers that assemble the salt from several pieces (the sealed-archive
+/// path binds `label ‖ 0 ‖ random`) pass the pieces directly instead of
+/// materializing the concatenation.
+///
+/// # Panics
+///
+/// Panics if `iterations` is zero.
+pub fn pbkdf2_hmac_sha256_into(
+    password: &[u8],
+    salt_parts: &[&[u8]],
+    iterations: u32,
+    out: &mut [u8],
+) {
+    assert!(iterations > 0, "PBKDF2 requires at least one iteration");
+    let key = HmacKey::new(password);
+    let mut block_index = 1u32;
+    for chunk in out.chunks_mut(DIGEST_LEN) {
+        // U_1 = HMAC(P, salt ‖ INT(i)), streamed over the salt parts.
+        let mut h = key.hasher();
+        for part in salt_parts {
+            h.update(part);
+        }
+        h.update(&block_index.to_be_bytes());
+        let mut u = key.finish(h);
+        let mut acc = u;
+        for _ in 1..iterations {
+            u = key.mac32(&u);
+            for (a, b) in acc.iter_mut().zip(u.iter()) {
+                *a ^= b;
+            }
+        }
+        chunk.copy_from_slice(&acc[..chunk.len()]);
+        block_index = block_index.wrapping_add(1);
+    }
+}
 
 /// Derives `len` bytes from `password` and `salt` with `iterations`
 /// rounds of PBKDF2-HMAC-SHA256.
@@ -22,24 +68,8 @@ use crate::sha256::DIGEST_LEN;
 /// assert_eq!(key.len(), 32);
 /// ```
 pub fn pbkdf2_hmac_sha256(password: &[u8], salt: &[u8], iterations: u32, len: usize) -> Vec<u8> {
-    assert!(iterations > 0, "PBKDF2 requires at least one iteration");
-    let mut out = Vec::with_capacity(len);
-    let mut block_index = 1u32;
-    while out.len() < len {
-        let mut msg = salt.to_vec();
-        msg.extend_from_slice(&block_index.to_be_bytes());
-        let mut u = hmac_sha256(password, &msg);
-        let mut acc = u;
-        for _ in 1..iterations {
-            u = hmac_sha256(password, &u);
-            for i in 0..DIGEST_LEN {
-                acc[i] ^= u[i];
-            }
-        }
-        let take = (len - out.len()).min(DIGEST_LEN);
-        out.extend_from_slice(&acc[..take]);
-        block_index = block_index.wrapping_add(1);
-    }
+    let mut out = vec![0u8; len];
+    pbkdf2_hmac_sha256_into(password, &[salt], iterations, &mut out);
     out
 }
 
@@ -95,6 +125,32 @@ mod tests {
     }
 
     #[test]
+    fn rfc7914_vectors() {
+        // RFC 7914 §11 lists PBKDF2-HMAC-SHA256 vectors with 64-byte
+        // output (two derived blocks).
+        let dk = pbkdf2_hmac_sha256(b"passwd", b"salt", 1, 64);
+        assert_eq!(
+            hex(&dk),
+            "55ac046e56e3089fec1691c22544b605f94185216dde0465e68b9d57c20dacbc\
+             49ca9cccf179b645991664b39d77ef317c71b845b1e30bd509112041d3a19783"
+        );
+        let dk = pbkdf2_hmac_sha256(b"Password", b"NaCl", 80_000, 64);
+        assert_eq!(
+            hex(&dk),
+            "4ddcd8f60b98be21830cee5ef22701f9641a4418d04c0414aeff08876b34ab56\
+             a1d425a1225833549adb841b51c9b3176a272bdebba1d078478f62b397f33c8d"
+        );
+    }
+
+    #[test]
+    fn multipart_salt_equals_concatenation() {
+        let mut split = [0u8; 40];
+        pbkdf2_hmac_sha256_into(b"pw", &[b"nym:alice", &[0], b"random"], 100, &mut split);
+        let joined = pbkdf2_hmac_sha256(b"pw", b"nym:alice\x00random", 100, 40);
+        assert_eq!(&split[..], &joined[..]);
+    }
+
+    #[test]
     fn different_salts_differ() {
         let a = pbkdf2_hmac_sha256(b"pw", b"nym:a", 10, 32);
         let b = pbkdf2_hmac_sha256(b"pw", b"nym:b", 10, 32);
@@ -105,5 +161,11 @@ mod tests {
     #[should_panic(expected = "at least one iteration")]
     fn zero_iterations_rejected() {
         let _ = pbkdf2_hmac_sha256(b"pw", b"s", 0, 32);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one iteration")]
+    fn zero_iterations_rejected_into() {
+        pbkdf2_hmac_sha256_into(b"pw", &[b"s"], 0, &mut [0u8; 32]);
     }
 }

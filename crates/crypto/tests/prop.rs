@@ -1,10 +1,28 @@
 //! Property-based tests for the crypto primitives.
 
 use nymix_crypto::{
-    open, open_in_place_detached, poly1305_tag, seal, seal_in_place_detached, ChaCha20, MerkleTree,
-    Poly1305, Sha256,
+    open, open_in_place_detached, poly1305_tag, seal, seal_in_place_detached, ChaCha20, HmacKey,
+    MerkleTree, Poly1305, Sha256,
 };
 use proptest::prelude::*;
+
+/// Literal RFC 2104: pad the key, run two full hashes from scratch. The
+/// midstate-cached `HmacKey` must agree bit-for-bit on everything.
+fn hmac_reference(key: &[u8], msg: &[u8]) -> [u8; 32] {
+    let mut key_block = [0u8; 64];
+    if key.len() > 64 {
+        key_block[..32].copy_from_slice(&nymix_crypto::sha256(key));
+    } else {
+        key_block[..key.len()].copy_from_slice(key);
+    }
+    let mut inner = Sha256::new();
+    let mut outer = Sha256::new();
+    inner.update(&key_block.map(|b| b ^ 0x36));
+    inner.update(msg);
+    outer.update(&key_block.map(|b| b ^ 0x5c));
+    outer.update(&inner.finalize());
+    outer.finalize()
+}
 
 proptest! {
     #[test]
@@ -139,6 +157,45 @@ proptest! {
             }
         }
         prop_assert_eq!(acc, want);
+    }
+
+    #[test]
+    fn hmac_midstate_equals_naive(key in proptest::collection::vec(any::<u8>(), 0..150),
+                                  msg in proptest::collection::vec(any::<u8>(), 0..512)) {
+        let want = hmac_reference(&key, &msg);
+        prop_assert_eq!(nymix_crypto::hmac_sha256(&key, &msg), want);
+        let hk = HmacKey::new(&key);
+        prop_assert_eq!(hk.mac(&msg), want);
+        // Streaming over arbitrary splits agrees too.
+        let mut h = hk.hasher();
+        let split = msg.len() / 2;
+        h.update(&msg[..split]);
+        h.update(&msg[split..]);
+        prop_assert_eq!(hk.finish(h), want);
+    }
+
+    #[test]
+    fn hmac_mac32_equals_naive(key in proptest::collection::vec(any::<u8>(), 0..150),
+                               msg in any::<[u8; 32]>()) {
+        // The PBKDF2 iteration shape: the two-compression fast path must
+        // match the from-scratch construction.
+        prop_assert_eq!(HmacKey::new(&key).mac32(&msg), hmac_reference(&key, &msg));
+    }
+
+    #[test]
+    fn sha256_x4_equals_scalar(prefix in proptest::collection::vec(any::<u8>(), 0..80),
+                               len in 0usize..300,
+                               seed in any::<u64>()) {
+        let msgs: Vec<Vec<u8>> = (0..4).map(|l| {
+            (0..len).map(|i| (seed as usize + l * 31 + i * 7) as u8).collect()
+        }).collect();
+        let got = nymix_crypto::sha256_x4(&prefix, [&msgs[0], &msgs[1], &msgs[2], &msgs[3]]);
+        for l in 0..4 {
+            let mut h = Sha256::new();
+            h.update(&prefix);
+            h.update(&msgs[l]);
+            prop_assert_eq!(got[l], h.finalize());
+        }
     }
 
     #[test]

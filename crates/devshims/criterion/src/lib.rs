@@ -13,7 +13,10 @@
 //! ```
 //!
 //! Set `NYMIX_BENCH_JSON=/path/out.json` to also append machine-readable
-//! records (used to produce `BENCH_crypto.json`).
+//! records (used to produce `BENCH_crypto.json` / `BENCH_store.json`).
+//! Set `NYMIX_BENCH_SMOKE=1` to run each benchmark exactly once with no
+//! calibration — the CI smoke job uses this to keep bench bodies
+//! compiling and running without paying measurement time.
 
 pub use std::hint::black_box;
 
@@ -122,6 +125,16 @@ fn run_bench<F: FnMut(&mut Bencher)>(
     samples: usize,
     f: &mut F,
 ) {
+    // Smoke mode (CI): prove every bench body runs, with one iteration
+    // and no calibration, so the job cost is compile + epsilon.
+    if std::env::var_os("NYMIX_BENCH_SMOKE").is_some() {
+        let t = run_once(f, 1);
+        println!(
+            "{name:<40} time: {:>12}/iter   (smoke: 1 iteration)",
+            fmt_ns(t.as_nanos() as f64)
+        );
+        return;
+    }
     // Warm up and discover an iteration count that runs ~10 ms per sample.
     let mut iters = 1u64;
     loop {

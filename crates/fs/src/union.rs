@@ -178,10 +178,12 @@ impl UnionFs {
         self.lookup(path).is_some()
     }
 
-    /// Reads a file's full contents.
-    pub fn read(&self, path: &Path) -> Result<Vec<u8>, FsError> {
+    /// Reads a file's contents as a borrowed slice of the owning layer —
+    /// the read path never copies the body. Callers that need ownership
+    /// call `.to_vec()` explicitly.
+    pub fn read(&self, path: &Path) -> Result<&[u8], FsError> {
         match self.lookup(path) {
-            Some(Node::File(data)) => Ok(data.clone()),
+            Some(Node::File(data)) => Ok(data.as_slice()),
             Some(_) => Err(FsError::WrongKind(path.to_string())),
             None => Err(FsError::NotFound(path.to_string())),
         }
@@ -207,7 +209,7 @@ impl UnionFs {
     /// Appends to a file, creating it if absent.
     pub fn append(&mut self, path: &Path, more: &[u8]) -> Result<(), FsError> {
         let mut data = match self.read(path) {
-            Ok(d) => d,
+            Ok(d) => d.to_vec(),
             Err(FsError::NotFound(_)) => Vec::new(),
             Err(e) => return Err(e),
         };
@@ -267,7 +269,7 @@ impl UnionFs {
     /// Renames a file (read + write + unlink; directories unsupported,
     /// as in early OverlayFS).
     pub fn rename(&mut self, from: &Path, to: &Path) -> Result<(), FsError> {
-        let data = self.read(from)?;
+        let data = self.read(from)?.to_vec();
         self.write(to, data)?;
         self.unlink(from)
     }
@@ -304,22 +306,39 @@ impl UnionFs {
     /// Recursively walks all visible files under `dir`.
     pub fn walk_files(&self, dir: &Path) -> Vec<Path> {
         let mut out = Vec::new();
-        let mut stack = vec![dir.clone()];
-        while let Some(cur) = stack.pop() {
+        self.walk_files_into(dir, &mut out);
+        out
+    }
+
+    /// Recursively walks all visible files under `dir`, appending sorted
+    /// results to `out` (cleared first). The traversal stack doubles as
+    /// the tail of `out`, so callers that keep `out` warm (cache
+    /// eviction sweeps, snapshot walks) trigger no per-walk allocation
+    /// beyond `read_dir`'s name merging.
+    pub fn walk_files_into(&self, dir: &Path, out: &mut Vec<Path>) {
+        out.clear();
+        // `out[files..]` is the stack of directories still to visit;
+        // `out[..files]` accumulates the files found so far.
+        let mut files = 0usize;
+        out.push(dir.clone());
+        while out.len() > files {
+            let cur = out.pop().expect("stack non-empty");
             let Ok(children) = self.read_dir(&cur) else {
                 continue;
             };
             for name in children {
                 let child = cur.join(&name);
                 match self.lookup(&child) {
-                    Some(Node::Dir) => stack.push(child),
-                    Some(Node::File(_)) => out.push(child),
+                    Some(Node::Dir) => out.push(child),
+                    Some(Node::File(_)) => {
+                        out.insert(files, child);
+                        files += 1;
+                    }
                     _ => {}
                 }
             }
         }
         out.sort();
-        out
     }
 
     /// RAM consumed by the writable layer (the prototype stores all

@@ -61,7 +61,7 @@ impl VirtfsShare {
         let guest_path = host_path
             .rebase(&self.host_root, &self.guest_root)
             .ok_or_else(|| FsError::NotFound(host_path.to_string()))?;
-        let data = host.read(host_path)?;
+        let data = host.read(host_path)?.to_vec();
         if let Some(parent) = guest_path.parent() {
             guest.mkdir(&parent)?;
         }
@@ -84,7 +84,7 @@ impl VirtfsShare {
         let host_path = guest_path
             .rebase(&self.guest_root, &self.host_root)
             .ok_or_else(|| FsError::NotFound(guest_path.to_string()))?;
-        let data = guest.read(guest_path)?;
+        let data = guest.read(guest_path)?.to_vec();
         if let Some(parent) = host_path.parent() {
             host.mkdir(&parent)?;
         }

@@ -115,7 +115,7 @@ proptest! {
         let visible: Vec<(Path, Vec<u8>)> = fs
             .walk_files(&Path::root())
             .into_iter()
-            .map(|p| { let d = fs.read(&p).unwrap(); (p, d) })
+            .map(|p| { let d = fs.read(&p).unwrap().to_vec(); (p, d) })
             .collect();
         // Simulate nym save/restore: detach the upper, re-attach it.
         let upper = fs.take_upper().unwrap();
@@ -123,7 +123,7 @@ proptest! {
         let after: Vec<(Path, Vec<u8>)> = fs
             .walk_files(&Path::root())
             .into_iter()
-            .map(|p| { let d = fs.read(&p).unwrap(); (p, d) })
+            .map(|p| { let d = fs.read(&p).unwrap().to_vec(); (p, d) })
             .collect();
         prop_assert_eq!(visible, after);
     }

@@ -87,9 +87,25 @@ impl NymArchive {
         deserialize_layer(data)
     }
 
-    /// Serializes the archive.
-    pub fn to_bytes(&self) -> Vec<u8> {
-        let mut out = MAGIC.to_vec();
+    /// Exact byte length [`NymArchive::write_into`] will append — lets
+    /// callers reserve once and serialize without reallocation.
+    pub fn serialized_len(&self) -> usize {
+        MAGIC.len()
+            + 4
+            + self
+                .records
+                .iter()
+                .map(|(name, data)| 2 + name.len() + 8 + data.len())
+                .sum::<usize>()
+    }
+
+    /// Serializes the archive by appending to `out`. With
+    /// [`NymArchive::serialized_len`] bytes of spare capacity this
+    /// performs no allocation — the sealing pipeline serializes straight
+    /// into its reusable arena.
+    pub fn write_into(&self, out: &mut Vec<u8>) {
+        out.reserve(self.serialized_len());
+        out.extend_from_slice(MAGIC);
         out.extend_from_slice(&(self.records.len() as u32).to_le_bytes());
         for (name, data) in &self.records {
             out.extend_from_slice(&(name.len() as u16).to_le_bytes());
@@ -97,6 +113,12 @@ impl NymArchive {
             out.extend_from_slice(&(data.len() as u64).to_le_bytes());
             out.extend_from_slice(data);
         }
+    }
+
+    /// Serializes the archive.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(self.serialized_len());
+        self.write_into(&mut out);
         out
     }
 
@@ -307,5 +329,18 @@ mod tests {
         a.put("a", vec![0; 10]);
         a.put("b", vec![0; 32]);
         assert_eq!(a.payload_bytes(), 42);
+    }
+
+    #[test]
+    fn write_into_appends_exactly_serialized_len() {
+        let mut a = NymArchive::new();
+        a.put("meta", b"nym=alice".to_vec());
+        a.put_layer("anonvm.disk", &sample_layer());
+        let mut out = b"prefix".to_vec();
+        a.write_into(&mut out);
+        assert_eq!(out.len(), 6 + a.serialized_len());
+        assert_eq!(&out[..6], b"prefix");
+        assert_eq!(NymArchive::from_bytes(&out[6..]).unwrap(), a);
+        assert_eq!(a.to_bytes().len(), a.serialized_len());
     }
 }

@@ -9,11 +9,19 @@
 //!
 //! This crate implements that pipeline's storage half:
 //!
-//! * [`lzss`] — the compressor ("compresses ... their disk images").
+//! * [`lzss`] — the compressor ("compresses ... their disk images"),
+//!   with a lazy-matching encoder whose match-finder arena
+//!   ([`lzss::Compressor`]) persists across seals.
 //! * [`archive`] — the container: writable-layer serialization plus
-//!   named records (Tor guard state, metadata).
+//!   named records (Tor guard state, metadata);
+//!   [`NymArchive::write_into`] serializes straight into a reusable
+//!   buffer.
 //! * [`sealed`] — password-based authenticated encryption of archives
-//!   (PBKDF2 → ChaCha20-Poly1305).
+//!   (PBKDF2 → ChaCha20-Poly1305). [`seal_into`] / [`unseal_raw_into`]
+//!   run the whole serialize → compress → encrypt pipeline in a single
+//!   pass over one [`SealScratch`] arena with zero hot-path
+//!   allocations; [`seal_archive`] / [`open_sealed`] are the
+//!   per-call-allocating wrappers.
 //! * [`cloud`] — simulated cloud providers with pseudonymous accounts;
 //!   records what the provider *observes* so tests can verify the
 //!   deniability story ("the cloud provider learns nothing about the
@@ -36,5 +44,5 @@ pub mod versioned;
 pub use archive::NymArchive;
 pub use cloud::{CloudError, CloudProvider};
 pub use local::LocalStore;
-pub use sealed::{open_sealed, seal_archive, SealedError};
+pub use sealed::{open_sealed, seal_archive, seal_into, unseal_raw_into, SealScratch, SealedError};
 pub use versioned::VersionedStore;

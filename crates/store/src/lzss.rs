@@ -11,10 +11,189 @@
 //! means item *i* is a literal byte; clear means a 2-byte match token:
 //! 12 bits of distance (1-based) and 4 bits of length-3 (match lengths
 //! 3..=18). The stream is prefixed with the 8-byte plaintext length.
+//!
+//! The encoder is built for the sealing hot path:
+//!
+//! * [`Compressor`] owns the hash-chain match-finder arena, so repeated
+//!   seals reuse it; [`Compressor::compress_into`] appends to a caller
+//!   buffer and performs no allocation once the arena is warm.
+//! * Output is emitted incrementally — the flag byte of each 8-item
+//!   group is reserved and patched — instead of staging an item list.
+//! * Matching is lazy (one-step deferred): when position `i` matches, the
+//!   encoder also probes `i + 1` and emits a literal first if the next
+//!   position matches strictly longer, which is worth a few percent on
+//!   HTML/JSON-like input over the greedy parse.
 
 const WINDOW: usize = 4096;
 const MIN_MATCH: usize = 3;
 const MAX_MATCH: usize = 18;
+
+const HASH_BITS: usize = 13;
+/// Match-finder probe budget per position.
+const MAX_TRIES: usize = 32;
+
+#[inline]
+fn hash3(a: u8, b: u8, c: u8) -> usize {
+    ((a as usize) << 6 ^ (b as usize) << 3 ^ c as usize) & ((1 << HASH_BITS) - 1)
+}
+
+/// A reusable LZSS encoder: the hash-chain arena persists across calls.
+#[derive(Debug, Default, Clone)]
+pub struct Compressor {
+    /// Most recent position per 3-byte-prefix hash bucket, or -1.
+    head: Vec<i64>,
+    /// Previous position with the same hash, per position, or -1.
+    prev: Vec<i64>,
+}
+
+impl Compressor {
+    /// A compressor with an empty (lazily grown) arena.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Compresses `data`, appending the stream to `out`. With a warm
+    /// arena and sufficient `out` capacity this performs no allocation.
+    pub fn compress_into(&mut self, data: &[u8], out: &mut Vec<u8>) {
+        self.compress_impl(data, out, true);
+    }
+
+    /// Greedy (non-lazy) parse of the same format. Kept for ratio
+    /// comparison in tests and benches; sealing uses the lazy parse.
+    #[doc(hidden)]
+    pub fn compress_greedy_into(&mut self, data: &[u8], out: &mut Vec<u8>) {
+        self.compress_impl(data, out, false);
+    }
+
+    fn compress_impl(&mut self, data: &[u8], out: &mut Vec<u8>, lazy: bool) {
+        out.reserve(data.len() + data.len() / 8 + 16);
+        out.extend_from_slice(&(data.len() as u64).to_le_bytes());
+
+        self.head.clear();
+        self.head.resize(1 << HASH_BITS, -1);
+        self.prev.clear();
+        self.prev.resize(data.len(), -1);
+
+        // Incremental flag-group emission: reserve the flag byte, push
+        // the group's items, patch the flags once 8 items are out.
+        let mut flag_pos = 0usize;
+        let mut flag = 0u8;
+        let mut flag_count = 0u8;
+        macro_rules! begin_item {
+            () => {
+                if flag_count == 0 {
+                    flag_pos = out.len();
+                    out.push(0);
+                }
+            };
+        }
+        macro_rules! end_item {
+            () => {
+                flag_count += 1;
+                if flag_count == 8 {
+                    out[flag_pos] = flag;
+                    flag = 0;
+                    flag_count = 0;
+                }
+            };
+        }
+
+        // Positions `.. inserted` are in the chains; insertion is lazy so
+        // both the greedy and deferred paths index identically.
+        let mut inserted = 0usize;
+        macro_rules! insert_below {
+            ($limit:expr) => {
+                while inserted < $limit {
+                    if inserted + MIN_MATCH <= data.len() {
+                        let h = hash3(data[inserted], data[inserted + 1], data[inserted + 2]);
+                        self.prev[inserted] = self.head[h];
+                        self.head[h] = inserted as i64;
+                    }
+                    inserted += 1;
+                }
+            };
+        }
+
+        let mut i = 0usize;
+        // A match found while probing `i + 1` for the lazy decision,
+        // carried into the next loop step.
+        let mut pending: Option<(usize, usize)> = None;
+        while i < data.len() {
+            insert_below!(i);
+            let (best_len, best_dist) = pending
+                .take()
+                .unwrap_or_else(|| find_match(data, &self.head, &self.prev, i));
+            if best_len >= MIN_MATCH {
+                // Lazy probe: if the very next position matches strictly
+                // longer, emit this byte as a literal and defer.
+                if lazy && best_len < MAX_MATCH && i + 1 + MIN_MATCH <= data.len() {
+                    insert_below!(i + 1);
+                    let next = find_match(data, &self.head, &self.prev, i + 1);
+                    if next.0 > best_len {
+                        begin_item!();
+                        flag |= 1 << flag_count;
+                        out.push(data[i]);
+                        end_item!();
+                        pending = Some(next);
+                        i += 1;
+                        continue;
+                    }
+                }
+                let token = (((best_dist - 1) as u16) << 4) | ((best_len - MIN_MATCH) as u16);
+                begin_item!();
+                out.extend_from_slice(&token.to_le_bytes());
+                end_item!();
+                i += best_len;
+            } else {
+                begin_item!();
+                flag |= 1 << flag_count;
+                out.push(data[i]);
+                end_item!();
+                i += 1;
+            }
+        }
+        if flag_count > 0 {
+            out[flag_pos] = flag;
+        }
+    }
+}
+
+/// Longest match for position `i` among chained earlier positions,
+/// returned as `(len, dist)`; `len` is 0 when nothing reaches
+/// [`MIN_MATCH`].
+#[inline]
+fn find_match(data: &[u8], head: &[i64], prev: &[i64], i: usize) -> (usize, usize) {
+    let mut best_len = 0usize;
+    let mut best_dist = 0usize;
+    if i + MIN_MATCH > data.len() {
+        return (0, 0);
+    }
+    let h = hash3(data[i], data[i + 1], data[i + 2]);
+    let mut candidate = head[h];
+    let mut tries = MAX_TRIES;
+    let max = MAX_MATCH.min(data.len() - i);
+    while candidate >= 0 && tries > 0 {
+        let c = candidate as usize;
+        let dist = i - c;
+        if dist > WINDOW {
+            break;
+        }
+        let mut len = 0usize;
+        while len < max && data[c + len] == data[i + len] {
+            len += 1;
+        }
+        if len > best_len {
+            best_len = len;
+            best_dist = dist;
+            if len == MAX_MATCH {
+                break;
+            }
+        }
+        candidate = prev[c];
+        tries -= 1;
+    }
+    (best_len, best_dist)
+}
 
 /// Compresses `data`.
 ///
@@ -27,86 +206,8 @@ const MAX_MATCH: usize = 18;
 /// assert_eq!(nymix_store::lzss::decompress(&packed).unwrap(), data);
 /// ```
 pub fn compress(data: &[u8]) -> Vec<u8> {
-    let mut out = Vec::with_capacity(data.len() / 2 + 16);
-    out.extend_from_slice(&(data.len() as u64).to_le_bytes());
-
-    // Hash chains over 3-byte prefixes for match finding.
-    let mut head: Vec<i64> = vec![-1; 1 << 13];
-    let mut prev: Vec<i64> = vec![-1; data.len().max(1)];
-    let hash = |a: u8, b: u8, c: u8| -> usize {
-        ((a as usize) << 6 ^ (b as usize) << 3 ^ c as usize) & ((1 << 13) - 1)
-    };
-
-    let mut items: Vec<(bool, u8, u16)> = Vec::new(); // (is_literal, lit, token)
-    let mut i = 0usize;
-    while i < data.len() {
-        let mut best_len = 0usize;
-        let mut best_dist = 0usize;
-        if i + MIN_MATCH <= data.len() {
-            let h = hash(data[i], data[i + 1], data[i + 2]);
-            let mut candidate = head[h];
-            let mut tries = 32;
-            while candidate >= 0 && tries > 0 {
-                let c = candidate as usize;
-                let dist = i - c;
-                if dist > WINDOW {
-                    break;
-                }
-                let mut len = 0usize;
-                let max = MAX_MATCH.min(data.len() - i);
-                while len < max && data[c + len] == data[i + len] {
-                    len += 1;
-                }
-                if len > best_len {
-                    best_len = len;
-                    best_dist = dist;
-                    if len == MAX_MATCH {
-                        break;
-                    }
-                }
-                candidate = prev[c];
-                tries -= 1;
-            }
-        }
-        if best_len >= MIN_MATCH {
-            let token = (((best_dist - 1) as u16) << 4) | ((best_len - MIN_MATCH) as u16);
-            items.push((false, 0, token));
-            // Insert every covered position into the chains.
-            for k in i..i + best_len {
-                if k + MIN_MATCH <= data.len() {
-                    let h = hash(data[k], data[k + 1], data[k + 2]);
-                    prev[k] = head[h];
-                    head[h] = k as i64;
-                }
-            }
-            i += best_len;
-        } else {
-            items.push((true, data[i], 0));
-            if i + MIN_MATCH <= data.len() {
-                let h = hash(data[i], data[i + 1], data[i + 2]);
-                prev[i] = head[h];
-                head[h] = i as i64;
-            }
-            i += 1;
-        }
-    }
-
-    for group in items.chunks(8) {
-        let mut flag = 0u8;
-        for (k, (is_lit, _, _)) in group.iter().enumerate() {
-            if *is_lit {
-                flag |= 1 << k;
-            }
-        }
-        out.push(flag);
-        for (is_lit, lit, token) in group {
-            if *is_lit {
-                out.push(*lit);
-            } else {
-                out.extend_from_slice(&token.to_le_bytes());
-            }
-        }
-    }
+    let mut out = Vec::new();
+    Compressor::new().compress_into(data, &mut out);
     out
 }
 
@@ -133,8 +234,11 @@ impl core::fmt::Display for LzssError {
 
 impl std::error::Error for LzssError {}
 
-/// Decompresses a [`compress`] stream.
-pub fn decompress(packed: &[u8]) -> Result<Vec<u8>, LzssError> {
+/// Decompresses a [`compress`] stream, appending the plaintext to `out`
+/// (which is cleared first). With sufficient capacity in `out` this
+/// performs no allocation.
+pub fn decompress_into(packed: &[u8], out: &mut Vec<u8>) -> Result<(), LzssError> {
+    out.clear();
     if packed.len() < 8 {
         return Err(LzssError::Truncated);
     }
@@ -145,7 +249,7 @@ pub fn decompress(packed: &[u8]) -> Result<Vec<u8>, LzssError> {
     if expect_len > 8 + (packed.len().saturating_sub(8)).saturating_mul(MAX_MATCH) {
         return Err(LzssError::Truncated);
     }
-    let mut out = Vec::with_capacity(expect_len);
+    out.reserve(expect_len);
     let mut pos = 8usize;
     while out.len() < expect_len {
         if pos >= packed.len() {
@@ -175,9 +279,14 @@ pub fn decompress(packed: &[u8]) -> Result<Vec<u8>, LzssError> {
                     return Err(LzssError::BadReference);
                 }
                 let start = out.len() - dist;
-                for j in 0..len {
-                    let b = out[start + j];
-                    out.push(b);
+                if dist >= len {
+                    // Non-overlapping: one block copy.
+                    out.extend_from_within(start..start + len);
+                } else {
+                    for j in 0..len {
+                        let b = out[start + j];
+                        out.push(b);
+                    }
                 }
             }
         }
@@ -185,6 +294,13 @@ pub fn decompress(packed: &[u8]) -> Result<Vec<u8>, LzssError> {
     if out.len() != expect_len {
         return Err(LzssError::LengthMismatch);
     }
+    Ok(())
+}
+
+/// Decompresses a [`compress`] stream.
+pub fn decompress(packed: &[u8]) -> Result<Vec<u8>, LzssError> {
+    let mut out = Vec::new();
+    decompress_into(packed, &mut out)?;
     Ok(out)
 }
 
@@ -290,5 +406,52 @@ mod tests {
         assert_eq!(ratio(b""), 1.0);
         let text: Vec<u8> = b"abcabcabc".iter().copied().cycle().take(5000).collect();
         assert!(ratio(&text) < 0.3);
+    }
+
+    #[test]
+    fn lazy_beats_greedy_on_html() {
+        // The classic lazy-match win: a short match at i hides a longer
+        // one at i+1. On repetitive markup the deferred parse should be
+        // measurably smaller.
+        let data: Vec<u8> =
+            b"<a href=\"/user/profile\">profile</a><a href=\"/user/settings\">settings</a>\n"
+                .iter()
+                .copied()
+                .cycle()
+                .take(40_000)
+                .collect();
+        let mut c = Compressor::new();
+        let mut lazy = Vec::new();
+        c.compress_into(&data, &mut lazy);
+        let mut greedy = Vec::new();
+        c.compress_greedy_into(&data, &mut greedy);
+        assert!(
+            lazy.len() <= greedy.len(),
+            "lazy {} greedy {}",
+            lazy.len(),
+            greedy.len()
+        );
+        assert_eq!(decompress(&lazy).unwrap(), data);
+        assert_eq!(decompress(&greedy).unwrap(), data);
+    }
+
+    #[test]
+    fn compressor_reuse_is_deterministic() {
+        let mut c = Compressor::new();
+        let data = b"the quick brown fox jumps over the lazy dog; the quick brown fox".to_vec();
+        let mut first = Vec::new();
+        c.compress_into(&data, &mut first);
+        let mut second = Vec::new();
+        c.compress_into(&data, &mut second);
+        assert_eq!(first, second, "arena reuse must not change the stream");
+        assert_eq!(first, compress(&data), "fresh arena must agree too");
+    }
+
+    #[test]
+    fn compress_into_appends_after_existing_bytes() {
+        let mut out = b"header:".to_vec();
+        Compressor::new().compress_into(b"abcabcabcabc", &mut out);
+        assert_eq!(&out[..7], b"header:");
+        assert_eq!(decompress(&out[7..]).unwrap(), b"abcabcabcabc");
     }
 }

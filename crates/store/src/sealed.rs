@@ -11,9 +11,18 @@
 //! The label (nym name / storage location) is bound as AEAD associated
 //! data, so an adversary — or a confused user — cannot splice one nym's
 //! ciphertext into another nym's slot undetected.
+//!
+//! The pipeline is single-pass and allocation-free on the hot path:
+//! [`seal_into`] serializes the archive into a reusable arena
+//! ([`SealScratch`]), LZSS-compresses from that arena directly into the
+//! output blob (after the header), and encrypts the compressed body in
+//! place with the detached-tag AEAD — no intermediate `Vec` is
+//! materialized at any stage. [`unseal_raw_into`] is the symmetric
+//! decrypt-and-decompress half. The convenience wrappers
+//! [`seal_archive`] / [`open_sealed`] allocate fresh buffers per call.
 
 use nymix_crypto::poly1305::TAG_LEN;
-use nymix_crypto::{open_in_place_detached, pbkdf2_hmac_sha256, seal_in_place_detached};
+use nymix_crypto::{open_in_place_detached, pbkdf2_hmac_sha256_into, seal_in_place_detached};
 use nymix_sim::Rng;
 
 use crate::archive::NymArchive;
@@ -51,13 +60,67 @@ impl core::fmt::Display for SealedError {
 impl std::error::Error for SealedError {}
 
 fn derive_key(password: &str, label: &str, salt: &[u8]) -> [u8; 32] {
-    let mut full_salt = label.as_bytes().to_vec();
-    full_salt.push(0);
-    full_salt.extend_from_slice(salt);
-    let dk = pbkdf2_hmac_sha256(password.as_bytes(), &full_salt, KDF_ITERATIONS, 32);
+    // Salt = label ‖ 0 ‖ random, passed as parts — no concatenation buffer.
     let mut key = [0u8; 32];
-    key.copy_from_slice(&dk);
+    pbkdf2_hmac_sha256_into(
+        password.as_bytes(),
+        &[label.as_bytes(), &[0], salt],
+        KDF_ITERATIONS,
+        &mut key,
+    );
     key
+}
+
+/// Reusable working memory for [`seal_into`] / [`unseal_raw_into`]: the
+/// serialized-archive arena and the LZSS match-finder state. Holding one
+/// of these across saves makes repeated sealing allocation-free.
+#[derive(Debug, Default, Clone)]
+pub struct SealScratch {
+    /// Serialized (or decompressed) archive bytes.
+    plain: Vec<u8>,
+    /// LZSS encoder arena.
+    compressor: lzss::Compressor,
+}
+
+impl SealScratch {
+    /// Empty scratch; buffers grow on first use and are then reused.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+/// Seals `archive` under `password` bound to `label`, writing the blob
+/// into `out` (cleared first). `rng` supplies the salt and nonce
+/// (deterministic in simulations).
+///
+/// With warm `scratch` and `out` buffers the whole pipeline — serialize,
+/// compress, encrypt, tag — performs zero heap allocations.
+pub fn seal_into(
+    archive: &NymArchive,
+    password: &str,
+    label: &str,
+    rng: &mut Rng,
+    scratch: &mut SealScratch,
+    out: &mut Vec<u8>,
+) {
+    let mut salt = [0u8; SALT_LEN];
+    rng.fill_bytes(&mut salt);
+    let mut nonce = [0u8; NONCE_LEN];
+    rng.fill_bytes(&mut nonce);
+    let key = derive_key(password, label, &salt);
+
+    out.clear();
+    out.extend_from_slice(MAGIC);
+    out.extend_from_slice(&salt);
+    out.extend_from_slice(&nonce);
+    let body_start = out.len();
+
+    scratch.plain.clear();
+    archive.write_into(&mut scratch.plain);
+    scratch.compressor.compress_into(&scratch.plain, out);
+
+    let tag = seal_in_place_detached(&key, &nonce, label.as_bytes(), &mut out[body_start..]);
+    out.extend_from_slice(&tag);
 }
 
 /// Seals an archive under `password`, bound to `label`.
@@ -77,25 +140,29 @@ fn derive_key(password: &str, label: &str, salt: &[u8]) -> [u8; 32] {
 /// assert_eq!(back.get("meta").unwrap(), b"nym=alice");
 /// ```
 pub fn seal_archive(archive: &NymArchive, password: &str, label: &str, rng: &mut Rng) -> Vec<u8> {
-    let mut salt = [0u8; SALT_LEN];
-    rng.fill_bytes(&mut salt);
-    let mut nonce = [0u8; NONCE_LEN];
-    rng.fill_bytes(&mut nonce);
-    let key = derive_key(password, label, &salt);
-    // Build the blob once and seal the LZSS payload in place inside it:
-    // header || ciphertext || tag, with no intermediate boxed copy.
-    let mut out = MAGIC.to_vec();
-    out.extend_from_slice(&salt);
-    out.extend_from_slice(&nonce);
-    let body_start = out.len();
-    out.extend_from_slice(&lzss::compress(&archive.to_bytes()));
-    let tag = seal_in_place_detached(&key, &nonce, label.as_bytes(), &mut out[body_start..]);
-    out.extend_from_slice(&tag);
+    let mut out = Vec::new();
+    seal_into(
+        archive,
+        password,
+        label,
+        rng,
+        &mut SealScratch::new(),
+        &mut out,
+    );
     out
 }
 
-/// Opens a sealed blob.
-pub fn open_sealed(blob: &[u8], password: &str, label: &str) -> Result<NymArchive, SealedError> {
+/// Authenticates, decrypts and decompresses `blob`, leaving the
+/// serialized archive bytes in `scratch.plain` and returning a view of
+/// them. The ciphertext working copy lives in `work`; with warm buffers
+/// the whole path performs zero heap allocations.
+pub fn unseal_raw_into<'s>(
+    blob: &[u8],
+    password: &str,
+    label: &str,
+    work: &mut Vec<u8>,
+    scratch: &'s mut SealScratch,
+) -> Result<&'s [u8], SealedError> {
     if blob.len() < 4 + SALT_LEN + NONCE_LEN || &blob[..4] != MAGIC {
         return Err(SealedError::Malformed);
     }
@@ -111,17 +178,28 @@ pub fn open_sealed(blob: &[u8], password: &str, label: &str) -> Result<NymArchiv
     let key = derive_key(password, label, salt);
     // Single working copy of the ciphertext, decrypted in place.
     let (ciphertext, tag) = boxed.split_at(boxed.len() - TAG_LEN);
-    let mut compressed = ciphertext.to_vec();
-    open_in_place_detached(&key, &nonce, label.as_bytes(), &mut compressed, tag)
+    work.clear();
+    work.extend_from_slice(ciphertext);
+    open_in_place_detached(&key, &nonce, label.as_bytes(), work, tag)
         .map_err(|_| SealedError::AuthFailed)?;
-    let bytes = lzss::decompress(&compressed).map_err(|_| SealedError::Corrupt)?;
-    NymArchive::from_bytes(&bytes).map_err(|_| SealedError::Corrupt)
+    lzss::decompress_into(work, &mut scratch.plain).map_err(|_| SealedError::Corrupt)?;
+    Ok(&scratch.plain)
+}
+
+/// Opens a sealed blob.
+pub fn open_sealed(blob: &[u8], password: &str, label: &str) -> Result<NymArchive, SealedError> {
+    let mut work = Vec::new();
+    let mut scratch = SealScratch::new();
+    let bytes = unseal_raw_into(blob, password, label, &mut work, &mut scratch)?;
+    NymArchive::from_bytes(bytes).map_err(|_| SealedError::Corrupt)
 }
 
 /// The sealed size an archive would produce (for storage accounting
 /// without materializing the ciphertext twice).
 pub fn sealed_size(archive: &NymArchive) -> usize {
-    lzss::compress(&archive.to_bytes()).len() + 4 + SALT_LEN + NONCE_LEN + 16
+    let mut compressed = Vec::new();
+    lzss::Compressor::new().compress_into(&archive.to_bytes(), &mut compressed);
+    compressed.len() + 4 + SALT_LEN + NONCE_LEN + 16
 }
 
 #[cfg(test)]
@@ -141,6 +219,34 @@ mod tests {
         let blob = seal_archive(&a, "pw", "nym:bob", &mut Rng::seed_from(5));
         let b = open_sealed(&blob, "pw", "nym:bob").unwrap();
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn reused_scratch_roundtrips_and_matches_fresh() {
+        // The steady-state save path: one scratch + one blob buffer
+        // across many seals must produce byte-identical blobs to the
+        // allocating wrapper.
+        let a = archive();
+        let mut scratch = SealScratch::new();
+        let mut out = Vec::new();
+        let mut work = Vec::new();
+        for seed in [1u64, 2, 3] {
+            seal_into(
+                &a,
+                "pw",
+                "l",
+                &mut Rng::seed_from(seed),
+                &mut scratch,
+                &mut out,
+            );
+            assert_eq!(
+                out,
+                seal_archive(&a, "pw", "l", &mut Rng::seed_from(seed)),
+                "seed {seed}"
+            );
+            let bytes = unseal_raw_into(&out, "pw", "l", &mut work, &mut scratch).unwrap();
+            assert_eq!(NymArchive::from_bytes(bytes).unwrap(), a);
+        }
     }
 
     #[test]

@@ -13,9 +13,15 @@
 use std::collections::BTreeMap;
 
 /// A store keeping up to `retain` versions per nym name.
+///
+/// Objects are keyed by the `(name, version)` pair directly rather than
+/// a formatted `"{name}@v{version}"` string: string keys invite
+/// collisions between a nym actually *named* `a@v1` and version 1 of a
+/// nym named `a`, and make range scans over one nym's versions
+/// impossible.
 #[derive(Debug, Clone)]
 pub struct VersionedStore {
-    objects: BTreeMap<String, Vec<u8>>,
+    objects: BTreeMap<(String, u64), Vec<u8>>,
     latest: BTreeMap<String, u64>,
     retain: usize,
 }
@@ -35,22 +41,22 @@ impl VersionedStore {
         }
     }
 
-    fn key(name: &str, version: u64) -> String {
-        format!("{name}@v{version}")
-    }
-
     /// Saves a new version of `name`; returns its version number.
     /// Old versions beyond the retention window are pruned (and their
     /// bytes forgotten — a real backend would also shred them).
     pub fn save(&mut self, name: &str, blob: Vec<u8>) -> u64 {
         let version = self.latest.get(name).map_or(1, |v| v + 1);
-        self.objects.insert(Self::key(name, version), blob);
+        self.objects.insert((name.to_string(), version), blob);
         self.latest.insert(name.to_string(), version);
-        // Prune.
+        // Prune everything below the retention window in one range scan.
         if version as usize > self.retain {
             let cutoff = version - self.retain as u64;
-            for v in 1..=cutoff {
-                self.objects.remove(&Self::key(name, v));
+            let stale: Vec<u64> = self
+                .versions_range(name)
+                .take_while(|v| *v <= cutoff)
+                .collect();
+            for v in stale {
+                self.objects.remove(&(name.to_string(), v));
             }
         }
         version
@@ -59,8 +65,16 @@ impl VersionedStore {
     /// Loads a specific version.
     pub fn load(&self, name: &str, version: u64) -> Option<&[u8]> {
         self.objects
-            .get(&Self::key(name, version))
+            .get(&(name.to_string(), version))
             .map(Vec::as_slice)
+    }
+
+    /// Iterates the versions held for `name`, ascending, via a key-range
+    /// scan (tuple keys make this a contiguous slice of the map).
+    fn versions_range<'a>(&'a self, name: &'a str) -> impl Iterator<Item = u64> + 'a {
+        self.objects
+            .range((name.to_string(), 0)..=(name.to_string(), u64::MAX))
+            .map(|((_, v), _)| *v)
     }
 
     /// Loads the newest version, with its number.
@@ -74,20 +88,17 @@ impl VersionedStore {
     /// new latest version, or `None` if no older version remains.
     pub fn rollback(&mut self, name: &str) -> Option<u64> {
         let v = *self.latest.get(name)?;
-        self.objects.remove(&Self::key(name, v));
+        self.objects.remove(&(name.to_string(), v));
         let prev = v
             .checked_sub(1)
-            .filter(|p| *p > 0 && self.objects.contains_key(&Self::key(name, *p)))?;
+            .filter(|p| *p > 0 && self.objects.contains_key(&(name.to_string(), *p)))?;
         self.latest.insert(name.to_string(), prev);
         Some(prev)
     }
 
     /// Versions currently held for `name`, ascending.
     pub fn versions(&self, name: &str) -> Vec<u64> {
-        let latest = self.latest.get(name).copied().unwrap_or(0);
-        (1..=latest)
-            .filter(|v| self.objects.contains_key(&Self::key(name, *v)))
-            .collect()
+        self.versions_range(name).collect()
     }
 
     /// Total bytes held.
@@ -150,5 +161,26 @@ mod tests {
     #[should_panic(expected = "at least one version")]
     fn zero_retention_rejected() {
         let _ = VersionedStore::new(0);
+    }
+
+    #[test]
+    fn version_like_names_cannot_collide() {
+        // Regression: with formatted string keys, a nym literally named
+        // "a@v1" shared the keyspace with version 1 of nym "a". Tuple
+        // keys keep the namespaces disjoint.
+        let mut s = VersionedStore::new(3);
+        s.save("a", b"version-one-of-a".to_vec());
+        s.save("a@v1", b"the-nym-called-a@v1".to_vec());
+        s.save("a", b"version-two-of-a".to_vec());
+
+        assert_eq!(s.load("a", 1), Some(&b"version-one-of-a"[..]));
+        assert_eq!(s.load("a@v1", 1), Some(&b"the-nym-called-a@v1"[..]));
+        assert_eq!(s.versions("a"), vec![1, 2]);
+        assert_eq!(s.versions("a@v1"), vec![1]);
+
+        // Deleting the odd nym's history must not disturb "a".
+        assert!(s.rollback("a@v1").is_none()); // only one version held
+        assert_eq!(s.load_latest("a").unwrap().1, b"version-two-of-a");
+        assert_eq!(s.versions("a"), vec![1, 2]);
     }
 }

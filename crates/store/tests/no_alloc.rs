@@ -1,0 +1,89 @@
+//! Pins the allocation-freedom of the sealing hot path: once the scratch
+//! arena and output buffer are warm, `seal_into` (serialize → LZSS →
+//! in-place AEAD) and `unseal_raw_into` (decrypt → decompress) must never
+//! touch the heap.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use nymix_sim::Rng;
+use nymix_store::{seal_into, unseal_raw_into, NymArchive, SealScratch};
+
+struct CountingAlloc;
+
+static ALLOCATIONS: AtomicUsize = AtomicUsize::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::SeqCst);
+        unsafe { System.alloc(layout) }
+    }
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+/// Runs `f` and returns how many heap allocations it performed.
+fn allocations_in(f: impl FnOnce()) -> usize {
+    let before = ALLOCATIONS.load(Ordering::SeqCst);
+    f();
+    ALLOCATIONS.load(Ordering::SeqCst) - before
+}
+
+fn archive() -> NymArchive {
+    let mut a = NymArchive::new();
+    a.put("meta", b"nym=alice;site=forum".to_vec());
+    a.put(
+        "anonvm.disk",
+        b"<div class=\"post\">cache entry</div>\n"
+            .repeat(800)
+            .to_vec(),
+    );
+    a.put("tor.state", vec![0x5a; 2048]);
+    a
+}
+
+#[test]
+fn warm_seal_pipeline_is_allocation_free() {
+    let a = archive();
+    let mut scratch = SealScratch::new();
+    let mut out = Vec::new();
+    let mut rng = Rng::seed_from(3);
+    // Warm-up: sizes the arena, the output blob and the match-finder.
+    seal_into(&a, "pw", "nym:alice", &mut rng, &mut scratch, &mut out);
+    let n = allocations_in(|| {
+        for _ in 0..3 {
+            seal_into(&a, "pw", "nym:alice", &mut rng, &mut scratch, &mut out);
+        }
+    });
+    assert_eq!(n, 0, "warm seal_into must not allocate");
+}
+
+#[test]
+fn warm_unseal_pipeline_is_allocation_free() {
+    let a = archive();
+    let mut scratch = SealScratch::new();
+    let mut out = Vec::new();
+    let mut work = Vec::new();
+    seal_into(
+        &a,
+        "pw",
+        "nym:alice",
+        &mut Rng::seed_from(3),
+        &mut scratch,
+        &mut out,
+    );
+    // Warm-up run sizes the ciphertext copy and the plaintext arena.
+    unseal_raw_into(&out, "pw", "nym:alice", &mut work, &mut scratch).expect("opens");
+    let n = allocations_in(|| {
+        for _ in 0..3 {
+            let bytes =
+                unseal_raw_into(&out, "pw", "nym:alice", &mut work, &mut scratch).expect("opens");
+            std::hint::black_box(bytes.len());
+        }
+    });
+    assert_eq!(n, 0, "warm unseal_raw_into must not allocate");
+}

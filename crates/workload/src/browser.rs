@@ -39,6 +39,9 @@ pub struct BrowserSession<'a> {
     cache_seq: u64,
     cache_bytes: u64, // unscaled (logical) bytes currently cached
     visits: u32,
+    /// Reused by the cache-eviction sweep so repeated walks over the
+    /// cache tree don't reallocate the path list.
+    walk_scratch: Vec<Path>,
 }
 
 /// Suspended browser-session state: everything needed to resume the
@@ -114,6 +117,7 @@ impl<'a> BrowserSession<'a> {
             cache_seq: 0,
             cache_bytes: 0,
             visits: 0,
+            walk_scratch: Vec::new(),
         }
     }
 
@@ -126,6 +130,7 @@ impl<'a> BrowserSession<'a> {
             cache_seq: state.cache_seq,
             cache_bytes: state.cache_bytes,
             visits: state.visits,
+            walk_scratch: Vec::new(),
         }
     }
 
@@ -304,19 +309,24 @@ impl<'a> BrowserSession<'a> {
         if self.cache_bytes <= CACHE_CAP_BYTES {
             return;
         }
-        let mut files = self.vm.disk().walk_files(&Path::new(CACHE_DIR));
-        files.sort(); // obj-%08d sorts oldest-first within a site dir.
-        for path in files {
+        // walk_files_into sorts, and obj-%08d sorts oldest-first within
+        // a site dir; the path list reuses the session scratch buffer.
+        let mut files = std::mem::take(&mut self.walk_scratch);
+        self.vm
+            .disk()
+            .walk_files_into(&Path::new(CACHE_DIR), &mut files);
+        for path in &files {
             if self.cache_bytes <= CACHE_CAP_BYTES {
                 break;
             }
-            if let Ok(data) = self.vm.disk().read(&path) {
+            if let Ok(data) = self.vm.disk().read(path) {
                 let logical = data.len() as u64 * self.scale;
-                if self.vm.disk_mut().unlink(&path).is_ok() {
+                if self.vm.disk_mut().unlink(path).is_ok() {
                     self.cache_bytes = self.cache_bytes.saturating_sub(logical);
                 }
             }
         }
+        self.walk_scratch = files;
     }
 }
 

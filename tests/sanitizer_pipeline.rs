@@ -103,7 +103,7 @@ fn full_bob_pipeline_photo_to_nymbox() {
     assert!(report.risks_before.len() >= 4, "the photo was a minefield");
     assert!(report.clean());
     let delivered = vm.disk().read(&landed).expect("file landed");
-    match MediaFile::parse(&delivered) {
+    match MediaFile::parse(delivered) {
         MediaFile::Jpeg(j) => {
             assert!(j.exif.is_empty(), "EXIF survived");
             assert!(j.faces.is_empty(), "faces survived");
