@@ -99,6 +99,64 @@ fn bench_seal(c: &mut Criterion) {
             ))
         });
     });
+
+    // The incremental save path: same 64 KiB archive plus two small
+    // records, of which only those two are dirty. The measured work is
+    // the whole delta-save critical path — diff (byte-compares the
+    // clean records, Merkle-roots the full set) and the keyed seal
+    // (no KDF). Compare against seal_64k: the full re-seal this avoids.
+    use nymix_store::{
+        seal_delta_keyed_into, unseal_keyed_raw_into, DeltaArchive, SealKey, SealScratch,
+    };
+    let mut prev = a.clone();
+    prev.put("tor.state", vec![0x5a; 1024]);
+    prev.put("meta", b"name=bench;model=Persistent".to_vec());
+    let mut next = prev.clone();
+    next.put("tor.state", vec![0xa5; 1024]);
+    next.put("meta", b"name=bench;model=Persistent;rev=2".to_vec());
+
+    group.bench_function("delta_save_2dirty_of_64k", |b| {
+        let mut rng = Rng::seed_from(7);
+        let key = SealKey::derive("pw", "nym:bench", &mut rng);
+        let mut scratch = SealScratch::new();
+        let mut out = Vec::new();
+        b.iter(|| {
+            let delta = DeltaArchive::diff(black_box(&prev), black_box(&next));
+            seal_delta_keyed_into(
+                &delta,
+                &key,
+                "nym:bench#e1.1",
+                &mut rng,
+                &mut scratch,
+                &mut out,
+            );
+            black_box(out.len())
+        });
+    });
+    group.bench_function("delta_restore_replay_64k", |b| {
+        let mut rng = Rng::seed_from(7);
+        let key = SealKey::derive("pw", "nym:bench", &mut rng);
+        let mut scratch = SealScratch::new();
+        let (mut out, mut work) = (Vec::new(), Vec::new());
+        let delta = DeltaArchive::diff(&prev, &next);
+        seal_delta_keyed_into(
+            &delta,
+            &key,
+            "nym:bench#e1.1",
+            &mut rng,
+            &mut scratch,
+            &mut out,
+        );
+        b.iter(|| {
+            let bytes =
+                unseal_keyed_raw_into(&out, &key, "nym:bench#e1.1", &mut work, &mut scratch)
+                    .expect("opens");
+            let delta = DeltaArchive::from_bytes(bytes).expect("parses");
+            let mut base = black_box(&prev).clone();
+            delta.apply(&mut base).expect("verifies");
+            black_box(base.record_count())
+        });
+    });
     group.finish();
 }
 

@@ -33,7 +33,7 @@ pub mod timing;
 pub mod validation;
 
 pub use installed_os::{InstalledOs, OsKind, RepairOutcome};
-pub use manager::{NymId, NymManager, NymManagerError, StorageDest};
+pub use manager::{NymId, NymManager, NymManagerError, SaveKind, StorageDest};
 pub use nymbox::{Nymbox, UsageModel};
 pub use sanivm::SaniVm;
 pub use timing::StartupBreakdown;

@@ -21,7 +21,10 @@ use nymix_net::firewall::{Action, Direction, Firewall, Rule};
 use nymix_net::flow::calib as netcal;
 use nymix_net::{Fabric, FlowNet, Ip, LinkId, Mac, NodeId, NodeKind};
 use nymix_sim::{Rng, SimDuration, SimTime};
-use nymix_store::{seal_into, unseal_raw_into, CloudProvider, LocalStore, NymArchive, SealScratch};
+use nymix_store::{
+    blob_salt, seal_delta_keyed_into, seal_keyed_into, unseal_keyed_raw_into, CloudError,
+    CloudProvider, DeltaArchive, LocalStore, NymArchive, SealKey, SealScratch, DELTA_CHAIN_LIMIT,
+};
 use nymix_vmm::{Hypervisor, HypervisorError, VmConfig};
 use nymix_workload::browser::BrowserState;
 use nymix_workload::{BrowserSession, Site};
@@ -90,6 +93,43 @@ struct NymEntry {
     browser: Option<BrowserState>,
 }
 
+/// Whether a store-nym operation sealed the full archive or only the
+/// dirty-record delta.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SaveKind {
+    /// The whole record set was sealed (and a new chain epoch began).
+    Full,
+    /// Only records dirty since the previous snapshot were sealed.
+    Delta,
+}
+
+/// Record name carrying the chain epoch inside each full archive: a
+/// compacting save bumps it, so deltas stranded by an older epoch are
+/// never even fetched on restore.
+const EPOCH_RECORD: &str = "snapshot.epoch";
+
+/// Per-storage-label snapshot-chain bookkeeping: what the last sealed
+/// full logical state was, which nym and layer generations it captured,
+/// and the chain key deltas are sealed under.
+struct ChainState {
+    /// KDF output for this chain epoch; deltas reuse it (fresh nonce,
+    /// own label as AEAD data) so an incremental save skips PBKDF2.
+    key: SealKey,
+    epoch: u64,
+    delta_count: usize,
+    /// The full logical archive as of the latest save on this chain.
+    archive: NymArchive,
+    /// The live nym the generation baselines below belong to.
+    source: NymId,
+    anon_gen: u64,
+    comm_gen: u64,
+}
+
+/// Storage object name of delta `index` in chain epoch `epoch`.
+fn delta_label(label: &str, epoch: u64, index: usize) -> String {
+    format!("{label}#e{epoch}.{index}")
+}
+
 /// The Nym Manager and its machine model.
 pub struct NymManager {
     hv: Hypervisor,
@@ -115,6 +155,10 @@ pub struct NymManager {
     seal_scratch: SealScratch,
     /// Ciphertext working copy for restores, reused alongside the arena.
     unseal_work: Vec<u8>,
+    /// Snapshot chains by storage label (the incremental store-nym
+    /// state). Holding the last full archive in memory is what lets a
+    /// save skip serializing clean layers and seal only the delta.
+    chains: BTreeMap<String, ChainState>,
     // Fabric landmarks.
     hyp_node: NodeId,
     internet_node: NodeId,
@@ -214,6 +258,7 @@ impl NymManager {
             last_save_breakdown: None,
             seal_scratch: SealScratch::new(),
             unseal_work: Vec::new(),
+            chains: BTreeMap::new(),
             hyp_node,
             internet_node,
             intranet_node,
@@ -565,47 +610,107 @@ impl NymManager {
 
     /// Stores a nym (§3.5 "store nym"): pause, sync, compress, encrypt,
     /// upload through the nym's own CommVM. Returns the sealed size and
-    /// the wall-clock cost.
+    /// the wall-clock cost. Always seals the full archive (starting a
+    /// fresh chain epoch); see [`NymManager::save_nym_incremental`] for
+    /// the delta path.
     pub fn save_nym(
         &mut self,
         id: NymId,
         password: &str,
         dest: &StorageDest,
     ) -> Result<(usize, SimDuration), NymManagerError> {
-        let entry = self
-            .nyms
-            .get_mut(&id)
-            .ok_or(NymManagerError::NoSuchNym(id))?;
-        let label = storage_label(&entry.nymbox.name, dest);
+        let (_, size, duration) = self.save_nym_with(id, password, dest, false)?;
+        Ok((size, duration))
+    }
 
-        // Pause both VMs, snapshot the writable layers, resume.
+    /// Incremental store-nym: when a snapshot chain exists for this
+    /// nym and destination, seals **only the records dirty since the
+    /// last save** as a [`DeltaArchive`] — dirty disk records are
+    /// detected from the writable layers' generation counters without
+    /// serializing clean state, the chain's [`SealKey`] skips the
+    /// per-save PBKDF2, and the delta commits to the Merkle root of the
+    /// full record set so restore fails closed on tampering.
+    ///
+    /// Falls back to a full save (compaction) when no usable chain
+    /// exists, after [`DELTA_CHAIN_LIMIT`] chained deltas, or when the
+    /// serialized delta would be no smaller than the full archive (a
+    /// delta would not pay for itself).
+    pub fn save_nym_incremental(
+        &mut self,
+        id: NymId,
+        password: &str,
+        dest: &StorageDest,
+    ) -> Result<(SaveKind, usize, SimDuration), NymManagerError> {
+        self.save_nym_with(id, password, dest, true)
+    }
+
+    fn save_nym_with(
+        &mut self,
+        id: NymId,
+        password: &str,
+        dest: &StorageDest,
+        allow_delta: bool,
+    ) -> Result<(SaveKind, usize, SimDuration), NymManagerError> {
+        let entry = self.nyms.get(&id).ok_or(NymManagerError::NoSuchNym(id))?;
+        let label = storage_label(&entry.nymbox.name, dest);
         let anon_vm = entry.nymbox.anon_vm;
         let comm_vm = entry.nymbox.comm_vm;
+
+        // Pause both VMs while the writable layers are captured.
         self.hv.vm_mut(anon_vm)?.pause();
         self.hv.vm_mut(comm_vm)?.pause();
-        let anon_upper = self
+        let anon_gen = self
             .hv
             .vm(anon_vm)?
             .disk()
             .upper()
-            .cloned()
+            .map(nymix_fs::Layer::generation)
             .ok_or_else(|| NymManagerError::Storage("anon upper missing".into()))?;
-        let comm_upper = self
+        let comm_gen = self
             .hv
             .vm(comm_vm)?
             .disk()
             .upper()
-            .cloned()
+            .map(nymix_fs::Layer::generation)
             .ok_or_else(|| NymManagerError::Storage("comm upper missing".into()))?;
+
+        // The layers' generation counters say which disk records are
+        // dirty since the chain's last snapshot — clean layers are
+        // neither cloned nor re-serialized. A chain recorded from a
+        // different (destroyed) nym can't donate generations or absorb
+        // deltas, but its epoch must still advance: re-using an epoch
+        // number would collide with that chain's stale delta objects.
+        let last_epoch = self.chains.get(&label).map(|c| c.epoch);
+        let chain = self.chains.get(&label).filter(|c| c.source == id);
+        let anon_clean = chain.is_some_and(|c| c.anon_gen == anon_gen);
+        let comm_clean = chain.is_some_and(|c| c.comm_gen == comm_gen);
+        let chain_info = chain.map(|c| (c.epoch, c.delta_count, c.key.clone()));
+
+        let mut next = chain.map(|c| c.archive.clone()).unwrap_or_default();
+        if !anon_clean {
+            let upper = self
+                .hv
+                .vm(anon_vm)?
+                .disk()
+                .upper()
+                .ok_or_else(|| NymManagerError::Storage("anon upper missing".into()))?;
+            next.put_layer("anonvm.disk", upper);
+        }
+        if !comm_clean {
+            let upper = self
+                .hv
+                .vm(comm_vm)?
+                .disk()
+                .upper()
+                .ok_or_else(|| NymManagerError::Storage("comm upper missing".into()))?;
+            next.put_layer("commvm.disk", upper);
+        }
         self.hv.vm_mut(anon_vm)?.resume();
         self.hv.vm_mut(comm_vm)?.resume();
 
         let entry = self.nyms.get(&id).expect("checked above");
-        let mut archive = NymArchive::new();
-        archive.put_layer("anonvm.disk", &anon_upper);
-        archive.put_layer("commvm.disk", &comm_upper);
-        archive.put("anonymizer.state", entry.anonymizer.save_state());
-        archive.put(
+        next.put("anonymizer.state", entry.anonymizer.save_state());
+        next.put(
             "meta",
             format!(
                 "name={};model={:?};anonymizer={}",
@@ -616,21 +721,58 @@ impl NymManager {
             .into_bytes(),
         );
         if let Some(browser) = &entry.browser {
-            archive.put("browser.state", browser.to_bytes());
+            next.put("browser.state", browser.to_bytes());
         }
-        let anon_bytes = archive.get("anonvm.disk").map_or(0, <[u8]>::len);
-        let comm_bytes = archive.get("commvm.disk").map_or(0, <[u8]>::len);
-        let other_bytes = archive.payload_bytes() - anon_bytes - comm_bytes;
+
+        // Delta when a chain can absorb one and the dirty set is
+        // actually smaller than re-sealing everything; otherwise seal
+        // the full archive, starting a fresh epoch (which is also how
+        // chains compact after DELTA_CHAIN_LIMIT deltas).
+        let delta = match (chain, &chain_info) {
+            (Some(c), Some((_, delta_count, _)))
+                if allow_delta && *delta_count < DELTA_CHAIN_LIMIT =>
+            {
+                Some(DeltaArchive::diff(&c.archive, &next))
+                    .filter(|d| d.serialized_len() < next.serialized_len())
+            }
+            _ => None,
+        };
+        let (kind, key, epoch, delta_count, obj_label, mut sealed) = match delta {
+            Some(delta) => {
+                let (epoch, prev_count, key) = chain_info.expect("delta implies chain");
+                let index = prev_count + 1;
+                let obj_label = delta_label(&label, epoch, index);
+                let mut sealed = Vec::new();
+                seal_delta_keyed_into(
+                    &delta,
+                    &key,
+                    &obj_label,
+                    &mut self.rng,
+                    &mut self.seal_scratch,
+                    &mut sealed,
+                );
+                (SaveKind::Delta, key, epoch, index, obj_label, sealed)
+            }
+            None => {
+                let epoch = last_epoch.map_or(1, |e| e + 1);
+                next.put(EPOCH_RECORD, epoch.to_le_bytes().to_vec());
+                let key = SealKey::derive(password, &label, &mut self.rng);
+                let mut sealed = Vec::new();
+                seal_keyed_into(
+                    &next,
+                    &key,
+                    &label,
+                    &mut self.rng,
+                    &mut self.seal_scratch,
+                    &mut sealed,
+                );
+                (SaveKind::Full, key, epoch, 0, label.clone(), sealed)
+            }
+        };
+        let anon_bytes = next.get("anonvm.disk").map_or(0, <[u8]>::len);
+        let comm_bytes = next.get("commvm.disk").map_or(0, <[u8]>::len);
+        let other_bytes = next.payload_bytes() - anon_bytes - comm_bytes;
         self.last_save_breakdown = Some((anon_bytes, comm_bytes, other_bytes));
-        let mut sealed = Vec::new();
-        seal_into(
-            &archive,
-            password,
-            &label,
-            &mut self.rng,
-            &mut self.seal_scratch,
-            &mut sealed,
-        );
         let sealed_len = sealed.len();
 
         // Upload through the CommVM's anonymizer.
@@ -648,17 +790,35 @@ impl NymManager {
                     .cloud
                     .get_mut(provider)
                     .ok_or_else(|| NymManagerError::NoSuchProvider(provider.clone()))?;
-                p.put(account, credential, &label, sealed, exit_ip)
-                    .map_err(|e| NymManagerError::Storage(e.to_string()))?;
+                p.put(
+                    account,
+                    credential,
+                    &obj_label,
+                    std::mem::take(&mut sealed),
+                    exit_ip,
+                )
+                .map_err(|e| NymManagerError::Storage(e.to_string()))?;
                 SimDuration::from_secs_f64(upload_secs)
             }
             StorageDest::Local => {
-                self.local.put(&label, sealed);
+                self.local.put(&obj_label, std::mem::take(&mut sealed));
                 SimDuration::from_millis(300) // USB write.
             }
         };
+        self.chains.insert(
+            label,
+            ChainState {
+                key,
+                epoch,
+                delta_count,
+                archive: next,
+                source: id,
+                anon_gen,
+                comm_gen,
+            },
+        );
         self.clock += duration;
-        Ok((sealed_len, duration))
+        Ok((kind, sealed_len, duration))
     }
 
     /// Loads a stored nym (§3.5 "load an existing nym").
@@ -676,44 +836,35 @@ impl NymManager {
         dest: &StorageDest,
     ) -> Result<(NymId, StartupBreakdown), NymManagerError> {
         let label = storage_label(name, dest);
-        let (blob, ephemeral_fetch) = match dest {
-            StorageDest::Cloud {
-                provider,
-                account,
-                credential,
-            } => {
-                // The throwaway nym: boot + cold anonymizer + download.
+        // Cloud restores ride an ephemeral fetch nym (boot + cold
+        // anonymizer); its exit address and transfer cost cover every
+        // object in the chain, base and deltas alike.
+        let (fetch_exit, fetch_cost, fetch_boot) = match dest {
+            StorageDest::Cloud { .. } => {
                 let fetch_anonymizer = self.build_anonymizer(kind);
                 let boot = tcal::ANONVM_BOOT + fetch_anonymizer.startup_time(true);
-                let exit_ip = fetch_anonymizer.exit_address(self.public_ip);
-                let cost = fetch_anonymizer.transfer_cost();
-                let p = self
-                    .cloud
-                    .get_mut(provider)
-                    .ok_or_else(|| NymManagerError::NoSuchProvider(provider.clone()))?;
-                let blob = p
-                    .get(account, credential, &label, exit_ip)
-                    .map_err(|e| NymManagerError::Storage(e.to_string()))?;
-                let dl_secs = self
-                    .transfer_secs(cost.wire_bytes(blob.len() as f64 * self.browser_scale as f64));
-                let total = boot + SimDuration::from_secs_f64(dl_secs) + tcal::RESTORE_UNPACK;
-                (blob, total)
+                (
+                    Some(fetch_anonymizer.exit_address(self.public_ip)),
+                    Some(fetch_anonymizer.transfer_cost()),
+                    boot,
+                )
             }
-            StorageDest::Local => {
-                let blob = self
-                    .local
-                    .get(&label)
-                    .ok_or(NymManagerError::NothingStored)?
-                    .to_vec();
-                (blob, tcal::RESTORE_UNPACK)
-            }
+            StorageDest::Local => (None, None, SimDuration::ZERO),
         };
-        self.clock += ephemeral_fetch;
+        let base_blob = self
+            .fetch_stored(dest, fetch_exit, &label)?
+            .ok_or(NymManagerError::NothingStored)?;
+        let mut fetched_bytes = base_blob.len();
 
-        let archive = {
-            let bytes = unseal_raw_into(
-                &blob,
-                password,
+        // One KDF opens the whole chain: re-derive the chain key from
+        // the base blob's salt, then open base + deltas keyed.
+        let salt = *blob_salt(&base_blob)
+            .ok_or_else(|| NymManagerError::Storage("malformed sealed nym".into()))?;
+        let chain_key = SealKey::from_salt(password, &label, &salt);
+        let mut archive = {
+            let bytes = unseal_keyed_raw_into(
+                &base_blob,
+                &chain_key,
                 &label,
                 &mut self.unseal_work,
                 &mut self.seal_scratch,
@@ -721,6 +872,53 @@ impl NymManager {
             .map_err(|e| NymManagerError::Storage(e.to_string()))?;
             NymArchive::from_bytes(bytes).map_err(|e| NymManagerError::Storage(e.to_string()))?
         };
+
+        // Replay the delta chain: each blob is bound to its slot label
+        // (no splicing), each replay is Merkle-verified against the
+        // delta's full-record-set commitment — any mismatch aborts the
+        // restore instead of resurrecting silently-wrong state.
+        let epoch = archive
+            .get(EPOCH_RECORD)
+            .and_then(|b| <[u8; 8]>::try_from(b).ok())
+            .map(u64::from_le_bytes);
+        let mut delta_count = 0;
+        if let Some(epoch) = epoch {
+            for index in 1..=DELTA_CHAIN_LIMIT {
+                let dlabel = delta_label(&label, epoch, index);
+                let Some(dblob) = self.fetch_stored(dest, fetch_exit, &dlabel)? else {
+                    break;
+                };
+                fetched_bytes += dblob.len();
+                let delta = {
+                    let bytes = unseal_keyed_raw_into(
+                        &dblob,
+                        &chain_key,
+                        &dlabel,
+                        &mut self.unseal_work,
+                        &mut self.seal_scratch,
+                    )
+                    .map_err(|e| NymManagerError::Storage(e.to_string()))?;
+                    DeltaArchive::from_bytes(bytes)
+                        .map_err(|e| NymManagerError::Storage(e.to_string()))?
+                };
+                delta
+                    .apply(&mut archive)
+                    .map_err(|e| NymManagerError::Storage(e.to_string()))?;
+                delta_count = index;
+            }
+        }
+
+        let ephemeral_fetch = match fetch_cost {
+            Some(cost) => {
+                let dl_secs = self.transfer_secs(
+                    cost.wire_bytes(fetched_bytes as f64 * self.browser_scale as f64),
+                );
+                fetch_boot + SimDuration::from_secs_f64(dl_secs) + tcal::RESTORE_UNPACK
+            }
+            None => tcal::RESTORE_UNPACK,
+        };
+        self.clock += ephemeral_fetch;
+
         let anon_upper = archive
             .get_layer("anonvm.disk")
             .map_err(|e| NymManagerError::Storage(e.to_string()))?;
@@ -753,8 +951,77 @@ impl NymManager {
             .expect("just inserted")
             .nymbox
             .restored = true;
+
+        // Continue the chain where the restored state left it, so the
+        // next incremental save appends a delta instead of re-sealing
+        // everything.
+        if let Some(epoch) = epoch {
+            let nb = &self.nyms.get(&id).expect("just inserted").nymbox;
+            let (anon_vm, comm_vm) = (nb.anon_vm, nb.comm_vm);
+            let anon_gen = self
+                .hv
+                .vm(anon_vm)?
+                .disk()
+                .upper()
+                .map(nymix_fs::Layer::generation)
+                .unwrap_or(0);
+            let comm_gen = self
+                .hv
+                .vm(comm_vm)?
+                .disk()
+                .upper()
+                .map(nymix_fs::Layer::generation)
+                .unwrap_or(0);
+            self.chains.insert(
+                label,
+                ChainState {
+                    key: chain_key,
+                    epoch,
+                    delta_count,
+                    archive,
+                    source: id,
+                    anon_gen,
+                    comm_gen,
+                },
+            );
+        }
         breakdown.ephemeral_fetch = ephemeral_fetch;
         Ok((id, breakdown))
+    }
+
+    /// Fetches one stored object from `dest`, distinguishing "not
+    /// there" (`Ok(None)`, the clean end of a delta chain) from real
+    /// failures. `exit` must be the fetching anonymizer's exit address
+    /// for cloud destinations.
+    fn fetch_stored(
+        &mut self,
+        dest: &StorageDest,
+        exit: Option<Ip>,
+        object: &str,
+    ) -> Result<Option<Vec<u8>>, NymManagerError> {
+        match dest {
+            StorageDest::Cloud {
+                provider,
+                account,
+                credential,
+            } => {
+                let p = self
+                    .cloud
+                    .get_mut(provider)
+                    .ok_or_else(|| NymManagerError::NoSuchProvider(provider.clone()))?;
+                match p.get(
+                    account,
+                    credential,
+                    object,
+                    exit.expect("cloud fetch has an exit"),
+                ) {
+                    Ok(blob) => Ok(Some(blob)),
+                    Err(CloudError::NoSuchObject) => Ok(None),
+                    Err(e) => Err(NymManagerError::Storage(e.to_string())),
+                }
+            }
+            StorageDest::Local => Ok(self.local.get(object).map(<[u8]>::to_vec)),
+        }
     }
 
     /// Destroys a nym: both VMs are securely wiped; "turning off a
@@ -766,6 +1033,15 @@ impl NymManager {
             .ok_or(NymManagerError::NoSuchNym(id))?;
         self.hv.destroy_vm(entry.nymbox.anon_vm)?;
         self.hv.destroy_vm(entry.nymbox.comm_vm)?;
+        // The dead nym's chains can no longer donate generations or
+        // absorb deltas — drop their retained archives so destroyed
+        // nyms don't pin memory. The entries stay: their epoch numbers
+        // remain authoritative if the label is reused.
+        for chain in self.chains.values_mut() {
+            if chain.source == id {
+                chain.archive = NymArchive::new();
+            }
+        }
         Ok(())
     }
 
@@ -1090,6 +1366,249 @@ mod tests {
             sizes.windows(2).all(|w| w[1] > w[0]),
             "persistent nym should grow: {sizes:?}"
         );
+    }
+
+    #[test]
+    fn incremental_save_seals_only_the_delta() {
+        let mut m = manager();
+        let (id, _) = m
+            .create_nym("inc", AnonymizerKind::Tor, UsageModel::Persistent)
+            .unwrap();
+        m.visit_site(id, Site::Twitter).unwrap();
+        // First save: no chain yet, must be full.
+        let (kind, full_size, _) = m
+            .save_nym_incremental(id, "pw", &StorageDest::Local)
+            .unwrap();
+        assert_eq!(kind, SaveKind::Full);
+        // A tiny change — new guard state dirties only the
+        // anonymizer.state record; both disk records stay clean and are
+        // neither re-serialized nor re-sealed.
+        m.seed_guards_deterministically(id, "usb://nyms/inc", "pw")
+            .unwrap();
+        let (kind, delta_size, _) = m
+            .save_nym_incremental(id, "pw", &StorageDest::Local)
+            .unwrap();
+        assert_eq!(kind, SaveKind::Delta);
+        assert!(
+            delta_size * 10 < full_size,
+            "delta {delta_size} not small vs full {full_size}"
+        );
+        // The delta rides a chained object, not the base slot.
+        assert!(m.local_store().get("nym:inc@local#e1.1").is_some());
+        // A stain (browser + AnonVM disk) still saves as a delta: two
+        // dirty records out of five.
+        m.inject_stain(id, "evercookie-9").unwrap();
+        let (kind, stain_delta, _) = m
+            .save_nym_incremental(id, "pw", &StorageDest::Local)
+            .unwrap();
+        assert_eq!(kind, SaveKind::Delta);
+        assert!(stain_delta < full_size);
+
+        // Restore replays base + delta: the stain must be visible.
+        m.destroy_nym(id).unwrap();
+        let (id2, _) = m
+            .restore_nym(
+                "inc",
+                AnonymizerKind::Tor,
+                UsageModel::Persistent,
+                "pw",
+                &StorageDest::Local,
+            )
+            .unwrap();
+        assert!(m.has_stain(id2, "evercookie-9").unwrap());
+        // Credentials from the pre-delta session survived too.
+        let vm = m.hypervisor().vm(m.nymbox(id2).unwrap().anon_vm).unwrap();
+        assert!(vm.disk().exists(&nymix_fs::Path::new(
+            "/home/user/.config/chromium/logins/twitter.com"
+        )));
+        // The restored chain keeps accepting deltas where it left off.
+        m.inject_stain(id2, "evercookie-10").unwrap();
+        let (kind, _, _) = m
+            .save_nym_incremental(id2, "pw", &StorageDest::Local)
+            .unwrap();
+        assert_eq!(kind, SaveKind::Delta);
+        assert!(m.local_store().get("nym:inc@local#e1.3").is_some());
+    }
+
+    #[test]
+    fn clean_saves_stay_deltas_and_chains_compact() {
+        let mut m = manager();
+        let (id, _) = m
+            .create_nym("c", AnonymizerKind::Tor, UsageModel::Persistent)
+            .unwrap();
+        m.visit_site(id, Site::Bbc).unwrap();
+        let mut kinds = Vec::new();
+        for i in 0..=nymix_store::DELTA_CHAIN_LIMIT + 1 {
+            if i > 0 {
+                m.inject_stain(id, &format!("mark-{i}")).unwrap();
+            }
+            let (kind, _, _) = m
+                .save_nym_incremental(id, "pw", &StorageDest::Local)
+                .unwrap();
+            kinds.push(kind);
+        }
+        // Full, then DELTA_CHAIN_LIMIT deltas, then compaction (full).
+        let mut expected = vec![SaveKind::Full];
+        expected.extend([SaveKind::Delta; nymix_store::DELTA_CHAIN_LIMIT]);
+        expected.push(SaveKind::Full);
+        assert_eq!(kinds, expected);
+        // The compacted restore carries every mark.
+        m.destroy_nym(id).unwrap();
+        let (id2, _) = m
+            .restore_nym(
+                "c",
+                AnonymizerKind::Tor,
+                UsageModel::Persistent,
+                "pw",
+                &StorageDest::Local,
+            )
+            .unwrap();
+        for i in 1..=nymix_store::DELTA_CHAIN_LIMIT + 1 {
+            assert!(m.has_stain(id2, &format!("mark-{i}")).unwrap(), "mark-{i}");
+        }
+    }
+
+    #[test]
+    fn incremental_save_via_cloud_roundtrips() {
+        let mut m = manager();
+        m.register_cloud("dropbox", "anon-1", "tok");
+        let dest = StorageDest::Cloud {
+            provider: "dropbox".into(),
+            account: "anon-1".into(),
+            credential: "tok".into(),
+        };
+        let (id, _) = m
+            .create_nym("cl", AnonymizerKind::Tor, UsageModel::Persistent)
+            .unwrap();
+        m.visit_site(id, Site::Twitter).unwrap();
+        m.save_nym_incremental(id, "pw", &dest).unwrap();
+        m.inject_stain(id, "cloud-mark").unwrap();
+        let (kind, _, _) = m.save_nym_incremental(id, "pw", &dest).unwrap();
+        assert_eq!(kind, SaveKind::Delta);
+        m.destroy_nym(id).unwrap();
+        let (id2, breakdown) = m
+            .restore_nym(
+                "cl",
+                AnonymizerKind::Tor,
+                UsageModel::Persistent,
+                "pw",
+                &dest,
+            )
+            .unwrap();
+        assert!(breakdown.ephemeral_fetch > SimDuration::ZERO);
+        assert!(m.has_stain(id2, "cloud-mark").unwrap());
+        // The provider never saw the user's address, deltas included.
+        let user_ip = m.public_ip();
+        for entry in m.cloud_provider("dropbox").unwrap().access_log() {
+            assert_ne!(entry.observed_ip, user_ip);
+        }
+    }
+
+    #[test]
+    fn tampered_delta_fails_restore_closed() {
+        let mut m = manager();
+        let (id, _) = m
+            .create_nym("t", AnonymizerKind::Tor, UsageModel::Persistent)
+            .unwrap();
+        m.visit_site(id, Site::Bbc).unwrap();
+        m.save_nym_incremental(id, "pw", &StorageDest::Local)
+            .unwrap();
+        m.inject_stain(id, "x").unwrap();
+        let (kind, _, _) = m
+            .save_nym_incremental(id, "pw", &StorageDest::Local)
+            .unwrap();
+        assert_eq!(kind, SaveKind::Delta);
+        m.destroy_nym(id).unwrap();
+        // Flip one ciphertext byte in the stored delta object.
+        let mut blob = m.local.get("nym:t@local#e1.1").unwrap().to_vec();
+        let mid = blob.len() / 2;
+        blob[mid] ^= 1;
+        m.local.put("nym:t@local#e1.1", blob);
+        assert!(matches!(
+            m.restore_nym(
+                "t",
+                AnonymizerKind::Tor,
+                UsageModel::Persistent,
+                "pw",
+                &StorageDest::Local
+            ),
+            Err(NymManagerError::Storage(_))
+        ));
+    }
+
+    #[test]
+    fn delta_chain_slots_cannot_be_swapped() {
+        let mut m = manager();
+        let (id, _) = m
+            .create_nym("s", AnonymizerKind::Tor, UsageModel::Persistent)
+            .unwrap();
+        m.visit_site(id, Site::Bbc).unwrap();
+        m.save_nym_incremental(id, "pw", &StorageDest::Local)
+            .unwrap();
+        for mark in ["a", "b"] {
+            m.inject_stain(id, mark).unwrap();
+            m.save_nym_incremental(id, "pw", &StorageDest::Local)
+                .unwrap();
+        }
+        m.destroy_nym(id).unwrap();
+        // A malicious backend swaps the two delta objects: each blob
+        // still authenticates under the chain key, but against the
+        // wrong slot label — restore must refuse.
+        let d1 = m.local.get("nym:s@local#e1.1").unwrap().to_vec();
+        let d2 = m.local.get("nym:s@local#e1.2").unwrap().to_vec();
+        m.local.put("nym:s@local#e1.1", d2);
+        m.local.put("nym:s@local#e1.2", d1);
+        assert!(matches!(
+            m.restore_nym(
+                "s",
+                AnonymizerKind::Tor,
+                UsageModel::Persistent,
+                "pw",
+                &StorageDest::Local
+            ),
+            Err(NymManagerError::Storage(_))
+        ));
+    }
+
+    #[test]
+    fn recreated_nym_does_not_collide_with_stale_chain() {
+        // A destroyed nym leaves its chain objects behind; a brand-new
+        // nym with the same name must start a fresh epoch so the stale
+        // deltas (sealed under the old chain key) are never replayed
+        // into its restores.
+        let mut m = manager();
+        let (id, _) = m
+            .create_nym("re", AnonymizerKind::Tor, UsageModel::Persistent)
+            .unwrap();
+        m.visit_site(id, Site::Bbc).unwrap();
+        m.save_nym_incremental(id, "pw", &StorageDest::Local)
+            .unwrap();
+        m.inject_stain(id, "old-life").unwrap();
+        m.save_nym_incremental(id, "pw", &StorageDest::Local)
+            .unwrap();
+        assert!(m.local_store().get("nym:re@local#e1.1").is_some());
+        m.destroy_nym(id).unwrap();
+
+        // Fresh nym, same name: full save must take epoch 2, not 1.
+        let (id2, _) = m
+            .create_nym("re", AnonymizerKind::Tor, UsageModel::Persistent)
+            .unwrap();
+        let (kind, _, _) = m
+            .save_nym_incremental(id2, "pw", &StorageDest::Local)
+            .unwrap();
+        assert_eq!(kind, SaveKind::Full);
+        m.destroy_nym(id2).unwrap();
+        let (id3, _) = m
+            .restore_nym(
+                "re",
+                AnonymizerKind::Tor,
+                UsageModel::Persistent,
+                "pw",
+                &StorageDest::Local,
+            )
+            .unwrap();
+        // The restored state is the fresh nym's, not the stained one.
+        assert!(!m.has_stain(id3, "old-life").unwrap());
     }
 
     #[test]

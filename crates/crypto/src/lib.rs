@@ -72,7 +72,7 @@ pub use aead::{open, open_in_place_detached, seal, seal_in_place_detached, AeadE
 pub use chacha20::ChaCha20;
 pub use hkdf::{hkdf_expand, hkdf_extract};
 pub use hmac::{hmac_sha256, HmacKey};
-pub use merkle::MerkleTree;
+pub use merkle::{leaf_hash_parts, merkle_root_from_leaves, MerkleTree};
 pub use pbkdf2::{pbkdf2_hmac_sha256, pbkdf2_hmac_sha256_into};
 pub use poly1305::{poly1305_tag, Poly1305};
 pub use sha256::{sha256, sha256_x4, Sha256};

@@ -41,6 +41,64 @@ fn node_hash(left: &Hash, right: &Hash) -> Hash {
     h.finalize()
 }
 
+/// Hashes one leaf supplied as scattered parts, without materializing
+/// the concatenation. `leaf_hash_parts(&[a, b])` equals the leaf hash
+/// [`MerkleTree::build`] computes over the contiguous block `a ‖ b`, so
+/// callers whose leaves are framed records (length prefix + name +
+/// payload) can hash them with zero copies.
+pub fn leaf_hash_parts(parts: &[&[u8]]) -> Hash {
+    let mut h = Sha256::new();
+    h.update(&[LEAF_TAG]);
+    for part in parts {
+        h.update(part);
+    }
+    h.finalize()
+}
+
+/// Computes the root over an already-hashed leaf level, folding the
+/// scratch vector in place level by level — four parent nodes per
+/// [`sha256_x4`] pass, no per-level allocations. Commits to exactly the
+/// same root as [`MerkleTree::build`] over the corresponding blocks
+/// (odd nodes promote unchanged; the empty set commits to the stable
+/// empty-tree root).
+///
+/// The caller's vector is consumed as working memory: reusing one
+/// buffer across calls makes repeated root computations (the delta-
+/// snapshot save path) allocation-free.
+pub fn merkle_root_from_leaves(leaves: &mut Vec<Hash>) -> Hash {
+    let Some(&first) = leaves.first() else {
+        return leaf_hash(b"nymix:empty-merkle-tree");
+    };
+    if leaves.len() == 1 {
+        return first;
+    }
+    let mut width = leaves.len();
+    while width > 1 {
+        let pairs = width / 2;
+        let mut p = 0usize;
+        let mut stage = [[0u8; 2 * DIGEST_LEN]; 4];
+        while p + 4 <= pairs {
+            for (l, buf) in stage.iter_mut().enumerate() {
+                buf[..DIGEST_LEN].copy_from_slice(&leaves[2 * (p + l)]);
+                buf[DIGEST_LEN..].copy_from_slice(&leaves[2 * (p + l) + 1]);
+            }
+            let parents = sha256_x4(&[NODE_TAG], [&stage[0], &stage[1], &stage[2], &stage[3]]);
+            leaves[p..p + 4].copy_from_slice(&parents);
+            p += 4;
+        }
+        while p < pairs {
+            leaves[p] = node_hash(&leaves[2 * p], &leaves[2 * p + 1]);
+            p += 1;
+        }
+        if width % 2 == 1 {
+            // Promote the odd node unchanged.
+            leaves[pairs] = leaves[width - 1];
+        }
+        width = width.div_ceil(2);
+    }
+    leaves[0]
+}
+
 /// A Merkle tree committed over an ordered sequence of blocks.
 ///
 /// Levels are stored bottom-up, concatenated in one flat node array with
@@ -290,6 +348,32 @@ mod tests {
             let tree = MerkleTree::build(ragged.iter().map(|b| b.as_slice()));
             assert_eq!(tree.root(), reference_root(&ragged), "ragged n={n}");
         }
+    }
+
+    #[test]
+    fn root_from_leaves_matches_full_build() {
+        for n in 0usize..=33 {
+            let data = blocks(n);
+            let tree = MerkleTree::build(data.iter().map(|b| b.as_slice()));
+            let mut leaves: Vec<Hash> = data.iter().map(|b| leaf_hash(b)).collect();
+            assert_eq!(merkle_root_from_leaves(&mut leaves), tree.root(), "n={n}");
+        }
+    }
+
+    #[test]
+    fn leaf_hash_parts_matches_contiguous() {
+        let whole = b"record-name\x00payload bytes";
+        assert_eq!(
+            leaf_hash_parts(&[b"record-name", b"\x00", b"payload bytes"]),
+            leaf_hash(whole)
+        );
+        assert_eq!(leaf_hash_parts(&[]), leaf_hash(b""));
+        // Moving a boundary must change the hash (framing matters to
+        // callers, so parts are hashed exactly as concatenation).
+        assert_ne!(
+            leaf_hash_parts(&[b"ab", b"c"]),
+            leaf_hash_parts(&[b"a", b"b!c"])
+        );
     }
 
     #[test]

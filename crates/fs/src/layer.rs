@@ -40,7 +40,20 @@ impl Node {
     }
 }
 
+/// One node slot plus the layer generation at which it last changed.
+#[derive(Debug, Clone)]
+struct Slot {
+    node: Node,
+    gen: u64,
+}
+
 /// One filesystem layer: a map from normalized paths to nodes.
+///
+/// Every mutation bumps the layer's [`Layer::generation`] counter, and
+/// each entry remembers the generation at which it last changed. The
+/// Nym Manager's incremental store-nym path uses these to tell which
+/// snapshot records are dirty since the last seal without serializing
+/// or comparing any bytes.
 ///
 /// # Examples
 ///
@@ -50,19 +63,56 @@ impl Node {
 /// let mut l = Layer::new(LayerKind::Writable);
 /// l.put_file(Path::new("/tmp/x"), b"data".to_vec());
 /// assert_eq!(l.get(&Path::new("/tmp/x")).unwrap().size(), 4);
+/// let sealed_at = l.generation();
+/// l.put_file(Path::new("/tmp/y"), b"later".to_vec());
+/// let dirty: Vec<_> = l.entries_since(sealed_at).collect();
+/// assert_eq!(dirty.len(), 1);
 /// ```
 #[derive(Debug, Clone)]
 pub struct Layer {
     kind: LayerKind,
-    nodes: BTreeMap<Path, Node>,
+    nodes: BTreeMap<Path, Slot>,
+    /// Mutation counter; bumped once per mutating call.
+    generation: u64,
+    /// Tombstones: paths removed from this layer, by removal generation.
+    /// Cleared when the path is re-inserted.
+    removed: BTreeMap<Path, u64>,
 }
+
+/// Layers compare by kind and visible content; generation bookkeeping
+/// (counters, tombstones) is not part of a layer's identity — a
+/// restored layer equals the one that was snapshotted even though its
+/// counters restarted.
+impl PartialEq for Layer {
+    fn eq(&self, other: &Self) -> bool {
+        self.kind == other.kind
+            && self.nodes.len() == other.nodes.len()
+            && self
+                .entries()
+                .zip(other.entries())
+                .all(|((pa, na), (pb, nb))| pa == pb && na == nb)
+    }
+}
+
+impl Eq for Layer {}
 
 impl Layer {
     /// Creates an empty layer with an implicit root directory.
     pub fn new(kind: LayerKind) -> Self {
         let mut nodes = BTreeMap::new();
-        nodes.insert(Path::root(), Node::Dir);
-        Self { kind, nodes }
+        nodes.insert(
+            Path::root(),
+            Slot {
+                node: Node::Dir,
+                gen: 0,
+            },
+        );
+        Self {
+            kind,
+            nodes,
+            generation: 0,
+            removed: BTreeMap::new(),
+        }
     }
 
     /// The layer's kind.
@@ -75,27 +125,62 @@ impl Layer {
         self.kind == LayerKind::Writable
     }
 
+    /// The layer's current generation: bumped on every mutating call.
+    /// Two reads returning the same value guarantee no entry changed in
+    /// between, so an unchanged generation lets a snapshot skip
+    /// re-serializing this layer entirely.
+    pub fn generation(&self) -> u64 {
+        self.generation
+    }
+
+    /// The generation at which the entry at `path` last changed.
+    pub fn entry_generation(&self, path: &Path) -> Option<u64> {
+        self.nodes.get(path).map(|s| s.gen)
+    }
+
+    /// Entries modified after generation `gen`, in path order.
+    pub fn entries_since(&self, gen: u64) -> impl Iterator<Item = (&Path, &Node)> {
+        self.nodes
+            .iter()
+            .filter(move |(_, s)| s.gen > gen)
+            .map(|(p, s)| (p, &s.node))
+    }
+
+    /// Paths removed after generation `gen` (and not re-inserted since),
+    /// in path order.
+    pub fn removed_since(&self, gen: u64) -> impl Iterator<Item = &Path> {
+        self.removed
+            .iter()
+            .filter(move |(_, g)| **g > gen)
+            .map(|(p, _)| p)
+    }
+
     /// Looks up a node.
     pub fn get(&self, path: &Path) -> Option<&Node> {
-        self.nodes.get(path)
+        self.nodes.get(path).map(|s| &s.node)
     }
 
     /// Inserts a file, creating parent directories within this layer.
     pub fn put_file(&mut self, path: Path, data: Vec<u8>) {
-        self.ensure_parents(&path);
-        self.nodes.insert(path, Node::File(data));
+        self.insert(path, Node::File(data));
     }
 
     /// Inserts a directory, creating parents within this layer.
     pub fn put_dir(&mut self, path: Path) {
-        self.ensure_parents(&path);
-        self.nodes.insert(path, Node::Dir);
+        self.insert(path, Node::Dir);
     }
 
     /// Inserts a whiteout, masking lower layers at `path`.
     pub fn put_whiteout(&mut self, path: Path) {
-        self.ensure_parents(&path);
-        self.nodes.insert(path, Node::Whiteout);
+        self.insert(path, Node::Whiteout);
+    }
+
+    fn insert(&mut self, path: Path, node: Node) {
+        self.generation += 1;
+        let gen = self.generation;
+        self.ensure_parents(&path, gen);
+        self.removed.remove(&path);
+        self.nodes.insert(path, Slot { node, gen });
     }
 
     /// Removes a node from this layer (not a whiteout — actually forgets
@@ -104,12 +189,15 @@ impl Layer {
         if path.is_root() {
             return None;
         }
-        self.nodes.remove(path)
+        let slot = self.nodes.remove(path)?;
+        self.generation += 1;
+        self.removed.insert(path.clone(), self.generation);
+        Some(slot.node)
     }
 
     /// Iterates all `(path, node)` entries in path order.
     pub fn entries(&self) -> impl Iterator<Item = (&Path, &Node)> {
-        self.nodes.iter()
+        self.nodes.iter().map(|(p, s)| (p, &s.node))
     }
 
     /// Direct children of `dir` present in this layer.
@@ -118,6 +206,7 @@ impl Layer {
         self.nodes
             .iter()
             .filter(move |(p, _)| p.depth() == depth && p.starts_with(dir))
+            .map(|(p, s)| (p, &s.node))
     }
 
     /// Total bytes of file content stored in this layer.
@@ -125,7 +214,7 @@ impl Layer {
     /// For [`LayerKind::Writable`] layers this is the RAM the layer costs
     /// the host (the prototype's "writable image" lives in RAM; §4.2).
     pub fn content_bytes(&self) -> usize {
-        self.nodes.values().map(Node::size).sum()
+        self.nodes.values().map(|s| s.node.size()).sum()
     }
 
     /// Number of nodes (excluding the implicit root).
@@ -138,16 +227,26 @@ impl Layer {
     /// Models the secure-erase pass Nymix performs when a nym shuts down
     /// (§3.4: "securely erases the AnonVM's and CommVM's memory").
     pub fn secure_wipe(&mut self) {
-        for node in self.nodes.values_mut() {
-            if let Node::File(data) = node {
+        self.generation += 1;
+        let gen = self.generation;
+        for (path, slot) in std::mem::take(&mut self.nodes) {
+            if let Node::File(mut data) = slot.node {
                 data.fill(0);
             }
+            if !path.is_root() {
+                self.removed.insert(path, gen);
+            }
         }
-        self.nodes.clear();
-        self.nodes.insert(Path::root(), Node::Dir);
+        self.nodes.insert(
+            Path::root(),
+            Slot {
+                node: Node::Dir,
+                gen,
+            },
+        );
     }
 
-    fn ensure_parents(&mut self, path: &Path) {
+    fn ensure_parents(&mut self, path: &Path, gen: u64) {
         let mut cur = path.parent();
         while let Some(dir) = cur {
             if dir.is_root() {
@@ -155,7 +254,11 @@ impl Layer {
             }
             // Never clobber an existing file/whiteout with a dir; union
             // semantics treat that as corruption we'd rather surface.
-            self.nodes.entry(dir.clone()).or_insert(Node::Dir);
+            self.removed.remove(&dir);
+            self.nodes.entry(dir.clone()).or_insert(Slot {
+                node: Node::Dir,
+                gen,
+            });
             cur = dir.parent();
         }
     }
@@ -219,6 +322,72 @@ mod tests {
         assert_eq!(l.node_count(), 0);
         assert_eq!(l.content_bytes(), 0);
         assert_eq!(l.get(&Path::root()), Some(&Node::Dir));
+    }
+
+    #[test]
+    fn generations_track_mutations() {
+        let mut l = Layer::new(LayerKind::Writable);
+        assert_eq!(l.generation(), 0);
+        l.put_file(Path::new("/a/b"), vec![1]);
+        let g1 = l.generation();
+        assert!(g1 > 0);
+        // Reads don't bump.
+        let _ = l.get(&Path::new("/a/b"));
+        let _ = l.entries().count();
+        assert_eq!(l.generation(), g1);
+        // Entry and its auto-created parent share the mutation's gen.
+        assert_eq!(l.entry_generation(&Path::new("/a/b")), Some(g1));
+        assert_eq!(l.entry_generation(&Path::new("/a")), Some(g1));
+        // A later write leaves older entries untouched.
+        l.put_file(Path::new("/c"), vec![2]);
+        let g2 = l.generation();
+        assert!(g2 > g1);
+        let dirty: Vec<String> = l.entries_since(g1).map(|(p, _)| p.to_string()).collect();
+        assert_eq!(dirty, vec!["/c"]);
+        // Overwriting refreshes the entry's generation.
+        l.put_file(Path::new("/a/b"), vec![3]);
+        assert!(l.entry_generation(&Path::new("/a/b")).unwrap() > g2);
+    }
+
+    #[test]
+    fn removals_leave_tombstones() {
+        let mut l = Layer::new(LayerKind::Writable);
+        l.put_file(Path::new("/x"), vec![1]);
+        l.put_file(Path::new("/y"), vec![2]);
+        let sealed = l.generation();
+        l.remove(&Path::new("/x"));
+        let gone: Vec<String> = l.removed_since(sealed).map(Path::to_string).collect();
+        assert_eq!(gone, vec!["/x"]);
+        // Nothing removed before the seal point.
+        assert_eq!(l.removed_since(l.generation()).count(), 0);
+        // Re-inserting clears the tombstone.
+        l.put_file(Path::new("/x"), vec![3]);
+        assert_eq!(l.removed_since(sealed).count(), 0);
+    }
+
+    #[test]
+    fn wipe_tombstones_everything() {
+        let mut l = Layer::new(LayerKind::Writable);
+        l.put_file(Path::new("/a/b"), vec![1]);
+        let sealed = l.generation();
+        l.secure_wipe();
+        let gone: Vec<String> = l.removed_since(sealed).map(Path::to_string).collect();
+        assert_eq!(gone, vec!["/a", "/a/b"]);
+    }
+
+    #[test]
+    fn equality_ignores_generation_bookkeeping() {
+        let mut a = Layer::new(LayerKind::Writable);
+        a.put_file(Path::new("/f"), vec![1]);
+        a.put_file(Path::new("/g"), vec![2]);
+        a.remove(&Path::new("/g"));
+        // Same content reached by a different mutation history.
+        let mut b = Layer::new(LayerKind::Writable);
+        b.put_file(Path::new("/f"), vec![1]);
+        assert_eq!(a, b);
+        b.put_file(Path::new("/f"), vec![9]);
+        assert_ne!(a, b);
+        assert_ne!(Layer::new(LayerKind::Writable), Layer::new(LayerKind::Base));
     }
 
     #[test]

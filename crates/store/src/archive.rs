@@ -6,14 +6,47 @@
 //! metadata. Binary format (all integers little-endian):
 //!
 //! ```text
-//! magic "NYM1" | record_count u32 | records...
-//! record: name_len u16 | name | data_len u64 | data
+//! full archive:  magic "NYM1" | record_count u32 | records...
+//! record:        name_len u16 | name | data_len u64 | data
 //! layer payload: entry_count u32 | entries...
-//! entry: path_len u16 | path | tag u8 (0=file,1=dir,2=whiteout) |
-//!        data_len u64 | data (files only)
+//! entry:         path_len u16 | path | tag u8 (0=file,1=dir,2=whiteout) |
+//!                data_len u64 | data (files only)
 //! ```
+//!
+//! Incremental snapshots ([`crate::delta::DeltaArchive`]) share the
+//! record encoding under a different magic:
+//!
+//! ```text
+//! delta archive: magic "NYMD" | full_record_count u32 |
+//!                merkle_root [32]u8 | dirty_count u32 | records... |
+//!                removed_count u32 | (name_len u16 | name)...
+//! ```
+//!
+//! `merkle_root` commits to the **entire** record set of the full
+//! archive the delta produces when applied (leaves are
+//! `name_len u16 ‖ name ‖ data` in record order, hashed into the
+//! domain-separated tree of `nymix_crypto::merkle`). Restore replays
+//! base + deltas in order and must reject the result whenever the
+//! recomputed root differs — a tampered, reordered, or stale record
+//! set fails closed. Chains are bounded: after
+//! [`crate::delta::DELTA_CHAIN_LIMIT`] deltas the next save compacts
+//! back to a full "NYM1" archive (see [`crate::versioned`]).
+//!
+//! ## Parsing hostile bytes
+//!
+//! [`NymArchive::from_bytes`] (and the delta parser) is the trust
+//! boundary for bytes fetched from an untrusted cloud backend: every
+//! length is bounds-checked with overflow-safe arithmetic, and
+//! pre-allocations are clamped by the bytes actually remaining, so a
+//! crafted header can neither panic (even with release-mode wrapping
+//! arithmetic) nor reserve unbounded memory. Parsing either succeeds or
+//! returns [`ArchiveError`] — never panics.
 
 use nymix_fs::{Layer, LayerKind, Node, Path};
+
+/// Longest serializable record name / layer path (the wire format's
+/// length prefix is a `u16`).
+pub const MAX_NAME_LEN: usize = u16::MAX as usize;
 
 /// Errors from archive parsing.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -50,12 +83,40 @@ impl NymArchive {
     }
 
     /// Adds (or replaces) a named record.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `name` is longer than [`MAX_NAME_LEN`] bytes: the wire
+    /// format's `u16` length prefix would silently truncate it,
+    /// producing an archive that mis-parses on restore. Rejecting the
+    /// record at insertion keeps serialization infallible.
     pub fn put(&mut self, name: &str, data: Vec<u8>) {
+        assert!(
+            name.len() <= MAX_NAME_LEN,
+            "record name of {} bytes exceeds the u16 wire limit ({MAX_NAME_LEN})",
+            name.len()
+        );
         if let Some(slot) = self.records.iter_mut().find(|(n, _)| n == name) {
             slot.1 = data;
         } else {
             self.records.push((name.to_string(), data));
         }
+    }
+
+    /// Removes a record, returning its data if it existed.
+    pub fn remove(&mut self, name: &str) -> Option<Vec<u8>> {
+        let idx = self.records.iter().position(|(n, _)| n == name)?;
+        Some(self.records.remove(idx).1)
+    }
+
+    /// Iterates `(name, data)` records in insertion order.
+    pub fn records(&self) -> impl Iterator<Item = (&str, &[u8])> {
+        self.records.iter().map(|(n, d)| (n.as_str(), d.as_slice()))
+    }
+
+    /// Number of records held.
+    pub fn record_count(&self) -> usize {
+        self.records.len()
     }
 
     /// Fetches a record.
@@ -77,6 +138,11 @@ impl NymArchive {
     }
 
     /// Adds a serialized writable layer under `name`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `name` or any path in `layer` exceeds
+    /// [`MAX_NAME_LEN`] bytes (see [`NymArchive::put`]).
     pub fn put_layer(&mut self, name: &str, layer: &Layer) {
         self.put(name, serialize_layer(layer));
     }
@@ -108,10 +174,7 @@ impl NymArchive {
         out.extend_from_slice(MAGIC);
         out.extend_from_slice(&(self.records.len() as u32).to_le_bytes());
         for (name, data) in &self.records {
-            out.extend_from_slice(&(name.len() as u16).to_le_bytes());
-            out.extend_from_slice(name.as_bytes());
-            out.extend_from_slice(&(data.len() as u64).to_le_bytes());
-            out.extend_from_slice(data);
+            write_record(out, name, data);
         }
     }
 
@@ -122,21 +185,18 @@ impl NymArchive {
         out
     }
 
-    /// Parses a serialized archive.
+    /// Parses a serialized archive. Never panics and never reserves
+    /// more memory than the input could actually describe, no matter
+    /// how hostile the bytes.
     pub fn from_bytes(bytes: &[u8]) -> Result<Self, ArchiveError> {
         let mut r = Reader::new(bytes);
         if r.take(4)? != MAGIC {
             return Err(ArchiveError::Malformed);
         }
         let count = r.u32()?;
-        let mut records = Vec::with_capacity(count as usize);
+        let mut records = Vec::with_capacity(clamp_count(count, r.remaining(), MIN_RECORD_LEN));
         for _ in 0..count {
-            let name_len = r.u16()? as usize;
-            let name = String::from_utf8(r.take(name_len)?.to_vec())
-                .map_err(|_| ArchiveError::Malformed)?;
-            let data_len = r.u64()? as usize;
-            let data = r.take(data_len)?.to_vec();
-            records.push((name, data));
+            records.push(read_record(&mut r)?);
         }
         if !r.done() {
             return Err(ArchiveError::Malformed);
@@ -145,12 +205,55 @@ impl NymArchive {
     }
 }
 
+/// The smallest possible serialized record: empty name (2-byte length)
+/// plus empty data (8-byte length).
+pub(crate) const MIN_RECORD_LEN: usize = 2 + 8;
+
+/// Clamps an attacker-controlled element count to what `remaining`
+/// input bytes could actually hold, so `Vec::with_capacity` on a
+/// 12-byte blob claiming four billion records cannot reserve gigabytes.
+/// Oversized counts still iterate — and fail on the first truncated
+/// element — they just don't pre-allocate.
+pub(crate) fn clamp_count(count: u32, remaining: usize, min_element_len: usize) -> usize {
+    (count as usize).min(remaining / min_element_len.max(1))
+}
+
+/// Reads one `name_len u16 | name | data_len u64 | data` record.
+pub(crate) fn read_record(r: &mut Reader<'_>) -> Result<(String, Vec<u8>), ArchiveError> {
+    let name = read_name(r)?;
+    let data_len = r.u64()?;
+    let data_len = usize::try_from(data_len).map_err(|_| ArchiveError::Malformed)?;
+    let data = r.take(data_len)?.to_vec();
+    Ok((name, data))
+}
+
+/// Reads one `name_len u16 | name` length-prefixed UTF-8 name.
+pub(crate) fn read_name(r: &mut Reader<'_>) -> Result<String, ArchiveError> {
+    let name_len = r.u16()? as usize;
+    String::from_utf8(r.take(name_len)?.to_vec()).map_err(|_| ArchiveError::Malformed)
+}
+
+/// Appends one record in wire encoding. Caller guarantees
+/// `name.len() <= MAX_NAME_LEN` (enforced by [`NymArchive::put`]).
+pub(crate) fn write_record(out: &mut Vec<u8>, name: &str, data: &[u8]) {
+    debug_assert!(name.len() <= MAX_NAME_LEN);
+    out.extend_from_slice(&(name.len() as u16).to_le_bytes());
+    out.extend_from_slice(name.as_bytes());
+    out.extend_from_slice(&(data.len() as u64).to_le_bytes());
+    out.extend_from_slice(data);
+}
+
 fn serialize_layer(layer: &Layer) -> Vec<u8> {
     let entries: Vec<(&Path, &Node)> = layer.entries().filter(|(p, _)| !p.is_root()).collect();
     let mut out = Vec::new();
     out.extend_from_slice(&(entries.len() as u32).to_le_bytes());
     for (path, node) in entries {
         let p = path.to_string();
+        assert!(
+            p.len() <= MAX_NAME_LEN,
+            "layer path of {} bytes exceeds the u16 wire limit ({MAX_NAME_LEN})",
+            p.len()
+        );
         out.extend_from_slice(&(p.len() as u16).to_le_bytes());
         out.extend_from_slice(p.as_bytes());
         match node {
@@ -171,13 +274,12 @@ fn deserialize_layer(bytes: &[u8]) -> Result<Layer, ArchiveError> {
     let count = r.u32()?;
     let mut layer = Layer::new(LayerKind::Writable);
     for _ in 0..count {
-        let path_len = r.u16()? as usize;
-        let path_str =
-            String::from_utf8(r.take(path_len)?.to_vec()).map_err(|_| ArchiveError::Malformed)?;
+        let path_str = read_name(&mut r)?;
         let path = Path::new(&path_str);
         match r.u8()? {
             0 => {
-                let len = r.u64()? as usize;
+                let len = r.u64()?;
+                let len = usize::try_from(len).map_err(|_| ArchiveError::Malformed)?;
                 layer.put_file(path, r.take(len)?.to_vec());
             }
             1 => layer.put_dir(path),
@@ -191,42 +293,56 @@ fn deserialize_layer(bytes: &[u8]) -> Result<Layer, ArchiveError> {
     Ok(layer)
 }
 
-struct Reader<'a> {
+/// Bounds-checked cursor over untrusted input. All arithmetic is
+/// overflow-safe: a crafted length near `u64::MAX` used to wrap
+/// `pos + n` in release builds (overflow checks off) and panic on the
+/// slice; `checked_add` turns every such input into `Malformed`.
+pub(crate) struct Reader<'a> {
     bytes: &'a [u8],
     pos: usize,
 }
 
 impl<'a> Reader<'a> {
-    fn new(bytes: &'a [u8]) -> Self {
+    pub(crate) fn new(bytes: &'a [u8]) -> Self {
         Self { bytes, pos: 0 }
     }
 
-    fn take(&mut self, n: usize) -> Result<&'a [u8], ArchiveError> {
-        if self.pos + n > self.bytes.len() {
+    pub(crate) fn take(&mut self, n: usize) -> Result<&'a [u8], ArchiveError> {
+        let end = self.pos.checked_add(n).ok_or(ArchiveError::Malformed)?;
+        if end > self.bytes.len() {
             return Err(ArchiveError::Malformed);
         }
-        let s = &self.bytes[self.pos..self.pos + n];
-        self.pos += n;
+        let s = &self.bytes[self.pos..end];
+        self.pos = end;
         Ok(s)
     }
 
-    fn u8(&mut self) -> Result<u8, ArchiveError> {
+    pub(crate) fn take_array<const N: usize>(&mut self) -> Result<[u8; N], ArchiveError> {
+        Ok(self.take(N)?.try_into().expect("length-checked take"))
+    }
+
+    pub(crate) fn u8(&mut self) -> Result<u8, ArchiveError> {
         Ok(self.take(1)?[0])
     }
 
-    fn u16(&mut self) -> Result<u16, ArchiveError> {
-        Ok(u16::from_le_bytes(self.take(2)?.try_into().expect("2")))
+    pub(crate) fn u16(&mut self) -> Result<u16, ArchiveError> {
+        Ok(u16::from_le_bytes(self.take_array()?))
     }
 
-    fn u32(&mut self) -> Result<u32, ArchiveError> {
-        Ok(u32::from_le_bytes(self.take(4)?.try_into().expect("4")))
+    pub(crate) fn u32(&mut self) -> Result<u32, ArchiveError> {
+        Ok(u32::from_le_bytes(self.take_array()?))
     }
 
-    fn u64(&mut self) -> Result<u64, ArchiveError> {
-        Ok(u64::from_le_bytes(self.take(8)?.try_into().expect("8")))
+    pub(crate) fn u64(&mut self) -> Result<u64, ArchiveError> {
+        Ok(u64::from_le_bytes(self.take_array()?))
     }
 
-    fn done(&self) -> bool {
+    /// Unconsumed bytes left in the input.
+    pub(crate) fn remaining(&self) -> usize {
+        self.bytes.len() - self.pos
+    }
+
+    pub(crate) fn done(&self) -> bool {
         self.pos == self.bytes.len()
     }
 }
@@ -321,6 +437,116 @@ mod tests {
             a.get_layer("missing"),
             Err(ArchiveError::Malformed)
         ));
+    }
+
+    /// The `Reader::take` overflow regression: a record whose
+    /// `data_len` is near `u64::MAX` used to wrap `pos + n` in release
+    /// builds and panic on the slice. It must parse to `Malformed` in
+    /// both profiles.
+    #[test]
+    fn hostile_lengths_rejected_without_panic() {
+        for data_len in [
+            u64::MAX,
+            u64::MAX - 7,
+            u64::MAX / 2,
+            usize::MAX as u64,
+            (usize::MAX as u64).wrapping_add(1),
+            1 << 48,
+        ] {
+            let mut bytes = Vec::new();
+            bytes.extend_from_slice(MAGIC);
+            bytes.extend_from_slice(&1u32.to_le_bytes());
+            bytes.extend_from_slice(&1u16.to_le_bytes());
+            bytes.push(b'x');
+            bytes.extend_from_slice(&data_len.to_le_bytes());
+            bytes.extend_from_slice(&[0u8; 16]); // some trailing bytes
+            assert_eq!(
+                NymArchive::from_bytes(&bytes),
+                Err(ArchiveError::Malformed),
+                "data_len {data_len:#x}"
+            );
+        }
+        // Same hostile length inside a layer payload (file entry).
+        let mut payload = Vec::new();
+        payload.extend_from_slice(&1u32.to_le_bytes());
+        payload.extend_from_slice(&2u16.to_le_bytes());
+        payload.extend_from_slice(b"/f");
+        payload.push(0); // file tag
+        payload.extend_from_slice(&u64::MAX.to_le_bytes());
+        let mut a = NymArchive::new();
+        a.put("layer", payload);
+        assert!(matches!(a.get_layer("layer"), Err(ArchiveError::Malformed)));
+    }
+
+    /// A 12-byte blob claiming u32::MAX records must fail fast without
+    /// reserving gigabytes up front.
+    #[test]
+    fn huge_record_count_does_not_over_reserve() {
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(MAGIC);
+        bytes.extend_from_slice(&u32::MAX.to_le_bytes());
+        bytes.extend_from_slice(&[0u8; 4]);
+        assert_eq!(NymArchive::from_bytes(&bytes), Err(ArchiveError::Malformed));
+        // The clamp itself: tiny remainder => tiny reservation.
+        assert_eq!(clamp_count(u32::MAX, 4, MIN_RECORD_LEN), 0);
+        assert_eq!(clamp_count(u32::MAX, 1024, MIN_RECORD_LEN), 1024 / 10);
+        assert_eq!(clamp_count(3, 1024, MIN_RECORD_LEN), 3);
+    }
+
+    #[test]
+    fn name_at_u16_boundary_roundtrips() {
+        let name = "n".repeat(MAX_NAME_LEN);
+        let mut a = NymArchive::new();
+        a.put(&name, b"edge".to_vec());
+        let b = NymArchive::from_bytes(&a.to_bytes()).unwrap();
+        assert_eq!(b.get(&name).unwrap(), b"edge");
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds the u16 wire limit")]
+    fn over_long_record_name_rejected_at_put() {
+        let name = "n".repeat(MAX_NAME_LEN + 1);
+        NymArchive::new().put(&name, Vec::new());
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds the u16 wire limit")]
+    fn over_long_layer_path_rejected_at_serialize() {
+        let mut layer = Layer::new(LayerKind::Writable);
+        let long = format!("/{}", "p".repeat(MAX_NAME_LEN + 1));
+        layer.put_file(Path::new(&long), vec![1]);
+        let mut a = NymArchive::new();
+        a.put_layer("layer", &layer);
+    }
+
+    #[test]
+    fn layer_path_at_u16_boundary_roundtrips() {
+        // "/" + 65534 chars = exactly 65535 bytes once normalized.
+        let path = format!("/{}", "p".repeat(MAX_NAME_LEN - 1));
+        let mut layer = Layer::new(LayerKind::Writable);
+        layer.put_file(Path::new(&path), b"deep".to_vec());
+        let mut a = NymArchive::new();
+        a.put_layer("layer", &layer);
+        let restored = NymArchive::from_bytes(&a.to_bytes())
+            .unwrap()
+            .get_layer("layer")
+            .unwrap();
+        assert_eq!(
+            restored.get(&Path::new(&path)),
+            Some(&Node::File(b"deep".to_vec()))
+        );
+    }
+
+    #[test]
+    fn record_remove_and_iteration() {
+        let mut a = NymArchive::new();
+        a.put("a", vec![1]);
+        a.put("b", vec![2]);
+        assert_eq!(a.record_count(), 2);
+        assert_eq!(a.remove("a"), Some(vec![1]));
+        assert_eq!(a.remove("a"), None);
+        let records: Vec<_> = a.records().collect();
+        assert_eq!(records, vec![("b", &[2u8][..])]);
     }
 
     #[test]

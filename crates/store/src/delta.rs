@@ -1,0 +1,436 @@
+//! Incremental (delta) nym snapshots.
+//!
+//! The paper's store-nym workflow (§3.5) re-seals the entire
+//! AnonVM/CommVM writable state on every snapshot, so save latency
+//! grows with total nym size even when one browser session touched a
+//! handful of files. A [`DeltaArchive`] holds only the records that
+//! changed since the previous snapshot — plus enough commitment to make
+//! replay tamper-evident:
+//!
+//! ```text
+//! magic "NYMD" | full_record_count u32 | merkle_root [32]u8 |
+//! dirty_count u32 | records (name_len u16 | name | data_len u64 | data) |
+//! removed_count u32 | (name_len u16 | name)...
+//! ```
+//!
+//! `merkle_root` commits to the **entire** record set of the full
+//! archive this delta produces when applied, not just the dirty
+//! records: each leaf is `name_len u16 ‖ name ‖ data` in record order,
+//! hashed through the domain-separated tree of `nymix_crypto::merkle`
+//! (built on the 4-way `sha256_x4` batch kernel). Restore replays
+//! base + deltas in order and [`DeltaArchive::apply`] rejects the
+//! result whenever the recomputed root differs — a tampered record, a
+//! reordered chain, or a delta replayed against the wrong base fails
+//! closed instead of restoring silently-wrong state.
+//!
+//! Chains are bounded: after [`DELTA_CHAIN_LIMIT`] deltas the next save
+//! compacts back to a full `"NYM1"` archive (see [`crate::versioned`]
+//! for the retention-side policy and `nymix-core`'s Nym Manager for the
+//! sealing side).
+//!
+//! Like [`NymArchive::from_bytes`](crate::NymArchive::from_bytes), the
+//! parser treats its input as hostile: overflow-safe bounds checks
+//! everywhere, pre-allocation clamped by the bytes actually present.
+//! Parsing either succeeds or returns an error — never panics.
+
+use nymix_crypto::{leaf_hash_parts, merkle_root_from_leaves};
+
+use crate::archive::{
+    clamp_count, read_name, read_record, write_record, ArchiveError, NymArchive, Reader,
+    MAX_NAME_LEN, MIN_RECORD_LEN,
+};
+
+/// Maximum deltas chained on one base archive before a save must
+/// compact back to a full archive. Bounds restore latency (base + at
+/// most this many replays) and the blast radius of a lost object.
+pub const DELTA_CHAIN_LIMIT: usize = 4;
+
+/// A 32-byte Merkle root over an archive's full record set.
+pub type MerkleRoot = [u8; 32];
+
+const MAGIC: &[u8; 4] = b"NYMD";
+
+/// Errors from delta parsing and replay.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DeltaError {
+    /// Bad magic, structural truncation, or hostile lengths.
+    Malformed,
+    /// Applying the delta produced a record count other than the one
+    /// the delta committed to.
+    CountMismatch,
+    /// The recomputed Merkle root over the replayed record set differs
+    /// from the committed root: tampering, reordering, or a stale base.
+    RootMismatch,
+    /// A delta was offered for a name with no full base archive to
+    /// chain on.
+    NoBase,
+}
+
+impl core::fmt::Display for DeltaError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            DeltaError::Malformed => write!(f, "malformed delta archive"),
+            DeltaError::CountMismatch => write!(f, "replayed record count mismatches commitment"),
+            DeltaError::RootMismatch => write!(f, "merkle root mismatch after replay"),
+            DeltaError::NoBase => write!(f, "no base archive to chain a delta on"),
+        }
+    }
+}
+
+impl std::error::Error for DeltaError {}
+
+impl From<ArchiveError> for DeltaError {
+    fn from(_: ArchiveError) -> Self {
+        DeltaError::Malformed
+    }
+}
+
+/// The dirty-record set between two snapshots, plus the Merkle
+/// commitment to the full record set after replay.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DeltaArchive {
+    full_count: u32,
+    root: MerkleRoot,
+    dirty: Vec<(String, Vec<u8>)>,
+    removed: Vec<String>,
+}
+
+impl DeltaArchive {
+    /// An empty delta committing to a full archive of `full_count`
+    /// records under `root`. Populate with [`DeltaArchive::put`] /
+    /// [`DeltaArchive::mark_removed`].
+    pub fn new(full_count: usize, root: MerkleRoot) -> Self {
+        Self {
+            full_count: u32::try_from(full_count).expect("record count fits u32"),
+            root,
+            dirty: Vec::new(),
+            removed: Vec::new(),
+        }
+    }
+
+    /// Computes the delta turning `prev` into `next`: records whose
+    /// bytes changed (or are new), plus removals. The commitment covers
+    /// `next`'s full record set.
+    pub fn diff(prev: &NymArchive, next: &NymArchive) -> Self {
+        let mut delta = Self::new(next.record_count(), archive_merkle_root(next));
+        for (name, data) in next.records() {
+            if prev.get(name) != Some(data) {
+                delta.put(name, data.to_vec());
+            }
+        }
+        for (name, _) in prev.records() {
+            if next.get(name).is_none() {
+                delta.mark_removed(name);
+            }
+        }
+        delta
+    }
+
+    /// Adds (or replaces) a dirty record.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `name` exceeds [`MAX_NAME_LEN`] bytes (see
+    /// [`NymArchive::put`](crate::NymArchive::put)).
+    pub fn put(&mut self, name: &str, data: Vec<u8>) {
+        assert!(
+            name.len() <= MAX_NAME_LEN,
+            "record name of {} bytes exceeds the u16 wire limit ({MAX_NAME_LEN})",
+            name.len()
+        );
+        if let Some(slot) = self.dirty.iter_mut().find(|(n, _)| n == name) {
+            slot.1 = data;
+        } else {
+            self.dirty.push((name.to_string(), data));
+        }
+    }
+
+    /// Marks a record as removed since the previous snapshot.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `name` exceeds [`MAX_NAME_LEN`] bytes.
+    pub fn mark_removed(&mut self, name: &str) {
+        assert!(
+            name.len() <= MAX_NAME_LEN,
+            "record name of {} bytes exceeds the u16 wire limit ({MAX_NAME_LEN})",
+            name.len()
+        );
+        if !self.removed.iter().any(|n| n == name) {
+            self.removed.push(name.to_string());
+        }
+    }
+
+    /// The committed Merkle root of the post-replay record set.
+    pub fn root(&self) -> &MerkleRoot {
+        &self.root
+    }
+
+    /// The committed post-replay record count.
+    pub fn full_count(&self) -> usize {
+        self.full_count as usize
+    }
+
+    /// Dirty `(name, data)` records in insertion order.
+    pub fn dirty_records(&self) -> impl Iterator<Item = (&str, &[u8])> {
+        self.dirty.iter().map(|(n, d)| (n.as_str(), d.as_slice()))
+    }
+
+    /// Names removed since the previous snapshot.
+    pub fn removed_names(&self) -> impl Iterator<Item = &str> {
+        self.removed.iter().map(String::as_str)
+    }
+
+    /// Total dirty payload bytes (what a delta save actually re-seals).
+    pub fn payload_bytes(&self) -> usize {
+        self.dirty.iter().map(|(_, d)| d.len()).sum()
+    }
+
+    /// Replays this delta onto `base` in place: dirty records replace
+    /// same-named ones (new names append in delta order), removed names
+    /// drop out. The result is then verified against the committed
+    /// record count and Merkle root; on any mismatch `base` must be
+    /// considered corrupt and discarded — the method fails closed
+    /// rather than rolling back.
+    pub fn apply(&self, base: &mut NymArchive) -> Result<(), DeltaError> {
+        for (name, data) in &self.dirty {
+            base.put(name, data.clone());
+        }
+        for name in &self.removed {
+            base.remove(name);
+        }
+        if base.record_count() != self.full_count as usize {
+            return Err(DeltaError::CountMismatch);
+        }
+        if archive_merkle_root(base) != self.root {
+            return Err(DeltaError::RootMismatch);
+        }
+        Ok(())
+    }
+
+    /// Exact byte length [`DeltaArchive::write_into`] will append.
+    pub fn serialized_len(&self) -> usize {
+        MAGIC.len()
+            + 4
+            + 32
+            + 4
+            + self
+                .dirty
+                .iter()
+                .map(|(name, data)| 2 + name.len() + 8 + data.len())
+                .sum::<usize>()
+            + 4
+            + self.removed.iter().map(|n| 2 + n.len()).sum::<usize>()
+    }
+
+    /// Serializes the delta by appending to `out`; with
+    /// [`DeltaArchive::serialized_len`] spare capacity this performs no
+    /// allocation, so the sealing pipeline can serialize straight into
+    /// its reusable arena.
+    pub fn write_into(&self, out: &mut Vec<u8>) {
+        out.reserve(self.serialized_len());
+        out.extend_from_slice(MAGIC);
+        out.extend_from_slice(&self.full_count.to_le_bytes());
+        out.extend_from_slice(&self.root);
+        out.extend_from_slice(&(self.dirty.len() as u32).to_le_bytes());
+        for (name, data) in &self.dirty {
+            write_record(out, name, data);
+        }
+        out.extend_from_slice(&(self.removed.len() as u32).to_le_bytes());
+        for name in &self.removed {
+            out.extend_from_slice(&(name.len() as u16).to_le_bytes());
+            out.extend_from_slice(name.as_bytes());
+        }
+    }
+
+    /// Serializes the delta.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(self.serialized_len());
+        self.write_into(&mut out);
+        out
+    }
+
+    /// Parses a serialized delta. Never panics and never over-reserves,
+    /// no matter how hostile the bytes.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self, DeltaError> {
+        let mut r = Reader::new(bytes);
+        if r.take(4)? != MAGIC {
+            return Err(DeltaError::Malformed);
+        }
+        let full_count = r.u32()?;
+        let root: MerkleRoot = r.take_array()?;
+        let dirty_count = r.u32()?;
+        let mut dirty = Vec::with_capacity(clamp_count(dirty_count, r.remaining(), MIN_RECORD_LEN));
+        for _ in 0..dirty_count {
+            dirty.push(read_record(&mut r)?);
+        }
+        let removed_count = r.u32()?;
+        let mut removed = Vec::with_capacity(clamp_count(removed_count, r.remaining(), 2));
+        for _ in 0..removed_count {
+            removed.push(read_name(&mut r)?);
+        }
+        if !r.done() {
+            return Err(DeltaError::Malformed);
+        }
+        Ok(Self {
+            full_count,
+            root,
+            dirty,
+            removed,
+        })
+    }
+}
+
+/// The Merkle root over an archive's full record set: one leaf per
+/// record (`name_len u16 ‖ name ‖ data`), in record order.
+pub fn archive_merkle_root(archive: &NymArchive) -> MerkleRoot {
+    archive_merkle_root_with(archive, &mut Vec::with_capacity(archive.record_count()))
+}
+
+/// [`archive_merkle_root`] folding into a caller-owned leaf scratch
+/// vector, so repeated root computations (every delta save) reuse one
+/// allocation.
+pub fn archive_merkle_root_with(archive: &NymArchive, leaves: &mut Vec<MerkleRoot>) -> MerkleRoot {
+    leaves.clear();
+    for (name, data) in archive.records() {
+        let name_len = (name.len() as u16).to_le_bytes();
+        leaves.push(leaf_hash_parts(&[&name_len, name.as_bytes(), data]));
+    }
+    merkle_root_from_leaves(leaves)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn base() -> NymArchive {
+        let mut a = NymArchive::new();
+        a.put("anonvm.disk", vec![1; 300]);
+        a.put("commvm.disk", vec![2; 200]);
+        a.put("meta", b"name=alice".to_vec());
+        a
+    }
+
+    #[test]
+    fn diff_apply_reproduces_exact_archive() {
+        let prev = base();
+        let mut next = prev.clone();
+        next.put("anonvm.disk", vec![9; 350]); // changed
+        next.put("browser.state", b"cookies".to_vec()); // new
+        next.remove("meta"); // gone
+        let delta = DeltaArchive::diff(&prev, &next);
+        assert_eq!(
+            delta.dirty_records().map(|(n, _)| n).collect::<Vec<_>>(),
+            vec!["anonvm.disk", "browser.state"]
+        );
+        assert_eq!(delta.removed_names().collect::<Vec<_>>(), vec!["meta"]);
+        // Only the dirty payload rides the wire.
+        assert_eq!(delta.payload_bytes(), 350 + 7);
+
+        let mut replayed = prev.clone();
+        delta.apply(&mut replayed).unwrap();
+        assert_eq!(replayed, next);
+    }
+
+    #[test]
+    fn wire_roundtrip() {
+        let prev = base();
+        let mut next = prev.clone();
+        next.put("meta", b"name=alice;v=2".to_vec());
+        next.remove("commvm.disk");
+        let delta = DeltaArchive::diff(&prev, &next);
+        let bytes = delta.to_bytes();
+        assert_eq!(bytes.len(), delta.serialized_len());
+        assert_eq!(DeltaArchive::from_bytes(&bytes).unwrap(), delta);
+    }
+
+    #[test]
+    fn empty_delta_roundtrips_and_verifies() {
+        let a = base();
+        let delta = DeltaArchive::diff(&a, &a);
+        assert_eq!(delta.dirty_records().count(), 0);
+        assert_eq!(delta.payload_bytes(), 0);
+        let delta = DeltaArchive::from_bytes(&delta.to_bytes()).unwrap();
+        let mut replayed = a.clone();
+        delta.apply(&mut replayed).unwrap();
+        assert_eq!(replayed, a);
+    }
+
+    #[test]
+    fn tampered_record_fails_closed() {
+        let prev = base();
+        let mut next = prev.clone();
+        next.put("anonvm.disk", vec![9; 10]);
+        let delta = DeltaArchive::diff(&prev, &next);
+
+        // Tamper with a record the delta does NOT carry: the dirty set
+        // authenticates fine record-by-record, only the full-set root
+        // catches it.
+        let mut stale_base = prev.clone();
+        stale_base.put("commvm.disk", vec![0xEE; 200]);
+        let mut replayed = stale_base;
+        assert_eq!(delta.apply(&mut replayed), Err(DeltaError::RootMismatch));
+
+        // Tamper with the carried record's bytes on the wire (the last
+        // payload byte sits just before the trailing removed_count u32).
+        let mut bytes = delta.to_bytes();
+        let last_payload = bytes.len() - 5;
+        bytes[last_payload] ^= 1;
+        let evil = DeltaArchive::from_bytes(&bytes).unwrap();
+        let mut replayed = prev.clone();
+        assert_eq!(evil.apply(&mut replayed), Err(DeltaError::RootMismatch));
+    }
+
+    #[test]
+    fn wrong_base_fails_closed() {
+        let prev = base();
+        let mut next = prev.clone();
+        next.put("meta", b"v2".to_vec());
+        let delta = DeltaArchive::diff(&prev, &next);
+        // Replaying against an archive with an extra record: count check.
+        let mut fat = prev.clone();
+        fat.put("extra", vec![1]);
+        assert_eq!(delta.apply(&mut fat), Err(DeltaError::CountMismatch));
+    }
+
+    #[test]
+    fn hostile_bytes_rejected_without_panic() {
+        assert_eq!(
+            DeltaArchive::from_bytes(b"NYMD"),
+            Err(DeltaError::Malformed)
+        );
+        assert_eq!(
+            DeltaArchive::from_bytes(b"NYM1aaaaaaaa"),
+            Err(DeltaError::Malformed)
+        );
+        // Hostile data_len near u64::MAX inside a dirty record.
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(MAGIC);
+        bytes.extend_from_slice(&1u32.to_le_bytes());
+        bytes.extend_from_slice(&[0u8; 32]);
+        bytes.extend_from_slice(&1u32.to_le_bytes());
+        bytes.extend_from_slice(&1u16.to_le_bytes());
+        bytes.push(b'x');
+        bytes.extend_from_slice(&u64::MAX.to_le_bytes());
+        assert_eq!(DeltaArchive::from_bytes(&bytes), Err(DeltaError::Malformed));
+        // Huge removed_count with no bytes behind it.
+        let mut bytes = DeltaArchive::new(0, [0; 32]).to_bytes();
+        let n = bytes.len();
+        bytes[n - 4..].copy_from_slice(&u32::MAX.to_le_bytes());
+        assert_eq!(DeltaArchive::from_bytes(&bytes), Err(DeltaError::Malformed));
+    }
+
+    #[test]
+    fn root_scratch_reuse_matches() {
+        let a = base();
+        let mut scratch = Vec::new();
+        let r1 = archive_merkle_root_with(&a, &mut scratch);
+        assert_eq!(r1, archive_merkle_root(&a));
+        // Scratch reuse across different archives stays correct.
+        let mut b = a.clone();
+        b.put("meta", b"changed".to_vec());
+        let r2 = archive_merkle_root_with(&b, &mut scratch);
+        assert_ne!(r1, r2);
+        assert_eq!(r2, archive_merkle_root(&b));
+    }
+}

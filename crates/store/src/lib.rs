@@ -21,7 +21,11 @@
 //!   run the whole serialize → compress → encrypt pipeline in a single
 //!   pass over one [`SealScratch`] arena with zero hot-path
 //!   allocations; [`seal_archive`] / [`open_sealed`] are the
-//!   per-call-allocating wrappers.
+//!   per-call-allocating wrappers. [`SealKey`] derives the KDF once
+//!   per chain epoch so delta seals skip it entirely.
+//! * [`delta`] — incremental snapshots: a [`DeltaArchive`] carries only
+//!   dirty records plus a Merkle-root commitment to the full record
+//!   set; replay verifies the root and fails closed on tampering.
 //! * [`cloud`] — simulated cloud providers with pseudonymous accounts;
 //!   records what the provider *observes* so tests can verify the
 //!   deniability story ("the cloud provider learns nothing about the
@@ -36,6 +40,7 @@
 
 pub mod archive;
 pub mod cloud;
+pub mod delta;
 pub mod local;
 pub mod lzss;
 pub mod sealed;
@@ -43,6 +48,10 @@ pub mod versioned;
 
 pub use archive::NymArchive;
 pub use cloud::{CloudError, CloudProvider};
+pub use delta::{archive_merkle_root, DeltaArchive, DeltaError, DELTA_CHAIN_LIMIT};
 pub use local::LocalStore;
-pub use sealed::{open_sealed, seal_archive, seal_into, unseal_raw_into, SealScratch, SealedError};
+pub use sealed::{
+    blob_salt, open_sealed, seal_archive, seal_delta_keyed_into, seal_into, seal_keyed_into,
+    unseal_keyed_raw_into, unseal_raw_into, SealKey, SealScratch, SealedError,
+};
 pub use versioned::VersionedStore;

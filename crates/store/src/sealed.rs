@@ -20,12 +20,27 @@
 //! materialized at any stage. [`unseal_raw_into`] is the symmetric
 //! decrypt-and-decompress half. The convenience wrappers
 //! [`seal_archive`] / [`open_sealed`] allocate fresh buffers per call.
+//!
+//! ## Keyed sealing for delta chains
+//!
+//! PBKDF2 dominates seal latency by design (~90%, password hardening),
+//! which would erase the point of incremental snapshots: a delta
+//! carrying 2 KiB of dirty records would still pay the full multi-ms
+//! KDF. A [`SealKey`] therefore derives the key **once per chain
+//! epoch** — the full-archive save draws a fresh salt, and every delta
+//! sealed on that base reuses the same key with a fresh random nonce
+//! (safe for ChaCha20-Poly1305: distinct nonces under one key). Each
+//! blob in the chain binds its own storage label as associated data, so
+//! a provider cannot splice delta *i* into slot *j* undetected, and
+//! restore recovers the key with a single KDF from the base blob's salt
+//! ([`blob_salt`]) before opening the whole chain.
 
 use nymix_crypto::poly1305::TAG_LEN;
 use nymix_crypto::{open_in_place_detached, pbkdf2_hmac_sha256_into, seal_in_place_detached};
 use nymix_sim::Rng;
 
 use crate::archive::NymArchive;
+use crate::delta::DeltaArchive;
 use crate::lzss;
 
 /// PBKDF2 iteration count (modest: sealing happens on every save).
@@ -71,6 +86,62 @@ fn derive_key(password: &str, label: &str, salt: &[u8]) -> [u8; 32] {
     key
 }
 
+/// A password-derived sealing key bound to one chain epoch: the KDF
+/// runs once, and every blob sealed with this key carries the same
+/// salt (with a fresh nonce per seal). Restore re-derives the same key
+/// from the base blob's salt with [`SealKey::from_salt`].
+#[derive(Clone)]
+pub struct SealKey {
+    salt: [u8; SALT_LEN],
+    key: [u8; 32],
+}
+
+// Manual Debug: never print key material.
+impl core::fmt::Debug for SealKey {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.debug_struct("SealKey")
+            .field("salt", &self.salt)
+            .field("key", &"[redacted]")
+            .finish()
+    }
+}
+
+impl SealKey {
+    /// Derives a fresh key for a new chain epoch: `rng` supplies the
+    /// salt, the KDF binds `label` (the base archive's storage label).
+    pub fn derive(password: &str, label: &str, rng: &mut Rng) -> Self {
+        let mut salt = [0u8; SALT_LEN];
+        rng.fill_bytes(&mut salt);
+        Self {
+            key: derive_key(password, label, &salt),
+            salt,
+        }
+    }
+
+    /// Re-derives the key of an existing chain from the base blob's
+    /// salt (see [`blob_salt`]). One KDF opens the whole chain.
+    pub fn from_salt(password: &str, label: &str, salt: &[u8; SALT_LEN]) -> Self {
+        Self {
+            key: derive_key(password, label, salt),
+            salt: *salt,
+        }
+    }
+
+    /// The salt this key was derived under.
+    pub fn salt(&self) -> &[u8; SALT_LEN] {
+        &self.salt
+    }
+}
+
+/// The salt a sealed blob was keyed under, or `None` if the blob is
+/// structurally not a sealed archive.
+pub fn blob_salt(blob: &[u8]) -> Option<&[u8; SALT_LEN]> {
+    if blob.len() < 4 + SALT_LEN + NONCE_LEN || &blob[..4] != MAGIC {
+        return None;
+    }
+    blob[4..4 + SALT_LEN].try_into().ok()
+}
+
 /// Reusable working memory for [`seal_into`] / [`unseal_raw_into`]: the
 /// serialized-archive arena and the LZSS match-finder state. Holding one
 /// of these across saves makes repeated sealing allocation-free.
@@ -103,23 +174,65 @@ pub fn seal_into(
     scratch: &mut SealScratch,
     out: &mut Vec<u8>,
 ) {
-    let mut salt = [0u8; SALT_LEN];
-    rng.fill_bytes(&mut salt);
+    let key = SealKey::derive(password, label, rng);
+    seal_keyed_into(archive, &key, label, rng, scratch, out);
+}
+
+/// [`seal_into`] with an already-derived [`SealKey`]: skips the KDF.
+/// `label` is bound as AEAD associated data (and should be the blob's
+/// storage label); the key's salt rides in the header so restore can
+/// re-derive.
+pub fn seal_keyed_into(
+    archive: &NymArchive,
+    key: &SealKey,
+    label: &str,
+    rng: &mut Rng,
+    scratch: &mut SealScratch,
+    out: &mut Vec<u8>,
+) {
+    scratch.plain.clear();
+    archive.write_into(&mut scratch.plain);
+    seal_plain(key, label, rng, scratch, out);
+}
+
+/// Seals a [`DeltaArchive`] through the identical zero-copy pipeline
+/// (serialize into the arena → LZSS → in-place detached AEAD), under a
+/// chain key. `label` must be the delta's own storage label (e.g.
+/// `"nym:alice@local#e3.2"`) so chain positions cannot be spliced.
+pub fn seal_delta_keyed_into(
+    delta: &DeltaArchive,
+    key: &SealKey,
+    label: &str,
+    rng: &mut Rng,
+    scratch: &mut SealScratch,
+    out: &mut Vec<u8>,
+) {
+    scratch.plain.clear();
+    delta.write_into(&mut scratch.plain);
+    seal_plain(key, label, rng, scratch, out);
+}
+
+/// Compress-and-encrypt `scratch.plain` into `out` under `key`,
+/// binding `label` as associated data. Shared tail of every seal path.
+fn seal_plain(
+    key: &SealKey,
+    label: &str,
+    rng: &mut Rng,
+    scratch: &mut SealScratch,
+    out: &mut Vec<u8>,
+) {
     let mut nonce = [0u8; NONCE_LEN];
     rng.fill_bytes(&mut nonce);
-    let key = derive_key(password, label, &salt);
 
     out.clear();
     out.extend_from_slice(MAGIC);
-    out.extend_from_slice(&salt);
+    out.extend_from_slice(&key.salt);
     out.extend_from_slice(&nonce);
     let body_start = out.len();
 
-    scratch.plain.clear();
-    archive.write_into(&mut scratch.plain);
     scratch.compressor.compress_into(&scratch.plain, out);
 
-    let tag = seal_in_place_detached(&key, &nonce, label.as_bytes(), &mut out[body_start..]);
+    let tag = seal_in_place_detached(&key.key, &nonce, label.as_bytes(), &mut out[body_start..]);
     out.extend_from_slice(&tag);
 }
 
@@ -163,10 +276,36 @@ pub fn unseal_raw_into<'s>(
     work: &mut Vec<u8>,
     scratch: &'s mut SealScratch,
 ) -> Result<&'s [u8], SealedError> {
-    if blob.len() < 4 + SALT_LEN + NONCE_LEN || &blob[..4] != MAGIC {
-        return Err(SealedError::Malformed);
+    let salt = blob_salt(blob).ok_or(SealedError::Malformed)?;
+    let key = derive_key(password, label, salt);
+    unseal_body(blob, &key, label, work, scratch)
+}
+
+/// [`unseal_raw_into`] with an already-derived chain key: no KDF. The
+/// blob's salt must match the key's (a mismatched salt means the blob
+/// belongs to a different chain epoch and could never authenticate).
+pub fn unseal_keyed_raw_into<'s>(
+    blob: &[u8],
+    key: &SealKey,
+    label: &str,
+    work: &mut Vec<u8>,
+    scratch: &'s mut SealScratch,
+) -> Result<&'s [u8], SealedError> {
+    let salt = blob_salt(blob).ok_or(SealedError::Malformed)?;
+    if !nymix_crypto::ct::eq(salt, &key.salt) {
+        return Err(SealedError::AuthFailed);
     }
-    let salt = &blob[4..4 + SALT_LEN];
+    unseal_body(blob, &key.key, label, work, scratch)
+}
+
+/// Authenticate-decrypt-decompress tail shared by both unseal paths.
+fn unseal_body<'s>(
+    blob: &[u8],
+    key: &[u8; 32],
+    label: &str,
+    work: &mut Vec<u8>,
+    scratch: &'s mut SealScratch,
+) -> Result<&'s [u8], SealedError> {
     let mut nonce = [0u8; NONCE_LEN];
     nonce.copy_from_slice(&blob[4 + SALT_LEN..4 + SALT_LEN + NONCE_LEN]);
     let boxed = &blob[4 + SALT_LEN + NONCE_LEN..];
@@ -175,12 +314,11 @@ pub fn unseal_raw_into<'s>(
         // authentication rather than structural validation.
         return Err(SealedError::AuthFailed);
     }
-    let key = derive_key(password, label, salt);
     // Single working copy of the ciphertext, decrypted in place.
     let (ciphertext, tag) = boxed.split_at(boxed.len() - TAG_LEN);
     work.clear();
     work.extend_from_slice(ciphertext);
-    open_in_place_detached(&key, &nonce, label.as_bytes(), work, tag)
+    open_in_place_detached(key, &nonce, label.as_bytes(), work, tag)
         .map_err(|_| SealedError::AuthFailed)?;
     lzss::decompress_into(work, &mut scratch.plain).map_err(|_| SealedError::Corrupt)?;
     Ok(&scratch.plain)
@@ -247,6 +385,91 @@ mod tests {
             let bytes = unseal_raw_into(&out, "pw", "l", &mut work, &mut scratch).unwrap();
             assert_eq!(NymArchive::from_bytes(bytes).unwrap(), a);
         }
+    }
+
+    #[test]
+    fn keyed_seal_interoperates_with_password_unseal() {
+        // A full archive sealed under a pre-derived key opens through
+        // the ordinary password path (same wire format, salt in header).
+        let a = archive();
+        let mut rng = Rng::seed_from(11);
+        let key = SealKey::derive("pw", "nym:bob", &mut rng);
+        let mut scratch = SealScratch::new();
+        let mut blob = Vec::new();
+        seal_keyed_into(&a, &key, "nym:bob", &mut rng, &mut scratch, &mut blob);
+        assert_eq!(open_sealed(&blob, "pw", "nym:bob").unwrap(), a);
+        // And the other direction: password-sealed blob, keyed open.
+        let blob2 = seal_archive(&a, "pw", "nym:bob", &mut Rng::seed_from(3));
+        let salt = *blob_salt(&blob2).unwrap();
+        let key2 = SealKey::from_salt("pw", "nym:bob", &salt);
+        let mut work = Vec::new();
+        let bytes =
+            unseal_keyed_raw_into(&blob2, &key2, "nym:bob", &mut work, &mut scratch).unwrap();
+        assert_eq!(NymArchive::from_bytes(bytes).unwrap(), a);
+    }
+
+    #[test]
+    fn delta_seal_roundtrips_under_chain_key() {
+        use crate::delta::DeltaArchive;
+        let prev = archive();
+        let mut next = prev.clone();
+        next.put("meta", b"nym=bob;site=twitter;v=2".to_vec());
+        let delta = DeltaArchive::diff(&prev, &next);
+
+        let mut rng = Rng::seed_from(7);
+        let key = SealKey::derive("pw", "nym:bob", &mut rng);
+        let mut scratch = SealScratch::new();
+        let mut blob = Vec::new();
+        seal_delta_keyed_into(
+            &delta,
+            &key,
+            "nym:bob#e1.1",
+            &mut rng,
+            &mut scratch,
+            &mut blob,
+        );
+
+        let mut work = Vec::new();
+        let bytes =
+            unseal_keyed_raw_into(&blob, &key, "nym:bob#e1.1", &mut work, &mut scratch).unwrap();
+        let opened = DeltaArchive::from_bytes(bytes).unwrap();
+        assert_eq!(opened, delta);
+        let mut replayed = prev.clone();
+        opened.apply(&mut replayed).unwrap();
+        assert_eq!(replayed, next);
+    }
+
+    #[test]
+    fn chain_position_cannot_be_spliced() {
+        // Two deltas sealed under one chain key but different slot
+        // labels: serving slot 1's blob in slot 2 must fail auth.
+        use crate::delta::DeltaArchive;
+        let a = archive();
+        let delta = DeltaArchive::diff(&a, &a);
+        let mut rng = Rng::seed_from(9);
+        let key = SealKey::derive("pw", "l", &mut rng);
+        let mut scratch = SealScratch::new();
+        let (mut b1, mut work) = (Vec::new(), Vec::new());
+        seal_delta_keyed_into(&delta, &key, "l#e1.1", &mut rng, &mut scratch, &mut b1);
+        assert_eq!(
+            unseal_keyed_raw_into(&b1, &key, "l#e1.2", &mut work, &mut scratch).unwrap_err(),
+            SealedError::AuthFailed
+        );
+        // A blob from a different chain epoch (different salt) is
+        // rejected before any decryption happens.
+        let other = SealKey::derive("pw", "l", &mut Rng::seed_from(99));
+        assert_eq!(
+            unseal_keyed_raw_into(&b1, &other, "l#e1.1", &mut work, &mut scratch).unwrap_err(),
+            SealedError::AuthFailed
+        );
+    }
+
+    #[test]
+    fn blob_salt_extraction() {
+        let blob = seal_archive(&archive(), "pw", "l", &mut Rng::seed_from(5));
+        assert_eq!(blob_salt(&blob), Some(&blob[4..20].try_into().unwrap()));
+        assert_eq!(blob_salt(b"junk"), None);
+        assert_eq!(blob_salt(&blob[..10]), None);
     }
 
     #[test]

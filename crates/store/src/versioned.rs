@@ -9,10 +9,38 @@
 //!
 //! [`VersionedStore`] wraps any put/get key-value backend with
 //! `name@vN` keys, retention, and rollback.
+//!
+//! ## Delta chains
+//!
+//! A version is either a **full** archive or a **delta**
+//! ([`crate::delta::DeltaArchive`]) chained on the most recent full
+//! version. [`VersionedStore::save_delta`] appends to the current
+//! chain and — once the run reaches the store's delta limit
+//! ([`DELTA_CHAIN_LIMIT`] by default) — automatically compacts: the
+//! chain is replayed (each hop Merkle-verified), merged with the
+//! incoming delta, and stored as a new full archive, bounding both
+//! restore latency and the blast radius of a lost object.
+//! [`VersionedStore::load_latest_archive`] replays base + deltas and
+//! fails closed on any root mismatch. Retention counts **full**
+//! versions only; deltas ride with the base they depend on, so pruning
+//! can never orphan a chain.
 
 use std::collections::BTreeMap;
 
-/// A store keeping up to `retain` versions per nym name.
+use crate::archive::NymArchive;
+use crate::delta::{DeltaArchive, DeltaError, DELTA_CHAIN_LIMIT};
+
+/// Whether a stored version is a full archive or a delta on the chain
+/// of the preceding full version.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SnapshotKind {
+    /// A self-contained archive.
+    Full,
+    /// A dirty-record delta; meaningful only replayed onto its base.
+    Delta,
+}
+
+/// A store keeping up to `retain` full-snapshot chains per nym name.
 ///
 /// Objects are keyed by the `(name, version)` pair directly rather than
 /// a formatted `"{name}@v{version}"` string: string keys invite
@@ -21,13 +49,16 @@ use std::collections::BTreeMap;
 /// impossible.
 #[derive(Debug, Clone)]
 pub struct VersionedStore {
-    objects: BTreeMap<(String, u64), Vec<u8>>,
+    objects: BTreeMap<(String, u64), (SnapshotKind, Vec<u8>)>,
     latest: BTreeMap<String, u64>,
     retain: usize,
+    delta_limit: usize,
 }
 
 impl VersionedStore {
-    /// A store retaining `retain` versions per name.
+    /// A store retaining `retain` full versions per name (deltas ride
+    /// with their base), compacting chains after [`DELTA_CHAIN_LIMIT`]
+    /// deltas.
     ///
     /// # Panics
     ///
@@ -38,40 +69,136 @@ impl VersionedStore {
             objects: BTreeMap::new(),
             latest: BTreeMap::new(),
             retain,
+            delta_limit: DELTA_CHAIN_LIMIT,
         }
     }
 
-    /// Saves a new version of `name`; returns its version number.
-    /// Old versions beyond the retention window are pruned (and their
+    /// Overrides the compaction threshold (deltas allowed per chain).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `limit` is zero (every save would be a full archive —
+    /// use [`VersionedStore::save`] directly instead).
+    pub fn with_delta_limit(mut self, limit: usize) -> Self {
+        assert!(limit > 0, "delta limit must be at least one");
+        self.delta_limit = limit;
+        self
+    }
+
+    /// Saves a new full version of `name`; returns its version number.
+    /// Old chains beyond the retention window are pruned (and their
     /// bytes forgotten — a real backend would also shred them).
     pub fn save(&mut self, name: &str, blob: Vec<u8>) -> u64 {
+        self.insert(name, SnapshotKind::Full, blob)
+    }
+
+    /// Chains a delta on `name`'s current snapshot. The existing chain
+    /// plus the incoming delta is fully replayed (each hop
+    /// Merkle-verified) *before* anything is stored, so a delta that
+    /// could never verify — diffed against the wrong base, or offered
+    /// to a name whose chain lost its full base — is rejected instead
+    /// of poisoning every later load. Once the chain already holds
+    /// `delta_limit` deltas, the store compacts: the verified merged
+    /// archive is stored as a new **full** version.
+    ///
+    /// Fails without storing anything if no full base exists in the
+    /// chain, if the chain bytes don't parse, or if any replay hop
+    /// fails verification.
+    pub fn save_delta(&mut self, name: &str, delta: &DeltaArchive) -> Result<u64, DeltaError> {
+        // replay_latest also rejects a chain with no reachable full
+        // base (e.g. after a rollback emptied it) with `NoBase`.
+        let mut replayed = self.replay_latest(name)?;
+        delta.apply(&mut replayed)?;
+        if self.deltas_since_full(name) >= self.delta_limit {
+            return Ok(self.insert(name, SnapshotKind::Full, replayed.to_bytes()));
+        }
+        Ok(self.insert(name, SnapshotKind::Delta, delta.to_bytes()))
+    }
+
+    fn insert(&mut self, name: &str, kind: SnapshotKind, blob: Vec<u8>) -> u64 {
         let version = self.latest.get(name).map_or(1, |v| v + 1);
-        self.objects.insert((name.to_string(), version), blob);
+        self.objects
+            .insert((name.to_string(), version), (kind, blob));
         self.latest.insert(name.to_string(), version);
-        // Prune everything below the retention window in one range scan.
-        if version as usize > self.retain {
-            let cutoff = version - self.retain as u64;
-            let stale: Vec<u64> = self
-                .versions_range(name)
-                .take_while(|v| *v <= cutoff)
-                .collect();
-            for v in stale {
-                self.objects.remove(&(name.to_string(), v));
-            }
+        if kind == SnapshotKind::Full {
+            self.prune(name);
         }
         version
     }
 
-    /// Loads a specific version.
+    /// Drops every version older than the oldest retained full
+    /// snapshot. Counting fulls (not raw versions) guarantees a
+    /// retained delta's base is always retained with it.
+    fn prune(&mut self, name: &str) {
+        let fulls: Vec<u64> = self
+            .versions_range(name)
+            .filter(|v| self.kind(name, *v) == Some(SnapshotKind::Full))
+            .collect();
+        if fulls.len() <= self.retain {
+            return;
+        }
+        let oldest_kept = fulls[fulls.len() - self.retain];
+        let stale: Vec<u64> = self
+            .versions_range(name)
+            .take_while(|v| *v < oldest_kept)
+            .collect();
+        for v in stale {
+            self.objects.remove(&(name.to_string(), v));
+        }
+    }
+
+    /// Loads a specific version's raw bytes.
     pub fn load(&self, name: &str, version: u64) -> Option<&[u8]> {
         self.objects
             .get(&(name.to_string(), version))
-            .map(Vec::as_slice)
+            .map(|(_, blob)| blob.as_slice())
+    }
+
+    /// The kind of a stored version.
+    pub fn kind(&self, name: &str, version: u64) -> Option<SnapshotKind> {
+        self.objects
+            .get(&(name.to_string(), version))
+            .map(|(kind, _)| *kind)
+    }
+
+    /// Deltas accumulated on top of the most recent full version.
+    pub fn deltas_since_full(&self, name: &str) -> usize {
+        let Some(latest) = self.latest.get(name) else {
+            return 0;
+        };
+        self.versions_range(name)
+            .filter(|v| v <= latest)
+            .rev()
+            .take_while(|v| self.kind(name, *v) == Some(SnapshotKind::Delta))
+            .count()
+    }
+
+    /// Replays `name`'s latest chain — most recent full version plus
+    /// every delta after it — verifying each hop's Merkle commitment.
+    /// Any parse failure or root mismatch fails the whole load.
+    pub fn load_latest_archive(&self, name: &str) -> Result<NymArchive, DeltaError> {
+        self.replay_latest(name)
+    }
+
+    fn replay_latest(&self, name: &str) -> Result<NymArchive, DeltaError> {
+        let latest = *self.latest.get(name).ok_or(DeltaError::NoBase)?;
+        let chain: Vec<u64> = self.versions_range(name).filter(|v| *v <= latest).collect();
+        let base_idx = chain
+            .iter()
+            .rposition(|v| self.kind(name, *v) == Some(SnapshotKind::Full))
+            .ok_or(DeltaError::NoBase)?;
+        let base_bytes = self.load(name, chain[base_idx]).expect("version listed");
+        let mut archive = NymArchive::from_bytes(base_bytes)?;
+        for v in &chain[base_idx + 1..] {
+            let delta_bytes = self.load(name, *v).expect("version listed");
+            DeltaArchive::from_bytes(delta_bytes)?.apply(&mut archive)?;
+        }
+        Ok(archive)
     }
 
     /// Iterates the versions held for `name`, ascending, via a key-range
     /// scan (tuple keys make this a contiguous slice of the map).
-    fn versions_range<'a>(&'a self, name: &'a str) -> impl Iterator<Item = u64> + 'a {
+    fn versions_range<'a>(&'a self, name: &'a str) -> impl DoubleEndedIterator<Item = u64> + 'a {
         self.objects
             .range((name.to_string(), 0)..=(name.to_string(), u64::MAX))
             .map(|((_, v), _)| *v)
@@ -103,13 +230,164 @@ impl VersionedStore {
 
     /// Total bytes held.
     pub fn total_bytes(&self) -> usize {
-        self.objects.values().map(Vec::len).sum()
+        self.objects.values().map(|(_, blob)| blob.len()).sum()
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    fn archive(v: u8) -> NymArchive {
+        let mut a = NymArchive::new();
+        a.put("anonvm.disk", vec![v; 400]);
+        a.put("meta", format!("rev={v}").into_bytes());
+        a
+    }
+
+    #[test]
+    fn delta_chain_replays_to_exact_archive() {
+        let mut s = VersionedStore::new(2);
+        let mut cur = archive(1);
+        s.save("n", cur.to_bytes());
+        for v in 2..=3u8 {
+            let mut next = cur.clone();
+            next.put("meta", format!("rev={v}").into_bytes());
+            let delta = DeltaArchive::diff(&cur, &next);
+            let ver = s.save_delta("n", &delta).unwrap();
+            assert_eq!(s.kind("n", ver), Some(SnapshotKind::Delta));
+            cur = next;
+        }
+        assert_eq!(s.deltas_since_full("n"), 2);
+        assert_eq!(s.load_latest_archive("n").unwrap(), cur);
+        // Deltas are tiny relative to the base they patch.
+        assert!(s.load("n", 3).unwrap().len() < s.load("n", 1).unwrap().len() / 4);
+    }
+
+    #[test]
+    fn chain_compacts_after_limit() {
+        let mut s = VersionedStore::new(3).with_delta_limit(2);
+        let mut cur = archive(0);
+        s.save("n", cur.to_bytes());
+        for v in 1..=3u8 {
+            let mut next = cur.clone();
+            next.put("meta", format!("rev={v}").into_bytes());
+            let delta = DeltaArchive::diff(&cur, &next);
+            s.save_delta("n", &delta).unwrap();
+            cur = next;
+        }
+        // Versions: 1=Full, 2=Delta, 3=Delta, 4=Full (auto-compacted).
+        assert_eq!(
+            (1..=4).map(|v| s.kind("n", v).unwrap()).collect::<Vec<_>>(),
+            vec![
+                SnapshotKind::Full,
+                SnapshotKind::Delta,
+                SnapshotKind::Delta,
+                SnapshotKind::Full
+            ]
+        );
+        assert_eq!(s.deltas_since_full("n"), 0);
+        // The compacted full equals the incremental state.
+        assert_eq!(s.load_latest_archive("n").unwrap(), cur);
+        assert_eq!(
+            NymArchive::from_bytes(s.load("n", 4).unwrap()).unwrap(),
+            cur
+        );
+    }
+
+    #[test]
+    fn retention_never_orphans_a_chain() {
+        let mut s = VersionedStore::new(1).with_delta_limit(10);
+        let base = archive(1);
+        s.save("n", base.to_bytes());
+        let mut next = base.clone();
+        next.put("meta", b"rev=2".to_vec());
+        s.save_delta("n", &DeltaArchive::diff(&base, &next))
+            .unwrap();
+        // A second full chain starts; the old full + its delta go away
+        // together (retain=1 counts full versions, not raw versions).
+        s.save("n", archive(9).to_bytes());
+        assert_eq!(s.versions("n"), vec![3]);
+        assert_eq!(s.load_latest_archive("n").unwrap(), archive(9));
+    }
+
+    #[test]
+    fn delta_without_base_refused() {
+        let mut s = VersionedStore::new(2);
+        let a = archive(1);
+        let delta = DeltaArchive::diff(&a, &a);
+        assert_eq!(s.save_delta("ghost", &delta), Err(DeltaError::NoBase));
+        // Regression: rolling the only version off leaves a dangling
+        // `latest` entry; a delta offered then has no base to chain on
+        // and must be refused, not stored unreadably.
+        s.save("n", a.to_bytes());
+        assert!(s.rollback("n").is_none());
+        assert_eq!(s.save_delta("n", &delta), Err(DeltaError::NoBase));
+    }
+
+    #[test]
+    fn unverifiable_delta_never_stored() {
+        // A delta diffed against a base this chain never held fails
+        // verification at save time (not at some later load), and the
+        // store is untouched.
+        let mut s = VersionedStore::new(2);
+        let base = archive(1);
+        s.save("n", base.to_bytes());
+        let other = archive(7);
+        let mut other2 = other.clone();
+        other2.put("meta", b"other-branch".to_vec());
+        let stale = DeltaArchive::diff(&other, &other2);
+        assert_eq!(s.save_delta("n", &stale), Err(DeltaError::RootMismatch));
+        assert_eq!(s.versions("n"), vec![1]);
+        assert_eq!(s.load_latest_archive("n").unwrap(), base);
+    }
+
+    #[test]
+    fn tampered_chain_fails_closed() {
+        let mut s = VersionedStore::new(2);
+        let base = archive(1);
+        s.save("n", base.to_bytes());
+        let mut next = base.clone();
+        next.put("meta", b"rev=2".to_vec());
+        s.save_delta("n", &DeltaArchive::diff(&base, &next))
+            .unwrap();
+        // Corrupt the *base* record bytes: the delta doesn't carry that
+        // record, so only the Merkle commitment can notice.
+        let mut evil = base.clone();
+        evil.put("anonvm.disk", vec![0xEE; 400]);
+        s.objects
+            .insert(("n".to_string(), 1), (SnapshotKind::Full, evil.to_bytes()));
+        assert_eq!(s.load_latest_archive("n"), Err(DeltaError::RootMismatch));
+        // A delta refusing to verify also refuses to compact.
+        let mut s2 = VersionedStore::new(2).with_delta_limit(1);
+        s2.save("n", base.to_bytes());
+        s2.save_delta("n", &DeltaArchive::diff(&base, &next))
+            .unwrap();
+        // A delta computed against a *different* base (its commitment
+        // covers records this chain never held).
+        let other = archive(7);
+        let mut other2 = other.clone();
+        other2.put("meta", b"other-branch".to_vec());
+        let stale = DeltaArchive::diff(&other, &other2);
+        let before = s2.versions("n");
+        assert_eq!(s2.save_delta("n", &stale), Err(DeltaError::RootMismatch));
+        assert_eq!(s2.versions("n"), before, "failed compaction stores nothing");
+    }
+
+    #[test]
+    fn rollback_across_chain_boundary() {
+        let mut s = VersionedStore::new(2);
+        let base = archive(1);
+        s.save("n", base.to_bytes());
+        let mut next = base.clone();
+        next.put("meta", b"stained".to_vec());
+        s.save_delta("n", &DeltaArchive::diff(&base, &next))
+            .unwrap();
+        assert_eq!(s.load_latest_archive("n").unwrap(), next);
+        // Roll the stained delta off: latest is the clean base again.
+        assert_eq!(s.rollback("n"), Some(1));
+        assert_eq!(s.load_latest_archive("n").unwrap(), base);
+    }
 
     #[test]
     fn save_load_latest() {

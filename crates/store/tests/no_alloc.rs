@@ -7,7 +7,10 @@ use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicUsize, Ordering};
 
 use nymix_sim::Rng;
-use nymix_store::{seal_into, unseal_raw_into, NymArchive, SealScratch};
+use nymix_store::{
+    seal_delta_keyed_into, seal_into, unseal_keyed_raw_into, unseal_raw_into, DeltaArchive,
+    NymArchive, SealKey, SealScratch,
+};
 
 struct CountingAlloc;
 
@@ -60,6 +63,50 @@ fn warm_seal_pipeline_is_allocation_free() {
         }
     });
     assert_eq!(n, 0, "warm seal_into must not allocate");
+}
+
+#[test]
+fn warm_delta_seal_pipeline_is_allocation_free() {
+    // The incremental save path: delta serialization rides the same
+    // arena, the chain key skips the KDF, and with warm buffers neither
+    // sealing nor unsealing a delta touches the heap.
+    let prev = archive();
+    let mut next = prev.clone();
+    next.put("meta", b"nym=alice;site=forum;rev=2".to_vec());
+    let delta = DeltaArchive::diff(&prev, &next);
+
+    let mut rng = Rng::seed_from(5);
+    let key = SealKey::derive("pw", "nym:alice", &mut rng);
+    let mut scratch = SealScratch::new();
+    let mut out = Vec::new();
+    let mut work = Vec::new();
+    // Warm-up sizes every buffer.
+    seal_delta_keyed_into(
+        &delta,
+        &key,
+        "nym:alice#e1.1",
+        &mut rng,
+        &mut scratch,
+        &mut out,
+    );
+    unseal_keyed_raw_into(&out, &key, "nym:alice#e1.1", &mut work, &mut scratch).expect("opens");
+    let n = allocations_in(|| {
+        for _ in 0..3 {
+            seal_delta_keyed_into(
+                &delta,
+                &key,
+                "nym:alice#e1.1",
+                &mut rng,
+                &mut scratch,
+                &mut out,
+            );
+            let bytes =
+                unseal_keyed_raw_into(&out, &key, "nym:alice#e1.1", &mut work, &mut scratch)
+                    .expect("opens");
+            std::hint::black_box(bytes.len());
+        }
+    });
+    assert_eq!(n, 0, "warm delta seal/unseal must not allocate");
 }
 
 #[test]
