@@ -249,7 +249,7 @@ impl Circuit {
     /// exactly one layer.
     ///
     /// All three onion layers are applied in one pass over the cell: the
-    /// cell is walked in [`WRAP_CHUNK`]-byte windows and each window gets
+    /// cell is walked in `WRAP_CHUNK`-byte windows and each window gets
     /// all three per-hop keystreams XORed in while it is hot in cache.
     /// After circuit setup this performs no heap allocation (the caller's
     /// buffer is reused across cells).

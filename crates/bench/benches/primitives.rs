@@ -133,6 +133,106 @@ fn bench_seal(c: &mut Criterion) {
             black_box(out.len())
         });
     });
+    // Sub-record chunked deltas vs the record-granular baseline: one
+    // 4 KiB write inside an incompressible 64 KiB disk record. The
+    // NYMD path re-seals the whole record; the CAS path re-chunks it
+    // (content-defined boundaries keep the edit local), uploads only
+    // the chunks the write touched, and ships a delta carrying the new
+    // "NYMC" manifest. Bytes uploaded: see BENCH_store.json.
+    use nymix_store::cas::{upload_new_chunks, ChunkIndex, ChunkManifest};
+    use nymix_store::{chunker, LocalStore};
+
+    let disk = {
+        // Deterministic incompressible filler (browser caches are
+        // mostly media); seed picked so a mid-size chunk hosts the
+        // whole 4 KiB edit — the typical case for a cache write.
+        let mut data = vec![0u8; 64 * 1024];
+        nymix_crypto::ChaCha20::new(&[0xA7; 32], &[3u8; 12], 0).xor_into(&mut data);
+        data
+    };
+    let edit_at = {
+        let mut offset = 0usize;
+        let mut site = None;
+        for c in chunker::chunks(&disk) {
+            if c.len() >= 4096 + 256 {
+                site = Some(offset + 128);
+                break;
+            }
+            offset += c.len();
+        }
+        site.expect("a chunk can host the 4 KiB edit")
+    };
+    let mut disk2 = disk.clone();
+    nymix_crypto::ChaCha20::new(&[0xB9; 32], &[4u8; 12], 0)
+        .xor_into(&mut disk2[edit_at..edit_at + 4096]);
+
+    let (mut raw_prev, mut raw_next) = (NymArchive::new(), NymArchive::new());
+    for a in [&mut raw_prev, &mut raw_next] {
+        a.put("meta", b"name=bench;model=Persistent".to_vec());
+        a.put("tor.state", vec![0x5a; 1024]);
+    }
+    raw_prev.put("anonvm.disk", disk.clone());
+    raw_next.put("anonvm.disk", disk2.clone());
+
+    group.bench_function("nymd_delta_save_4k_of_64k", |b| {
+        let mut rng = Rng::seed_from(7);
+        let key = SealKey::derive("pw", "nym:bench", &mut rng);
+        let mut scratch = SealScratch::new();
+        let mut out = Vec::new();
+        b.iter(|| {
+            let delta = DeltaArchive::diff(black_box(&raw_prev), black_box(&raw_next));
+            seal_delta_keyed_into(&delta, &key, "l#e1.1", &mut rng, &mut scratch, &mut out);
+            black_box(out.len())
+        });
+    });
+
+    group.bench_function("chunked_delta_save_4k_of_64k", |b| {
+        let mut rng = Rng::seed_from(7);
+        let key = SealKey::derive("pw", "nym:bench", &mut rng);
+        let mut scratch = SealScratch::new();
+        let mut out = Vec::new();
+        // Warm chain: the base's chunks are already uploaded.
+        let m1 = ChunkManifest::build(&disk);
+        let mut index = ChunkIndex::new();
+        let mut backend = LocalStore::new();
+        upload_new_chunks(
+            &disk,
+            &m1,
+            &mut index,
+            &key,
+            "l#e1",
+            &mut rng,
+            &mut scratch,
+            &mut backend,
+        )
+        .expect("local put");
+        let mut prev_m = raw_prev.clone();
+        prev_m.put("anonvm.disk", m1.to_bytes());
+        b.iter(|| {
+            // The incremental-save critical path: re-chunk the dirty
+            // record, upload only new chunks, diff + seal the
+            // manifest-bearing delta.
+            let m2 = ChunkManifest::build(black_box(&disk2));
+            let mut idx = index.clone();
+            let uploaded = upload_new_chunks(
+                &disk2,
+                &m2,
+                &mut idx,
+                &key,
+                "l#e1",
+                &mut rng,
+                &mut scratch,
+                &mut backend,
+            )
+            .expect("local put");
+            let mut next_m = prev_m.clone();
+            next_m.put("anonvm.disk", m2.to_bytes());
+            let delta = DeltaArchive::diff(&prev_m, &next_m);
+            seal_delta_keyed_into(&delta, &key, "l#e1.1", &mut rng, &mut scratch, &mut out);
+            black_box(uploaded + out.len())
+        });
+    });
+
     group.bench_function("delta_restore_replay_64k", |b| {
         let mut rng = Rng::seed_from(7);
         let key = SealKey::derive("pw", "nym:bench", &mut rng);

@@ -21,9 +21,12 @@ use nymix_net::firewall::{Action, Direction, Firewall, Rule};
 use nymix_net::flow::calib as netcal;
 use nymix_net::{Fabric, FlowNet, Ip, LinkId, Mac, NodeId, NodeKind};
 use nymix_sim::{Rng, SimDuration, SimTime};
+use nymix_store::cas::{self, ChunkIndex, ChunkManifest};
+use nymix_store::cloud::CloudSession;
 use nymix_store::{
-    blob_salt, seal_delta_keyed_into, seal_keyed_into, unseal_keyed_raw_into, CloudError,
-    CloudProvider, DeltaArchive, LocalStore, NymArchive, SealKey, SealScratch, DELTA_CHAIN_LIMIT,
+    blob_salt, seal_delta_keyed_into, seal_keyed_into, unseal_keyed_raw_into, CloudProvider,
+    DeltaArchive, LocalStore, NymArchive, ObjectBackend, SealKey, SealScratch,
+    CHUNK_RECORD_THRESHOLD, DELTA_CHAIN_LIMIT,
 };
 use nymix_vmm::{Hypervisor, HypervisorError, VmConfig};
 use nymix_workload::browser::BrowserState;
@@ -117,8 +120,16 @@ struct ChainState {
     key: SealKey,
     epoch: u64,
     delta_count: usize,
-    /// The full logical archive as of the latest save on this chain.
+    /// The archive as of the latest save on this chain, in **stored
+    /// form**: records at or above [`CHUNK_RECORD_THRESHOLD`] hold
+    /// their `"NYMC"` chunk manifest, the payload living in per-chunk
+    /// objects beside the chain. Diffing stored forms is what makes a
+    /// sub-record write ship a new manifest plus O(1) chunks.
     archive: NymArchive,
+    /// Refcounts of the chunk objects this epoch's live manifests
+    /// reference; retired versions are swept by refcount, retired
+    /// epochs by mark-and-sweep.
+    chunks: ChunkIndex,
     /// The live nym the generation baselines below belong to.
     source: NymId,
     anon_gen: u64,
@@ -128,6 +139,59 @@ struct ChainState {
 /// Storage object name of delta `index` in chain epoch `epoch`.
 fn delta_label(label: &str, epoch: u64, index: usize) -> String {
     format!("{label}#e{epoch}.{index}")
+}
+
+/// Chunk-object namespace of chain epoch `epoch` (chunks live at
+/// `"{prefix}/c/{chunk_id}"`, sealed under the epoch's key with that
+/// full name as AEAD data — see [`nymix_store::cas`]).
+fn chunk_prefix(label: &str, epoch: u64) -> String {
+    format!("{label}#e{epoch}")
+}
+
+/// A record's logical (pre-chunking) payload length: manifests report
+/// the length of the content they describe, raw records their own.
+fn record_logical_len(data: &[u8]) -> usize {
+    ChunkManifest::from_bytes(data).map_or(data.len(), |m| m.total_len())
+}
+
+/// The storage destination presented as a flat [`ObjectBackend`]: a
+/// credentialed cloud session observing the anonymizer's exit address,
+/// or the local partition. Everything the save/restore pipeline ships —
+/// base archives, deltas, chunk objects — moves through this one
+/// interface.
+enum DestBackend<'a> {
+    Cloud(CloudSession<'a>),
+    Local(&'a mut LocalStore),
+}
+
+impl ObjectBackend for DestBackend<'_> {
+    fn put(&mut self, name: &str, data: Vec<u8>) -> Result<(), nymix_store::BackendError> {
+        match self {
+            DestBackend::Cloud(s) => s.put(name, data),
+            DestBackend::Local(s) => ObjectBackend::put(*s, name, data),
+        }
+    }
+
+    fn get(&mut self, name: &str) -> Result<Option<&[u8]>, nymix_store::BackendError> {
+        match self {
+            DestBackend::Cloud(s) => s.get(name),
+            DestBackend::Local(s) => ObjectBackend::get(*s, name),
+        }
+    }
+
+    fn delete(&mut self, name: &str) -> Result<bool, nymix_store::BackendError> {
+        match self {
+            DestBackend::Cloud(s) => s.delete(name),
+            DestBackend::Local(s) => ObjectBackend::delete(*s, name),
+        }
+    }
+
+    fn list(&mut self, out: &mut Vec<String>) -> Result<(), nymix_store::BackendError> {
+        match self {
+            DestBackend::Cloud(s) => s.list(out),
+            DestBackend::Local(s) => ObjectBackend::list(*s, out),
+        }
+    }
 }
 
 /// The Nym Manager and its machine model.
@@ -159,6 +223,11 @@ pub struct NymManager {
     /// state). Holding the last full archive in memory is what lets a
     /// save skip serializing clean layers and seal only the delta.
     chains: BTreeMap<String, ChainState>,
+    /// Whether incremental saves split large records into
+    /// content-addressed chunks (see [`nymix_store::cas`]). On by
+    /// default; disabling it keeps record-granular NYMD deltas, which
+    /// is what the dedup-savings comparisons measure against.
+    chunking: bool,
     // Fabric landmarks.
     hyp_node: NodeId,
     internet_node: NodeId,
@@ -259,12 +328,26 @@ impl NymManager {
             seal_scratch: SealScratch::new(),
             unseal_work: Vec::new(),
             chains: BTreeMap::new(),
+            chunking: true,
             hyp_node,
             internet_node,
             intranet_node,
             public_ip,
             lan_gateway_ip,
         }
+    }
+
+    /// Enables or disables content-addressed chunking of large records
+    /// on the incremental save path (on by default). Restores always
+    /// resolve chunked records regardless, so toggling never strands
+    /// stored state.
+    pub fn set_chunking(&mut self, enabled: bool) {
+        self.chunking = enabled;
+    }
+
+    /// Whether incremental saves chunk large records.
+    pub fn chunking(&self) -> bool {
+        self.chunking
     }
 
     /// Registers a cloud provider (e.g. "dropbox") with one account.
@@ -676,17 +759,32 @@ impl NymManager {
 
         // The layers' generation counters say which disk records are
         // dirty since the chain's last snapshot — clean layers are
-        // neither cloned nor re-serialized. A chain recorded from a
-        // different (destroyed) nym can't donate generations or absorb
-        // deltas, but its epoch must still advance: re-using an epoch
-        // number would collide with that chain's stale delta objects.
+        // neither cloned nor re-serialized when a delta is possible. A
+        // chain recorded from a different (destroyed) nym can't donate
+        // generations or absorb deltas, but its epoch must still
+        // advance: re-using an epoch number would collide with that
+        // chain's stale delta and chunk objects.
         let last_epoch = self.chains.get(&label).map(|c| c.epoch);
         let chain = self.chains.get(&label).filter(|c| c.source == id);
-        let anon_clean = chain.is_some_and(|c| c.anon_gen == anon_gen);
-        let comm_clean = chain.is_some_and(|c| c.comm_gen == comm_gen);
         let chain_info = chain.map(|c| (c.epoch, c.delta_count, c.key.clone()));
+        let want_delta = allow_delta
+            && chain_info
+                .as_ref()
+                .is_some_and(|(_, count, _)| *count < DELTA_CHAIN_LIMIT);
+        let anon_clean = want_delta && chain.is_some_and(|c| c.anon_gen == anon_gen);
+        let comm_clean = want_delta && chain.is_some_and(|c| c.comm_gen == comm_gen);
+        let mut chunk_index = chain.map(|c| c.chunks.clone()).unwrap_or_default();
 
-        let mut next = chain.map(|c| c.archive.clone()).unwrap_or_default();
+        // Start from the chain's stored-form archive when a delta is
+        // possible — clean records (chunk manifests included) carry
+        // over untouched. A full save rebuilds from scratch so the new
+        // epoch never references the old one's chunk objects.
+        let mut next = if want_delta {
+            chain.map(|c| c.archive.clone()).unwrap_or_default()
+        } else {
+            NymArchive::new()
+        };
+        let mut dirty_names: Vec<&str> = Vec::new();
         if !anon_clean {
             let upper = self
                 .hv
@@ -695,6 +793,7 @@ impl NymManager {
                 .upper()
                 .ok_or_else(|| NymManagerError::Storage("anon upper missing".into()))?;
             next.put_layer("anonvm.disk", upper);
+            dirty_names.push("anonvm.disk");
         }
         if !comm_clean {
             let upper = self
@@ -704,12 +803,14 @@ impl NymManager {
                 .upper()
                 .ok_or_else(|| NymManagerError::Storage("comm upper missing".into()))?;
             next.put_layer("commvm.disk", upper);
+            dirty_names.push("commvm.disk");
         }
         self.hv.vm_mut(anon_vm)?.resume();
         self.hv.vm_mut(comm_vm)?.resume();
 
         let entry = self.nyms.get(&id).expect("checked above");
         next.put("anonymizer.state", entry.anonymizer.save_state());
+        dirty_names.push("anonymizer.state");
         next.put(
             "meta",
             format!(
@@ -720,26 +821,101 @@ impl NymManager {
             )
             .into_bytes(),
         );
+        dirty_names.push("meta");
         if let Some(browser) = &entry.browser {
             next.put("browser.state", browser.to_bytes());
+            dirty_names.push("browser.state");
+        }
+        let cost = entry.anonymizer.transfer_cost();
+        let exit_ip = entry.anonymizer.exit_address(self.public_ip);
+
+        // Figure 6 accounting reports logical (pre-chunking) sizes.
+        let anon_bytes = next.get("anonvm.disk").map_or(0, record_logical_len);
+        let comm_bytes = next.get("commvm.disk").map_or(0, record_logical_len);
+        let other_bytes = next
+            .records()
+            .map(|(_, d)| record_logical_len(d))
+            .sum::<usize>()
+            - anon_bytes
+            - comm_bytes;
+        self.last_save_breakdown = Some((anon_bytes, comm_bytes, other_bytes));
+
+        // Freshly serialized records at or above the chunk threshold
+        // become "NYMC" manifests; their payload ships as individually
+        // sealed chunk objects, deduplicated against the epoch's index
+        // — the sub-record delta granularity record-level NYMD lacks.
+        let mut chunked: Vec<(String, Vec<u8>, ChunkManifest)> = Vec::new();
+        if allow_delta && self.chunking {
+            chunk_convert(&mut next, &dirty_names, &mut chunked);
         }
 
-        // Delta when a chain can absorb one and the dirty set is
+        // Delta when the chain can absorb one and the dirty set is
         // actually smaller than re-sealing everything; otherwise seal
         // the full archive, starting a fresh epoch (which is also how
         // chains compact after DELTA_CHAIN_LIMIT deltas).
-        let delta = match (chain, &chain_info) {
-            (Some(c), Some((_, delta_count, _)))
-                if allow_delta && *delta_count < DELTA_CHAIN_LIMIT =>
-            {
-                Some(DeltaArchive::diff(&c.archive, &next))
-                    .filter(|d| d.serialized_len() < next.serialized_len())
+        let mut delta = None;
+        if want_delta {
+            let base = &chain.expect("want_delta implies chain").archive;
+            let d = DeltaArchive::diff(base, &next);
+            if d.serialized_len() < next.serialized_len() {
+                delta = Some(d);
             }
-            _ => None,
-        };
-        let (kind, key, epoch, delta_count, obj_label, mut sealed) = match delta {
+        }
+        if want_delta && delta.is_none() {
+            // Falling back to a full save: clean layers were carried
+            // over in stored form, so re-capture them raw (and re-chunk
+            // under the new epoch) to make the new base self-contained.
+            for (name, vm) in [("anonvm.disk", anon_vm), ("commvm.disk", comm_vm)] {
+                if next.get(name).is_some() && dirty_names.contains(&name) {
+                    continue;
+                }
+                self.hv.vm_mut(vm)?.pause();
+                let upper = self
+                    .hv
+                    .vm(vm)?
+                    .disk()
+                    .upper()
+                    .ok_or_else(|| NymManagerError::Storage("upper missing".into()))?;
+                next.put_layer(name, upper);
+                self.hv.vm_mut(vm)?.resume();
+                if self.chunking {
+                    chunk_convert(&mut next, &[name], &mut chunked);
+                }
+            }
+        }
+
+        // Every live manifest in the outgoing archive, for version-
+        // retirement GC after the save lands.
+        let live_manifests: Vec<ChunkManifest> = next
+            .records()
+            .filter_map(|(_, d)| ChunkManifest::from_bytes(d).ok())
+            .collect();
+
+        // Upload through the CommVM's anonymizer. Ordering matters for
+        // a restore racing the save: chunk objects land before the
+        // manifest-bearing blob that references them, and garbage is
+        // swept only after the new blob is in place.
+        let storage_err = |e: nymix_store::BackendError| NymManagerError::Storage(e.to_string());
+        let cas_err = |e: cas::CasError| NymManagerError::Storage(e.to_string());
+        let mut backend = dest_backend(&mut self.cloud, &mut self.local, dest, Some(exit_ip))?;
+        let mut uploaded = 0usize;
+        let (kind, key, epoch, delta_count) = match delta {
             Some(delta) => {
                 let (epoch, prev_count, key) = chain_info.expect("delta implies chain");
+                let prefix = chunk_prefix(&label, epoch);
+                for (_, raw, manifest) in &chunked {
+                    uploaded += cas::upload_new_chunks(
+                        raw,
+                        manifest,
+                        &mut chunk_index,
+                        &key,
+                        &prefix,
+                        &mut self.rng,
+                        &mut self.seal_scratch,
+                        &mut backend,
+                    )
+                    .map_err(cas_err)?;
+                }
                 let index = prev_count + 1;
                 let obj_label = delta_label(&label, epoch, index);
                 let mut sealed = Vec::new();
@@ -751,12 +927,34 @@ impl NymManager {
                     &mut self.seal_scratch,
                     &mut sealed,
                 );
-                (SaveKind::Delta, key, epoch, index, obj_label, sealed)
+                uploaded += sealed.len();
+                backend.put(&obj_label, sealed).map_err(storage_err)?;
+                // The previous version retired: sweep chunks no live
+                // manifest references.
+                for dead in chunk_index.mark_and_sweep(&live_manifests) {
+                    let _ = backend.delete(&cas::chunk_object_name(&prefix, &dead));
+                }
+                (SaveKind::Delta, key, epoch, index)
             }
             None => {
                 let epoch = last_epoch.map_or(1, |e| e + 1);
                 next.put(EPOCH_RECORD, epoch.to_le_bytes().to_vec());
                 let key = SealKey::derive(password, &label, &mut self.rng);
+                let prefix = chunk_prefix(&label, epoch);
+                chunk_index = ChunkIndex::new();
+                for (_, raw, manifest) in &chunked {
+                    uploaded += cas::upload_new_chunks(
+                        raw,
+                        manifest,
+                        &mut chunk_index,
+                        &key,
+                        &prefix,
+                        &mut self.rng,
+                        &mut self.seal_scratch,
+                        &mut backend,
+                    )
+                    .map_err(cas_err)?;
+                }
                 let mut sealed = Vec::new();
                 seal_keyed_into(
                     &next,
@@ -766,44 +964,39 @@ impl NymManager {
                     &mut self.seal_scratch,
                     &mut sealed,
                 );
-                (SaveKind::Full, key, epoch, 0, label.clone(), sealed)
+                uploaded += sealed.len();
+                backend.put(&label, sealed).map_err(storage_err)?;
+                // The old epoch retired with this compaction: its delta
+                // objects and chunk objects are unreachable (the new
+                // base names a new epoch and key) — sweep them.
+                if let Some(old) = last_epoch {
+                    let old_prefix = chunk_prefix(&label, old);
+                    for i in 1..=DELTA_CHAIN_LIMIT {
+                        let _ = backend.delete(&delta_label(&label, old, i));
+                    }
+                    // self.chains is disjoint from the fields `backend`
+                    // borrows, so the retired index is read only on
+                    // this (rare) compaction path — delta saves never
+                    // materialize it.
+                    let old_chunk_ids: Vec<cas::ChunkId> = self
+                        .chains
+                        .get(&label)
+                        .map(|c| c.chunks.ids().copied().collect())
+                        .unwrap_or_default();
+                    for dead in &old_chunk_ids {
+                        let _ = backend.delete(&cas::chunk_object_name(&old_prefix, dead));
+                    }
+                }
+                (SaveKind::Full, key, epoch, 0)
             }
         };
-        let anon_bytes = next.get("anonvm.disk").map_or(0, <[u8]>::len);
-        let comm_bytes = next.get("commvm.disk").map_or(0, <[u8]>::len);
-        let other_bytes = next.payload_bytes() - anon_bytes - comm_bytes;
-        self.last_save_breakdown = Some((anon_bytes, comm_bytes, other_bytes));
-        let sealed_len = sealed.len();
+        drop(backend);
 
-        // Upload through the CommVM's anonymizer.
-        let cost = entry.anonymizer.transfer_cost();
-        let exit_ip = entry.anonymizer.exit_address(self.public_ip);
         let duration = match dest {
-            StorageDest::Cloud {
-                provider,
-                account,
-                credential,
-            } => {
-                let upload_secs = self
-                    .transfer_secs(cost.wire_bytes(sealed_len as f64 * self.browser_scale as f64));
-                let p = self
-                    .cloud
-                    .get_mut(provider)
-                    .ok_or_else(|| NymManagerError::NoSuchProvider(provider.clone()))?;
-                p.put(
-                    account,
-                    credential,
-                    &obj_label,
-                    std::mem::take(&mut sealed),
-                    exit_ip,
-                )
-                .map_err(|e| NymManagerError::Storage(e.to_string()))?;
-                SimDuration::from_secs_f64(upload_secs)
-            }
-            StorageDest::Local => {
-                self.local.put(&obj_label, std::mem::take(&mut sealed));
-                SimDuration::from_millis(300) // USB write.
-            }
+            StorageDest::Cloud { .. } => SimDuration::from_secs_f64(Self::transfer_secs(
+                cost.wire_bytes(uploaded as f64 * self.browser_scale as f64),
+            )),
+            StorageDest::Local => SimDuration::from_millis(300), // USB write.
         };
         self.chains.insert(
             label,
@@ -812,13 +1005,14 @@ impl NymManager {
                 epoch,
                 delta_count,
                 archive: next,
+                chunks: chunk_index,
                 source: id,
                 anon_gen,
                 comm_gen,
             },
         );
         self.clock += duration;
-        Ok((kind, sealed_len, duration))
+        Ok((kind, uploaded, duration))
     }
 
     /// Loads a stored nym (§3.5 "load an existing nym").
@@ -851,66 +1045,115 @@ impl NymManager {
             }
             StorageDest::Local => (None, None, SimDuration::ZERO),
         };
-        let base_blob = self
-            .fetch_stored(dest, fetch_exit, &label)?
-            .ok_or(NymManagerError::NothingStored)?;
-        let mut fetched_bytes = base_blob.len();
-
-        // One KDF opens the whole chain: re-derive the chain key from
-        // the base blob's salt, then open base + deltas keyed.
-        let salt = *blob_salt(&base_blob)
-            .ok_or_else(|| NymManagerError::Storage("malformed sealed nym".into()))?;
-        let chain_key = SealKey::from_salt(password, &label, &salt);
-        let mut archive = {
-            let bytes = unseal_keyed_raw_into(
-                &base_blob,
-                &chain_key,
-                &label,
-                &mut self.unseal_work,
-                &mut self.seal_scratch,
-            )
-            .map_err(|e| NymManagerError::Storage(e.to_string()))?;
-            NymArchive::from_bytes(bytes).map_err(|e| NymManagerError::Storage(e.to_string()))?
-        };
-
-        // Replay the delta chain: each blob is bound to its slot label
-        // (no splicing), each replay is Merkle-verified against the
-        // delta's full-record-set commitment — any mismatch aborts the
-        // restore instead of resurrecting silently-wrong state.
-        let epoch = archive
-            .get(EPOCH_RECORD)
-            .and_then(|b| <[u8; 8]>::try_from(b).ok())
-            .map(u64::from_le_bytes);
+        let storage_err = |e: nymix_store::BackendError| NymManagerError::Storage(e.to_string());
+        let mut fetched_bytes;
+        let chain_key;
+        let mut archive;
+        let stored_form;
+        let epoch;
         let mut delta_count = 0;
-        if let Some(epoch) = epoch {
-            for index in 1..=DELTA_CHAIN_LIMIT {
-                let dlabel = delta_label(&label, epoch, index);
-                let Some(dblob) = self.fetch_stored(dest, fetch_exit, &dlabel)? else {
-                    break;
-                };
-                fetched_bytes += dblob.len();
-                let delta = {
-                    let bytes = unseal_keyed_raw_into(
-                        &dblob,
+        let mut chunk_index = ChunkIndex::new();
+        {
+            let mut backend = dest_backend(&mut self.cloud, &mut self.local, dest, fetch_exit)?;
+            let base_blob = backend
+                .get(&label)
+                .map_err(storage_err)?
+                .map(<[u8]>::to_vec)
+                .ok_or(NymManagerError::NothingStored)?;
+            fetched_bytes = base_blob.len();
+
+            // One KDF opens the whole chain: re-derive the chain key
+            // from the base blob's salt, then open base + deltas keyed.
+            let salt = *blob_salt(&base_blob)
+                .ok_or_else(|| NymManagerError::Storage("malformed sealed nym".into()))?;
+            chain_key = SealKey::from_salt(password, &label, &salt);
+            archive = {
+                let bytes = unseal_keyed_raw_into(
+                    &base_blob,
+                    &chain_key,
+                    &label,
+                    &mut self.unseal_work,
+                    &mut self.seal_scratch,
+                )
+                .map_err(|e| NymManagerError::Storage(e.to_string()))?;
+                NymArchive::from_bytes(bytes)
+                    .map_err(|e| NymManagerError::Storage(e.to_string()))?
+            };
+
+            // Replay the delta chain: each blob is bound to its slot
+            // label (no splicing), each replay is Merkle-verified
+            // against the delta's full-record-set commitment — any
+            // mismatch aborts the restore instead of resurrecting
+            // silently-wrong state.
+            epoch = archive
+                .get(EPOCH_RECORD)
+                .and_then(|b| <[u8; 8]>::try_from(b).ok())
+                .map(u64::from_le_bytes);
+            if let Some(epoch) = epoch {
+                for index in 1..=DELTA_CHAIN_LIMIT {
+                    let dlabel = delta_label(&label, epoch, index);
+                    let delta = {
+                        let Some(dblob) = backend.get(&dlabel).map_err(storage_err)? else {
+                            break;
+                        };
+                        fetched_bytes += dblob.len();
+                        let bytes = unseal_keyed_raw_into(
+                            dblob,
+                            &chain_key,
+                            &dlabel,
+                            &mut self.unseal_work,
+                            &mut self.seal_scratch,
+                        )
+                        .map_err(|e| NymManagerError::Storage(e.to_string()))?;
+                        DeltaArchive::from_bytes(bytes)
+                            .map_err(|e| NymManagerError::Storage(e.to_string()))?
+                    };
+                    delta
+                        .apply(&mut archive)
+                        .map_err(|e| NymManagerError::Storage(e.to_string()))?;
+                    delta_count = index;
+                }
+            }
+
+            // The replayed archive — verified against the chain's
+            // Merkle commitment — is the *stored* form: large records
+            // hold chunk manifests. Keep it for chain continuation,
+            // then resolve every manifest: fetch its chunks, verify
+            // each against its name-bound seal and content hash, and
+            // reassemble the record. A missing (GC'd away), tampered,
+            // or transplanted chunk fails the restore closed.
+            stored_form = archive.clone();
+            if let Some(epoch) = epoch {
+                let prefix = chunk_prefix(&label, epoch);
+                let manifests: Vec<(String, ChunkManifest)> = archive
+                    .records()
+                    .filter_map(|(n, d)| {
+                        ChunkManifest::from_bytes(d)
+                            .ok()
+                            .map(|m| (n.to_string(), m))
+                    })
+                    .collect();
+                for (record_name, manifest) in manifests {
+                    chunk_index.retain_manifest(&manifest);
+                    let mut resolved = Vec::with_capacity(manifest.total_len());
+                    fetched_bytes += cas::fetch_record_into(
+                        &manifest,
                         &chain_key,
-                        &dlabel,
+                        &prefix,
+                        &mut backend,
                         &mut self.unseal_work,
                         &mut self.seal_scratch,
+                        &mut resolved,
                     )
                     .map_err(|e| NymManagerError::Storage(e.to_string()))?;
-                    DeltaArchive::from_bytes(bytes)
-                        .map_err(|e| NymManagerError::Storage(e.to_string()))?
-                };
-                delta
-                    .apply(&mut archive)
-                    .map_err(|e| NymManagerError::Storage(e.to_string()))?;
-                delta_count = index;
+                    archive.put(&record_name, resolved);
+                }
             }
         }
 
         let ephemeral_fetch = match fetch_cost {
             Some(cost) => {
-                let dl_secs = self.transfer_secs(
+                let dl_secs = Self::transfer_secs(
                     cost.wire_bytes(fetched_bytes as f64 * self.browser_scale as f64),
                 );
                 fetch_boot + SimDuration::from_secs_f64(dl_secs) + tcal::RESTORE_UNPACK
@@ -978,7 +1221,8 @@ impl NymManager {
                     key: chain_key,
                     epoch,
                     delta_count,
-                    archive,
+                    archive: stored_form,
+                    chunks: chunk_index,
                     source: id,
                     anon_gen,
                     comm_gen,
@@ -987,41 +1231,6 @@ impl NymManager {
         }
         breakdown.ephemeral_fetch = ephemeral_fetch;
         Ok((id, breakdown))
-    }
-
-    /// Fetches one stored object from `dest`, distinguishing "not
-    /// there" (`Ok(None)`, the clean end of a delta chain) from real
-    /// failures. `exit` must be the fetching anonymizer's exit address
-    /// for cloud destinations.
-    fn fetch_stored(
-        &mut self,
-        dest: &StorageDest,
-        exit: Option<Ip>,
-        object: &str,
-    ) -> Result<Option<Vec<u8>>, NymManagerError> {
-        match dest {
-            StorageDest::Cloud {
-                provider,
-                account,
-                credential,
-            } => {
-                let p = self
-                    .cloud
-                    .get_mut(provider)
-                    .ok_or_else(|| NymManagerError::NoSuchProvider(provider.clone()))?;
-                match p.get(
-                    account,
-                    credential,
-                    object,
-                    exit.expect("cloud fetch has an exit"),
-                ) {
-                    Ok(blob) => Ok(Some(blob)),
-                    Err(CloudError::NoSuchObject) => Ok(None),
-                    Err(e) => Err(NymManagerError::Storage(e.to_string())),
-                }
-            }
-            StorageDest::Local => Ok(self.local.get(object).map(<[u8]>::to_vec)),
-        }
     }
 
     /// Destroys a nym: both VMs are securely wiped; "turning off a
@@ -1047,7 +1256,7 @@ impl NymManager {
 
     /// Seconds to move `wire_bytes` across the access link right now
     /// (serial ops: assumes the link is otherwise idle).
-    fn transfer_secs(&self, wire_bytes: f64) -> f64 {
+    fn transfer_secs(wire_bytes: f64) -> f64 {
         wire_bytes / netcal::ACCESS_LINK_BPS + netcal::ACCESS_ONE_WAY.as_secs_f64()
     }
 
@@ -1138,6 +1347,63 @@ fn deterministic_blob(tag: u64, len: usize) -> Vec<u8> {
     }
     out.truncate(len);
     out
+}
+
+/// Converts every named record at or above [`CHUNK_RECORD_THRESHOLD`]
+/// into its `"NYMC"` manifest, collecting `(name, raw bytes, manifest)`
+/// for the chunk upload that must accompany the save.
+fn chunk_convert(
+    next: &mut NymArchive,
+    names: &[&str],
+    chunked: &mut Vec<(String, Vec<u8>, ChunkManifest)>,
+) {
+    for name in names {
+        if next
+            .get(name)
+            .is_none_or(|d| d.len() < CHUNK_RECORD_THRESHOLD)
+        {
+            continue;
+        }
+        // Swap the record bytes out rather than copying them (the raw
+        // payload is needed once more, for the chunk upload); the
+        // in-place replace keeps record order, which the Merkle
+        // commitment and delta replay depend on.
+        let raw = next
+            .replace(name, Vec::new())
+            .expect("record present above");
+        let manifest = ChunkManifest::build(&raw);
+        next.replace(name, manifest.to_bytes());
+        chunked.push((name.to_string(), raw, manifest));
+    }
+}
+
+/// Opens the storage destination as an [`ObjectBackend`]: a
+/// credentialed cloud session (which needs the fetching/saving
+/// anonymizer's `exit` address — that is all the provider ever
+/// observes) or the local partition.
+fn dest_backend<'a>(
+    cloud: &'a mut BTreeMap<String, CloudProvider>,
+    local: &'a mut LocalStore,
+    dest: &StorageDest,
+    exit: Option<Ip>,
+) -> Result<DestBackend<'a>, NymManagerError> {
+    match dest {
+        StorageDest::Cloud {
+            provider,
+            account,
+            credential,
+        } => {
+            let p = cloud
+                .get_mut(provider)
+                .ok_or_else(|| NymManagerError::NoSuchProvider(provider.clone()))?;
+            Ok(DestBackend::Cloud(p.session(
+                account,
+                credential,
+                exit.expect("cloud access rides an anonymizer with an exit"),
+            )))
+        }
+        StorageDest::Local => Ok(DestBackend::Local(local)),
+    }
 }
 
 fn storage_label(name: &str, dest: &StorageDest) -> String {
@@ -1609,6 +1875,240 @@ mod tests {
             .unwrap();
         // The restored state is the fresh nym's, not the stained one.
         assert!(!m.has_stain(id3, "old-life").unwrap());
+    }
+
+    /// Chunk-object names the local store currently holds.
+    fn chunk_objects(m: &NymManager) -> Vec<String> {
+        m.local_store()
+            .list()
+            .into_iter()
+            .filter(|n| n.contains("/c/"))
+            .map(str::to_string)
+            .collect()
+    }
+
+    /// A manager at low browser scale so disk records cross the chunk
+    /// threshold, with one browser session saved incrementally.
+    fn chunked_setup(seed: u64) -> (NymManager, NymId, usize) {
+        let mut m = NymManager::new(seed, 8);
+        let (id, _) = m
+            .create_nym("ck", AnonymizerKind::Tor, UsageModel::Persistent)
+            .unwrap();
+        m.visit_site(id, Site::Twitter).unwrap();
+        let (kind, full_uploaded, _) = m
+            .save_nym_incremental(id, "pw", &StorageDest::Local)
+            .unwrap();
+        assert_eq!(kind, SaveKind::Full);
+        (m, id, full_uploaded)
+    }
+
+    #[test]
+    fn chunked_save_dedups_and_roundtrips() {
+        let (mut m, id, full_uploaded) = chunked_setup(77);
+        // The base shipped manifests + chunk objects.
+        let after_full = chunk_objects(&m);
+        assert!(!after_full.is_empty(), "large records should chunk");
+
+        // A stain dirties the big AnonVM disk record; the delta ships
+        // the new manifest plus only the chunks the write touched —
+        // far fewer bytes than the base (which re-ships everything).
+        m.inject_stain(id, "cas-mark").unwrap();
+        let (kind, delta_uploaded, _) = m
+            .save_nym_incremental(id, "pw", &StorageDest::Local)
+            .unwrap();
+        assert_eq!(kind, SaveKind::Delta);
+        assert!(
+            delta_uploaded * 4 < full_uploaded,
+            "chunked delta {delta_uploaded} vs full {full_uploaded}"
+        );
+
+        // Restore replays the chain and resolves every manifest.
+        m.destroy_nym(id).unwrap();
+        let (id2, _) = m
+            .restore_nym(
+                "ck",
+                AnonymizerKind::Tor,
+                UsageModel::Persistent,
+                "pw",
+                &StorageDest::Local,
+            )
+            .unwrap();
+        assert!(m.has_stain(id2, "cas-mark").unwrap());
+        let vm = m.hypervisor().vm(m.nymbox(id2).unwrap().anon_vm).unwrap();
+        assert!(vm.disk().exists(&nymix_fs::Path::new(
+            "/home/user/.config/chromium/logins/twitter.com"
+        )));
+        // The restored chain keeps absorbing chunked deltas.
+        m.inject_stain(id2, "cas-mark-2").unwrap();
+        let (kind, _, _) = m
+            .save_nym_incremental(id2, "pw", &StorageDest::Local)
+            .unwrap();
+        assert_eq!(kind, SaveKind::Delta);
+    }
+
+    #[test]
+    fn tampered_chunk_fails_restore_closed() {
+        let (mut m, id, _) = chunked_setup(78);
+        m.destroy_nym(id).unwrap();
+        let victim = chunk_objects(&m)[0].clone();
+        let mut blob = m.local.get(&victim).unwrap().to_vec();
+        let mid = blob.len() / 2;
+        blob[mid] ^= 1;
+        m.local.put(&victim, blob);
+        assert!(matches!(
+            m.restore_nym(
+                "ck",
+                AnonymizerKind::Tor,
+                UsageModel::Persistent,
+                "pw",
+                &StorageDest::Local
+            ),
+            Err(NymManagerError::Storage(_))
+        ));
+    }
+
+    #[test]
+    fn swapped_chunks_fail_restore_closed() {
+        let (mut m, id, _) = chunked_setup(79);
+        m.destroy_nym(id).unwrap();
+        // Each chunk is sealed with its own object name as AEAD data:
+        // a backend serving chunk A's bytes under chunk B's name fails
+        // authentication even though both blobs are individually valid.
+        let names = chunk_objects(&m);
+        assert!(names.len() >= 2, "need two chunks to swap");
+        let a = m.local.get(&names[0]).unwrap().to_vec();
+        let b = m.local.get(&names[1]).unwrap().to_vec();
+        m.local.put(&names[0], b);
+        m.local.put(&names[1], a);
+        assert!(matches!(
+            m.restore_nym(
+                "ck",
+                AnonymizerKind::Tor,
+                UsageModel::Persistent,
+                "pw",
+                &StorageDest::Local
+            ),
+            Err(NymManagerError::Storage(_))
+        ));
+    }
+
+    #[test]
+    fn gcd_away_chunk_fails_restore_closed() {
+        let (mut m, id, _) = chunked_setup(80);
+        m.destroy_nym(id).unwrap();
+        let victim = chunk_objects(&m)[0].clone();
+        assert!(m.local.delete(&victim));
+        assert!(matches!(
+            m.restore_nym(
+                "ck",
+                AnonymizerKind::Tor,
+                UsageModel::Persistent,
+                "pw",
+                &StorageDest::Local
+            ),
+            Err(NymManagerError::Storage(_))
+        ));
+    }
+
+    #[test]
+    fn compaction_sweeps_retired_epoch_chunks() {
+        let (mut m, id, _) = chunked_setup(81);
+        let epoch1: Vec<String> = chunk_objects(&m);
+        assert!(epoch1.iter().all(|n| n.contains("#e1/")), "{epoch1:?}");
+        // Run the chain past the delta limit so a save compacts into a
+        // new epoch; epoch 1's chunk and delta objects must be swept.
+        for i in 0..=DELTA_CHAIN_LIMIT {
+            m.inject_stain(id, &format!("gc-{i}")).unwrap();
+            m.save_nym_incremental(id, "pw", &StorageDest::Local)
+                .unwrap();
+        }
+        let now = chunk_objects(&m);
+        assert!(
+            now.iter().all(|n| n.contains("#e2/")),
+            "old-epoch chunks not swept: {now:?}"
+        );
+        assert!(m.local_store().get("nym:ck@local#e1.1").is_none());
+        // The compacted chain restores with every mark intact.
+        m.destroy_nym(id).unwrap();
+        let (id2, _) = m
+            .restore_nym(
+                "ck",
+                AnonymizerKind::Tor,
+                UsageModel::Persistent,
+                "pw",
+                &StorageDest::Local,
+            )
+            .unwrap();
+        for i in 0..=DELTA_CHAIN_LIMIT {
+            assert!(m.has_stain(id2, &format!("gc-{i}")).unwrap(), "gc-{i}");
+        }
+    }
+
+    #[test]
+    fn chunking_disabled_keeps_record_granular_deltas() {
+        let mut m = NymManager::new(82, 8);
+        m.set_chunking(false);
+        assert!(!m.chunking());
+        let (id, _) = m
+            .create_nym("nc", AnonymizerKind::Tor, UsageModel::Persistent)
+            .unwrap();
+        m.visit_site(id, Site::Twitter).unwrap();
+        m.save_nym_incremental(id, "pw", &StorageDest::Local)
+            .unwrap();
+        assert!(chunk_objects(&m).is_empty());
+        m.inject_stain(id, "plain").unwrap();
+        let (kind, _, _) = m
+            .save_nym_incremental(id, "pw", &StorageDest::Local)
+            .unwrap();
+        assert_eq!(kind, SaveKind::Delta);
+        m.destroy_nym(id).unwrap();
+        let (id2, _) = m
+            .restore_nym(
+                "nc",
+                AnonymizerKind::Tor,
+                UsageModel::Persistent,
+                "pw",
+                &StorageDest::Local,
+            )
+            .unwrap();
+        assert!(m.has_stain(id2, "plain").unwrap());
+    }
+
+    #[test]
+    fn chunked_cloud_save_hides_user_behind_exit() {
+        // Chunk uploads multiply provider operations; every one of them
+        // must still show only the anonymizer's exit address.
+        let mut m = NymManager::new(83, 8);
+        m.register_cloud("dropbox", "anon-9", "tok");
+        let dest = StorageDest::Cloud {
+            provider: "dropbox".into(),
+            account: "anon-9".into(),
+            credential: "tok".into(),
+        };
+        let (id, _) = m
+            .create_nym("cc", AnonymizerKind::Tor, UsageModel::Persistent)
+            .unwrap();
+        m.visit_site(id, Site::Twitter).unwrap();
+        m.save_nym_incremental(id, "pw", &dest).unwrap();
+        m.inject_stain(id, "cloud-cas").unwrap();
+        m.save_nym_incremental(id, "pw", &dest).unwrap();
+        m.destroy_nym(id).unwrap();
+        let (id2, _) = m
+            .restore_nym(
+                "cc",
+                AnonymizerKind::Tor,
+                UsageModel::Persistent,
+                "pw",
+                &dest,
+            )
+            .unwrap();
+        assert!(m.has_stain(id2, "cloud-cas").unwrap());
+        let user_ip = m.public_ip();
+        let provider = m.cloud_provider("dropbox").unwrap();
+        assert!(provider.access_log().total_recorded() > 4);
+        for entry in provider.access_log() {
+            assert_ne!(entry.observed_ip, user_ip, "provider saw the user");
+        }
     }
 
     #[test]

@@ -244,7 +244,7 @@ impl ChaCha20 {
     /// This is the allocation-free PRG entry point: DC-net pad accumulation
     /// XORs one stream per pairwise seed directly into the slot accumulator,
     /// and onion wrap/peel XOR per-hop streams directly into the cell. Full
-    /// 64-byte blocks are produced by a [`BATCH_BLOCKS`]-block batched
+    /// 64-byte blocks are produced by a `BATCH_BLOCKS`-block batched
     /// kernel and XORed word-by-word; only a trailing partial block goes
     /// through the byte buffer.
     pub fn xor_into(&mut self, dst: &mut [u8]) {

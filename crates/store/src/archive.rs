@@ -32,6 +32,31 @@
 //! [`crate::delta::DELTA_CHAIN_LIMIT`] deltas the next save compacts
 //! back to a full "NYM1" archive (see [`crate::versioned`]).
 //!
+//! Records at or above [`crate::cas::CHUNK_RECORD_THRESHOLD`] may hold
+//! a **chunk manifest** ([`crate::cas::ChunkManifest`]) instead of the
+//! payload itself — the *stored form* the incremental save pipeline
+//! diffs and commits to:
+//!
+//! ```text
+//! chunk manifest: magic "NYMC" | total_len u64 | chunk_count u32 |
+//!                 (chunk_id [32]u8 | chunk_len u32)...
+//! ```
+//!
+//! `chunk_id` is the domain-separated SHA-256 of the chunk's plaintext
+//! (boundaries are content-defined; see [`crate::chunker`]); the chunks
+//! themselves are sealed individually as `"{label}#e{epoch}/c/{id}"`
+//! objects with that name bound as AEAD data. A manifest-bearing
+//! record rides the NYM1/NYMD encodings unchanged — the Merkle
+//! commitment covers the manifest bytes, each fetched chunk is
+//! verified against its ID, and restore resolves manifests back to
+//! payload bytes after replay, failing closed on a missing, tampered,
+//! or transplanted chunk. The parser enforces structural invariants
+//! strictly (non-zero chunk count, each length in
+//! `1..=`[`crate::chunker::MAX_CHUNK`], lengths summing to
+//! `total_len`, no trailing bytes), so raw record bytes can
+//! essentially never masquerade as a manifest — and if they somehow
+//! did, resolution fails closed rather than restoring wrong state.
+//!
 //! ## Parsing hostile bytes
 //!
 //! [`NymArchive::from_bytes`] (and the delta parser) is the trust
@@ -107,6 +132,30 @@ impl NymArchive {
     pub fn remove(&mut self, name: &str) -> Option<Vec<u8>> {
         let idx = self.records.iter().position(|(n, _)| n == name)?;
         Some(self.records.remove(idx).1)
+    }
+
+    /// Replaces a record's data **in place** — record order (which the
+    /// Merkle commitment and delta replay depend on) is preserved, and
+    /// the previous bytes are returned without copying. Appends like
+    /// [`NymArchive::put`] when the record doesn't exist.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `name` exceeds [`MAX_NAME_LEN`] bytes (see
+    /// [`NymArchive::put`]).
+    pub fn replace(&mut self, name: &str, mut data: Vec<u8>) -> Option<Vec<u8>> {
+        assert!(
+            name.len() <= MAX_NAME_LEN,
+            "record name of {} bytes exceeds the u16 wire limit ({MAX_NAME_LEN})",
+            name.len()
+        );
+        if let Some(slot) = self.records.iter_mut().find(|(n, _)| n == name) {
+            core::mem::swap(&mut slot.1, &mut data);
+            Some(data)
+        } else {
+            self.records.push((name.to_string(), data));
+            None
+        }
     }
 
     /// Iterates `(name, data)` records in insertion order.
@@ -547,6 +596,22 @@ mod tests {
         assert_eq!(a.remove("a"), None);
         let records: Vec<_> = a.records().collect();
         assert_eq!(records, vec![("b", &[2u8][..])]);
+    }
+
+    #[test]
+    fn replace_preserves_record_order() {
+        let mut a = NymArchive::new();
+        a.put("a", vec![1]);
+        a.put("b", vec![2]);
+        a.put("c", vec![3]);
+        // Swapping the middle record's data must not move it: the
+        // Merkle commitment and delta replay both walk record order.
+        assert_eq!(a.replace("b", vec![9, 9]), Some(vec![2]));
+        assert_eq!(a.names(), vec!["a", "b", "c"]);
+        assert_eq!(a.get("b"), Some(&[9u8, 9][..]));
+        // Absent records append, like put.
+        assert_eq!(a.replace("d", vec![4]), None);
+        assert_eq!(a.names(), vec!["a", "b", "c", "d"]);
     }
 
     #[test]

@@ -1,0 +1,74 @@
+//! The pluggable object-storage backend.
+//!
+//! Every place Nymix keeps sealed bytes — a local partition / USB drive
+//! ([`crate::LocalStore`]), a pseudonymous cloud account
+//! ([`crate::CloudProvider`] via [`crate::cloud::CloudSession`]) — is a
+//! flat namespace of named blobs. [`ObjectBackend`] is that contract:
+//! `put`/`get`/`delete`/`list` over opaque names. The versioned store
+//! ([`crate::VersionedStore`]) and the content-addressed chunk store
+//! ([`crate::cas`]) are generic over it, so the same snapshot / dedup
+//! machinery runs unchanged against any storage destination — the
+//! multi-backend scaling step the roadmap asks for.
+//!
+//! Methods take `&mut self` even for reads: real backends observe
+//! accesses (the cloud provider's access log is the intersection-attack
+//! evidence trail), and a trait that hid reads from the log would hide
+//! them from the adversary model too.
+
+/// Errors a storage backend can raise. Missing objects are **not**
+/// errors — [`ObjectBackend::get`] returns `Ok(None)` and
+/// [`ObjectBackend::delete`] returns `Ok(false)` — so "the clean end of
+/// a delta chain" stays distinguishable from real failures.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BackendError {
+    /// The backend refused the caller's credentials or account.
+    Denied,
+    /// Backend-specific failure.
+    Other(String),
+}
+
+impl core::fmt::Display for BackendError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            BackendError::Denied => write!(f, "backend denied access"),
+            BackendError::Other(s) => write!(f, "backend failure: {s}"),
+        }
+    }
+}
+
+impl std::error::Error for BackendError {}
+
+/// A flat namespace of named opaque blobs: the storage half of the
+/// §3.5 store-nym pipeline, abstracted so callers can't tell a USB
+/// partition from a pseudonymous cloud account.
+pub trait ObjectBackend {
+    /// Writes (or overwrites) the object at `name`.
+    fn put(&mut self, name: &str, data: Vec<u8>) -> Result<(), BackendError>;
+
+    /// Reads the object at `name`; `Ok(None)` when absent.
+    fn get(&mut self, name: &str) -> Result<Option<&[u8]>, BackendError>;
+
+    /// Deletes the object at `name`, reporting whether it existed.
+    fn delete(&mut self, name: &str) -> Result<bool, BackendError>;
+
+    /// Appends every object name to `out` (order unspecified).
+    fn list(&mut self, out: &mut Vec<String>) -> Result<(), BackendError>;
+}
+
+impl<B: ObjectBackend + ?Sized> ObjectBackend for &mut B {
+    fn put(&mut self, name: &str, data: Vec<u8>) -> Result<(), BackendError> {
+        (**self).put(name, data)
+    }
+
+    fn get(&mut self, name: &str) -> Result<Option<&[u8]>, BackendError> {
+        (**self).get(name)
+    }
+
+    fn delete(&mut self, name: &str) -> Result<bool, BackendError> {
+        (**self).delete(name)
+    }
+
+    fn list(&mut self, out: &mut Vec<String>) -> Result<(), BackendError> {
+        (**self).list(out)
+    }
+}

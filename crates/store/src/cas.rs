@@ -1,0 +1,851 @@
+//! Content-addressed chunk store.
+//!
+//! Record-granular deltas ([`crate::delta`]) stop paying off once one
+//! record dominates the archive: any AnonVM write dirties the whole
+//! `anonvm.disk` record (~85% of a nym's payload), so every browser
+//! session re-ships tens of kilobytes for a 4 KiB write. This module
+//! splits large records into content-defined chunks
+//! ([`crate::chunker`]), names each chunk by its content hash, and
+//! ships only the chunks a save actually changed:
+//!
+//! * A **chunk ID** ([`chunk_id`]) is the domain-separated SHA-256 of
+//!   the chunk's plaintext; runs of equal-length chunks hash four at a
+//!   time on the `sha256_x4` batch kernel.
+//! * A **chunk manifest** ([`ChunkManifest`], magic `"NYMC"`) replaces
+//!   the record's bytes inside the archive: the record's total length
+//!   plus the ordered `(chunk ID, length)` list. Manifests ride the
+//!   ordinary NYMD delta path, so the chain's Merkle commitment covers
+//!   them and replay fails closed on any tampering.
+//! * The **chunk index** ([`ChunkIndex`]) refcounts which chunks the
+//!   live manifests reference; [`upload_new_chunks`] skips every chunk
+//!   already present (dedup across versions and across records), and
+//!   retired versions are garbage-collected by refcount decrement or
+//!   [`ChunkIndex::mark_and_sweep`].
+//! * Chunks are sealed individually under the chain-epoch
+//!   [`SealKey`] with their storage name — which embeds
+//!   the chunk ID and the chain's label — bound as AEAD associated
+//!   data, so a backend cannot transplant a chunk between nyms, epochs,
+//!   or IDs undetected. [`fetch_record_into`] additionally re-hashes
+//!   every fetched chunk against the manifest entry before use.
+//!
+//! Chunk objects live on any [`ObjectBackend`] beside the sealed
+//! archive blobs, named `"{prefix}/c/{hex(chunk_id)}"`.
+//!
+//! Like the archive and delta parsers, [`ChunkManifest::from_bytes`]
+//! treats its input as hostile: bounds-checked reads, pre-allocation
+//! clamped by the bytes present, structural invariants (chunk lengths
+//! in range, lengths summing to the committed total) enforced — it
+//! parses or errors, never panics.
+
+use nymix_crypto::{sha256_x4, Sha256};
+use nymix_sim::Rng;
+
+use crate::archive::{clamp_count, ArchiveError, Reader};
+use crate::backend::{BackendError, ObjectBackend};
+use crate::chunker::{self, MAX_CHUNK};
+use crate::sealed::{seal_bytes_keyed_into, unseal_keyed_raw_into, SealKey, SealScratch};
+use crate::SealedError;
+
+/// A 32-byte content address: the domain-separated SHA-256 of a
+/// chunk's plaintext.
+pub type ChunkId = [u8; 32];
+
+/// Records at or above this size are stored as chunk manifests by the
+/// incremental save path; smaller records ride the NYMD delta whole
+/// (a manifest plus per-chunk seal overhead would not pay for itself).
+pub const CHUNK_RECORD_THRESHOLD: usize = 32 * 1024;
+
+/// Domain-separation prefix for chunk IDs, so a chunk hash can never
+/// collide with the Merkle tree's leaf/node hashes or any other SHA-256
+/// use in the system.
+const CHUNK_TAG: &[u8] = b"nymix:cas:chunk\x00";
+
+const MAGIC: &[u8; 4] = b"NYMC";
+
+/// Serialized size of one manifest entry: `id [32] | len u32`.
+const ENTRY_LEN: usize = 32 + 4;
+
+/// Errors from chunk storage and retrieval.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CasError {
+    /// The object backend failed.
+    Backend(BackendError),
+    /// A chunk object the manifest references is gone — garbage
+    /// collected away, withheld by the provider, or never uploaded.
+    MissingChunk,
+    /// A chunk blob failed authentication or decompression (tampered
+    /// ciphertext, or a chunk served under another chunk's name).
+    ChunkSeal(SealedError),
+    /// A chunk decrypted fine but its plaintext doesn't match the
+    /// manifest's ID or length.
+    ChunkMismatch,
+}
+
+impl core::fmt::Display for CasError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            CasError::Backend(e) => write!(f, "chunk backend: {e}"),
+            CasError::MissingChunk => write!(f, "chunk object missing from backend"),
+            CasError::ChunkSeal(e) => write!(f, "chunk unseal failed: {e}"),
+            CasError::ChunkMismatch => write!(f, "chunk plaintext mismatches manifest"),
+        }
+    }
+}
+
+impl std::error::Error for CasError {}
+
+impl From<BackendError> for CasError {
+    fn from(e: BackendError) -> Self {
+        CasError::Backend(e)
+    }
+}
+
+/// The content address of `data`.
+pub fn chunk_id(data: &[u8]) -> ChunkId {
+    let mut h = Sha256::new();
+    h.update(CHUNK_TAG);
+    h.update(data);
+    h.finalize()
+}
+
+/// Storage object name of chunk `id` under a chain's `prefix` (the
+/// chain label plus epoch, e.g. `"nym:alice@local#e3"`). The name is
+/// also the AEAD label the chunk is sealed under, binding chain, epoch
+/// and chunk ID into the ciphertext.
+pub fn chunk_object_name(prefix: &str, id: &ChunkId) -> String {
+    let mut name = String::with_capacity(prefix.len() + 3 + 64);
+    name.push_str(prefix);
+    name.push_str("/c/");
+    for byte in id {
+        const HEX: &[u8; 16] = b"0123456789abcdef";
+        name.push(HEX[(byte >> 4) as usize] as char);
+        name.push(HEX[(byte & 0xF) as usize] as char);
+    }
+    name
+}
+
+/// One record's content expressed as an ordered list of content-
+/// addressed chunks. Wire format (little-endian):
+///
+/// ```text
+/// magic "NYMC" | total_len u64 | chunk_count u32 |
+/// (chunk_id [32]u8 | chunk_len u32)...
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ChunkManifest {
+    total_len: u64,
+    entries: Vec<(ChunkId, u32)>,
+}
+
+impl ChunkManifest {
+    /// Chunks `data` and builds its manifest. Runs of four equal-length
+    /// chunks (common for max-capped chunks of huge records) hash in
+    /// one interleaved `sha256_x4` pass.
+    pub fn build(data: &[u8]) -> Self {
+        let chunks: Vec<&[u8]> = chunker::chunks(data).collect();
+        let mut entries = Vec::with_capacity(chunks.len());
+        let mut i = 0;
+        while i < chunks.len() {
+            if i + 4 <= chunks.len()
+                && chunks[i + 1..i + 4]
+                    .iter()
+                    .all(|c| c.len() == chunks[i].len())
+            {
+                let ids = sha256_x4(
+                    CHUNK_TAG,
+                    [chunks[i], chunks[i + 1], chunks[i + 2], chunks[i + 3]],
+                );
+                for (j, id) in ids.into_iter().enumerate() {
+                    entries.push((id, chunks[i + j].len() as u32));
+                }
+                i += 4;
+            } else {
+                entries.push((chunk_id(chunks[i]), chunks[i].len() as u32));
+                i += 1;
+            }
+        }
+        Self {
+            total_len: data.len() as u64,
+            entries,
+        }
+    }
+
+    /// Total plaintext bytes the manifest describes.
+    pub fn total_len(&self) -> usize {
+        self.total_len as usize
+    }
+
+    /// Number of chunks.
+    pub fn chunk_count(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// `(chunk ID, plaintext length)` entries in record order.
+    pub fn chunks(&self) -> impl Iterator<Item = (&ChunkId, usize)> {
+        self.entries.iter().map(|(id, len)| (id, *len as usize))
+    }
+
+    /// Exact byte length [`ChunkManifest::write_into`] will append.
+    pub fn serialized_len(&self) -> usize {
+        MAGIC.len() + 8 + 4 + self.entries.len() * ENTRY_LEN
+    }
+
+    /// Serializes the manifest by appending to `out`.
+    pub fn write_into(&self, out: &mut Vec<u8>) {
+        out.reserve(self.serialized_len());
+        out.extend_from_slice(MAGIC);
+        out.extend_from_slice(&self.total_len.to_le_bytes());
+        out.extend_from_slice(&(self.entries.len() as u32).to_le_bytes());
+        for (id, len) in &self.entries {
+            out.extend_from_slice(id);
+            out.extend_from_slice(&len.to_le_bytes());
+        }
+    }
+
+    /// Serializes the manifest.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(self.serialized_len());
+        self.write_into(&mut out);
+        out
+    }
+
+    /// Parses a serialized manifest, enforcing every structural
+    /// invariant [`ChunkManifest::build`] guarantees: at least one
+    /// chunk, each length in `1..=`[`MAX_CHUNK`], lengths summing to
+    /// the committed total, no trailing bytes. The strictness doubles
+    /// as collision armor — a record whose raw bytes accidentally
+    /// start with `"NYMC"` will virtually never satisfy all of it, so
+    /// manifest detection on restore cannot misfire silently (and the
+    /// chain's Merkle commitment fails closed regardless). Never
+    /// panics and never over-reserves.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self, ArchiveError> {
+        let mut r = Reader::new(bytes);
+        if r.take(4)? != MAGIC {
+            return Err(ArchiveError::Malformed);
+        }
+        let total_len = r.u64()?;
+        let count = r.u32()?;
+        let mut entries = Vec::with_capacity(clamp_count(count, r.remaining(), ENTRY_LEN));
+        let mut sum: u64 = 0;
+        for _ in 0..count {
+            let id: ChunkId = r.take_array()?;
+            let len = r.u32()?;
+            if len == 0 || len as usize > MAX_CHUNK {
+                return Err(ArchiveError::Malformed);
+            }
+            sum = sum.checked_add(len as u64).ok_or(ArchiveError::Malformed)?;
+            entries.push((id, len));
+        }
+        if entries.is_empty() || sum != total_len || !r.done() {
+            return Err(ArchiveError::Malformed);
+        }
+        Ok(Self { total_len, entries })
+    }
+}
+
+/// Refcounted index of the chunks the live manifests reference. One
+/// count per manifest occurrence: a chunk shared by two records (or two
+/// records' versions) stays alive until the last reference retires.
+#[derive(Debug, Clone, Default)]
+pub struct ChunkIndex {
+    refs: std::collections::BTreeMap<ChunkId, usize>,
+}
+
+impl ChunkIndex {
+    /// An empty index.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of distinct chunks referenced.
+    pub fn len(&self) -> usize {
+        self.refs.len()
+    }
+
+    /// Whether no chunk is referenced.
+    pub fn is_empty(&self) -> bool {
+        self.refs.is_empty()
+    }
+
+    /// Whether `id` is referenced.
+    pub fn contains(&self, id: &ChunkId) -> bool {
+        self.refs.contains_key(id)
+    }
+
+    /// Current reference count of `id`.
+    pub fn refcount(&self, id: &ChunkId) -> usize {
+        self.refs.get(id).copied().unwrap_or(0)
+    }
+
+    /// Iterates every referenced chunk ID (the epoch's live object
+    /// set — what a retiring epoch's sweep must delete).
+    pub fn ids(&self) -> impl Iterator<Item = &ChunkId> {
+        self.refs.keys()
+    }
+
+    /// Adds a reference; returns `true` when the chunk is new to the
+    /// index (i.e. its object must be uploaded).
+    pub fn retain(&mut self, id: &ChunkId) -> bool {
+        let count = self.refs.entry(*id).or_insert(0);
+        *count += 1;
+        *count == 1
+    }
+
+    /// Drops a reference; returns `true` when the count reached zero
+    /// (i.e. the chunk's object is now garbage).
+    pub fn release(&mut self, id: &ChunkId) -> bool {
+        match self.refs.get_mut(id) {
+            Some(count) if *count > 1 => {
+                *count -= 1;
+                false
+            }
+            Some(_) => {
+                self.refs.remove(id);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Adds one reference per entry of `manifest`.
+    pub fn retain_manifest(&mut self, manifest: &ChunkManifest) {
+        for (id, _) in manifest.chunks() {
+            self.retain(id);
+        }
+    }
+
+    /// Drops one reference per entry of `manifest` (a retired version),
+    /// appending every chunk that became garbage to `dead`.
+    pub fn release_manifest_into(&mut self, manifest: &ChunkManifest, dead: &mut Vec<ChunkId>) {
+        for (id, _) in manifest.chunks() {
+            if self.release(id) {
+                dead.push(*id);
+            }
+        }
+    }
+
+    /// Mark-and-sweep over the full live set: rebuilds the index from
+    /// `live` manifests and returns every previously-referenced chunk
+    /// no live manifest mentions — the sweep list a caller deletes from
+    /// the backend when a whole chain epoch retires.
+    pub fn mark_and_sweep<'a>(
+        &mut self,
+        live: impl IntoIterator<Item = &'a ChunkManifest>,
+    ) -> Vec<ChunkId> {
+        let mut marked = Self::new();
+        for manifest in live {
+            marked.retain_manifest(manifest);
+        }
+        let dead = self
+            .refs
+            .keys()
+            .filter(|id| !marked.contains(id))
+            .copied()
+            .collect();
+        *self = marked;
+        dead
+    }
+}
+
+/// Seals and uploads every chunk of `data` that `index` doesn't already
+/// hold, walking `manifest` (which must be `ChunkManifest::build(data)`)
+/// in order. Each chunk is sealed under `key` with its object name —
+/// `"{prefix}/c/{id}"` — as AEAD label. Returns the sealed bytes
+/// actually uploaded: the dedup savings are exactly what this number
+/// omits.
+#[allow(clippy::too_many_arguments)]
+pub fn upload_new_chunks(
+    data: &[u8],
+    manifest: &ChunkManifest,
+    index: &mut ChunkIndex,
+    key: &SealKey,
+    prefix: &str,
+    rng: &mut Rng,
+    scratch: &mut SealScratch,
+    backend: &mut dyn ObjectBackend,
+) -> Result<usize, CasError> {
+    debug_assert_eq!(manifest.total_len(), data.len());
+    let mut uploaded = 0usize;
+    let mut offset = 0usize;
+    let mut blob = Vec::new();
+    for (id, len) in manifest.chunks() {
+        let chunk = &data[offset..offset + len];
+        offset += len;
+        if !index.retain(id) {
+            continue; // Already stored: dedup across versions/records.
+        }
+        let name = chunk_object_name(prefix, id);
+        seal_bytes_keyed_into(chunk, key, &name, rng, scratch, &mut blob);
+        uploaded += blob.len();
+        backend.put(&name, std::mem::take(&mut blob))?;
+    }
+    Ok(uploaded)
+}
+
+/// Fetches, authenticates and reassembles a manifest's record from the
+/// backend into `out` (cleared first). Fails closed on a missing chunk
+/// (GC'd away or withheld), a chunk that doesn't authenticate under its
+/// name-bound AEAD label (tampered or transplanted), or a plaintext
+/// that doesn't re-hash to the manifest's chunk ID. Returns the sealed
+/// bytes fetched (for transfer accounting).
+pub fn fetch_record_into(
+    manifest: &ChunkManifest,
+    key: &SealKey,
+    prefix: &str,
+    backend: &mut dyn ObjectBackend,
+    work: &mut Vec<u8>,
+    scratch: &mut SealScratch,
+    out: &mut Vec<u8>,
+) -> Result<usize, CasError> {
+    out.clear();
+    out.reserve(manifest.total_len());
+    let mut fetched = 0usize;
+    for (id, len) in manifest.chunks() {
+        let name = chunk_object_name(prefix, id);
+        let blob = backend.get(&name)?.ok_or(CasError::MissingChunk)?;
+        fetched += blob.len();
+        let plain =
+            unseal_keyed_raw_into(blob, key, &name, work, scratch).map_err(CasError::ChunkSeal)?;
+        if plain.len() != len || !nymix_crypto::ct::eq(&chunk_id(plain), id) {
+            return Err(CasError::ChunkMismatch);
+        }
+        out.extend_from_slice(plain);
+    }
+    debug_assert_eq!(out.len(), manifest.total_len());
+    Ok(fetched)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::LocalStore;
+
+    /// Deterministic pseudo-random filler (xorshift64*).
+    fn noise(seed: u64, len: usize) -> Vec<u8> {
+        let mut out = Vec::with_capacity(len);
+        let mut x = seed | 1;
+        while out.len() < len {
+            x ^= x >> 12;
+            x ^= x << 25;
+            x ^= x >> 27;
+            out.extend_from_slice(&x.wrapping_mul(0x2545_F491_4F6C_DD1D).to_le_bytes());
+        }
+        out.truncate(len);
+        out
+    }
+
+    fn chain() -> (SealKey, Rng, SealScratch) {
+        let mut rng = Rng::seed_from(9);
+        let key = SealKey::derive("pw", "nym:cas", &mut rng);
+        (key, rng, SealScratch::new())
+    }
+
+    #[test]
+    fn manifest_roundtrips_and_covers_data() {
+        let data = noise(1, 200_000);
+        let m = ChunkManifest::build(&data);
+        assert_eq!(m.total_len(), data.len());
+        assert_eq!(m.chunks().map(|(_, l)| l).sum::<usize>(), data.len());
+        assert!(m.chunk_count() > 1);
+        let bytes = m.to_bytes();
+        assert_eq!(bytes.len(), m.serialized_len());
+        assert_eq!(ChunkManifest::from_bytes(&bytes).unwrap(), m);
+    }
+
+    #[test]
+    fn manifest_ids_match_scalar_hashing() {
+        // The x4-batched build must produce the same IDs as hashing
+        // each chunk alone (uniform chunk lengths hit the batch path).
+        let data = vec![7u8; 4 * MAX_CHUNK + 100];
+        let m = ChunkManifest::build(&data);
+        let mut offset = 0;
+        for (id, len) in m.chunks() {
+            assert_eq!(*id, chunk_id(&data[offset..offset + len]));
+            offset += len;
+        }
+    }
+
+    #[test]
+    fn hostile_manifest_bytes_rejected() {
+        assert!(ChunkManifest::from_bytes(b"").is_err());
+        assert!(ChunkManifest::from_bytes(b"NYMC").is_err());
+        assert!(ChunkManifest::from_bytes(b"NYM1aaaaaaaaaaaa").is_err());
+        // Zero chunks.
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(MAGIC);
+        bytes.extend_from_slice(&0u64.to_le_bytes());
+        bytes.extend_from_slice(&0u32.to_le_bytes());
+        assert!(ChunkManifest::from_bytes(&bytes).is_err());
+        // Huge count with no bytes behind it: fails fast, no reserve.
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(MAGIC);
+        bytes.extend_from_slice(&u64::MAX.to_le_bytes());
+        bytes.extend_from_slice(&u32::MAX.to_le_bytes());
+        assert!(ChunkManifest::from_bytes(&bytes).is_err());
+        // Entry length over MAX_CHUNK.
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(MAGIC);
+        bytes.extend_from_slice(&(MAX_CHUNK as u64 + 1).to_le_bytes());
+        bytes.extend_from_slice(&1u32.to_le_bytes());
+        bytes.extend_from_slice(&[0u8; 32]);
+        bytes.extend_from_slice(&(MAX_CHUNK as u32 + 1).to_le_bytes());
+        assert!(ChunkManifest::from_bytes(&bytes).is_err());
+        // Lengths not summing to total_len.
+        let data = noise(2, 40_000);
+        let m = ChunkManifest::build(&data);
+        let mut bytes = m.to_bytes();
+        bytes[4] ^= 1; // total_len low byte
+        assert!(ChunkManifest::from_bytes(&bytes).is_err());
+        // Trailing garbage.
+        let mut bytes = m.to_bytes();
+        bytes.push(0);
+        assert!(ChunkManifest::from_bytes(&bytes).is_err());
+    }
+
+    #[test]
+    fn store_fetch_roundtrip_with_dedup() {
+        let (key, mut rng, mut scratch) = chain();
+        let mut backend = LocalStore::new();
+        let mut index = ChunkIndex::new();
+        let data = noise(3, 150_000);
+        let m = ChunkManifest::build(&data);
+        let up1 = upload_new_chunks(
+            &data,
+            &m,
+            &mut index,
+            &key,
+            "nym:cas#e1",
+            &mut rng,
+            &mut scratch,
+            &mut backend,
+        )
+        .unwrap();
+        assert!(up1 > 0);
+        assert_eq!(index.len(), m.chunk_count());
+
+        // Same content again (another record, another version): every
+        // chunk dedups, zero bytes uploaded.
+        let mut index2_refs = index.clone();
+        let up2 = upload_new_chunks(
+            &data,
+            &m,
+            &mut index2_refs,
+            &key,
+            "nym:cas#e1",
+            &mut rng,
+            &mut scratch,
+            &mut backend,
+        )
+        .unwrap();
+        assert_eq!(up2, 0);
+        assert!(index2_refs.chunks_all_refcount(2));
+
+        let mut work = Vec::new();
+        let mut out = Vec::new();
+        let fetched = fetch_record_into(
+            &m,
+            &key,
+            "nym:cas#e1",
+            &mut backend,
+            &mut work,
+            &mut scratch,
+            &mut out,
+        )
+        .unwrap();
+        assert_eq!(out, data);
+        assert_eq!(fetched, up1);
+    }
+
+    impl ChunkIndex {
+        fn chunks_all_refcount(&self, want: usize) -> bool {
+            self.refs.values().all(|c| *c == want)
+        }
+    }
+
+    #[test]
+    fn edit_uploads_only_touched_chunks() {
+        let (key, mut rng, mut scratch) = chain();
+        let mut backend = LocalStore::new();
+        let mut index = ChunkIndex::new();
+        let mut data = noise(4, 128 * 1024);
+        let m1 = ChunkManifest::build(&data);
+        let full = upload_new_chunks(
+            &data,
+            &m1,
+            &mut index,
+            &key,
+            "p",
+            &mut rng,
+            &mut scratch,
+            &mut backend,
+        )
+        .unwrap();
+
+        // Overwrite 4 KiB in the middle: only the chunks covering the
+        // edit change; everything else dedups against the first upload.
+        let at = 64 * 1024;
+        data[at..at + 4096].copy_from_slice(&noise(99, 4096));
+        let m2 = ChunkManifest::build(&data);
+        let incremental = upload_new_chunks(
+            &data,
+            &m2,
+            &mut index,
+            &key,
+            "p",
+            &mut rng,
+            &mut scratch,
+            &mut backend,
+        )
+        .unwrap();
+        assert!(
+            incremental > 0 && incremental * 4 < full,
+            "incremental {incremental} vs full {full}"
+        );
+
+        // Retire the old version: chunks only m1 referenced become
+        // garbage; deleting them must not break the new version.
+        let mut dead = Vec::new();
+        index.release_manifest_into(&m1, &mut dead);
+        assert!(!dead.is_empty());
+        for id in &dead {
+            assert!(backend.delete(&chunk_object_name("p", id)));
+        }
+        let (mut work, mut out) = (Vec::new(), Vec::new());
+        fetch_record_into(
+            &m2,
+            &key,
+            "p",
+            &mut backend,
+            &mut work,
+            &mut scratch,
+            &mut out,
+        )
+        .unwrap();
+        assert_eq!(out, data);
+    }
+
+    #[test]
+    fn missing_tampered_and_swapped_chunks_fail_closed() {
+        let (key, mut rng, mut scratch) = chain();
+        let mut backend = LocalStore::new();
+        let mut index = ChunkIndex::new();
+        let data = noise(5, 100_000);
+        let m = ChunkManifest::build(&data);
+        upload_new_chunks(
+            &data,
+            &m,
+            &mut index,
+            &key,
+            "p",
+            &mut rng,
+            &mut scratch,
+            &mut backend,
+        )
+        .unwrap();
+        let names: Vec<String> = m
+            .chunks()
+            .map(|(id, _)| chunk_object_name("p", id))
+            .collect();
+        let (mut work, mut out) = (Vec::new(), Vec::new());
+
+        // GC'd-away / withheld chunk.
+        let stolen = backend.get(&names[1]).unwrap().to_vec();
+        assert!(backend.delete(&names[1]));
+        assert_eq!(
+            fetch_record_into(
+                &m,
+                &key,
+                "p",
+                &mut backend,
+                &mut work,
+                &mut scratch,
+                &mut out
+            ),
+            Err(CasError::MissingChunk)
+        );
+        backend.put(&names[1], stolen.clone());
+
+        // Tampered ciphertext.
+        let mut evil = stolen.clone();
+        let last = evil.len() - 1;
+        evil[last] ^= 1;
+        backend.put(&names[1], evil);
+        assert!(matches!(
+            fetch_record_into(
+                &m,
+                &key,
+                "p",
+                &mut backend,
+                &mut work,
+                &mut scratch,
+                &mut out
+            ),
+            Err(CasError::ChunkSeal(_))
+        ));
+        backend.put(&names[1], stolen);
+
+        // Swapped chunk objects: each blob authenticates only under its
+        // own name-bound label, so serving chunk 0 in slot 2 fails.
+        let c0 = backend.get(&names[0]).unwrap().to_vec();
+        let c2 = backend.get(&names[2]).unwrap().to_vec();
+        backend.put(&names[0], c2);
+        backend.put(&names[2], c0);
+        assert!(matches!(
+            fetch_record_into(
+                &m,
+                &key,
+                "p",
+                &mut backend,
+                &mut work,
+                &mut scratch,
+                &mut out
+            ),
+            Err(CasError::ChunkSeal(_))
+        ));
+    }
+
+    #[test]
+    fn refcounts_and_mark_and_sweep() {
+        let mut index = ChunkIndex::new();
+        let a = ChunkManifest::build(&noise(61, 60_000));
+        let b = ChunkManifest::build(&noise(71, 60_000));
+        index.retain_manifest(&a);
+        index.retain_manifest(&a); // two versions share the content
+        index.retain_manifest(&b);
+        assert_eq!(index.len(), a.chunk_count() + b.chunk_count());
+
+        // Releasing one of a's references frees nothing.
+        let mut dead = Vec::new();
+        index.release_manifest_into(&a, &mut dead);
+        assert!(dead.is_empty());
+        // Releasing the second frees exactly a's chunks.
+        index.release_manifest_into(&a, &mut dead);
+        assert_eq!(dead.len(), a.chunk_count());
+        assert!(dead.iter().all(|id| a.chunks().any(|(i, _)| i == id)));
+
+        // Mark-and-sweep down to nothing live: b's chunks are swept.
+        let swept = index.mark_and_sweep([]);
+        assert_eq!(swept.len(), b.chunk_count());
+        assert!(index.is_empty());
+        // Releasing an unknown id is a no-op, not an underflow.
+        assert!(!index.release(&[0u8; 32]));
+    }
+
+    /// The acceptance criterion: a 4 KiB write inside a 64 KiB record
+    /// must upload >= 10x fewer sealed bytes through the chunk store
+    /// than the record-granular NYMD delta re-sealing the whole record.
+    #[test]
+    fn chunked_delta_beats_record_delta_10x() {
+        use crate::delta::DeltaArchive;
+        use crate::NymArchive;
+
+        let (key, mut rng, mut scratch) = chain();
+        let mut backend = LocalStore::new();
+        let mut index = ChunkIndex::new();
+
+        // Incompressible 64 KiB disk record (browser caches are mostly
+        // media) plus the usual small records.
+        let disk = noise(0xAB1, 64 * 1024);
+        // Pick the edit site the way a real workload lands one: fully
+        // inside one chunk (boundaries are content-defined, so a mid-
+        // chunk 4 KiB overwrite dirties that chunk alone).
+        let (at, host_len) = {
+            let mut offset = 0usize;
+            let mut site = None;
+            for c in chunker::chunks(&disk) {
+                if c.len() >= 4096 + 256 && c.len() <= 6 * 1024 {
+                    site = Some((offset + 128, c.len()));
+                    break;
+                }
+                offset += c.len();
+            }
+            site.expect("seeded data contains a 4.3-6 KiB chunk")
+        };
+        let mut disk2 = disk.clone();
+        disk2[at..at + 4096].copy_from_slice(&noise(0xED17, 4096));
+
+        let mut small = NymArchive::new();
+        small.put("meta", b"name=bench".to_vec());
+        small.put("tor.state", vec![0x5a; 512]);
+
+        // Record-granular NYMD path: the delta carries the whole record.
+        let (prev, next) = {
+            let mut prev = small.clone();
+            prev.put("anonvm.disk", disk.clone());
+            let mut next = prev.clone();
+            next.put("anonvm.disk", disk2.clone());
+            (prev, next)
+        };
+        let record_delta = DeltaArchive::diff(&prev, &next);
+        let mut record_blob = Vec::new();
+        crate::seal_delta_keyed_into(
+            &record_delta,
+            &key,
+            "l#e1.1",
+            &mut rng,
+            &mut scratch,
+            &mut record_blob,
+        );
+        let record_bytes = record_blob.len();
+
+        // Chunked path: the archives hold manifests; the base's chunks
+        // are already in the store, so the delta ships the new manifest
+        // plus only the chunks the edit touched.
+        let m1 = ChunkManifest::build(&disk);
+        upload_new_chunks(
+            &disk,
+            &m1,
+            &mut index,
+            &key,
+            "l#e1",
+            &mut rng,
+            &mut scratch,
+            &mut backend,
+        )
+        .unwrap();
+        let m2 = ChunkManifest::build(&disk2);
+        let chunk_upload = {
+            let mut idx = index.clone();
+            upload_new_chunks(
+                &disk2,
+                &m2,
+                &mut idx,
+                &key,
+                "l#e1",
+                &mut rng,
+                &mut scratch,
+                &mut backend,
+            )
+            .unwrap()
+        };
+        let (prev_m, next_m) = {
+            let mut prev = small.clone();
+            prev.put("anonvm.disk", m1.to_bytes());
+            let mut next = prev.clone();
+            next.put("anonvm.disk", m2.to_bytes());
+            (prev, next)
+        };
+        let manifest_delta = DeltaArchive::diff(&prev_m, &next_m);
+        let mut manifest_blob = Vec::new();
+        crate::seal_delta_keyed_into(
+            &manifest_delta,
+            &key,
+            "l#e1.1",
+            &mut rng,
+            &mut scratch,
+            &mut manifest_blob,
+        );
+        let chunked_bytes = manifest_blob.len() + chunk_upload;
+
+        assert!(
+            chunked_bytes * 10 <= record_bytes,
+            "chunked {chunked_bytes} (manifest {} + chunks {chunk_upload}) vs record-granular \
+             {record_bytes}: < 10x (edit in a {host_len}-byte chunk)",
+            manifest_blob.len(),
+        );
+        assert!(
+            host_len + 2048 >= chunk_upload,
+            "edit should ship ~1 chunk: uploaded {chunk_upload} from a {host_len}-byte chunk"
+        );
+    }
+}

@@ -12,9 +12,11 @@
 //! claims: blobs are ciphertext, and the observed address is an
 //! anonymizer exit, never the user.
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, VecDeque};
 
 use nymix_net::Ip;
+
+use crate::backend::{BackendError, ObjectBackend};
 
 /// Errors from provider operations.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -54,6 +56,83 @@ pub struct AccessLogEntry {
     pub bytes: usize,
 }
 
+/// Default bound on retained access-log entries per provider.
+pub const ACCESS_LOG_CAPACITY: usize = 4096;
+
+/// A bounded, oldest-out ring of [`AccessLogEntry`] observations.
+///
+/// The unbounded `Vec` it replaces grew by one entry per provider
+/// operation forever — a chunked save alone performs dozens of puts, so
+/// a long-lived simulation leaked memory linearly in operation count.
+/// Real providers rotate logs too; the ring models exactly that: the
+/// newest [`AccessLog::capacity`] entries are retained for the
+/// intersection-attack auditing views, older ones fall off the front,
+/// and [`AccessLog::total_recorded`] still counts everything ever seen.
+#[derive(Debug, Clone)]
+pub struct AccessLog {
+    entries: VecDeque<AccessLogEntry>,
+    capacity: usize,
+    total: u64,
+}
+
+impl AccessLog {
+    fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "access log needs room for at least one entry");
+        Self {
+            entries: VecDeque::with_capacity(capacity.min(64)),
+            capacity,
+            total: 0,
+        }
+    }
+
+    fn push(&mut self, entry: AccessLogEntry) {
+        if self.entries.len() == self.capacity {
+            self.entries.pop_front();
+        }
+        self.entries.push_back(entry);
+        self.total += 1;
+    }
+
+    /// Entries currently retained.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether nothing is retained.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// The ring's fixed capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Operations ever recorded, including ones the ring dropped.
+    pub fn total_recorded(&self) -> u64 {
+        self.total
+    }
+
+    /// Entries dropped off the front of the ring so far.
+    pub fn dropped(&self) -> u64 {
+        self.total - self.entries.len() as u64
+    }
+
+    /// Iterates retained entries, oldest first.
+    pub fn iter(&self) -> impl Iterator<Item = &AccessLogEntry> {
+        self.entries.iter()
+    }
+}
+
+impl<'a> IntoIterator for &'a AccessLog {
+    type Item = &'a AccessLogEntry;
+    type IntoIter = std::collections::vec_deque::Iter<'a, AccessLogEntry>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.entries.iter()
+    }
+}
+
 #[derive(Debug, Clone)]
 struct Account {
     credential: String,
@@ -78,17 +157,28 @@ struct Account {
 pub struct CloudProvider {
     name: String,
     accounts: BTreeMap<String, Account>,
-    log: Vec<AccessLogEntry>,
+    log: AccessLog,
 }
 
 impl CloudProvider {
-    /// A provider with no accounts.
+    /// A provider with no accounts, retaining up to
+    /// [`ACCESS_LOG_CAPACITY`] access-log entries.
     pub fn new(name: &str) -> Self {
         Self {
             name: name.to_string(),
             accounts: BTreeMap::new(),
-            log: Vec::new(),
+            log: AccessLog::new(ACCESS_LOG_CAPACITY),
         }
+    }
+
+    /// Overrides the access-log retention bound.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn with_log_capacity(mut self, capacity: usize) -> Self {
+        self.log = AccessLog::new(capacity);
+        self
     }
 
     /// Provider name.
@@ -221,9 +311,28 @@ impl CloudProvider {
         Ok(())
     }
 
-    /// The provider's full access log (the adversary's subpoena view).
-    pub fn access_log(&self) -> &[AccessLogEntry] {
+    /// The provider's access log (the adversary's subpoena view): the
+    /// newest [`AccessLog::capacity`] operations, oldest first.
+    pub fn access_log(&self) -> &AccessLog {
         &self.log
+    }
+
+    /// Opens an authenticated [`ObjectBackend`] session on `account`:
+    /// every operation is checked against `credential` and logged with
+    /// `observed_ip` (the connection's source as the provider sees it —
+    /// an anonymizer exit, never the user, if the caller did their job).
+    pub fn session<'p>(
+        &'p mut self,
+        account: &str,
+        credential: &str,
+        observed_ip: Ip,
+    ) -> CloudSession<'p> {
+        CloudSession {
+            provider: self,
+            account: account.to_string(),
+            credential: credential.to_string(),
+            observed_ip,
+        }
     }
 
     /// Stored size of an object, if present.
@@ -248,6 +357,108 @@ impl CloudProvider {
                     .collect()
             })
             .unwrap_or_default()
+    }
+}
+
+/// An authenticated pseudonymous-account session presenting a cloud
+/// provider as a flat [`ObjectBackend`] namespace. Holds the account,
+/// credential, and the source address the provider will observe; every
+/// operation is auth-checked and access-logged exactly like the
+/// explicit [`CloudProvider`] methods.
+///
+/// # Examples
+///
+/// ```
+/// use nymix_store::{CloudProvider, ObjectBackend};
+/// use nymix_net::Ip;
+///
+/// let mut drive = CloudProvider::new("drive");
+/// drive.create_account("anon", "tok");
+/// let exit = Ip::parse("198.18.0.5");
+/// let mut session = drive.session("anon", "tok", exit);
+/// session.put("nym.bin", vec![1, 2, 3]).unwrap();
+/// assert_eq!(session.get("nym.bin").unwrap(), Some(&[1u8, 2, 3][..]));
+/// ```
+#[derive(Debug)]
+pub struct CloudSession<'p> {
+    provider: &'p mut CloudProvider,
+    account: String,
+    credential: String,
+    observed_ip: Ip,
+}
+
+fn denied(e: CloudError) -> BackendError {
+    match e {
+        CloudError::NoSuchAccount | CloudError::BadCredential => BackendError::Denied,
+        CloudError::NoSuchObject => BackendError::Other(e.to_string()),
+    }
+}
+
+impl ObjectBackend for CloudSession<'_> {
+    fn put(&mut self, name: &str, data: Vec<u8>) -> Result<(), BackendError> {
+        self.provider
+            .put(
+                &self.account,
+                &self.credential,
+                name,
+                data,
+                self.observed_ip,
+            )
+            .map_err(denied)
+    }
+
+    fn get(&mut self, name: &str) -> Result<Option<&[u8]>, BackendError> {
+        self.provider
+            .auth(&self.account, &self.credential)
+            .map_err(denied)?;
+        let Some(data) = self
+            .provider
+            .accounts
+            .get(&self.account)
+            .expect("authenticated above")
+            .objects
+            .get(name)
+        else {
+            return Ok(None);
+        };
+        let bytes = data.len();
+        self.provider.log.push(AccessLogEntry {
+            account: self.account.clone(),
+            op: "get",
+            object: Some(name.to_string()),
+            observed_ip: self.observed_ip,
+            bytes,
+        });
+        // Re-borrow immutably for the return value (the log push above
+        // needed the mutable half of the provider).
+        Ok(self
+            .provider
+            .accounts
+            .get(&self.account)
+            .expect("authenticated above")
+            .objects
+            .get(name)
+            .map(Vec::as_slice))
+    }
+
+    fn delete(&mut self, name: &str) -> Result<bool, BackendError> {
+        match self
+            .provider
+            .delete(&self.account, &self.credential, name, self.observed_ip)
+        {
+            Ok(()) => Ok(true),
+            Err(CloudError::NoSuchObject) => Ok(false),
+            Err(e) => Err(denied(e)),
+        }
+    }
+
+    fn list(&mut self, out: &mut Vec<String>) -> Result<(), BackendError> {
+        out.extend(
+            self.provider
+                .list(&self.account, &self.credential, self.observed_ip)
+                .map_err(denied)?,
+        );
+        Ok(())
     }
 }
 
@@ -304,6 +515,64 @@ mod tests {
             assert_eq!(entry.observed_ip, tor_exit);
             assert_ne!(entry.observed_ip, user_ip);
         }
+    }
+
+    #[test]
+    fn access_log_is_bounded_ring() {
+        // Regression: the log grew without limit — one entry per
+        // operation, forever. The ring keeps the newest `capacity`
+        // entries and still counts the total.
+        let mut p = CloudProvider::new("drive").with_log_capacity(8);
+        p.create_account("a", "c");
+        for i in 0..20 {
+            p.put("a", "c", &format!("o{i}"), vec![0; 4], exit())
+                .unwrap();
+        }
+        let log = p.access_log();
+        assert_eq!(log.len(), 8);
+        assert_eq!(log.capacity(), 8);
+        assert_eq!(log.total_recorded(), 20);
+        assert_eq!(log.dropped(), 12);
+        // Oldest retained entry is op 12; newest is op 19.
+        assert_eq!(log.iter().next().unwrap().object.as_deref(), Some("o12"));
+        assert_eq!(log.iter().last().unwrap().object.as_deref(), Some("o19"));
+        // The intersection-auditing view still iterates.
+        assert!(log.into_iter().all(|e| e.observed_ip == exit()));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one entry")]
+    fn zero_log_capacity_rejected() {
+        let _ = CloudProvider::new("drive").with_log_capacity(0);
+    }
+
+    #[test]
+    fn session_backend_auths_and_logs() {
+        let mut p = CloudProvider::new("drive");
+        p.create_account("anon", "tok");
+        {
+            let mut s = p.session("anon", "tok", exit());
+            s.put("x", vec![1, 2, 3]).unwrap();
+            assert_eq!(s.get("x").unwrap(), Some(&[1u8, 2, 3][..]));
+            assert_eq!(s.get("ghost").unwrap(), None);
+            let mut names = Vec::new();
+            s.list(&mut names).unwrap();
+            assert_eq!(names, vec!["x"]);
+            assert!(s.delete("x").unwrap());
+            assert!(!s.delete("x").unwrap());
+        }
+        // put + get + list + one successful delete were logged with the
+        // session's observed address (missing-object probes don't log).
+        assert_eq!(p.access_log().len(), 4);
+        assert!(p.access_log().iter().all(|e| e.observed_ip == exit()));
+
+        // Bad credentials are denied on every operation.
+        let mut s = p.session("anon", "wrong", exit());
+        assert_eq!(s.put("x", vec![]), Err(BackendError::Denied));
+        assert_eq!(s.get("x"), Err(BackendError::Denied));
+        assert_eq!(s.delete("x"), Err(BackendError::Denied));
+        let mut names = Vec::new();
+        assert_eq!(s.list(&mut names), Err(BackendError::Denied));
     }
 
     #[test]

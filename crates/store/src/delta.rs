@@ -64,6 +64,10 @@ pub enum DeltaError {
     /// A delta was offered for a name with no full base archive to
     /// chain on.
     NoBase,
+    /// The object backend holding the chain failed (denied credentials,
+    /// provider fault) — distinct from "nothing stored" and from
+    /// tampering, so callers recover down the right path.
+    Backend(crate::backend::BackendError),
 }
 
 impl core::fmt::Display for DeltaError {
@@ -73,6 +77,7 @@ impl core::fmt::Display for DeltaError {
             DeltaError::CountMismatch => write!(f, "replayed record count mismatches commitment"),
             DeltaError::RootMismatch => write!(f, "merkle root mismatch after replay"),
             DeltaError::NoBase => write!(f, "no base archive to chain a delta on"),
+            DeltaError::Backend(e) => write!(f, "chain backend failed: {e}"),
         }
     }
 }

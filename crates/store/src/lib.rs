@@ -26,19 +26,34 @@
 //! * [`delta`] — incremental snapshots: a [`DeltaArchive`] carries only
 //!   dirty records plus a Merkle-root commitment to the full record
 //!   set; replay verifies the root and fails closed on tampering.
+//! * [`chunker`] — content-defined chunking (gear-hash rolling window,
+//!   2/8/64 KiB min/avg/max): deterministic, edit-local boundaries so a
+//!   sub-record write dirties O(1) chunks.
+//! * [`cas`] — the content-addressed chunk store: domain-separated
+//!   SHA-256 chunk IDs, `"NYMC"` per-record manifests, a refcounted
+//!   chunk index with mark-and-sweep GC, and per-chunk sealing bound to
+//!   the chunk's identity. Large records ship as manifests + only the
+//!   chunks that changed.
+//! * [`backend`] — the pluggable [`ObjectBackend`] every store
+//!   implements, so snapshot chains and chunk objects move unchanged
+//!   between local media and cloud accounts.
 //! * [`cloud`] — simulated cloud providers with pseudonymous accounts;
-//!   records what the provider *observes* so tests can verify the
-//!   deniability story ("the cloud provider learns nothing about the
-//!   account owner").
+//!   records what the provider *observes* (in a bounded
+//!   [`cloud::AccessLog`] ring) so tests can verify the deniability
+//!   story ("the cloud provider learns nothing about the account
+//!   owner").
 //! * [`local`] — local-partition/USB storage, including what a
 //!   confiscating adversary finds.
 //! * [`versioned`] — retained snapshot history with rollback (the
-//!   stained-snapshot escape hatch).
+//!   stained-snapshot escape hatch), generic over the backend.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod archive;
+pub mod backend;
+pub mod cas;
+pub mod chunker;
 pub mod cloud;
 pub mod delta;
 pub mod local;
@@ -47,11 +62,17 @@ pub mod sealed;
 pub mod versioned;
 
 pub use archive::NymArchive;
-pub use cloud::{CloudError, CloudProvider};
+pub use backend::{BackendError, ObjectBackend};
+pub use cas::{
+    chunk_id, chunk_object_name, CasError, ChunkId, ChunkIndex, ChunkManifest,
+    CHUNK_RECORD_THRESHOLD,
+};
+pub use chunker::{chunks, AVG_CHUNK, MAX_CHUNK, MIN_CHUNK};
+pub use cloud::{AccessLog, CloudError, CloudProvider, CloudSession};
 pub use delta::{archive_merkle_root, DeltaArchive, DeltaError, DELTA_CHAIN_LIMIT};
 pub use local::LocalStore;
 pub use sealed::{
-    blob_salt, open_sealed, seal_archive, seal_delta_keyed_into, seal_into, seal_keyed_into,
-    unseal_keyed_raw_into, unseal_raw_into, SealKey, SealScratch, SealedError,
+    blob_salt, open_sealed, seal_archive, seal_bytes_keyed_into, seal_delta_keyed_into, seal_into,
+    seal_keyed_into, unseal_keyed_raw_into, unseal_raw_into, SealKey, SealScratch, SealedError,
 };
 pub use versioned::VersionedStore;

@@ -10,6 +10,8 @@
 
 use std::collections::BTreeMap;
 
+use crate::backend::{BackendError, ObjectBackend};
+
 /// A local partition / USB drive holding sealed nyms.
 #[derive(Debug, Clone, Default)]
 pub struct LocalStore {
@@ -63,6 +65,29 @@ impl LocalStore {
     }
 }
 
+/// Local media is the simplest [`ObjectBackend`]: infallible, no
+/// credentials, no access log an adversary could subpoena (the blobs
+/// themselves are the evidence — see [`LocalStore::confiscate`]).
+impl ObjectBackend for LocalStore {
+    fn put(&mut self, name: &str, data: Vec<u8>) -> Result<(), BackendError> {
+        LocalStore::put(self, name, data);
+        Ok(())
+    }
+
+    fn get(&mut self, name: &str) -> Result<Option<&[u8]>, BackendError> {
+        Ok(LocalStore::get(self, name))
+    }
+
+    fn delete(&mut self, name: &str) -> Result<bool, BackendError> {
+        Ok(LocalStore::delete(self, name))
+    }
+
+    fn list(&mut self, out: &mut Vec<String>) -> Result<(), BackendError> {
+        out.extend(self.objects.keys().cloned());
+        Ok(())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -79,6 +104,20 @@ mod tests {
         assert!(s.delete("nym-bob"));
         assert!(!s.delete("nym-bob"));
         assert_eq!(s.get("nym-bob"), None);
+    }
+
+    #[test]
+    fn object_backend_contract() {
+        let mut s = LocalStore::new();
+        let b: &mut dyn ObjectBackend = &mut s;
+        b.put("x", vec![1, 2]).unwrap();
+        assert_eq!(b.get("x").unwrap(), Some(&[1u8, 2][..]));
+        assert_eq!(b.get("ghost").unwrap(), None);
+        let mut names = Vec::new();
+        b.list(&mut names).unwrap();
+        assert_eq!(names, vec!["x"]);
+        assert!(b.delete("x").unwrap());
+        assert!(!b.delete("x").unwrap());
     }
 
     #[test]

@@ -212,6 +212,25 @@ pub fn seal_delta_keyed_into(
     seal_plain(key, label, rng, scratch, out);
 }
 
+/// Seals arbitrary plaintext bytes through the identical zero-copy
+/// pipeline (stage into the arena → LZSS → in-place detached AEAD)
+/// under a chain key. The chunk store seals each content-addressed
+/// chunk this way, with the chunk's storage label — which embeds the
+/// chunk ID — bound as AEAD associated data, so a chunk served under
+/// another chunk's name (or another nym's) fails authentication.
+pub fn seal_bytes_keyed_into(
+    plain: &[u8],
+    key: &SealKey,
+    label: &str,
+    rng: &mut Rng,
+    scratch: &mut SealScratch,
+    out: &mut Vec<u8>,
+) {
+    scratch.plain.clear();
+    scratch.plain.extend_from_slice(plain);
+    seal_plain(key, label, rng, scratch, out);
+}
+
 /// Compress-and-encrypt `scratch.plain` into `out` under `key`,
 /// binding `label` as associated data. Shared tail of every seal path.
 fn seal_plain(

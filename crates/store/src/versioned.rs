@@ -7,8 +7,13 @@
 //! snapshot(s) protects against a save that captures a freshly stained
 //! session — the user can roll back past the stain.
 //!
-//! [`VersionedStore`] wraps any put/get key-value backend with
-//! `name@vN` keys, retention, and rollback.
+//! [`VersionedStore`] layers version numbering, retention, and rollback
+//! over any [`ObjectBackend`] — a local partition by default, a
+//! pseudonymous cloud session ([`crate::cloud::CloudSession`]) or
+//! anything else implementing the trait via
+//! [`VersionedStore::with_backend`]. Blobs live on the backend under
+//! collision-free derived object names; the store keeps only the
+//! version index (kind + size per version) in memory.
 //!
 //! ## Delta chains
 //!
@@ -28,7 +33,9 @@
 use std::collections::BTreeMap;
 
 use crate::archive::NymArchive;
+use crate::backend::{BackendError, ObjectBackend};
 use crate::delta::{DeltaArchive, DeltaError, DELTA_CHAIN_LIMIT};
+use crate::local::LocalStore;
 
 /// Whether a stored version is a full archive or a delta on the chain
 /// of the preceding full version.
@@ -40,33 +47,55 @@ pub enum SnapshotKind {
     Delta,
 }
 
-/// A store keeping up to `retain` full-snapshot chains per nym name.
+/// Backend object name of `(name, version)`. The fixed-width version
+/// prefix plus separator makes the mapping injective for arbitrary nym
+/// names — a nym actually *named* `a@v1` can never collide with
+/// version 1 of a nym named `a` (the regression the tuple-keyed store
+/// fixed, preserved across the move onto string-named backends).
+fn object_key(name: &str, version: u64) -> String {
+    format!("v{version:016x}/{name}")
+}
+
+/// A store keeping up to `retain` full-snapshot chains per nym name,
+/// generic over the [`ObjectBackend`] holding the blobs (an in-process
+/// [`LocalStore`] unless [`VersionedStore::with_backend`] says
+/// otherwise).
 ///
-/// Objects are keyed by the `(name, version)` pair directly rather than
-/// a formatted `"{name}@v{version}"` string: string keys invite
-/// collisions between a nym actually *named* `a@v1` and version 1 of a
-/// nym named `a`, and make range scans over one nym's versions
-/// impossible.
+/// The version index — which versions exist, their kind and size — is
+/// store-side state; the backend sees only opaque named blobs.
 #[derive(Debug, Clone)]
-pub struct VersionedStore {
-    objects: BTreeMap<(String, u64), (SnapshotKind, Vec<u8>)>,
+pub struct VersionedStore<B: ObjectBackend = LocalStore> {
+    backend: B,
+    index: BTreeMap<(String, u64), (SnapshotKind, usize)>,
     latest: BTreeMap<String, u64>,
     retain: usize,
     delta_limit: usize,
 }
 
 impl VersionedStore {
-    /// A store retaining `retain` full versions per name (deltas ride
-    /// with their base), compacting chains after [`DELTA_CHAIN_LIMIT`]
-    /// deltas.
+    /// A store over a fresh in-memory [`LocalStore`] backend, retaining
+    /// `retain` full versions per name (deltas ride with their base),
+    /// compacting chains after [`DELTA_CHAIN_LIMIT`] deltas.
     ///
     /// # Panics
     ///
     /// Panics if `retain` is zero.
     pub fn new(retain: usize) -> Self {
+        Self::with_backend(LocalStore::new(), retain)
+    }
+}
+
+impl<B: ObjectBackend> VersionedStore<B> {
+    /// A store writing its blobs through `backend`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `retain` is zero.
+    pub fn with_backend(backend: B, retain: usize) -> Self {
         assert!(retain > 0, "must retain at least one version");
         Self {
-            objects: BTreeMap::new(),
+            backend,
+            index: BTreeMap::new(),
             latest: BTreeMap::new(),
             retain,
             delta_limit: DELTA_CHAIN_LIMIT,
@@ -85,10 +114,30 @@ impl VersionedStore {
         self
     }
 
+    /// The underlying backend.
+    pub fn backend(&self) -> &B {
+        &self.backend
+    }
+
     /// Saves a new full version of `name`; returns its version number.
-    /// Old chains beyond the retention window are pruned (and their
-    /// bytes forgotten — a real backend would also shred them).
+    /// Old chains beyond the retention window are pruned (and deleted
+    /// from the backend — a real device would also shred them).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the backend refuses the write. Infallible over the
+    /// default in-memory [`LocalStore`]; against a fallible backend
+    /// (e.g. a credentialed cloud session) use
+    /// [`VersionedStore::try_save`].
     pub fn save(&mut self, name: &str, blob: Vec<u8>) -> u64 {
+        self.try_save(name, blob)
+            .unwrap_or_else(|e| panic!("backend refused snapshot write: {e}"))
+    }
+
+    /// [`VersionedStore::save`] propagating backend failures instead of
+    /// panicking. Nothing is recorded in the version index unless the
+    /// backend accepted the blob.
+    pub fn try_save(&mut self, name: &str, blob: Vec<u8>) -> Result<u64, BackendError> {
         self.insert(name, SnapshotKind::Full, blob)
     }
 
@@ -102,28 +151,37 @@ impl VersionedStore {
     /// archive is stored as a new **full** version.
     ///
     /// Fails without storing anything if no full base exists in the
-    /// chain, if the chain bytes don't parse, or if any replay hop
-    /// fails verification.
+    /// chain, if the chain bytes don't parse, if any replay hop fails
+    /// verification, or if the backend refuses the write
+    /// ([`DeltaError::Backend`]).
     pub fn save_delta(&mut self, name: &str, delta: &DeltaArchive) -> Result<u64, DeltaError> {
         // replay_latest also rejects a chain with no reachable full
         // base (e.g. after a rollback emptied it) with `NoBase`.
         let mut replayed = self.replay_latest(name)?;
         delta.apply(&mut replayed)?;
-        if self.deltas_since_full(name) >= self.delta_limit {
-            return Ok(self.insert(name, SnapshotKind::Full, replayed.to_bytes()));
-        }
-        Ok(self.insert(name, SnapshotKind::Delta, delta.to_bytes()))
+        let result = if self.deltas_since_full(name) >= self.delta_limit {
+            self.insert(name, SnapshotKind::Full, replayed.to_bytes())
+        } else {
+            self.insert(name, SnapshotKind::Delta, delta.to_bytes())
+        };
+        result.map_err(DeltaError::Backend)
     }
 
-    fn insert(&mut self, name: &str, kind: SnapshotKind, blob: Vec<u8>) -> u64 {
+    fn insert(
+        &mut self,
+        name: &str,
+        kind: SnapshotKind,
+        blob: Vec<u8>,
+    ) -> Result<u64, BackendError> {
         let version = self.latest.get(name).map_or(1, |v| v + 1);
-        self.objects
-            .insert((name.to_string(), version), (kind, blob));
+        let len = blob.len();
+        self.backend.put(&object_key(name, version), blob)?;
+        self.index.insert((name.to_string(), version), (kind, len));
         self.latest.insert(name.to_string(), version);
         if kind == SnapshotKind::Full {
             self.prune(name);
         }
-        version
+        Ok(version)
     }
 
     /// Drops every version older than the oldest retained full
@@ -143,20 +201,32 @@ impl VersionedStore {
             .take_while(|v| *v < oldest_kept)
             .collect();
         for v in stale {
-            self.objects.remove(&(name.to_string(), v));
+            self.index.remove(&(name.to_string(), v));
+            let _ = self.backend.delete(&object_key(name, v));
         }
     }
 
-    /// Loads a specific version's raw bytes.
-    pub fn load(&self, name: &str, version: u64) -> Option<&[u8]> {
-        self.objects
-            .get(&(name.to_string(), version))
-            .map(|(_, blob)| blob.as_slice())
+    /// Loads a specific version's raw bytes. `None` covers both "no
+    /// such version" and a failing backend — chain replay
+    /// ([`VersionedStore::load_latest_archive`]) goes through
+    /// [`VersionedStore::try_load`] instead so backend faults are never
+    /// misread as tampering or absence.
+    pub fn load(&mut self, name: &str, version: u64) -> Option<&[u8]> {
+        self.try_load(name, version).ok().flatten()
+    }
+
+    /// Loads a specific version's raw bytes, distinguishing an absent
+    /// version (`Ok(None)`) from a backend failure.
+    pub fn try_load(&mut self, name: &str, version: u64) -> Result<Option<&[u8]>, BackendError> {
+        if !self.index.contains_key(&(name.to_string(), version)) {
+            return Ok(None);
+        }
+        self.backend.get(&object_key(name, version))
     }
 
     /// The kind of a stored version.
     pub fn kind(&self, name: &str, version: u64) -> Option<SnapshotKind> {
-        self.objects
+        self.index
             .get(&(name.to_string(), version))
             .map(|(kind, _)| *kind)
     }
@@ -176,36 +246,43 @@ impl VersionedStore {
     /// Replays `name`'s latest chain — most recent full version plus
     /// every delta after it — verifying each hop's Merkle commitment.
     /// Any parse failure or root mismatch fails the whole load.
-    pub fn load_latest_archive(&self, name: &str) -> Result<NymArchive, DeltaError> {
+    pub fn load_latest_archive(&mut self, name: &str) -> Result<NymArchive, DeltaError> {
         self.replay_latest(name)
     }
 
-    fn replay_latest(&self, name: &str) -> Result<NymArchive, DeltaError> {
+    fn replay_latest(&mut self, name: &str) -> Result<NymArchive, DeltaError> {
         let latest = *self.latest.get(name).ok_or(DeltaError::NoBase)?;
         let chain: Vec<u64> = self.versions_range(name).filter(|v| *v <= latest).collect();
         let base_idx = chain
             .iter()
             .rposition(|v| self.kind(name, *v) == Some(SnapshotKind::Full))
             .ok_or(DeltaError::NoBase)?;
-        let base_bytes = self.load(name, chain[base_idx]).expect("version listed");
+        let base_bytes = self
+            .try_load(name, chain[base_idx])
+            .map_err(DeltaError::Backend)?
+            .ok_or(DeltaError::NoBase)?;
         let mut archive = NymArchive::from_bytes(base_bytes)?;
         for v in &chain[base_idx + 1..] {
-            let delta_bytes = self.load(name, *v).expect("version listed");
-            DeltaArchive::from_bytes(delta_bytes)?.apply(&mut archive)?;
+            let delta_bytes = self
+                .try_load(name, *v)
+                .map_err(DeltaError::Backend)?
+                .ok_or(DeltaError::Malformed)?;
+            let delta = DeltaArchive::from_bytes(delta_bytes)?;
+            delta.apply(&mut archive)?;
         }
         Ok(archive)
     }
 
     /// Iterates the versions held for `name`, ascending, via a key-range
-    /// scan (tuple keys make this a contiguous slice of the map).
+    /// scan of the index (tuple keys make this a contiguous slice).
     fn versions_range<'a>(&'a self, name: &'a str) -> impl DoubleEndedIterator<Item = u64> + 'a {
-        self.objects
+        self.index
             .range((name.to_string(), 0)..=(name.to_string(), u64::MAX))
             .map(|((_, v), _)| *v)
     }
 
     /// Loads the newest version, with its number.
-    pub fn load_latest(&self, name: &str) -> Option<(u64, &[u8])> {
+    pub fn load_latest(&mut self, name: &str) -> Option<(u64, &[u8])> {
         let v = *self.latest.get(name)?;
         Some((v, self.load(name, v)?))
     }
@@ -215,10 +292,11 @@ impl VersionedStore {
     /// new latest version, or `None` if no older version remains.
     pub fn rollback(&mut self, name: &str) -> Option<u64> {
         let v = *self.latest.get(name)?;
-        self.objects.remove(&(name.to_string(), v));
+        self.index.remove(&(name.to_string(), v));
+        let _ = self.backend.delete(&object_key(name, v));
         let prev = v
             .checked_sub(1)
-            .filter(|p| *p > 0 && self.objects.contains_key(&(name.to_string(), *p)))?;
+            .filter(|p| *p > 0 && self.index.contains_key(&(name.to_string(), *p)))?;
         self.latest.insert(name.to_string(), prev);
         Some(prev)
     }
@@ -228,9 +306,10 @@ impl VersionedStore {
         self.versions_range(name).collect()
     }
 
-    /// Total bytes held.
+    /// Total bytes held across every version (from the index — no
+    /// backend round-trips).
     pub fn total_bytes(&self) -> usize {
-        self.objects.values().map(|(_, blob)| blob.len()).sum()
+        self.index.values().map(|(_, len)| len).sum()
     }
 }
 
@@ -261,7 +340,9 @@ mod tests {
         assert_eq!(s.deltas_since_full("n"), 2);
         assert_eq!(s.load_latest_archive("n").unwrap(), cur);
         // Deltas are tiny relative to the base they patch.
-        assert!(s.load("n", 3).unwrap().len() < s.load("n", 1).unwrap().len() / 4);
+        let delta_len = s.load("n", 3).unwrap().len();
+        let base_len = s.load("n", 1).unwrap().len();
+        assert!(delta_len < base_len / 4);
     }
 
     #[test]
@@ -309,6 +390,10 @@ mod tests {
         s.save("n", archive(9).to_bytes());
         assert_eq!(s.versions("n"), vec![3]);
         assert_eq!(s.load_latest_archive("n").unwrap(), archive(9));
+        // Pruned blobs are deleted from the backend too, not just the
+        // index.
+        assert_eq!(s.backend().get(&object_key("n", 1)), None);
+        assert_eq!(s.backend().get(&object_key("n", 2)), None);
     }
 
     #[test]
@@ -351,12 +436,12 @@ mod tests {
         next.put("meta", b"rev=2".to_vec());
         s.save_delta("n", &DeltaArchive::diff(&base, &next))
             .unwrap();
-        // Corrupt the *base* record bytes: the delta doesn't carry that
-        // record, so only the Merkle commitment can notice.
+        // Corrupt the *base* record bytes behind the store's back: the
+        // delta doesn't carry that record, so only the Merkle
+        // commitment can notice.
         let mut evil = base.clone();
         evil.put("anonvm.disk", vec![0xEE; 400]);
-        s.objects
-            .insert(("n".to_string(), 1), (SnapshotKind::Full, evil.to_bytes()));
+        LocalStore::put(&mut s.backend, &object_key("n", 1), evil.to_bytes());
         assert_eq!(s.load_latest_archive("n"), Err(DeltaError::RootMismatch));
         // A delta refusing to verify also refuses to compact.
         let mut s2 = VersionedStore::new(2).with_delta_limit(1);
@@ -421,6 +506,8 @@ mod tests {
         let v = s.rollback("n").unwrap();
         assert_eq!(v, 1);
         assert_eq!(s.load_latest("n").unwrap().1, b"clean");
+        // The rolled-off blob is shredded from the backend.
+        assert_eq!(s.backend().get(&object_key("n", 2)), None);
         // No older version left: rollback now fails and latest is gone
         // with a further rollback attempt refused.
         assert!(s.rollback("n").is_none());
@@ -444,8 +531,9 @@ mod tests {
     #[test]
     fn version_like_names_cannot_collide() {
         // Regression: with formatted string keys, a nym literally named
-        // "a@v1" shared the keyspace with version 1 of nym "a". Tuple
-        // keys keep the namespaces disjoint.
+        // "a@v1" shared the keyspace with version 1 of nym "a". The
+        // injective object-key encoding keeps the namespaces disjoint
+        // even on a flat string-named backend.
         let mut s = VersionedStore::new(3);
         s.save("a", b"version-one-of-a".to_vec());
         s.save("a@v1", b"the-nym-called-a@v1".to_vec());
@@ -460,5 +548,37 @@ mod tests {
         assert!(s.rollback("a@v1").is_none()); // only one version held
         assert_eq!(s.load_latest("a").unwrap().1, b"version-two-of-a");
         assert_eq!(s.versions("a"), vec![1, 2]);
+    }
+
+    #[test]
+    fn generic_over_a_cloud_session_backend() {
+        // The same store logic runs unchanged against a pseudonymous
+        // cloud account; the provider observes only the session's exit
+        // address and opaque derived object names.
+        use crate::cloud::CloudProvider;
+        use nymix_net::Ip;
+
+        let mut provider = CloudProvider::new("drive");
+        provider.create_account("anon", "tok");
+        let exit = Ip::parse("198.18.0.9");
+        {
+            let session = provider.session("anon", "tok", exit);
+            let mut s = VersionedStore::with_backend(session, 2);
+            let base = archive(1);
+            s.save("n", base.to_bytes());
+            let mut next = base.clone();
+            next.put("meta", b"rev=2".to_vec());
+            s.save_delta("n", &DeltaArchive::diff(&base, &next))
+                .unwrap();
+            assert_eq!(s.load_latest_archive("n").unwrap(), next);
+        }
+        assert!(!p_is_empty(&provider));
+        for entry in provider.access_log() {
+            assert_eq!(entry.observed_ip, exit);
+        }
+    }
+
+    fn p_is_empty(p: &crate::cloud::CloudProvider) -> bool {
+        p.subpoena("anon").is_empty()
     }
 }

@@ -8,8 +8,8 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 
 use nymix_sim::Rng;
 use nymix_store::{
-    seal_delta_keyed_into, seal_into, unseal_keyed_raw_into, unseal_raw_into, DeltaArchive,
-    NymArchive, SealKey, SealScratch,
+    chunker, seal_delta_keyed_into, seal_into, unseal_keyed_raw_into, unseal_raw_into,
+    DeltaArchive, NymArchive, SealKey, SealScratch,
 };
 
 struct CountingAlloc;
@@ -107,6 +107,32 @@ fn warm_delta_seal_pipeline_is_allocation_free() {
         }
     });
     assert_eq!(n, 0, "warm delta seal/unseal must not allocate");
+}
+
+#[test]
+fn content_defined_chunking_is_allocation_free() {
+    // The chunker runs over every large record on every incremental
+    // save; it yields borrowed sub-slices and must never touch the
+    // heap, warm or cold.
+    let mut data = vec![0u8; 256 * 1024];
+    let mut x = 0x9E37_79B9u64;
+    for b in data.iter_mut() {
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        *b = (x >> 32) as u8;
+    }
+    let n = allocations_in(|| {
+        let mut total = 0usize;
+        let mut count = 0usize;
+        for chunk in chunker::chunks(&data) {
+            total += chunk.len();
+            count += 1;
+        }
+        assert_eq!(total, data.len());
+        assert!(count > 1);
+    });
+    assert_eq!(n, 0, "chunking must not allocate");
 }
 
 #[test]

@@ -102,4 +102,47 @@ fn main() {
         .iter()
         .any(|e| e.observed_ip == user_ip);
     println!("cloud provider ever saw Bob's IP: {saw_user}");
+
+    // 6. Bob comes back for another browser session. Incremental saves
+    //    upload only what changed — and with content-addressed chunking
+    //    a write inside the big AnonVM disk record ships a manifest
+    //    plus the few chunks it touched, not the whole record. Same
+    //    session replayed with chunking off shows the dedup savings.
+    let (full_chunked, delta_chunked) = follow_up_session(true);
+    let (full_plain, delta_plain) = follow_up_session(false);
+    println!("follow-up session, bytes uploaded through Tor:");
+    println!("  first save (full):         {full_plain:>8} B record-granular, {full_chunked:>8} B chunked");
+    println!("  next save (one session):   {delta_plain:>8} B record-granular, {delta_chunked:>8} B chunked");
+    println!(
+        "  chunked dedup saves {:.1}x on the incremental save",
+        delta_plain as f64 / delta_chunked as f64
+    );
+}
+
+/// One follow-up workflow — resume the nym, browse, save incrementally
+/// twice — returning (full-save bytes, incremental-save bytes) actually
+/// uploaded. Deterministic: the same seed drives both runs, so the only
+/// difference is whether large records ship as chunk-manifest deltas.
+fn follow_up_session(chunked: bool) -> (usize, usize) {
+    let mut nymix = NymManager::new(11, 8);
+    nymix.set_chunking(chunked);
+    nymix.register_cloud("dropbox", "throwaway-8841", "app-token");
+    let dest = StorageDest::Cloud {
+        provider: "dropbox".into(),
+        account: "throwaway-8841".into(),
+        credential: "app-token".into(),
+    };
+    let (nym, _) = nymix
+        .create_nym("tyr-press", AnonymizerKind::Tor, UsageModel::Persistent)
+        .expect("capacity");
+    nymix.visit_site(nym, Site::Twitter).expect("live nym");
+    let (_, full_bytes, _) = nymix
+        .save_nym_incremental(nym, "len(gth)-of-rope", &dest)
+        .expect("save");
+    // The next session dirties the browser cache inside the AnonVM.
+    nymix.visit_site(nym, Site::TorBlog).expect("live nym");
+    let (_, delta_bytes, _) = nymix
+        .save_nym_incremental(nym, "len(gth)-of-rope", &dest)
+        .expect("save");
+    (full_bytes, delta_bytes)
 }
