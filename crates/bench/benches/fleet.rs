@@ -1,0 +1,168 @@
+//! Fleet-scale store-nym: 32 concurrent sessions saving through the
+//! batched store pipeline vs 32 serial saves.
+//!
+//! The scenario is the fleet heartbeat: every session's guard state
+//! changed since the last snapshot (a small dirty set — the steady
+//! state of a long-lived fleet), all 32 chains warm, one shared
+//! pseudonymous cloud account. Two quantities matter:
+//!
+//! * **Sim completion time** (the system's own §3.5 timing model):
+//!   serial saves each pay the access link's round-trip latency and
+//!   advance the clock one after another; the batched save moves the
+//!   same sealed bytes over the same shared link but pays the
+//!   round-trip once — the "amortize backend round-trips" win,
+//!   measured deterministically (no sampling noise) and recorded in
+//!   BENCH_store.json.
+//! * **Wall time** per round (the shim-timed benches): capture, delta,
+//!   seal and upload for the whole fleet. On a multi-core host the
+//!   batched seal stage runs one thread per session; on a single-core
+//!   host (this container) the pipeline fuses the stages per session,
+//!   so wall time shows pipeline overhead parity, not the threading
+//!   win.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use nymix::{FleetSaveRequest, NymFleet, NymManager, StorageDest, UsageModel};
+use nymix_anon::AnonymizerKind;
+use nymix_workload::Site;
+
+const FLEET: usize = 32;
+
+fn dest() -> StorageDest {
+    StorageDest::Cloud {
+        provider: "drive".into(),
+        account: "shared-acct".into(),
+        credential: "tok".into(),
+    }
+}
+
+/// A 64 GiB host (32 nymboxes need ~22 GiB) with 32 browsed, fully
+/// saved sessions — every chain warm, every later save a delta.
+fn warm_fleet(seed: u64) -> (NymManager, NymFleet) {
+    let mut m = NymManager::with_host_ram(seed, 8, 65_536);
+    m.register_cloud("drive", "shared-acct", "tok");
+    let fleet = NymFleet::spawn(
+        &mut m,
+        "f",
+        FLEET,
+        AnonymizerKind::Tor,
+        UsageModel::Persistent,
+    )
+    .expect("64 GiB host admits 32 nymboxes");
+    let sites = [Site::Twitter, Site::Bbc, Site::Facebook, Site::Youtube];
+    fleet
+        .visit_round(&mut m, |i| sites[i % sites.len()])
+        .expect("fleet browses");
+    fleet
+        .save_round(&mut m, "pw", |_| dest())
+        .expect("initial full fleet save");
+    (m, fleet)
+}
+
+/// Dirty every session's anonymizer state (alternating guard seeds, so
+/// the record genuinely changes every round while staying bounded).
+fn reseed_guards(m: &mut NymManager, fleet: &NymFleet, round: usize) {
+    let location = if round.is_multiple_of(2) {
+        "usb://a"
+    } else {
+        "usb://b"
+    };
+    for id in fleet.ids() {
+        m.seed_guards_deterministically(*id, location, "pw")
+            .expect("live nym");
+    }
+}
+
+/// One-shot deterministic comparison of the *modeled* completion time:
+/// the same dirtied fleet saved serially (32 save_nym_incremental
+/// calls, each advancing the clock by its own transfer + round trip)
+/// vs through one batched pipeline run (shared link, one round trip).
+fn report_sim_completion() {
+    let (mut m, fleet) = warm_fleet(11);
+    reseed_guards(&mut m, &fleet, 0);
+    let before = m.now();
+    for id in fleet.ids() {
+        m.save_nym_incremental(*id, "pw", &dest())
+            .expect("serial save");
+    }
+    let serial = m.now().since(before);
+
+    let (mut m, fleet) = warm_fleet(11);
+    reseed_guards(&mut m, &fleet, 0);
+    let before = m.now();
+    fleet
+        .save_round(&mut m, "pw", |_| dest())
+        .expect("batched save");
+    let batched = m.now().since(before);
+
+    println!(
+        "fleet/sim_completion_32_delta_saves  serial: {:.3}s   batched: {:.3}s   ({:.2}x)",
+        serial.as_secs_f64(),
+        batched.as_secs_f64(),
+        serial.as_secs_f64() / batched.as_secs_f64()
+    );
+}
+
+fn bench_fleet(c: &mut Criterion) {
+    report_sim_completion();
+
+    let mut group = c.benchmark_group("fleet");
+    group.sample_size(10);
+
+    // One iteration = one full chain cycle: 4 delta heartbeats plus
+    // the compaction save that follows (DELTA_CHAIN_LIMIT = 4), so
+    // every iteration does identical work no matter how the harness
+    // batches iterations — the chain phase can't drift into the
+    // samples.
+    const CYCLE: usize = 5;
+
+    group.bench_function("nym_fleet_save_32_serial", |b| {
+        let (mut m, fleet) = warm_fleet(21);
+        let mut round = 0usize;
+        b.iter(|| {
+            let mut total = 0usize;
+            for _ in 0..CYCLE {
+                reseed_guards(&mut m, &fleet, round);
+                round += 1;
+                for id in fleet.ids() {
+                    let (_, uploaded, _) = m
+                        .save_nym_incremental(*id, "pw", &dest())
+                        .expect("serial save");
+                    total += uploaded;
+                }
+            }
+            black_box(total)
+        });
+    });
+
+    group.bench_function("nym_fleet_save_32_batched", |b| {
+        let (mut m, fleet) = warm_fleet(21);
+        let d = dest();
+        let mut round = 0usize;
+        b.iter(|| {
+            let mut total = 0usize;
+            for _ in 0..CYCLE {
+                reseed_guards(&mut m, &fleet, round);
+                round += 1;
+                let reqs: Vec<FleetSaveRequest<'_>> = fleet
+                    .ids()
+                    .iter()
+                    .map(|id| FleetSaveRequest {
+                        id: *id,
+                        password: "pw",
+                        dest: &d,
+                    })
+                    .collect();
+                let outcomes = m.save_nyms_incremental(&reqs).expect("batched save");
+                total += outcomes.iter().map(|(_, b, _)| b).sum::<usize>();
+            }
+            black_box(total)
+        });
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_fleet);
+criterion_main!(benches);

@@ -233,6 +233,65 @@ fn bench_seal(c: &mut Criterion) {
         });
     });
 
+    // The entropy gate on the chunk-seal path: incompressible chunks
+    // skip the LZSS match finder (stored all-literal body, identical
+    // wire format) while text keeps compressing. Before = every chunk
+    // through the matcher; after = what the gated path runs.
+    {
+        use nymix_store::{seal_bytes_keyed_into, seal_bytes_keyed_stored_into};
+        let mut random_chunk = vec![0u8; 64 * 1024];
+        nymix_crypto::ChaCha20::new(&[0x5E; 32], &[7u8; 12], 0).xor_into(&mut random_chunk);
+        let text_chunk: Vec<u8> = b"<div class=\"post\">timeline entry</div>\n"
+            .iter()
+            .copied()
+            .cycle()
+            .take(64 * 1024)
+            .collect();
+        let mut rng = Rng::seed_from(7);
+        let key = SealKey::derive("pw", "nym:bench", &mut rng);
+        let mut scratch = SealScratch::new();
+        let mut out = Vec::new();
+        group.bench_function("chunk_seal_64k_random_lzss", |b| {
+            b.iter(|| {
+                seal_bytes_keyed_into(
+                    black_box(&random_chunk),
+                    &key,
+                    "l#e1/c/ab",
+                    &mut rng,
+                    &mut scratch,
+                    &mut out,
+                );
+                black_box(out.len())
+            });
+        });
+        group.bench_function("chunk_seal_64k_random_stored", |b| {
+            b.iter(|| {
+                seal_bytes_keyed_stored_into(
+                    black_box(&random_chunk),
+                    &key,
+                    "l#e1/c/ab",
+                    &mut rng,
+                    &mut scratch,
+                    &mut out,
+                );
+                black_box(out.len())
+            });
+        });
+        group.bench_function("chunk_seal_64k_text_lzss", |b| {
+            b.iter(|| {
+                seal_bytes_keyed_into(
+                    black_box(&text_chunk),
+                    &key,
+                    "l#e1/c/cd",
+                    &mut rng,
+                    &mut scratch,
+                    &mut out,
+                );
+                black_box(out.len())
+            });
+        });
+    }
+
     group.bench_function("delta_restore_replay_64k", |b| {
         let mut rng = Rng::seed_from(7);
         let key = SealKey::derive("pw", "nym:bench", &mut rng);

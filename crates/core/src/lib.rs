@@ -13,7 +13,11 @@
 //!
 //! * [`nymbox`] — a nymbox: VM pair, usage model, network attachment.
 //! * [`manager`] — the Nym Manager: create/save/restore/destroy nyms,
-//!   full topology wiring, startup timing (Figure 7).
+//!   full topology wiring, startup timing (Figure 7). Layered as
+//!   [`manager::env`] (the shared simulated world),
+//!   [`manager::session`] (per-nym state with hard ownership
+//!   boundaries), [`manager::pipeline`] (the staged, batched store
+//!   pipeline) and [`manager::fleet`] (multi-nym scheduling).
 //! * [`timing`] — startup phase breakdowns and calibration.
 //! * [`sanivm`] — the sanitized file-transfer path (§3.6/§4.3).
 //! * [`installed_os`] — booting the machine's installed OS as a nym
@@ -33,7 +37,8 @@ pub mod timing;
 pub mod validation;
 
 pub use installed_os::{InstalledOs, OsKind, RepairOutcome};
-pub use manager::{NymId, NymManager, NymManagerError, SaveKind, StorageDest};
+pub use manager::fleet::FleetSaveRequest;
+pub use manager::{NymFleet, NymId, NymManager, NymManagerError, SaveKind, StorageDest};
 pub use nymbox::{Nymbox, UsageModel};
 pub use sanivm::SaniVm;
 pub use timing::StartupBreakdown;

@@ -1,0 +1,295 @@
+//! The **Environment** layer: the shared simulated world.
+//!
+//! Everything every nym sees in common lives here — the hypervisor
+//! (VMs, memory, CPU), the packet fabric (isolation), the fluid flow
+//! network (timing), DNS, the relay directory, the simulation clock,
+//! the world RNG, and the storage endpoints (cloud providers, local
+//! partition). The layering rule: an [`Environment`] never holds
+//! per-nym state. Per-nym state — nymbox, anonymizer, browser,
+//! snapshot chains, sealing scratch — lives in
+//! [`NymSession`](super::session::NymSession), one value per nym, so
+//! no `&mut` on one nym's session can alias another's. Sessions take
+//! `&mut Environment` for exactly the operations that genuinely touch
+//! the shared world (booting VMs, driving flows, advancing the clock).
+
+use nymix_anon::tor::{TorClient, TorDirectory};
+use nymix_anon::{Anonymizer, AnonymizerKind, DissentNet, Incognito, Sweet};
+use nymix_net::dns::DnsDb;
+use nymix_net::flow::calib as netcal;
+use nymix_net::{Fabric, FlowNet, Ip, LinkId, Mac, NodeId, NodeKind};
+use nymix_sim::{Rng, SimDuration, SimTime};
+use nymix_store::cloud::CloudSession;
+use nymix_store::{CloudProvider, LocalStore, ObjectBackend};
+use nymix_vmm::Hypervisor;
+
+use std::collections::BTreeMap;
+
+use super::{NymManagerError, StorageDest};
+
+/// The shared simulated world every nym runs in.
+pub struct Environment {
+    pub(super) hv: Hypervisor,
+    pub(super) fabric: Fabric,
+    pub(super) flows: FlowNet,
+    pub(super) access_link: LinkId,
+    pub(super) dns: DnsDb,
+    pub(super) directory: TorDirectory,
+    pub(super) rng: Rng,
+    pub(super) clock: SimTime,
+    pub(super) cloud: BTreeMap<String, CloudProvider>,
+    pub(super) local: LocalStore,
+    pub(super) browser_scale: u64,
+    // Fabric landmarks.
+    pub(super) hyp_node: NodeId,
+    pub(super) internet_node: NodeId,
+    pub(super) intranet_node: NodeId,
+    pub(super) public_ip: Ip,
+    pub(super) lan_gateway_ip: Ip,
+}
+
+impl Environment {
+    /// Boots the paper's testbed topology on a host with
+    /// `host_ram_mib` MiB of RAM (minimal base image for speed;
+    /// `browser_scale` divides browser byte volumes).
+    pub(super) fn new(seed: u64, browser_scale: u64, host_ram_mib: u32) -> Self {
+        let mut fabric = Fabric::new();
+        let public_ip = Ip::parse("203.0.113.9");
+        let lan_gateway_ip = Ip::parse("192.168.1.1");
+
+        // The hypervisor host: NAT from nymboxes to the access link,
+        // plus a leg on the local intranet.
+        let hyp_node = fabric.add_node("hypervisor", NodeKind::Nat);
+        let hyp_wan = fabric.add_iface(hyp_node, Mac::host_nic(1), public_ip);
+        let hyp_lan = fabric.add_iface(hyp_node, Mac::host_nic(2), Ip::parse("192.168.1.100"));
+
+        // The wide-area Internet: owns every evaluation-site address.
+        let internet_node = fabric.add_node("internet", NodeKind::Internet);
+        let inet_iface =
+            fabric.add_iface(internet_node, Mac::host_nic(3), Ip::parse("198.51.100.1"));
+        let dns = DnsDb::with_eval_sites();
+        for (i, name) in [
+            "gmail.com",
+            "twitter.com",
+            "youtube.com",
+            "blog.torproject.org",
+            "bbc.co.uk",
+            "facebook.com",
+            "slashdot.org",
+            "espn.com",
+            "kernel.deterlab.net",
+            "cloud.dropbox.example",
+            "cloud.drive.example",
+        ]
+        .iter()
+        .enumerate()
+        {
+            let ip = dns.resolve(name).expect("eval site registered");
+            fabric.add_iface(internet_node, Mac::host_nic(100 + i as u32), ip);
+        }
+        // Tor relays live on the internet node too (198.18.0.0/15).
+        for i in 0..4u32 {
+            fabric.add_iface(
+                internet_node,
+                Mac::host_nic(200 + i),
+                Ip([198, 18, 0, i as u8]),
+            );
+        }
+        fabric.connect(hyp_node, hyp_wan, internet_node, inet_iface);
+        fabric.add_route(internet_node, Ip::parse("0.0.0.0"), 0, inet_iface);
+
+        // The local intranet (what CommVMs must NOT reach, §5.1).
+        let intranet_node = fabric.add_node("intranet-fileserver", NodeKind::Host);
+        let intr_iface = fabric.add_iface(intranet_node, Mac::host_nic(4), lan_gateway_ip);
+        fabric.connect(hyp_node, hyp_lan, intranet_node, intr_iface);
+        fabric.add_route(intranet_node, Ip::parse("0.0.0.0"), 0, intr_iface);
+
+        // Hypervisor routing: LAN to the LAN leg, everything else WAN.
+        fabric.add_route(hyp_node, Ip::parse("0.0.0.0"), 0, hyp_wan);
+        fabric.add_route(hyp_node, Ip::parse("192.168.1.0"), 24, hyp_lan);
+
+        // Fluid network: the shaped 10 Mbit/s access link.
+        let mut flows = FlowNet::new();
+        let access_link = flows.add_link(netcal::ACCESS_LINK_BPS, netcal::ACCESS_ONE_WAY);
+
+        let mut rng = Rng::seed_from(seed);
+        let directory = TorDirectory::generate(rng.next_u64(), 120);
+
+        // Boot-time DHCP: the only LAN traffic an idle Nymix host emits
+        // (§5.1: "The Nymix hypervisor emitted only traffic for DHCP and
+        // anonymizer traffic").
+        let dhcp =
+            nymix_net::fabric::Packet::udp(Ip::parse("192.168.1.100"), lan_gateway_ip, 67, 300);
+        let _ = fabric.send(hyp_node, dhcp);
+
+        Self {
+            // paper_testbed_minimal() at the paper's 16 GiB; larger
+            // hosts run bigger fleets (the admission model is unchanged).
+            hv: Hypervisor::new(
+                host_ram_mib,
+                nymix_fs::BaseImage::minimal().to_layer(),
+                nymix_vmm::CpuHost::paper_testbed(),
+            ),
+            fabric,
+            flows,
+            access_link,
+            dns,
+            directory,
+            rng,
+            clock: SimTime::ZERO,
+            cloud: BTreeMap::new(),
+            local: LocalStore::new(),
+            browser_scale,
+            hyp_node,
+            internet_node,
+            intranet_node,
+            public_ip,
+            lan_gateway_ip,
+        }
+    }
+
+    /// Boots a fresh anonymizer of the requested kind against the
+    /// shared relay directory (drawing from the world RNG).
+    pub(super) fn build_anonymizer(&mut self, kind: AnonymizerKind) -> Box<dyn Anonymizer> {
+        match kind {
+            AnonymizerKind::Tor => {
+                let mut tor = TorClient::bootstrap(&self.directory, &mut self.rng);
+                // The startup phases include the circuit build; give the
+                // client its live circuit so exit_address is a real exit.
+                let _ = tor.build_circuit(&self.directory, &mut self.rng);
+                Box::new(tor)
+            }
+            AnonymizerKind::Dissent => Box::new(DissentNet::new(8, 3, 512, self.rng.next_u64())),
+            AnonymizerKind::Incognito => Box::new(Incognito::new()),
+            AnonymizerKind::Sweet => Box::new(Sweet::new()),
+        }
+    }
+
+    /// Pushes `wire_bytes` through the shared access link as one flow,
+    /// advancing the fluid network, and returns the transfer time.
+    pub(super) fn run_access_flow(&mut self, wire_bytes: f64) -> SimDuration {
+        let start = self.clock;
+        let flow = self
+            .flows
+            .start_flow(start, vec![self.access_link], wire_bytes);
+        let mut finish = start;
+        while self.flows.flow_remaining(flow).is_some() {
+            let next = self
+                .flows
+                .next_event()
+                .expect("flow pending implies an event");
+            self.flows.advance(next);
+            finish = next;
+        }
+        if let Some(t) = self.flows.completions().get(&flow) {
+            finish = *t;
+        }
+        finish.since(start)
+    }
+
+    /// Seconds to move `wire_bytes` across the access link right now
+    /// (serial ops: assumes the link is otherwise idle).
+    pub(super) fn transfer_secs(wire_bytes: f64) -> f64 {
+        wire_bytes / netcal::ACCESS_LINK_BPS + netcal::ACCESS_ONE_WAY.as_secs_f64()
+    }
+}
+
+/// Deterministic semi-compressible filler (directory documents are
+/// text-ish: ~half repeated tokens, half digest material).
+pub(super) fn deterministic_blob(tag: u64, len: usize) -> Vec<u8> {
+    let mut out = Vec::with_capacity(len);
+    let mut x = tag ^ 0x9e3779b97f4a7c15;
+    while out.len() < len {
+        x = x
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        if x & 1 == 0 {
+            out.extend_from_slice(b"router relay-descriptor bandwidth=");
+        }
+        out.extend_from_slice(&x.to_le_bytes());
+    }
+    out.truncate(len);
+    out
+}
+
+/// The storage destination presented as a flat [`ObjectBackend`]: a
+/// credentialed cloud session observing the anonymizer's exit address,
+/// or the local partition. Everything the save/restore pipeline ships —
+/// base archives, deltas, chunk objects — moves through this one
+/// interface.
+pub(super) enum DestBackend<'a> {
+    Cloud(CloudSession<'a>),
+    Local(&'a mut LocalStore),
+}
+
+impl ObjectBackend for DestBackend<'_> {
+    fn put(&mut self, name: &str, data: Vec<u8>) -> Result<(), nymix_store::BackendError> {
+        match self {
+            DestBackend::Cloud(s) => s.put(name, data),
+            DestBackend::Local(s) => ObjectBackend::put(*s, name, data),
+        }
+    }
+
+    fn put_many(
+        &mut self,
+        objects: Vec<(String, Vec<u8>)>,
+    ) -> Result<(), nymix_store::BackendError> {
+        match self {
+            DestBackend::Cloud(s) => s.put_many(objects),
+            DestBackend::Local(s) => ObjectBackend::put_many(*s, objects),
+        }
+    }
+
+    fn get(&mut self, name: &str) -> Result<Option<&[u8]>, nymix_store::BackendError> {
+        match self {
+            DestBackend::Cloud(s) => s.get(name),
+            DestBackend::Local(s) => ObjectBackend::get(*s, name),
+        }
+    }
+
+    fn delete(&mut self, name: &str) -> Result<bool, nymix_store::BackendError> {
+        match self {
+            DestBackend::Cloud(s) => s.delete(name),
+            DestBackend::Local(s) => ObjectBackend::delete(*s, name),
+        }
+    }
+
+    fn list(&mut self, out: &mut Vec<String>) -> Result<(), nymix_store::BackendError> {
+        match self {
+            DestBackend::Cloud(s) => s.list(out),
+            DestBackend::Local(s) => ObjectBackend::list(*s, out),
+        }
+    }
+}
+
+/// Opens the storage destination as an [`ObjectBackend`]: a
+/// credentialed cloud session (which needs the fetching/saving
+/// anonymizer's `exit` address — that is all the provider ever
+/// observes) or the local partition.
+pub(super) fn dest_backend<'a>(
+    cloud: &'a mut BTreeMap<String, CloudProvider>,
+    local: &'a mut LocalStore,
+    dest: &StorageDest,
+    exit: Option<Ip>,
+) -> Result<DestBackend<'a>, NymManagerError> {
+    match dest {
+        StorageDest::Cloud {
+            provider,
+            account,
+            credential,
+        } => {
+            let p = cloud
+                .get_mut(provider)
+                .ok_or_else(|| NymManagerError::NoSuchProvider(provider.clone()))?;
+            Ok(DestBackend::Cloud(p.session(
+                account,
+                credential,
+                exit.expect("cloud access rides an anonymizer with an exit"),
+            )))
+        }
+        StorageDest::Local => Ok(DestBackend::Local(local)),
+    }
+}
+
+pub(super) fn storage_err(e: nymix_store::BackendError) -> NymManagerError {
+    NymManagerError::Storage(e.to_string())
+}

@@ -1,0 +1,607 @@
+//! The Nym Manager.
+//!
+//! "Nymix's most crucial component is its Nym Manager, which manages
+//! nyms and separates all client-side browsing and other activities
+//! into separate virtual machines or nymboxes for each nym" (§3.1).
+//!
+//! The manager is a thin facade over three layers with hard ownership
+//! boundaries:
+//!
+//! * [`mod@env`] — the **Environment**: the shared simulated world
+//!   (hypervisor, fabric, flows, DNS, relay directory, clock, storage
+//!   endpoints). Exactly one per manager; never holds per-nym state.
+//! * [`session`] — one **NymSession** per live nym: nymbox, private
+//!   anonymizer, browser state, snapshot chains, its own sealing
+//!   scratch and nonce RNG. No `&mut` on one session can alias
+//!   another, which is what lets fleets of nyms operate concurrently.
+//! * [`pipeline`] — the **StorePipeline**: the staged §3.5 store-nym
+//!   workflow (dirty-detect → chunk → seal → upload) over any number
+//!   of sessions at once, plus the label registry and scratch pool
+//!   that outlive individual sessions.
+//!
+//! [`fleet`] adds the multi-nym scheduler: deterministic interleaving
+//! of N sessions over sim time, with batched saves that seal on one
+//! thread per session and land through one backend round trip per
+//! destination.
+//!
+//! The public API implements the §3.5 workflow verbatim: *start a
+//! fresh nym*, *store nym* (pause → sync → compress → encrypt → upload
+//! via the nym's own CommVM), and *load an existing nym* (ephemeral
+//! fetch nym → download → decrypt → resume).
+
+pub mod env;
+pub mod fleet;
+pub mod pipeline;
+pub mod restore;
+pub mod session;
+
+use std::collections::BTreeMap;
+
+use nymix_anon::tor::{TorDirectory, TorState};
+use nymix_anon::{Anonymizer, AnonymizerKind};
+use nymix_net::dns::DnsDb;
+use nymix_net::{Fabric, Ip, NodeId};
+use nymix_sim::{SimDuration, SimTime};
+use nymix_store::{CloudProvider, LocalStore};
+use nymix_vmm::{Hypervisor, HypervisorError};
+use nymix_workload::browser::BrowserState;
+use nymix_workload::Site;
+
+use crate::nymbox::{Nymbox, UsageModel};
+use crate::timing::{calib as tcal, StartupBreakdown};
+
+use env::Environment;
+use pipeline::{SaveRequest, StorePipeline};
+use restore::fetch_chain;
+use session::{storage_label, ChainState, NymSession, RestoredState};
+
+pub use fleet::NymFleet;
+
+/// Identifies a nym within a manager.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct NymId(pub u64);
+
+/// Where quasi-persistent state is kept (§3.5).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StorageDest {
+    /// Anonymous cloud storage: deniable, needs an ephemeral fetch nym.
+    Cloud {
+        /// Provider name (must be registered).
+        provider: String,
+        /// Pseudonymous account id.
+        account: String,
+        /// Account credential.
+        credential: String,
+    },
+    /// Local partition / USB drive: faster, not deniable.
+    Local,
+}
+
+/// Errors from Nym Manager operations.
+#[derive(Debug)]
+pub enum NymManagerError {
+    /// The hypervisor refused (usually memory admission).
+    Hypervisor(HypervisorError),
+    /// Unknown nym id.
+    NoSuchNym(NymId),
+    /// Unknown cloud provider.
+    NoSuchProvider(String),
+    /// Storage/crypto failure on save or restore.
+    Storage(String),
+    /// The nym has no stored state to restore.
+    NothingStored,
+}
+
+impl core::fmt::Display for NymManagerError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            NymManagerError::Hypervisor(e) => write!(f, "hypervisor: {e}"),
+            NymManagerError::NoSuchNym(id) => write!(f, "no such nym: {id:?}"),
+            NymManagerError::NoSuchProvider(p) => write!(f, "no such provider: {p}"),
+            NymManagerError::Storage(s) => write!(f, "storage: {s}"),
+            NymManagerError::NothingStored => write!(f, "no stored state for nym"),
+        }
+    }
+}
+
+impl std::error::Error for NymManagerError {}
+
+impl From<HypervisorError> for NymManagerError {
+    fn from(e: HypervisorError) -> Self {
+        NymManagerError::Hypervisor(e)
+    }
+}
+
+/// Whether a store-nym operation sealed the full archive or only the
+/// dirty-record delta.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SaveKind {
+    /// The whole record set was sealed (and a new chain epoch began).
+    Full,
+    /// Only records dirty since the previous snapshot were sealed.
+    Delta,
+}
+
+/// The Nym Manager: facade over the environment, the per-nym sessions
+/// and the store pipeline.
+pub struct NymManager {
+    env: Environment,
+    sessions: BTreeMap<NymId, NymSession>,
+    next_nym: u64,
+    pipeline: StorePipeline,
+    /// Per-record sizes of the most recent save: (anonvm, commvm,
+    /// other) payload bytes — Figure 6's "AnonVM content accounting
+    /// for 85% of the pseudonym size" breakdown.
+    last_save_breakdown: Option<(usize, usize, usize)>,
+}
+
+impl NymManager {
+    /// Boots Nymix on the paper's testbed (minimal base image for
+    /// speed; `browser_scale` divides browser byte volumes — use 1 for
+    /// full fidelity, 16–64 for fast runs).
+    pub fn new(seed: u64, browser_scale: u64) -> Self {
+        Self::with_host_ram(
+            seed,
+            browser_scale,
+            nymix_vmm::hypervisor::calib::HOST_RAM_MIB,
+        )
+    }
+
+    /// [`NymManager::new`] on a host with `host_ram_mib` MiB of RAM —
+    /// the admission model is unchanged, so a 64 GiB host runs fleets
+    /// the paper's 16 GiB testbed would refuse (each nymbox costs
+    /// ~706 MiB).
+    pub fn with_host_ram(seed: u64, browser_scale: u64, host_ram_mib: u32) -> Self {
+        Self {
+            env: Environment::new(seed, browser_scale, host_ram_mib),
+            sessions: BTreeMap::new(),
+            next_nym: 1,
+            pipeline: StorePipeline::new(),
+            last_save_breakdown: None,
+        }
+    }
+
+    /// Enables or disables content-addressed chunking of large records
+    /// on the incremental save path (on by default). Restores always
+    /// resolve chunked records regardless, so toggling never strands
+    /// stored state.
+    pub fn set_chunking(&mut self, enabled: bool) {
+        self.pipeline.chunking = enabled;
+    }
+
+    /// Whether incremental saves chunk large records.
+    pub fn chunking(&self) -> bool {
+        self.pipeline.chunking
+    }
+
+    /// Registers a cloud provider (e.g. "dropbox") with one account.
+    /// Registering the same provider again adds the account to it — a
+    /// fleet of nyms keeps one pseudonymous account each on a shared
+    /// provider (previously this silently replaced the provider,
+    /// wiping its accounts and access log).
+    pub fn register_cloud(&mut self, provider: &str, account: &str, credential: &str) {
+        self.env
+            .cloud
+            .entry(provider.to_string())
+            .or_insert_with(|| CloudProvider::new(provider))
+            .create_account(account, credential);
+    }
+
+    /// Current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.env.clock
+    }
+
+    /// The hypervisor (for memory/CPU accounting).
+    pub fn hypervisor(&self) -> &Hypervisor {
+        &self.env.hv
+    }
+
+    /// Mutable hypervisor access (ablation knobs like KSM).
+    pub fn hypervisor_mut(&mut self) -> &mut Hypervisor {
+        &mut self.env.hv
+    }
+
+    /// The packet fabric (for validation probes).
+    pub fn fabric(&self) -> &Fabric {
+        &self.env.fabric
+    }
+
+    /// Mutable fabric access (validation probes mutate trace state).
+    pub fn fabric_mut(&mut self) -> &mut Fabric {
+        &mut self.env.fabric
+    }
+
+    /// A registered cloud provider.
+    pub fn cloud_provider(&self, name: &str) -> Option<&CloudProvider> {
+        self.env.cloud.get(name)
+    }
+
+    /// The local store.
+    pub fn local_store(&self) -> &LocalStore {
+        &self.env.local
+    }
+
+    /// Live nym ids.
+    pub fn nym_ids(&self) -> Vec<NymId> {
+        self.sessions.keys().copied().collect()
+    }
+
+    /// A live nymbox.
+    pub fn nymbox(&self, id: NymId) -> Result<&Nymbox, NymManagerError> {
+        self.sessions
+            .get(&id)
+            .map(|s| &s.nymbox)
+            .ok_or(NymManagerError::NoSuchNym(id))
+    }
+
+    /// The anonymizer running in a nym's CommVM.
+    pub fn anonymizer(&self, id: NymId) -> Result<&dyn Anonymizer, NymManagerError> {
+        self.sessions
+            .get(&id)
+            .map(|s| s.anonymizer.as_ref())
+            .ok_or(NymManagerError::NoSuchNym(id))
+    }
+
+    /// Starts a fresh nym (§3.5 workflow: "start a fresh nym").
+    ///
+    /// Returns the nym id and the startup breakdown (boot + anonymizer
+    /// phases; page load is measured by [`NymManager::visit_site`]).
+    pub fn create_nym(
+        &mut self,
+        name: &str,
+        kind: AnonymizerKind,
+        model: UsageModel,
+    ) -> Result<(NymId, StartupBreakdown), NymManagerError> {
+        let anonymizer = self.env.build_anonymizer(kind);
+        self.instantiate(name, kind, model, anonymizer, None, true)
+    }
+
+    fn instantiate(
+        &mut self,
+        name: &str,
+        kind: AnonymizerKind,
+        model: UsageModel,
+        anonymizer: Box<dyn Anonymizer>,
+        restored: Option<RestoredState>,
+        cold: bool,
+    ) -> Result<(NymId, StartupBreakdown), NymManagerError> {
+        let scratch = self.pipeline.acquire_scratch();
+        let n = self.next_nym;
+        let (session, breakdown) = NymSession::instantiate(
+            &mut self.env,
+            n,
+            name,
+            kind,
+            model,
+            anonymizer,
+            restored,
+            cold,
+            scratch,
+        )?;
+        let id = NymId(n);
+        self.next_nym += 1;
+        self.sessions.insert(id, session);
+        Ok((id, breakdown))
+    }
+
+    /// Visits `site` in the nym's browser. Returns the page-load time
+    /// (network via the anonymizer + render).
+    pub fn visit_site(&mut self, id: NymId, site: Site) -> Result<SimDuration, NymManagerError> {
+        let env = &mut self.env;
+        let session = self
+            .sessions
+            .get_mut(&id)
+            .ok_or(NymManagerError::NoSuchNym(id))?;
+        session.visit_site(env, site)
+    }
+
+    /// Injects an evercookie-style stain into the nym's browser (§3.3
+    /// attack model; used by the amnesia tests).
+    pub fn inject_stain(&mut self, id: NymId, marker: &str) -> Result<(), NymManagerError> {
+        let env = &mut self.env;
+        let session = self
+            .sessions
+            .get_mut(&id)
+            .ok_or(NymManagerError::NoSuchNym(id))?;
+        session.inject_stain(env, marker)
+    }
+
+    /// Whether a stain marker is visible in the nym's AnonVM.
+    pub fn has_stain(&mut self, id: NymId, marker: &str) -> Result<bool, NymManagerError> {
+        let env = &mut self.env;
+        let session = self
+            .sessions
+            .get_mut(&id)
+            .ok_or(NymManagerError::NoSuchNym(id))?;
+        session.has_stain(env, marker)
+    }
+
+    /// Stores a nym (§3.5 "store nym"): pause, sync, compress, encrypt,
+    /// upload through the nym's own CommVM. Returns the sealed size and
+    /// the wall-clock cost. Always seals the full archive (starting a
+    /// fresh chain epoch); see [`NymManager::save_nym_incremental`] for
+    /// the delta path.
+    pub fn save_nym(
+        &mut self,
+        id: NymId,
+        password: &str,
+        dest: &StorageDest,
+    ) -> Result<(usize, SimDuration), NymManagerError> {
+        let (_, size, duration) = self.save_nym_with(id, password, dest, false)?;
+        Ok((size, duration))
+    }
+
+    /// Incremental store-nym: when a snapshot chain exists for this
+    /// nym and destination, seals **only the records dirty since the
+    /// last save** as a [`nymix_store::DeltaArchive`] — dirty disk
+    /// records are detected from the writable layers' generation
+    /// counters without serializing clean state, the chain's
+    /// [`nymix_store::SealKey`] skips the per-save PBKDF2, and the
+    /// delta commits to the Merkle root of the full record set so
+    /// restore fails closed on tampering.
+    ///
+    /// Falls back to a full save (compaction) when no usable chain
+    /// exists, after [`nymix_store::DELTA_CHAIN_LIMIT`] chained deltas,
+    /// or when the serialized delta would be no smaller than the full
+    /// archive (a delta would not pay for itself).
+    pub fn save_nym_incremental(
+        &mut self,
+        id: NymId,
+        password: &str,
+        dest: &StorageDest,
+    ) -> Result<(SaveKind, usize, SimDuration), NymManagerError> {
+        self.save_nym_with(id, password, dest, true)
+    }
+
+    fn save_nym_with(
+        &mut self,
+        id: NymId,
+        password: &str,
+        dest: &StorageDest,
+        allow_delta: bool,
+    ) -> Result<(SaveKind, usize, SimDuration), NymManagerError> {
+        let outcomes = self.pipeline.save_many(
+            &mut self.env,
+            &mut self.sessions,
+            vec![SaveRequest {
+                id,
+                password,
+                dest,
+                allow_delta,
+            }],
+        )?;
+        let outcome = outcomes
+            .into_iter()
+            .next()
+            .expect("one request, one outcome");
+        self.last_save_breakdown = Some(outcome.breakdown);
+        Ok((outcome.kind, outcome.uploaded, outcome.duration))
+    }
+
+    /// Loads a stored nym (§3.5 "load an existing nym").
+    ///
+    /// For cloud storage this spins up an ephemeral fetch nym first
+    /// ("Nymix starts an ephemeral nym for the purpose of gathering the
+    /// nym's state anonymously"), whose cost appears as the
+    /// `ephemeral_fetch` phase.
+    pub fn restore_nym(
+        &mut self,
+        name: &str,
+        kind: AnonymizerKind,
+        model: UsageModel,
+        password: &str,
+        dest: &StorageDest,
+    ) -> Result<(NymId, StartupBreakdown), NymManagerError> {
+        let label = storage_label(name, dest);
+        // Cloud restores ride an ephemeral fetch nym (boot + cold
+        // anonymizer); its exit address and transfer cost cover every
+        // object in the chain, base and deltas alike.
+        let (fetch_exit, fetch_cost, fetch_boot) = match dest {
+            StorageDest::Cloud { .. } => {
+                let fetch_anonymizer = self.env.build_anonymizer(kind);
+                let boot = tcal::ANONVM_BOOT + fetch_anonymizer.startup_time(true);
+                (
+                    Some(fetch_anonymizer.exit_address(self.env.public_ip)),
+                    Some(fetch_anonymizer.transfer_cost()),
+                    boot,
+                )
+            }
+            StorageDest::Local => (None, None, SimDuration::ZERO),
+        };
+
+        // The restoring session doesn't exist yet, so the fetch runs on
+        // a pool scratch that then becomes the new session's arena.
+        let mut scratch = self.pipeline.acquire_scratch();
+        let mut work = Vec::new();
+        let fetched = match fetch_chain(
+            &mut self.env,
+            &label,
+            password,
+            dest,
+            fetch_exit,
+            &mut work,
+            &mut scratch,
+        ) {
+            Ok(f) => f,
+            Err(e) => {
+                self.pipeline.release_scratch(scratch);
+                return Err(e);
+            }
+        };
+
+        let ephemeral_fetch = match fetch_cost {
+            Some(cost) => {
+                let dl_secs = Environment::transfer_secs(
+                    cost.wire_bytes(fetched.fetched_bytes as f64 * self.env.browser_scale as f64),
+                );
+                fetch_boot + SimDuration::from_secs_f64(dl_secs) + tcal::RESTORE_UNPACK
+            }
+            None => tcal::RESTORE_UNPACK,
+        };
+        self.env.clock += ephemeral_fetch;
+
+        let mut archive = fetched.archive;
+        let anon_upper = archive
+            .get_layer("anonvm.disk")
+            .map_err(|e| NymManagerError::Storage(e.to_string()))?;
+        let comm_upper = archive
+            .get_layer("commvm.disk")
+            .map_err(|e| NymManagerError::Storage(e.to_string()))?;
+        let anonymizer_state = archive.get("anonymizer.state").map(|b| b.to_vec());
+        let browser = archive
+            .get("browser.state")
+            .and_then(BrowserState::from_bytes);
+
+        let anonymizer = self.env.build_anonymizer(kind);
+        let scratch_for_session = scratch;
+        let n = self.next_nym;
+        let (mut session, mut breakdown) = NymSession::instantiate(
+            &mut self.env,
+            n,
+            name,
+            kind,
+            model,
+            anonymizer,
+            Some(RestoredState {
+                anon_upper,
+                comm_upper,
+                anonymizer_state,
+            }),
+            false, // Warm start: guards and consensus restored.
+            scratch_for_session,
+        )?;
+        session.unseal_work = work;
+        session.browser = browser;
+        session.nymbox.restored = true;
+
+        // Continue the chain where the restored state left it, so the
+        // next incremental save appends a delta instead of re-sealing
+        // everything. The resolved records swap back to their stored
+        // (manifest) form first — the chain's base is the stored form.
+        if let Some(epoch) = fetched.epoch {
+            let anon_gen = self
+                .env
+                .hv
+                .vm(session.nymbox.anon_vm)?
+                .disk()
+                .upper()
+                .map(nymix_fs::Layer::generation)
+                .unwrap_or(0);
+            let comm_gen = self
+                .env
+                .hv
+                .vm(session.nymbox.comm_vm)?
+                .disk()
+                .upper()
+                .map(nymix_fs::Layer::generation)
+                .unwrap_or(0);
+            for (record_name, stored) in fetched.stored_overrides {
+                archive.replace(&record_name, stored);
+            }
+            self.pipeline.note_epoch(&label, epoch);
+            session.chains.insert(
+                label,
+                ChainState {
+                    key: fetched.key,
+                    epoch,
+                    delta_count: fetched.delta_count,
+                    archive,
+                    chunks: fetched.chunk_index,
+                    anon_gen,
+                    comm_gen,
+                },
+            );
+        }
+
+        let id = NymId(n);
+        self.next_nym += 1;
+        self.sessions.insert(id, session);
+        breakdown.ephemeral_fetch = ephemeral_fetch;
+        Ok((id, breakdown))
+    }
+
+    /// Destroys a nym: both VMs are securely wiped; "turning off a
+    /// pseudonym results in amnesia" (§3.4). The session's snapshot
+    /// chains die with it, but the pipeline's label registry keeps
+    /// their epoch numbers (and sweeps their chunk objects at the next
+    /// compaction), so a recreated nym can never collide with stale
+    /// stored objects.
+    pub fn destroy_nym(&mut self, id: NymId) -> Result<(), NymManagerError> {
+        let session = self
+            .sessions
+            .remove(&id)
+            .ok_or(NymManagerError::NoSuchNym(id))?;
+        self.env.hv.destroy_vm(session.nymbox.anon_vm)?;
+        self.env.hv.destroy_vm(session.nymbox.comm_vm)?;
+        self.pipeline.retire_chains(session.chains);
+        self.pipeline.release_scratch(session.scratch);
+        Ok(())
+    }
+
+    /// Uncompressed per-record sizes of the most recent [`Self::save_nym`]:
+    /// `(anonvm_bytes, commvm_bytes, other_bytes)`.
+    pub fn last_save_breakdown(&self) -> Option<(usize, usize, usize)> {
+        self.last_save_breakdown
+    }
+
+    /// The browser byte-scale divisor this manager runs with.
+    pub fn browser_scale(&self) -> u64 {
+        self.env.browser_scale
+    }
+
+    /// The user's public IP (what incognito mode leaks).
+    pub fn public_ip(&self) -> Ip {
+        self.env.public_ip
+    }
+
+    /// The intranet host's address (the §5.1 "must not reach" target).
+    pub fn intranet_ip(&self) -> Ip {
+        self.env.lan_gateway_ip
+    }
+
+    /// Fabric node of the intranet host.
+    pub fn intranet_node(&self) -> NodeId {
+        self.env.intranet_node
+    }
+
+    /// Fabric node of the Internet.
+    pub fn internet_node(&self) -> NodeId {
+        self.env.internet_node
+    }
+
+    /// Fabric node of the hypervisor.
+    pub fn hypervisor_node(&self) -> NodeId {
+        self.env.hyp_node
+    }
+
+    /// The DNS database.
+    pub fn dns(&self) -> &DnsDb {
+        &self.env.dns
+    }
+
+    /// The relay directory (for guard analysis).
+    pub fn directory(&self) -> &TorDirectory {
+        &self.env.directory
+    }
+
+    /// Applies the §3.5 deterministic-guard extension to a nym: derive
+    /// guard choice from the storage location and password so the
+    /// ephemeral fetch nym converges on the same entry relays.
+    pub fn seed_guards_deterministically(
+        &mut self,
+        id: NymId,
+        storage_location: &str,
+        password: &str,
+    ) -> Result<TorState, NymManagerError> {
+        let env = &self.env;
+        let session = self
+            .sessions
+            .get_mut(&id)
+            .ok_or(NymManagerError::NoSuchNym(id))?;
+        Ok(session.seed_guards_deterministically(env, storage_location, password))
+    }
+}
+
+#[cfg(test)]
+mod tests;

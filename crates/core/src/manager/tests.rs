@@ -1,0 +1,785 @@
+//! Facade-level tests: the public `NymManager` behavior across the
+//! env / session / pipeline layers, plus the fleet scheduler and
+//! cross-nym isolation under a shared backend.
+
+use super::*;
+use nymix_anon::AnonymizerKind;
+use nymix_sim::SimDuration;
+use nymix_store::DELTA_CHAIN_LIMIT;
+use nymix_workload::Site;
+
+pub(super) fn manager() -> NymManager {
+    NymManager::new(42, 64)
+}
+
+#[test]
+fn fresh_nym_within_paper_band() {
+    let mut m = manager();
+    let (id, breakdown) = m
+        .create_nym("reader", AnonymizerKind::Tor, UsageModel::Ephemeral)
+        .unwrap();
+    let page = m.visit_site(id, Site::Twitter).unwrap();
+    let total = breakdown.total() + page;
+    // Abstract: "loads within 15 to 25 seconds".
+    assert!((15.0..25.0).contains(&total.as_secs_f64()), "total {total}");
+}
+
+#[test]
+fn nymbox_is_two_vms() {
+    let mut m = manager();
+    let (id, _) = m
+        .create_nym("n", AnonymizerKind::Tor, UsageModel::Ephemeral)
+        .unwrap();
+    let nb = m.nymbox(id).unwrap();
+    assert_ne!(nb.anon_vm, nb.comm_vm);
+    assert_eq!(m.hypervisor().vm_count(), 2);
+    let anon = m.hypervisor().vm(nb.anon_vm).unwrap();
+    let comm = m.hypervisor().vm(nb.comm_vm).unwrap();
+    assert_eq!(anon.config().role, nymix_vmm::VmRole::Anon);
+    assert_eq!(comm.config().role, nymix_vmm::VmRole::Comm);
+}
+
+#[test]
+fn destroy_wipes_and_frees() {
+    let mut m = manager();
+    let (id, _) = m
+        .create_nym("n", AnonymizerKind::Tor, UsageModel::Ephemeral)
+        .unwrap();
+    m.visit_site(id, Site::Bbc).unwrap();
+    m.destroy_nym(id).unwrap();
+    assert_eq!(m.hypervisor().vm_count(), 0);
+    assert!(matches!(
+        m.visit_site(id, Site::Bbc),
+        Err(NymManagerError::NoSuchNym(_))
+    ));
+}
+
+#[test]
+fn stain_does_not_survive_ephemeral_nym() {
+    let mut m = manager();
+    let (id, _) = m
+        .create_nym("n", AnonymizerKind::Tor, UsageModel::Ephemeral)
+        .unwrap();
+    m.inject_stain(id, "evercookie-77").unwrap();
+    assert!(m.has_stain(id, "evercookie-77").unwrap());
+    m.destroy_nym(id).unwrap();
+    let (id2, _) = m
+        .create_nym("n", AnonymizerKind::Tor, UsageModel::Ephemeral)
+        .unwrap();
+    assert!(!m.has_stain(id2, "evercookie-77").unwrap());
+}
+
+#[test]
+fn save_restore_roundtrip_via_cloud() {
+    let mut m = manager();
+    m.register_cloud("dropbox", "anon-4711", "tok");
+    let (id, _) = m
+        .create_nym("alice", AnonymizerKind::Tor, UsageModel::Persistent)
+        .unwrap();
+    m.visit_site(id, Site::Twitter).unwrap();
+    let dest = StorageDest::Cloud {
+        provider: "dropbox".into(),
+        account: "anon-4711".into(),
+        credential: "tok".into(),
+    };
+    let (size, _dur) = m.save_nym(id, "pw", &dest).unwrap();
+    assert!(size > 0);
+    m.destroy_nym(id).unwrap();
+
+    let (id2, breakdown) = m
+        .restore_nym(
+            "alice",
+            AnonymizerKind::Tor,
+            UsageModel::Persistent,
+            "pw",
+            &dest,
+        )
+        .unwrap();
+    assert!(breakdown.ephemeral_fetch > SimDuration::ZERO);
+    assert!(m.nymbox(id2).unwrap().restored);
+    // Credentials survived: the browser still knows twitter.com.
+    let vm = m.hypervisor().vm(m.nymbox(id2).unwrap().anon_vm).unwrap();
+    assert!(vm.disk().exists(&nymix_fs::Path::new(
+        "/home/user/.config/chromium/logins/twitter.com"
+    )));
+}
+
+#[test]
+fn wrong_password_fails_restore() {
+    let mut m = manager();
+    let (id, _) = m
+        .create_nym("bob", AnonymizerKind::Tor, UsageModel::Persistent)
+        .unwrap();
+    m.save_nym(id, "right", &StorageDest::Local).unwrap();
+    m.destroy_nym(id).unwrap();
+    assert!(matches!(
+        m.restore_nym(
+            "bob",
+            AnonymizerKind::Tor,
+            UsageModel::Persistent,
+            "wrong",
+            &StorageDest::Local
+        ),
+        Err(NymManagerError::Storage(_))
+    ));
+}
+
+#[test]
+fn local_restore_skips_ephemeral_nym() {
+    let mut m = manager();
+    let (id, _) = m
+        .create_nym("carol", AnonymizerKind::Tor, UsageModel::PreConfigured)
+        .unwrap();
+    m.save_nym(id, "pw", &StorageDest::Local).unwrap();
+    m.destroy_nym(id).unwrap();
+    let (_, breakdown) = m
+        .restore_nym(
+            "carol",
+            AnonymizerKind::Tor,
+            UsageModel::PreConfigured,
+            "pw",
+            &StorageDest::Local,
+        )
+        .unwrap();
+    assert!(breakdown.ephemeral_fetch < SimDuration::from_secs(3));
+    // Warm anonymizer start beats a cold one.
+    let (_, fresh) = m
+        .create_nym("fresh", AnonymizerKind::Tor, UsageModel::Ephemeral)
+        .unwrap();
+    assert!(breakdown.start_anonymizer < fresh.start_anonymizer);
+}
+
+#[test]
+fn cloud_provider_never_sees_user_ip() {
+    let mut m = manager();
+    m.register_cloud("drive", "acct", "tok");
+    let (id, _) = m
+        .create_nym("dave", AnonymizerKind::Tor, UsageModel::Persistent)
+        .unwrap();
+    let dest = StorageDest::Cloud {
+        provider: "drive".into(),
+        account: "acct".into(),
+        credential: "tok".into(),
+    };
+    m.save_nym(id, "pw", &dest).unwrap();
+    let user_ip = m.public_ip();
+    let provider = m.cloud_provider("drive").unwrap();
+    for entry in provider.access_log() {
+        assert_ne!(entry.observed_ip, user_ip, "provider saw the user");
+    }
+}
+
+#[test]
+fn incognito_mode_leaks_ip_to_provider() {
+    // The documented trade-off: incognito's exit is the user.
+    let mut m = manager();
+    m.register_cloud("drive", "acct", "tok");
+    let (id, _) = m
+        .create_nym("erin", AnonymizerKind::Incognito, UsageModel::Persistent)
+        .unwrap();
+    let dest = StorageDest::Cloud {
+        provider: "drive".into(),
+        account: "acct".into(),
+        credential: "tok".into(),
+    };
+    m.save_nym(id, "pw", &dest).unwrap();
+    let user_ip = m.public_ip();
+    assert!(m
+        .cloud_provider("drive")
+        .unwrap()
+        .access_log()
+        .iter()
+        .any(|e| e.observed_ip == user_ip));
+}
+
+#[test]
+fn persistent_nym_grows_across_cycles() {
+    let mut m = manager();
+    let (mut id, _) = m
+        .create_nym("grower", AnonymizerKind::Tor, UsageModel::Persistent)
+        .unwrap();
+    let mut sizes = Vec::new();
+    for _ in 0..4 {
+        m.visit_site(id, Site::Facebook).unwrap();
+        let (size, _) = m.save_nym(id, "pw", &StorageDest::Local).unwrap();
+        sizes.push(size);
+        m.destroy_nym(id).unwrap();
+        let (nid, _) = m
+            .restore_nym(
+                "grower",
+                AnonymizerKind::Tor,
+                UsageModel::Persistent,
+                "pw",
+                &StorageDest::Local,
+            )
+            .unwrap();
+        id = nid;
+    }
+    assert!(
+        sizes.windows(2).all(|w| w[1] > w[0]),
+        "persistent nym should grow: {sizes:?}"
+    );
+}
+
+#[test]
+fn incremental_save_seals_only_the_delta() {
+    let mut m = manager();
+    let (id, _) = m
+        .create_nym("inc", AnonymizerKind::Tor, UsageModel::Persistent)
+        .unwrap();
+    m.visit_site(id, Site::Twitter).unwrap();
+    // First save: no chain yet, must be full.
+    let (kind, full_size, _) = m
+        .save_nym_incremental(id, "pw", &StorageDest::Local)
+        .unwrap();
+    assert_eq!(kind, SaveKind::Full);
+    // A tiny change — new guard state dirties only the
+    // anonymizer.state record; both disk records stay clean and are
+    // neither re-serialized nor re-sealed.
+    m.seed_guards_deterministically(id, "usb://nyms/inc", "pw")
+        .unwrap();
+    let (kind, delta_size, _) = m
+        .save_nym_incremental(id, "pw", &StorageDest::Local)
+        .unwrap();
+    assert_eq!(kind, SaveKind::Delta);
+    assert!(
+        delta_size * 10 < full_size,
+        "delta {delta_size} not small vs full {full_size}"
+    );
+    // The delta rides a chained object, not the base slot.
+    assert!(m.local_store().get("nym:inc@local#e1.1").is_some());
+    // A stain (browser + AnonVM disk) still saves as a delta: two
+    // dirty records out of five.
+    m.inject_stain(id, "evercookie-9").unwrap();
+    let (kind, stain_delta, _) = m
+        .save_nym_incremental(id, "pw", &StorageDest::Local)
+        .unwrap();
+    assert_eq!(kind, SaveKind::Delta);
+    assert!(stain_delta < full_size);
+
+    // Restore replays base + delta: the stain must be visible.
+    m.destroy_nym(id).unwrap();
+    let (id2, _) = m
+        .restore_nym(
+            "inc",
+            AnonymizerKind::Tor,
+            UsageModel::Persistent,
+            "pw",
+            &StorageDest::Local,
+        )
+        .unwrap();
+    assert!(m.has_stain(id2, "evercookie-9").unwrap());
+    // Credentials from the pre-delta session survived too.
+    let vm = m.hypervisor().vm(m.nymbox(id2).unwrap().anon_vm).unwrap();
+    assert!(vm.disk().exists(&nymix_fs::Path::new(
+        "/home/user/.config/chromium/logins/twitter.com"
+    )));
+    // The restored chain keeps accepting deltas where it left off.
+    m.inject_stain(id2, "evercookie-10").unwrap();
+    let (kind, _, _) = m
+        .save_nym_incremental(id2, "pw", &StorageDest::Local)
+        .unwrap();
+    assert_eq!(kind, SaveKind::Delta);
+    assert!(m.local_store().get("nym:inc@local#e1.3").is_some());
+}
+
+#[test]
+fn clean_saves_stay_deltas_and_chains_compact() {
+    let mut m = manager();
+    let (id, _) = m
+        .create_nym("c", AnonymizerKind::Tor, UsageModel::Persistent)
+        .unwrap();
+    m.visit_site(id, Site::Bbc).unwrap();
+    let mut kinds = Vec::new();
+    for i in 0..=nymix_store::DELTA_CHAIN_LIMIT + 1 {
+        if i > 0 {
+            m.inject_stain(id, &format!("mark-{i}")).unwrap();
+        }
+        let (kind, _, _) = m
+            .save_nym_incremental(id, "pw", &StorageDest::Local)
+            .unwrap();
+        kinds.push(kind);
+    }
+    // Full, then DELTA_CHAIN_LIMIT deltas, then compaction (full).
+    let mut expected = vec![SaveKind::Full];
+    expected.extend([SaveKind::Delta; nymix_store::DELTA_CHAIN_LIMIT]);
+    expected.push(SaveKind::Full);
+    assert_eq!(kinds, expected);
+    // The compacted restore carries every mark.
+    m.destroy_nym(id).unwrap();
+    let (id2, _) = m
+        .restore_nym(
+            "c",
+            AnonymizerKind::Tor,
+            UsageModel::Persistent,
+            "pw",
+            &StorageDest::Local,
+        )
+        .unwrap();
+    for i in 1..=nymix_store::DELTA_CHAIN_LIMIT + 1 {
+        assert!(m.has_stain(id2, &format!("mark-{i}")).unwrap(), "mark-{i}");
+    }
+}
+
+#[test]
+fn incremental_save_via_cloud_roundtrips() {
+    let mut m = manager();
+    m.register_cloud("dropbox", "anon-1", "tok");
+    let dest = StorageDest::Cloud {
+        provider: "dropbox".into(),
+        account: "anon-1".into(),
+        credential: "tok".into(),
+    };
+    let (id, _) = m
+        .create_nym("cl", AnonymizerKind::Tor, UsageModel::Persistent)
+        .unwrap();
+    m.visit_site(id, Site::Twitter).unwrap();
+    m.save_nym_incremental(id, "pw", &dest).unwrap();
+    m.inject_stain(id, "cloud-mark").unwrap();
+    let (kind, _, _) = m.save_nym_incremental(id, "pw", &dest).unwrap();
+    assert_eq!(kind, SaveKind::Delta);
+    m.destroy_nym(id).unwrap();
+    let (id2, breakdown) = m
+        .restore_nym(
+            "cl",
+            AnonymizerKind::Tor,
+            UsageModel::Persistent,
+            "pw",
+            &dest,
+        )
+        .unwrap();
+    assert!(breakdown.ephemeral_fetch > SimDuration::ZERO);
+    assert!(m.has_stain(id2, "cloud-mark").unwrap());
+    // The provider never saw the user's address, deltas included.
+    let user_ip = m.public_ip();
+    for entry in m.cloud_provider("dropbox").unwrap().access_log() {
+        assert_ne!(entry.observed_ip, user_ip);
+    }
+}
+
+#[test]
+fn tampered_delta_fails_restore_closed() {
+    let mut m = manager();
+    let (id, _) = m
+        .create_nym("t", AnonymizerKind::Tor, UsageModel::Persistent)
+        .unwrap();
+    m.visit_site(id, Site::Bbc).unwrap();
+    m.save_nym_incremental(id, "pw", &StorageDest::Local)
+        .unwrap();
+    m.inject_stain(id, "x").unwrap();
+    let (kind, _, _) = m
+        .save_nym_incremental(id, "pw", &StorageDest::Local)
+        .unwrap();
+    assert_eq!(kind, SaveKind::Delta);
+    m.destroy_nym(id).unwrap();
+    // Flip one ciphertext byte in the stored delta object.
+    let mut blob = m.env.local.get("nym:t@local#e1.1").unwrap().to_vec();
+    let mid = blob.len() / 2;
+    blob[mid] ^= 1;
+    m.env.local.put("nym:t@local#e1.1", blob);
+    assert!(matches!(
+        m.restore_nym(
+            "t",
+            AnonymizerKind::Tor,
+            UsageModel::Persistent,
+            "pw",
+            &StorageDest::Local
+        ),
+        Err(NymManagerError::Storage(_))
+    ));
+}
+
+#[test]
+fn delta_chain_slots_cannot_be_swapped() {
+    let mut m = manager();
+    let (id, _) = m
+        .create_nym("s", AnonymizerKind::Tor, UsageModel::Persistent)
+        .unwrap();
+    m.visit_site(id, Site::Bbc).unwrap();
+    m.save_nym_incremental(id, "pw", &StorageDest::Local)
+        .unwrap();
+    for mark in ["a", "b"] {
+        m.inject_stain(id, mark).unwrap();
+        m.save_nym_incremental(id, "pw", &StorageDest::Local)
+            .unwrap();
+    }
+    m.destroy_nym(id).unwrap();
+    // A malicious backend swaps the two delta objects: each blob
+    // still authenticates under the chain key, but against the
+    // wrong slot label — restore must refuse.
+    let d1 = m.env.local.get("nym:s@local#e1.1").unwrap().to_vec();
+    let d2 = m.env.local.get("nym:s@local#e1.2").unwrap().to_vec();
+    m.env.local.put("nym:s@local#e1.1", d2);
+    m.env.local.put("nym:s@local#e1.2", d1);
+    assert!(matches!(
+        m.restore_nym(
+            "s",
+            AnonymizerKind::Tor,
+            UsageModel::Persistent,
+            "pw",
+            &StorageDest::Local
+        ),
+        Err(NymManagerError::Storage(_))
+    ));
+}
+
+#[test]
+fn recreated_nym_does_not_collide_with_stale_chain() {
+    // A destroyed nym leaves its chain objects behind; a brand-new
+    // nym with the same name must start a fresh epoch so the stale
+    // deltas (sealed under the old chain key) are never replayed
+    // into its restores.
+    let mut m = manager();
+    let (id, _) = m
+        .create_nym("re", AnonymizerKind::Tor, UsageModel::Persistent)
+        .unwrap();
+    m.visit_site(id, Site::Bbc).unwrap();
+    m.save_nym_incremental(id, "pw", &StorageDest::Local)
+        .unwrap();
+    m.inject_stain(id, "old-life").unwrap();
+    m.save_nym_incremental(id, "pw", &StorageDest::Local)
+        .unwrap();
+    assert!(m.local_store().get("nym:re@local#e1.1").is_some());
+    m.destroy_nym(id).unwrap();
+
+    // Fresh nym, same name: full save must take epoch 2, not 1.
+    let (id2, _) = m
+        .create_nym("re", AnonymizerKind::Tor, UsageModel::Persistent)
+        .unwrap();
+    let (kind, _, _) = m
+        .save_nym_incremental(id2, "pw", &StorageDest::Local)
+        .unwrap();
+    assert_eq!(kind, SaveKind::Full);
+    m.destroy_nym(id2).unwrap();
+    let (id3, _) = m
+        .restore_nym(
+            "re",
+            AnonymizerKind::Tor,
+            UsageModel::Persistent,
+            "pw",
+            &StorageDest::Local,
+        )
+        .unwrap();
+    // The restored state is the fresh nym's, not the stained one.
+    assert!(!m.has_stain(id3, "old-life").unwrap());
+}
+
+/// Chunk-object names the local store currently holds.
+fn chunk_objects(m: &NymManager) -> Vec<String> {
+    m.local_store()
+        .list()
+        .into_iter()
+        .filter(|n| n.contains("/c/"))
+        .map(str::to_string)
+        .collect()
+}
+
+/// A manager at low browser scale so disk records cross the chunk
+/// threshold, with one browser session saved incrementally.
+fn chunked_setup(seed: u64) -> (NymManager, NymId, usize) {
+    let mut m = NymManager::new(seed, 8);
+    let (id, _) = m
+        .create_nym("ck", AnonymizerKind::Tor, UsageModel::Persistent)
+        .unwrap();
+    m.visit_site(id, Site::Twitter).unwrap();
+    let (kind, full_uploaded, _) = m
+        .save_nym_incremental(id, "pw", &StorageDest::Local)
+        .unwrap();
+    assert_eq!(kind, SaveKind::Full);
+    (m, id, full_uploaded)
+}
+
+#[test]
+fn chunked_save_dedups_and_roundtrips() {
+    let (mut m, id, full_uploaded) = chunked_setup(77);
+    // The base shipped manifests + chunk objects.
+    let after_full = chunk_objects(&m);
+    assert!(!after_full.is_empty(), "large records should chunk");
+
+    // A stain dirties the big AnonVM disk record; the delta ships
+    // the new manifest plus only the chunks the write touched —
+    // far fewer bytes than the base (which re-ships everything).
+    m.inject_stain(id, "cas-mark").unwrap();
+    let (kind, delta_uploaded, _) = m
+        .save_nym_incremental(id, "pw", &StorageDest::Local)
+        .unwrap();
+    assert_eq!(kind, SaveKind::Delta);
+    assert!(
+        delta_uploaded * 4 < full_uploaded,
+        "chunked delta {delta_uploaded} vs full {full_uploaded}"
+    );
+
+    // Restore replays the chain and resolves every manifest.
+    m.destroy_nym(id).unwrap();
+    let (id2, _) = m
+        .restore_nym(
+            "ck",
+            AnonymizerKind::Tor,
+            UsageModel::Persistent,
+            "pw",
+            &StorageDest::Local,
+        )
+        .unwrap();
+    assert!(m.has_stain(id2, "cas-mark").unwrap());
+    let vm = m.hypervisor().vm(m.nymbox(id2).unwrap().anon_vm).unwrap();
+    assert!(vm.disk().exists(&nymix_fs::Path::new(
+        "/home/user/.config/chromium/logins/twitter.com"
+    )));
+    // The restored chain keeps absorbing chunked deltas.
+    m.inject_stain(id2, "cas-mark-2").unwrap();
+    let (kind, _, _) = m
+        .save_nym_incremental(id2, "pw", &StorageDest::Local)
+        .unwrap();
+    assert_eq!(kind, SaveKind::Delta);
+}
+
+#[test]
+fn tampered_chunk_fails_restore_closed() {
+    let (mut m, id, _) = chunked_setup(78);
+    m.destroy_nym(id).unwrap();
+    let victim = chunk_objects(&m)[0].clone();
+    let mut blob = m.env.local.get(&victim).unwrap().to_vec();
+    let mid = blob.len() / 2;
+    blob[mid] ^= 1;
+    m.env.local.put(&victim, blob);
+    assert!(matches!(
+        m.restore_nym(
+            "ck",
+            AnonymizerKind::Tor,
+            UsageModel::Persistent,
+            "pw",
+            &StorageDest::Local
+        ),
+        Err(NymManagerError::Storage(_))
+    ));
+}
+
+#[test]
+fn swapped_chunks_fail_restore_closed() {
+    let (mut m, id, _) = chunked_setup(79);
+    m.destroy_nym(id).unwrap();
+    // Each chunk is sealed with its own object name as AEAD data:
+    // a backend serving chunk A's bytes under chunk B's name fails
+    // authentication even though both blobs are individually valid.
+    let names = chunk_objects(&m);
+    assert!(names.len() >= 2, "need two chunks to swap");
+    let a = m.env.local.get(&names[0]).unwrap().to_vec();
+    let b = m.env.local.get(&names[1]).unwrap().to_vec();
+    m.env.local.put(&names[0], b);
+    m.env.local.put(&names[1], a);
+    assert!(matches!(
+        m.restore_nym(
+            "ck",
+            AnonymizerKind::Tor,
+            UsageModel::Persistent,
+            "pw",
+            &StorageDest::Local
+        ),
+        Err(NymManagerError::Storage(_))
+    ));
+}
+
+#[test]
+fn gcd_away_chunk_fails_restore_closed() {
+    let (mut m, id, _) = chunked_setup(80);
+    m.destroy_nym(id).unwrap();
+    let victim = chunk_objects(&m)[0].clone();
+    assert!(m.env.local.delete(&victim));
+    assert!(matches!(
+        m.restore_nym(
+            "ck",
+            AnonymizerKind::Tor,
+            UsageModel::Persistent,
+            "pw",
+            &StorageDest::Local
+        ),
+        Err(NymManagerError::Storage(_))
+    ));
+}
+
+#[test]
+fn compaction_sweeps_retired_epoch_chunks() {
+    let (mut m, id, _) = chunked_setup(81);
+    let epoch1: Vec<String> = chunk_objects(&m);
+    assert!(epoch1.iter().all(|n| n.contains("#e1/")), "{epoch1:?}");
+    // Run the chain past the delta limit so a save compacts into a
+    // new epoch; epoch 1's chunk and delta objects must be swept.
+    for i in 0..=DELTA_CHAIN_LIMIT {
+        m.inject_stain(id, &format!("gc-{i}")).unwrap();
+        m.save_nym_incremental(id, "pw", &StorageDest::Local)
+            .unwrap();
+    }
+    let now = chunk_objects(&m);
+    assert!(
+        now.iter().all(|n| n.contains("#e2/")),
+        "old-epoch chunks not swept: {now:?}"
+    );
+    assert!(m.local_store().get("nym:ck@local#e1.1").is_none());
+    // The compacted chain restores with every mark intact.
+    m.destroy_nym(id).unwrap();
+    let (id2, _) = m
+        .restore_nym(
+            "ck",
+            AnonymizerKind::Tor,
+            UsageModel::Persistent,
+            "pw",
+            &StorageDest::Local,
+        )
+        .unwrap();
+    for i in 0..=DELTA_CHAIN_LIMIT {
+        assert!(m.has_stain(id2, &format!("gc-{i}")).unwrap(), "gc-{i}");
+    }
+}
+
+#[test]
+fn chunking_disabled_keeps_record_granular_deltas() {
+    let mut m = NymManager::new(82, 8);
+    m.set_chunking(false);
+    assert!(!m.chunking());
+    let (id, _) = m
+        .create_nym("nc", AnonymizerKind::Tor, UsageModel::Persistent)
+        .unwrap();
+    m.visit_site(id, Site::Twitter).unwrap();
+    m.save_nym_incremental(id, "pw", &StorageDest::Local)
+        .unwrap();
+    assert!(chunk_objects(&m).is_empty());
+    m.inject_stain(id, "plain").unwrap();
+    let (kind, _, _) = m
+        .save_nym_incremental(id, "pw", &StorageDest::Local)
+        .unwrap();
+    assert_eq!(kind, SaveKind::Delta);
+    m.destroy_nym(id).unwrap();
+    let (id2, _) = m
+        .restore_nym(
+            "nc",
+            AnonymizerKind::Tor,
+            UsageModel::Persistent,
+            "pw",
+            &StorageDest::Local,
+        )
+        .unwrap();
+    assert!(m.has_stain(id2, "plain").unwrap());
+}
+
+#[test]
+fn chunked_cloud_save_hides_user_behind_exit() {
+    // Chunk uploads multiply provider operations; every one of them
+    // must still show only the anonymizer's exit address.
+    let mut m = NymManager::new(83, 8);
+    m.register_cloud("dropbox", "anon-9", "tok");
+    let dest = StorageDest::Cloud {
+        provider: "dropbox".into(),
+        account: "anon-9".into(),
+        credential: "tok".into(),
+    };
+    let (id, _) = m
+        .create_nym("cc", AnonymizerKind::Tor, UsageModel::Persistent)
+        .unwrap();
+    m.visit_site(id, Site::Twitter).unwrap();
+    m.save_nym_incremental(id, "pw", &dest).unwrap();
+    m.inject_stain(id, "cloud-cas").unwrap();
+    m.save_nym_incremental(id, "pw", &dest).unwrap();
+    m.destroy_nym(id).unwrap();
+    let (id2, _) = m
+        .restore_nym(
+            "cc",
+            AnonymizerKind::Tor,
+            UsageModel::Persistent,
+            "pw",
+            &dest,
+        )
+        .unwrap();
+    assert!(m.has_stain(id2, "cloud-cas").unwrap());
+    let user_ip = m.public_ip();
+    let provider = m.cloud_provider("dropbox").unwrap();
+    assert!(provider.access_log().total_recorded() > 4);
+    for entry in provider.access_log() {
+        assert_ne!(entry.observed_ip, user_ip, "provider saw the user");
+    }
+}
+
+#[test]
+fn deterministic_guard_extension() {
+    let mut m = manager();
+    let (a, _) = m
+        .create_nym("x", AnonymizerKind::Tor, UsageModel::Persistent)
+        .unwrap();
+    let s1 = m
+        .seed_guards_deterministically(a, "dropbox://nyms/x", "pw")
+        .unwrap();
+    let (b, _) = m
+        .create_nym("y", AnonymizerKind::Tor, UsageModel::Ephemeral)
+        .unwrap();
+    let s2 = m
+        .seed_guards_deterministically(b, "dropbox://nyms/x", "pw")
+        .unwrap();
+    assert_eq!(s1, s2, "same location+password must give same guards");
+}
+
+#[test]
+fn admission_eventually_refuses() {
+    let mut m = manager();
+    let mut created = 0;
+    loop {
+        match m.create_nym("n", AnonymizerKind::Incognito, UsageModel::Ephemeral) {
+            Ok(_) => created += 1,
+            Err(NymManagerError::Hypervisor(HypervisorError::InsufficientMemory { .. })) => break,
+            Err(e) => panic!("unexpected: {e}"),
+        }
+        assert!(created < 64);
+    }
+    // 16 GiB host, ~706 MiB/nymbox: low twenties.
+    assert!((20..24).contains(&created), "created {created}");
+}
+
+#[test]
+fn delta_saves_do_not_drain_orphaned_chunk_registry() {
+    // A destroyed nym's chunk objects are registered as orphans and
+    // must survive any number of *delta* saves under the same label —
+    // only the next compaction sweeps them. (Regression: the seal
+    // stage used to drain the orphan list on every save, so a delta in
+    // between dropped it without deleting anything and the dead nym's
+    // chunks leaked on the backend forever.)
+    let mut m = NymManager::new(91, 8);
+    let (a, _) = m
+        .create_nym("twin", AnonymizerKind::Tor, UsageModel::Persistent)
+        .unwrap();
+    m.visit_site(a, Site::Twitter).unwrap();
+    m.save_nym_incremental(a, "pw", &StorageDest::Local)
+        .unwrap(); // epoch 1, chunks on disk
+    let epoch1: Vec<String> = chunk_objects(&m);
+    assert!(epoch1.iter().any(|n| n.contains("#e1/")), "{epoch1:?}");
+
+    // A second nym takes over the label with a full save (epoch 2),
+    // then the first nym dies — its epoch-1 chunks become orphans.
+    let (b, _) = m
+        .create_nym("twin", AnonymizerKind::Tor, UsageModel::Persistent)
+        .unwrap();
+    m.visit_site(b, Site::Bbc).unwrap();
+    m.save_nym_incremental(b, "pw", &StorageDest::Local)
+        .unwrap(); // epoch 2
+    m.destroy_nym(a).unwrap();
+
+    // Delta saves on b's chain must leave the orphans alone.
+    m.inject_stain(b, "delta-1").unwrap();
+    let (kind, _, _) = m
+        .save_nym_incremental(b, "pw", &StorageDest::Local)
+        .unwrap();
+    assert_eq!(kind, SaveKind::Delta);
+    assert!(
+        chunk_objects(&m).iter().any(|n| n.contains("#e1/")),
+        "delta save must not sweep (or forget) the dead nym's chunks"
+    );
+
+    // Run the chain into compaction: now the orphans are swept.
+    for i in 0..=DELTA_CHAIN_LIMIT {
+        m.inject_stain(b, &format!("fill-{i}")).unwrap();
+        m.save_nym_incremental(b, "pw", &StorageDest::Local)
+            .unwrap();
+    }
+    assert!(
+        chunk_objects(&m).iter().all(|n| !n.contains("#e1/")),
+        "compaction must sweep the orphaned epoch-1 chunks: {:?}",
+        chunk_objects(&m)
+    );
+}

@@ -196,6 +196,20 @@ impl NymArchive {
         self.put(name, serialize_layer(layer));
     }
 
+    /// [`NymArchive::put_layer`] through [`NymArchive::replace`]:
+    /// serializes `layer` into record `name` preserving record order
+    /// (which the Merkle commitment depends on) and returns the
+    /// previous bytes without copying — dirty-detection can compare
+    /// old vs new stored bytes with no clone.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `name` or any path in `layer` exceeds
+    /// [`MAX_NAME_LEN`] bytes (see [`NymArchive::put`]).
+    pub fn replace_layer(&mut self, name: &str, layer: &Layer) -> Option<Vec<u8>> {
+        self.replace(name, serialize_layer(layer))
+    }
+
     /// Reconstructs a writable layer from record `name`.
     pub fn get_layer(&self, name: &str) -> Result<Layer, ArchiveError> {
         let data = self.get(name).ok_or(ArchiveError::Malformed)?;

@@ -45,6 +45,21 @@ pub trait ObjectBackend {
     /// Writes (or overwrites) the object at `name`.
     fn put(&mut self, name: &str, data: Vec<u8>) -> Result<(), BackendError>;
 
+    /// Writes a batch of objects in one operation. Semantically
+    /// equivalent to [`ObjectBackend::put`] in order (later duplicates
+    /// win), but backends with per-operation overhead — a credentialed
+    /// cloud session authenticates once per call — amortize it across
+    /// the whole batch. The store pipeline ships every blob of a
+    /// multi-session fleet save through one of these. On error, a
+    /// prefix of the batch may have landed (same contract as a caller
+    /// looping `put` and stopping at the first failure).
+    fn put_many(&mut self, objects: Vec<(String, Vec<u8>)>) -> Result<(), BackendError> {
+        for (name, data) in objects {
+            self.put(&name, data)?;
+        }
+        Ok(())
+    }
+
     /// Reads the object at `name`; `Ok(None)` when absent.
     fn get(&mut self, name: &str) -> Result<Option<&[u8]>, BackendError>;
 
@@ -58,6 +73,10 @@ pub trait ObjectBackend {
 impl<B: ObjectBackend + ?Sized> ObjectBackend for &mut B {
     fn put(&mut self, name: &str, data: Vec<u8>) -> Result<(), BackendError> {
         (**self).put(name, data)
+    }
+
+    fn put_many(&mut self, objects: Vec<(String, Vec<u8>)>) -> Result<(), BackendError> {
+        (**self).put_many(objects)
     }
 
     fn get(&mut self, name: &str) -> Result<Option<&[u8]>, BackendError> {

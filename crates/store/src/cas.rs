@@ -43,7 +43,11 @@ use nymix_sim::Rng;
 use crate::archive::{clamp_count, ArchiveError, Reader};
 use crate::backend::{BackendError, ObjectBackend};
 use crate::chunker::{self, MAX_CHUNK};
-use crate::sealed::{seal_bytes_keyed_into, unseal_keyed_raw_into, SealKey, SealScratch};
+use crate::lzss;
+use crate::sealed::{
+    seal_bytes_keyed_into, seal_bytes_keyed_stored_into, unseal_keyed_raw_into, SealKey,
+    SealScratch,
+};
 use crate::SealedError;
 
 /// A 32-byte content address: the domain-separated SHA-256 of a
@@ -59,6 +63,15 @@ pub const CHUNK_RECORD_THRESHOLD: usize = 32 * 1024;
 /// collide with the Merkle tree's leaf/node hashes or any other SHA-256
 /// use in the system.
 const CHUNK_TAG: &[u8] = b"nymix:cas:chunk\x00";
+
+/// Sampled byte-entropy threshold (bits per byte) above which a chunk
+/// is treated as incompressible and sealed with the stored LZSS body —
+/// the match finder never runs. Browser-cache media and ciphertext sit
+/// near 8.0; text, JSON and SQLite pages sit well below 6.0. The gate
+/// only skips work: a high-entropy chunk that would have compressed
+/// (byte-uniform but repetitive) ships a few percent larger, and the
+/// restore path cannot tell the difference.
+pub const INCOMPRESSIBLE_BITS_PER_BYTE: f64 = 7.0;
 
 const MAGIC: &[u8; 4] = b"NYMC";
 
@@ -347,12 +360,121 @@ impl ChunkIndex {
     }
 }
 
+/// Builds manifests for several records in one pass, batching chunk
+/// hashing **across records**: all chunks of every input are grouped by
+/// length and hashed four lanes at a time on `sha256_x4`, so the
+/// scalar-hashed remainder shrinks from one-per-record-tail to
+/// one-per-distinct-length. Produces exactly the IDs
+/// [`ChunkManifest::build`] would — the store pipeline uses this to
+/// amortize hashing across every session of a fleet save.
+pub fn build_manifests(datas: &[&[u8]]) -> Vec<ChunkManifest> {
+    let mut manifests: Vec<ChunkManifest> = datas
+        .iter()
+        .map(|d| ChunkManifest {
+            total_len: d.len() as u64,
+            entries: Vec::new(),
+        })
+        .collect();
+    // Flat view of every chunk with its write-back slot.
+    let mut all: Vec<(usize, usize, &[u8])> = Vec::new();
+    for (ri, data) in datas.iter().enumerate() {
+        for (ei, chunk) in chunker::chunks(data).enumerate() {
+            manifests[ri].entries.push(([0u8; 32], chunk.len() as u32));
+            all.push((ri, ei, chunk));
+        }
+    }
+    // Equal lengths batch regardless of which record they came from.
+    let mut by_len: std::collections::BTreeMap<usize, Vec<usize>> =
+        std::collections::BTreeMap::new();
+    for (i, (_, _, chunk)) in all.iter().enumerate() {
+        by_len.entry(chunk.len()).or_default().push(i);
+    }
+    for indices in by_len.values() {
+        let mut quads = indices.chunks_exact(4);
+        for quad in &mut quads {
+            let ids = sha256_x4(
+                CHUNK_TAG,
+                [
+                    all[quad[0]].2,
+                    all[quad[1]].2,
+                    all[quad[2]].2,
+                    all[quad[3]].2,
+                ],
+            );
+            for (lane, &flat) in quad.iter().enumerate() {
+                let (ri, ei, _) = all[flat];
+                manifests[ri].entries[ei].0 = ids[lane];
+            }
+        }
+        for &flat in quads.remainder() {
+            let (ri, ei, chunk) = all[flat];
+            manifests[ri].entries[ei].0 = chunk_id(chunk);
+        }
+    }
+    manifests
+}
+
+/// Seals one chunk under its name-bound AEAD label, entropy-gated:
+/// high-entropy (incompressible) chunks skip the LZSS match finder and
+/// ship a stored body — same wire format, no CPU spent discovering that
+/// ciphertext-like bytes don't compress.
+fn seal_chunk_into(
+    chunk: &[u8],
+    key: &SealKey,
+    name: &str,
+    rng: &mut Rng,
+    scratch: &mut SealScratch,
+    blob: &mut Vec<u8>,
+) {
+    if lzss::entropy_bits_per_byte(chunk) >= INCOMPRESSIBLE_BITS_PER_BYTE {
+        seal_bytes_keyed_stored_into(chunk, key, name, rng, scratch, blob);
+    } else {
+        seal_bytes_keyed_into(chunk, key, name, rng, scratch, blob);
+    }
+}
+
+/// Seals every chunk of `data` that `index` doesn't already hold,
+/// walking `manifest` (which must be `ChunkManifest::build(data)`) in
+/// order, **staging** the sealed objects into `staged` instead of
+/// touching a backend. Each chunk is sealed under `key` with its object
+/// name — `"{prefix}/c/{id}"` — as AEAD label, entropy-gated through
+/// [`INCOMPRESSIBLE_BITS_PER_BYTE`]. Returns the sealed bytes staged:
+/// the dedup savings are exactly what this number omits. The store
+/// pipeline stages all sessions' chunks this way, then lands them in
+/// one [`ObjectBackend::put_many`] batch.
+#[allow(clippy::too_many_arguments)]
+pub fn seal_new_chunks_into(
+    data: &[u8],
+    manifest: &ChunkManifest,
+    index: &mut ChunkIndex,
+    key: &SealKey,
+    prefix: &str,
+    rng: &mut Rng,
+    scratch: &mut SealScratch,
+    staged: &mut Vec<(String, Vec<u8>)>,
+) -> usize {
+    debug_assert_eq!(manifest.total_len(), data.len());
+    let mut sealed = 0usize;
+    let mut offset = 0usize;
+    let mut blob = Vec::new();
+    for (id, len) in manifest.chunks() {
+        let chunk = &data[offset..offset + len];
+        offset += len;
+        if !index.retain(id) {
+            continue; // Already stored: dedup across versions/records.
+        }
+        let name = chunk_object_name(prefix, id);
+        seal_chunk_into(chunk, key, &name, rng, scratch, &mut blob);
+        sealed += blob.len();
+        staged.push((name, std::mem::take(&mut blob)));
+    }
+    sealed
+}
+
 /// Seals and uploads every chunk of `data` that `index` doesn't already
-/// hold, walking `manifest` (which must be `ChunkManifest::build(data)`)
-/// in order. Each chunk is sealed under `key` with its object name —
-/// `"{prefix}/c/{id}"` — as AEAD label. Returns the sealed bytes
-/// actually uploaded: the dedup savings are exactly what this number
-/// omits.
+/// hold — [`seal_new_chunks_into`] landed immediately through one
+/// [`ObjectBackend::put_many`] batch. Returns the sealed bytes
+/// actually uploaded.
 #[allow(clippy::too_many_arguments)]
 pub fn upload_new_chunks(
     data: &[u8],
@@ -364,21 +486,18 @@ pub fn upload_new_chunks(
     scratch: &mut SealScratch,
     backend: &mut dyn ObjectBackend,
 ) -> Result<usize, CasError> {
-    debug_assert_eq!(manifest.total_len(), data.len());
-    let mut uploaded = 0usize;
-    let mut offset = 0usize;
-    let mut blob = Vec::new();
-    for (id, len) in manifest.chunks() {
-        let chunk = &data[offset..offset + len];
-        offset += len;
-        if !index.retain(id) {
-            continue; // Already stored: dedup across versions/records.
-        }
-        let name = chunk_object_name(prefix, id);
-        seal_bytes_keyed_into(chunk, key, &name, rng, scratch, &mut blob);
-        uploaded += blob.len();
-        backend.put(&name, std::mem::take(&mut blob))?;
-    }
+    let mut staged = Vec::new();
+    let uploaded = seal_new_chunks_into(
+        data,
+        manifest,
+        index,
+        key,
+        prefix,
+        rng,
+        scratch,
+        &mut staged,
+    );
+    backend.put_many(staged)?;
     Ok(uploaded)
 }
 
@@ -463,6 +582,94 @@ mod tests {
             assert_eq!(*id, chunk_id(&data[offset..offset + len]));
             offset += len;
         }
+    }
+
+    #[test]
+    fn build_manifests_matches_per_record_build() {
+        // Cross-record batching must be invisible in the output: same
+        // IDs, same lengths, same order as building each alone.
+        let records: Vec<Vec<u8>> = vec![
+            noise(21, 150_000),
+            noise(22, 40_000),
+            vec![7u8; 5 * MAX_CHUNK], // uniform: every chunk max-capped
+            noise(23, 33_000),
+            Vec::new(),
+        ];
+        let views: Vec<&[u8]> = records.iter().map(Vec::as_slice).collect();
+        let batched = build_manifests(&views);
+        for (data, manifest) in records.iter().zip(&batched) {
+            assert_eq!(*manifest, ChunkManifest::build(data));
+        }
+    }
+
+    #[test]
+    fn entropy_gate_seals_random_chunks_stored_and_roundtrips() {
+        let (key, mut rng, mut scratch) = chain();
+        let mut backend = LocalStore::new();
+        let mut index = ChunkIndex::new();
+        // Random payload: every chunk takes the stored path.
+        let data = noise(31, 100_000);
+        let m = ChunkManifest::build(&data);
+        upload_new_chunks(
+            &data,
+            &m,
+            &mut index,
+            &key,
+            "p",
+            &mut rng,
+            &mut scratch,
+            &mut backend,
+        )
+        .unwrap();
+        let (mut work, mut out) = (Vec::new(), Vec::new());
+        fetch_record_into(
+            &m,
+            &key,
+            "p",
+            &mut backend,
+            &mut work,
+            &mut scratch,
+            &mut out,
+        )
+        .unwrap();
+        assert_eq!(out, data);
+
+        // Text payload: the gate keeps compressing, so sealed chunk
+        // objects stay much smaller than their plaintext.
+        let html: Vec<u8> = b"<div class=\"post\">timeline entry</div>\n"
+            .iter()
+            .copied()
+            .cycle()
+            .take(100_000)
+            .collect();
+        let mh = ChunkManifest::build(&html);
+        let sealed_text = upload_new_chunks(
+            &html,
+            &mh,
+            &mut index,
+            &key,
+            "p",
+            &mut rng,
+            &mut scratch,
+            &mut backend,
+        )
+        .unwrap();
+        assert!(
+            sealed_text * 4 < html.len(),
+            "text chunks must still compress: {sealed_text} of {}",
+            html.len()
+        );
+        fetch_record_into(
+            &mh,
+            &key,
+            "p",
+            &mut backend,
+            &mut work,
+            &mut scratch,
+            &mut out,
+        )
+        .unwrap();
+        assert_eq!(out, html);
     }
 
     #[test]

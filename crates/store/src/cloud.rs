@@ -218,20 +218,27 @@ impl CloudProvider {
         observed_ip: Ip,
     ) -> Result<(), CloudError> {
         self.auth(account, credential)?;
+        self.put_authed(account, object.to_string(), data, observed_ip);
+        Ok(())
+    }
+
+    /// The post-auth half of every write — single puts and batches
+    /// both land (and are access-logged) through here, so the two
+    /// paths can never diverge.
+    fn put_authed(&mut self, account: &str, object: String, data: Vec<u8>, observed_ip: Ip) {
         let bytes = data.len();
         self.accounts
             .get_mut(account)
-            .expect("authenticated above")
+            .expect("authenticated by caller")
             .objects
-            .insert(object.to_string(), data);
+            .insert(object.clone(), data);
         self.log.push(AccessLogEntry {
             account: account.to_string(),
             op: "put",
-            object: Some(object.to_string()),
+            object: Some(object),
             observed_ip,
             bytes,
         });
-        Ok(())
     }
 
     /// Retrieves an object.
@@ -407,6 +414,20 @@ impl ObjectBackend for CloudSession<'_> {
             .map_err(denied)
     }
 
+    fn put_many(&mut self, objects: Vec<(String, Vec<u8>)>) -> Result<(), BackendError> {
+        // One credential check covers the whole batch — the round-trip
+        // amortization a fleet save is after — while the provider still
+        // observes (and logs) every object it receives.
+        self.provider
+            .auth(&self.account, &self.credential)
+            .map_err(denied)?;
+        for (name, data) in objects {
+            self.provider
+                .put_authed(&self.account, name, data, self.observed_ip);
+        }
+        Ok(())
+    }
+
     fn get(&mut self, name: &str) -> Result<Option<&[u8]>, BackendError> {
         self.provider
             .auth(&self.account, &self.credential)
@@ -573,6 +594,33 @@ mod tests {
         assert_eq!(s.delete("x"), Err(BackendError::Denied));
         let mut names = Vec::new();
         assert_eq!(s.list(&mut names), Err(BackendError::Denied));
+    }
+
+    #[test]
+    fn put_many_logs_each_object_and_auths_once_per_batch() {
+        let mut p = CloudProvider::new("drive");
+        p.create_account("anon", "tok");
+        {
+            let mut s = p.session("anon", "tok", exit());
+            s.put_many(vec![
+                ("a".to_string(), vec![1]),
+                ("b".to_string(), vec![2, 3]),
+                ("a".to_string(), vec![9; 4]), // later duplicate wins
+            ])
+            .unwrap();
+            assert_eq!(s.get("a").unwrap(), Some(&[9u8; 4][..]));
+            assert_eq!(s.get("b").unwrap(), Some(&[2u8, 3][..]));
+        }
+        // The provider observed every object of the batch.
+        let puts: Vec<_> = p.access_log().iter().filter(|e| e.op == "put").collect();
+        assert_eq!(puts.len(), 3);
+        assert!(puts.iter().all(|e| e.observed_ip == exit()));
+
+        let mut s = p.session("anon", "wrong", exit());
+        assert_eq!(
+            s.put_many(vec![("x".to_string(), vec![])]),
+            Err(BackendError::Denied)
+        );
     }
 
     #[test]

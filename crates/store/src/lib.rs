@@ -64,15 +64,16 @@ pub mod versioned;
 pub use archive::NymArchive;
 pub use backend::{BackendError, ObjectBackend};
 pub use cas::{
-    chunk_id, chunk_object_name, CasError, ChunkId, ChunkIndex, ChunkManifest,
-    CHUNK_RECORD_THRESHOLD,
+    build_manifests, chunk_id, chunk_object_name, seal_new_chunks_into, CasError, ChunkId,
+    ChunkIndex, ChunkManifest, CHUNK_RECORD_THRESHOLD, INCOMPRESSIBLE_BITS_PER_BYTE,
 };
 pub use chunker::{chunks, AVG_CHUNK, MAX_CHUNK, MIN_CHUNK};
 pub use cloud::{AccessLog, CloudError, CloudProvider, CloudSession};
 pub use delta::{archive_merkle_root, DeltaArchive, DeltaError, DELTA_CHAIN_LIMIT};
 pub use local::LocalStore;
 pub use sealed::{
-    blob_salt, open_sealed, seal_archive, seal_bytes_keyed_into, seal_delta_keyed_into, seal_into,
-    seal_keyed_into, unseal_keyed_raw_into, unseal_raw_into, SealKey, SealScratch, SealedError,
+    blob_salt, open_sealed, seal_archive, seal_bytes_keyed_into, seal_bytes_keyed_stored_into,
+    seal_delta_keyed_into, seal_into, seal_keyed_into, unseal_keyed_raw_into, unseal_raw_into,
+    SealKey, SealScratch, SealedError,
 };
 pub use versioned::VersionedStore;

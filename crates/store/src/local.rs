@@ -74,6 +74,11 @@ impl ObjectBackend for LocalStore {
         Ok(())
     }
 
+    fn put_many(&mut self, objects: Vec<(String, Vec<u8>)>) -> Result<(), BackendError> {
+        self.objects.extend(objects);
+        Ok(())
+    }
+
     fn get(&mut self, name: &str) -> Result<Option<&[u8]>, BackendError> {
         Ok(LocalStore::get(self, name))
     }

@@ -211,6 +211,59 @@ pub fn compress(data: &[u8]) -> Vec<u8> {
     out
 }
 
+/// Emits `data` as a *stored* (all-literal) stream of the same format:
+/// header + flag bytes of all ones + the raw bytes. [`decompress_into`]
+/// reads it like any other stream, so callers that know their payload
+/// is incompressible (see [`entropy_bits_per_byte`]) can skip the
+/// match finder — no hash-chain build, no probing — at the cost LZSS
+/// already pays on such input anyway (one flag byte per 8 literals).
+pub fn store_into(data: &[u8], out: &mut Vec<u8>) {
+    out.reserve(8 + data.len() + data.len() / 8 + 1);
+    out.extend_from_slice(&(data.len() as u64).to_le_bytes());
+    let mut chunks = data.chunks_exact(8);
+    for group in &mut chunks {
+        out.push(0xFF);
+        out.extend_from_slice(group);
+    }
+    let tail = chunks.remainder();
+    if !tail.is_empty() {
+        out.push(0xFF);
+        out.extend_from_slice(tail);
+    }
+}
+
+/// Sampled Shannon entropy estimate of `data`'s byte distribution, in
+/// bits per byte (0.0 for empty input, 8.0 for uniform bytes). Up to
+/// 4 KiB is sampled at an even stride, so the probe is O(1) for large
+/// inputs and allocation-free. Byte entropy overestimates LZSS
+/// compressibility on byte-uniform-but-repetitive input (repeated
+/// random blocks), so treat a high reading as "not worth compressing",
+/// not as a guarantee in the other direction.
+pub fn entropy_bits_per_byte(data: &[u8]) -> f64 {
+    if data.is_empty() {
+        return 0.0;
+    }
+    const SAMPLE: usize = 4096;
+    let stride = data.len().div_ceil(SAMPLE).max(1);
+    let mut histogram = [0u32; 256];
+    let mut sampled = 0u32;
+    let mut i = 0;
+    while i < data.len() {
+        histogram[data[i] as usize] += 1;
+        sampled += 1;
+        i += stride;
+    }
+    let n = f64::from(sampled);
+    let mut bits = 0.0;
+    for &count in &histogram {
+        if count > 0 {
+            let p = f64::from(count) / n;
+            bits -= p * p.log2();
+        }
+    }
+    bits
+}
+
 /// Error from [`decompress`].
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum LzssError {
@@ -445,6 +498,51 @@ mod tests {
         c.compress_into(&data, &mut second);
         assert_eq!(first, second, "arena reuse must not change the stream");
         assert_eq!(first, compress(&data), "fresh arena must agree too");
+    }
+
+    #[test]
+    fn stored_stream_roundtrips() {
+        for len in [0usize, 1, 7, 8, 9, 4096, 10_001] {
+            let data: Vec<u8> = (0..len).map(|i| (i * 37 + i / 251) as u8).collect();
+            let mut packed = Vec::new();
+            store_into(&data, &mut packed);
+            assert_eq!(decompress(&packed).unwrap(), data, "len {len}");
+        }
+    }
+
+    #[test]
+    fn stored_stream_size_matches_incompressible_lzss_bound() {
+        let mut data = vec![0u8; 10_000];
+        nymix_crypto::ChaCha20::new(&[1u8; 32], &[0u8; 12], 0).xor_into(&mut data);
+        let mut stored = Vec::new();
+        store_into(&data, &mut stored);
+        // Same worst-case envelope the matcher pays on random input.
+        assert!(stored.len() <= 8 + data.len() + data.len() / 8 + 1);
+        let packed = compress(&data);
+        assert!(
+            stored.len() <= packed.len() + 16,
+            "stored {} lzss {}",
+            stored.len(),
+            packed.len()
+        );
+    }
+
+    #[test]
+    fn entropy_estimate_separates_text_from_keystream() {
+        assert_eq!(entropy_bits_per_byte(b""), 0.0);
+        assert_eq!(entropy_bits_per_byte(&[7u8; 4096]), 0.0);
+        let html: Vec<u8> = b"<div class=\"post\">entry</div>\n"
+            .iter()
+            .copied()
+            .cycle()
+            .take(64 * 1024)
+            .collect();
+        let mut noise = vec![0u8; 64 * 1024];
+        nymix_crypto::ChaCha20::new(&[2u8; 32], &[0u8; 12], 0).xor_into(&mut noise);
+        let text_bits = entropy_bits_per_byte(&html);
+        let noise_bits = entropy_bits_per_byte(&noise);
+        assert!(text_bits < 6.0, "html measured {text_bits}");
+        assert!(noise_bits > 7.5, "keystream measured {noise_bits}");
     }
 
     #[test]

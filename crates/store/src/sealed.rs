@@ -192,7 +192,7 @@ pub fn seal_keyed_into(
 ) {
     scratch.plain.clear();
     archive.write_into(&mut scratch.plain);
-    seal_plain(key, label, rng, scratch, out);
+    seal_plain(key, label, rng, scratch, out, true);
 }
 
 /// Seals a [`DeltaArchive`] through the identical zero-copy pipeline
@@ -209,7 +209,7 @@ pub fn seal_delta_keyed_into(
 ) {
     scratch.plain.clear();
     delta.write_into(&mut scratch.plain);
-    seal_plain(key, label, rng, scratch, out);
+    seal_plain(key, label, rng, scratch, out, true);
 }
 
 /// Seals arbitrary plaintext bytes through the identical zero-copy
@@ -228,17 +228,39 @@ pub fn seal_bytes_keyed_into(
 ) {
     scratch.plain.clear();
     scratch.plain.extend_from_slice(plain);
-    seal_plain(key, label, rng, scratch, out);
+    seal_plain(key, label, rng, scratch, out, true);
+}
+
+/// [`seal_bytes_keyed_into`] for payloads the caller knows are
+/// incompressible: the body is emitted as an all-literal *stored* LZSS
+/// stream ([`crate::lzss::store_into`]) — no match finder runs — and
+/// unsealing is unchanged (the stored stream decompresses like any
+/// other). The chunk store entropy-gates its per-chunk seals through
+/// this path; see [`crate::cas`].
+pub fn seal_bytes_keyed_stored_into(
+    plain: &[u8],
+    key: &SealKey,
+    label: &str,
+    rng: &mut Rng,
+    scratch: &mut SealScratch,
+    out: &mut Vec<u8>,
+) {
+    scratch.plain.clear();
+    scratch.plain.extend_from_slice(plain);
+    seal_plain(key, label, rng, scratch, out, false);
 }
 
 /// Compress-and-encrypt `scratch.plain` into `out` under `key`,
-/// binding `label` as associated data. Shared tail of every seal path.
+/// binding `label` as associated data. Shared tail of every seal path;
+/// `compress` false emits the stored (all-literal) body instead of
+/// running the match finder.
 fn seal_plain(
     key: &SealKey,
     label: &str,
     rng: &mut Rng,
     scratch: &mut SealScratch,
     out: &mut Vec<u8>,
+    compress: bool,
 ) {
     let mut nonce = [0u8; NONCE_LEN];
     rng.fill_bytes(&mut nonce);
@@ -249,7 +271,11 @@ fn seal_plain(
     out.extend_from_slice(&nonce);
     let body_start = out.len();
 
-    scratch.compressor.compress_into(&scratch.plain, out);
+    if compress {
+        scratch.compressor.compress_into(&scratch.plain, out);
+    } else {
+        lzss::store_into(&scratch.plain, out);
+    }
 
     let tag = seal_in_place_detached(&key.key, &nonce, label.as_bytes(), &mut out[body_start..]);
     out.extend_from_slice(&tag);
@@ -456,6 +482,39 @@ mod tests {
         let mut replayed = prev.clone();
         opened.apply(&mut replayed).unwrap();
         assert_eq!(replayed, next);
+    }
+
+    #[test]
+    fn stored_body_seal_roundtrips_and_authenticates() {
+        // The entropy-gated chunk path: an incompressible payload sealed
+        // with the stored body opens through the ordinary keyed unseal,
+        // and still authenticates its label binding.
+        let mut rng = Rng::seed_from(13);
+        let key = SealKey::derive("pw", "l", &mut rng);
+        let mut noise = vec![0u8; 8192];
+        nymix_crypto::ChaCha20::new(&[3u8; 32], &[0u8; 12], 0).xor_into(&mut noise);
+        let mut scratch = SealScratch::new();
+        let (mut blob, mut work) = (Vec::new(), Vec::new());
+        seal_bytes_keyed_stored_into(&noise, &key, "l#e1/c/ab", &mut rng, &mut scratch, &mut blob);
+        let plain =
+            unseal_keyed_raw_into(&blob, &key, "l#e1/c/ab", &mut work, &mut scratch).unwrap();
+        assert_eq!(plain, &noise[..]);
+        assert_eq!(
+            unseal_keyed_raw_into(&blob, &key, "l#e1/c/cd", &mut work, &mut scratch).unwrap_err(),
+            SealedError::AuthFailed
+        );
+        // Size envelope matches what the matcher would have produced on
+        // incompressible input (flag byte per 8 literals).
+        let mut compressed = Vec::new();
+        seal_bytes_keyed_into(
+            &noise,
+            &key,
+            "l#e1/c/ab",
+            &mut rng,
+            &mut scratch,
+            &mut compressed,
+        );
+        assert!(blob.len() <= compressed.len() + 16);
     }
 
     #[test]

@@ -141,6 +141,41 @@ impl<B: ObjectBackend> VersionedStore<B> {
         self.insert(name, SnapshotKind::Full, blob)
     }
 
+    /// Saves a full version of every `(name, blob)` pair through one
+    /// [`ObjectBackend::put_many`] batch — a fleet of nyms snapshotting
+    /// together pays the backend's per-operation overhead once. Returns
+    /// the assigned version numbers in input order. On backend failure
+    /// nothing is recorded in the index (the backend may hold a prefix
+    /// of the batch, matching the `put_many` contract).
+    pub fn try_save_many(
+        &mut self,
+        items: Vec<(String, Vec<u8>)>,
+    ) -> Result<Vec<u64>, BackendError> {
+        // Duplicate names inside one batch get consecutive versions.
+        let mut next: BTreeMap<String, u64> = BTreeMap::new();
+        let mut versions = Vec::with_capacity(items.len());
+        let mut staged = Vec::with_capacity(items.len());
+        let mut meta = Vec::with_capacity(items.len());
+        for (name, blob) in items {
+            let version = next
+                .get(&name)
+                .copied()
+                .unwrap_or_else(|| self.latest.get(&name).map_or(1, |v| v + 1));
+            next.insert(name.clone(), version + 1);
+            meta.push((name.clone(), blob.len()));
+            staged.push((object_key(&name, version), blob));
+            versions.push(version);
+        }
+        self.backend.put_many(staged)?;
+        for ((name, len), version) in meta.into_iter().zip(&versions) {
+            self.index
+                .insert((name.clone(), *version), (SnapshotKind::Full, len));
+            self.latest.insert(name.clone(), *version);
+            self.prune(&name);
+        }
+        Ok(versions)
+    }
+
     /// Chains a delta on `name`'s current snapshot. The existing chain
     /// plus the incoming delta is fully replayed (each hop
     /// Merkle-verified) *before* anything is stored, so a delta that
@@ -322,6 +357,44 @@ mod tests {
         a.put("anonvm.disk", vec![v; 400]);
         a.put("meta", format!("rev={v}").into_bytes());
         a
+    }
+
+    #[test]
+    fn save_many_batches_versions_like_serial_saves() {
+        let mut batched = VersionedStore::new(2);
+        let mut serial = VersionedStore::new(2);
+        serial.save("a", archive(1).to_bytes());
+        let versions = batched
+            .try_save_many(vec![
+                ("a".to_string(), archive(1).to_bytes()),
+                ("b".to_string(), archive(2).to_bytes()),
+                ("a".to_string(), archive(3).to_bytes()), // same-batch successor
+            ])
+            .unwrap();
+        serial.save("b", archive(2).to_bytes());
+        serial.save("a", archive(3).to_bytes());
+        assert_eq!(versions, vec![1, 1, 2]);
+        for name in ["a", "b"] {
+            assert_eq!(
+                batched.load_latest_archive(name).unwrap(),
+                serial.load_latest_archive(name).unwrap(),
+                "{name}"
+            );
+        }
+        // Retention applies to batched saves too.
+        let versions = batched
+            .try_save_many(vec![
+                ("a".to_string(), archive(4).to_bytes()),
+                ("a".to_string(), archive(5).to_bytes()),
+            ])
+            .unwrap();
+        assert_eq!(versions, vec![3, 4]);
+        assert_eq!(batched.kind("a", 1), None, "pruned past retain=2");
+        assert_eq!(
+            batched.load_latest_archive("a").unwrap(),
+            archive(5),
+            "latest wins"
+        );
     }
 
     #[test]

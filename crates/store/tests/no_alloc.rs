@@ -4,7 +4,7 @@
 //! touch the heap.
 
 use std::alloc::{GlobalAlloc, Layout, System};
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::cell::Cell;
 
 use nymix_sim::Rng;
 use nymix_store::{
@@ -14,11 +14,18 @@ use nymix_store::{
 
 struct CountingAlloc;
 
-static ALLOCATIONS: AtomicUsize = AtomicUsize::new(0);
+thread_local! {
+    /// Per-thread count: the test harness runs tests on parallel
+    /// threads, and a process-global counter would leak one test's
+    /// (legitimate) warm-up allocations into another's measurement
+    /// window. `Cell<usize>` needs no drop glue, so the TLS access
+    /// itself never allocates.
+    static ALLOCATIONS: Cell<usize> = const { Cell::new(0) };
+}
 
 unsafe impl GlobalAlloc for CountingAlloc {
     unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
-        ALLOCATIONS.fetch_add(1, Ordering::SeqCst);
+        let _ = ALLOCATIONS.try_with(|c| c.set(c.get() + 1));
         unsafe { System.alloc(layout) }
     }
     unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
@@ -29,11 +36,11 @@ unsafe impl GlobalAlloc for CountingAlloc {
 #[global_allocator]
 static GLOBAL: CountingAlloc = CountingAlloc;
 
-/// Runs `f` and returns how many heap allocations it performed.
+/// Runs `f` and returns how many heap allocations this thread performed.
 fn allocations_in(f: impl FnOnce()) -> usize {
-    let before = ALLOCATIONS.load(Ordering::SeqCst);
+    let before = ALLOCATIONS.with(Cell::get);
     f();
-    ALLOCATIONS.load(Ordering::SeqCst) - before
+    ALLOCATIONS.with(Cell::get) - before
 }
 
 fn archive() -> NymArchive {
@@ -159,4 +166,41 @@ fn warm_unseal_pipeline_is_allocation_free() {
         }
     });
     assert_eq!(n, 0, "warm unseal_raw_into must not allocate");
+}
+
+#[test]
+fn warm_gated_chunk_seal_is_allocation_free() {
+    // The entropy-gated chunk path: the probe (stack histogram) plus
+    // the stored-body seal must stay off the heap once warm — chunk
+    // sealing runs per chunk on every incremental save.
+    use nymix_store::{lzss, seal_bytes_keyed_stored_into};
+    let mut chunk = vec![0u8; 32 * 1024];
+    let mut x = 0x1234_5678_9abc_def0u64;
+    for b in chunk.iter_mut() {
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        *b = (x >> 32) as u8;
+    }
+    let mut rng = Rng::seed_from(9);
+    let key = SealKey::derive("pw", "l", &mut rng);
+    let mut scratch = SealScratch::new();
+    let mut out = Vec::new();
+    // Warm-up sizes the arena and the blob buffer.
+    seal_bytes_keyed_stored_into(&chunk, &key, "l#e1/c/ab", &mut rng, &mut scratch, &mut out);
+    let n = allocations_in(|| {
+        for _ in 0..3 {
+            assert!(lzss::entropy_bits_per_byte(&chunk) >= 7.0);
+            seal_bytes_keyed_stored_into(
+                &chunk,
+                &key,
+                "l#e1/c/ab",
+                &mut rng,
+                &mut scratch,
+                &mut out,
+            );
+            std::hint::black_box(out.len());
+        }
+    });
+    assert_eq!(n, 0, "warm gated chunk seal must not allocate");
 }
