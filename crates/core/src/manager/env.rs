@@ -17,9 +17,9 @@ use nymix_anon::{Anonymizer, AnonymizerKind, DissentNet, Incognito, Sweet};
 use nymix_net::dns::DnsDb;
 use nymix_net::flow::calib as netcal;
 use nymix_net::{Fabric, FlowNet, Ip, LinkId, Mac, NodeId, NodeKind};
-use nymix_sim::{Rng, SimDuration, SimTime};
+use nymix_sim::{DiskProfile, Rng, SimDuration, SimTime};
 use nymix_store::cloud::CloudSession;
-use nymix_store::{CloudProvider, LocalStore, ObjectBackend};
+use nymix_store::{CloudProvider, DiskStore, LocalStore, ObjectBackend};
 use nymix_vmm::Hypervisor;
 
 use std::collections::BTreeMap;
@@ -38,6 +38,8 @@ pub struct Environment {
     pub(super) clock: SimTime,
     pub(super) cloud: BTreeMap<String, CloudProvider>,
     pub(super) local: LocalStore,
+    pub(super) disk: DiskStore,
+    pub(super) disk_profile: DiskProfile,
     pub(super) browser_scale: u64,
     // Fabric landmarks.
     pub(super) hyp_node: NodeId,
@@ -138,6 +140,8 @@ impl Environment {
             clock: SimTime::ZERO,
             cloud: BTreeMap::new(),
             local: LocalStore::new(),
+            disk: DiskStore::new(),
+            disk_profile: DiskProfile::ssd(),
             browser_scale,
             hyp_node,
             internet_node,
@@ -213,12 +217,13 @@ pub(super) fn deterministic_blob(tag: u64, len: usize) -> Vec<u8> {
 
 /// The storage destination presented as a flat [`ObjectBackend`]: a
 /// credentialed cloud session observing the anonymizer's exit address,
-/// or the local partition. Everything the save/restore pipeline ships —
-/// base archives, deltas, chunk objects — moves through this one
-/// interface.
+/// the local partition, or the crash-consistent journaled disk.
+/// Everything the save/restore pipeline ships — base archives, deltas,
+/// chunk objects — moves through this one interface.
 pub(super) enum DestBackend<'a> {
     Cloud(CloudSession<'a>),
     Local(&'a mut LocalStore),
+    Disk(&'a mut DiskStore),
 }
 
 impl ObjectBackend for DestBackend<'_> {
@@ -226,6 +231,7 @@ impl ObjectBackend for DestBackend<'_> {
         match self {
             DestBackend::Cloud(s) => s.put(name, data),
             DestBackend::Local(s) => ObjectBackend::put(*s, name, data),
+            DestBackend::Disk(s) => ObjectBackend::put(*s, name, data),
         }
     }
 
@@ -236,6 +242,7 @@ impl ObjectBackend for DestBackend<'_> {
         match self {
             DestBackend::Cloud(s) => s.put_many(objects),
             DestBackend::Local(s) => ObjectBackend::put_many(*s, objects),
+            DestBackend::Disk(s) => ObjectBackend::put_many(*s, objects),
         }
     }
 
@@ -243,6 +250,7 @@ impl ObjectBackend for DestBackend<'_> {
         match self {
             DestBackend::Cloud(s) => s.get(name),
             DestBackend::Local(s) => ObjectBackend::get(*s, name),
+            DestBackend::Disk(s) => ObjectBackend::get(*s, name),
         }
     }
 
@@ -250,6 +258,7 @@ impl ObjectBackend for DestBackend<'_> {
         match self {
             DestBackend::Cloud(s) => s.delete(name),
             DestBackend::Local(s) => ObjectBackend::delete(*s, name),
+            DestBackend::Disk(s) => ObjectBackend::delete(*s, name),
         }
     }
 
@@ -257,6 +266,30 @@ impl ObjectBackend for DestBackend<'_> {
         match self {
             DestBackend::Cloud(s) => s.list(out),
             DestBackend::Local(s) => ObjectBackend::list(*s, out),
+            DestBackend::Disk(s) => ObjectBackend::list(*s, out),
+        }
+    }
+
+    /// Puts plus sweeps in one transaction. On the journaled disk this
+    /// is a single atomic batch — a crash mid-save leaves either the
+    /// old objects (sweep included) or the new ones, never a blend. On
+    /// cloud/local (no durability to protect) puts land first and
+    /// failed sweeps are tolerated, preserving the pipeline's historic
+    /// best-effort delete semantics.
+    fn apply_batch(
+        &mut self,
+        puts: Vec<(String, Vec<u8>)>,
+        deletes: Vec<String>,
+    ) -> Result<(), nymix_store::BackendError> {
+        match self {
+            DestBackend::Disk(s) => ObjectBackend::apply_batch(*s, puts, deletes),
+            _ => {
+                self.put_many(puts)?;
+                for name in &deletes {
+                    let _ = self.delete(name);
+                }
+                Ok(())
+            }
         }
     }
 }
@@ -268,6 +301,7 @@ impl ObjectBackend for DestBackend<'_> {
 pub(super) fn dest_backend<'a>(
     cloud: &'a mut BTreeMap<String, CloudProvider>,
     local: &'a mut LocalStore,
+    disk: &'a mut DiskStore,
     dest: &StorageDest,
     exit: Option<Ip>,
 ) -> Result<DestBackend<'a>, NymManagerError> {
@@ -287,6 +321,7 @@ pub(super) fn dest_backend<'a>(
             )))
         }
         StorageDest::Local => Ok(DestBackend::Local(local)),
+        StorageDest::Disk => Ok(DestBackend::Disk(disk)),
     }
 }
 

@@ -41,8 +41,8 @@ use nymix_anon::tor::{TorDirectory, TorState};
 use nymix_anon::{Anonymizer, AnonymizerKind};
 use nymix_net::dns::DnsDb;
 use nymix_net::{Fabric, Ip, NodeId};
-use nymix_sim::{SimDuration, SimTime};
-use nymix_store::{CloudProvider, LocalStore};
+use nymix_sim::{DiskProfile, SimDuration, SimTime};
+use nymix_store::{CloudProvider, DiskStore, FaultPlan, LocalStore, SimDisk};
 use nymix_vmm::{Hypervisor, HypervisorError};
 use nymix_workload::browser::BrowserState;
 use nymix_workload::Site;
@@ -75,6 +75,13 @@ pub enum StorageDest {
     },
     /// Local partition / USB drive: faster, not deniable.
     Local,
+    /// The crash-consistent journaled disk: like [`StorageDest::Local`]
+    /// but backed by [`nymix_store::DiskStore`], so stored nyms survive
+    /// power loss at any instant and every save batch lands atomically.
+    /// The device image can be detached with [`NymManager::take_disk`]
+    /// and re-attached to a later manager with
+    /// [`NymManager::attach_disk`].
+    Disk,
 }
 
 /// Errors from Nym Manager operations.
@@ -220,6 +227,54 @@ impl NymManager {
     /// The local store.
     pub fn local_store(&self) -> &LocalStore {
         &self.env.local
+    }
+
+    /// The crash-consistent disk store behind [`StorageDest::Disk`].
+    pub fn disk_store(&self) -> &DiskStore {
+        &self.env.disk
+    }
+
+    /// Attaches a surviving device image as the [`StorageDest::Disk`]
+    /// backend, replaying or discarding whatever one batch was in
+    /// flight when the device last lost power. The previous disk store
+    /// (and anything on it) is dropped. Fails closed — without
+    /// attaching — if the image's committed region is corrupt.
+    pub fn attach_disk(&mut self, image: SimDisk) -> Result<(), NymManagerError> {
+        self.env.disk =
+            DiskStore::open(image).map_err(|e| NymManagerError::Storage(e.to_string()))?;
+        Ok(())
+    }
+
+    /// Detaches the disk backend's device image — everything durable at
+    /// this instant, exactly as a power cut would leave it — replacing
+    /// it with a fresh empty device. Reattach with
+    /// [`NymManager::attach_disk`] (on this or any later manager) to
+    /// recover the stored nyms.
+    pub fn take_disk(&mut self) -> SimDisk {
+        std::mem::replace(&mut self.env.disk, DiskStore::new()).into_disk()
+    }
+
+    /// Simulates power loss on the disk backend: returns the device
+    /// image as the cut would leave it — durable state plus whichever
+    /// unflushed writes `mode` says landed — for
+    /// [`NymManager::attach_disk`] recovery on this or a fresh manager.
+    /// The running store is untouched, so one failed save can be
+    /// crash-tested under every [`nymix_store::CrashMode`].
+    pub fn crash_disk(&self, mode: nymix_store::CrashMode) -> SimDisk {
+        self.env.disk.crash(mode)
+    }
+
+    /// Arms deterministic fault injection on the disk backend: the
+    /// device dies at the `n`th write/fsync from now (see
+    /// [`nymix_store::FaultPlan`]).
+    pub fn set_disk_fault_plan(&mut self, plan: FaultPlan) {
+        self.env.disk.set_fault_plan(plan);
+    }
+
+    /// Sets the latency profile disk saves are charged with (default:
+    /// [`DiskProfile::ssd`]).
+    pub fn set_disk_profile(&mut self, profile: DiskProfile) {
+        self.env.disk_profile = profile;
     }
 
     /// Live nym ids.
@@ -407,7 +462,7 @@ impl NymManager {
                     boot,
                 )
             }
-            StorageDest::Local => (None, None, SimDuration::ZERO),
+            StorageDest::Local | StorageDest::Disk => (None, None, SimDuration::ZERO),
         };
 
         // The restoring session doesn't exist yet, so the fetch runs on

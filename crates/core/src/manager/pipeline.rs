@@ -40,7 +40,7 @@ use nymix_store::{
 
 use std::collections::BTreeMap;
 
-use super::env::{dest_backend, storage_err, Environment};
+use super::env::{dest_backend, storage_err, DestBackend, Environment};
 use super::session::{storage_label, ChainState, NymSession};
 use super::{NymId, NymManagerError, SaveKind, StorageDest};
 
@@ -299,7 +299,7 @@ impl StorePipeline {
         while let Some(s) = pending.next() {
             let same_target = |a: &SealedSave, b: &SealedSave| {
                 a.plan.req.dest == b.plan.req.dest
-                    && (matches!(a.plan.req.dest, StorageDest::Local)
+                    && (matches!(a.plan.req.dest, StorageDest::Local | StorageDest::Disk)
                         || a.plan.exit_ip == b.plan.exit_ip)
             };
             let flush = match pending.peek() {
@@ -310,23 +310,50 @@ impl StorePipeline {
             if !flush {
                 continue;
             }
-            // One backend open, one put_many, then the sweeps, for the
-            // whole group.
+            // One backend open, one batch — every staged put plus every
+            // sweep — for the whole group. On the journaled disk the
+            // batch is a single atomic transaction: a crash mid-save
+            // leaves either every nym's previous version (with its
+            // chunk objects) or every new one, never a mixture.
             let dest = group[0].plan.req.dest;
             let exit = group[0].plan.exit_ip;
+            let disk_before = env.disk.device_stats();
+            let mut cloud_backoff = SimDuration::ZERO;
             {
-                let mut backend = dest_backend(&mut env.cloud, &mut env.local, dest, Some(exit))?;
+                let mut backend = dest_backend(
+                    &mut env.cloud,
+                    &mut env.local,
+                    &mut env.disk,
+                    dest,
+                    Some(exit),
+                )?;
                 let staged: Vec<(String, Vec<u8>)> = group
                     .iter_mut()
                     .flat_map(|s| std::mem::take(&mut s.staged))
                     .collect();
-                backend.put_many(staged).map_err(storage_err)?;
-                for s in &group {
-                    for name in &s.deletes {
-                        let _ = backend.delete(name);
-                    }
+                let deletes: Vec<String> = group
+                    .iter_mut()
+                    .flat_map(|s| std::mem::take(&mut s.deletes))
+                    .collect();
+                backend.apply_batch(staged, deletes).map_err(storage_err)?;
+                // Transient-failure retries slept on simulated backoff;
+                // charge it to this batch's wall clock.
+                if let DestBackend::Cloud(session) = &mut backend {
+                    cloud_backoff = session.take_accrued_backoff();
                 }
             }
+            // Disk saves cost the actual device I/O the batch incurred
+            // (journal + heap writes and both fsync barriers), priced
+            // by the environment's disk profile.
+            let disk_io = {
+                let io = env.disk.device_stats().since(&disk_before);
+                env.disk_profile.io_time(
+                    io.bytes_written,
+                    io.bytes_read,
+                    io.fsyncs,
+                    io.writes + io.reads,
+                )
+            };
             for s in group.drain(..) {
                 let duration = match s.plan.req.dest {
                     StorageDest::Cloud { .. } => {
@@ -339,10 +366,12 @@ impl StorePipeline {
                             (1.0 + s.plan.wire_overhead)
                                 * (s.uploaded as f64 * env.browser_scale as f64)
                         };
-                        SimDuration::from_secs_f64(Environment::transfer_secs(wire))
+                        SimDuration::from_secs_f64(Environment::transfer_secs(wire)) + cloud_backoff
                     }
                     // One media sync flushes the whole batch.
                     StorageDest::Local => SimDuration::from_millis(300),
+                    // The journaled batch commit, at modeled device speed.
+                    StorageDest::Disk => disk_io,
                 };
                 batch_duration = batch_duration.max(duration);
                 self.note_epoch(&s.plan.label, s.epoch);

@@ -46,7 +46,13 @@ pub(super) fn fetch_chain(
     scratch: &mut SealScratch,
 ) -> Result<FetchedChain, NymManagerError> {
     let seal_err = |e: nymix_store::SealedError| NymManagerError::Storage(e.to_string());
-    let mut backend = dest_backend(&mut env.cloud, &mut env.local, dest, fetch_exit)?;
+    let mut backend = dest_backend(
+        &mut env.cloud,
+        &mut env.local,
+        &mut env.disk,
+        dest,
+        fetch_exit,
+    )?;
     let mut fetched_bytes = 0usize;
 
     // One KDF opens the whole chain: re-derive the chain key from the

@@ -3,6 +3,7 @@
 //! cross-nym isolation under a shared backend.
 
 use super::*;
+use fleet::FleetSaveRequest;
 use nymix_anon::AnonymizerKind;
 use nymix_sim::SimDuration;
 use nymix_store::DELTA_CHAIN_LIMIT;
@@ -782,4 +783,133 @@ fn delta_saves_do_not_drain_orphaned_chunk_registry() {
         "compaction must sweep the orphaned epoch-1 chunks: {:?}",
         chunk_objects(&m)
     );
+}
+
+#[test]
+fn disk_save_restore_roundtrip_survives_detach() {
+    let mut m = manager();
+    let (id, _) = m
+        .create_nym("disky", AnonymizerKind::Tor, UsageModel::Persistent)
+        .unwrap();
+    m.visit_site(id, Site::Twitter).unwrap();
+    m.inject_stain(id, "disk-marker").unwrap();
+    let (size, dur) = m.save_nym(id, "pw", &StorageDest::Disk).unwrap();
+    assert!(size > 0);
+    // Disk saves are charged real device time (journal + heap + fsyncs).
+    assert!(dur > SimDuration::ZERO);
+    m.destroy_nym(id).unwrap();
+
+    // Detach the device image, boot a brand-new manager, plug it in.
+    let image = m.take_disk();
+    let mut m2 = manager();
+    m2.attach_disk(image).unwrap();
+    let (id2, breakdown) = m2
+        .restore_nym(
+            "disky",
+            AnonymizerKind::Tor,
+            UsageModel::Persistent,
+            "pw",
+            &StorageDest::Disk,
+        )
+        .unwrap();
+    // Like Local, disk restores need no ephemeral fetch nym.
+    assert!(breakdown.ephemeral_fetch < SimDuration::from_secs(3));
+    assert!(m2.nymbox(id2).unwrap().restored);
+    assert!(m2.has_stain(id2, "disk-marker").unwrap());
+}
+
+/// Two nyms with one durable round-1 save on the disk backend, round-2
+/// stains staged but unsaved — the setup every fleet crash test below
+/// perturbs.
+fn disk_fleet_round2() -> (NymManager, Vec<NymId>) {
+    let mut m = manager();
+    let mut ids = Vec::new();
+    for name in ["fleet-a", "fleet-b"] {
+        let (id, _) = m
+            .create_nym(name, AnonymizerKind::Tor, UsageModel::Persistent)
+            .unwrap();
+        m.inject_stain(id, "round-1").unwrap();
+        ids.push(id);
+    }
+    let reqs: Vec<FleetSaveRequest> = ids
+        .iter()
+        .map(|id| FleetSaveRequest {
+            id: *id,
+            password: "pw",
+            dest: &StorageDest::Disk,
+        })
+        .collect();
+    m.save_nyms_incremental(&reqs).unwrap();
+    for id in &ids {
+        m.inject_stain(*id, "round-2").unwrap();
+    }
+    (m, ids)
+}
+
+#[test]
+fn fleet_disk_crash_matrix_recovers_whole_fleet_pre_or_post() {
+    use nymix_store::{CrashMode, FaultPlan};
+    // Kill the device at every write/fsync boundary of a two-nym
+    // batched save, materialize every covering crash mode, and recover
+    // into a fresh manager: the *whole fleet* must come back at
+    // round 1 or round 2 together — a crashed batch never splits the
+    // fleet across save generations.
+    let stride = if cfg!(debug_assertions) { 3u64 } else { 1 };
+    let (mut seen_pre, mut seen_post) = (0u32, 0u32);
+    let mut kill = 0u64;
+    loop {
+        let (mut m, ids) = disk_fleet_round2();
+        let base_ops = m.disk_store().disk().ops();
+        m.set_disk_fault_plan(FaultPlan::kill_at_op(base_ops + kill));
+        let reqs: Vec<FleetSaveRequest> = ids
+            .iter()
+            .map(|id| FleetSaveRequest {
+                id: *id,
+                password: "pw",
+                dest: &StorageDest::Disk,
+            })
+            .collect();
+        if m.save_nyms_incremental(&reqs).is_ok() {
+            break; // Kill point beyond the batch: matrix exhausted.
+        }
+        if !kill.is_multiple_of(stride) {
+            kill += 1;
+            continue;
+        }
+        for mode in CrashMode::covering_set(m.disk_store().disk().pending_writes(), 64) {
+            let mut m2 = manager();
+            m2.attach_disk(m.crash_disk(mode))
+                .unwrap_or_else(|e| panic!("kill {kill} {mode:?}: recovery failed: {e}"));
+            let mut round2 = Vec::new();
+            for name in ["fleet-a", "fleet-b"] {
+                let (rid, _) = m2
+                    .restore_nym(
+                        name,
+                        AnonymizerKind::Tor,
+                        UsageModel::Persistent,
+                        "pw",
+                        &StorageDest::Disk,
+                    )
+                    .unwrap_or_else(|e| panic!("kill {kill} {mode:?}: {name} lost: {e}"));
+                assert!(
+                    m2.has_stain(rid, "round-1").unwrap(),
+                    "kill {kill} {mode:?}: {name} lost its round-1 state"
+                );
+                round2.push(m2.has_stain(rid, "round-2").unwrap());
+            }
+            assert_eq!(
+                round2[0], round2[1],
+                "kill {kill} {mode:?}: fleet split across save generations"
+            );
+            if round2[0] {
+                seen_post += 1;
+            } else {
+                seen_pre += 1;
+            }
+        }
+        kill += 1;
+    }
+    assert!(kill >= 4, "matrix covered only {kill} kill points");
+    assert!(seen_pre > 0, "no crash point preserved the round-1 fleet");
+    assert!(seen_post > 0, "no crash point reached the round-2 fleet");
 }

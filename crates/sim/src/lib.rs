@@ -24,10 +24,12 @@ pub mod engine;
 pub mod fluid;
 pub mod rng;
 pub mod stats;
+pub mod storage;
 pub mod time;
 
 pub use engine::Engine;
 pub use fluid::{FluidResource, JobId};
 pub use rng::Rng;
 pub use stats::{Series, Summary};
+pub use storage::DiskProfile;
 pub use time::{SimDuration, SimTime};

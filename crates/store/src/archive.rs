@@ -57,6 +57,21 @@
 //! essentially never masquerade as a manifest — and if they somehow
 //! did, resolution fails closed rather than restoring wrong state.
 //!
+//! ## On-disk persistence (`NYMJ` journal + heap)
+//!
+//! The wire formats above describe *objects* — opaque blobs a backend
+//! stores by name. When the backend is the crash-consistent disk store
+//! ([`crate::disk`]), those objects live inside two further on-disk
+//! structures with their own magics: the `"NYMJ"` write-ahead journal
+//! (dual alternating superblock slots + one `"JBAT"` batch frame) and
+//! the log-structured heap (`"HOBJ"` put / `"HDEL"` tombstone records,
+//! each ending in a truncated-SHA-256 `check16`). Their byte layouts,
+//! the commit protocol, and the recovery rules are specified in the
+//! [`crate::disk`] module docs, alongside the durability model in the
+//! crate root. The containers are independent layers: a sealed NYM1
+//! archive rides the journal unchanged, and journal recovery never
+//! needs to parse what it replays.
+//!
 //! ## Parsing hostile bytes
 //!
 //! [`NymArchive::from_bytes`] (and the delta parser) is the trust

@@ -22,15 +22,31 @@
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum BackendError {
     /// The backend refused the caller's credentials or account.
+    /// Permanent: retrying with the same credentials cannot succeed,
+    /// and hammering a provider that said "no" is exactly the traffic
+    /// pattern a deanonymizing adversary hopes for. Fail closed.
     Denied,
-    /// Backend-specific failure.
+    /// A transient fault — throttling, a dropped connection, a busy
+    /// replica. Retrying the same operation after a backoff may
+    /// succeed; [`crate::cloud::CloudSession`] does so with bounded
+    /// deterministic exponential backoff.
+    Transient(String),
+    /// Backend-specific permanent failure.
     Other(String),
+}
+
+impl BackendError {
+    /// Whether retrying the failed operation may succeed.
+    pub fn is_transient(&self) -> bool {
+        matches!(self, BackendError::Transient(_))
+    }
 }
 
 impl core::fmt::Display for BackendError {
     fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
         match self {
             BackendError::Denied => write!(f, "backend denied access"),
+            BackendError::Transient(s) => write!(f, "transient backend failure: {s}"),
             BackendError::Other(s) => write!(f, "backend failure: {s}"),
         }
     }
@@ -60,6 +76,26 @@ pub trait ObjectBackend {
         Ok(())
     }
 
+    /// Applies a mixed batch of writes and deletions. The default is
+    /// merely *sequenced* — puts land first (via
+    /// [`ObjectBackend::put_many`]), then deletes, and a crash or error
+    /// in between leaves the overlap observable. Backends with a real
+    /// transaction boundary override this with something stronger: the
+    /// journaled [`crate::disk::DiskStore`] commits the whole batch
+    /// atomically, which is what lets chunk mark-and-sweep retire old
+    /// objects in the same transaction that lands their replacements.
+    fn apply_batch(
+        &mut self,
+        puts: Vec<(String, Vec<u8>)>,
+        deletes: Vec<String>,
+    ) -> Result<(), BackendError> {
+        self.put_many(puts)?;
+        for name in deletes {
+            self.delete(&name)?;
+        }
+        Ok(())
+    }
+
     /// Reads the object at `name`; `Ok(None)` when absent.
     fn get(&mut self, name: &str) -> Result<Option<&[u8]>, BackendError>;
 
@@ -77,6 +113,14 @@ impl<B: ObjectBackend + ?Sized> ObjectBackend for &mut B {
 
     fn put_many(&mut self, objects: Vec<(String, Vec<u8>)>) -> Result<(), BackendError> {
         (**self).put_many(objects)
+    }
+
+    fn apply_batch(
+        &mut self,
+        puts: Vec<(String, Vec<u8>)>,
+        deletes: Vec<String>,
+    ) -> Result<(), BackendError> {
+        (**self).apply_batch(puts, deletes)
     }
 
     fn get(&mut self, name: &str) -> Result<Option<&[u8]>, BackendError> {

@@ -15,6 +15,7 @@
 use std::collections::{BTreeMap, VecDeque};
 
 use nymix_net::Ip;
+use nymix_sim::SimDuration;
 
 use crate::backend::{BackendError, ObjectBackend};
 
@@ -27,6 +28,9 @@ pub enum CloudError {
     BadCredential,
     /// Unknown object.
     NoSuchObject,
+    /// The provider shed load on this write — transient; retry after a
+    /// backoff may succeed.
+    Throttled,
 }
 
 impl core::fmt::Display for CloudError {
@@ -35,6 +39,7 @@ impl core::fmt::Display for CloudError {
             CloudError::NoSuchAccount => write!(f, "no such account"),
             CloudError::BadCredential => write!(f, "bad credential"),
             CloudError::NoSuchObject => write!(f, "no such object"),
+            CloudError::Throttled => write!(f, "provider throttled the request"),
         }
     }
 }
@@ -158,6 +163,9 @@ pub struct CloudProvider {
     name: String,
     accounts: BTreeMap<String, Account>,
     log: AccessLog,
+    /// Deterministic fault injection: the next N write attempts are
+    /// throttled ([`CloudError::Throttled`]) before landing.
+    transient_put_faults: u32,
 }
 
 impl CloudProvider {
@@ -168,7 +176,21 @@ impl CloudProvider {
             name: name.to_string(),
             accounts: BTreeMap::new(),
             log: AccessLog::new(ACCESS_LOG_CAPACITY),
+            transient_put_faults: 0,
         }
+    }
+
+    /// Arms deterministic write-fault injection: the next `n` put
+    /// attempts (single or batched) fail with [`CloudError::Throttled`]
+    /// before any byte lands, then the provider behaves normally again.
+    /// Tests use this to drive the session retry path.
+    pub fn inject_transient_put_failures(&mut self, n: u32) {
+        self.transient_put_faults = n;
+    }
+
+    /// Injected write faults not yet consumed.
+    pub fn pending_transient_put_failures(&self) -> u32 {
+        self.transient_put_faults
     }
 
     /// Overrides the access-log retention bound.
@@ -218,14 +240,26 @@ impl CloudProvider {
         observed_ip: Ip,
     ) -> Result<(), CloudError> {
         self.auth(account, credential)?;
-        self.put_authed(account, object.to_string(), data, observed_ip);
-        Ok(())
+        self.put_authed(account, object.to_string(), data, observed_ip)
     }
 
     /// The post-auth half of every write — single puts and batches
     /// both land (and are access-logged) through here, so the two
-    /// paths can never diverge.
-    fn put_authed(&mut self, account: &str, object: String, data: Vec<u8>, observed_ip: Ip) {
+    /// paths can never diverge. Fails with [`CloudError::Throttled`]
+    /// while injected transient faults remain, consuming one per
+    /// attempt; a throttled write lands nothing and logs nothing (the
+    /// provider dropped it at the door).
+    fn put_authed(
+        &mut self,
+        account: &str,
+        object: String,
+        data: Vec<u8>,
+        observed_ip: Ip,
+    ) -> Result<(), CloudError> {
+        if self.transient_put_faults > 0 {
+            self.transient_put_faults -= 1;
+            return Err(CloudError::Throttled);
+        }
         let bytes = data.len();
         self.accounts
             .get_mut(account)
@@ -239,6 +273,7 @@ impl CloudProvider {
             observed_ip,
             bytes,
         });
+        Ok(())
     }
 
     /// Retrieves an object.
@@ -339,6 +374,9 @@ impl CloudProvider {
             account: account.to_string(),
             credential: credential.to_string(),
             observed_ip,
+            retry_max: DEFAULT_RETRY_MAX,
+            retry_base: DEFAULT_RETRY_BASE,
+            backoff_accrued: SimDuration::ZERO,
         }
     }
 
@@ -392,38 +430,109 @@ pub struct CloudSession<'p> {
     account: String,
     credential: String,
     observed_ip: Ip,
+    /// Retries allowed per write after the first attempt.
+    retry_max: u32,
+    /// Backoff before the first retry; doubles each further retry.
+    retry_base: SimDuration,
+    /// Total simulated backoff this session has waited. The nym
+    /// manager adds it to the save's modeled duration so retries cost
+    /// simulated time, deterministically.
+    backoff_accrued: SimDuration,
 }
+
+/// Default retries per write after the first attempt.
+pub const DEFAULT_RETRY_MAX: u32 = 3;
+
+/// Default first-retry backoff (doubles per further retry).
+pub const DEFAULT_RETRY_BASE: SimDuration = SimDuration(500_000);
 
 fn denied(e: CloudError) -> BackendError {
     match e {
         CloudError::NoSuchAccount | CloudError::BadCredential => BackendError::Denied,
+        CloudError::Throttled => BackendError::Transient(e.to_string()),
         CloudError::NoSuchObject => BackendError::Other(e.to_string()),
+    }
+}
+
+impl CloudSession<'_> {
+    /// Overrides the retry policy: up to `retries` retries per write,
+    /// starting at `base` backoff and doubling each time. Zero retries
+    /// restores the old fail-on-first-error behaviour.
+    pub fn with_retry_policy(mut self, retries: u32, base: SimDuration) -> Self {
+        self.retry_max = retries;
+        self.retry_base = base;
+        self
+    }
+
+    /// Total simulated backoff accrued by retried writes so far.
+    pub fn accrued_backoff(&self) -> SimDuration {
+        self.backoff_accrued
+    }
+
+    /// Resets the accrued-backoff accumulator (after the caller has
+    /// charged it to the clock).
+    pub fn take_accrued_backoff(&mut self) -> SimDuration {
+        std::mem::take(&mut self.backoff_accrued)
+    }
+
+    /// One write with bounded deterministic exponential-backoff retry.
+    /// Only [`BackendError::Transient`] failures are retried — a
+    /// permanent error (notably [`BackendError::Denied`]) fails closed
+    /// immediately, because re-presenting refused credentials is both
+    /// useless and the exact traffic signature an observing adversary
+    /// wants. Puts are idempotent overwrites, so a retry after an
+    /// ambiguous failure cannot corrupt state.
+    fn put_with_retry(&mut self, name: &str, data: Vec<u8>) -> Result<(), BackendError> {
+        let mut backoff = self.retry_base;
+        let mut slot = Some(data);
+        for attempt in 0..=self.retry_max {
+            // Keep a copy only while further retries are possible.
+            let payload = if attempt < self.retry_max {
+                slot.clone().expect("payload present until final attempt")
+            } else {
+                slot.take().expect("payload present until final attempt")
+            };
+            match self.provider.put_authed(
+                &self.account,
+                name.to_string(),
+                payload,
+                self.observed_ip,
+            ) {
+                Ok(()) => return Ok(()),
+                Err(e) => {
+                    let be = denied(e);
+                    if !be.is_transient() || attempt == self.retry_max {
+                        return Err(be);
+                    }
+                    self.backoff_accrued = self.backoff_accrued.saturating_add(backoff);
+                    backoff = backoff.saturating_add(backoff);
+                }
+            }
+        }
+        unreachable!("loop returns on success or final failure")
     }
 }
 
 impl ObjectBackend for CloudSession<'_> {
     fn put(&mut self, name: &str, data: Vec<u8>) -> Result<(), BackendError> {
         self.provider
-            .put(
-                &self.account,
-                &self.credential,
-                name,
-                data,
-                self.observed_ip,
-            )
-            .map_err(denied)
+            .auth(&self.account, &self.credential)
+            .map_err(denied)?;
+        self.put_with_retry(name, data)
     }
 
     fn put_many(&mut self, objects: Vec<(String, Vec<u8>)>) -> Result<(), BackendError> {
         // One credential check covers the whole batch — the round-trip
         // amortization a fleet save is after — while the provider still
-        // observes (and logs) every object it receives.
+        // observes (and logs) every object it receives. Each object
+        // write retries independently on transient faults; on a
+        // permanent (or retries-exhausted) failure a prefix of the
+        // batch has landed, per the trait contract.
         self.provider
             .auth(&self.account, &self.credential)
             .map_err(denied)?;
         for (name, data) in objects {
-            self.provider
-                .put_authed(&self.account, name, data, self.observed_ip);
+            self.put_with_retry(&name, data)?;
         }
         Ok(())
     }
@@ -621,6 +730,77 @@ mod tests {
             s.put_many(vec![("x".to_string(), vec![])]),
             Err(BackendError::Denied)
         );
+    }
+
+    #[test]
+    fn transient_faults_are_retried_with_backoff() {
+        let mut p = CloudProvider::new("drive");
+        p.create_account("anon", "tok");
+        p.inject_transient_put_failures(2);
+        let mut s = p.session("anon", "tok", exit());
+        s.put("x", vec![1, 2, 3]).unwrap();
+        assert_eq!(s.get("x").unwrap(), Some(&[1u8, 2, 3][..]));
+        // Two failed attempts → backoff base + 2*base accrued.
+        assert_eq!(s.accrued_backoff(), SimDuration(3 * DEFAULT_RETRY_BASE.0),);
+        assert_eq!(
+            s.take_accrued_backoff(),
+            SimDuration(3 * DEFAULT_RETRY_BASE.0)
+        );
+        assert_eq!(s.accrued_backoff(), SimDuration::ZERO);
+        drop(s);
+        assert_eq!(p.pending_transient_put_failures(), 0);
+    }
+
+    #[test]
+    fn exhausted_retries_fail_with_transient_error() {
+        let mut p = CloudProvider::new("drive");
+        p.create_account("anon", "tok");
+        // More faults than 1 + DEFAULT_RETRY_MAX attempts can absorb.
+        p.inject_transient_put_failures(1 + DEFAULT_RETRY_MAX + 1);
+        let mut s = p.session("anon", "tok", exit());
+        let err = s.put("x", vec![1]).unwrap_err();
+        assert!(err.is_transient(), "got {err:?}");
+        assert_eq!(s.get("x").unwrap(), None, "nothing landed");
+    }
+
+    #[test]
+    fn put_many_retries_per_object_and_later_objects_still_land() {
+        let mut p = CloudProvider::new("drive");
+        p.create_account("anon", "tok");
+        // First object's first attempt throttled; its retry and the
+        // second object succeed.
+        p.inject_transient_put_failures(1);
+        let mut s = p.session("anon", "tok", exit());
+        s.put_many(vec![("a".into(), vec![1]), ("b".into(), vec![2])])
+            .unwrap();
+        assert_eq!(s.get("a").unwrap(), Some(&[1u8][..]));
+        assert_eq!(s.get("b").unwrap(), Some(&[2u8][..]));
+        assert_eq!(s.accrued_backoff(), DEFAULT_RETRY_BASE);
+    }
+
+    #[test]
+    fn permanent_errors_fail_closed_without_retry() {
+        let mut p = CloudProvider::new("drive");
+        p.create_account("anon", "tok");
+        p.inject_transient_put_failures(0);
+        let mut s = p.session("anon", "wrong", exit());
+        assert_eq!(s.put("x", vec![1]), Err(BackendError::Denied));
+        // No backoff was spent hammering refused credentials.
+        assert_eq!(s.accrued_backoff(), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn zero_retry_policy_restores_fail_fast() {
+        let mut p = CloudProvider::new("drive");
+        p.create_account("anon", "tok");
+        p.inject_transient_put_failures(1);
+        let mut s = p
+            .session("anon", "tok", exit())
+            .with_retry_policy(0, SimDuration::ZERO);
+        assert!(s.put("x", vec![1]).unwrap_err().is_transient());
+        assert_eq!(s.accrued_backoff(), SimDuration::ZERO);
+        // The injected fault was consumed; the next write lands.
+        s.put("x", vec![2]).unwrap();
     }
 
     #[test]

@@ -1,0 +1,237 @@
+//! The log-structured object heap: on-disk format, encode, and the
+//! open-time scan.
+//!
+//! # On-disk format (heap file, version 1)
+//!
+//! A pure append log of records, little-endian integers, each record
+//! ending in a SHA-256/16 checksum (domain `"nymix.disk.heap"`) over
+//! the record bytes before it:
+//!
+//! ```text
+//! object:    "HOBJ" | name_len u16 | name (UTF-8) | data_len u64
+//!            | data | checksum [16]
+//! tombstone: "HDEL" | name_len u16 | name (UTF-8) | checksum [16]
+//! ```
+//!
+//! Later records shadow earlier ones for the same name; a tombstone
+//! removes it. The heap is **only trusted up to the committed length**
+//! recorded in the journal superblock: bytes past it are whatever a
+//! crash left behind (possibly a torn or reordered append) and are
+//! overwritten by the next batch. Within the committed region a record
+//! that fails to parse means media corruption, and the scan fails
+//! closed ([`HeapCorrupt`]) rather than silently dropping state —
+//! mirroring the archive layer's hostile-bytes policy.
+
+use std::collections::BTreeMap;
+
+use nymix_crypto::Sha256;
+
+const OBJ_MAGIC: &[u8; 4] = b"HOBJ";
+const DEL_MAGIC: &[u8; 4] = b"HDEL";
+const HEAP_DOMAIN: &[u8] = b"nymix.disk.heap";
+const CHECK_LEN: usize = 16;
+
+/// The committed heap region failed to parse: media corruption under a
+/// valid superblock. Recovery fails closed rather than guessing.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HeapCorrupt {
+    /// Byte offset of the record that failed to parse.
+    pub at: u64,
+}
+
+impl core::fmt::Display for HeapCorrupt {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "heap record corrupt at byte {}", self.at)
+    }
+}
+
+impl std::error::Error for HeapCorrupt {}
+
+/// Location of one live object's data bytes inside the heap file.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ObjLoc {
+    /// Absolute byte offset of the object data.
+    pub off: u64,
+    /// Data length in bytes.
+    pub len: u64,
+}
+
+fn check16(record: &[u8]) -> [u8; 16] {
+    let mut h = Sha256::new();
+    h.update(HEAP_DOMAIN);
+    h.update(record);
+    let digest = h.finalize();
+    let mut out = [0u8; 16];
+    out.copy_from_slice(&digest[..16]);
+    out
+}
+
+/// Appends an object record for `name`/`data` to `out`, returning the
+/// data extent relative to the *start of `out` before the call* — add
+/// the record's final file offset to get the absolute [`ObjLoc`].
+pub fn encode_put(name: &str, data: &[u8], out: &mut Vec<u8>) -> ObjLoc {
+    let start = out.len();
+    out.extend_from_slice(OBJ_MAGIC);
+    out.extend_from_slice(&(name.len() as u16).to_le_bytes());
+    out.extend_from_slice(name.as_bytes());
+    out.extend_from_slice(&(data.len() as u64).to_le_bytes());
+    let data_off = out.len() - start;
+    out.extend_from_slice(data);
+    let check = check16(&out[start..]);
+    out.extend_from_slice(&check);
+    ObjLoc {
+        off: data_off as u64,
+        len: data.len() as u64,
+    }
+}
+
+/// Appends a tombstone record for `name` to `out`.
+pub fn encode_delete(name: &str, out: &mut Vec<u8>) {
+    let start = out.len();
+    out.extend_from_slice(DEL_MAGIC);
+    out.extend_from_slice(&(name.len() as u16).to_le_bytes());
+    out.extend_from_slice(name.as_bytes());
+    let check = check16(&out[start..]);
+    out.extend_from_slice(&check);
+}
+
+/// Result of scanning the committed heap region.
+#[derive(Debug, Default)]
+pub struct HeapScan {
+    /// Live objects and their data extents, last record wins.
+    pub index: BTreeMap<String, ObjLoc>,
+    /// Bytes occupied by shadowed records and tombstones — reclaimable
+    /// garbage a future compactor can target.
+    pub garbage_bytes: u64,
+}
+
+/// Walks `committed` (the heap file truncated to the superblock's
+/// committed length) and rebuilds the live-object index. Fails closed
+/// on any record that doesn't parse or verify. Never panics.
+pub fn scan(committed: &[u8]) -> Result<HeapScan, HeapCorrupt> {
+    let mut out = HeapScan::default();
+    let mut live_record: BTreeMap<String, u64> = BTreeMap::new();
+    let mut pos = 0usize;
+    let corrupt = |at: usize| HeapCorrupt { at: at as u64 };
+    while pos < committed.len() {
+        let start = pos;
+        let magic = committed.get(pos..pos + 4).ok_or(corrupt(start))?;
+        pos += 4;
+        let name_len = u16::from_le_bytes(
+            committed
+                .get(pos..pos + 2)
+                .ok_or(corrupt(start))?
+                .try_into()
+                .map_err(|_| corrupt(start))?,
+        ) as usize;
+        pos += 2;
+        let name_raw = committed.get(pos..pos + name_len).ok_or(corrupt(start))?;
+        pos += name_len;
+        let name = String::from_utf8(name_raw.to_vec()).map_err(|_| corrupt(start))?;
+        let is_put = match magic {
+            m if m == OBJ_MAGIC => true,
+            m if m == DEL_MAGIC => false,
+            _ => return Err(corrupt(start)),
+        };
+        let loc = if is_put {
+            let data_len = u64::from_le_bytes(
+                committed
+                    .get(pos..pos + 8)
+                    .ok_or(corrupt(start))?
+                    .try_into()
+                    .map_err(|_| corrupt(start))?,
+            );
+            pos += 8;
+            let dl = usize::try_from(data_len).map_err(|_| corrupt(start))?;
+            let data_off = pos as u64;
+            committed.get(pos..pos + dl).ok_or(corrupt(start))?;
+            pos += dl;
+            Some(ObjLoc {
+                off: data_off,
+                len: data_len,
+            })
+        } else {
+            None
+        };
+        let check = committed.get(pos..pos + CHECK_LEN).ok_or(corrupt(start))?;
+        if check16(&committed[start..pos]) != check[..] {
+            return Err(corrupt(start));
+        }
+        pos += CHECK_LEN;
+        let record_len = (pos - start) as u64;
+        // Shadowed predecessor (or the tombstone itself) is garbage.
+        if let Some(prev_len) = live_record.remove(&name) {
+            out.garbage_bytes += prev_len;
+            out.index.remove(&name);
+        }
+        match loc {
+            Some(l) => {
+                out.index.insert(name.clone(), l);
+                live_record.insert(name, record_len);
+            }
+            None => out.garbage_bytes += record_len,
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scan_rebuilds_last_writer_wins() {
+        let mut heap = Vec::new();
+        encode_put("a", b"one", &mut heap);
+        encode_put("b", b"two", &mut heap);
+        encode_put("a", b"three", &mut heap);
+        encode_delete("b", &mut heap);
+        let s = scan(&heap).unwrap();
+        assert_eq!(s.index.len(), 1);
+        let loc = s.index["a"];
+        assert_eq!(
+            &heap[loc.off as usize..(loc.off + loc.len) as usize],
+            b"three"
+        );
+        assert!(s.garbage_bytes > 0);
+    }
+
+    #[test]
+    fn encode_put_extent_is_relative() {
+        let mut heap = vec![0xEE; 37]; // pre-existing bytes
+        let rel = encode_put("k", b"payload", &mut heap);
+        let abs = ObjLoc {
+            off: 37 + rel.off,
+            len: rel.len,
+        };
+        assert_eq!(
+            &heap[abs.off as usize..(abs.off + abs.len) as usize],
+            b"payload"
+        );
+    }
+
+    #[test]
+    fn corrupt_committed_region_fails_closed() {
+        let mut heap = Vec::new();
+        encode_put("a", b"data", &mut heap);
+        let len = heap.len();
+        for bit in (0..len * 8).step_by(17) {
+            let mut bad = heap.clone();
+            bad[bit / 8] ^= 1 << (bit % 8);
+            assert!(scan(&bad).is_err(), "bit {bit} accepted");
+        }
+        // Truncations anywhere inside the committed region fail too.
+        for cut in 1..len {
+            assert!(scan(&heap[..cut]).is_err(), "cut {cut} accepted");
+        }
+        assert!(scan(&[]).unwrap().index.is_empty());
+    }
+
+    #[test]
+    fn empty_data_and_empty_name_round_trip() {
+        let mut heap = Vec::new();
+        encode_put("", b"", &mut heap);
+        let s = scan(&heap).unwrap();
+        assert_eq!(s.index[""], ObjLoc { off: 14, len: 0 });
+    }
+}

@@ -1,0 +1,219 @@
+//! Bounded LRU RAM tier over the heap.
+//!
+//! The disk store keeps a byte-budgeted cache of recently read or
+//! written objects so hot chunks (the working set of an active nym)
+//! stay resident while cold epochs spill to disk. Eviction is strict
+//! least-recently-used by a logical access tick — deterministic, no
+//! wall clock. The tier is purely an accelerator: it is updated only
+//! *after* a batch commits durably, so cache state never gets ahead of
+//! the disk.
+
+use std::collections::BTreeMap;
+
+/// Cache effectiveness counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct TierStats {
+    /// Reads served from RAM.
+    pub hits: u64,
+    /// Reads that went to media.
+    pub misses: u64,
+    /// Objects evicted to honour the byte budget.
+    pub evictions: u64,
+    /// Bytes currently resident.
+    pub resident_bytes: usize,
+    /// Objects currently resident.
+    pub resident_objects: usize,
+}
+
+#[derive(Debug)]
+struct Entry {
+    data: Vec<u8>,
+    last_used: u64,
+}
+
+/// A byte-budgeted LRU cache of object payloads.
+#[derive(Debug)]
+pub struct LruTier {
+    budget: usize,
+    used: usize,
+    tick: u64,
+    entries: BTreeMap<String, Entry>,
+    hits: u64,
+    misses: u64,
+    evictions: u64,
+}
+
+impl LruTier {
+    /// A tier holding at most `budget` payload bytes. A zero budget
+    /// disables caching entirely (every read is a miss).
+    pub fn new(budget: usize) -> Self {
+        Self {
+            budget,
+            used: 0,
+            tick: 0,
+            entries: BTreeMap::new(),
+            hits: 0,
+            misses: 0,
+            evictions: 0,
+        }
+    }
+
+    /// Current byte budget.
+    pub fn budget(&self) -> usize {
+        self.budget
+    }
+
+    /// Changes the byte budget, evicting LRU entries if shrinking.
+    pub fn set_budget(&mut self, budget: usize) {
+        self.budget = budget;
+        self.evict_to_budget();
+    }
+
+    /// Cache counters.
+    pub fn stats(&self) -> TierStats {
+        TierStats {
+            hits: self.hits,
+            misses: self.misses,
+            evictions: self.evictions,
+            resident_bytes: self.used,
+            resident_objects: self.entries.len(),
+        }
+    }
+
+    /// Looks up `name`, bumping its recency and the hit counter on
+    /// success. A miss only bumps the miss counter — the caller fetches
+    /// from media and calls [`LruTier::insert`].
+    pub fn get(&mut self, name: &str) -> Option<&[u8]> {
+        self.tick += 1;
+        match self.entries.get_mut(name) {
+            Some(e) => {
+                e.last_used = self.tick;
+                self.hits += 1;
+                Some(&e.data)
+            }
+            None => {
+                self.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Whether `name` is resident, without touching recency or
+    /// counters.
+    pub fn contains(&self, name: &str) -> bool {
+        self.entries.contains_key(name)
+    }
+
+    /// Borrows `name`'s payload without touching recency or counters
+    /// (used to hand out a reference right after [`LruTier::get`] /
+    /// [`LruTier::insert`] already accounted for the access).
+    pub fn peek(&self, name: &str) -> Option<&[u8]> {
+        self.entries.get(name).map(|e| e.data.as_slice())
+    }
+
+    /// Inserts (or replaces) `name`, then evicts LRU entries until the
+    /// budget holds. An object larger than the whole budget is not
+    /// cached at all.
+    pub fn insert(&mut self, name: &str, data: Vec<u8>) {
+        self.remove(name);
+        if data.len() > self.budget {
+            return;
+        }
+        self.tick += 1;
+        self.used += data.len();
+        self.entries.insert(
+            name.to_string(),
+            Entry {
+                data,
+                last_used: self.tick,
+            },
+        );
+        self.evict_to_budget();
+    }
+
+    /// Drops `name` from the cache (object deleted or overwritten).
+    pub fn remove(&mut self, name: &str) {
+        if let Some(e) = self.entries.remove(name) {
+            self.used -= e.data.len();
+        }
+    }
+
+    /// Drops everything (e.g. after attaching to a different disk).
+    pub fn clear(&mut self) {
+        self.entries.clear();
+        self.used = 0;
+    }
+
+    fn evict_to_budget(&mut self) {
+        while self.used > self.budget {
+            let victim = self
+                .entries
+                .iter()
+                .min_by(|(an, ae), (bn, be)| ae.last_used.cmp(&be.last_used).then(an.cmp(bn)))
+                .map(|(name, _)| name.clone());
+            match victim {
+                Some(name) => {
+                    self.remove(&name);
+                    self.evictions += 1;
+                }
+                None => break,
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn evicts_least_recently_used_first() {
+        let mut t = LruTier::new(10);
+        t.insert("a", vec![0; 4]);
+        t.insert("b", vec![0; 4]);
+        assert!(t.get("a").is_some()); // a is now more recent than b
+        t.insert("c", vec![0; 4]); // over budget: evict b
+        assert!(t.contains("a"));
+        assert!(!t.contains("b"));
+        assert!(t.contains("c"));
+        assert_eq!(t.stats().evictions, 1);
+    }
+
+    #[test]
+    fn oversized_objects_bypass_cache() {
+        let mut t = LruTier::new(8);
+        t.insert("big", vec![0; 9]);
+        assert!(!t.contains("big"));
+        assert_eq!(t.stats().resident_bytes, 0);
+    }
+
+    #[test]
+    fn zero_budget_disables_caching() {
+        let mut t = LruTier::new(0);
+        t.insert("x", vec![1]);
+        assert!(t.get("x").is_none());
+        assert_eq!(t.stats().misses, 1);
+    }
+
+    #[test]
+    fn replace_updates_usage() {
+        let mut t = LruTier::new(10);
+        t.insert("k", vec![0; 6]);
+        t.insert("k", vec![0; 2]);
+        assert_eq!(t.stats().resident_bytes, 2);
+        assert_eq!(t.stats().resident_objects, 1);
+        t.remove("k");
+        assert_eq!(t.stats().resident_bytes, 0);
+    }
+
+    #[test]
+    fn shrinking_budget_evicts() {
+        let mut t = LruTier::new(100);
+        for i in 0..5 {
+            t.insert(&format!("o{i}"), vec![0; 10]);
+        }
+        t.set_budget(25);
+        assert!(t.stats().resident_bytes <= 25);
+        assert!(t.contains("o4")); // most recent survives
+    }
+}

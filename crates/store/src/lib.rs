@@ -37,6 +37,11 @@
 //! * [`backend`] — the pluggable [`ObjectBackend`] every store
 //!   implements, so snapshot chains and chunk objects move unchanged
 //!   between local media and cloud accounts.
+//! * [`disk`] — the crash-consistent disk-backed store: a `NYMJ`
+//!   write-ahead journal ahead of a log-structured object heap over a
+//!   simulated block device with deterministic fault injection, plus a
+//!   bounded LRU RAM tier. The only backend whose contents survive
+//!   power loss.
 //! * [`cloud`] — simulated cloud providers with pseudonymous accounts;
 //!   records what the provider *observes* (in a bounded
 //!   [`cloud::AccessLog`] ring) so tests can verify the deniability
@@ -46,6 +51,27 @@
 //!   confiscating adversary finds.
 //! * [`versioned`] — retained snapshot history with rollback (the
 //!   stained-snapshot escape hatch), generic over the backend.
+//!
+//! # Durability model
+//!
+//! The backends differ in what survives which failure:
+//!
+//! * [`LocalStore`] and [`CloudProvider`] are in-memory models — they
+//!   survive nothing; they exist to model *observability* (what a
+//!   confiscator or provider sees), not durability.
+//! * [`disk::DiskStore`] survives power loss at any instant: every
+//!   batch commits through a checksummed write-ahead journal with
+//!   explicit fsync barriers, recovery replays or discards the one
+//!   in-flight batch, and corruption inside the committed region fails
+//!   closed rather than yielding a partial store. `put_many` and
+//!   `apply_batch` are **atomic per batch** on disk — after a crash,
+//!   exactly the pre-batch or post-batch state is observable. See the
+//!   [`disk`] module docs for the commit protocol and the `NYMJ`
+//!   on-disk format.
+//! * Above any backend, [`VersionedStore`] keeps its snapshot index in
+//!   memory; [`VersionedStore::attach`] rebuilds it from a surviving
+//!   backend at next open and re-runs any retention sweep a crash
+//!   interrupted (sweeps are idempotent).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -56,6 +82,7 @@ pub mod cas;
 pub mod chunker;
 pub mod cloud;
 pub mod delta;
+pub mod disk;
 pub mod local;
 pub mod lzss;
 pub mod sealed;
@@ -70,6 +97,7 @@ pub use cas::{
 pub use chunker::{chunks, AVG_CHUNK, MAX_CHUNK, MIN_CHUNK};
 pub use cloud::{AccessLog, CloudError, CloudProvider, CloudSession};
 pub use delta::{archive_merkle_root, DeltaArchive, DeltaError, DELTA_CHAIN_LIMIT};
+pub use disk::{CrashMode, DiskError, DiskStore, FaultPlan, SimDisk};
 pub use local::LocalStore;
 pub use sealed::{
     blob_salt, open_sealed, seal_archive, seal_bytes_keyed_into, seal_bytes_keyed_stored_into,

@@ -70,6 +70,23 @@ pub struct VersionedStore<B: ObjectBackend = LocalStore> {
     latest: BTreeMap<String, u64>,
     retain: usize,
     delta_limit: usize,
+    /// Backend object keys already retired from the index whose delete
+    /// failed — re-attempted opportunistically before the next save so
+    /// a flaky backend can't strand blobs forever.
+    pending_sweep: Vec<String>,
+}
+
+/// Parses an [`object_key`] back into `(version, name)`. `None` for
+/// keys this store never produced (foreign objects on a shared
+/// backend).
+fn parse_object_key(key: &str) -> Option<(u64, &str)> {
+    let rest = key.strip_prefix('v')?;
+    let (hex, name) = (rest.get(..16)?, rest.get(16..)?.strip_prefix('/')?);
+    if !hex.bytes().all(|b| b.is_ascii_hexdigit()) {
+        return None;
+    }
+    let version = u64::from_str_radix(hex, 16).ok()?;
+    Some((version, name))
 }
 
 impl VersionedStore {
@@ -99,7 +116,51 @@ impl<B: ObjectBackend> VersionedStore<B> {
             latest: BTreeMap::new(),
             retain,
             delta_limit: DELTA_CHAIN_LIMIT,
+            pending_sweep: Vec::new(),
         }
+    }
+
+    /// Reopens a store over a backend that already holds snapshot
+    /// blobs — the recovery path for the in-memory index after a
+    /// process death. Every object whose key parses as a version key
+    /// and whose bytes carry a recognized archive magic (`NYM1` full /
+    /// `NYMD` delta) is re-indexed; foreign objects are left untouched.
+    /// The retention sweep then re-runs for every name, so a compaction
+    /// that died between writing its new base and deleting the retired
+    /// chain strands nothing: the sweep is idempotent and finishes at
+    /// next open (regression-tested).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `retain` is zero.
+    pub fn attach(backend: B, retain: usize) -> Result<Self, BackendError> {
+        let mut store = Self::with_backend(backend, retain);
+        let mut keys = Vec::new();
+        store.backend.list(&mut keys)?;
+        for key in keys {
+            let Some((version, name)) = parse_object_key(&key) else {
+                continue;
+            };
+            let (version, name) = (version, name.to_string());
+            let Some(blob) = store.backend.get(&key)? else {
+                continue;
+            };
+            let kind = match blob.get(..4) {
+                Some(b"NYM1") => SnapshotKind::Full,
+                Some(b"NYMD") => SnapshotKind::Delta,
+                _ => continue,
+            };
+            let len = blob.len();
+            store.index.insert((name.clone(), version), (kind, len));
+            let latest = store.latest.entry(name).or_insert(version);
+            *latest = (*latest).max(version);
+        }
+        // Finish any sweep a crash interrupted.
+        let names: Vec<String> = store.latest.keys().cloned().collect();
+        for name in names {
+            store.prune(&name);
+        }
+        Ok(store)
     }
 
     /// Overrides the compaction threshold (deltas allowed per chain).
@@ -151,6 +212,7 @@ impl<B: ObjectBackend> VersionedStore<B> {
         &mut self,
         items: Vec<(String, Vec<u8>)>,
     ) -> Result<Vec<u64>, BackendError> {
+        self.sweep_pending();
         // Duplicate names inside one batch get consecutive versions.
         let mut next: BTreeMap<String, u64> = BTreeMap::new();
         let mut versions = Vec::with_capacity(items.len());
@@ -208,6 +270,7 @@ impl<B: ObjectBackend> VersionedStore<B> {
         kind: SnapshotKind,
         blob: Vec<u8>,
     ) -> Result<u64, BackendError> {
+        self.sweep_pending();
         let version = self.latest.get(name).map_or(1, |v| v + 1);
         let len = blob.len();
         self.backend.put(&object_key(name, version), blob)?;
@@ -237,8 +300,40 @@ impl<B: ObjectBackend> VersionedStore<B> {
             .collect();
         for v in stale {
             self.index.remove(&(name.to_string(), v));
-            let _ = self.backend.delete(&object_key(name, v));
+            self.delete_or_queue(object_key(name, v));
         }
+    }
+
+    /// Deletes a retired blob, queueing the key for a later retry if
+    /// the backend fails — the index entry is already gone either way,
+    /// so the sweep must eventually happen backend-side too or the
+    /// blob is stranded forever.
+    fn delete_or_queue(&mut self, key: String) {
+        if self.backend.delete(&key).is_err() {
+            self.pending_sweep.push(key);
+        }
+    }
+
+    /// Retries every queued failed delete; keys that fail again stay
+    /// queued. Returns how many were swept. Runs opportunistically
+    /// before each save, and callers recovering a store can invoke it
+    /// directly.
+    pub fn sweep_pending(&mut self) -> usize {
+        let queued = std::mem::take(&mut self.pending_sweep);
+        let mut swept = 0;
+        for key in queued {
+            if self.backend.delete(&key).is_ok() {
+                swept += 1;
+            } else {
+                self.pending_sweep.push(key);
+            }
+        }
+        swept
+    }
+
+    /// Retired blobs whose backend delete still needs retrying.
+    pub fn pending_sweep_len(&self) -> usize {
+        self.pending_sweep.len()
     }
 
     /// Loads a specific version's raw bytes. `None` covers both "no
@@ -328,7 +423,7 @@ impl<B: ObjectBackend> VersionedStore<B> {
     pub fn rollback(&mut self, name: &str) -> Option<u64> {
         let v = *self.latest.get(name)?;
         self.index.remove(&(name.to_string(), v));
-        let _ = self.backend.delete(&object_key(name, v));
+        self.delete_or_queue(object_key(name, v));
         let prev = v
             .checked_sub(1)
             .filter(|p| *p > 0 && self.index.contains_key(&(name.to_string(), *p)))?;
@@ -653,5 +748,147 @@ mod tests {
 
     fn p_is_empty(p: &crate::cloud::CloudProvider) -> bool {
         p.subpoena("anon").is_empty()
+    }
+
+    /// A backend whose deletes fail while `fail_deletes > 0` — the
+    /// flaky-provider model for sweep-retry tests.
+    struct FlakyDeletes {
+        inner: LocalStore,
+        fail_deletes: u32,
+    }
+
+    impl ObjectBackend for FlakyDeletes {
+        fn put(&mut self, name: &str, data: Vec<u8>) -> Result<(), BackendError> {
+            ObjectBackend::put(&mut self.inner, name, data)
+        }
+
+        fn get(&mut self, name: &str) -> Result<Option<&[u8]>, BackendError> {
+            ObjectBackend::get(&mut self.inner, name)
+        }
+
+        fn delete(&mut self, name: &str) -> Result<bool, BackendError> {
+            if self.fail_deletes > 0 {
+                self.fail_deletes -= 1;
+                return Err(BackendError::Transient("delete dropped".into()));
+            }
+            ObjectBackend::delete(&mut self.inner, name)
+        }
+
+        fn list(&mut self, out: &mut Vec<String>) -> Result<(), BackendError> {
+            ObjectBackend::list(&mut self.inner, out)
+        }
+    }
+
+    #[test]
+    fn failed_prune_deletes_are_requeued_and_swept() {
+        // Regression: prune/rollback used `let _ = delete(...)`, so a
+        // backend that failed the delete stranded the blob forever
+        // (index entry gone, bytes still on the backend).
+        let backend = FlakyDeletes {
+            inner: LocalStore::new(),
+            fail_deletes: 2,
+        };
+        let mut s = VersionedStore::with_backend(backend, 1);
+        s.try_save("n", archive(1).to_bytes()).unwrap();
+        s.try_save("n", archive(2).to_bytes()).unwrap(); // prune v1: delete fails
+        assert_eq!(s.pending_sweep_len(), 1);
+        assert!(
+            s.backend().inner.get(&object_key("n", 1)).is_some(),
+            "stranded for now"
+        );
+        // One more failure left; rollback's delete also queues.
+        assert!(s.rollback("n").is_none());
+        assert_eq!(s.pending_sweep_len(), 2);
+        // Backend healed: next save opportunistically sweeps the queue.
+        s.try_save("n", archive(3).to_bytes()).unwrap();
+        assert_eq!(s.pending_sweep_len(), 0);
+        assert_eq!(s.backend().inner.get(&object_key("n", 1)), None);
+        assert_eq!(s.backend().inner.get(&object_key("n", 2)), None);
+    }
+
+    #[test]
+    fn attach_finishes_an_interrupted_compaction_sweep() {
+        // Regression: a compaction that wrote its new full base and
+        // died before deleting the retired chain left the old blobs on
+        // the backend forever. `attach` rebuilds the index from the
+        // backend and re-runs the (idempotent) retention sweep.
+        let mut first = VersionedStore::new(1).with_delta_limit(2);
+        let base = archive(1);
+        first.save("n", base.to_bytes());
+        let mut cur = base.clone();
+        for v in 2..=3u8 {
+            let mut next = cur.clone();
+            next.put("meta", format!("rev={v}").into_bytes());
+            first
+                .save_delta("n", &DeltaArchive::diff(&cur, &next))
+                .unwrap();
+            cur = next;
+        }
+        // Simulate "new base written, retired chain not yet deleted":
+        // copy every blob (v1 full + v2/v3 deltas) onto a fresh
+        // backend, then add the compacted v4 full the dying process
+        // managed to write.
+        let mut crashed_backend = LocalStore::new();
+        for v in 1..=3 {
+            let blob = first.load("n", v).unwrap().to_vec();
+            LocalStore::put(&mut crashed_backend, &object_key("n", v), blob);
+        }
+        let mut compacted = cur.clone();
+        compacted.put("meta", b"rev=4".to_vec());
+        LocalStore::put(
+            &mut crashed_backend,
+            &object_key("n", 4),
+            compacted.to_bytes(),
+        );
+
+        let mut reopened = VersionedStore::attach(crashed_backend, 1).unwrap();
+        // The sweep finished: only the new chain remains, on backend
+        // and in index alike.
+        assert_eq!(reopened.versions("n"), vec![4]);
+        for v in 1..=3 {
+            assert_eq!(
+                reopened.backend().get(&object_key("n", v)),
+                None,
+                "v{v} was stranded"
+            );
+        }
+        assert_eq!(reopened.load_latest_archive("n").unwrap(), compacted);
+        // Attaching again is a no-op (sweep is idempotent).
+        let backend = reopened.backend().clone();
+        let mut again = VersionedStore::attach(backend, 1).unwrap();
+        assert_eq!(again.versions("n"), vec![4]);
+        assert_eq!(again.load_latest_archive("n").unwrap(), compacted);
+    }
+
+    #[test]
+    fn attach_ignores_foreign_objects() {
+        let mut backend = LocalStore::new();
+        LocalStore::put(&mut backend, &object_key("n", 1), archive(1).to_bytes());
+        // Not version keys / not archive magic: must be left alone.
+        LocalStore::put(&mut backend, "nym:x@local/c/abcd", vec![0xAA; 32]);
+        LocalStore::put(&mut backend, "vnothex0000000000/n", vec![1, 2, 3]);
+        LocalStore::put(
+            &mut backend,
+            &object_key("junk", 2),
+            b"not-an-archive".to_vec(),
+        );
+        let mut s = VersionedStore::attach(backend, 2).unwrap();
+        assert_eq!(s.versions("n"), vec![1]);
+        assert!(s.versions("junk").is_empty());
+        assert_eq!(s.load_latest_archive("n").unwrap(), archive(1));
+        // Foreign blobs untouched.
+        assert!(s.backend().get("nym:x@local/c/abcd").is_some());
+        assert!(s.backend().get(&object_key("junk", 2)).is_some());
+    }
+
+    #[test]
+    fn object_key_parse_round_trips() {
+        for (name, ver) in [("a", 1u64), ("weird/name@v1", 0xdead), ("", 42)] {
+            let key = object_key(name, ver);
+            assert_eq!(parse_object_key(&key), Some((ver, name)));
+        }
+        assert_eq!(parse_object_key("plain"), None);
+        assert_eq!(parse_object_key("v123/short-hex"), None);
+        assert_eq!(parse_object_key("v0000000000000001no-slash"), None);
     }
 }
