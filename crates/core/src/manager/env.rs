@@ -19,7 +19,9 @@ use nymix_net::flow::calib as netcal;
 use nymix_net::{Fabric, FlowNet, Ip, LinkId, Mac, NodeId, NodeKind};
 use nymix_sim::{DiskProfile, Rng, SimDuration, SimTime};
 use nymix_store::cloud::CloudSession;
-use nymix_store::{CloudProvider, DiskStore, LocalStore, ObjectBackend};
+use nymix_store::{
+    BackendError, CloudChild, CloudProvider, DiskStore, LocalStore, ObjectBackend, PlacementStore,
+};
 use nymix_vmm::Hypervisor;
 
 use std::collections::BTreeMap;
@@ -39,6 +41,7 @@ pub struct Environment {
     pub(super) cloud: BTreeMap<String, CloudProvider>,
     pub(super) local: LocalStore,
     pub(super) disk: DiskStore,
+    pub(super) striped: Option<PlacementStore<CloudChild>>,
     pub(super) disk_profile: DiskProfile,
     pub(super) browser_scale: u64,
     // Fabric landmarks.
@@ -141,6 +144,7 @@ impl Environment {
             cloud: BTreeMap::new(),
             local: LocalStore::new(),
             disk: DiskStore::new(),
+            striped: None,
             disk_profile: DiskProfile::ssd(),
             browser_scale,
             hyp_node,
@@ -224,6 +228,7 @@ pub(super) enum DestBackend<'a> {
     Cloud(CloudSession<'a>),
     Local(&'a mut LocalStore),
     Disk(&'a mut DiskStore),
+    Striped(&'a mut PlacementStore<CloudChild>),
 }
 
 impl ObjectBackend for DestBackend<'_> {
@@ -232,6 +237,7 @@ impl ObjectBackend for DestBackend<'_> {
             DestBackend::Cloud(s) => s.put(name, data),
             DestBackend::Local(s) => ObjectBackend::put(*s, name, data),
             DestBackend::Disk(s) => ObjectBackend::put(*s, name, data),
+            DestBackend::Striped(s) => ObjectBackend::put(*s, name, data),
         }
     }
 
@@ -243,6 +249,7 @@ impl ObjectBackend for DestBackend<'_> {
             DestBackend::Cloud(s) => s.put_many(objects),
             DestBackend::Local(s) => ObjectBackend::put_many(*s, objects),
             DestBackend::Disk(s) => ObjectBackend::put_many(*s, objects),
+            DestBackend::Striped(s) => ObjectBackend::put_many(*s, objects),
         }
     }
 
@@ -251,6 +258,7 @@ impl ObjectBackend for DestBackend<'_> {
             DestBackend::Cloud(s) => s.get(name),
             DestBackend::Local(s) => ObjectBackend::get(*s, name),
             DestBackend::Disk(s) => ObjectBackend::get(*s, name),
+            DestBackend::Striped(s) => ObjectBackend::get(*s, name),
         }
     }
 
@@ -259,6 +267,7 @@ impl ObjectBackend for DestBackend<'_> {
             DestBackend::Cloud(s) => s.delete(name),
             DestBackend::Local(s) => ObjectBackend::delete(*s, name),
             DestBackend::Disk(s) => ObjectBackend::delete(*s, name),
+            DestBackend::Striped(s) => ObjectBackend::delete(*s, name),
         }
     }
 
@@ -267,6 +276,7 @@ impl ObjectBackend for DestBackend<'_> {
             DestBackend::Cloud(s) => s.list(out),
             DestBackend::Local(s) => ObjectBackend::list(*s, out),
             DestBackend::Disk(s) => ObjectBackend::list(*s, out),
+            DestBackend::Striped(s) => ObjectBackend::list(*s, out),
         }
     }
 
@@ -283,6 +293,12 @@ impl ObjectBackend for DestBackend<'_> {
     ) -> Result<(), nymix_store::BackendError> {
         match self {
             DestBackend::Disk(s) => ObjectBackend::apply_batch(*s, puts, deletes),
+            // The placement store manages sweep semantics itself: a
+            // delete that can't reach a child is queued and flushed by
+            // the next repair pass rather than tolerated-and-forgotten
+            // (a forgotten delete would resurrect on the child's
+            // recovery).
+            DestBackend::Striped(s) => ObjectBackend::apply_batch(*s, puts, deletes),
             _ => {
                 self.put_many(puts)?;
                 for name in &deletes {
@@ -302,6 +318,8 @@ pub(super) fn dest_backend<'a>(
     cloud: &'a mut BTreeMap<String, CloudProvider>,
     local: &'a mut LocalStore,
     disk: &'a mut DiskStore,
+    striped: Option<&'a mut PlacementStore<CloudChild>>,
+    now: SimTime,
     dest: &StorageDest,
     exit: Option<Ip>,
 ) -> Result<DestBackend<'a>, NymManagerError> {
@@ -322,9 +340,28 @@ pub(super) fn dest_backend<'a>(
         }
         StorageDest::Local => Ok(DestBackend::Local(local)),
         StorageDest::Disk => Ok(DestBackend::Disk(disk)),
+        StorageDest::Striped => {
+            let s = striped
+                .ok_or_else(|| NymManagerError::NoSuchProvider("striped placement".into()))?;
+            // Child providers run on the shared sim clock (outage
+            // deadlines), and observe only the anonymizer's exit.
+            s.set_now(now);
+            s.set_observed_ip(exit.expect("striped access rides an anonymizer with an exit"));
+            Ok(DestBackend::Striped(s))
+        }
     }
 }
 
-pub(super) fn storage_err(e: nymix_store::BackendError) -> NymManagerError {
-    NymManagerError::Storage(e.to_string())
+/// Classifies a backend failure for the manager's API: unreachability
+/// (an outage, or throttling past the retry budget) is
+/// [`NymManagerError::Unavailable`] — the stored state is presumed
+/// intact, retry later — while everything else (denial, corruption)
+/// stays a permanent [`NymManagerError::Storage`] failure.
+pub(super) fn storage_err(e: BackendError) -> NymManagerError {
+    match e {
+        BackendError::Unavailable(s) | BackendError::Transient(s) => {
+            NymManagerError::Unavailable(s)
+        }
+        other => NymManagerError::Storage(other.to_string()),
+    }
 }

@@ -42,7 +42,9 @@ use nymix_anon::{Anonymizer, AnonymizerKind};
 use nymix_net::dns::DnsDb;
 use nymix_net::{Fabric, Ip, NodeId};
 use nymix_sim::{DiskProfile, SimDuration, SimTime};
-use nymix_store::{CloudProvider, DiskStore, FaultPlan, LocalStore, SimDisk};
+use nymix_store::{
+    CloudChild, CloudProvider, DiskStore, FaultPlan, LocalStore, PlacementStore, SimDisk,
+};
 use nymix_vmm::{Hypervisor, HypervisorError};
 use nymix_workload::browser::BrowserState;
 use nymix_workload::Site;
@@ -82,6 +84,14 @@ pub enum StorageDest {
     /// and re-attached to a later manager with
     /// [`NymManager::attach_disk`].
     Disk,
+    /// The multi-provider placement store configured with
+    /// [`NymManager::register_striped`]: every object is striped
+    /// across N cloud providers as k-of-n erasure shards, so saves
+    /// tolerate provider outages and restores reconstruct from any k
+    /// honest providers (byzantine shards are excluded by hash). Like
+    /// [`StorageDest::Cloud`], access rides an anonymizer — every
+    /// provider observes only the exit address.
+    Striped,
 }
 
 /// Errors from Nym Manager operations.
@@ -95,6 +105,19 @@ pub enum NymManagerError {
     NoSuchProvider(String),
     /// Storage/crypto failure on save or restore.
     Storage(String),
+    /// A required stored object is authoritatively **absent** — the
+    /// backend answered, and the answer was "gone" (e.g. a chunk a
+    /// manifest references was garbage-collected away). Retrying
+    /// cannot help; the stored state is incomplete. Distinct from
+    /// [`NymManagerError::Unavailable`], where the object may be fine
+    /// but the backend couldn't be reached.
+    MissingObject(String),
+    /// The storage backend was unreachable or overloaded (provider
+    /// outage, throttling past the retry budget, too few placement
+    /// children reachable). The stored state is presumed intact —
+    /// retrying once the backend recovers may succeed, which is
+    /// exactly what [`NymManagerError::MissingObject`] rules out.
+    Unavailable(String),
     /// The nym has no stored state to restore.
     NothingStored,
 }
@@ -106,6 +129,8 @@ impl core::fmt::Display for NymManagerError {
             NymManagerError::NoSuchNym(id) => write!(f, "no such nym: {id:?}"),
             NymManagerError::NoSuchProvider(p) => write!(f, "no such provider: {p}"),
             NymManagerError::Storage(s) => write!(f, "storage: {s}"),
+            NymManagerError::MissingObject(s) => write!(f, "stored object missing: {s}"),
+            NymManagerError::Unavailable(s) => write!(f, "storage unavailable: {s}"),
             NymManagerError::NothingStored => write!(f, "no stored state for nym"),
         }
     }
@@ -192,6 +217,57 @@ impl NymManager {
             .entry(provider.to_string())
             .or_insert_with(|| CloudProvider::new(provider))
             .create_account(account, credential);
+    }
+
+    /// Configures [`StorageDest::Striped`]: a placement store that
+    /// stripes every object across one freshly-created provider per
+    /// `(provider, account, credential)` entry as k-of-n erasure
+    /// shards (`k = 1` mirrors). Replaces any previous striped store.
+    /// The placement children are owned by the store — they are
+    /// separate providers from the [`NymManager::register_cloud`]
+    /// registry, so a scenario can fault one without touching plain
+    /// cloud destinations.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `1 <= k <= children.len() <= 16`.
+    pub fn register_striped(&mut self, k: usize, children: &[(&str, &str, &str)]) {
+        let children = children
+            .iter()
+            .map(|(provider, account, credential)| {
+                let mut p = CloudProvider::new(provider);
+                p.create_account(account, credential);
+                CloudChild::new(p, account, credential)
+            })
+            .collect();
+        self.env.striped = Some(PlacementStore::new(children, k));
+    }
+
+    /// The striped placement store, if configured.
+    pub fn striped_store(&self) -> Option<&PlacementStore<CloudChild>> {
+        self.env.striped.as_ref()
+    }
+
+    /// A striped child's provider by name (for fault injection and
+    /// access-log inspection in scenarios).
+    pub fn striped_provider(&self, name: &str) -> Option<&CloudProvider> {
+        self.env.striped.as_ref()?.provider(name)
+    }
+
+    /// Mutable access to a striped child's provider — arm outages,
+    /// throttles and byzantine modes here.
+    pub fn striped_provider_mut(&mut self, name: &str) -> Option<&mut CloudProvider> {
+        self.env.striped.as_mut()?.provider_mut(name)
+    }
+
+    /// Runs one repair pass on the striped store: flushes deletes that
+    /// couldn't reach a child and re-materializes missing shards from
+    /// surviving ones. `None` if no striped store is configured.
+    pub fn repair_striped(&mut self) -> Option<nymix_store::RepairReport> {
+        let clock = self.env.clock;
+        let striped = self.env.striped.as_mut()?;
+        striped.set_now(clock);
+        Some(striped.repair())
     }
 
     /// Current simulated time.
@@ -453,7 +529,7 @@ impl NymManager {
         // anonymizer); its exit address and transfer cost cover every
         // object in the chain, base and deltas alike.
         let (fetch_exit, fetch_cost, fetch_boot) = match dest {
-            StorageDest::Cloud { .. } => {
+            StorageDest::Cloud { .. } | StorageDest::Striped => {
                 let fetch_anonymizer = self.env.build_anonymizer(kind);
                 let boot = tcal::ANONVM_BOOT + fetch_anonymizer.startup_time(true);
                 (
@@ -658,5 +734,7 @@ impl NymManager {
     }
 }
 
+#[cfg(test)]
+mod scenarios;
 #[cfg(test)]
 mod tests;

@@ -285,11 +285,20 @@ impl StorePipeline {
 
         // Stage 4: upload (grouped per destination) + bookkeeping.
         let mut outcomes = Vec::with_capacity(sealed.len());
+        // Striped uploads ship n/k redundant bytes per sealed byte
+        // (k-of-n erasure shards, plus negligible per-shard headers).
+        let striped_overhead = env
+            .striped
+            .as_ref()
+            .map_or(1.0, |s| s.redundancy_overhead());
         let mut cloud_wire_total = 0.0f64;
         for s in &sealed {
-            if matches!(s.plan.req.dest, StorageDest::Cloud { .. }) {
-                cloud_wire_total +=
-                    (1.0 + s.plan.wire_overhead) * (s.uploaded as f64 * env.browser_scale as f64);
+            let wire =
+                (1.0 + s.plan.wire_overhead) * (s.uploaded as f64 * env.browser_scale as f64);
+            match s.plan.req.dest {
+                StorageDest::Cloud { .. } => cloud_wire_total += wire,
+                StorageDest::Striped => cloud_wire_total += wire * striped_overhead,
+                StorageDest::Local | StorageDest::Disk => {}
             }
         }
         let batched = sealed.len() > 1;
@@ -318,12 +327,15 @@ impl StorePipeline {
             let dest = group[0].plan.req.dest;
             let exit = group[0].plan.exit_ip;
             let disk_before = env.disk.device_stats();
+            let now = env.clock;
             let mut cloud_backoff = SimDuration::ZERO;
             {
                 let mut backend = dest_backend(
                     &mut env.cloud,
                     &mut env.local,
                     &mut env.disk,
+                    env.striped.as_mut(),
+                    now,
                     dest,
                     Some(exit),
                 )?;
@@ -338,8 +350,12 @@ impl StorePipeline {
                 backend.apply_batch(staged, deletes).map_err(storage_err)?;
                 // Transient-failure retries slept on simulated backoff;
                 // charge it to this batch's wall clock.
-                if let DestBackend::Cloud(session) = &mut backend {
-                    cloud_backoff = session.take_accrued_backoff();
+                match &mut backend {
+                    DestBackend::Cloud(session) => {
+                        cloud_backoff = session.take_accrued_backoff();
+                    }
+                    DestBackend::Striped(s) => cloud_backoff = s.take_accrued_backoff(),
+                    DestBackend::Local(_) | DestBackend::Disk(_) => {}
                 }
             }
             // Disk saves cost the actual device I/O the batch incurred
@@ -365,6 +381,18 @@ impl StorePipeline {
                         } else {
                             (1.0 + s.plan.wire_overhead)
                                 * (s.uploaded as f64 * env.browser_scale as f64)
+                        };
+                        SimDuration::from_secs_f64(Environment::transfer_secs(wire)) + cloud_backoff
+                    }
+                    // Striped saves ride the same access link as cloud
+                    // ones, amplified by the n/k shard redundancy.
+                    StorageDest::Striped => {
+                        let wire = if batched {
+                            cloud_wire_total
+                        } else {
+                            (1.0 + s.plan.wire_overhead)
+                                * (s.uploaded as f64 * env.browser_scale as f64)
+                                * striped_overhead
                         };
                         SimDuration::from_secs_f64(Environment::transfer_secs(wire)) + cloud_backoff
                     }

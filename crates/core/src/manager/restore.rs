@@ -46,10 +46,13 @@ pub(super) fn fetch_chain(
     scratch: &mut SealScratch,
 ) -> Result<FetchedChain, NymManagerError> {
     let seal_err = |e: nymix_store::SealedError| NymManagerError::Storage(e.to_string());
+    let now = env.clock;
     let mut backend = dest_backend(
         &mut env.cloud,
         &mut env.local,
         &mut env.disk,
+        env.striped.as_mut(),
+        now,
         dest,
         fetch_exit,
     )?;
@@ -126,6 +129,12 @@ pub(super) fn fetch_chain(
         for (record_name, manifest) in manifests {
             chunk_index.retain_manifest(&manifest);
             let mut resolved = Vec::with_capacity(manifest.total_len());
+            // Absent and failed are different restore outcomes: a
+            // manifest-required chunk the backend *answered* is gone
+            // (GC'd away, provider withheld it) is a permanent
+            // MissingObject — the stored state is incomplete — while a
+            // backend that couldn't be reached leaves the state
+            // presumed intact behind an Unavailable error.
             fetched_bytes += cas::fetch_record_into(
                 &manifest,
                 &chain_key,
@@ -135,7 +144,13 @@ pub(super) fn fetch_chain(
                 scratch,
                 &mut resolved,
             )
-            .map_err(|e| NymManagerError::Storage(e.to_string()))?;
+            .map_err(|e| match e {
+                cas::CasError::MissingChunk => NymManagerError::MissingObject(format!(
+                    "chunk of record {record_name:?} under {prefix:?}"
+                )),
+                cas::CasError::Backend(be) => storage_err(be),
+                other => NymManagerError::Storage(other.to_string()),
+            })?;
             let stored = archive
                 .replace(&record_name, resolved)
                 .expect("record present above");

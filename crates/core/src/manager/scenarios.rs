@@ -1,0 +1,301 @@
+//! Multi-provider survival scenarios: whole save/restore round trips
+//! through [`StorageDest::Striped`] while placement children die,
+//! throttle, come back stale, or lie. Every test here is named
+//! `scenario_*` so CI's scenario-matrix job can run exactly this
+//! module in release profile.
+
+use super::tests::manager;
+use super::*;
+use fleet::FleetSaveRequest;
+use nymix_workload::Site;
+
+const PROVIDERS: [(&str, &str, &str); 5] = [
+    ("prov0", "acct0", "tok0"),
+    ("prov1", "acct1", "tok1"),
+    ("prov2", "acct2", "tok2"),
+    ("prov3", "acct3", "tok3"),
+    ("prov4", "acct4", "tok4"),
+];
+
+fn striped_manager(k: usize, n: usize) -> NymManager {
+    let mut m = manager();
+    m.register_striped(k, &PROVIDERS[..n]);
+    m
+}
+
+/// One persistent nym with browsing state and a two-save chain (full +
+/// delta) on the striped destination; `fault` runs between the two
+/// saves — mid-chain, so the chain's objects span the fault.
+fn saved_nym_chain(m: &mut NymManager, fault: impl FnOnce(&mut NymManager)) -> NymId {
+    let (id, _) = m
+        .create_nym("walker", AnonymizerKind::Tor, UsageModel::Persistent)
+        .unwrap();
+    m.visit_site(id, Site::Twitter).unwrap();
+    m.inject_stain(id, "round-1").unwrap();
+    m.save_nym(id, "pw", &StorageDest::Striped).unwrap();
+    m.inject_stain(id, "round-2").unwrap();
+    fault(m);
+    let (kind, _, _) = m
+        .save_nym_incremental(id, "pw", &StorageDest::Striped)
+        .unwrap();
+    assert_eq!(kind, SaveKind::Delta, "chain continued across the fault");
+    id
+}
+
+/// Restores the chain nym and checks the state round-tripped exactly:
+/// both stain markers and the browser's credential survive.
+fn assert_restored_intact(m: &mut NymManager) -> NymId {
+    let (id, _) = m
+        .restore_nym(
+            "walker",
+            AnonymizerKind::Tor,
+            UsageModel::Persistent,
+            "pw",
+            &StorageDest::Striped,
+        )
+        .unwrap();
+    assert!(m.nymbox(id).unwrap().restored);
+    assert!(m.has_stain(id, "round-1").unwrap());
+    assert!(m.has_stain(id, "round-2").unwrap());
+    let vm = m.hypervisor().vm(m.nymbox(id).unwrap().anon_vm).unwrap();
+    assert!(vm.disk().exists(&nymix_fs::Path::new(
+        "/home/user/.config/chromium/logins/twitter.com"
+    )));
+    id
+}
+
+#[test]
+fn scenario_provider_outage_mid_chain_survived_2_of_3() {
+    let mut m = striped_manager(2, 3);
+    // prov2 dies between the base save and the delta save: the delta
+    // lands on a 2-of-3 quorum and the whole degraded batch is queued
+    // for repair.
+    let id = saved_nym_chain(&mut m, |m| {
+        m.striped_provider_mut("prov2").unwrap().outage();
+    });
+    assert!(m.striped_store().unwrap().pending_repairs() > 0);
+    m.destroy_nym(id).unwrap();
+
+    // Restore with the provider still down: every chain object decodes
+    // from the two survivors.
+    let id = assert_restored_intact(&mut m);
+    m.destroy_nym(id).unwrap();
+
+    // The provider returns; one repair pass re-materializes its shards
+    // and every child holds a full shard set again.
+    m.striped_provider_mut("prov2").unwrap().heal();
+    let report = m.repair_striped().unwrap();
+    assert!(report.shards_rebuilt > 0);
+    assert_eq!(report.shards_still_missing, 0);
+    let store = m.striped_store().unwrap();
+    assert_eq!(store.pending_repairs(), 0);
+    let mut m = m;
+    let counts = m.env.striped.as_mut().unwrap().shard_counts().unwrap();
+    assert!(
+        counts.windows(2).all(|w| w[0] == w[1]),
+        "unequal shard counts after repair: {counts:?}"
+    );
+    assert_restored_intact(&mut m);
+}
+
+#[test]
+fn scenario_stale_provider_excluded_on_restore() {
+    let mut m = striped_manager(2, 3);
+    // prov0 snapshots its state mid-chain and serves that snapshot
+    // from then on — hash-valid but version-stale shards. The restore
+    // must reconstruct the *newest* version: stale shards group apart
+    // by object hash and can never mix into a decode.
+    let id = saved_nym_chain(&mut m, |m| {
+        m.striped_provider_mut("prov0").unwrap().serve_stale();
+    });
+    m.destroy_nym(id).unwrap();
+    let id = assert_restored_intact(&mut m);
+    m.destroy_nym(id).unwrap();
+    // Healed, the live (post-snapshot) objects are intact — prov0 kept
+    // accepting writes while lying on reads.
+    m.striped_provider_mut("prov0").unwrap().heal();
+    assert_restored_intact(&mut m);
+}
+
+#[test]
+fn scenario_byzantine_provider_lies_and_is_excluded() {
+    let mut m = striped_manager(2, 3);
+    let id = saved_nym_chain(&mut m, |_| {});
+    m.destroy_nym(id).unwrap();
+    // prov1 turns byzantine after the chain is stored: right-length
+    // garbage for every read. Shard hashes exclude it before the
+    // decoder ever sees the bytes.
+    m.striped_provider_mut("prov1").unwrap().serve_garbage();
+    let id = assert_restored_intact(&mut m);
+    m.destroy_nym(id).unwrap();
+    // Every lying read queued the child for refresh.
+    assert!(m.striped_store().unwrap().pending_repairs() > 0);
+    m.striped_provider_mut("prov1").unwrap().heal();
+    let report = m.repair_striped().unwrap();
+    assert_eq!(report.shards_still_missing, 0);
+    assert_eq!(m.striped_store().unwrap().pending_repairs(), 0);
+}
+
+#[test]
+fn scenario_throttled_provider_during_batched_fleet_save() {
+    let mut m = striped_manager(2, 3);
+    let fleet = NymFleet::spawn(
+        &mut m,
+        "crowd",
+        2,
+        AnonymizerKind::Tor,
+        UsageModel::Persistent,
+    )
+    .unwrap();
+    let ids = fleet.ids().to_vec();
+    for id in &ids {
+        m.inject_stain(*id, "fleet-round").unwrap();
+    }
+    // prov1 throttles every write, outlasting the retry budget: the
+    // batched fleet save still lands on the other two children.
+    m.striped_provider_mut("prov1").unwrap().throttle();
+    let reqs: Vec<FleetSaveRequest> = ids
+        .iter()
+        .map(|id| FleetSaveRequest {
+            id: *id,
+            password: "pw",
+            dest: &StorageDest::Striped,
+        })
+        .collect();
+    let outcomes = m.save_nyms_incremental(&reqs).unwrap();
+    assert_eq!(outcomes.len(), 2);
+    assert!(m.striped_store().unwrap().pending_repairs() > 0);
+    fleet.destroy_all(&mut m).unwrap();
+
+    // Both nyms restore (reads are unaffected by a write throttle).
+    for name in ["crowd-0", "crowd-1"] {
+        let (rid, _) = m
+            .restore_nym(
+                name,
+                AnonymizerKind::Tor,
+                UsageModel::Persistent,
+                "pw",
+                &StorageDest::Striped,
+            )
+            .unwrap();
+        assert!(m.has_stain(rid, "fleet-round").unwrap());
+        m.destroy_nym(rid).unwrap();
+    }
+
+    m.striped_provider_mut("prov1").unwrap().heal();
+    let report = m.repair_striped().unwrap();
+    assert_eq!(report.shards_still_missing, 0);
+    let counts = m.env.striped.as_mut().unwrap().shard_counts().unwrap();
+    assert!(counts.windows(2).all(|w| w[0] == w[1]), "{counts:?}");
+}
+
+#[test]
+fn scenario_losing_n_minus_k_plus_1_providers_fails_closed() {
+    let mut m = striped_manager(2, 3);
+    let id = saved_nym_chain(&mut m, |_| {});
+    m.destroy_nym(id).unwrap();
+    // Two of three children down: below quorum. The restore fails
+    // Unavailable — never NothingStored (which would claim the nym was
+    // never saved) and never partial state.
+    m.striped_provider_mut("prov0").unwrap().outage();
+    m.striped_provider_mut("prov2").unwrap().outage();
+    let err = m
+        .restore_nym(
+            "walker",
+            AnonymizerKind::Tor,
+            UsageModel::Persistent,
+            "pw",
+            &StorageDest::Striped,
+        )
+        .unwrap_err();
+    assert!(matches!(err, NymManagerError::Unavailable(_)), "{err:?}");
+    // One provider recovers — quorum is back, the nym restores whole.
+    m.striped_provider_mut("prov0").unwrap().heal();
+    assert_restored_intact(&mut m);
+}
+
+#[test]
+fn scenario_save_below_quorum_fails_closed() {
+    let mut m = striped_manager(2, 3);
+    let (id, _) = m
+        .create_nym("walker", AnonymizerKind::Tor, UsageModel::Persistent)
+        .unwrap();
+    m.striped_provider_mut("prov0").unwrap().outage();
+    m.striped_provider_mut("prov1").unwrap().outage();
+    let err = m.save_nym(id, "pw", &StorageDest::Striped).unwrap_err();
+    assert!(matches!(err, NymManagerError::Unavailable(_)), "{err:?}");
+}
+
+#[test]
+fn scenario_mirrored_1_of_2_survives_either_provider() {
+    // k = 1 degenerates to plain mirroring: either child alone can
+    // serve the whole chain.
+    let mut m = striped_manager(1, 2);
+    let id = saved_nym_chain(&mut m, |_| {});
+    m.destroy_nym(id).unwrap();
+    for down in ["prov0", "prov1"] {
+        m.striped_provider_mut(down).unwrap().outage();
+        let id = assert_restored_intact(&mut m);
+        m.destroy_nym(id).unwrap();
+        m.striped_provider_mut(down).unwrap().heal();
+    }
+}
+
+#[test]
+fn scenario_providers_observe_only_the_exit_address() {
+    // The deniability story survives striping: every placement child
+    // logs only the anonymizer's exit, never the user's address.
+    let mut m = striped_manager(2, 3);
+    let id = saved_nym_chain(&mut m, |_| {});
+    m.destroy_nym(id).unwrap();
+    assert_restored_intact(&mut m);
+    let user_ip = m.public_ip();
+    for (name, _, _) in &PROVIDERS[..3] {
+        let log = m.striped_provider(name).unwrap().access_log();
+        assert!(!log.is_empty(), "{name} saw no traffic");
+        assert!(log.iter().all(|e| e.observed_ip != user_ip));
+    }
+}
+
+#[test]
+fn scenario_unavailable_vs_missing_is_classified_per_backend() {
+    // Satellite contract: a required object the backend *answered* is
+    // gone → MissingObject (closed); an unreachable backend →
+    // Unavailable (state presumed intact). Cloud outage side:
+    let mut m = manager();
+    m.register_cloud("drive", "anon", "tok");
+    let dest = StorageDest::Cloud {
+        provider: "drive".into(),
+        account: "anon".into(),
+        credential: "tok".into(),
+    };
+    let (id, _) = m
+        .create_nym("cloudy", AnonymizerKind::Tor, UsageModel::Persistent)
+        .unwrap();
+    m.save_nym(id, "pw", &dest).unwrap();
+    m.destroy_nym(id).unwrap();
+    m.env.cloud.get_mut("drive").unwrap().outage();
+    let err = m
+        .restore_nym(
+            "cloudy",
+            AnonymizerKind::Tor,
+            UsageModel::Persistent,
+            "pw",
+            &dest,
+        )
+        .unwrap_err();
+    assert!(matches!(err, NymManagerError::Unavailable(_)), "{err:?}");
+    // Healed, a *genuinely absent* label is still NothingStored — the
+    // healthy-absence answer Unavailable must never shadow.
+    m.env.cloud.get_mut("drive").unwrap().heal();
+    let err = m
+        .restore_nym(
+            "ghost",
+            AnonymizerKind::Tor,
+            UsageModel::Persistent,
+            "pw",
+            &dest,
+        )
+        .unwrap_err();
+    assert!(matches!(err, NymManagerError::NothingStored), "{err:?}");
+}

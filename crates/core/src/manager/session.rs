@@ -362,5 +362,6 @@ pub(super) fn storage_label(name: &str, dest: &super::StorageDest) -> String {
         }
         super::StorageDest::Local => format!("nym:{name}@local"),
         super::StorageDest::Disk => format!("nym:{name}@disk"),
+        super::StorageDest::Striped => format!("nym:{name}@striped"),
     }
 }

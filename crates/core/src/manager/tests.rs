@@ -586,6 +586,9 @@ fn gcd_away_chunk_fails_restore_closed() {
     m.destroy_nym(id).unwrap();
     let victim = chunk_objects(&m)[0].clone();
     assert!(m.env.local.delete(&victim));
+    // The backend answered and the chunk is *gone* — the distinct
+    // authoritatively-absent error, not a generic storage failure and
+    // not Unavailable (nothing is down; retrying cannot help).
     assert!(matches!(
         m.restore_nym(
             "ck",
@@ -594,7 +597,7 @@ fn gcd_away_chunk_fails_restore_closed() {
             "pw",
             &StorageDest::Local
         ),
-        Err(NymManagerError::Storage(_))
+        Err(NymManagerError::MissingObject(_))
     ));
 }
 

@@ -57,6 +57,36 @@
 //! essentially never masquerade as a manifest — and if they somehow
 //! did, resolution fails closed rather than restoring wrong state.
 //!
+//! ## Erasure shards (`NYMP`)
+//!
+//! When the destination is a multi-provider placement
+//! ([`crate::placement::PlacementStore`]), no child backend holds a
+//! whole object: each holds one **shard** — a fixed header binding the
+//! shard to its object name, stripe position, and erasure geometry,
+//! followed by `stripe_len = ceil(object_len / k)` payload bytes of
+//! GF(256) Reed–Solomon stripe (`index < k`) or parity (`index ≥ k`):
+//!
+//! ```text
+//! shard: magic "NYMP" | version u8 | index u8 | k u8 | n u8 |
+//!        object_len u64 | shard_len u32 | object_hash [32]u8 |
+//!        shard_hash [32]u8 | name_len u16 | name | payload
+//! ```
+//!
+//! `object_hash` is the domain-separated SHA-256 of the whole original
+//! object — the cross-shard consistency anchor: shards from different
+//! object versions hash apart and can never mix into one decode.
+//! `shard_hash` is a domain-separated SHA-256 over the name, geometry
+//! (`index`, `k`, `n`), `object_len`, `object_hash`, and payload, so
+//! *every* field a byzantine provider could forge is bound. The parser
+//! ([`crate::placement::shard::decode_shard`]) verifies magic, version,
+//! geometry bounds, exact lengths (`shard_len` must equal the stripe
+//! width `(object_len, k)` determines — a header claiming otherwise is
+//! lying about one of the two), the name binding, and the recomputed
+//! `shard_hash`, all **before** the payload reaches the erasure
+//! decoder. A shard failing any check contributes nothing: with at
+//! least `k` verified shards of one version the object reconstructs
+//! exactly; with fewer the read fails closed.
+//!
 //! ## On-disk persistence (`NYMJ` journal + heap)
 //!
 //! The wire formats above describe *objects* — opaque blobs a backend

@@ -31,6 +31,15 @@ pub enum BackendError {
     /// succeed; [`crate::cloud::CloudSession`] does so with bounded
     /// deterministic exponential backoff.
     Transient(String),
+    /// The backend is down — an outage, not a refusal and not a blip a
+    /// quick retry fixes. Distinct from [`BackendError::Denied`]
+    /// (which must fail closed: the stored state may be fine but the
+    /// caller is not getting in with these credentials) and from
+    /// [`BackendError::Transient`] (which is worth an immediate
+    /// backoff-retry): the placement layer counts an unavailable child
+    /// toward quorum loss and queues its shards for repair once the
+    /// backend returns.
+    Unavailable(String),
     /// Backend-specific permanent failure.
     Other(String),
 }
@@ -47,6 +56,7 @@ impl core::fmt::Display for BackendError {
         match self {
             BackendError::Denied => write!(f, "backend denied access"),
             BackendError::Transient(s) => write!(f, "transient backend failure: {s}"),
+            BackendError::Unavailable(s) => write!(f, "backend unavailable: {s}"),
             BackendError::Other(s) => write!(f, "backend failure: {s}"),
         }
     }

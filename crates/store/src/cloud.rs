@@ -15,7 +15,7 @@
 use std::collections::{BTreeMap, VecDeque};
 
 use nymix_net::Ip;
-use nymix_sim::SimDuration;
+use nymix_sim::{SimDuration, SimTime};
 
 use crate::backend::{BackendError, ObjectBackend};
 
@@ -31,6 +31,11 @@ pub enum CloudError {
     /// The provider shed load on this write — transient; retry after a
     /// backoff may succeed.
     Throttled,
+    /// The provider is down (a scheduled outage): every operation
+    /// fails before authentication, and no quick retry helps. Maps to
+    /// [`BackendError::Unavailable`], *not* `Transient` — sessions must
+    /// not burn their backoff budget hammering a dead provider.
+    Unavailable,
 }
 
 impl core::fmt::Display for CloudError {
@@ -40,8 +45,32 @@ impl core::fmt::Display for CloudError {
             CloudError::BadCredential => write!(f, "bad credential"),
             CloudError::NoSuchObject => write!(f, "no such object"),
             CloudError::Throttled => write!(f, "provider throttled the request"),
+            CloudError::Unavailable => write!(f, "provider unavailable"),
         }
     }
+}
+
+/// A provider's scheduled availability / byzantine state, driven by
+/// the simulation clock ([`CloudProvider::set_now`]). Exactly one mode
+/// is active at a time; [`CloudProvider::heal`] returns to `Healthy`.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+enum FaultMode {
+    /// Normal operation.
+    #[default]
+    Healthy,
+    /// Down hard: every operation fails [`CloudError::Unavailable`]
+    /// until the deadline passes (or forever when `until` is `None`).
+    Outage { until: Option<SimTime> },
+    /// Persistently shedding write load: every put attempt fails
+    /// [`CloudError::Throttled`] until healed (reads still work).
+    Throttled,
+    /// Byzantine: serves reads from a snapshot taken when the mode was
+    /// armed — genuine, hash-valid, *old* bytes. Writes still land (and
+    /// are observable once healed); reads just don't reflect them.
+    ServeStale,
+    /// Byzantine: serves deterministic garbage of the right length for
+    /// every stored object.
+    ServeGarbage,
 }
 
 impl std::error::Error for CloudError {}
@@ -166,6 +195,17 @@ pub struct CloudProvider {
     /// Deterministic fault injection: the next N write attempts are
     /// throttled ([`CloudError::Throttled`]) before landing.
     transient_put_faults: u32,
+    /// Write attempts to let through before the injected faults fire
+    /// (puts a fault window mid-batch).
+    transient_put_skip: u32,
+    /// The provider's view of simulated time, for scheduled faults.
+    now: SimTime,
+    fault: FaultMode,
+    /// Per-account object snapshots taken when [`FaultMode::ServeStale`]
+    /// was armed.
+    stale_snapshot: BTreeMap<String, BTreeMap<String, Vec<u8>>>,
+    /// Scratch for byzantine garbage reads (borrowed returns).
+    garbage_buf: Vec<u8>,
 }
 
 impl CloudProvider {
@@ -177,6 +217,11 @@ impl CloudProvider {
             accounts: BTreeMap::new(),
             log: AccessLog::new(ACCESS_LOG_CAPACITY),
             transient_put_faults: 0,
+            transient_put_skip: 0,
+            now: SimTime::ZERO,
+            fault: FaultMode::Healthy,
+            stale_snapshot: BTreeMap::new(),
+            garbage_buf: Vec::new(),
         }
     }
 
@@ -185,7 +230,82 @@ impl CloudProvider {
     /// before any byte lands, then the provider behaves normally again.
     /// Tests use this to drive the session retry path.
     pub fn inject_transient_put_failures(&mut self, n: u32) {
+        self.inject_transient_put_failures_after(0, n);
+    }
+
+    /// [`CloudProvider::inject_transient_put_failures`], but the first
+    /// `skip` put attempts succeed before the `n` throttled ones fire —
+    /// the window lands mid-batch, which is what the resume-from-
+    /// failed-index regression tests need.
+    pub fn inject_transient_put_failures_after(&mut self, skip: u32, n: u32) {
+        self.transient_put_skip = skip;
         self.transient_put_faults = n;
+    }
+
+    /// Advances the provider's fault clock (scheduled outages expire
+    /// against this).
+    pub fn set_now(&mut self, now: SimTime) {
+        self.now = now;
+    }
+
+    /// The provider's current fault-clock reading.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Schedules an outage: every operation fails
+    /// [`CloudError::Unavailable`] until the provider's clock
+    /// ([`CloudProvider::set_now`]) passes `now + duration`.
+    pub fn outage_for(&mut self, duration: SimDuration) {
+        self.fault = FaultMode::Outage {
+            until: Some(self.now + duration),
+        };
+    }
+
+    /// Takes the provider down until [`CloudProvider::heal`].
+    pub fn outage(&mut self) {
+        self.fault = FaultMode::Outage { until: None };
+    }
+
+    /// Persistently throttles every write until [`CloudProvider::heal`]
+    /// (reads still served) — sessions exhaust their retry budget
+    /// against this.
+    pub fn throttle(&mut self) {
+        self.fault = FaultMode::Throttled;
+    }
+
+    /// Arms byzantine stale serving: reads (and listings) answer from a
+    /// snapshot of every account's objects taken *now*. The bytes are
+    /// genuine and hash-valid — just old. Writes keep landing on the
+    /// live store.
+    pub fn serve_stale(&mut self) {
+        self.stale_snapshot = self
+            .accounts
+            .iter()
+            .map(|(name, acct)| (name.clone(), acct.objects.clone()))
+            .collect();
+        self.fault = FaultMode::ServeStale;
+    }
+
+    /// Arms byzantine garbage serving: every read answers
+    /// deterministic wrong bytes of the stored object's length.
+    pub fn serve_garbage(&mut self) {
+        self.fault = FaultMode::ServeGarbage;
+    }
+
+    /// Clears every scheduled/byzantine fault mode.
+    pub fn heal(&mut self) {
+        self.fault = FaultMode::Healthy;
+        self.stale_snapshot.clear();
+    }
+
+    /// Whether the provider is currently down (outage scheduled and
+    /// not yet expired).
+    pub fn is_down(&self) -> bool {
+        match self.fault {
+            FaultMode::Outage { until } => until.is_none_or(|t| self.now < t),
+            _ => false,
+        }
     }
 
     /// Injected write faults not yet consumed.
@@ -220,6 +340,11 @@ impl CloudProvider {
     }
 
     fn auth(&self, account: &str, credential: &str) -> Result<(), CloudError> {
+        // An unreachable provider fails before it can even check
+        // credentials — outages gate every operation here.
+        if self.is_down() {
+            return Err(CloudError::Unavailable);
+        }
         let acct = self
             .accounts
             .get(account)
@@ -228,6 +353,33 @@ impl CloudProvider {
             return Err(CloudError::BadCredential);
         }
         Ok(())
+    }
+
+    /// The post-auth read path both the explicit [`CloudProvider::get`]
+    /// and the session backend serve through, so byzantine modes can
+    /// never diverge between them: healthy reads answer the live
+    /// object, [`FaultMode::ServeStale`] answers the armed snapshot,
+    /// [`FaultMode::ServeGarbage`] answers deterministic wrong bytes of
+    /// the right length.
+    fn serve_read(&mut self, account: &str, object: &str) -> Option<&[u8]> {
+        match self.fault {
+            FaultMode::ServeStale => self
+                .stale_snapshot
+                .get(account)
+                .and_then(|objects| objects.get(object))
+                .map(Vec::as_slice),
+            FaultMode::ServeGarbage => {
+                let len = self.accounts.get(account)?.objects.get(object)?.len();
+                self.garbage_buf = garbage_bytes(&self.name, object, len);
+                Some(&self.garbage_buf)
+            }
+            _ => self
+                .accounts
+                .get(account)?
+                .objects
+                .get(object)
+                .map(Vec::as_slice),
+        }
     }
 
     /// Stores an object.
@@ -246,9 +398,10 @@ impl CloudProvider {
     /// The post-auth half of every write — single puts and batches
     /// both land (and are access-logged) through here, so the two
     /// paths can never diverge. Fails with [`CloudError::Throttled`]
-    /// while injected transient faults remain, consuming one per
-    /// attempt; a throttled write lands nothing and logs nothing (the
-    /// provider dropped it at the door).
+    /// while injected transient faults remain (after the configured
+    /// skip window), or unconditionally under a persistent
+    /// [`FaultMode::Throttled`]; a throttled write lands nothing and
+    /// logs nothing (the provider dropped it at the door).
     fn put_authed(
         &mut self,
         account: &str,
@@ -256,8 +409,13 @@ impl CloudProvider {
         data: Vec<u8>,
         observed_ip: Ip,
     ) -> Result<(), CloudError> {
-        if self.transient_put_faults > 0 {
+        if self.transient_put_skip > 0 {
+            self.transient_put_skip -= 1;
+        } else if self.transient_put_faults > 0 {
             self.transient_put_faults -= 1;
+            return Err(CloudError::Throttled);
+        }
+        if self.fault == FaultMode::Throttled {
             return Err(CloudError::Throttled);
         }
         let bytes = data.len();
@@ -286,12 +444,8 @@ impl CloudProvider {
     ) -> Result<Vec<u8>, CloudError> {
         self.auth(account, credential)?;
         let data = self
-            .accounts
-            .get(account)
-            .expect("authenticated above")
-            .objects
-            .get(object)
-            .cloned()
+            .serve_read(account, object)
+            .map(<[u8]>::to_vec)
             .ok_or(CloudError::NoSuchObject)?;
         self.log.push(AccessLogEntry {
             account: account.to_string(),
@@ -303,7 +457,9 @@ impl CloudProvider {
         Ok(data)
     }
 
-    /// Lists an account's object names.
+    /// Lists an account's object names (from the armed snapshot while
+    /// serving stale — a byzantine provider's listing is as old as its
+    /// reads).
     pub fn list(
         &mut self,
         account: &str,
@@ -318,6 +474,13 @@ impl CloudProvider {
             observed_ip,
             bytes: 0,
         });
+        if self.fault == FaultMode::ServeStale {
+            return Ok(self
+                .stale_snapshot
+                .get(account)
+                .map(|objects| objects.keys().cloned().collect())
+                .unwrap_or_default());
+        }
         Ok(self
             .accounts
             .get(account)
@@ -450,8 +613,28 @@ fn denied(e: CloudError) -> BackendError {
     match e {
         CloudError::NoSuchAccount | CloudError::BadCredential => BackendError::Denied,
         CloudError::Throttled => BackendError::Transient(e.to_string()),
+        CloudError::Unavailable => BackendError::Unavailable(e.to_string()),
         CloudError::NoSuchObject => BackendError::Other(e.to_string()),
     }
+}
+
+/// Deterministic wrong bytes for [`FaultMode::ServeGarbage`]: seeded
+/// by provider and object name so repeated byzantine reads are
+/// reproducible, and never equal to any plausible stored blob.
+fn garbage_bytes(provider: &str, object: &str, len: usize) -> Vec<u8> {
+    let mut x = 0x9e3779b97f4a7c15u64 ^ (len as u64).wrapping_mul(0xff51afd7ed558ccd);
+    for &b in provider.as_bytes().iter().chain(object.as_bytes()) {
+        x = (x ^ u64::from(b)).wrapping_mul(0x100000001b3);
+    }
+    let mut out = Vec::with_capacity(len);
+    while out.len() < len {
+        x = x
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        out.extend_from_slice(&x.to_le_bytes());
+    }
+    out.truncate(len);
+    out
 }
 
 impl CloudSession<'_> {
@@ -524,15 +707,48 @@ impl ObjectBackend for CloudSession<'_> {
     fn put_many(&mut self, objects: Vec<(String, Vec<u8>)>) -> Result<(), BackendError> {
         // One credential check covers the whole batch — the round-trip
         // amortization a fleet save is after — while the provider still
-        // observes (and logs) every object it receives. Each object
-        // write retries independently on transient faults; on a
-        // permanent (or retries-exhausted) failure a prefix of the
-        // batch has landed, per the trait contract.
+        // observes (and logs) every object it receives.
         self.provider
             .auth(&self.account, &self.credential)
             .map_err(denied)?;
-        for (name, data) in objects {
-            self.put_with_retry(&name, data)?;
+        // Resume from the failed index: `next` advances only on
+        // success, a transient failure retries the *current* object
+        // after backoff, and objects before `next` are never re-sent —
+        // the landed prefix (trait contract) is uploaded and
+        // access-logged exactly once however many retries follow it.
+        // The retry budget refills on progress, so a batch tolerates
+        // a throttle blip per object, not one blip total.
+        let mut objects = objects;
+        let mut next = 0usize;
+        let mut retries_left = self.retry_max;
+        let mut backoff = self.retry_base;
+        while next < objects.len() {
+            let (name, data) = &mut objects[next];
+            // Keep a copy only while further retries are possible.
+            let payload = if retries_left > 0 {
+                data.clone()
+            } else {
+                std::mem::take(data)
+            };
+            match self
+                .provider
+                .put_authed(&self.account, name.clone(), payload, self.observed_ip)
+            {
+                Ok(()) => {
+                    next += 1;
+                    retries_left = self.retry_max;
+                    backoff = self.retry_base;
+                }
+                Err(e) => {
+                    let be = denied(e);
+                    if !be.is_transient() || retries_left == 0 {
+                        return Err(be);
+                    }
+                    retries_left -= 1;
+                    self.backoff_accrued = self.backoff_accrued.saturating_add(backoff);
+                    backoff = backoff.saturating_add(backoff);
+                }
+            }
         }
         Ok(())
     }
@@ -541,17 +757,13 @@ impl ObjectBackend for CloudSession<'_> {
         self.provider
             .auth(&self.account, &self.credential)
             .map_err(denied)?;
-        let Some(data) = self
+        let Some(bytes) = self
             .provider
-            .accounts
-            .get(&self.account)
-            .expect("authenticated above")
-            .objects
-            .get(name)
+            .serve_read(&self.account, name)
+            .map(<[u8]>::len)
         else {
             return Ok(None);
         };
-        let bytes = data.len();
         self.provider.log.push(AccessLogEntry {
             account: self.account.clone(),
             op: "get",
@@ -559,16 +771,9 @@ impl ObjectBackend for CloudSession<'_> {
             observed_ip: self.observed_ip,
             bytes,
         });
-        // Re-borrow immutably for the return value (the log push above
+        // Re-serve for the borrowed return value (the log push above
         // needed the mutable half of the provider).
-        Ok(self
-            .provider
-            .accounts
-            .get(&self.account)
-            .expect("authenticated above")
-            .objects
-            .get(name)
-            .map(Vec::as_slice))
+        Ok(self.provider.serve_read(&self.account, name))
     }
 
     fn delete(&mut self, name: &str) -> Result<bool, BackendError> {
@@ -801,6 +1006,152 @@ mod tests {
         assert_eq!(s.accrued_backoff(), SimDuration::ZERO);
         // The injected fault was consumed; the next write lands.
         s.put("x", vec![2]).unwrap();
+    }
+
+    #[test]
+    fn put_many_resumes_from_failed_index_without_resending_prefix() {
+        // Regression for the batch-resume contract: a transient fault
+        // in the *middle* of a batch must retry only the failed
+        // object. Each object is uploaded — and access-logged — at
+        // most once per successful batch.
+        let mut p = CloudProvider::new("drive");
+        p.create_account("anon", "tok");
+        // "a" lands, "b"'s first attempt is throttled, its retry and
+        // "c" succeed.
+        p.inject_transient_put_failures_after(1, 1);
+        {
+            let mut s = p.session("anon", "tok", exit());
+            s.put_many(vec![
+                ("a".into(), vec![1]),
+                ("b".into(), vec![2]),
+                ("c".into(), vec![3]),
+            ])
+            .unwrap();
+            assert_eq!(s.get("a").unwrap(), Some(&[1u8][..]));
+            assert_eq!(s.get("b").unwrap(), Some(&[2u8][..]));
+            assert_eq!(s.get("c").unwrap(), Some(&[3u8][..]));
+            // Exactly one retry of one object: one base backoff.
+            assert_eq!(s.accrued_backoff(), DEFAULT_RETRY_BASE);
+        }
+        let puts: Vec<_> = p
+            .access_log()
+            .iter()
+            .filter(|e| e.op == "put")
+            .map(|e| e.object.as_deref().unwrap().to_string())
+            .collect();
+        // The landed prefix ["a"] was never re-sent: one logged put
+        // per object, in batch order.
+        assert_eq!(puts, vec!["a", "b", "c"]);
+    }
+
+    #[test]
+    fn outage_gates_every_operation_until_the_deadline() {
+        let mut p = CloudProvider::new("drive");
+        p.create_account("anon", "tok");
+        p.put("anon", "tok", "x", vec![7], exit()).unwrap();
+        p.outage_for(SimDuration::from_secs(60));
+        assert!(p.is_down());
+        {
+            let mut s = p.session("anon", "tok", exit());
+            assert!(matches!(s.get("x"), Err(BackendError::Unavailable(_))));
+            assert!(matches!(
+                s.put("y", vec![1]),
+                Err(BackendError::Unavailable(_))
+            ));
+            assert!(matches!(s.delete("x"), Err(BackendError::Unavailable(_))));
+            let mut names = Vec::new();
+            assert!(matches!(
+                s.list(&mut names),
+                Err(BackendError::Unavailable(_))
+            ));
+            // No backoff burned hammering a dead provider: an outage
+            // is not a Transient blip.
+            assert_eq!(s.accrued_backoff(), SimDuration::ZERO);
+        }
+        // The sim clock reaches the deadline — the provider is back,
+        // state intact.
+        p.set_now(SimTime::ZERO + SimDuration::from_secs(60));
+        assert!(!p.is_down());
+        let mut s = p.session("anon", "tok", exit());
+        assert_eq!(s.get("x").unwrap(), Some(&[7u8][..]));
+    }
+
+    #[test]
+    fn indefinite_outage_holds_until_healed() {
+        let mut p = CloudProvider::new("drive");
+        p.create_account("anon", "tok");
+        p.outage();
+        p.set_now(SimTime(u64::MAX / 2));
+        assert!(p.is_down());
+        assert_eq!(
+            p.get("anon", "tok", "x", exit()),
+            Err(CloudError::Unavailable)
+        );
+        p.heal();
+        assert!(!p.is_down());
+        assert_eq!(
+            p.get("anon", "tok", "x", exit()),
+            Err(CloudError::NoSuchObject)
+        );
+    }
+
+    #[test]
+    fn throttled_provider_rejects_writes_but_serves_reads() {
+        let mut p = CloudProvider::new("drive");
+        p.create_account("anon", "tok");
+        p.put("anon", "tok", "x", vec![7], exit()).unwrap();
+        p.throttle();
+        let mut s = p.session("anon", "tok", exit());
+        // Persistent throttling outlasts the whole retry budget.
+        let err = s.put("y", vec![1]).unwrap_err();
+        assert!(err.is_transient(), "got {err:?}");
+        // base + 2·base + 4·base accrued across the three retries.
+        assert_eq!(s.accrued_backoff(), SimDuration(7 * DEFAULT_RETRY_BASE.0));
+        // Reads are unaffected — a throttle is a write-side fault.
+        assert_eq!(s.get("x").unwrap(), Some(&[7u8][..]));
+        assert_eq!(s.get("y").unwrap(), None, "throttled write landed nothing");
+        drop(s);
+        p.heal();
+        let mut s = p.session("anon", "tok", exit());
+        s.put("y", vec![1]).unwrap();
+    }
+
+    #[test]
+    fn serve_stale_answers_the_armed_snapshot() {
+        let mut p = CloudProvider::new("drive");
+        p.create_account("anon", "tok");
+        p.put("anon", "tok", "x", vec![1], exit()).unwrap();
+        p.serve_stale();
+        // Writes after arming still land in the live store…
+        p.put("anon", "tok", "x", vec![2], exit()).unwrap();
+        p.put("anon", "tok", "new", vec![3], exit()).unwrap();
+        // …but every read (and listing) answers from the snapshot.
+        assert_eq!(p.get("anon", "tok", "x", exit()).unwrap(), vec![1]);
+        assert_eq!(
+            p.get("anon", "tok", "new", exit()),
+            Err(CloudError::NoSuchObject)
+        );
+        assert_eq!(p.list("anon", "tok", exit()).unwrap(), vec!["x"]);
+        let mut s = p.session("anon", "tok", exit());
+        assert_eq!(s.get("x").unwrap(), Some(&[1u8][..]));
+        drop(s);
+        p.heal();
+        assert_eq!(p.get("anon", "tok", "x", exit()).unwrap(), vec![2]);
+    }
+
+    #[test]
+    fn serve_garbage_returns_wrong_bytes_of_the_right_length() {
+        let mut p = CloudProvider::new("drive");
+        p.create_account("anon", "tok");
+        p.put("anon", "tok", "x", vec![0xAB; 100], exit()).unwrap();
+        p.serve_garbage();
+        let lie = p.get("anon", "tok", "x", exit()).unwrap();
+        assert_eq!(lie.len(), 100, "right length");
+        assert_ne!(lie, vec![0xAB; 100], "wrong bytes");
+        // Deterministic: the byzantine provider lies consistently.
+        assert_eq!(p.get("anon", "tok", "x", exit()).unwrap(), lie);
+        p.heal();
+        assert_eq!(p.get("anon", "tok", "x", exit()).unwrap(), vec![0xAB; 100]);
     }
 
     #[test]

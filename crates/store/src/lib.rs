@@ -49,6 +49,13 @@
 //!   owner").
 //! * [`local`] — local-partition/USB storage, including what a
 //!   confiscating adversary finds.
+//! * [`placement`] — multi-provider placement: [`PlacementStore`]
+//!   stripes every object across N child backends as k-of-n
+//!   Reed–Solomon shards in hash-verified `"NYMP"` headers. Reads
+//!   reconstruct from any k verified shards (byzantine children
+//!   excluded by hash, never decoded), writes degrade to a quorum with
+//!   a repair queue, and [`placement::PlacementStore::repair`]
+//!   re-achieves full redundancy.
 //! * [`versioned`] — retained snapshot history with rollback (the
 //!   stained-snapshot escape hatch), generic over the backend.
 //!
@@ -85,6 +92,7 @@ pub mod delta;
 pub mod disk;
 pub mod local;
 pub mod lzss;
+pub mod placement;
 pub mod sealed;
 pub mod versioned;
 
@@ -99,6 +107,7 @@ pub use cloud::{AccessLog, CloudError, CloudProvider, CloudSession};
 pub use delta::{archive_merkle_root, DeltaArchive, DeltaError, DELTA_CHAIN_LIMIT};
 pub use disk::{CrashMode, DiskError, DiskStore, FaultPlan, SimDisk};
 pub use local::LocalStore;
+pub use placement::{CloudChild, PlacementStore, RepairReport};
 pub use sealed::{
     blob_salt, open_sealed, seal_archive, seal_bytes_keyed_into, seal_bytes_keyed_stored_into,
     seal_delta_keyed_into, seal_into, seal_keyed_into, unseal_keyed_raw_into, unseal_raw_into,

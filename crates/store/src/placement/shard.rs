@@ -1,0 +1,262 @@
+//! The `NYMP` shard wire format.
+//!
+//! Every child backend of a [`super::PlacementStore`] holds *shards*,
+//! not objects: a fixed header binding the shard to its object name,
+//! position and erasure geometry, followed by the stripe/parity
+//! payload. The format is specified (alongside NYM1/NYMD/NYMC/NYMJ) in
+//! [`crate::archive`]; this module is the parse-or-fail-closed
+//! implementation. A shard fetched from a provider is hostile bytes —
+//! a byzantine backend can serve garbage, a stale version, or a shard
+//! transplanted from another object — so parsing uses checked
+//! arithmetic, verifies every structural invariant, checks the
+//! name binding, and recomputes the per-shard hash **before** the
+//! payload is ever handed to the erasure decoder.
+
+/// Domain separator of the per-shard hash.
+const SHARD_HASH_DOMAIN: &[u8] = b"nymix.placement.shard.v1\0";
+/// Domain separator of the whole-object hash.
+const OBJECT_HASH_DOMAIN: &[u8] = b"nymix.placement.object.v1\0";
+
+/// `NYMP` magic.
+pub const MAGIC: [u8; 4] = *b"NYMP";
+/// Current format version.
+pub const VERSION: u8 = 1;
+/// Fixed header length before the object name and payload.
+pub const FIXED_LEN: usize = 4 + 1 + 1 + 1 + 1 + 8 + 4 + 32 + 32 + 2;
+
+/// A parsed, hash-verified shard header.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShardHeader {
+    /// Which of the n shards this is (`< n`).
+    pub index: u8,
+    /// Stripes needed to reconstruct.
+    pub k: u8,
+    /// Total shards the object was encoded into.
+    pub n: u8,
+    /// Length of the original object in bytes.
+    pub object_len: u64,
+    /// SHA-256 of the whole original object (domain-separated): the
+    /// cross-shard consistency anchor — shards from different object
+    /// versions never mix into one decode.
+    pub object_hash: [u8; 32],
+}
+
+/// Why a shard blob was rejected. All variants fail closed: a rejected
+/// shard contributes nothing to reconstruction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ShardError {
+    /// Structural violation (bad magic/version/bounds/lengths).
+    Malformed(&'static str),
+    /// The embedded object name does not match the requested one — a
+    /// transplanted shard.
+    WrongName,
+    /// The per-shard hash does not cover these bytes — corruption or a
+    /// byzantine provider.
+    HashMismatch,
+}
+
+impl core::fmt::Display for ShardError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            ShardError::Malformed(what) => write!(f, "malformed shard: {what}"),
+            ShardError::WrongName => write!(f, "shard bound to a different object name"),
+            ShardError::HashMismatch => write!(f, "shard hash mismatch"),
+        }
+    }
+}
+
+impl std::error::Error for ShardError {}
+
+/// The whole-object hash embedded in every shard of an object.
+pub fn object_hash(data: &[u8]) -> [u8; 32] {
+    let mut h = nymix_crypto::Sha256::new();
+    h.update(OBJECT_HASH_DOMAIN);
+    h.update(data);
+    h.finalize()
+}
+
+fn shard_hash(
+    name: &str,
+    index: u8,
+    k: u8,
+    n: u8,
+    object_len: u64,
+    object_hash: &[u8; 32],
+    payload: &[u8],
+) -> [u8; 32] {
+    let mut h = nymix_crypto::Sha256::new();
+    h.update(SHARD_HASH_DOMAIN);
+    h.update(&(name.len() as u16).to_le_bytes());
+    h.update(name.as_bytes());
+    h.update(&[index, k, n]);
+    h.update(&object_len.to_le_bytes());
+    h.update(object_hash);
+    h.update(payload);
+    h.finalize()
+}
+
+/// Encodes one shard: header, name, payload.
+///
+/// # Panics
+///
+/// Panics on geometry the placement layer never produces (`k`/`n`/
+/// `index` out of range, a name longer than `u16::MAX`, or a payload
+/// width that disagrees with `object_len / k`).
+pub fn encode_shard(
+    name: &str,
+    index: u8,
+    k: u8,
+    n: u8,
+    object_len: u64,
+    obj_hash: &[u8; 32],
+    payload: &[u8],
+) -> Vec<u8> {
+    assert!(k >= 1 && k <= n && (n as usize) <= super::gf256::MAX_SHARDS && index < n);
+    assert!(name.len() <= u16::MAX as usize, "object name too long");
+    assert_eq!(
+        payload.len(),
+        super::gf256::stripe_len(object_len as usize, k as usize),
+        "payload width disagrees with object_len/k"
+    );
+    let mut out = Vec::with_capacity(FIXED_LEN + name.len() + payload.len());
+    out.extend_from_slice(&MAGIC);
+    out.push(VERSION);
+    out.push(index);
+    out.push(k);
+    out.push(n);
+    out.extend_from_slice(&object_len.to_le_bytes());
+    out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    out.extend_from_slice(obj_hash);
+    out.extend_from_slice(&shard_hash(
+        name, index, k, n, object_len, obj_hash, payload,
+    ));
+    out.extend_from_slice(&(name.len() as u16).to_le_bytes());
+    out.extend_from_slice(name.as_bytes());
+    out.extend_from_slice(payload);
+    out
+}
+
+/// Parses and hash-verifies a shard blob fetched for `expect_name`.
+/// Returns the header and a borrow of the payload only after **every**
+/// check passes — magic, version, geometry bounds, exact lengths (no
+/// trailing bytes), name binding, and the recomputed per-shard hash.
+pub fn decode_shard<'a>(
+    blob: &'a [u8],
+    expect_name: &str,
+) -> Result<(ShardHeader, &'a [u8]), ShardError> {
+    let malformed = ShardError::Malformed;
+    if blob.len() < FIXED_LEN {
+        return Err(malformed("truncated header"));
+    }
+    if blob[0..4] != MAGIC {
+        return Err(malformed("bad magic"));
+    }
+    if blob[4] != VERSION {
+        return Err(malformed("unknown version"));
+    }
+    let (index, k, n) = (blob[5], blob[6], blob[7]);
+    if k == 0 || k > n || n as usize > super::gf256::MAX_SHARDS || index >= n {
+        return Err(malformed("geometry out of range"));
+    }
+    let object_len = u64::from_le_bytes(blob[8..16].try_into().expect("8 bytes"));
+    let shard_len = u32::from_le_bytes(blob[16..20].try_into().expect("4 bytes")) as usize;
+    // The stripe width is fully determined by (object_len, k); a header
+    // claiming anything else is lying about one of the two.
+    let Ok(olen) = usize::try_from(object_len) else {
+        return Err(malformed("object length overflows"));
+    };
+    if shard_len != super::gf256::stripe_len(olen, k as usize) {
+        return Err(malformed("shard length disagrees with object length"));
+    }
+    let mut obj_hash = [0u8; 32];
+    obj_hash.copy_from_slice(&blob[20..52]);
+    let mut claimed = [0u8; 32];
+    claimed.copy_from_slice(&blob[52..84]);
+    let name_len = u16::from_le_bytes(blob[84..86].try_into().expect("2 bytes")) as usize;
+    let name_end = FIXED_LEN
+        .checked_add(name_len)
+        .ok_or(malformed("name length overflows"))?;
+    let total = name_end
+        .checked_add(shard_len)
+        .ok_or(malformed("lengths overflow"))?;
+    if blob.len() != total {
+        return Err(malformed("length mismatch"));
+    }
+    let name = &blob[FIXED_LEN..name_end];
+    if name != expect_name.as_bytes() {
+        return Err(ShardError::WrongName);
+    }
+    let payload = &blob[name_end..];
+    let computed = shard_hash(expect_name, index, k, n, object_len, &obj_hash, payload);
+    if computed != claimed {
+        return Err(ShardError::HashMismatch);
+    }
+    Ok((
+        ShardHeader {
+            index,
+            k,
+            n,
+            object_len,
+            object_hash: obj_hash,
+        },
+        payload,
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_shard() -> (Vec<u8>, Vec<u8>) {
+        let object = b"the quick brown fox jumps over the lazy dog".to_vec();
+        let oh = object_hash(&object);
+        let stripes = super::super::gf256::encode(&object, 2, 3);
+        let blob = encode_shard("chain#e1.2", 1, 2, 3, object.len() as u64, &oh, &stripes[1]);
+        (blob, object)
+    }
+
+    #[test]
+    fn roundtrip() {
+        let (blob, object) = sample_shard();
+        let (hdr, payload) = decode_shard(&blob, "chain#e1.2").unwrap();
+        assert_eq!((hdr.index, hdr.k, hdr.n), (1, 2, 3));
+        assert_eq!(hdr.object_len, object.len() as u64);
+        assert_eq!(hdr.object_hash, object_hash(&object));
+        assert_eq!(payload.len(), object.len().div_ceil(2));
+    }
+
+    #[test]
+    fn transplanted_name_rejected() {
+        let (blob, _) = sample_shard();
+        assert_eq!(decode_shard(&blob, "other"), Err(ShardError::WrongName));
+    }
+
+    #[test]
+    fn every_flipped_bit_is_caught() {
+        // Flip one bit at a time across the whole blob: the parser must
+        // reject every variant (structurally or by hash), never accept.
+        let (blob, _) = sample_shard();
+        for byte in 0..blob.len() {
+            for bit in 0..8 {
+                let mut b = blob.clone();
+                b[byte] ^= 1 << bit;
+                assert!(
+                    decode_shard(&b, "chain#e1.2").is_err(),
+                    "accepted corrupted byte {byte} bit {bit}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn truncations_and_extensions_rejected() {
+        let (blob, _) = sample_shard();
+        for cut in 0..blob.len() {
+            assert!(decode_shard(&blob[..cut], "chain#e1.2").is_err());
+        }
+        let mut extended = blob;
+        extended.push(0);
+        assert!(decode_shard(&extended, "chain#e1.2").is_err());
+        assert!(decode_shard(&[], "x").is_err());
+    }
+}

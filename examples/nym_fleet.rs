@@ -9,9 +9,13 @@
 //! thread per session, and one backend round trip per destination.
 //! The whole fleet is then destroyed (amnesia) and restored, and each
 //! nym's state comes back isolated — no nym's chunks, deltas or base
-//! can satisfy another's restore. Finally the fleet snapshots to the
+//! can satisfy another's restore. Then the fleet snapshots to the
 //! crash-consistent journaled disk, the device loses power mid-save,
 //! and a fresh manager recovers every nym from the torn image.
+//! Finally the chains stripe 2-of-3 across three independent providers:
+//! a provider that is dark during the save is absorbed by the write
+//! quorum, the fleet restores whole from the survivors, and one repair
+//! pass re-materializes the missed shards once the provider returns.
 //!
 //! Run with: `cargo run --release --example nym_fleet`
 
@@ -162,5 +166,55 @@ fn main() {
     println!(
         "power cut mid-save: fresh manager recovered all {} nyms from the torn image",
         back.ids().len()
+    );
+
+    // Multi-provider placement: no single provider is a point of
+    // failure *or* surveillance. The fleet's chains stripe 2-of-3
+    // across three independent providers (1.5x storage, any single
+    // loss survivable) — and one of the three is already dark when the
+    // save lands, so the batch commits on the two-child quorum and the
+    // missed shards queue for repair.
+    recovered.register_striped(
+        2,
+        &[
+            ("dropbox", "stripe-acct", "stripe-tok"),
+            ("gdrive", "stripe-acct", "stripe-tok"),
+            ("s3", "stripe-acct", "stripe-tok"),
+        ],
+    );
+    recovered.striped_provider_mut("gdrive").unwrap().outage();
+    let striped_round = back
+        .save_round(&mut recovered, "fleet-pw", |_| StorageDest::Striped)
+        .expect("a degraded 2-of-3 save still meets quorum");
+    let queued = recovered.striped_store().unwrap().pending_repairs();
+    assert!(queued > 0, "the dark provider's shards queue for repair");
+    println!(
+        "fleet save #4 (2-of-3 striped, one provider dark): {} sealed bytes, {queued} shards queued for repair",
+        striped_round.iter().map(|(_, b, _)| b).sum::<usize>(),
+    );
+
+    // Amnesia again, then restore with the provider *still* down:
+    // every chain object decodes from the two surviving shards.
+    back.destroy_all(&mut recovered).expect("fleet teardown");
+    let (survivors, _) = NymFleet::restore_all(
+        &mut recovered,
+        &names,
+        AnonymizerKind::Tor,
+        UsageModel::Persistent,
+        "fleet-pw",
+        |_| StorageDest::Striped,
+    )
+    .expect("2-of-3 survives any single provider outage");
+    assert_eq!(survivors.ids().len(), FLEET);
+
+    // The provider returns; one repair pass reads only the degraded
+    // objects and re-materializes the shards it missed.
+    recovered.striped_provider_mut("gdrive").unwrap().heal();
+    let report = recovered.repair_striped().expect("placement registered");
+    assert_eq!(report.shards_still_missing, 0);
+    assert_eq!(recovered.striped_store().unwrap().pending_repairs(), 0);
+    println!(
+        "provider outage absorbed: {FLEET} nyms restored degraded, {} shards re-materialized on repair",
+        report.shards_rebuilt
     );
 }
