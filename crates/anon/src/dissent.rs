@@ -242,7 +242,8 @@ pub fn check_slot(slot: &[u8]) -> SlotStatus {
     let msg = &slot[4..4 + len];
     let checksum = &slot[4 + len..4 + len + 8];
     let digest = nymix_crypto::sha256(msg);
-    if &digest[..8] != checksum || slot[4 + len + 8..].iter().any(|&b| b != 0) {
+    if !nymix_crypto::ct::eq(&digest[..8], checksum) || slot[4 + len + 8..].iter().any(|&b| b != 0)
+    {
         return SlotStatus::Disrupted;
     }
     SlotStatus::Valid(msg.to_vec())

@@ -55,6 +55,14 @@ pub struct TorDirectory {
     relays: Vec<Relay>,
 }
 
+/// Generator/serializer-side index to `u32`, checked instead of cast:
+/// saturates on breach rather than silently wrapping into colliding
+/// relay ids or a corrupt length prefix.
+fn idx_u32(i: usize) -> u32 {
+    debug_assert!(u32::try_from(i).is_ok(), "index {i} exceeds u32");
+    u32::try_from(i).unwrap_or(u32::MAX)
+}
+
 impl TorDirectory {
     /// Generates a deterministic directory of `n` relays.
     ///
@@ -67,11 +75,16 @@ impl TorDirectory {
             let mut onion_key = [0u8; 32];
             rng.fill_bytes(&mut onion_key);
             relays.push(Relay {
-                id: RelayId(i as u32),
+                id: RelayId(idx_u32(i)),
                 bandwidth: rng.range_f64(1e6, 20e6),
                 is_guard: rng.chance(0.35),
                 is_exit: rng.chance(0.30),
-                address: Ip([198, 18, (i / 256) as u8, (i % 256) as u8]),
+                address: Ip([
+                    198,
+                    18,
+                    u8::try_from(i / 256 % 256).unwrap_or(0),
+                    u8::try_from(i % 256).unwrap_or(0),
+                ]),
                 onion_key,
             });
         }
@@ -153,7 +166,9 @@ impl TorState {
             password.as_bytes(),
             b"nymix/tor/guard-seed",
         );
-        let seed = u64::from_le_bytes(seed_bytes[..8].try_into().expect("8 bytes"));
+        let mut seed8 = [0u8; 8];
+        seed8.copy_from_slice(&seed_bytes[..8]);
+        let seed = u64::from_le_bytes(seed8);
         let mut rng = Rng::seed_from(seed);
         Self {
             guards: Self::pick_guards(directory, &mut rng),
@@ -193,7 +208,7 @@ impl TorState {
     pub fn to_bytes(&self) -> Vec<u8> {
         let mut out = STATE_MAGIC.to_vec();
         out.extend_from_slice(&self.chosen_at_us.to_le_bytes());
-        out.extend_from_slice(&(self.guards.len() as u32).to_le_bytes());
+        out.extend_from_slice(&idx_u32(self.guards.len()).to_le_bytes());
         for g in &self.guards {
             out.extend_from_slice(&g.0.to_le_bytes());
         }
@@ -210,14 +225,12 @@ impl TorState {
         if blob.len() != 16 + count * 4 {
             return None;
         }
-        let guards = (0..count)
-            .map(|i| {
-                let off = 16 + i * 4;
-                RelayId(u32::from_le_bytes(
-                    blob[off..off + 4].try_into().expect("4 bytes"),
-                ))
-            })
-            .collect();
+        let mut guards = Vec::with_capacity(count);
+        for i in 0..count {
+            let off = 16 + i * 4;
+            let word: [u8; 4] = blob[off..off + 4].try_into().ok()?;
+            guards.push(RelayId(u32::from_le_bytes(word)));
+        }
         Some(Self {
             guards,
             chosen_at_us,

@@ -1,5 +1,7 @@
 //! Ablation studies for the design choices DESIGN.md calls out.
 
+#![forbid(unsafe_code)]
+
 fn main() {
     let (with, without) = nymix_bench::ablation_ksm(42, 6);
     println!("# Ablation: KSM (6 nymboxes)");

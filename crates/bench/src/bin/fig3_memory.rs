@@ -1,5 +1,7 @@
 //! Regenerates Figure 3: RAM usage and KSM shared pages vs nym count.
 
+#![forbid(unsafe_code)]
+
 fn main() {
     let samples = nymix_bench::fig3_memory(42);
     println!("{}", nymix_bench::fig3_table(&samples).render());

@@ -1,5 +1,7 @@
 //! Regenerates Figure 4: Peacekeeper scores vs parallel nyms.
 
+#![forbid(unsafe_code)]
+
 fn main() {
     let samples = nymix_bench::fig4_cpu();
     println!("{}", nymix_bench::fig4_table(&samples).render());

@@ -1,5 +1,7 @@
 //! Regenerates Figure 5: parallel kernel download times.
 
+#![forbid(unsafe_code)]
+
 fn main() {
     let samples = nymix_bench::fig5_download();
     println!("{}", nymix_bench::fig5_table(&samples).render());

@@ -1,5 +1,7 @@
 //! Regenerates Figure 6: encrypted nym size across save/restore cycles.
 
+#![forbid(unsafe_code)]
+
 fn main() {
     let samples = nymix_bench::fig6_storage(42, 16, 10);
     println!("{}", nymix_bench::fig6_table(&samples).render());

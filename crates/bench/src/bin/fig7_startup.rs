@@ -1,5 +1,7 @@
 //! Regenerates Figure 7: startup time by phase per usage model.
 
+#![forbid(unsafe_code)]
+
 fn main() {
     let samples = nymix_bench::fig7_startup(42);
     println!("{}", nymix_bench::fig7_table(&samples).render());

@@ -1,6 +1,8 @@
 //! Runs every table and figure reproduction in sequence — the one-shot
 //! harness behind `EXPERIMENTS.md`.
 
+#![forbid(unsafe_code)]
+
 fn main() {
     println!("== Nymix evaluation reproduction ==\n");
 

@@ -1,5 +1,7 @@
 //! Regenerates Table 1: installed-OS-as-nym repair/boot/size.
 
+#![forbid(unsafe_code)]
+
 fn main() {
     let rows = nymix_bench::table1_installed_os();
     println!("{}", nymix_bench::table1_table(&rows).render());

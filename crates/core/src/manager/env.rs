@@ -362,6 +362,8 @@ pub(super) fn storage_err(e: BackendError) -> NymManagerError {
         BackendError::Unavailable(s) | BackendError::Transient(s) => {
             NymManagerError::Unavailable(s)
         }
-        other => NymManagerError::Storage(other.to_string()),
+        e @ (BackendError::Denied | BackendError::Other(_)) => {
+            NymManagerError::Storage(e.to_string())
+        }
     }
 }

@@ -90,8 +90,10 @@ pub fn seal_in_place_detached(
     data: &mut [u8],
 ) -> [u8; TAG_LEN] {
     ChaCha20::new(key, nonce, 1).xor_into(data);
-    let otk = poly_key(key, nonce);
-    mac_data(&otk, aad, data)
+    let mut otk = poly_key(key, nonce);
+    let tag = mac_data(&otk, aad, data);
+    crate::zeroize::wipe_bytes(&mut otk);
+    tag
 }
 
 /// Verifies `tag` over `aad` and the ciphertext in `data`, then decrypts
@@ -113,8 +115,9 @@ pub fn open_in_place_detached(
     if tag.len() != TAG_LEN {
         return Err(AeadError::Truncated);
     }
-    let otk = poly_key(key, nonce);
+    let mut otk = poly_key(key, nonce);
     let want = mac_data(&otk, aad, data);
+    crate::zeroize::wipe_bytes(&mut otk);
     if !ct::eq(&want, tag) {
         return Err(AeadError::TagMismatch);
     }

@@ -198,7 +198,6 @@ pub fn block(key: &[u8; KEY_LEN], counter: u32, nonce: &[u8; NONCE_LEN]) -> [u8;
 /// ChaCha20::new(&key, &nonce, 1).apply(&mut msg);
 /// assert_eq!(&msg, b"nymbox state");
 /// ```
-#[derive(Clone)]
 pub struct ChaCha20 {
     /// Flat initial state; `state[12]` is the block counter and is the only
     /// word that changes between blocks.
@@ -206,6 +205,16 @@ pub struct ChaCha20 {
     /// Leftover keystream from a partially consumed block.
     buf: [u8; BLOCK_LEN],
     buf_pos: usize,
+}
+
+impl Drop for ChaCha20 {
+    fn drop(&mut self) {
+        // state[4..12] are the key words and buf is live keystream
+        // (key-equivalent); wipe the whole state rather than track which
+        // words are sensitive.
+        crate::zeroize::wipe_words(&mut self.state);
+        crate::zeroize::wipe_bytes(&mut self.buf);
+    }
 }
 
 impl ChaCha20 {

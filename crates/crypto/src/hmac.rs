@@ -25,12 +25,20 @@ use crate::sha256::{compress_blocks, state_to_digest, Sha256, BLOCK_LEN, DIGEST_
 /// let key = HmacKey::new(b"key");
 /// assert_eq!(key.mac(b"msg"), hmac_sha256(b"key", b"msg"));
 /// ```
-#[derive(Clone)]
 pub struct HmacKey {
     /// State after compressing `key ^ ipad`.
     inner: [u32; 8],
     /// State after compressing `key ^ opad`.
     outer: [u32; 8],
+}
+
+impl Drop for HmacKey {
+    fn drop(&mut self) {
+        // The midstates are key-equivalent: anyone holding them can MAC
+        // arbitrary messages under this key.
+        crate::zeroize::wipe_words(&mut self.inner);
+        crate::zeroize::wipe_words(&mut self.outer);
+    }
 }
 
 /// Bit length of the single-block messages [`HmacKey::mac32`] and the
@@ -58,6 +66,9 @@ impl HmacKey {
         compress_blocks(&mut inner, &ipad);
         let mut outer = INIT_STATE;
         compress_blocks(&mut outer, &opad);
+        crate::zeroize::wipe_bytes(&mut key_block);
+        crate::zeroize::wipe_bytes(&mut ipad);
+        crate::zeroize::wipe_bytes(&mut opad);
         Self { inner, outer }
     }
 

@@ -52,6 +52,14 @@
 //! block counter 1. Standalone cipher users (e.g. DC-net pad expansion)
 //! are free to start at counter 0.
 //!
+//! # Secret hygiene
+//!
+//! Key-bearing types ([`HmacKey`], [`ChaCha20`], [`Poly1305`]) do not
+//! implement `Clone` or derive `Debug`, and wipe their material on drop
+//! via [`zeroize`]. The workspace's `nymix-lint` `secret-*` rules pin
+//! these properties; `LINTS.md` at the repository root documents the
+//! full rule catalogue.
+//!
 //! All implementations are validated against published test vectors in
 //! their module tests. The crate has no dependencies and performs no I/O.
 
@@ -67,6 +75,7 @@ pub mod merkle;
 pub mod pbkdf2;
 pub mod poly1305;
 pub mod sha256;
+pub mod zeroize;
 
 pub use aead::{open, open_in_place_detached, seal, seal_in_place_detached, AeadError};
 pub use chacha20::ChaCha20;

@@ -50,6 +50,8 @@ pub fn pbkdf2_hmac_sha256_into(
             }
         }
         chunk.copy_from_slice(&acc[..chunk.len()]);
+        crate::zeroize::wipe_bytes(&mut u);
+        crate::zeroize::wipe_bytes(&mut acc);
         block_index = block_index.wrapping_add(1);
     }
 }

@@ -58,7 +58,6 @@ fn mul_mod(a: &[u64; 3], b: &[u64; 3]) -> [u64; 3] {
 /// mac.update(b"message");
 /// assert_eq!(mac.finalize(), poly1305_tag(&key, b"split message"));
 /// ```
-#[derive(Clone)]
 pub struct Poly1305 {
     /// Clamped multiplier `r` in 44/44/42-bit limbs.
     r: [u64; 3],
@@ -76,6 +75,21 @@ pub struct Poly1305 {
     /// Partial input block.
     buf: [u8; BLOCK_LEN],
     buf_len: usize,
+}
+
+impl Drop for Poly1305 {
+    fn drop(&mut self) {
+        // r/r2 (and their folded s/s2 forms) are the one-time key; h and
+        // buf hold message-dependent state under it. pad is key bytes
+        // 16..32 verbatim.
+        crate::zeroize::wipe_limbs(&mut self.r);
+        crate::zeroize::wipe_limbs(&mut self.s);
+        crate::zeroize::wipe_limbs(&mut self.r2);
+        crate::zeroize::wipe_limbs(&mut self.s2);
+        crate::zeroize::wipe_limbs(&mut self.h);
+        crate::zeroize::wipe_limbs(&mut self.pad);
+        crate::zeroize::wipe_bytes(&mut self.buf);
+    }
 }
 
 impl Poly1305 {

@@ -1,0 +1,66 @@
+//! Best-effort zeroization for key material.
+//!
+//! Nymix's secret types ([`crate::hmac::HmacKey`] midstates,
+//! [`crate::chacha20::ChaCha20`] state, [`crate::poly1305::Poly1305`]
+//! limbs, the store's `SealKey`) wipe themselves on drop so freed nym
+//! keys do not linger in the host's reusable heap pages — the same
+//! paranoia the paper applies to quasi-persistent state generally
+//! (§3.5): anything not explicitly bound to the nym must not survive
+//! it.
+//!
+//! The workspace compiles under `#![forbid(unsafe_code)]`, so volatile
+//! writes are off the table. Instead the wipe routes the zeroed
+//! reference through [`core::hint::black_box`], which tells the
+//! optimizer the value escapes and the stores must happen. This is the
+//! strongest guarantee available in safe stable Rust; the
+//! `secret-zeroize` lint pins that every registered secret type calls
+//! into here from its `Drop`.
+
+use core::hint::black_box;
+
+/// Zeroes a byte buffer and inhibits dead-store elimination.
+#[inline(never)]
+pub fn wipe_bytes(buf: &mut [u8]) {
+    for b in buf.iter_mut() {
+        *b = 0;
+    }
+    black_box(buf);
+}
+
+/// Zeroes a `u32` word buffer (hash midstates, cipher state, Poly1305
+/// limbs) and inhibits dead-store elimination.
+#[inline(never)]
+pub fn wipe_words(buf: &mut [u32]) {
+    for w in buf.iter_mut() {
+        *w = 0;
+    }
+    black_box(buf);
+}
+
+/// Zeroes a `u64` limb buffer (Poly1305 `r`/`s`/accumulator limbs) and
+/// inhibits dead-store elimination.
+#[inline(never)]
+pub fn wipe_limbs(buf: &mut [u64]) {
+    for w in buf.iter_mut() {
+        *w = 0;
+    }
+    black_box(buf);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wipes_to_zero() {
+        let mut b = [0xAAu8; 64];
+        wipe_bytes(&mut b);
+        assert_eq!(b, [0u8; 64]);
+        let mut w = [0xDEADBEEFu32; 16];
+        wipe_words(&mut w);
+        assert_eq!(w, [0u32; 16]);
+        let mut l = [u64::MAX; 3];
+        wipe_limbs(&mut l);
+        assert_eq!(l, [0u64; 3]);
+    }
+}

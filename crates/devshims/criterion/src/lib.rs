@@ -18,6 +18,8 @@
 //! calibration — the CI smoke job uses this to keep bench bodies
 //! compiling and running without paying measurement time.
 
+#![forbid(unsafe_code)]
+
 pub use std::hint::black_box;
 
 use std::io::Write as _;

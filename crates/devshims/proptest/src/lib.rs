@@ -15,6 +15,8 @@
 //! deterministic per-test RNG (seeded by test name + case index), so any
 //! failure reproduces exactly on re-run.
 
+#![forbid(unsafe_code)]
+
 pub mod strategy;
 pub mod test_runner;
 

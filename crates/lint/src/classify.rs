@@ -1,0 +1,291 @@
+//! Region classification over the token stream.
+//!
+//! Two passes the rules depend on:
+//!
+//! * **Test regions** — spans introduced by a `#[cfg(test)]` /
+//!   `#[test]`-style attribute. The panic-free and format-hygiene
+//!   rules only police production code; `unwrap` in a unit test is
+//!   fine, `unwrap` in a wire-format parser is not.
+//! * **Suppressions** — `// lint:allow(rule): reason` comments. A
+//!   suppression silences findings of that rule on its own line (when
+//!   it trails code) or on the next code line (when it stands alone).
+//!   A suppression with no written reason, or one that silences
+//!   nothing, is itself reported — see [`crate::engine`].
+
+use crate::lexer::{Kind, Token};
+
+/// Marks every token that belongs to a test-only item.
+///
+/// An attribute is test-ish when its tokens contain the identifier
+/// `test` and do **not** contain `not` (so `#[cfg(not(test))]` keeps
+/// its production classification). The attributed item extends through
+/// the matching close brace of its first block, or its terminating
+/// semicolon.
+pub fn test_mask(tokens: &[Token], src: &[u8]) -> Vec<bool> {
+    let mut mask = vec![false; tokens.len()];
+    let mut i = 0usize;
+    while i < tokens.len() {
+        if !tokens[i].is(src, "#") || !next_is(tokens, src, i, "[") {
+            i += 1;
+            continue;
+        }
+        let open = i + 1;
+        let Some(close) = matching(tokens, src, open) else {
+            i += 1;
+            continue;
+        };
+        if !attr_is_test(&tokens[open..=close], src) {
+            i = close + 1;
+            continue;
+        }
+        // Skip any further attributes stacked on the same item.
+        let mut j = close + 1;
+        while j < tokens.len() && tokens[j].is(src, "#") && next_is(tokens, src, j, "[") {
+            match matching(tokens, src, j + 1) {
+                Some(c) => j = c + 1,
+                None => break,
+            }
+        }
+        // The item runs to its first top-level block or semicolon.
+        let mut end = tokens.len().saturating_sub(1);
+        let mut k = j;
+        while k < tokens.len() {
+            let t = &tokens[k];
+            if t.kind == Kind::Punct && (t.is(src, "{") || t.is(src, "(") || t.is(src, "[")) {
+                match matching(tokens, src, k) {
+                    Some(c) if t.is(src, "{") => {
+                        end = c;
+                        break;
+                    }
+                    Some(c) => {
+                        k = c + 1;
+                        continue;
+                    }
+                    None => {
+                        end = tokens.len().saturating_sub(1);
+                        break;
+                    }
+                }
+            }
+            if t.is(src, ";") {
+                end = k;
+                break;
+            }
+            k += 1;
+        }
+        for m in mask.iter_mut().take(end + 1).skip(i) {
+            *m = true;
+        }
+        i = end + 1;
+    }
+    mask
+}
+
+fn attr_is_test(attr: &[Token], src: &[u8]) -> bool {
+    let mut has_test = false;
+    let mut has_not = false;
+    for t in attr {
+        if t.kind == Kind::Ident {
+            has_test |= t.is(src, "test");
+            has_not |= t.is(src, "not");
+        }
+    }
+    has_test && !has_not
+}
+
+fn next_is(tokens: &[Token], src: &[u8], i: usize, text: &str) -> bool {
+    tokens.get(i + 1).is_some_and(|t| t.is(src, text))
+}
+
+/// Index of the token closing the bracket opened at `open`, counting
+/// all three bracket kinds.
+pub fn matching(tokens: &[Token], src: &[u8], open: usize) -> Option<usize> {
+    let mut depth = 0i64;
+    for (i, t) in tokens.iter().enumerate().skip(open) {
+        if t.kind != Kind::Punct {
+            continue;
+        }
+        match t.text(src) {
+            b"{" | b"(" | b"[" => depth += 1,
+            b"}" | b")" | b"]" => {
+                depth -= 1;
+                if depth == 0 {
+                    return Some(i);
+                }
+                if depth < 0 {
+                    return None;
+                }
+            }
+            _ => {}
+        }
+    }
+    None
+}
+
+/// One parsed `lint:allow` comment.
+#[derive(Debug, Clone)]
+pub struct Suppression {
+    /// Line the comment sits on.
+    pub line: u32,
+    /// Line whose findings it silences (its own, or the next code line).
+    pub target_line: u32,
+    /// Rule ids listed inside the parentheses.
+    pub rules: Vec<String>,
+    /// Whether a non-empty reason followed the colon.
+    pub has_reason: bool,
+    /// Set when the suppression silenced at least one finding.
+    pub used: bool,
+}
+
+/// Extracts every `lint:allow(rule, …): reason` comment.
+pub fn suppressions(tokens: &[Token], src: &[u8]) -> Vec<Suppression> {
+    let mut out = Vec::new();
+    for (i, t) in tokens.iter().enumerate() {
+        if t.kind != Kind::Comment {
+            continue;
+        }
+        let text = t.text(src);
+        // Doc comments are documentation — they may *mention* the
+        // directive syntax without issuing it. Directives live in
+        // plain `//` / `/*` comments only.
+        if text.starts_with(b"///")
+            || text.starts_with(b"//!")
+            || text.starts_with(b"/**")
+            || text.starts_with(b"/*!")
+        {
+            continue;
+        }
+        let Some(parsed) = parse_allow(text) else {
+            continue;
+        };
+        // Trailing comment (code earlier on the same line) targets its
+        // own line; a standalone comment targets the next code line.
+        let trails_code = tokens[..i]
+            .iter()
+            .rev()
+            .take_while(|p| p.line == t.line)
+            .any(|p| p.kind != Kind::Comment);
+        let target_line = if trails_code {
+            t.line
+        } else {
+            tokens[i + 1..]
+                .iter()
+                .find(|n| n.kind != Kind::Comment)
+                .map_or(t.line, |n| n.line)
+        };
+        out.push(Suppression {
+            line: t.line,
+            target_line,
+            rules: parsed.0,
+            has_reason: parsed.1,
+            used: false,
+        });
+    }
+    out
+}
+
+/// Parses `… lint:allow(a, b): reason …` out of a comment's bytes.
+fn parse_allow(comment: &[u8]) -> Option<(Vec<String>, bool)> {
+    const NEEDLE: &[u8] = b"lint:allow(";
+    let at = comment
+        .windows(NEEDLE.len())
+        .position(|w| w == NEEDLE)
+        .map(|p| p + NEEDLE.len())?;
+    let rest = comment.get(at..)?;
+    let close = rest.iter().position(|&b| b == b')')?;
+    let rules: Vec<String> = rest[..close]
+        .split(|&b| b == b',')
+        .map(|r| String::from_utf8_lossy(r).trim().to_string())
+        .filter(|r| !r.is_empty())
+        .collect();
+    if rules.is_empty() {
+        return None;
+    }
+    let after = &rest[close + 1..];
+    let has_reason = after
+        .iter()
+        .position(|&b| b == b':')
+        .map(|c| {
+            after[c + 1..]
+                .iter()
+                .filter(|b| !b.is_ascii_whitespace())
+                .count()
+                >= 3
+        })
+        .unwrap_or(false);
+    Some((rules, has_reason))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn mask_of(src: &str) -> (Vec<Token>, Vec<bool>) {
+        let toks = lex(src.as_bytes()).expect("lexes");
+        let mask = test_mask(&toks, src.as_bytes());
+        (toks, mask)
+    }
+
+    #[test]
+    fn cfg_test_mod_is_masked() {
+        let src = "fn prod() { a.unwrap(); }\n#[cfg(test)]\nmod tests { fn t() { b.unwrap(); } }";
+        let (toks, mask) = mask_of(src);
+        let unwraps: Vec<bool> = toks
+            .iter()
+            .zip(&mask)
+            .filter(|(t, _)| t.is(src.as_bytes(), "unwrap"))
+            .map(|(_, m)| *m)
+            .collect();
+        assert_eq!(unwraps, [false, true]);
+    }
+
+    #[test]
+    fn cfg_not_test_stays_production() {
+        let src = "#[cfg(not(test))]\nfn prod() { a.unwrap(); }";
+        let (toks, mask) = mask_of(src);
+        let unwrap_masked = toks
+            .iter()
+            .zip(&mask)
+            .any(|(t, m)| t.is(src.as_bytes(), "unwrap") && *m);
+        assert!(!unwrap_masked);
+    }
+
+    #[test]
+    fn test_attr_fn_is_masked() {
+        let src = "#[test]\n#[should_panic]\nfn boom() { panic!(); }\nfn fine() {}";
+        let (toks, mask) = mask_of(src);
+        let panic_masked = toks
+            .iter()
+            .zip(&mask)
+            .any(|(t, m)| t.is(src.as_bytes(), "panic") && *m);
+        assert!(panic_masked);
+        let fine_masked = toks
+            .iter()
+            .zip(&mask)
+            .any(|(t, m)| t.is(src.as_bytes(), "fine") && *m);
+        assert!(!fine_masked);
+    }
+
+    #[test]
+    fn suppression_trailing_and_standalone() {
+        let src = "let a = x; // lint:allow(rule-a): reason here\n\
+                   // lint:allow(rule-b): another reason\n\
+                   let b = y;";
+        let toks = lex(src.as_bytes()).expect("lexes");
+        let sups = suppressions(&toks, src.as_bytes());
+        assert_eq!(sups.len(), 2);
+        assert_eq!(sups[0].target_line, 1);
+        assert_eq!(sups[1].target_line, 3);
+        assert!(sups.iter().all(|s| s.has_reason));
+    }
+
+    #[test]
+    fn suppression_without_reason_flagged() {
+        let src = "// lint:allow(rule-a)\nlet b = y;";
+        let toks = lex(src.as_bytes()).expect("lexes");
+        let sups = suppressions(&toks, src.as_bytes());
+        assert_eq!(sups.len(), 1);
+        assert!(!sups[0].has_reason);
+    }
+}

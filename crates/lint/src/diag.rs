@@ -1,0 +1,98 @@
+//! Findings and their human/JSON renderings.
+
+/// One diagnostic: `file:line` plus a rule id and message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Finding {
+    /// Workspace-relative path.
+    pub file: String,
+    /// 1-based line (0 for whole-file/workspace findings).
+    pub line: u32,
+    /// Stable rule id (the thing `lint:allow(...)` names).
+    pub rule: &'static str,
+    pub message: String,
+}
+
+impl Finding {
+    pub fn new(file: &str, line: u32, rule: &'static str, message: String) -> Self {
+        Finding {
+            file: file.to_string(),
+            line,
+            rule,
+            message,
+        }
+    }
+
+    /// `path:line: [rule] message` — the clickable human form.
+    pub fn render(&self) -> String {
+        format!(
+            "{}:{}: [{}] {}",
+            self.file, self.line, self.rule, self.message
+        )
+    }
+}
+
+/// Sorts findings for stable output: by file, then line, then rule.
+pub fn sort(findings: &mut [Finding]) {
+    findings
+        .sort_by(|a, b| (a.file.as_str(), a.line, a.rule).cmp(&(b.file.as_str(), b.line, b.rule)));
+}
+
+/// Escapes a string for embedding in a JSON document.
+pub fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Renders findings as a JSON array (stable field order).
+pub fn to_json(findings: &[Finding]) -> String {
+    let mut out = String::from("[");
+    for (i, f) in findings.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "\n  {{\"file\": \"{}\", \"line\": {}, \"rule\": \"{}\", \"message\": \"{}\"}}",
+            json_escape(&f.file),
+            f.line,
+            json_escape(f.rule),
+            json_escape(&f.message)
+        ));
+    }
+    out.push_str(if findings.is_empty() { "]" } else { "\n]" });
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_and_sort() {
+        let mut fs = vec![
+            Finding::new("b.rs", 2, "r", "m".into()),
+            Finding::new("a.rs", 9, "r", "m".into()),
+            Finding::new("a.rs", 1, "r", "m".into()),
+        ];
+        sort(&mut fs);
+        assert_eq!(fs[0].render(), "a.rs:1: [r] m");
+        assert_eq!(fs[2].file, "b.rs");
+    }
+
+    #[test]
+    fn json_escaping() {
+        assert_eq!(json_escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+        let j = to_json(&[Finding::new("x.rs", 1, "r", "say \"hi\"".into())]);
+        assert!(j.contains("say \\\"hi\\\""));
+    }
+}

@@ -1,0 +1,346 @@
+//! The drive loop: walk the workspace, lex + classify each `.rs` file,
+//! run the rules, apply suppressions, and append the
+//! registration-freshness checks.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+use crate::classify;
+use crate::diag::{self, Finding};
+use crate::lexer;
+use crate::registry::Registry;
+use crate::rules::{self, ids, Ctx};
+
+/// Directory names never descended into. `fixtures` holds the lint
+/// crate's own deliberately-violating test corpus; `target` is build
+/// output.
+const SKIP_DIRS: &[&str] = &["target", ".git", "fixtures"];
+
+/// Lints every `.rs` file under `root` against `reg`. Paths in
+/// findings are relative to `root`.
+pub fn run_workspace(root: &Path, reg: &Registry) -> Vec<Finding> {
+    let mut files = Vec::new();
+    collect_rs_files(root, &mut files);
+    files.sort();
+    let mut findings = Vec::new();
+    let mut seen_trust: Vec<bool> = vec![false; reg.trust_modules.len()];
+    let mut seen_secret: Vec<bool> = vec![false; reg.secret_types.len()];
+    for path in &files {
+        let rel = rel_path(root, path);
+        for (i, m) in reg.trust_modules.iter().enumerate() {
+            if rel.ends_with(&m.path) {
+                seen_trust[i] = true;
+            }
+        }
+        for (i, s) in reg.secret_types.iter().enumerate() {
+            if rel.ends_with(&s.defined_in) {
+                seen_secret[i] = true;
+            }
+        }
+        let Ok(src) = fs::read(path) else {
+            findings.push(Finding::new(
+                &rel,
+                0,
+                ids::LEX_ERROR,
+                "file vanished or unreadable during the scan".to_string(),
+            ));
+            continue;
+        };
+        lint_file(&rel, &src, reg, &mut findings);
+    }
+    // `registry-stale`: a registered path that matches no file means a
+    // rename/delete silently dropped a trust boundary from coverage.
+    for (i, m) in reg.trust_modules.iter().enumerate() {
+        if !seen_trust[i] {
+            findings.push(Finding::new(
+                &m.path,
+                0,
+                ids::REGISTRY_STALE,
+                "registered trust-boundary module matches no file in the workspace: \
+                 update the registry to follow the rename (coverage silently lapsed)"
+                    .to_string(),
+            ));
+        }
+    }
+    for (i, s) in reg.secret_types.iter().enumerate() {
+        if !seen_secret[i] {
+            findings.push(Finding::new(
+                &s.defined_in,
+                0,
+                ids::REGISTRY_STALE,
+                format!(
+                    "secret type `{}` is registered in a file that no longer exists: \
+                     update the registry to follow the rename",
+                    s.name
+                ),
+            ));
+        }
+    }
+    diag::sort(&mut findings);
+    findings
+}
+
+/// Lints one file's bytes; appends surviving findings (after
+/// suppression filtering) to `out`.
+pub fn lint_file(rel: &str, src: &[u8], reg: &Registry, out: &mut Vec<Finding>) {
+    let tokens = match lexer::lex(src) {
+        Ok(t) => t,
+        Err(e) => {
+            out.push(Finding::new(
+                rel,
+                e.line,
+                ids::LEX_ERROR,
+                format!("cannot lex file: {} at byte {}", e.what, e.offset),
+            ));
+            return;
+        }
+    };
+    let test_mask = classify::test_mask(&tokens, src);
+    let mut sups = classify::suppressions(&tokens, src);
+    let ctx = Ctx {
+        rel,
+        src,
+        tokens: &tokens,
+        test_mask: &test_mask,
+        reg,
+        is_crate_root: is_crate_root(rel),
+    };
+    let mut raw = Vec::new();
+    rules::run_all(&ctx, &mut raw);
+
+    // Apply suppressions: a finding on a suppression's target line,
+    // with a listed rule id, is silenced (and marks the suppression
+    // used). Suppressions themselves must be well-formed.
+    for s in &sups {
+        for r in &s.rules {
+            if !ids::ALL.contains(&r.as_str()) {
+                out.push(Finding::new(
+                    rel,
+                    s.line,
+                    ids::SUPPRESSION_SYNTAX,
+                    format!("`lint:allow` names unknown rule `{r}`"),
+                ));
+            }
+        }
+        if !s.has_reason {
+            out.push(Finding::new(
+                rel,
+                s.line,
+                ids::SUPPRESSION_SYNTAX,
+                "`lint:allow` without a written reason: suppressions document why the \
+                 rule is safe to break here, or they are noise"
+                    .to_string(),
+            ));
+        }
+    }
+    for f in raw {
+        let mut silenced = false;
+        for s in &mut sups {
+            if s.target_line == f.line && s.has_reason && s.rules.iter().any(|r| r == f.rule) {
+                s.used = true;
+                silenced = true;
+            }
+        }
+        if !silenced {
+            out.push(f);
+        }
+    }
+    for s in &sups {
+        if s.has_reason && !s.used && s.rules.iter().all(|r| ids::ALL.contains(&r.as_str())) {
+            out.push(Finding::new(
+                rel,
+                s.line,
+                ids::UNUSED_SUPPRESSION,
+                format!(
+                    "suppression of `{}` silences nothing: the violation was fixed, so \
+                     delete the allow before it hides a future regression",
+                    s.rules.join(", ")
+                ),
+            ));
+        }
+    }
+}
+
+/// `src/lib.rs`, `src/main.rs` and `src/bin/*.rs` are crate roots that
+/// must carry `#![forbid(unsafe_code)]`.
+fn is_crate_root(rel: &str) -> bool {
+    if rel.ends_with("src/lib.rs") || rel.ends_with("src/main.rs") {
+        return true;
+    }
+    if let Some(pos) = rel.rfind("src/bin/") {
+        let tail = &rel[pos + "src/bin/".len()..];
+        return tail.ends_with(".rs") && !tail.contains('/');
+    }
+    false
+}
+
+fn collect_rs_files(dir: &Path, out: &mut Vec<PathBuf>) {
+    let Ok(entries) = fs::read_dir(dir) else {
+        return;
+    };
+    for entry in entries.flatten() {
+        let path = entry.path();
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if path.is_dir() {
+            if SKIP_DIRS.contains(&name.as_ref()) || name.starts_with('.') {
+                continue;
+            }
+            collect_rs_files(&path, out);
+        } else if name.ends_with(".rs") {
+            out.push(path);
+        }
+    }
+}
+
+fn rel_path(root: &Path, path: &Path) -> String {
+    path.strip_prefix(root)
+        .unwrap_or(path)
+        .to_string_lossy()
+        .replace('\\', "/")
+}
+
+/// The `--report` payload: the trust-boundary map as JSON, so external
+/// tooling (and the LINTS.md reader) can see exactly what is policed.
+pub fn report(reg: &Registry) -> String {
+    let mut out = String::from("{\n  \"trust_modules\": [");
+    for (i, m) in reg.trust_modules.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "\n    {{\"path\": \"{}\", \"rationale\": \"{}\"}}",
+            diag::json_escape(&m.path),
+            diag::json_escape(&m.rationale)
+        ));
+    }
+    out.push_str("\n  ],\n  \"secret_types\": [");
+    for (i, s) in reg.secret_types.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "\n    {{\"name\": \"{}\", \"defined_in\": \"{}\", \"rationale\": \"{}\"}}",
+            diag::json_escape(&s.name),
+            diag::json_escape(&s.defined_in),
+            diag::json_escape(&s.rationale)
+        ));
+    }
+    out.push_str("\n  ],\n  \"taxonomies\": [");
+    for (i, t) in reg.taxonomies.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let paths: Vec<String> = t
+            .paths
+            .iter()
+            .map(|p| format!("\"{}\"", diag::json_escape(p)))
+            .collect();
+        out.push_str(&format!(
+            "\n    {{\"enum\": \"{}\", \"paths\": [{}], \"rationale\": \"{}\"}}",
+            diag::json_escape(&t.enum_name),
+            paths.join(", "),
+            diag::json_escape(&t.rationale)
+        ));
+    }
+    out.push_str("\n  ],\n  \"seal_fns\": [");
+    for (i, f) in reg.seal_fns.iter().enumerate() {
+        if i > 0 {
+            out.push_str(", ");
+        }
+        out.push_str(&format!("\"{}\"", diag::json_escape(f)));
+    }
+    out.push_str(&format!(
+        "],\n  \"ct_module\": \"{}\",\n  \"exemptions\": [",
+        diag::json_escape(&reg.ct_module)
+    ));
+    let mut first = true;
+    for (kind, e) in reg
+        .exempt_parsers
+        .iter()
+        .map(|e| ("parser", e))
+        .chain(reg.exempt_secrets.iter().map(|e| ("secret", e)))
+    {
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        out.push_str(&format!(
+            "\n    {{\"kind\": \"{}\", \"subject\": \"{}\", \"reason\": \"{}\"}}",
+            kind,
+            diag::json_escape(&e.path_or_name),
+            diag::json_escape(&e.reason)
+        ));
+    }
+    out.push_str("\n  ]\n}");
+    out
+}
+
+/// Walks up from `start` to the directory whose `Cargo.toml` declares
+/// `[workspace]`.
+pub fn find_workspace_root(start: &Path) -> Option<PathBuf> {
+    let mut dir = start.to_path_buf();
+    loop {
+        let manifest = dir.join("Cargo.toml");
+        if let Ok(text) = fs::read_to_string(&manifest) {
+            if text.contains("[workspace]") {
+                return Some(dir);
+            }
+        }
+        if !dir.pop() {
+            return None;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn crate_root_detection() {
+        assert!(is_crate_root("crates/store/src/lib.rs"));
+        assert!(is_crate_root("src/main.rs"));
+        assert!(is_crate_root("crates/bench/src/bin/archive.rs"));
+        assert!(!is_crate_root("crates/store/src/archive.rs"));
+        assert!(!is_crate_root("crates/store/src/bin/deep/x.rs"));
+    }
+
+    #[test]
+    fn suppression_silences_and_unused_is_flagged() {
+        let reg = Registry::nymix();
+        let src = b"fn f(x: Option<u8>) -> u8 {\n    x.unwrap() // lint:allow(panic-free-parser): test shim\n}\n";
+        let mut out = Vec::new();
+        lint_file("crates/store/src/archive.rs", src, &reg, &mut out);
+        assert!(
+            !out.iter().any(|f| f.rule == ids::PANIC_FREE),
+            "suppressed: {out:?}"
+        );
+
+        let src = b"// lint:allow(panic-free-parser): nothing here violates\nfn f() {}\n";
+        let mut out = Vec::new();
+        lint_file("crates/store/src/archive.rs", src, &reg, &mut out);
+        assert!(out.iter().any(|f| f.rule == ids::UNUSED_SUPPRESSION));
+    }
+
+    #[test]
+    fn suppression_without_reason_does_not_silence() {
+        let reg = Registry::nymix();
+        let src =
+            b"fn f(x: Option<u8>) -> u8 {\n    x.unwrap() // lint:allow(panic-free-parser)\n}\n";
+        let mut out = Vec::new();
+        lint_file("crates/store/src/archive.rs", src, &reg, &mut out);
+        assert!(out.iter().any(|f| f.rule == ids::PANIC_FREE));
+        assert!(out.iter().any(|f| f.rule == ids::SUPPRESSION_SYNTAX));
+    }
+
+    #[test]
+    fn report_is_balanced_json() {
+        let r = report(&Registry::nymix());
+        let opens = r.matches('{').count() + r.matches('[').count();
+        let closes = r.matches('}').count() + r.matches(']').count();
+        assert_eq!(opens, closes);
+        assert!(r.contains("trust_modules"));
+        assert!(r.contains("sanitizer/src/formats.rs"));
+    }
+}

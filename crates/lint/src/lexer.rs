@@ -1,0 +1,511 @@
+//! A panic-free, token-level Rust lexer.
+//!
+//! The rule engine works on tokens, never on raw text, so string
+//! literals and comments can never masquerade as code (a `"unsafe"`
+//! inside a string is not an `unsafe` token) and suppression comments
+//! are first-class tokens the engine can read back.
+//!
+//! The lexer is deliberately *loose* where looseness cannot change a
+//! rule's verdict (number suffixes, unicode identifiers) and *strict*
+//! where it can (string/char/comment boundaries, nested block
+//! comments, raw strings with arbitrary `#` fences). It is total over
+//! arbitrary bytes: every input either lexes to a token stream or
+//! returns a structured [`LexError`] — it never panics, which
+//! `tests/prop.rs` pins with arbitrary and mutated source bytes.
+
+/// What a token is, as far as the rules care.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Kind {
+    /// Identifier or keyword (`unsafe`, `match`, `as` are all idents).
+    Ident,
+    /// Numeric literal, loosely lexed (suffixes and floats included).
+    Number,
+    /// String-ish literal: `"…"`, `b"…"`, `r#"…"#`, `br#"…"#`.
+    Str,
+    /// Character or byte-character literal (`'a'`, `b'\n'`).
+    Char,
+    /// Lifetime (`'a`, `'static`, `'_`).
+    Lifetime,
+    /// Line or block comment, text included (suppressions live here).
+    Comment,
+    /// Punctuation; multi-byte operators the rules need (`==`, `!=`,
+    /// `=>`, `::`, `->`, `<=`, `>=`, `&&`, `||`) are single tokens.
+    Punct,
+}
+
+/// One lexed token: a byte span of the source plus its starting line.
+#[derive(Debug, Clone, Copy)]
+pub struct Token {
+    pub kind: Kind,
+    /// Byte offset of the first byte, inclusive.
+    pub start: usize,
+    /// Byte offset past the last byte, exclusive.
+    pub end: usize,
+    /// 1-based line of the first byte.
+    pub line: u32,
+}
+
+impl Token {
+    /// The token's bytes within the source it was lexed from.
+    pub fn text<'a>(&self, src: &'a [u8]) -> &'a [u8] {
+        src.get(self.start..self.end).unwrap_or(b"")
+    }
+
+    /// True when the token is this exact ASCII text.
+    pub fn is(&self, src: &[u8], text: &str) -> bool {
+        self.text(src) == text.as_bytes()
+    }
+}
+
+/// A structurally unlexable input: an unterminated string, char
+/// literal, or block comment. Everything else lexes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LexError {
+    /// Byte offset where the unterminated construct started.
+    pub offset: usize,
+    /// 1-based line of that offset.
+    pub line: u32,
+    /// Human description of what was left open.
+    pub what: &'static str,
+}
+
+impl core::fmt::Display for LexError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "line {}: unterminated {}", self.line, self.what)
+    }
+}
+
+fn is_ident_start(b: u8) -> bool {
+    b.is_ascii_alphabetic() || b == b'_' || b >= 0x80
+}
+
+fn is_ident_continue(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_' || b >= 0x80
+}
+
+/// Lexes `src` into tokens, or reports the first unterminated
+/// construct. Never panics, for any byte sequence.
+pub fn lex(src: &[u8]) -> Result<Vec<Token>, LexError> {
+    Lexer {
+        src,
+        pos: 0,
+        line: 1,
+        out: Vec::new(),
+    }
+    .run()
+}
+
+struct Lexer<'a> {
+    src: &'a [u8],
+    pos: usize,
+    line: u32,
+    out: Vec<Token>,
+}
+
+impl<'a> Lexer<'a> {
+    fn peek(&self, ahead: usize) -> Option<u8> {
+        self.src.get(self.pos.checked_add(ahead)?).copied()
+    }
+
+    fn bump(&mut self) {
+        if self.peek(0) == Some(b'\n') {
+            self.line = self.line.saturating_add(1);
+        }
+        self.pos = self.pos.saturating_add(1);
+    }
+
+    fn push(&mut self, kind: Kind, start: usize, line: u32) {
+        self.out.push(Token {
+            kind,
+            start,
+            end: self.pos,
+            line,
+        });
+    }
+
+    fn run(mut self) -> Result<Vec<Token>, LexError> {
+        while let Some(b) = self.peek(0) {
+            let start = self.pos;
+            let line = self.line;
+            match b {
+                b' ' | b'\t' | b'\r' | b'\n' => self.bump(),
+                b'/' if self.peek(1) == Some(b'/') => {
+                    while self.peek(0).is_some_and(|c| c != b'\n') {
+                        self.bump();
+                    }
+                    self.push(Kind::Comment, start, line);
+                }
+                b'/' if self.peek(1) == Some(b'*') => {
+                    self.block_comment(start, line)?;
+                }
+                b'r' | b'b' if self.raw_or_byte_literal(start, line)? => {}
+                _ if is_ident_start(b) => {
+                    while self.peek(0).is_some_and(is_ident_continue) {
+                        self.bump();
+                    }
+                    self.push(Kind::Ident, start, line);
+                }
+                _ if b.is_ascii_digit() => {
+                    self.number();
+                    self.push(Kind::Number, start, line);
+                }
+                b'"' => {
+                    self.string(start, line)?;
+                    self.push(Kind::Str, start, line);
+                }
+                b'\'' => self.char_or_lifetime(start, line)?,
+                _ => {
+                    self.punct();
+                    self.push(Kind::Punct, start, line);
+                }
+            }
+        }
+        Ok(self.out)
+    }
+
+    /// Handles the `r"…"`, `r#"…"#`, `b"…"`, `b'…'`, `br#"…"#` literal
+    /// prefixes. Returns false (consuming nothing) when the `r`/`b`
+    /// starts a plain identifier; the caller then lexes it as one.
+    fn raw_or_byte_literal(&mut self, start: usize, line: u32) -> Result<bool, LexError> {
+        let (prefix_len, raw, kind) = match (self.peek(0), self.peek(1), self.peek(2)) {
+            (Some(b'r'), Some(b'"' | b'#'), _) => (1, true, Kind::Str),
+            (Some(b'b'), Some(b'"'), _) => (1, false, Kind::Str),
+            (Some(b'b'), Some(b'\''), _) => (1, false, Kind::Char),
+            (Some(b'b'), Some(b'r'), Some(b'"' | b'#')) => (2, true, Kind::Str),
+            _ => return Ok(false),
+        };
+        // `r#ident` is a raw identifier, not a raw string.
+        if raw {
+            let mut probe = self.pos.saturating_add(prefix_len);
+            let mut fence = 0usize;
+            while self.src.get(probe) == Some(&b'#') {
+                probe = probe.saturating_add(1);
+                fence = fence.saturating_add(1);
+            }
+            if self.src.get(probe) != Some(&b'"') {
+                return Ok(false);
+            }
+            for _ in 0..prefix_len {
+                self.bump();
+            }
+            self.raw_string(fence, start, line)?;
+            self.push(Kind::Str, start, line);
+            return Ok(true);
+        }
+        self.bump(); // the `b`
+        match kind {
+            Kind::Str => {
+                self.string(start, line)?;
+                self.push(Kind::Str, start, line);
+            }
+            _ => {
+                self.char_literal(start, line)?;
+                self.push(Kind::Char, start, line);
+            }
+        }
+        Ok(true)
+    }
+
+    fn block_comment(&mut self, start: usize, line: u32) -> Result<(), LexError> {
+        self.bump(); // '/'
+        self.bump(); // '*'
+        let mut depth = 1usize;
+        while depth > 0 {
+            match (self.peek(0), self.peek(1)) {
+                (Some(b'/'), Some(b'*')) => {
+                    depth = depth.saturating_add(1);
+                    self.bump();
+                    self.bump();
+                }
+                (Some(b'*'), Some(b'/')) => {
+                    depth -= 1;
+                    self.bump();
+                    self.bump();
+                }
+                (Some(_), _) => self.bump(),
+                (None, _) => {
+                    return Err(LexError {
+                        offset: start,
+                        line,
+                        what: "block comment",
+                    })
+                }
+            }
+        }
+        self.push(Kind::Comment, start, line);
+        Ok(())
+    }
+
+    fn number(&mut self) {
+        let mut seen_dot = false;
+        while let Some(c) = self.peek(0) {
+            if is_ident_continue(c) {
+                self.bump();
+            } else if c == b'.' && !seen_dot && self.peek(1).is_some_and(|d| d.is_ascii_digit()) {
+                seen_dot = true;
+                self.bump();
+            } else {
+                break;
+            }
+        }
+    }
+
+    /// A `"…"` string with escapes; the opening quote is at `self.pos`.
+    fn string(&mut self, start: usize, line: u32) -> Result<(), LexError> {
+        self.bump(); // opening quote
+        loop {
+            match self.peek(0) {
+                Some(b'"') => {
+                    self.bump();
+                    return Ok(());
+                }
+                Some(b'\\') => {
+                    self.bump();
+                    if self.peek(0).is_some() {
+                        self.bump();
+                    }
+                }
+                Some(_) => self.bump(),
+                None => {
+                    return Err(LexError {
+                        offset: start,
+                        line,
+                        what: "string literal",
+                    })
+                }
+            }
+        }
+    }
+
+    /// A raw string whose `fence` many `#`s and opening quote are at
+    /// `self.pos`; consumes through the matching `"###…` close.
+    fn raw_string(&mut self, fence: usize, start: usize, line: u32) -> Result<(), LexError> {
+        for _ in 0..=fence {
+            self.bump(); // the `#`s and the opening quote
+        }
+        loop {
+            match self.peek(0) {
+                Some(b'"') => {
+                    let mut matched = 0usize;
+                    while matched < fence && self.peek(1 + matched) == Some(b'#') {
+                        matched += 1;
+                    }
+                    if matched == fence {
+                        for _ in 0..=fence {
+                            self.bump();
+                        }
+                        return Ok(());
+                    }
+                    self.bump();
+                }
+                Some(_) => self.bump(),
+                None => {
+                    return Err(LexError {
+                        offset: start,
+                        line,
+                        what: "raw string literal",
+                    })
+                }
+            }
+        }
+    }
+
+    /// Distinguishes `'a'` / `'\n'` (char literals) from `'a` /
+    /// `'static` (lifetimes); the opening quote is at `self.pos`.
+    fn char_or_lifetime(&mut self, start: usize, line: u32) -> Result<(), LexError> {
+        match (self.peek(1), self.peek(2)) {
+            // `'x'` — a one-byte char literal.
+            (Some(c), Some(b'\'')) if c != b'\\' && c != b'\'' => {
+                self.bump();
+                self.bump();
+                self.bump();
+                self.push(Kind::Char, start, line);
+                Ok(())
+            }
+            // `'\…` — an escaped char literal.
+            (Some(b'\\'), _) => {
+                self.char_literal(start, line)?;
+                self.push(Kind::Char, start, line);
+                Ok(())
+            }
+            // `'ident` — a lifetime.
+            (Some(c), _) if is_ident_start(c) => {
+                self.bump();
+                while self.peek(0).is_some_and(is_ident_continue) {
+                    self.bump();
+                }
+                self.push(Kind::Lifetime, start, line);
+                Ok(())
+            }
+            // Multi-byte char like `'é'` or anything else quote-led:
+            // scan for a close quote on this line; treat as char.
+            _ => {
+                self.char_literal(start, line)?;
+                self.push(Kind::Char, start, line);
+                Ok(())
+            }
+        }
+    }
+
+    /// Consumes a (possibly escaped, possibly multi-byte) char literal
+    /// whose opening quote is at `self.pos`.
+    fn char_literal(&mut self, start: usize, line: u32) -> Result<(), LexError> {
+        self.bump(); // opening quote
+        loop {
+            match self.peek(0) {
+                Some(b'\'') => {
+                    self.bump();
+                    return Ok(());
+                }
+                Some(b'\\') => {
+                    self.bump();
+                    if self.peek(0).is_some() {
+                        self.bump();
+                    }
+                }
+                Some(b'\n') | None => {
+                    return Err(LexError {
+                        offset: start,
+                        line,
+                        what: "character literal",
+                    })
+                }
+                Some(_) => self.bump(),
+            }
+        }
+    }
+
+    /// One punctuation token, merging the two-byte operators the rules
+    /// must see as units.
+    fn punct(&mut self) {
+        let two = (self.peek(0), self.peek(1));
+        let merged = matches!(
+            two,
+            (Some(b'='), Some(b'=' | b'>'))
+                | (Some(b'!'), Some(b'='))
+                | (Some(b'<'), Some(b'='))
+                | (Some(b'>'), Some(b'='))
+                | (Some(b':'), Some(b':'))
+                | (Some(b'-'), Some(b'>'))
+                | (Some(b'&'), Some(b'&'))
+                | (Some(b'|'), Some(b'|'))
+        );
+        self.bump();
+        if merged {
+            self.bump();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(Kind, String)> {
+        lex(src.as_bytes())
+            .expect("lexes")
+            .into_iter()
+            .map(|t| {
+                (
+                    t.kind,
+                    String::from_utf8_lossy(t.text(src.as_bytes())).into_owned(),
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn idents_numbers_puncts() {
+        let toks = kinds("let x = a.unwrap() + 0x1f;");
+        assert!(toks.contains(&(Kind::Ident, "unwrap".into())));
+        assert!(toks.contains(&(Kind::Number, "0x1f".into())));
+        assert!(toks.contains(&(Kind::Punct, ";".into())));
+    }
+
+    #[test]
+    fn merged_operators() {
+        let toks = kinds("a == b != c => d :: e -> f");
+        let puncts: Vec<_> = toks
+            .iter()
+            .filter(|(k, _)| *k == Kind::Punct)
+            .map(|(_, s)| s.clone())
+            .collect();
+        assert_eq!(puncts, ["==", "!=", "=>", "::", "->"]);
+    }
+
+    #[test]
+    fn strings_hide_tokens() {
+        let toks = kinds(r#"let s = "unsafe unwrap()";"#);
+        assert!(!toks.contains(&(Kind::Ident, "unsafe".into())));
+        assert_eq!(
+            toks.iter().filter(|(k, _)| *k == Kind::Str).count(),
+            1,
+            "{toks:?}"
+        );
+    }
+
+    #[test]
+    fn raw_and_byte_strings() {
+        let toks = kinds(r##"let a = r#"has "quotes" and unsafe"#; let b = b"NYM1";"##);
+        assert!(!toks.contains(&(Kind::Ident, "unsafe".into())));
+        assert_eq!(toks.iter().filter(|(k, _)| *k == Kind::Str).count(), 2);
+    }
+
+    #[test]
+    fn raw_identifier_is_ident() {
+        let toks = kinds("let r#match = 1;");
+        assert!(
+            toks.contains(&(Kind::Ident, "r".into())) || {
+                // `r#match`: the `r` lexes as ident, `#` as punct, `match`
+                // as ident — all fine for the rules.
+                toks.contains(&(Kind::Ident, "match".into()))
+            }
+        );
+    }
+
+    #[test]
+    fn chars_vs_lifetimes() {
+        let toks = kinds(r"fn f<'a>(x: &'a u8) { let c = 'x'; let nl = '\n'; let b = b'q'; }");
+        assert_eq!(toks.iter().filter(|(k, _)| *k == Kind::Lifetime).count(), 2);
+        assert_eq!(toks.iter().filter(|(k, _)| *k == Kind::Char).count(), 3);
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let toks = kinds("a /* outer /* inner */ still comment */ b");
+        assert_eq!(toks.iter().filter(|(k, _)| *k == Kind::Comment).count(), 1);
+        assert!(toks.contains(&(Kind::Ident, "b".into())));
+    }
+
+    #[test]
+    fn line_numbers() {
+        let toks = lex(b"a\nb\n\nc").expect("lexes");
+        let lines: Vec<u32> = toks.iter().map(|t| t.line).collect();
+        assert_eq!(lines, [1, 2, 4]);
+    }
+
+    #[test]
+    fn unterminated_constructs_error() {
+        assert!(lex(b"\"open").is_err());
+        assert!(lex(b"/* open").is_err());
+        assert!(lex(br##"r#"open"##).is_err());
+        assert!(lex(b"'\\").is_err());
+    }
+
+    #[test]
+    fn arbitrary_bytes_lex_or_error() {
+        // Hostile: control bytes, invalid UTF-8, lone quotes at EOF.
+        for src in [
+            &[0u8, 1, 2, 0xff, 0xfe][..],
+            b"\x80\x80\x80",
+            b"'",
+            b"b",
+            b"r",
+            b"br#",
+            b"0..=5",
+            b"x.0.1",
+        ] {
+            let _ = lex(src);
+        }
+    }
+}

@@ -1,0 +1,30 @@
+//! nymix-lint: workspace-wide static analysis for the Nymix trust
+//! boundaries.
+//!
+//! The suite's security argument (paper §3) leans on a handful of
+//! mechanically checkable invariants: wire-format parsers fail closed
+//! on hostile bytes, key material is unprintable and zeroized, no
+//! crate admits `unsafe`, error taxonomies are matched exhaustively,
+//! and AEAD call sites respect nonce/constant-time discipline. This
+//! crate enforces all of them over the raw token stream — no rustc
+//! plugin, no external dependencies, total on arbitrary bytes.
+//!
+//! Run it as `cargo run -p nymix-lint --release -- --deny-all` (the CI
+//! `static-analysis` job does). Every rule, its threat-model
+//! rationale, and the `// lint:allow(rule): reason` suppression syntax
+//! is documented in `LINTS.md` at the repository root.
+//!
+//! Pipeline: [`lexer`] turns bytes into tokens (or a [`lexer::LexError`],
+//! never a panic), [`classify`] marks `#[cfg(test)]` regions and
+//! collects suppressions, [`registry`] holds the trust-boundary map,
+//! [`rules`] walks the classified stream, and [`engine`] drives the
+//! workspace scan and suppression accounting.
+
+#![forbid(unsafe_code)]
+
+pub mod classify;
+pub mod diag;
+pub mod engine;
+pub mod lexer;
+pub mod registry;
+pub mod rules;

@@ -1,0 +1,87 @@
+//! CLI for nymix-lint. See `LINTS.md` for the rule catalogue.
+//!
+//! ```text
+//! nymix-lint [--root DIR] [--json] [--deny-all]   lint the workspace
+//! nymix-lint --report                             dump the trust-boundary map
+//! ```
+//!
+//! Exit status is 1 iff `--deny-all` was given and findings survived
+//! suppression filtering; otherwise 0 (so `--json` consumers can diff
+//! output without wrestling exit codes).
+
+#![forbid(unsafe_code)]
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use nymix_lint::diag;
+use nymix_lint::engine;
+use nymix_lint::registry::Registry;
+
+fn main() -> ExitCode {
+    let mut root: Option<PathBuf> = None;
+    let mut json = false;
+    let mut deny_all = false;
+    let mut report = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--root" => match args.next() {
+                Some(dir) => root = Some(PathBuf::from(dir)),
+                None => return usage("--root needs a directory"),
+            },
+            "--json" => json = true,
+            "--deny-all" => deny_all = true,
+            "--report" => report = true,
+            "--help" | "-h" => {
+                eprintln!(
+                    "nymix-lint [--root DIR] [--json] [--deny-all] [--report]\n\
+                     see LINTS.md for the rule catalogue and suppression syntax"
+                );
+                return ExitCode::SUCCESS;
+            }
+            other => return usage(&format!("unknown flag `{other}`")),
+        }
+    }
+
+    let reg = Registry::nymix();
+    if report {
+        println!("{}", engine::report(&reg));
+        return ExitCode::SUCCESS;
+    }
+
+    let root = match root {
+        Some(r) => r,
+        None => {
+            let cwd = std::env::current_dir().unwrap_or_else(|_| PathBuf::from("."));
+            match engine::find_workspace_root(&cwd) {
+                Some(r) => r,
+                None => return usage("no workspace root found; pass --root"),
+            }
+        }
+    };
+
+    let findings = engine::run_workspace(&root, &reg);
+    if json {
+        println!("{}", diag::to_json(&findings));
+    } else {
+        for f in &findings {
+            println!("{}", f.render());
+        }
+        eprintln!(
+            "nymix-lint: {} finding{} across the workspace",
+            findings.len(),
+            if findings.len() == 1 { "" } else { "s" }
+        );
+    }
+    if deny_all && !findings.is_empty() {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
+fn usage(msg: &str) -> ExitCode {
+    eprintln!("nymix-lint: {msg} (try --help)");
+    ExitCode::FAILURE
+}

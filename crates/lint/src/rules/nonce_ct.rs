@@ -1,0 +1,310 @@
+//! Crypto-discipline rules.
+//!
+//! * `nonce-literal` — an AEAD seal call (`seal_in_place_detached` and
+//!   friends from the registry) must not receive a literal array nonce
+//!   (`[0u8; 12]`, `&[1, 2, …]`). ChaCha20-Poly1305 is catastrophically
+//!   malleable under nonce reuse: two messages under one (key, nonce)
+//!   leak the XOR of plaintexts and allow tag forgery. A literal nonce
+//!   at the call site is the canonical way that happens.
+//! * `ct-compare` — MAC/tag bytes compared with `==`/`!=` outside the
+//!   `crypto::ct` module. A short-circuiting byte compare leaks the
+//!   first-mismatch index through timing, which lets an adversary forge
+//!   a tag byte-by-byte against an unsealing oracle.
+
+use super::{ids, Ctx};
+use crate::diag::Finding;
+use crate::lexer::Kind;
+
+pub fn run(ctx: &Ctx<'_>, out: &mut Vec<Finding>) {
+    nonce_literal(ctx, out);
+    ct_compare(ctx, out);
+}
+
+fn nonce_literal(ctx: &Ctx<'_>, out: &mut Vec<Finding>) {
+    if !ctx.in_src() {
+        return;
+    }
+    for i in 0..ctx.tokens.len() {
+        if ctx.test_mask[i] || ctx.tokens[i].kind != Kind::Ident {
+            continue;
+        }
+        let Ok(name) = core::str::from_utf8(ctx.text(i)) else {
+            continue;
+        };
+        if !ctx.reg.seal_fns.iter().any(|f| f == name) {
+            continue;
+        }
+        let Some(open) = ctx.next_sig(i) else {
+            continue;
+        };
+        if !ctx.is(open, "(") {
+            continue;
+        }
+        let Some(close) = ctx.matching(open) else {
+            continue;
+        };
+        for (a_start, a_end) in split_args(ctx, open, close) {
+            if let Some(lit_at) = literal_array_arg(ctx, a_start, a_end) {
+                ctx.finding(
+                    out,
+                    lit_at,
+                    ids::NONCE_LITERAL,
+                    format!(
+                        "literal array nonce passed to `{name}`: nonce reuse under one key \
+                         breaks ChaCha20-Poly1305 — derive nonces from a counter or RNG"
+                    ),
+                );
+            }
+        }
+    }
+}
+
+/// Depth-1 argument ranges `(start, end_excl)` of a call's parens.
+fn split_args(ctx: &Ctx<'_>, open: usize, close: usize) -> Vec<(usize, usize)> {
+    let mut args = Vec::new();
+    let mut start = open + 1;
+    let mut depth = 0i64;
+    for i in open + 1..close {
+        let t = &ctx.tokens[i];
+        if t.kind == Kind::Punct {
+            match t.text(ctx.src) {
+                b"(" | b"[" | b"{" => depth += 1,
+                b")" | b"]" | b"}" => depth -= 1,
+                b"," if depth == 0 => {
+                    if start < i {
+                        args.push((start, i));
+                    }
+                    start = i + 1;
+                }
+                _ => {}
+            }
+        }
+    }
+    if start < close {
+        args.push((start, close));
+    }
+    args
+}
+
+/// Is this argument a literal array expression — `[0u8; 12]`,
+/// `&[1, 2, 3]`, `&mut [0; NONCE_LEN]`? Returns the `[` index.
+fn literal_array_arg(ctx: &Ctx<'_>, start: usize, end: usize) -> Option<usize> {
+    let mut i = start;
+    while i < end && (ctx.is(i, "&") || ctx.is(i, "mut") || ctx.tokens[i].kind == Kind::Comment) {
+        i += 1;
+    }
+    if i >= end || !ctx.is(i, "[") {
+        return None;
+    }
+    let close = ctx.matching(i)?;
+    if close + 1 != end {
+        return None; // `[..]` followed by more tokens: indexing, not a literal.
+    }
+    // Every element token must be literal-ish: numbers, commas, `;`,
+    // and idents (consts like NONCE_LEN are fine — the *values* are
+    // what must be literal). Require at least one Number so `[b]`
+    // (a variable) doesn't flag.
+    let body = &ctx.tokens[i + 1..close];
+    let has_number = body.iter().any(|t| t.kind == Kind::Number);
+    let all_literalish = body.iter().all(|t| {
+        matches!(t.kind, Kind::Number | Kind::Comment)
+            || (t.kind == Kind::Punct && matches!(t.text(ctx.src), b"," | b";"))
+            || t.kind == Kind::Ident
+    });
+    (has_number && all_literalish).then_some(i)
+}
+
+fn ct_compare(ctx: &Ctx<'_>, out: &mut Vec<Finding>) {
+    if !ctx.in_src() || ctx.rel.ends_with(&ctx.reg.ct_module) {
+        return;
+    }
+    for i in 0..ctx.tokens.len() {
+        if ctx.test_mask[i] || ctx.tokens[i].kind != Kind::Punct {
+            continue;
+        }
+        let op = ctx.text(i);
+        if op != b"==" && op != b"!=" {
+            continue;
+        }
+        let Some((left_idents, left_lit)) = operand_idents(ctx, i, false) else {
+            continue;
+        };
+        let Some((right_idents, right_lit)) = operand_idents(ctx, i, true) else {
+            continue;
+        };
+        // Comparisons against literals (`tag == 0`, `kind != b"NYMS"`)
+        // are discriminant checks, not MAC verification.
+        if left_lit || right_lit {
+            continue;
+        }
+        let mut idents = left_idents;
+        idents.extend(right_idents);
+        // Length checks (`tag.len() != TAG_LEN`) are public data.
+        if idents.iter().any(|w| w.contains("len")) {
+            continue;
+        }
+        if idents.iter().any(|w| is_tag_word(w)) {
+            ctx.finding(
+                out,
+                i,
+                ids::CT_COMPARE,
+                "MAC/tag bytes compared with a short-circuiting operator: use \
+                 `crypto::ct::eq` so verification time is independent of the \
+                 first differing byte"
+                    .to_string(),
+            );
+        }
+    }
+}
+
+/// Words that signal authenticator material.
+fn is_tag_word(w: &str) -> bool {
+    matches!(w, "tag" | "mac" | "hmac" | "digest" | "auth")
+}
+
+/// Collects the ident *words* of the operand on one side of a
+/// comparison (split on `_` and case boundaries so `stored_mac`
+/// matches but `machine` does not), walking at most a few tokens and
+/// honouring brackets. Also reports whether the operand is a bare
+/// literal.
+fn operand_idents(ctx: &Ctx<'_>, op: usize, rightward: bool) -> Option<(Vec<String>, bool)> {
+    let mut idents = Vec::new();
+    let mut first_sig: Option<Kind> = None;
+    let mut budget = 12usize;
+    let mut i = op;
+    loop {
+        let j = if rightward {
+            ctx.next_sig(i)?
+        } else {
+            ctx.prev_sig(i)?
+        };
+        let t = &ctx.tokens[j];
+        if budget == 0 {
+            break;
+        }
+        budget -= 1;
+        match t.kind {
+            Kind::Ident => {
+                let w = core::str::from_utf8(t.text(ctx.src)).ok()?;
+                // Operand boundary keywords.
+                if matches!(
+                    w,
+                    "if" | "while" | "return" | "let" | "else" | "match" | "assert"
+                ) {
+                    break;
+                }
+                if first_sig.is_none() {
+                    first_sig = Some(Kind::Ident);
+                }
+                for word in split_words(w) {
+                    idents.push(word);
+                }
+                i = j;
+            }
+            Kind::Number | Kind::Str | Kind::Char => {
+                if first_sig.is_none() {
+                    first_sig = Some(t.kind);
+                }
+                i = j;
+            }
+            Kind::Punct => {
+                let p = t.text(ctx.src);
+                let cont = if rightward {
+                    // After the operand starts, `(`/`[` open sub-exprs
+                    // we skip over; `.`/`::` continue a path.
+                    match p {
+                        b"." | b"::" | b"&" | b"*" => true,
+                        b"(" | b"[" => {
+                            i = ctx.matching(j)?;
+                            first_sig.get_or_insert(Kind::Punct);
+                            continue;
+                        }
+                        _ => false,
+                    }
+                } else {
+                    match p {
+                        b"." | b"::" => true,
+                        b")" | b"]" => {
+                            i = matching_open(ctx, j)?;
+                            first_sig.get_or_insert(Kind::Punct);
+                            continue;
+                        }
+                        _ => false,
+                    }
+                };
+                if !cont {
+                    break;
+                }
+                i = j;
+            }
+            Kind::Comment | Kind::Lifetime => {
+                i = j;
+            }
+        }
+    }
+    let is_literal =
+        idents.is_empty() && matches!(first_sig, Some(Kind::Number | Kind::Str | Kind::Char));
+    Some((idents, is_literal))
+}
+
+/// The open bracket matching a close bracket at `close`.
+fn matching_open(ctx: &Ctx<'_>, close: usize) -> Option<usize> {
+    let want_open: &[u8] = match ctx.text(close) {
+        b")" => b"(",
+        b"]" => b"[",
+        b"}" => b"{",
+        _ => return None,
+    };
+    let want_close = ctx.text(close);
+    let mut depth = 0i64;
+    for j in (0..close).rev() {
+        let t = &ctx.tokens[j];
+        if t.kind != Kind::Punct {
+            continue;
+        }
+        let p = t.text(ctx.src);
+        if p == want_close {
+            depth += 1;
+        } else if p == want_open {
+            if depth == 0 {
+                return Some(j);
+            }
+            depth -= 1;
+        }
+    }
+    None
+}
+
+/// Splits an ident into lowercase words on `_` and case boundaries:
+/// `storedMacTag` → `stored`, `mac`, `tag`; `machine` → `machine`.
+fn split_words(ident: &str) -> Vec<String> {
+    let mut words = Vec::new();
+    for chunk in ident.split('_') {
+        let mut cur = String::new();
+        let mut prev_lower = false;
+        for c in chunk.chars() {
+            if c.is_uppercase() && prev_lower && !cur.is_empty() {
+                words.push(core::mem::take(&mut cur));
+            }
+            prev_lower = c.is_lowercase() || c.is_ascii_digit();
+            cur.extend(c.to_lowercase());
+        }
+        if !cur.is_empty() {
+            words.push(cur);
+        }
+    }
+    words
+}
+
+#[cfg(test)]
+mod tests {
+    use super::split_words;
+
+    #[test]
+    fn word_splitting() {
+        assert_eq!(split_words("stored_mac"), vec!["stored", "mac"]);
+        assert_eq!(split_words("HmacTag"), vec!["hmac", "tag"]);
+        assert_eq!(split_words("machine"), vec!["machine"]);
+        assert_eq!(split_words("macro_rules"), vec!["macro", "rules"]);
+    }
+}

@@ -1,0 +1,97 @@
+//! `panic-free-parser`: registered trust-boundary modules must not
+//! panic or silently truncate in production code.
+//!
+//! Hostile bytes enter these parsers directly (provider-served blobs,
+//! crash-torn disk images, documents inside SaniVM). A reachable panic
+//! is a remote denial-of-service; a truncating `as` cast is worse — it
+//! *mis-parses* instead of failing, which is how length-prefix
+//! confusion bugs are born (the PR 3 `pos + n` wrap was exactly this
+//! class). Production code in a registered module may not use:
+//!
+//! * `unwrap()` / `expect(…)` method calls,
+//! * `panic!` / `unreachable!` / `todo!` / `unimplemented!`,
+//! * `assert!` / `assert_eq!` / `assert_ne!` (serializer-side contract
+//!   asserts carry an explicit `lint:allow` with the reason),
+//! * narrowing `as` casts (`as u8/u16/u32/i8/i16/i32`) — use
+//!   `try_from` and fail closed.
+
+use super::{ids, Ctx};
+use crate::diag::Finding;
+use crate::lexer::Kind;
+
+const PANIC_MACROS: &[&str] = &[
+    "panic",
+    "unreachable",
+    "todo",
+    "unimplemented",
+    "assert",
+    "assert_eq",
+    "assert_ne",
+];
+
+const PANIC_METHODS: &[&str] = &["unwrap", "expect"];
+
+/// Integer targets an `as` cast can truncate into. `usize`/`u64` are
+/// excluded: every workspace target is 64-bit and the wire formats cap
+/// lengths at u32, so those casts only widen.
+const NARROW_INTS: &[&str] = &["u8", "u16", "u32", "i8", "i16", "i32"];
+
+pub fn run(ctx: &Ctx<'_>, out: &mut Vec<Finding>) {
+    if !ctx.reg.is_trust_module(ctx.rel) {
+        return;
+    }
+    for i in 0..ctx.tokens.len() {
+        if ctx.test_mask[i] || ctx.tokens[i].kind == Kind::Comment {
+            continue;
+        }
+        let tok = &ctx.tokens[i];
+        let text = tok.text(ctx.src);
+
+        if tok.kind == Kind::Ident {
+            if let Ok(name) = core::str::from_utf8(text) {
+                if PANIC_MACROS.contains(&name) && ctx.next_sig(i).is_some_and(|j| ctx.is(j, "!")) {
+                    ctx.finding(
+                        out,
+                        i,
+                        ids::PANIC_FREE,
+                        format!("`{name}!` in a trust-boundary module: hostile input must fail closed, not panic"),
+                    );
+                } else if name == "as" {
+                    if let Some(j) = ctx.next_sig(i) {
+                        if let Ok(target) = core::str::from_utf8(ctx.text(j)) {
+                            if NARROW_INTS.contains(&target) {
+                                ctx.finding(
+                                    out,
+                                    i,
+                                    ids::PANIC_FREE,
+                                    format!(
+                                        "narrowing `as {target}` cast in a trust-boundary module: \
+                                         use a checked conversion (truncation mis-parses instead of failing)"
+                                    ),
+                                );
+                            }
+                        }
+                    }
+                }
+            }
+        }
+
+        // `.unwrap()` / `.expect(` method calls.
+        if tok.kind == Kind::Punct && text == b"." {
+            if let Some(j) = ctx.next_sig(i) {
+                if let Ok(name) = core::str::from_utf8(ctx.text(j)) {
+                    if PANIC_METHODS.contains(&name)
+                        && ctx.next_sig(j).is_some_and(|k| ctx.is(k, "("))
+                    {
+                        ctx.finding(
+                            out,
+                            j,
+                            ids::PANIC_FREE,
+                            format!("`.{name}()` in a trust-boundary module: map the error and fail closed"),
+                        );
+                    }
+                }
+            }
+        }
+    }
+}

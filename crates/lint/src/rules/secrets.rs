@@ -1,0 +1,263 @@
+//! Secret-hygiene rules over registered key-material types.
+//!
+//! * `secret-debug` — a registered secret type must not derive `Debug`
+//!   (one `{:?}` away from key bytes in a log) or `Clone` (implicit
+//!   copies of key material the drop-zeroization can't reach).
+//! * `secret-format` — a secret type must not appear inside a
+//!   `format!`-family macro invocation anywhere in production code.
+//! * `secret-zeroize` — the defining file must give the type a `Drop`
+//!   impl that wipes (`wipe*`/`zeroize*`/`fill(0)`) its material, so
+//!   freed nym keys don't linger in the host's reusable buffers.
+//! * `unregistered-secret` — a `*Key`/`*Secret`-named type that is not
+//!   registered (or exempted) in the trust-boundary map is flagged:
+//!   future key types must opt into the hygiene rules, not drift past
+//!   them.
+
+use super::{ids, Ctx};
+use crate::diag::Finding;
+use crate::lexer::Kind;
+
+const FORMAT_MACROS: &[&str] = &[
+    "format",
+    "print",
+    "println",
+    "eprint",
+    "eprintln",
+    "write",
+    "writeln",
+    "panic",
+    "todo",
+    "unimplemented",
+    "assert",
+    "assert_eq",
+    "assert_ne",
+    "debug_assert",
+    "debug_assert_eq",
+    "debug_assert_ne",
+    "trace",
+    "debug",
+    "info",
+    "warn",
+    "error",
+];
+
+pub fn run(ctx: &Ctx<'_>, out: &mut Vec<Finding>) {
+    derives_and_definitions(ctx, out);
+    format_macros(ctx, out);
+}
+
+/// Scans `#[derive(...)]` attributes and `struct`/`enum` definitions:
+/// forbidden derives on secrets, missing `Drop` zeroization, and
+/// unregistered secret-named types.
+fn derives_and_definitions(ctx: &Ctx<'_>, out: &mut Vec<Finding>) {
+    let mut i = 0usize;
+    while i < ctx.tokens.len() {
+        if ctx.tokens[i].kind == Kind::Comment || ctx.test_mask[i] {
+            i += 1;
+            continue;
+        }
+        // `#[derive(A, B)] … struct Name` — find the derive list and
+        // the item it decorates.
+        if ctx.is(i, "#") && ctx.next_sig(i).is_some_and(|j| ctx.is(j, "[")) {
+            let open = ctx.next_sig(i).unwrap_or(i);
+            let Some(close) = ctx.matching(open) else {
+                i += 1;
+                continue;
+            };
+            let is_derive = ctx
+                .next_sig(open)
+                .is_some_and(|j| j < close && ctx.is(j, "derive"));
+            if is_derive {
+                let mut derives = Vec::new();
+                for j in open + 1..close {
+                    if ctx.tokens[j].kind == Kind::Ident && !ctx.is(j, "derive") {
+                        if let Ok(d) = core::str::from_utf8(ctx.text(j)) {
+                            derives.push((j, d.to_string()));
+                        }
+                    }
+                }
+                if let Some(name) = item_name_after(ctx, close) {
+                    if ctx.reg.secret_named(&name).is_some() {
+                        for (j, d) in &derives {
+                            if d == "Debug" || d == "Clone" {
+                                ctx.finding(
+                                    out,
+                                    *j,
+                                    ids::SECRET_DEBUG,
+                                    format!(
+                                        "secret type `{name}` derives `{d}`: key material must \
+                                         not be printable or implicitly copyable"
+                                    ),
+                                );
+                            }
+                        }
+                    }
+                }
+            }
+            i = close + 1;
+            continue;
+        }
+        // `struct Name` / `enum Name`: zeroize + registration checks.
+        if (ctx.is(i, "struct") || ctx.is(i, "enum"))
+            && ctx.prev_sig(i).is_none_or(|p| !ctx.is(p, "::"))
+        {
+            if let Some(j) = ctx.next_sig(i) {
+                if ctx.tokens[j].kind == Kind::Ident {
+                    if let Ok(name) = core::str::from_utf8(ctx.text(j)) {
+                        check_definition(ctx, out, j, name);
+                    }
+                }
+            }
+        }
+        i += 1;
+    }
+}
+
+fn check_definition(ctx: &Ctx<'_>, out: &mut Vec<Finding>, name_idx: usize, name: &str) {
+    if ctx.reg.secret_named(name).is_some() {
+        // Only the registered defining file owes the Drop impl (other
+        // files may merely mention the name).
+        let defined_here = ctx
+            .reg
+            .secret_named(name)
+            .is_some_and(|s| ctx.rel.ends_with(&s.defined_in));
+        if defined_here && !has_wiping_drop(ctx, name) {
+            ctx.finding(
+                out,
+                name_idx,
+                ids::SECRET_ZEROIZE,
+                format!(
+                    "secret type `{name}` has no `impl Drop` that wipes its key material \
+                     (expected a drop body calling a `wipe*`/`zeroize*` helper)"
+                ),
+            );
+        }
+    } else if ctx.in_src()
+        && looks_secret(name)
+        && !ctx.reg.secret_exempt(name)
+        && !ctx.test_mask[name_idx]
+    {
+        ctx.finding(
+            out,
+            name_idx,
+            ids::UNREGISTERED_SECRET,
+            format!(
+                "type `{name}` looks key-bearing but is not in the secret-type registry: \
+                 register it in nymix-lint (inheriting zeroize/no-Debug rules) or add an \
+                 exemption with a reason"
+            ),
+        );
+    }
+}
+
+/// `FooKey`, `FooSecret`, `FooKeys` — the naming shapes that signal
+/// key material.
+fn looks_secret(name: &str) -> bool {
+    name.ends_with("Key") || name.ends_with("Keys") || name.contains("Secret")
+}
+
+/// Does this file contain `impl Drop for <name>` whose body mentions a
+/// wiping helper?
+fn has_wiping_drop(ctx: &Ctx<'_>, name: &str) -> bool {
+    for i in 0..ctx.tokens.len() {
+        if !ctx.is(i, "impl") {
+            continue;
+        }
+        let Some(d) = ctx.next_sig(i) else { continue };
+        let Some(f) = ctx.next_sig(d) else { continue };
+        let Some(n) = ctx.next_sig(f) else { continue };
+        if !(ctx.is(d, "Drop") && ctx.is(f, "for") && ctx.is(n, name)) {
+            continue;
+        }
+        // Find the impl body and look for a wiping call.
+        let Some(open) = (n..ctx.tokens.len()).find(|&j| ctx.is(j, "{")) else {
+            continue;
+        };
+        let Some(close) = ctx.matching(open) else {
+            continue;
+        };
+        for j in open..close {
+            if ctx.tokens[j].kind == Kind::Ident {
+                if let Ok(t) = core::str::from_utf8(ctx.text(j)) {
+                    let t = t.to_ascii_lowercase();
+                    if t.starts_with("wipe") || t.starts_with("zeroize") || t == "fill" {
+                        return true;
+                    }
+                }
+            }
+        }
+    }
+    false
+}
+
+/// The `struct`/`enum` name following an attribute at `close`,
+/// skipping stacked attributes, visibility and doc comments.
+fn item_name_after(ctx: &Ctx<'_>, close: usize) -> Option<String> {
+    let mut i = ctx.next_sig(close)?;
+    loop {
+        if ctx.is(i, "#") {
+            let open = ctx.next_sig(i)?;
+            i = ctx.next_sig(ctx.matching(open)?)?;
+            continue;
+        }
+        if ctx.is(i, "pub") {
+            let j = ctx.next_sig(i)?;
+            i = if ctx.is(j, "(") {
+                ctx.next_sig(ctx.matching(j)?)?
+            } else {
+                j
+            };
+            continue;
+        }
+        if ctx.is(i, "struct") || ctx.is(i, "enum") || ctx.is(i, "union") {
+            let j = ctx.next_sig(i)?;
+            return core::str::from_utf8(ctx.text(j)).ok().map(str::to_string);
+        }
+        return None;
+    }
+}
+
+/// Secret type names appearing inside `format!`-family macro calls.
+fn format_macros(ctx: &Ctx<'_>, out: &mut Vec<Finding>) {
+    for i in 0..ctx.tokens.len() {
+        if ctx.test_mask[i] || ctx.tokens[i].kind != Kind::Ident {
+            continue;
+        }
+        let Ok(name) = core::str::from_utf8(ctx.text(i)) else {
+            continue;
+        };
+        if !FORMAT_MACROS.contains(&name) {
+            continue;
+        }
+        let Some(bang) = ctx.next_sig(i) else {
+            continue;
+        };
+        if !ctx.is(bang, "!") {
+            continue;
+        }
+        let Some(open) = ctx.next_sig(bang) else {
+            continue;
+        };
+        if !(ctx.is(open, "(") || ctx.is(open, "[") || ctx.is(open, "{")) {
+            continue;
+        }
+        let Some(close) = ctx.matching(open) else {
+            continue;
+        };
+        for j in open + 1..close {
+            if ctx.tokens[j].kind != Kind::Ident {
+                continue;
+            }
+            if let Ok(t) = core::str::from_utf8(ctx.text(j)) {
+                if ctx.reg.secret_named(t).is_some() {
+                    ctx.finding(
+                        out,
+                        j,
+                        ids::SECRET_FORMAT,
+                        format!("secret type `{t}` inside `{name}!`: key material must never reach a formatter"),
+                    );
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,211 @@
+//! `error-taxonomy`: matches over a registered error taxonomy must be
+//! exhaustive — no `_ =>` or bare-binding catch-all arms.
+//!
+//! The manager's availability semantics (PR 6/7) hinge on classifying
+//! every `BackendError` variant: `Unavailable` means "state presumed
+//! intact, retry later", `Denied`/`Other` mean fail closed. A wildcard
+//! arm compiles silently when a new variant lands and lumps it into
+//! whatever the old catch-all did — the exact rot the configuration-
+//! dependency study documents. Enumerate, or bind with an explicit
+//! `e @ (A | B)` pattern that names every variant.
+//!
+//! `unregistered-parser` also lives here: a production file that looks
+//! like a wire-format parser (a 4-byte magic literal plus a
+//! `from_bytes`/`parse`/`decode`-shaped function) but is not in the
+//! trust-boundary registry is flagged until it registers or documents
+//! an exemption.
+
+use super::{ids, Ctx};
+use crate::diag::Finding;
+use crate::lexer::Kind;
+
+pub fn run(ctx: &Ctx<'_>, out: &mut Vec<Finding>) {
+    wildcard_arms(ctx, out);
+    unregistered_parser(ctx, out);
+}
+
+fn wildcard_arms(ctx: &Ctx<'_>, out: &mut Vec<Finding>) {
+    let enums: Vec<&str> = ctx
+        .reg
+        .taxonomies_for(ctx.rel)
+        .map(|t| t.enum_name.as_str())
+        .collect();
+    if enums.is_empty() {
+        return;
+    }
+    for i in 0..ctx.tokens.len() {
+        if ctx.test_mask[i] || !ctx.is(i, "match") {
+            continue;
+        }
+        // Scrutinee runs to the first top-level `{` (struct literals
+        // are not legal bare in a match scrutinee).
+        let Some(open) = (i + 1..ctx.tokens.len()).find(|&j| {
+            ctx.is(j, "{")
+                && ctx.tokens[i + 1..j]
+                    .iter()
+                    .filter(|t| t.kind == Kind::Punct)
+                    .fold(0i64, |d, t| match t.text(ctx.src) {
+                        b"(" | b"[" => d + 1,
+                        b")" | b"]" => d - 1,
+                        _ => d,
+                    })
+                    == 0
+        }) else {
+            continue;
+        };
+        let Some(close) = ctx.matching(open) else {
+            continue;
+        };
+        let arms = split_arms(ctx, open, close);
+        let about_taxonomy = arms.iter().any(|(pat_start, pat_end, _)| {
+            (*pat_start..*pat_end).any(|j| {
+                ctx.tokens[j].kind == Kind::Ident
+                    && core::str::from_utf8(ctx.text(j)).is_ok_and(|t| enums.contains(&t))
+            })
+        });
+        if !about_taxonomy {
+            continue;
+        }
+        for (pat_start, pat_end, arrow) in arms {
+            let pat: Vec<usize> = (pat_start..pat_end)
+                .filter(|&j| ctx.tokens[j].kind != Kind::Comment)
+                .collect();
+            let is_catch_all = match pat.as_slice() {
+                [only] => {
+                    ctx.is(*only, "_")
+                        || (ctx.tokens[*only].kind == Kind::Ident
+                            && !ctx.is(*only, "true")
+                            && !ctx.is(*only, "false"))
+                }
+                _ => false,
+            };
+            if is_catch_all {
+                ctx.finding(
+                    out,
+                    arrow,
+                    ids::ERROR_TAXONOMY,
+                    format!(
+                        "catch-all arm in a match over {}: enumerate every variant so a \
+                         new one forces a decision at this fail-closed site",
+                        enums.join("/")
+                    ),
+                );
+            }
+        }
+    }
+}
+
+/// Splits the arms of a match body: `(pattern_start, pattern_end_excl,
+/// arrow_idx)` per arm, at body depth 1 only.
+fn split_arms(ctx: &Ctx<'_>, open: usize, close: usize) -> Vec<(usize, usize, usize)> {
+    let mut arms = Vec::new();
+    let mut i = open + 1;
+    while i < close {
+        // Skip comments between arms.
+        while i < close && ctx.tokens[i].kind == Kind::Comment {
+            i += 1;
+        }
+        if i >= close {
+            break;
+        }
+        let pat_start = i;
+        // Pattern (plus optional guard) runs to `=>` at relative depth 0.
+        let mut depth = 0i64;
+        let mut arrow = None;
+        while i < close {
+            let t = &ctx.tokens[i];
+            if t.kind == Kind::Punct {
+                match t.text(ctx.src) {
+                    b"(" | b"[" | b"{" => depth += 1,
+                    b")" | b"]" | b"}" => depth -= 1,
+                    b"=>" if depth == 0 => {
+                        arrow = Some(i);
+                        break;
+                    }
+                    _ => {}
+                }
+            }
+            i += 1;
+        }
+        let Some(arrow) = arrow else { break };
+        arms.push((pat_start, arrow, arrow));
+        // Body: a block, or an expression to the next depth-0 comma.
+        i = arrow + 1;
+        while i < close && ctx.tokens[i].kind == Kind::Comment {
+            i += 1;
+        }
+        if i < close && ctx.is(i, "{") {
+            i = ctx.matching(i).map_or(close, |c| c + 1);
+        } else {
+            let mut depth = 0i64;
+            while i < close {
+                let t = &ctx.tokens[i];
+                if t.kind == Kind::Punct {
+                    match t.text(ctx.src) {
+                        b"(" | b"[" | b"{" => depth += 1,
+                        b")" | b"]" | b"}" => depth -= 1,
+                        b"," if depth == 0 => break,
+                        _ => {}
+                    }
+                }
+                i += 1;
+            }
+        }
+        // Skip the separating comma.
+        if i < close && ctx.is(i, ",") {
+            i += 1;
+        }
+    }
+    arms
+}
+
+/// Parser-shaped production files must be registered trust modules.
+fn unregistered_parser(ctx: &Ctx<'_>, out: &mut Vec<Finding>) {
+    if !ctx.in_src() || ctx.reg.is_trust_module(ctx.rel) || ctx.reg.parser_exempt(ctx.rel) {
+        return;
+    }
+    let mut magic_at = None;
+    let mut parser_fn_at = None;
+    for i in 0..ctx.tokens.len() {
+        if ctx.test_mask[i] {
+            continue;
+        }
+        let t = &ctx.tokens[i];
+        if t.kind == Kind::Str && magic_at.is_none() {
+            let text = t.text(ctx.src);
+            // b"ABCD": a four-byte all-caps/digit magic literal (7
+            // source bytes: `b`, quote, 4 payload, quote).
+            if text.len() == 7
+                && text.starts_with(b"b\"")
+                && text[2..6]
+                    .iter()
+                    .all(|b| b.is_ascii_uppercase() || b.is_ascii_digit())
+            {
+                magic_at = Some(i);
+            }
+        }
+        if t.kind == Kind::Ident && t.is(ctx.src, "fn") {
+            if let Some(j) = ctx.next_sig(i) {
+                if let Ok(name) = core::str::from_utf8(ctx.text(j)) {
+                    if ["from_bytes", "parse", "decode", "recover", "unseal"]
+                        .iter()
+                        .any(|p| name.contains(p))
+                    {
+                        parser_fn_at = Some(j);
+                    }
+                }
+            }
+        }
+    }
+    if let (Some(m), Some(_)) = (magic_at, parser_fn_at) {
+        ctx.finding(
+            out,
+            m,
+            ids::UNREGISTERED_PARSER,
+            "wire-format magic plus a parser-shaped function in an unregistered file: \
+             register it as a trust-boundary module in nymix-lint (inheriting the \
+             panic-free rules) or add an exemption with a reason"
+                .to_string(),
+        );
+    }
+}

@@ -1,0 +1,75 @@
+//! `forbid-unsafe`: defence in depth against memory-unsafety creeping
+//! into an anonymity system whose whole value is that the *provider*
+//! is untrusted, not the client binary.
+//!
+//! Two layers, both required:
+//!
+//! 1. every crate root (`src/lib.rs`, `src/main.rs`, `src/bin/*.rs`)
+//!    must carry `#![forbid(unsafe_code)]` — the compiler-enforced
+//!    gate that even `#[allow]` cannot reopen;
+//! 2. no `unsafe` token may appear anywhere in the workspace, tests
+//!    included — the forbid attribute stops unsafe *code*, but a
+//!    string-pasted `unsafe` in a macro or a future attribute edit
+//!    would not be caught until review, and this rule makes the
+//!    invariant grep-simple.
+
+use super::{ids, Ctx};
+use crate::diag::Finding;
+use crate::lexer::Kind;
+
+pub fn run(ctx: &Ctx<'_>, out: &mut Vec<Finding>) {
+    if ctx.is_crate_root && !has_forbid_unsafe(ctx) {
+        out.push(Finding::new(
+            ctx.rel,
+            1,
+            ids::FORBID_UNSAFE,
+            "crate root lacks `#![forbid(unsafe_code)]`: every crate in this workspace \
+             compiles with the gate on"
+                .to_string(),
+        ));
+    }
+    for i in 0..ctx.tokens.len() {
+        if ctx.tokens[i].kind == Kind::Ident && ctx.is(i, "unsafe") {
+            ctx.finding(
+                out,
+                i,
+                ids::FORBID_UNSAFE,
+                "`unsafe` token: this workspace is 100% safe Rust, tests included".to_string(),
+            );
+        }
+    }
+}
+
+/// Looks for the token sequence `#` `!` `[` … `forbid` `(` … `unsafe_code` …
+fn has_forbid_unsafe(ctx: &Ctx<'_>) -> bool {
+    for i in 0..ctx.tokens.len() {
+        if !ctx.is(i, "#") {
+            continue;
+        }
+        let Some(bang) = ctx.next_sig(i) else {
+            continue;
+        };
+        if !ctx.is(bang, "!") {
+            continue;
+        }
+        let Some(open) = ctx.next_sig(bang) else {
+            continue;
+        };
+        if !ctx.is(open, "[") {
+            continue;
+        }
+        let Some(close) = ctx.matching(open) else {
+            continue;
+        };
+        let mut saw_forbid = false;
+        for j in open + 1..close {
+            if ctx.is(j, "forbid") {
+                saw_forbid = true;
+            }
+            if saw_forbid && ctx.is(j, "unsafe_code") {
+                return true;
+            }
+        }
+    }
+    false
+}

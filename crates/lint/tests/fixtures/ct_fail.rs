@@ -1,0 +1,5 @@
+//! Failing ct fixture: short-circuiting equality on a MAC.
+
+pub fn verify(tag: &[u8], want_mac: &[u8]) -> bool {
+    tag == want_mac
+}

@@ -1,0 +1,5 @@
+//! Failing crate-root fixture: no forbid attribute, and an unsafe block.
+
+pub fn read(p: *const u8) -> u8 {
+    unsafe { *p }
+}

@@ -1,0 +1,5 @@
+//! Passing crate-root fixture.
+
+#![forbid(unsafe_code)]
+
+pub fn safe() {}

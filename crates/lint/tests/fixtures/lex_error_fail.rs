@@ -1,0 +1,5 @@
+//! Failing lexer fixture: unterminated string literal.
+
+pub fn broken() {
+    let _s = "never closed;
+}

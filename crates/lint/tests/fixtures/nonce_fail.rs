@@ -1,0 +1,9 @@
+//! Failing nonce fixture: literal nonce at the seal site.
+
+pub fn seal(key: &[u8; 32], data: &mut [u8]) -> [u8; 16] {
+    seal_in_place_detached(key, &[0u8; 12], b"", data)
+}
+
+fn seal_in_place_detached(_k: &[u8; 32], _n: &[u8; 12], _aad: &[u8], _d: &mut [u8]) -> [u8; 16] {
+    [0; 16]
+}

@@ -1,0 +1,15 @@
+//! Failing trust-module fixture: one of each forbidden construct.
+
+pub fn parse(bytes: &[u8]) -> u16 {
+    let first = *bytes.first().unwrap();
+    let second = *bytes.get(1).expect("second byte");
+    if first == 0 {
+        panic!("zero");
+    }
+    assert!(second != 0);
+    let n = bytes.len() as u16;
+    match first {
+        0..=9 => n,
+        _ => unreachable!(),
+    }
+}

@@ -1,0 +1,18 @@
+//! Passing trust-module fixture: every parse failure maps to an error.
+
+pub fn parse(bytes: &[u8]) -> Result<u16, ()> {
+    let pair: [u8; 2] = bytes.get(..2).ok_or(())?.try_into().map_err(|_| ())?;
+    let n = u16::from_le_bytes(pair);
+    let wide = u64::from(n);
+    let _ = wide as usize; // widening: allowed
+    Ok(n)
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn test_may_panic() {
+        super::parse(&[1, 2]).unwrap();
+        assert!(true);
+    }
+}

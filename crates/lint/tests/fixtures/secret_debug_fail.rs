@@ -1,0 +1,6 @@
+//! Failing secret fixture: printable, clonable key type.
+
+#[derive(Debug, Clone)]
+pub struct FixtureKey {
+    key: [u8; 32],
+}

@@ -1,0 +1,5 @@
+//! Failing secret fixture: key type inside a format macro.
+
+pub fn log_key() {
+    println!("{:?}", FixtureKey::load());
+}

@@ -1,0 +1,5 @@
+//! Passing secret fixture: formatting that never touches a secret type.
+
+pub fn log_key(label: &str) {
+    println!("loaded key for {label}");
+}

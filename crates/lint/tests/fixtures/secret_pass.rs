@@ -1,0 +1,17 @@
+//! Passing secret fixture: unprintable key type with a wiping Drop.
+
+pub struct FixtureKey {
+    key: [u8; 32],
+}
+
+impl Drop for FixtureKey {
+    fn drop(&mut self) {
+        wipe_bytes(&mut self.key);
+    }
+}
+
+fn wipe_bytes(buf: &mut [u8]) {
+    for b in buf.iter_mut() {
+        *b = 0;
+    }
+}

@@ -1,0 +1,11 @@
+//! Failing secret fixture: registered type with no wiping Drop.
+
+pub struct FixtureKey {
+    key: [u8; 32],
+}
+
+impl FixtureKey {
+    pub fn bytes(&self) -> &[u8] {
+        &self.key
+    }
+}

@@ -1,0 +1,6 @@
+//! Passing suppression fixture: a reasoned allow that silences a finding.
+
+pub fn parse(bytes: &[u8]) -> u16 {
+    // lint:allow(panic-free-parser): fixture demonstrating a used, reasoned suppression
+    bytes.len() as u16
+}

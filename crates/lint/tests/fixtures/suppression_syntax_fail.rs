@@ -1,0 +1,8 @@
+//! Failing suppression fixture: no reason, and an unknown rule id.
+
+pub fn parse(bytes: &[u8]) -> u16 {
+    // lint:allow(panic-free-parser)
+    let n = bytes.len() as u16;
+    // lint:allow(no-such-rule): misspelled rule id
+    n
+}

@@ -1,0 +1,6 @@
+//! Failing suppression fixture: the allow silences nothing.
+
+pub fn parse(bytes: &[u8]) -> usize {
+    // lint:allow(panic-free-parser): nothing on the next line violates anything
+    bytes.len()
+}

@@ -1,0 +1,24 @@
+//! Failing taxonomy fixture: wildcard and bare-binding catch-alls.
+
+pub enum FixtureError {
+    Denied,
+    Transient(String),
+    Other(String),
+}
+
+pub fn classify(e: FixtureError) -> &'static str {
+    match e {
+        FixtureError::Denied => "denied",
+        _ => "something else",
+    }
+}
+
+pub fn classify2(e: FixtureError) -> &'static str {
+    match e {
+        FixtureError::Denied => "denied",
+        other => {
+            let _ = other;
+            "other"
+        }
+    }
+}

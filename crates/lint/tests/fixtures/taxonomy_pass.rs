@@ -1,0 +1,18 @@
+//! Passing taxonomy fixture: every variant named, no catch-all.
+
+pub enum FixtureError {
+    Denied,
+    Transient(String),
+    Other(String),
+}
+
+pub fn classify(e: FixtureError) -> &'static str {
+    match e {
+        FixtureError::Denied => "denied",
+        FixtureError::Transient(_) => "transient",
+        e @ FixtureError::Other(_) => {
+            let _ = e;
+            "other"
+        }
+    }
+}

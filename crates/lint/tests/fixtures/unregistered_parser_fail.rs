@@ -1,0 +1,10 @@
+//! Failing registration fixture: wire magic plus a parser, unregistered.
+
+const MAGIC: &[u8; 4] = b"FIXT";
+
+pub fn from_bytes(bytes: &[u8]) -> Result<(), ()> {
+    if bytes.get(..4) != Some(MAGIC.as_slice()) {
+        return Err(());
+    }
+    Ok(())
+}

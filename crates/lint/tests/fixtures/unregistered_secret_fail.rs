@@ -1,0 +1,5 @@
+//! Failing registration fixture: key-named type outside the registry.
+
+pub struct StrayKey {
+    material: [u8; 32],
+}

@@ -1,0 +1,67 @@
+//! Property tests pinning the lexer's totality: `lex` returns
+//! `Ok(tokens)` or `Err(LexError)` on *any* byte sequence — arbitrary
+//! garbage, mutated real source, truncated files — and never panics.
+//! The linter runs unattended in CI over whatever bytes land in the
+//! tree, so parse-or-error is a hard requirement, same as the wire
+//! parsers it polices.
+
+use nymix_lint::classify;
+use nymix_lint::lexer::lex;
+use proptest::prelude::*;
+
+/// Real source to mutate: the lexer's own implementation exercises
+/// every token class (raw strings, chars, lifetimes, nested comments).
+const REAL_SOURCE: &str = include_str!("../src/lexer.rs");
+
+proptest! {
+    #[test]
+    fn lex_is_total_on_arbitrary_bytes(bytes in proptest::collection::vec(any::<u8>(), 0..512)) {
+        // Ok or Err both fine; a panic fails the test.
+        let _ = lex(&bytes);
+    }
+
+    #[test]
+    fn lex_is_total_on_mutated_real_source(
+        offset in 0usize..8192,
+        len in 1usize..64,
+        fill in any::<u8>(),
+    ) {
+        let mut bytes = REAL_SOURCE.as_bytes().to_vec();
+        let start = offset % bytes.len();
+        let end = (start + len).min(bytes.len());
+        for b in &mut bytes[start..end] {
+            *b = fill;
+        }
+        let _ = lex(&bytes);
+    }
+
+    #[test]
+    fn lex_is_total_on_truncated_real_source(cut in 0usize..16384) {
+        let src = REAL_SOURCE.as_bytes();
+        let cut = cut % (src.len() + 1);
+        let _ = lex(&src[..cut]);
+    }
+
+    #[test]
+    fn classification_is_total_over_lexed_tokens(bytes in proptest::collection::vec(any::<u8>(), 0..512)) {
+        if let Ok(tokens) = lex(&bytes) {
+            let mask = classify::test_mask(&tokens, &bytes);
+            prop_assert_eq!(mask.len(), tokens.len());
+            let _ = classify::suppressions(&tokens, &bytes);
+        }
+    }
+
+    #[test]
+    fn tokens_tile_the_input(bytes in proptest::collection::vec(any::<u8>(), 0..256)) {
+        if let Ok(tokens) = lex(&bytes) {
+            // Spans are in-bounds, ordered, non-overlapping.
+            let mut prev_end = 0usize;
+            for t in &tokens {
+                prop_assert!(t.start >= prev_end);
+                prop_assert!(t.end <= bytes.len());
+                prop_assert!(t.start < t.end);
+                prev_end = t.end;
+            }
+        }
+    }
+}

@@ -1,0 +1,242 @@
+//! Drives every rule over the fixture corpus: each rule has at least
+//! one fixture that must trip it and one that must stay clean. The
+//! fixtures live in `tests/fixtures/` (excluded from the workspace
+//! scan — they violate the rules on purpose).
+
+use nymix_lint::engine::lint_file;
+use nymix_lint::registry::{Exemption, Registry, SecretType, Taxonomy, TrustModule};
+use nymix_lint::rules::ids;
+
+/// A synthetic registry aimed at the fixture paths, mirroring the shape
+/// of [`Registry::nymix`] without depending on the real workspace map.
+fn fixture_registry() -> Registry {
+    Registry {
+        trust_modules: vec![TrustModule {
+            path: "fixtures/src/parser.rs".to_string(),
+            rationale: "fixture trust boundary".to_string(),
+        }],
+        secret_types: vec![SecretType {
+            name: "FixtureKey".to_string(),
+            defined_in: "fixtures/src/secret.rs".to_string(),
+            rationale: "fixture secret".to_string(),
+        }],
+        taxonomies: vec![Taxonomy {
+            enum_name: "FixtureError".to_string(),
+            paths: vec!["fixtures/".to_string()],
+            rationale: "fixture taxonomy".to_string(),
+        }],
+        seal_fns: vec!["seal_in_place_detached".to_string()],
+        ct_module: "fixtures/src/ct.rs".to_string(),
+        exempt_parsers: vec![Exemption {
+            path_or_name: "fixtures/src/exempted.rs".to_string(),
+            reason: "fixture exemption".to_string(),
+        }],
+        exempt_secrets: vec![],
+    }
+}
+
+fn fixture(name: &str) -> Vec<u8> {
+    let path = format!("{}/tests/fixtures/{name}", env!("CARGO_MANIFEST_DIR"));
+    std::fs::read(&path).unwrap_or_else(|e| panic!("reading {path}: {e}"))
+}
+
+/// Lints a fixture as though it sat at `rel` in the workspace.
+fn lint(name: &str, rel: &str) -> Vec<&'static str> {
+    let reg = fixture_registry();
+    let mut out = Vec::new();
+    lint_file(rel, &fixture(name), &reg, &mut out);
+    out.iter().map(|f| f.rule).collect()
+}
+
+/// The trust-module rel path the synthetic registry polices.
+const PARSER: &str = "fixtures/src/parser.rs";
+
+#[test]
+fn panic_free_fail_trips_every_construct() {
+    let rules = lint("panic_free_fail.rs", PARSER);
+    // unwrap, expect, panic!, assert!, `as u16`, unreachable!.
+    assert!(
+        rules.iter().filter(|r| **r == ids::PANIC_FREE).count() >= 6,
+        "expected >=6 panic-free findings, got {rules:?}"
+    );
+}
+
+#[test]
+fn panic_free_pass_is_clean_and_ignores_tests() {
+    let rules = lint("panic_free_pass.rs", PARSER);
+    assert!(rules.is_empty(), "expected clean, got {rules:?}");
+}
+
+#[test]
+fn panic_free_only_polices_registered_modules() {
+    let rules = lint("panic_free_fail.rs", "fixtures/src/unregistered_helper.rs");
+    assert!(!rules.contains(&ids::PANIC_FREE), "got {rules:?}");
+}
+
+#[test]
+fn secret_debug_fail_flags_both_derives() {
+    let rules = lint("secret_debug_fail.rs", "fixtures/src/secret.rs");
+    assert_eq!(
+        rules.iter().filter(|r| **r == ids::SECRET_DEBUG).count(),
+        2,
+        "Debug and Clone each flag: {rules:?}"
+    );
+}
+
+#[test]
+fn secret_zeroize_fail_flags_missing_drop() {
+    let rules = lint("secret_zeroize_fail.rs", "fixtures/src/secret.rs");
+    assert!(rules.contains(&ids::SECRET_ZEROIZE), "got {rules:?}");
+}
+
+#[test]
+fn secret_pass_is_clean() {
+    let rules = lint("secret_pass.rs", "fixtures/src/secret.rs");
+    assert!(rules.is_empty(), "expected clean, got {rules:?}");
+}
+
+#[test]
+fn secret_format_fail_flags_macro_use() {
+    let rules = lint("secret_format_fail.rs", "fixtures/src/other.rs");
+    assert!(rules.contains(&ids::SECRET_FORMAT), "got {rules:?}");
+}
+
+#[test]
+fn secret_format_pass_is_clean() {
+    let rules = lint("secret_format_pass.rs", "fixtures/src/other.rs");
+    assert!(rules.is_empty(), "expected clean, got {rules:?}");
+}
+
+#[test]
+fn forbid_unsafe_fail_flags_root_and_token() {
+    let rules = lint("forbid_unsafe_fail.rs", "fixtures/src/lib.rs");
+    // Missing attribute + two `unsafe` tokens (fn is one token-site,
+    // the block another... here: one `unsafe {` block).
+    assert!(
+        rules.iter().filter(|r| **r == ids::FORBID_UNSAFE).count() >= 2,
+        "got {rules:?}"
+    );
+}
+
+#[test]
+fn forbid_unsafe_pass_is_clean() {
+    let rules = lint("forbid_unsafe_pass.rs", "fixtures/src/lib.rs");
+    assert!(rules.is_empty(), "expected clean, got {rules:?}");
+}
+
+#[test]
+fn forbid_unsafe_attr_not_required_off_root() {
+    let rules = lint("secret_format_pass.rs", "fixtures/src/other.rs");
+    assert!(!rules.contains(&ids::FORBID_UNSAFE), "got {rules:?}");
+}
+
+#[test]
+fn taxonomy_fail_flags_wildcard_and_bare_binding() {
+    let rules = lint("taxonomy_fail.rs", "fixtures/src/classify.rs");
+    assert_eq!(
+        rules.iter().filter(|r| **r == ids::ERROR_TAXONOMY).count(),
+        2,
+        "`_` and a bare binding each flag: {rules:?}"
+    );
+}
+
+#[test]
+fn taxonomy_pass_allows_explicit_bindings() {
+    let rules = lint("taxonomy_pass.rs", "fixtures/src/classify.rs");
+    assert!(rules.is_empty(), "expected clean, got {rules:?}");
+}
+
+#[test]
+fn nonce_fail_flags_literal_array() {
+    let rules = lint("nonce_fail.rs", "fixtures/src/sealer.rs");
+    assert!(rules.contains(&ids::NONCE_LITERAL), "got {rules:?}");
+}
+
+#[test]
+fn nonce_pass_allows_derived_nonces() {
+    let rules = lint("nonce_pass.rs", "fixtures/src/sealer.rs");
+    assert!(!rules.contains(&ids::NONCE_LITERAL), "got {rules:?}");
+}
+
+#[test]
+fn ct_fail_flags_short_circuit_compare() {
+    let rules = lint("ct_fail.rs", "fixtures/src/verify.rs");
+    assert!(rules.contains(&ids::CT_COMPARE), "got {rules:?}");
+}
+
+#[test]
+fn ct_pass_allows_ct_eq_and_len_checks() {
+    let rules = lint("ct_pass.rs", "fixtures/src/verify.rs");
+    assert!(rules.is_empty(), "expected clean, got {rules:?}");
+}
+
+#[test]
+fn ct_module_itself_is_exempt() {
+    let rules = lint("ct_fail.rs", "fixtures/src/ct.rs");
+    assert!(!rules.contains(&ids::CT_COMPARE), "got {rules:?}");
+}
+
+#[test]
+fn unregistered_parser_flagged_then_cleared_by_registration() {
+    let rules = lint("unregistered_parser_fail.rs", "fixtures/src/newformat.rs");
+    assert!(rules.contains(&ids::UNREGISTERED_PARSER), "got {rules:?}");
+    // Registering the same file as a trust module clears the finding.
+    let rules = lint("unregistered_parser_fail.rs", PARSER);
+    assert!(!rules.contains(&ids::UNREGISTERED_PARSER), "got {rules:?}");
+    // So does an exemption.
+    let rules = lint("unregistered_parser_fail.rs", "fixtures/src/exempted.rs");
+    assert!(!rules.contains(&ids::UNREGISTERED_PARSER), "got {rules:?}");
+}
+
+#[test]
+fn unregistered_secret_flagged_outside_registry() {
+    let rules = lint("unregistered_secret_fail.rs", "fixtures/src/stray.rs");
+    assert!(rules.contains(&ids::UNREGISTERED_SECRET), "got {rules:?}");
+}
+
+#[test]
+fn reasoned_suppression_silences_and_counts_as_used() {
+    let rules = lint("suppression_pass.rs", PARSER);
+    assert!(rules.is_empty(), "expected clean, got {rules:?}");
+}
+
+#[test]
+fn unused_suppression_is_a_finding() {
+    let rules = lint("suppression_unused_fail.rs", PARSER);
+    assert_eq!(rules, vec![ids::UNUSED_SUPPRESSION], "got {rules:?}");
+}
+
+#[test]
+fn reasonless_and_unknown_rule_suppressions_are_findings() {
+    let rules = lint("suppression_syntax_fail.rs", PARSER);
+    assert!(
+        rules
+            .iter()
+            .filter(|r| **r == ids::SUPPRESSION_SYNTAX)
+            .count()
+            >= 2,
+        "no-reason and unknown-rule each flag: {rules:?}"
+    );
+    // The reasonless allow does NOT silence the violation under it.
+    assert!(rules.contains(&ids::PANIC_FREE), "got {rules:?}");
+}
+
+#[test]
+fn lex_error_reported_not_panicked() {
+    let rules = lint("lex_error_fail.rs", "fixtures/src/broken.rs");
+    assert_eq!(rules, vec![ids::LEX_ERROR], "got {rules:?}");
+}
+
+#[test]
+fn workspace_scan_reports_stale_registry_entries() {
+    use nymix_lint::engine::run_workspace;
+    let dir = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("src");
+    let findings = run_workspace(&dir, &fixture_registry());
+    // None of the fixture registry's paths exist under src/, so every
+    // trust module and secret type reports stale.
+    let stale = findings
+        .iter()
+        .filter(|f| f.rule == ids::REGISTRY_STALE)
+        .count();
+    assert_eq!(stale, 2, "one trust module + one secret type: {findings:?}");
+}

@@ -36,6 +36,7 @@ impl PngImage {
         Self {
             width: 320,
             height: 200,
+            // lint:allow(panic-free-parser): fixture generator, not a parser; % 253 bounds the value below 256
             pixels: (0..320u32 * 200).map(|i| (i % 253) as u8).collect(),
             text_chunks: vec![
                 ("Author".into(), "bob".into()),
@@ -51,18 +52,18 @@ impl PngImage {
         let mut out = PNG_MAGIC.to_vec();
         out.extend_from_slice(&self.width.to_le_bytes());
         out.extend_from_slice(&self.height.to_le_bytes());
-        out.extend_from_slice(&(self.pixels.len() as u32).to_le_bytes());
+        out.extend_from_slice(&crate::len_u32(self.pixels.len()).to_le_bytes());
         out.extend_from_slice(&self.pixels);
-        out.extend_from_slice(&(self.text_chunks.len() as u32).to_le_bytes());
+        out.extend_from_slice(&crate::len_u32(self.text_chunks.len()).to_le_bytes());
         for (k, v) in &self.text_chunks {
             for s in [k, v] {
-                out.extend_from_slice(&(s.len() as u32).to_le_bytes());
+                out.extend_from_slice(&crate::len_u32(s.len()).to_le_bytes());
                 out.extend_from_slice(s.as_bytes());
             }
         }
-        out.extend_from_slice(&(self.private_chunks.len() as u32).to_le_bytes());
+        out.extend_from_slice(&crate::len_u32(self.private_chunks.len()).to_le_bytes());
         for c in &self.private_chunks {
-            out.extend_from_slice(&(c.len() as u32).to_le_bytes());
+            out.extend_from_slice(&crate::len_u32(c.len()).to_le_bytes());
             out.extend_from_slice(c);
         }
         out
@@ -181,11 +182,11 @@ impl FileArchive {
     /// Serializes the archive.
     pub fn to_bytes(&self) -> Vec<u8> {
         let mut out = ARCHIVE_MAGIC.to_vec();
-        out.extend_from_slice(&(self.members.len() as u32).to_le_bytes());
+        out.extend_from_slice(&crate::len_u32(self.members.len()).to_le_bytes());
         for (name, data) in &self.members {
-            out.extend_from_slice(&(name.len() as u32).to_le_bytes());
+            out.extend_from_slice(&crate::len_u32(name.len()).to_le_bytes());
             out.extend_from_slice(name.as_bytes());
-            out.extend_from_slice(&(data.len() as u32).to_le_bytes());
+            out.extend_from_slice(&crate::len_u32(data.len()).to_le_bytes());
             out.extend_from_slice(data);
         }
         out

@@ -74,6 +74,7 @@ impl JpegImage {
         let (width, height) = (640u16, 480u16);
         let mut pixels = vec![0u8; width as usize * height as usize];
         for (i, p) in pixels.iter_mut().enumerate() {
+            // lint:allow(panic-free-parser): fixture generator, not a parser; % 251 bounds the value below 256
             *p = ((i * 31) % 251) as u8;
         }
         Self {
@@ -169,7 +170,7 @@ const DOC_MAGIC: &[u8; 4] = b"NDOC";
 fn put_str(out: &mut Vec<u8>, s: &Option<String>) {
     match s {
         Some(v) => {
-            out.extend_from_slice(&(v.len() as u32 + 1).to_le_bytes());
+            out.extend_from_slice(&crate::len_u32(v.len()).saturating_add(1).to_le_bytes());
             out.extend_from_slice(v.as_bytes());
         }
         None => out.extend_from_slice(&0u32.to_le_bytes()),
@@ -177,9 +178,9 @@ fn put_str(out: &mut Vec<u8>, s: &Option<String>) {
 }
 
 fn put_vec_str(out: &mut Vec<u8>, v: &[String]) {
-    out.extend_from_slice(&(v.len() as u32).to_le_bytes());
+    out.extend_from_slice(&crate::len_u32(v.len()).to_le_bytes());
     for s in v {
-        out.extend_from_slice(&(s.len() as u32).to_le_bytes());
+        out.extend_from_slice(&crate::len_u32(s.len()).to_le_bytes());
         out.extend_from_slice(s.as_bytes());
     }
 }
@@ -248,7 +249,7 @@ impl MediaFile {
                 out.extend_from_slice(JPEG_MAGIC);
                 out.extend_from_slice(&j.width.to_le_bytes());
                 out.extend_from_slice(&j.height.to_le_bytes());
-                out.extend_from_slice(&(j.pixels.len() as u32).to_le_bytes());
+                out.extend_from_slice(&crate::len_u32(j.pixels.len()).to_le_bytes());
                 out.extend_from_slice(&j.pixels);
                 // EXIF.
                 match j.exif.gps {
@@ -269,7 +270,7 @@ impl MediaFile {
                 }
                 put_str(&mut out, &j.exif.artist);
                 // Faces.
-                out.extend_from_slice(&(j.faces.len() as u32).to_le_bytes());
+                out.extend_from_slice(&crate::len_u32(j.faces.len()).to_le_bytes());
                 for f in &j.faces {
                     for v in [f.x, f.y, f.w, f.h] {
                         out.extend_from_slice(&v.to_le_bytes());
@@ -279,7 +280,7 @@ impl MediaFile {
                 match &j.stego_payload {
                     Some(p) => {
                         out.push(1);
-                        out.extend_from_slice(&(p.len() as u32).to_le_bytes());
+                        out.extend_from_slice(&crate::len_u32(p.len()).to_le_bytes());
                         out.extend_from_slice(p);
                     }
                     None => out.push(0),

@@ -32,6 +32,19 @@ pub mod formats;
 pub mod risk;
 pub mod scrub;
 
+/// Serializer-side length to `u32`, checked instead of cast: the
+/// synthetic wire formats cap every field at `u32`, and a breach
+/// saturates rather than silently truncating into a length-prefix
+/// confusion (the `panic-free-parser` lint forbids narrowing `as`
+/// casts in [`formats`]/[`containers`]).
+pub(crate) fn len_u32(len: usize) -> u32 {
+    debug_assert!(
+        u32::try_from(len).is_ok(),
+        "length {len} exceeds u32 wire field"
+    );
+    u32::try_from(len).unwrap_or(u32::MAX)
+}
+
 pub use containers::{analyze_any, FileArchive, PngImage};
 pub use formats::{DocFile, JpegImage, MediaFile, PdfDoc};
 pub use risk::{analyze, Risk, RiskKind, Severity};

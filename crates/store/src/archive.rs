@@ -161,6 +161,7 @@ impl NymArchive {
     /// producing an archive that mis-parses on restore. Rejecting the
     /// record at insertion keeps serialization infallible.
     pub fn put(&mut self, name: &str, data: Vec<u8>) {
+        // lint:allow(panic-free-parser): serializer-side contract on caller-chosen names (documented under # Panics); wire bytes never reach this path
         assert!(
             name.len() <= MAX_NAME_LEN,
             "record name of {} bytes exceeds the u16 wire limit ({MAX_NAME_LEN})",
@@ -189,6 +190,7 @@ impl NymArchive {
     /// Panics if `name` exceeds [`MAX_NAME_LEN`] bytes (see
     /// [`NymArchive::put`]).
     pub fn replace(&mut self, name: &str, mut data: Vec<u8>) -> Option<Vec<u8>> {
+        // lint:allow(panic-free-parser): serializer-side contract on caller-chosen names (documented under # Panics); wire bytes never reach this path
         assert!(
             name.len() <= MAX_NAME_LEN,
             "record name of {} bytes exceeds the u16 wire limit ({MAX_NAME_LEN})",
@@ -280,7 +282,7 @@ impl NymArchive {
     pub fn write_into(&self, out: &mut Vec<u8>) {
         out.reserve(self.serialized_len());
         out.extend_from_slice(MAGIC);
-        out.extend_from_slice(&(self.records.len() as u32).to_le_bytes());
+        out.extend_from_slice(&len_u32(self.records.len()).to_le_bytes());
         for (name, data) in &self.records {
             write_record(out, name, data);
         }
@@ -341,11 +343,32 @@ pub(crate) fn read_name(r: &mut Reader<'_>) -> Result<String, ArchiveError> {
     String::from_utf8(r.take(name_len)?.to_vec()).map_err(|_| ArchiveError::Malformed)
 }
 
+/// Serializer-side length to `u16`, checked instead of cast: callers
+/// uphold the bound (`MAX_NAME_LEN` names), a breach saturates rather
+/// than silently truncating into a length-prefix confusion.
+pub(crate) fn len_u16(len: usize) -> u16 {
+    debug_assert!(
+        u16::try_from(len).is_ok(),
+        "length {len} exceeds u16 wire field"
+    );
+    u16::try_from(len).unwrap_or(u16::MAX)
+}
+
+/// Serializer-side length to `u32`, checked instead of cast (see
+/// [`len_u16`]).
+pub(crate) fn len_u32(len: usize) -> u32 {
+    debug_assert!(
+        u32::try_from(len).is_ok(),
+        "length {len} exceeds u32 wire field"
+    );
+    u32::try_from(len).unwrap_or(u32::MAX)
+}
+
 /// Appends one record in wire encoding. Caller guarantees
 /// `name.len() <= MAX_NAME_LEN` (enforced by [`NymArchive::put`]).
 pub(crate) fn write_record(out: &mut Vec<u8>, name: &str, data: &[u8]) {
     debug_assert!(name.len() <= MAX_NAME_LEN);
-    out.extend_from_slice(&(name.len() as u16).to_le_bytes());
+    out.extend_from_slice(&len_u16(name.len()).to_le_bytes());
     out.extend_from_slice(name.as_bytes());
     out.extend_from_slice(&(data.len() as u64).to_le_bytes());
     out.extend_from_slice(data);
@@ -354,15 +377,16 @@ pub(crate) fn write_record(out: &mut Vec<u8>, name: &str, data: &[u8]) {
 fn serialize_layer(layer: &Layer) -> Vec<u8> {
     let entries: Vec<(&Path, &Node)> = layer.entries().filter(|(p, _)| !p.is_root()).collect();
     let mut out = Vec::new();
-    out.extend_from_slice(&(entries.len() as u32).to_le_bytes());
+    out.extend_from_slice(&len_u32(entries.len()).to_le_bytes());
     for (path, node) in entries {
         let p = path.to_string();
+        // lint:allow(panic-free-parser): serializer-side contract on locally built paths, not wire input; fs layer caps component lengths
         assert!(
             p.len() <= MAX_NAME_LEN,
             "layer path of {} bytes exceeds the u16 wire limit ({MAX_NAME_LEN})",
             p.len()
         );
-        out.extend_from_slice(&(p.len() as u16).to_le_bytes());
+        out.extend_from_slice(&len_u16(p.len()).to_le_bytes());
         out.extend_from_slice(p.as_bytes());
         match node {
             Node::File(data) => {
@@ -426,7 +450,9 @@ impl<'a> Reader<'a> {
     }
 
     pub(crate) fn take_array<const N: usize>(&mut self) -> Result<[u8; N], ArchiveError> {
-        Ok(self.take(N)?.try_into().expect("length-checked take"))
+        self.take(N)?
+            .try_into()
+            .map_err(|_| ArchiveError::Malformed)
     }
 
     pub(crate) fn u8(&mut self) -> Result<u8, ArchiveError> {

@@ -40,7 +40,7 @@
 use nymix_crypto::{sha256_x4, Sha256};
 use nymix_sim::Rng;
 
-use crate::archive::{clamp_count, ArchiveError, Reader};
+use crate::archive::{clamp_count, len_u32, ArchiveError, Reader};
 use crate::backend::{BackendError, ObjectBackend};
 use crate::chunker::{self, MAX_CHUNK};
 use crate::lzss;
@@ -169,11 +169,11 @@ impl ChunkManifest {
                     [chunks[i], chunks[i + 1], chunks[i + 2], chunks[i + 3]],
                 );
                 for (j, id) in ids.into_iter().enumerate() {
-                    entries.push((id, chunks[i + j].len() as u32));
+                    entries.push((id, len_u32(chunks[i + j].len())));
                 }
                 i += 4;
             } else {
-                entries.push((chunk_id(chunks[i]), chunks[i].len() as u32));
+                entries.push((chunk_id(chunks[i]), len_u32(chunks[i].len())));
                 i += 1;
             }
         }
@@ -208,7 +208,7 @@ impl ChunkManifest {
         out.reserve(self.serialized_len());
         out.extend_from_slice(MAGIC);
         out.extend_from_slice(&self.total_len.to_le_bytes());
-        out.extend_from_slice(&(self.entries.len() as u32).to_le_bytes());
+        out.extend_from_slice(&len_u32(self.entries.len()).to_le_bytes());
         for (id, len) in &self.entries {
             out.extend_from_slice(id);
             out.extend_from_slice(&len.to_le_bytes());
@@ -379,7 +379,9 @@ pub fn build_manifests(datas: &[&[u8]]) -> Vec<ChunkManifest> {
     let mut all: Vec<(usize, usize, &[u8])> = Vec::new();
     for (ri, data) in datas.iter().enumerate() {
         for (ei, chunk) in chunker::chunks(data).enumerate() {
-            manifests[ri].entries.push(([0u8; 32], chunk.len() as u32));
+            manifests[ri]
+                .entries
+                .push(([0u8; 32], len_u32(chunk.len())));
             all.push((ri, ei, chunk));
         }
     }

@@ -36,8 +36,8 @@
 use nymix_crypto::{leaf_hash_parts, merkle_root_from_leaves};
 
 use crate::archive::{
-    clamp_count, read_name, read_record, write_record, ArchiveError, NymArchive, Reader,
-    MAX_NAME_LEN, MIN_RECORD_LEN,
+    clamp_count, len_u16, len_u32, read_name, read_record, write_record, ArchiveError, NymArchive,
+    Reader, MAX_NAME_LEN, MIN_RECORD_LEN,
 };
 
 /// Maximum deltas chained on one base archive before a save must
@@ -106,7 +106,7 @@ impl DeltaArchive {
     /// [`DeltaArchive::mark_removed`].
     pub fn new(full_count: usize, root: MerkleRoot) -> Self {
         Self {
-            full_count: u32::try_from(full_count).expect("record count fits u32"),
+            full_count: len_u32(full_count),
             root,
             dirty: Vec::new(),
             removed: Vec::new(),
@@ -138,6 +138,7 @@ impl DeltaArchive {
     /// Panics if `name` exceeds [`MAX_NAME_LEN`] bytes (see
     /// [`NymArchive::put`](crate::NymArchive::put)).
     pub fn put(&mut self, name: &str, data: Vec<u8>) {
+        // lint:allow(panic-free-parser): serializer-side contract on caller-chosen names (documented under # Panics); wire bytes never reach this path
         assert!(
             name.len() <= MAX_NAME_LEN,
             "record name of {} bytes exceeds the u16 wire limit ({MAX_NAME_LEN})",
@@ -156,6 +157,7 @@ impl DeltaArchive {
     ///
     /// Panics if `name` exceeds [`MAX_NAME_LEN`] bytes.
     pub fn mark_removed(&mut self, name: &str) {
+        // lint:allow(panic-free-parser): serializer-side contract on caller-chosen names (documented under # Panics); wire bytes never reach this path
         assert!(
             name.len() <= MAX_NAME_LEN,
             "record name of {} bytes exceeds the u16 wire limit ({MAX_NAME_LEN})",
@@ -237,13 +239,13 @@ impl DeltaArchive {
         out.extend_from_slice(MAGIC);
         out.extend_from_slice(&self.full_count.to_le_bytes());
         out.extend_from_slice(&self.root);
-        out.extend_from_slice(&(self.dirty.len() as u32).to_le_bytes());
+        out.extend_from_slice(&len_u32(self.dirty.len()).to_le_bytes());
         for (name, data) in &self.dirty {
             write_record(out, name, data);
         }
-        out.extend_from_slice(&(self.removed.len() as u32).to_le_bytes());
+        out.extend_from_slice(&len_u32(self.removed.len()).to_le_bytes());
         for name in &self.removed {
-            out.extend_from_slice(&(name.len() as u16).to_le_bytes());
+            out.extend_from_slice(&len_u16(name.len()).to_le_bytes());
             out.extend_from_slice(name.as_bytes());
         }
     }
@@ -298,7 +300,7 @@ pub fn archive_merkle_root(archive: &NymArchive) -> MerkleRoot {
 pub fn archive_merkle_root_with(archive: &NymArchive, leaves: &mut Vec<MerkleRoot>) -> MerkleRoot {
     leaves.clear();
     for (name, data) in archive.records() {
-        let name_len = (name.len() as u16).to_le_bytes();
+        let name_len = len_u16(name.len()).to_le_bytes();
         leaves.push(leaf_hash_parts(&[&name_len, name.as_bytes(), data]));
     }
     merkle_root_from_leaves(leaves)

@@ -72,7 +72,7 @@ fn check16(record: &[u8]) -> [u8; 16] {
 pub fn encode_put(name: &str, data: &[u8], out: &mut Vec<u8>) -> ObjLoc {
     let start = out.len();
     out.extend_from_slice(OBJ_MAGIC);
-    out.extend_from_slice(&(name.len() as u16).to_le_bytes());
+    out.extend_from_slice(&crate::archive::len_u16(name.len()).to_le_bytes());
     out.extend_from_slice(name.as_bytes());
     out.extend_from_slice(&(data.len() as u64).to_le_bytes());
     let data_off = out.len() - start;
@@ -89,7 +89,7 @@ pub fn encode_put(name: &str, data: &[u8], out: &mut Vec<u8>) -> ObjLoc {
 pub fn encode_delete(name: &str, out: &mut Vec<u8>) {
     let start = out.len();
     out.extend_from_slice(DEL_MAGIC);
-    out.extend_from_slice(&(name.len() as u16).to_le_bytes());
+    out.extend_from_slice(&crate::archive::len_u16(name.len()).to_le_bytes());
     out.extend_from_slice(name.as_bytes());
     let check = check16(&out[start..]);
     out.extend_from_slice(&check);

@@ -162,19 +162,19 @@ pub fn encode_batch(seq: u64, ops: &[BatchOp<'_>]) -> Vec<u8> {
         match op {
             BatchOp::Put(name, data) => {
                 body.push(1u8);
-                body.extend_from_slice(&(name.len() as u16).to_le_bytes());
+                body.extend_from_slice(&crate::archive::len_u16(name.len()).to_le_bytes());
                 body.extend_from_slice(name.as_bytes());
                 body.extend_from_slice(&(data.len() as u64).to_le_bytes());
                 body.extend_from_slice(data);
             }
             BatchOp::Delete(name) => {
                 body.push(2u8);
-                body.extend_from_slice(&(name.len() as u16).to_le_bytes());
+                body.extend_from_slice(&crate::archive::len_u16(name.len()).to_le_bytes());
                 body.extend_from_slice(name.as_bytes());
             }
         }
     }
-    let count = ops.len() as u32;
+    let count = crate::archive::len_u32(ops.len());
     let body_len = body.len() as u64;
     let check = check16(
         BATCH_DOMAIN,

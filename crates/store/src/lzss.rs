@@ -139,6 +139,7 @@ impl Compressor {
                         continue;
                     }
                 }
+                // lint:allow(panic-free-parser): compressor-side pack; find_match bounds dist to the window and len to MAX_MATCH by construction
                 let token = (((best_dist - 1) as u16) << 4) | ((best_len - MIN_MATCH) as u16);
                 begin_item!();
                 out.extend_from_slice(&token.to_le_bytes());
@@ -295,7 +296,10 @@ pub fn decompress_into(packed: &[u8], out: &mut Vec<u8>) -> Result<(), LzssError
     if packed.len() < 8 {
         return Err(LzssError::Truncated);
     }
-    let expect_len = u64::from_le_bytes(packed[..8].try_into().expect("8 bytes")) as usize;
+    let expect_len = match packed[..8].try_into() {
+        Ok(bytes) => u64::from_le_bytes(bytes) as usize,
+        Err(_) => return Err(LzssError::Truncated),
+    };
     // The header is untrusted input: a match token encodes at most
     // MAX_MATCH bytes per 2 wire bytes, so anything claiming more than
     // that is malformed — reject before allocating.

@@ -86,7 +86,7 @@ fn shard_hash(
 ) -> [u8; 32] {
     let mut h = nymix_crypto::Sha256::new();
     h.update(SHARD_HASH_DOMAIN);
-    h.update(&(name.len() as u16).to_le_bytes());
+    h.update(&crate::archive::len_u16(name.len()).to_le_bytes());
     h.update(name.as_bytes());
     h.update(&[index, k, n]);
     h.update(&object_len.to_le_bytes());
@@ -111,8 +111,11 @@ pub fn encode_shard(
     obj_hash: &[u8; 32],
     payload: &[u8],
 ) -> Vec<u8> {
+    // lint:allow(panic-free-parser): encode-side geometry contract (documented under # Panics); never reached by provider bytes
     assert!(k >= 1 && k <= n && (n as usize) <= super::gf256::MAX_SHARDS && index < n);
+    // lint:allow(panic-free-parser): encode-side name-length contract (documented under # Panics); never reached by provider bytes
     assert!(name.len() <= u16::MAX as usize, "object name too long");
+    // lint:allow(panic-free-parser): encode-side stripe-width contract (documented under # Panics); never reached by provider bytes
     assert_eq!(
         payload.len(),
         super::gf256::stripe_len(object_len as usize, k as usize),
@@ -125,12 +128,12 @@ pub fn encode_shard(
     out.push(k);
     out.push(n);
     out.extend_from_slice(&object_len.to_le_bytes());
-    out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    out.extend_from_slice(&crate::archive::len_u32(payload.len()).to_le_bytes());
     out.extend_from_slice(obj_hash);
     out.extend_from_slice(&shard_hash(
         name, index, k, n, object_len, obj_hash, payload,
     ));
-    out.extend_from_slice(&(name.len() as u16).to_le_bytes());
+    out.extend_from_slice(&crate::archive::len_u16(name.len()).to_le_bytes());
     out.extend_from_slice(name.as_bytes());
     out.extend_from_slice(payload);
     out
@@ -158,8 +161,14 @@ pub fn decode_shard<'a>(
     if k == 0 || k > n || n as usize > super::gf256::MAX_SHARDS || index >= n {
         return Err(malformed("geometry out of range"));
     }
-    let object_len = u64::from_le_bytes(blob[8..16].try_into().expect("8 bytes"));
-    let shard_len = u32::from_le_bytes(blob[16..20].try_into().expect("4 bytes")) as usize;
+    let object_len = match blob[8..16].try_into() {
+        Ok(b) => u64::from_le_bytes(b),
+        Err(_) => return Err(malformed("truncated header")),
+    };
+    let shard_len = match blob[16..20].try_into() {
+        Ok(b) => u32::from_le_bytes(b) as usize,
+        Err(_) => return Err(malformed("truncated header")),
+    };
     // The stripe width is fully determined by (object_len, k); a header
     // claiming anything else is lying about one of the two.
     let Ok(olen) = usize::try_from(object_len) else {
@@ -172,7 +181,10 @@ pub fn decode_shard<'a>(
     obj_hash.copy_from_slice(&blob[20..52]);
     let mut claimed = [0u8; 32];
     claimed.copy_from_slice(&blob[52..84]);
-    let name_len = u16::from_le_bytes(blob[84..86].try_into().expect("2 bytes")) as usize;
+    let name_len = match blob[84..86].try_into() {
+        Ok(b) => u16::from_le_bytes(b) as usize,
+        Err(_) => return Err(malformed("truncated header")),
+    };
     let name_end = FIXED_LEN
         .checked_add(name_len)
         .ok_or(malformed("name length overflows"))?;

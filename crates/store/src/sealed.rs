@@ -90,7 +90,6 @@ fn derive_key(password: &str, label: &str, salt: &[u8]) -> [u8; 32] {
 /// runs once, and every blob sealed with this key carries the same
 /// salt (with a fresh nonce per seal). Restore re-derives the same key
 /// from the base blob's salt with [`SealKey::from_salt`].
-#[derive(Clone)]
 pub struct SealKey {
     salt: [u8; SALT_LEN],
     key: [u8; 32],
@@ -103,6 +102,14 @@ impl core::fmt::Debug for SealKey {
             .field("salt", &self.salt)
             .field("key", &"[redacted]")
             .finish()
+    }
+}
+
+impl Drop for SealKey {
+    fn drop(&mut self) {
+        // The salt is public (it rides in every blob header); the derived
+        // key is the password-equivalent secret.
+        nymix_crypto::zeroize::wipe_bytes(&mut self.key);
     }
 }
 

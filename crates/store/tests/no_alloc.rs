@@ -23,13 +23,16 @@ thread_local! {
     static ALLOCATIONS: Cell<usize> = const { Cell::new(0) };
 }
 
+// lint:allow(forbid-unsafe): GlobalAlloc is an unsafe trait; this counting shim only delegates to System
 unsafe impl GlobalAlloc for CountingAlloc {
+    // lint:allow(forbid-unsafe): signature dictated by the GlobalAlloc contract
     unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
         let _ = ALLOCATIONS.try_with(|c| c.set(c.get() + 1));
-        unsafe { System.alloc(layout) }
+        unsafe { System.alloc(layout) } // lint:allow(forbid-unsafe): direct pass-through to the System allocator
     }
+    // lint:allow(forbid-unsafe): signature dictated by the GlobalAlloc contract
     unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
-        unsafe { System.dealloc(ptr, layout) }
+        unsafe { System.dealloc(ptr, layout) } // lint:allow(forbid-unsafe): direct pass-through to the System allocator
     }
 }
 
