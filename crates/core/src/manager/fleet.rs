@@ -133,7 +133,13 @@ impl NymFleet {
         self.ids
             .iter()
             .enumerate()
-            .map(|(i, id)| manager.visit_site(*id, site_for(i)))
+            .map(|(i, id)| {
+                let mut span = nymix_obs::span!("browse", "session" => id.0);
+                let duration = manager.visit_site(*id, site_for(i))?;
+                span.add_modeled_us(duration.0);
+                nymix_obs::sim_clock(manager.env.clock.as_micros());
+                Ok(duration)
+            })
             .collect()
     }
 
@@ -181,7 +187,11 @@ impl NymFleet {
         let mut ids = Vec::with_capacity(names.len());
         let mut breakdowns = Vec::with_capacity(names.len());
         for (i, name) in names.iter().enumerate() {
+            let mut span = nymix_obs::span!("restore", "session" => i);
             let (id, b) = manager.restore_nym(name, kind, model, password, &dest_for(i))?;
+            span.add_modeled_us(b.total().0);
+            nymix_obs::sim_clock(manager.env.clock.as_micros());
+            drop(span);
             ids.push(id);
             breakdowns.push(b);
         }

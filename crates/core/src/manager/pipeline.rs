@@ -242,6 +242,7 @@ impl StorePipeline {
                 return Err(NymManagerError::NoSuchNym(req.id));
             }
         }
+        nymix_obs::sim_clock(env.clock.as_micros());
         let workers = std::thread::available_parallelism()
             .map(std::num::NonZeroUsize::get)
             .unwrap_or(1)
@@ -280,7 +281,7 @@ impl StorePipeline {
                 .into_iter()
                 .map(|plan| self.seal_job(sessions, plan))
                 .collect();
-            seal_stage(jobs, workers)
+            seal_stage(jobs, workers, env.clock.as_micros())
         };
 
         // Stage 4: upload (grouped per destination) + bookkeeping.
@@ -402,6 +403,14 @@ impl StorePipeline {
                     StorageDest::Disk => disk_io,
                 };
                 batch_duration = batch_duration.max(duration);
+                // The per-session upload span: its wall time is the
+                // (tiny) bookkeeping cost; the transfer itself exists
+                // only in modeled time, charged explicitly.
+                let mut up_span = nymix_obs::span!(
+                    "upload", "session" => s.plan.req.id.0, "objects" => s.uploaded
+                );
+                up_span.add_modeled_us(duration.0);
+                drop(up_span);
                 self.note_epoch(&s.plan.label, s.epoch);
                 let session = sessions.get_mut(&s.plan.req.id).expect("captured above");
                 session.scratch = s.scratch;
@@ -430,6 +439,7 @@ impl StorePipeline {
             }
         }
         env.clock += batch_duration;
+        nymix_obs::sim_clock(env.clock.as_micros());
         Ok(outcomes.into_iter().map(|(_, o)| o).collect())
     }
 
@@ -471,6 +481,7 @@ impl StorePipeline {
         sessions: &mut BTreeMap<NymId, NymSession>,
         req: SaveRequest<'a>,
     ) -> Result<SavePlan<'a>, NymManagerError> {
+        let _span = nymix_obs::span!("capture", "session" => req.id.0);
         let session = sessions
             .get_mut(&req.id)
             .ok_or(NymManagerError::NoSuchNym(req.id))?;
@@ -649,6 +660,10 @@ impl StorePipeline {
         // record, then one batched manifest build over all of them.
         let mut raws: Vec<(usize, &'static str, Vec<u8>)> = Vec::new();
         for (pi, plan) in plans.iter_mut().enumerate() {
+            // Per-session chunk span: covers this plan's record
+            // extraction; the cross-session batched manifest hashing
+            // below is shared work and deliberately unattributed.
+            let _span = nymix_obs::span!("chunk", "session" => plan.req.id.0);
             if !plan.req.allow_delta || (fallback && plan.delta.is_some()) {
                 continue;
             }
@@ -748,7 +763,7 @@ fn build_delta(plan: &mut SavePlan<'_>) {
 /// batched. Jobs are fully owned and independent — each session's
 /// scratch, RNG and keys travel with its job — so scheduling cannot
 /// change any output byte.
-fn seal_stage<'a>(mut jobs: Vec<SealJob<'a>>, workers: usize) -> Vec<SealedSave<'a>> {
+fn seal_stage<'a>(mut jobs: Vec<SealJob<'a>>, workers: usize, now_us: u64) -> Vec<SealedSave<'a>> {
     if jobs.len() <= 1 || workers <= 1 {
         return jobs.drain(..).map(seal_one).collect();
     }
@@ -760,6 +775,9 @@ fn seal_stage<'a>(mut jobs: Vec<SealJob<'a>>, workers: usize) -> Vec<SealedSave<
     std::thread::scope(|scope| {
         for (job_chunk, result_chunk) in slots.chunks_mut(per).zip(results.chunks_mut(per)) {
             scope.spawn(move || {
+                // Worker threads carry their own sim-clock view; seed
+                // it so seal spans report the batch's modeled time.
+                nymix_obs::sim_clock(now_us);
                 for (job, result) in job_chunk.iter_mut().zip(result_chunk.iter_mut()) {
                     *result = Some(seal_one(job.take().expect("job present")));
                 }
@@ -777,6 +795,7 @@ fn seal_stage<'a>(mut jobs: Vec<SealJob<'a>>, workers: usize) -> Vec<SealedSave<
 /// every object in upload order. Full saves derive the new epoch's key
 /// here — the per-save PBKDF2 runs inside the threaded stage.
 fn seal_one(job: SealJob<'_>) -> SealedSave<'_> {
+    let _span = nymix_obs::span!("seal", "session" => job.plan.req.id.0);
     let SealJob {
         mut plan,
         mut scratch,

@@ -46,6 +46,7 @@ pub(super) fn fetch_chain(
     scratch: &mut SealScratch,
 ) -> Result<FetchedChain, NymManagerError> {
     let seal_err = |e: nymix_store::SealedError| NymManagerError::Storage(e.to_string());
+    nymix_obs::sim_clock(env.clock.as_micros());
     let now = env.clock;
     let mut backend = dest_backend(
         &mut env.cloud,
@@ -63,6 +64,7 @@ pub(super) fn fetch_chain(
     // unsealed straight off the backend's borrow — no working copy
     // beyond the (reused) ciphertext buffer.
     let (chain_key, mut archive) = {
+        let _span = nymix_obs::span!("fetch");
         let base_blob = backend
             .get(label)
             .map_err(storage_err)?
@@ -88,6 +90,7 @@ pub(super) fn fetch_chain(
         .map(u64::from_le_bytes);
     let mut delta_count = 0;
     if let Some(epoch) = epoch {
+        let _span = nymix_obs::span!("replay", "epoch" => epoch);
         for index in 1..=DELTA_CHAIN_LIMIT {
             let dlabel = delta_label(label, epoch, index);
             let delta = {
@@ -117,6 +120,7 @@ pub(super) fn fetch_chain(
     let mut chunk_index = ChunkIndex::new();
     let mut stored_overrides = Vec::new();
     if let Some(epoch) = epoch {
+        let _span = nymix_obs::span!("resolve", "epoch" => epoch);
         let prefix = chunk_prefix(label, epoch);
         let manifests: Vec<(String, ChunkManifest)> = archive
             .records()

@@ -89,6 +89,7 @@ pub fn seal_in_place_detached(
     aad: &[u8],
     data: &mut [u8],
 ) -> [u8; TAG_LEN] {
+    nymix_obs::counter!("crypto.aead.seals", 1u64);
     ChaCha20::new(key, nonce, 1).xor_into(data);
     let mut otk = poly_key(key, nonce);
     let tag = mac_data(&otk, aad, data);
@@ -115,6 +116,7 @@ pub fn open_in_place_detached(
     if tag.len() != TAG_LEN {
         return Err(AeadError::Truncated);
     }
+    nymix_obs::counter!("crypto.aead.opens", 1u64);
     let mut otk = poly_key(key, nonce);
     let want = mac_data(&otk, aad, data);
     crate::zeroize::wipe_bytes(&mut otk);

@@ -32,6 +32,7 @@ pub fn pbkdf2_hmac_sha256_into(
     out: &mut [u8],
 ) {
     assert!(iterations > 0, "PBKDF2 requires at least one iteration");
+    nymix_obs::counter!("crypto.kdf.calls", 1u64);
     let key = HmacKey::new(password);
     let mut block_index = 1u32;
     for chunk in out.chunks_mut(DIGEST_LEN) {

@@ -313,6 +313,7 @@ fn compress_block(state: &mut [u32; 8], block: &[u8; BLOCK_LEN]) {
 /// multiple of [`BLOCK_LEN`]) into `state`, reading the input in place.
 pub(crate) fn compress_blocks(state: &mut [u32; 8], data: &[u8]) {
     debug_assert_eq!(data.len() % BLOCK_LEN, 0);
+    nymix_obs::counter!("crypto.sha256.blocks", data.len() / BLOCK_LEN);
     for block in data.chunks_exact(BLOCK_LEN) {
         compress_block(state, block.try_into().expect("exact chunk"));
     }
@@ -522,6 +523,7 @@ macro_rules! rnd16x4 {
 /// Compresses one block per lane, all four lanes in lockstep.
 #[inline(always)]
 fn compress4(states: &mut [[u32; 8]; LANES], blocks: [&[u8; BLOCK_LEN]; LANES]) {
+    nymix_obs::counter!("crypto.sha256.blocks", LANES);
     let mut w = [[0u32; LANES]; 16];
     for (t, lane_words) in w.iter_mut().enumerate() {
         for (l, block) in blocks.iter().enumerate() {

@@ -272,7 +272,14 @@ pub fn report(reg: &Registry) -> String {
             diag::json_escape(&e.reason)
         ));
     }
-    out.push_str("\n  ]\n}");
+    out.push_str("\n  ],\n  \"obs_labels\": [");
+    for (i, l) in reg.obs_labels.iter().enumerate() {
+        if i > 0 {
+            out.push_str(", ");
+        }
+        out.push_str(&format!("\"{}\"", diag::json_escape(l)));
+    }
+    out.push_str("]\n}");
     out
 }
 

@@ -66,6 +66,13 @@ pub struct Registry {
     pub exempt_parsers: Vec<Exemption>,
     /// Secret-named types exempt from `unregistered-secret`.
     pub exempt_secrets: Vec<Exemption>,
+    /// The `nymix-obs` static vocabulary — every stage name, label
+    /// key, and metric name admissible at an obs macro call site.
+    /// Mirrors the tables between the `lint-vocabulary-begin/end`
+    /// markers in `crates/obs/src/registry.rs` (a cross-check test in
+    /// the lint crate keeps the two in sync). Empty = obs hygiene not
+    /// policed.
+    pub obs_labels: Vec<String>,
 }
 
 impl Registry {
@@ -199,7 +206,76 @@ impl Registry {
                          types, it does not hold key material"
                     .to_string(),
             }],
+            obs_labels: Self::obs_vocabulary(),
         }
+    }
+
+    /// The `nymix-obs` vocabulary, mirroring the tables between the
+    /// `lint-vocabulary-begin/end` markers in
+    /// `crates/obs/src/registry.rs` — stages, label keys, counters,
+    /// gauges, histograms. `obs_vocabulary_matches_nymix_obs` in the
+    /// lint crate's tests fails if the two registries drift.
+    pub fn obs_vocabulary() -> Vec<String> {
+        [
+            // Stages.
+            "capture",
+            "chunk",
+            "seal",
+            "upload",
+            "fetch",
+            "replay",
+            "resolve",
+            "journal_commit",
+            "recovery",
+            "shard_write",
+            "quorum_wait",
+            "repair",
+            "browse",
+            "restore",
+            // Label keys.
+            "session",
+            "child",
+            "exit",
+            "bytes",
+            "objects",
+            "epoch",
+            "chunks",
+            // Counters.
+            "crypto.aead.seals",
+            "crypto.aead.opens",
+            "crypto.sha256.blocks",
+            "crypto.kdf.calls",
+            "cloud.auth",
+            "cloud.puts",
+            "cloud.gets",
+            "cloud.ops",
+            "cloud.dropped",
+            "cloud.backoff_us",
+            "disk.commits",
+            "disk.recoveries",
+            "disk.writes",
+            "disk.bytes_written",
+            "disk.reads",
+            "disk.bytes_read",
+            "disk.fsyncs",
+            "disk.tier_hits",
+            "disk.tier_misses",
+            "placement.shard_writes",
+            "placement.shard_failures",
+            "placement.repair_passes",
+            "placement.shards_rebuilt",
+            "placement.deletes_flushed",
+            // Gauges.
+            "disk.garbage_bytes",
+            "placement.repair_queue",
+            "placement.pending_deletes",
+            // Histograms.
+            "disk.commit_bytes",
+            "cloud.put_bytes",
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect()
     }
 
     /// True when `rel_path` is a registered trust-boundary module.
@@ -229,5 +305,10 @@ impl Registry {
 
     pub fn secret_exempt(&self, name: &str) -> bool {
         self.exempt_secrets.iter().any(|e| e.path_or_name == name)
+    }
+
+    /// True when `name` is in the registered obs vocabulary.
+    pub fn obs_label(&self, name: &str) -> bool {
+        self.obs_labels.iter().any(|l| l == name)
     }
 }

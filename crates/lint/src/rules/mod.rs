@@ -9,6 +9,7 @@ use crate::lexer::{Kind, Token};
 use crate::registry::Registry;
 
 mod nonce_ct;
+mod obs;
 mod panic_free;
 mod secrets;
 mod taxonomy;
@@ -30,6 +31,7 @@ pub mod ids {
     pub const SUPPRESSION_SYNTAX: &str = "suppression-syntax";
     pub const LEX_ERROR: &str = "lex-error";
     pub const REGISTRY_STALE: &str = "registry-stale";
+    pub const OBS_LABEL_HYGIENE: &str = "obs-label-hygiene";
 
     /// Every id, for suppression validation and docs.
     pub const ALL: &[&str] = &[
@@ -47,6 +49,7 @@ pub mod ids {
         SUPPRESSION_SYNTAX,
         LEX_ERROR,
         REGISTRY_STALE,
+        OBS_LABEL_HYGIENE,
     ];
 }
 
@@ -104,6 +107,7 @@ impl<'a> Ctx<'a> {
 pub fn run_all(ctx: &Ctx<'_>, out: &mut Vec<Finding>) {
     panic_free::run(ctx, out);
     secrets::run(ctx, out);
+    obs::run(ctx, out);
     unsafe_code::run(ctx, out);
     taxonomy::run(ctx, out);
     nonce_ct::run(ctx, out);

@@ -1,0 +1,16 @@
+//! Fixture: obs call sites violating label hygiene on purpose.
+//! Expected findings: one ad-hoc counter name, one unregistered label
+//! key, one secret type inside an obs expression — three
+//! `obs-label-hygiene` findings.
+
+fn leaky(key: &FixtureKey, nym_name: &str) {
+    // Registered stage + registered key: this line itself is clean.
+    let _ok = nymix_obs::span!("capture", "session" => 7u64);
+    // Ad-hoc metric name: not in the vocabulary.
+    nymix_obs::counter!("totally.adhoc", 1u64);
+    // Unregistered label key (a nym name is exactly what must not
+    // reach a trace).
+    let _bad = nymix_obs::span!("capture", "nym_name" => nym_name.len());
+    // Registered secret type feeding an obs value.
+    nymix_obs::gauge!("capture", FixtureKey::material_len(key));
+}

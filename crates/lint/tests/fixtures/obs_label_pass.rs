@@ -1,0 +1,23 @@
+//! Fixture: obs call sites that keep to the registered vocabulary —
+//! must stay clean under `obs-label-hygiene`.
+
+fn instrumented(commits: u64) {
+    let _span = nymix_obs::span!("capture", "session" => 7u64);
+    nymix_obs::counter!("disk.commits", commits);
+}
+
+// A macro *definition* with an obs-macro name is not a call site.
+macro_rules! span {
+    ($x:expr) => {
+        $x
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn test_code_is_not_policed() {
+        // Ad-hoc labels are fine in tests (never exported).
+        nymix_obs::counter!("tests.adhoc.scratch", 1u64);
+    }
+}

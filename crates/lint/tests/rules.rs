@@ -32,6 +32,11 @@ fn fixture_registry() -> Registry {
             reason: "fixture exemption".to_string(),
         }],
         exempt_secrets: vec![],
+        obs_labels: vec![
+            "capture".to_string(),
+            "session".to_string(),
+            "disk.commits".to_string(),
+        ],
     }
 }
 
@@ -219,6 +224,80 @@ fn reasonless_and_unknown_rule_suppressions_are_findings() {
     );
     // The reasonless allow does NOT silence the violation under it.
     assert!(rules.contains(&ids::PANIC_FREE), "got {rules:?}");
+}
+
+#[test]
+fn obs_label_fail_flags_adhoc_labels_and_secret() {
+    let rules = lint("obs_label_fail.rs", "fixtures/src/metrics.rs");
+    assert_eq!(
+        rules
+            .iter()
+            .filter(|r| **r == ids::OBS_LABEL_HYGIENE)
+            .count(),
+        3,
+        "ad-hoc name, unregistered key, secret type each flag: {rules:?}"
+    );
+}
+
+#[test]
+fn obs_label_pass_is_clean_and_ignores_tests_and_definitions() {
+    let rules = lint("obs_label_pass.rs", "fixtures/src/metrics.rs");
+    assert!(rules.is_empty(), "expected clean, got {rules:?}");
+}
+
+#[test]
+fn obs_rule_inert_without_a_vocabulary() {
+    let mut reg = fixture_registry();
+    reg.obs_labels.clear();
+    let mut out = Vec::new();
+    lint_file(
+        "fixtures/src/metrics.rs",
+        &fixture("obs_label_fail.rs"),
+        &reg,
+        &mut out,
+    );
+    assert!(
+        !out.iter().any(|f| f.rule == ids::OBS_LABEL_HYGIENE),
+        "empty vocabulary must not police: {out:?}"
+    );
+}
+
+/// The lint registry's obs vocabulary must stay in lock-step with the
+/// tables between the `lint-vocabulary-begin/end` markers in
+/// `crates/obs/src/registry.rs` — drift in either direction fails.
+#[test]
+fn obs_vocabulary_matches_nymix_obs() {
+    let path = format!("{}/../obs/src/registry.rs", env!("CARGO_MANIFEST_DIR"));
+    let src = std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("reading {path}: {e}"));
+    let begin = src
+        .find("lint-vocabulary-begin")
+        .expect("begin marker in obs registry");
+    let end = src
+        .find("lint-vocabulary-end")
+        .expect("end marker in obs registry");
+    let mut from_obs: Vec<String> = Vec::new();
+    for line in src[begin..end].lines() {
+        if line.trim_start().starts_with("//") {
+            continue;
+        }
+        let mut rest = line;
+        while let Some(a) = rest.find('"') {
+            let tail = &rest[a + 1..];
+            let Some(b) = tail.find('"') else { break };
+            from_obs.push(tail[..b].to_string());
+            rest = &tail[b + 1..];
+        }
+    }
+    from_obs.sort();
+    from_obs.dedup();
+    let mut from_lint = Registry::obs_vocabulary();
+    from_lint.sort();
+    from_lint.dedup();
+    assert_eq!(
+        from_obs, from_lint,
+        "nymix-obs registry and nymix-lint obs vocabulary drifted: update \
+         Registry::obs_vocabulary() to mirror crates/obs/src/registry.rs"
+    );
 }
 
 #[test]

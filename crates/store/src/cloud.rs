@@ -106,7 +106,12 @@ pub const ACCESS_LOG_CAPACITY: usize = 4096;
 pub struct AccessLog {
     entries: VecDeque<AccessLogEntry>,
     capacity: usize,
-    total: u64,
+    /// Lifetime op tally, mirrored into the `cloud.ops` obs counter —
+    /// the log's totals are a *view* over the same metric the fleet
+    /// snapshot reports.
+    total: nymix_obs::Meter,
+    /// Entries rotated off the front, mirrored into `cloud.dropped`.
+    dropped: nymix_obs::Meter,
 }
 
 impl AccessLog {
@@ -115,16 +120,18 @@ impl AccessLog {
         Self {
             entries: VecDeque::with_capacity(capacity.min(64)),
             capacity,
-            total: 0,
+            total: nymix_obs::meter!("cloud.ops"),
+            dropped: nymix_obs::meter!("cloud.dropped"),
         }
     }
 
     fn push(&mut self, entry: AccessLogEntry) {
         if self.entries.len() == self.capacity {
             self.entries.pop_front();
+            self.dropped.add(1);
         }
         self.entries.push_back(entry);
-        self.total += 1;
+        self.total.add(1);
     }
 
     /// Entries currently retained.
@@ -144,12 +151,12 @@ impl AccessLog {
 
     /// Operations ever recorded, including ones the ring dropped.
     pub fn total_recorded(&self) -> u64 {
-        self.total
+        self.total.get()
     }
 
     /// Entries dropped off the front of the ring so far.
     pub fn dropped(&self) -> u64 {
-        self.total - self.entries.len() as u64
+        self.dropped.get()
     }
 
     /// Iterates retained entries, oldest first.
@@ -340,6 +347,7 @@ impl CloudProvider {
     }
 
     fn auth(&self, account: &str, credential: &str) -> Result<(), CloudError> {
+        nymix_obs::counter!("cloud.auth", 1u64);
         // An unreachable provider fails before it can even check
         // credentials — outages gate every operation here.
         if self.is_down() {
@@ -431,6 +439,8 @@ impl CloudProvider {
             observed_ip,
             bytes,
         });
+        nymix_obs::counter!("cloud.puts", 1u64);
+        nymix_obs::histogram!("cloud.put_bytes", bytes);
         Ok(())
     }
 
@@ -454,6 +464,7 @@ impl CloudProvider {
             observed_ip,
             bytes: data.len(),
         });
+        nymix_obs::counter!("cloud.gets", 1u64);
         Ok(data)
     }
 
@@ -539,7 +550,7 @@ impl CloudProvider {
             observed_ip,
             retry_max: DEFAULT_RETRY_MAX,
             retry_base: DEFAULT_RETRY_BASE,
-            backoff_accrued: SimDuration::ZERO,
+            backoff_accrued: nymix_obs::meter!("cloud.backoff_us"),
         }
     }
 
@@ -597,10 +608,11 @@ pub struct CloudSession<'p> {
     retry_max: u32,
     /// Backoff before the first retry; doubles each further retry.
     retry_base: SimDuration,
-    /// Total simulated backoff this session has waited. The nym
-    /// manager adds it to the save's modeled duration so retries cost
-    /// simulated time, deterministically.
-    backoff_accrued: SimDuration,
+    /// Total simulated backoff this session has waited, in
+    /// microseconds, mirrored into the `cloud.backoff_us` obs counter.
+    /// The nym manager adds it to the save's modeled duration so
+    /// retries cost simulated time, deterministically.
+    backoff_accrued: nymix_obs::Meter,
 }
 
 /// Default retries per write after the first attempt.
@@ -649,13 +661,14 @@ impl CloudSession<'_> {
 
     /// Total simulated backoff accrued by retried writes so far.
     pub fn accrued_backoff(&self) -> SimDuration {
-        self.backoff_accrued
+        SimDuration(self.backoff_accrued.get())
     }
 
     /// Resets the accrued-backoff accumulator (after the caller has
-    /// charged it to the clock).
+    /// charged it to the clock). The `cloud.backoff_us` obs mirror is
+    /// monotonic and unaffected.
     pub fn take_accrued_backoff(&mut self) -> SimDuration {
-        std::mem::take(&mut self.backoff_accrued)
+        SimDuration(self.backoff_accrued.take())
     }
 
     /// One write with bounded deterministic exponential-backoff retry.
@@ -687,7 +700,7 @@ impl CloudSession<'_> {
                     if !be.is_transient() || attempt == self.retry_max {
                         return Err(be);
                     }
-                    self.backoff_accrued = self.backoff_accrued.saturating_add(backoff);
+                    self.backoff_accrued.add(backoff.0);
                     backoff = backoff.saturating_add(backoff);
                 }
             }
@@ -745,7 +758,7 @@ impl ObjectBackend for CloudSession<'_> {
                         return Err(be);
                     }
                     retries_left -= 1;
-                    self.backoff_accrued = self.backoff_accrued.saturating_add(backoff);
+                    self.backoff_accrued.add(backoff.0);
                     backoff = backoff.saturating_add(backoff);
                 }
             }
@@ -771,6 +784,7 @@ impl ObjectBackend for CloudSession<'_> {
             observed_ip: self.observed_ip,
             bytes,
         });
+        nymix_obs::counter!("cloud.gets", 1u64);
         // Re-serve for the borrowed return value (the log push above
         // needed the mutable half of the provider).
         Ok(self.provider.serve_read(&self.account, name))

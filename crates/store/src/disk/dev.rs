@@ -108,7 +108,7 @@ struct PendingWrite {
 
 /// An in-memory simulated disk with a volatile write cache and a
 /// deterministic fault plan. See the [module docs](self).
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone)]
 pub struct SimDisk {
     /// Read view per file (durable image + every queued write applied).
     view: [Vec<u8>; 2],
@@ -120,14 +120,42 @@ pub struct SimDisk {
     /// Operations executed so far (writes + fsyncs), the fault-plan
     /// coordinate space.
     ops: u64,
+    /// Borrowable snapshot for [`SimDisk::stats`], refreshed from the
+    /// meters below on every tallied operation — the meters are the
+    /// accounting (and mirror into the `disk.*` obs counters when the
+    /// recorder is on); this struct is only the public view of them.
     stats: DiskStats,
+    m_writes: nymix_obs::Meter,
+    m_bytes_written: nymix_obs::Meter,
+    m_reads: nymix_obs::Meter,
+    m_bytes_read: nymix_obs::Meter,
+    m_fsyncs: nymix_obs::Meter,
     dead: bool,
+}
+
+impl Default for SimDisk {
+    fn default() -> Self {
+        Self::new()
+    }
 }
 
 impl SimDisk {
     /// A fresh, empty, fault-free device.
     pub fn new() -> Self {
-        Self::default()
+        Self {
+            view: [Vec::new(), Vec::new()],
+            durable: [Vec::new(), Vec::new()],
+            pending: Vec::new(),
+            plan: FaultPlan::default(),
+            ops: 0,
+            stats: DiskStats::default(),
+            m_writes: nymix_obs::meter!("disk.writes"),
+            m_bytes_written: nymix_obs::meter!("disk.bytes_written"),
+            m_reads: nymix_obs::meter!("disk.reads"),
+            m_bytes_read: nymix_obs::meter!("disk.bytes_read"),
+            m_fsyncs: nymix_obs::meter!("disk.fsyncs"),
+            dead: false,
+        }
     }
 
     /// Installs a fault plan. Counting starts from the device's current
@@ -196,8 +224,10 @@ impl SimDisk {
                 at,
                 data: data.to_vec(),
             });
-            disk.stats.bytes_written += data.len() as u64;
-            disk.stats.writes += 1;
+            disk.m_bytes_written.add(data.len() as u64);
+            disk.m_writes.add(1);
+            disk.stats.bytes_written = disk.m_bytes_written.get();
+            disk.stats.writes = disk.m_writes.get();
         };
         match self.charge() {
             Ok(()) => {
@@ -229,7 +259,8 @@ impl SimDisk {
             }
         }
         self.pending = remaining;
-        self.stats.fsyncs += 1;
+        self.m_fsyncs.add(1);
+        self.stats.fsyncs = self.m_fsyncs.get();
         Ok(())
     }
 
@@ -244,8 +275,10 @@ impl SimDisk {
             out.extend_from_slice(&v[at..end]);
         }
         out.resize(len, 0);
-        self.stats.bytes_read += len as u64;
-        self.stats.reads += 1;
+        self.m_bytes_read.add(len as u64);
+        self.m_reads.add(1);
+        self.stats.bytes_read = self.m_bytes_read.get();
+        self.stats.reads = self.m_reads.get();
     }
 
     /// Borrows the whole view of a file (used by recovery scans; not
@@ -328,6 +361,11 @@ impl SimDisk {
             plan: FaultPlan::none(),
             ops: 0,
             stats: DiskStats::default(),
+            m_writes: nymix_obs::meter!("disk.writes"),
+            m_bytes_written: nymix_obs::meter!("disk.bytes_written"),
+            m_reads: nymix_obs::meter!("disk.reads"),
+            m_bytes_read: nymix_obs::meter!("disk.bytes_read"),
+            m_fsyncs: nymix_obs::meter!("disk.fsyncs"),
             dead: false,
         }
     }

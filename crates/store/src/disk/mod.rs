@@ -159,6 +159,7 @@ impl DiskStore {
     /// is formatted; a crashed one is rolled forward or back to a
     /// batch boundary; a corrupted one fails closed.
     pub fn open(mut disk: SimDisk) -> Result<Self, DiskError> {
+        let _span = nymix_obs::span!("recovery");
         if disk.is_dead() {
             return Err(DiskError::Device(DeviceError::Dead));
         }
@@ -228,6 +229,7 @@ impl DiskStore {
             .and_then(journal::decode_batch);
         if let Some(batch) = batch {
             if batch.seq == store.applied_seq + 1 {
+                nymix_obs::counter!("disk.recoveries", 1u64);
                 let owned: Vec<(String, Vec<u8>)> = batch
                     .ops
                     .iter()
@@ -308,6 +310,7 @@ impl DiskStore {
             self.garbage_bytes += tombstone_len(name);
             self.tier.remove(name);
         }
+        nymix_obs::gauge!("disk.garbage_bytes", self.garbage_bytes);
         Ok(())
     }
 
@@ -328,6 +331,7 @@ impl DiskStore {
         if puts.is_empty() && deletes.is_empty() {
             return Ok(());
         }
+        let _span = nymix_obs::span!("journal_commit", "objects" => puts.len());
         let seq = self.applied_seq + 1;
         let ops: Vec<BatchOp<'_>> = puts
             .iter()
@@ -336,6 +340,7 @@ impl DiskStore {
             .collect();
         let frame = journal::encode_batch(seq, &ops);
         drop(ops);
+        nymix_obs::histogram!("disk.commit_bytes", frame.len());
         let res = (|| -> Result<(), DeviceError> {
             self.disk.write(FileId::Journal, BATCH_START, &frame)?;
             self.disk.fsync(FileId::Journal)?;
@@ -349,6 +354,7 @@ impl DiskStore {
             self.poisoned = true;
             return Err(DiskError::from(e).into());
         }
+        nymix_obs::counter!("disk.commits", 1u64);
         Ok(())
     }
 
@@ -455,6 +461,7 @@ impl ObjectBackend for DiskStore {
         if self.tier.get(name).is_none() {
             // Miss (counted by the tier): fetch from media, then try to
             // make it resident for next time.
+            nymix_obs::counter!("disk.tier_misses", 1u64);
             let mut buf = Vec::new();
             self.disk
                 .read(FileId::Heap, loc.off as usize, loc.len as usize, &mut buf);
@@ -464,6 +471,8 @@ impl ObjectBackend for DiskStore {
                 // Larger than the whole budget: serve uncached.
                 return Ok(Some(&self.read_buf));
             }
+        } else {
+            nymix_obs::counter!("disk.tier_hits", 1u64);
         }
         Ok(self.tier.peek(name))
     }

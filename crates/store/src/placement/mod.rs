@@ -198,6 +198,7 @@ impl<B: ObjectBackend> PlacementStore<B> {
         delete_names: &[String],
         outcomes: Vec<Result<(), BackendError>>,
     ) -> Result<(), BackendError> {
+        let _span = nymix_obs::span!("quorum_wait", "objects" => put_names.len());
         let (k, n) = (self.k as usize, self.children.len());
         let mut failed: Vec<u8> = Vec::new();
         let mut saw_unreachable = false;
@@ -205,6 +206,7 @@ impl<B: ObjectBackend> PlacementStore<B> {
         for (ci, outcome) in outcomes.into_iter().enumerate() {
             match outcome {
                 Ok(()) => {
+                    nymix_obs::counter!("placement.shard_writes", put_names.len());
                     // A landed write supersedes any delete still queued
                     // for this child; flushing it later would destroy
                     // the fresh shard.
@@ -219,6 +221,7 @@ impl<B: ObjectBackend> PlacementStore<B> {
                 }
                 Err(BackendError::Denied) => return Err(BackendError::Denied),
                 Err(e) => {
+                    nymix_obs::counter!("placement.shard_failures", put_names.len());
                     saw_unreachable |=
                         matches!(e, BackendError::Unavailable(_) | BackendError::Transient(_));
                     detail = e.to_string();
@@ -257,7 +260,17 @@ impl<B: ObjectBackend> PlacementStore<B> {
                     .insert(ci);
             }
         }
+        self.publish_queue_gauges();
         Ok(())
+    }
+
+    /// Publishes the repair/delete backlog depths as obs gauges (only
+    /// when the recorder is on — the depths are O(queue) to compute).
+    fn publish_queue_gauges(&self) {
+        if nymix_obs::enabled() {
+            nymix_obs::gauge!("placement.repair_queue", self.pending_repairs());
+            nymix_obs::gauge!("placement.pending_deletes", self.pending_delete_count());
+        }
     }
 
     /// Fetches, verifies and reconstructs one object. Pure with
@@ -390,6 +403,8 @@ impl<B: ObjectBackend> PlacementStore<B> {
     /// still failing leave their entries queued for the next pass;
     /// repair itself never fails the store.
     pub fn repair(&mut self) -> RepairReport {
+        let _span = nymix_obs::span!("repair");
+        nymix_obs::counter!("placement.repair_passes", 1u64);
         let mut report = RepairReport::default();
         // Deletes first: a queued delete and a queued re-materialize
         // for the same (object, child) must not land new-then-delete.
@@ -440,12 +455,16 @@ impl<B: ObjectBackend> PlacementStore<B> {
                 }
             }
         }
+        nymix_obs::counter!("placement.shards_rebuilt", report.shards_rebuilt);
+        nymix_obs::counter!("placement.deletes_flushed", report.deletes_flushed);
+        self.publish_queue_gauges();
         report
     }
 }
 
 impl<B: ObjectBackend> ObjectBackend for PlacementStore<B> {
     fn put(&mut self, name: &str, data: Vec<u8>) -> Result<(), BackendError> {
+        let _span = nymix_obs::span!("shard_write", "objects" => 1u64, "bytes" => data.len());
         let shards = self.encode_object(name, &data);
         let outcomes: Vec<Result<(), BackendError>> = self
             .children
@@ -469,6 +488,7 @@ impl<B: ObjectBackend> ObjectBackend for PlacementStore<B> {
         puts: Vec<(String, Vec<u8>)>,
         deletes: Vec<String>,
     ) -> Result<(), BackendError> {
+        let _span = nymix_obs::span!("shard_write", "objects" => puts.len());
         let n = self.children.len();
         let mut per_child: Vec<Vec<(String, Vec<u8>)>> =
             (0..n).map(|_| Vec::with_capacity(puts.len())).collect();

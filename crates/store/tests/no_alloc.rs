@@ -120,6 +120,43 @@ fn warm_delta_seal_pipeline_is_allocation_free() {
 }
 
 #[test]
+fn disabled_obs_recorder_is_allocation_free() {
+    // Every hot path in this crate carries obs call sites; with the
+    // recorder disabled (the default — this test binary never enables
+    // it) each one must be a relaxed load and a branch, never a heap
+    // touch, or the warm-path guarantees above silently erode.
+    assert!(!nymix_obs::enabled());
+    let n = allocations_in(|| {
+        for i in 0..64u64 {
+            let mut span = nymix_obs::span!("journal_commit", "bytes" => i);
+            span.add_modeled_us(i);
+            nymix_obs::counter!("disk.commits", 1u64);
+            nymix_obs::gauge!("disk.garbage_bytes", i);
+            nymix_obs::histogram!("disk.commit_bytes", i);
+            nymix_obs::sim_clock(i);
+            drop(span);
+        }
+    });
+    assert_eq!(n, 0, "disabled obs recorder must not allocate");
+}
+
+#[test]
+fn meter_is_allocation_free_with_recorder_disabled() {
+    // `AccessLog` / `CloudSession` accounting now rides `Meter`s; their
+    // local tallies must stay heap-free when the recorder is off.
+    assert!(!nymix_obs::enabled());
+    let mut meter = nymix_obs::meter!("cloud.ops");
+    let n = allocations_in(|| {
+        for i in 0..64u64 {
+            meter.add(i);
+        }
+        std::hint::black_box(meter.get());
+        std::hint::black_box(meter.take());
+    });
+    assert_eq!(n, 0, "Meter bookkeeping must not allocate");
+}
+
+#[test]
 fn content_defined_chunking_is_allocation_free() {
     // The chunker runs over every large record on every incremental
     // save; it yields borrowed sub-slices and must never touch the

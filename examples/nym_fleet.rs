@@ -18,6 +18,12 @@
 //! pass re-materializes the missed shards once the provider returns.
 //!
 //! Run with: `cargo run --release --example nym_fleet`
+//!
+//! With `NYMIX_TRACE=1` the run also records a privacy-disciplined
+//! Chrome trace (see `OBSERVABILITY.md`) of every pipeline stage and
+//! writes it to `NYMIX_TRACE_OUT` (default `nym_fleet_trace.json`),
+//! plus an end-of-run metrics snapshot. Validate the artifact with
+//! `cargo run -p nymix-obs --bin trace_check -- <path>`.
 
 use nymix::{NymFleet, NymManager, SaveKind, StorageDest, UsageModel};
 use nymix_anon::AnonymizerKind;
@@ -37,6 +43,11 @@ fn dest_for(i: usize) -> StorageDest {
 }
 
 fn main() {
+    let tracing = std::env::var("NYMIX_TRACE").is_ok_and(|v| !v.is_empty() && v != "0");
+    if tracing {
+        nymix_obs::set_enabled(true);
+    }
+
     // A 64 GiB host: the paper's 16 GiB testbed admits ~22 nymboxes;
     // fleets want headroom (each nymbox costs ~706 MiB).
     let mut nymix = NymManager::with_host_ram(2026, 8, 65_536);
@@ -217,4 +228,22 @@ fn main() {
         "provider outage absorbed: {FLEET} nyms restored degraded, {} shards re-materialized on repair",
         report.shards_rebuilt
     );
+
+    // End-of-run observability: the Chrome trace of every pipeline
+    // stage plus the merged metrics snapshot. Both artifacts carry
+    // only registered static labels and plain numbers — safe to ship.
+    if tracing {
+        let snap = nymix_obs::snapshot();
+        println!(
+            "obs: disk.garbage_bytes={} placement.repair_queue={} (snapshot follows)",
+            snap.gauge("disk.garbage_bytes"),
+            snap.gauge("placement.repair_queue"),
+        );
+        println!("{}", snap.to_json());
+        let out =
+            std::env::var("NYMIX_TRACE_OUT").unwrap_or_else(|_| "nym_fleet_trace.json".to_string());
+        let trace = nymix_obs::trace_json();
+        std::fs::write(&out, &trace).expect("writing trace file");
+        println!("wrote Chrome trace to {out} ({} bytes)", trace.len());
+    }
 }
