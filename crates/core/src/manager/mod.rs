@@ -639,6 +639,7 @@ impl NymManager {
                     delta_count: fetched.delta_count,
                     archive,
                     chunks: fetched.chunk_index,
+                    commitment: fetched.commitment,
                     anon_gen,
                     comm_gen,
                 },

@@ -34,7 +34,7 @@ use nymix_net::Ip;
 use nymix_sim::{Rng, SimDuration};
 use nymix_store::cas::{self, ChunkIndex, ChunkManifest};
 use nymix_store::{
-    archive_merkle_root, seal_delta_keyed_into, seal_keyed_into, DeltaArchive, NymArchive,
+    seal_delta_keyed_into, seal_keyed_into, ArchiveCommitment, DeltaArchive, NymArchive,
     ObjectBackend, SealKey, SealScratch, CHUNK_RECORD_THRESHOLD, DELTA_CHAIN_LIMIT,
 };
 
@@ -110,6 +110,11 @@ struct SavePlan<'a> {
     comm_gen: u64,
     /// `(key, epoch, delta_count)` when a usable chain was carried.
     chain: Option<(SealKey, u64, usize)>,
+    /// The carried chain's Merkle commitment cache (empty when no
+    /// chain carried). A delta save recomputes only dirty leaves plus
+    /// the root path against it; a full save refreshes it in place so
+    /// clean carried records keep their cached leaf hashes.
+    commitment: ArchiveCommitment,
     chunk_index: ChunkIndex,
     /// Chunk objects of the carried chain's epoch (swept on compaction).
     prev_chunk_objects: Vec<String>,
@@ -145,6 +150,9 @@ struct SealedSave<'a> {
     epoch: u64,
     delta_count: usize,
     chunk_index: ChunkIndex,
+    /// Commitment cache over the sealed archive, flowing back into the
+    /// session's `ChainState` so the next delta save stays O(dirty).
+    commitment: ArchiveCommitment,
 }
 
 /// The store pipeline: save/restore policy plus the state that must
@@ -432,6 +440,7 @@ impl StorePipeline {
                         delta_count: s.delta_count,
                         archive: s.plan.next,
                         chunks: s.chunk_index,
+                        commitment: s.commitment,
                         anon_gen: s.plan.anon_gen,
                         comm_gen: s.plan.comm_gen,
                     },
@@ -543,7 +552,7 @@ impl StorePipeline {
         // possible — clean records (chunk manifests included) carry
         // over untouched, by move. A full save rebuilds from scratch so
         // the new epoch never references the old one's chunk objects.
-        let (mut next, chain_carry, chunk_index, prev_chunk_objects) = match chain {
+        let (mut next, chain_carry, commitment, chunk_index, prev_chunk_objects) = match chain {
             Some(c) if want_delta => {
                 let prefix = chunk_prefix(&label, c.epoch);
                 let prev: Vec<String> = c
@@ -554,6 +563,7 @@ impl StorePipeline {
                 (
                     c.archive,
                     Some((c.key, c.epoch, c.delta_count)),
+                    c.commitment,
                     c.chunks,
                     prev,
                 )
@@ -565,9 +575,24 @@ impl StorePipeline {
                     .ids()
                     .map(|id| cas::chunk_object_name(&prefix, id))
                     .collect();
-                (NymArchive::new(), None, ChunkIndex::new(), prev)
+                // The archive rebuilds from scratch, so the old cache
+                // has nothing reusable: every record lands in
+                // `dirty_old` and would be rehashed anyway.
+                (
+                    NymArchive::new(),
+                    None,
+                    ArchiveCommitment::default(),
+                    ChunkIndex::new(),
+                    prev,
+                )
             }
-            None => (NymArchive::new(), None, ChunkIndex::new(), Vec::new()),
+            None => (
+                NymArchive::new(),
+                None,
+                ArchiveCommitment::default(),
+                ChunkIndex::new(),
+                Vec::new(),
+            ),
         };
 
         // Infallible from here to the resume: the generation read
@@ -637,6 +662,7 @@ impl StorePipeline {
             anon_gen,
             comm_gen,
             chain: chain_carry,
+            commitment,
             chunk_index,
             prev_chunk_objects,
             last_epoch,
@@ -747,12 +773,23 @@ fn build_delta(plan: &mut SavePlan<'_>) {
     if !plan.want_delta {
         return;
     }
-    let mut delta = DeltaArchive::new(plan.next.record_count(), archive_merkle_root(&plan.next));
-    for (name, old) in &plan.dirty_old {
-        let new = plan.next.get(name).expect("captured record present");
-        if old.as_deref() != Some(new) {
-            delta.put(name, new.to_vec());
-        }
+    let dirty: Vec<(&'static str, &[u8])> = plan
+        .dirty_old
+        .iter()
+        .filter_map(|(name, old)| {
+            let new = plan.next.get(name).expect("captured record present");
+            (old.as_deref() != Some(new)).then_some((*name, new))
+        })
+        .collect();
+    // O(dirty) commitment: only records the delta ships are rehashed;
+    // every clean leaf — and all interior nodes off the dirty leaves'
+    // root paths — comes straight from the chain's carried cache.
+    let root = plan
+        .commitment
+        .update(&plan.next, |name| dirty.iter().any(|(n, _)| *n == name));
+    let mut delta = DeltaArchive::new(plan.next.record_count(), root);
+    for (name, new) in dirty {
+        delta.put(name, new.to_vec());
     }
     if delta.serialized_len() < plan.next.serialized_len() {
         plan.delta = Some(delta);
@@ -852,6 +889,15 @@ fn seal_one(job: SealJob<'_>) -> SealedSave<'_> {
         None => {
             let epoch = plan.last_epoch.map_or(1, |e| e + 1);
             plan.next.put(EPOCH_RECORD, epoch.to_le_bytes().to_vec());
+            // Refresh the commitment cache over the new base so the
+            // next delta save starts O(dirty). Clean carried records
+            // (including the fallback path's) keep their cached leaf
+            // hashes; everything this save re-captured, plus the epoch
+            // record, is rehashed.
+            let dirty_old = &plan.dirty_old;
+            plan.commitment.update(&plan.next, |name| {
+                name == EPOCH_RECORD || dirty_old.iter().any(|(n, _)| *n == name)
+            });
             let key = SealKey::derive(plan.req.password, &plan.label, &mut rng);
             let prefix = chunk_prefix(&plan.label, epoch);
             chunk_index = ChunkIndex::new();
@@ -891,6 +937,7 @@ fn seal_one(job: SealJob<'_>) -> SealedSave<'_> {
             (SaveKind::Full, key, epoch, 0)
         }
     };
+    let commitment = std::mem::take(&mut plan.commitment);
     SealedSave {
         plan,
         scratch,
@@ -903,5 +950,6 @@ fn seal_one(job: SealJob<'_>) -> SealedSave<'_> {
         epoch,
         delta_count,
         chunk_index,
+        commitment,
     }
 }

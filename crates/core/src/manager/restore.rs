@@ -7,7 +7,8 @@
 use nymix_net::Ip;
 use nymix_store::cas::{self, ChunkIndex, ChunkManifest};
 use nymix_store::{
-    DeltaArchive, NymArchive, ObjectBackend, SealKey, SealScratch, DELTA_CHAIN_LIMIT,
+    ArchiveCommitment, DeltaArchive, NymArchive, ObjectBackend, SealKey, SealScratch,
+    DELTA_CHAIN_LIMIT,
 };
 
 use super::env::Environment;
@@ -29,6 +30,11 @@ pub(super) struct FetchedChain {
     pub epoch: Option<u64>,
     pub delta_count: usize,
     pub chunk_index: ChunkIndex,
+    /// The commitment cache built over the base and advanced through
+    /// every verified delta replay — it covers the stored form the
+    /// continued chain starts from, so the session's next delta save
+    /// is O(dirty) with no rebuild.
+    pub commitment: ArchiveCommitment,
     pub fetched_bytes: usize,
 }
 
@@ -83,7 +89,11 @@ pub(super) fn fetch_chain(
     // Replay the delta chain: each blob is bound to its slot label (no
     // splicing), each replay is Merkle-verified against the delta's
     // full-record-set commitment — any mismatch aborts the restore
-    // instead of resurrecting silently-wrong state.
+    // instead of resurrecting silently-wrong state. The commitment
+    // accumulator is built once over the base, then advanced leaf-wise
+    // per delta, so verification rehashes only each delta's dirty
+    // records instead of the whole record set per replay.
+    let mut commitment = ArchiveCommitment::build(&archive);
     let epoch = archive
         .get(EPOCH_RECORD)
         .and_then(|b| <[u8; 8]>::try_from(b).ok())
@@ -105,7 +115,7 @@ pub(super) fn fetch_chain(
                     .map_err(|e| NymManagerError::Storage(e.to_string()))?
             };
             delta
-                .apply(&mut archive)
+                .apply_with(&mut archive, &mut commitment)
                 .map_err(|e| NymManagerError::Storage(e.to_string()))?;
             delta_count = index;
         }
@@ -169,6 +179,7 @@ pub(super) fn fetch_chain(
         epoch,
         delta_count,
         chunk_index,
+        commitment,
         fetched_bytes,
     })
 }

@@ -28,7 +28,7 @@ use nymix_net::firewall::{Action, Direction, Firewall, Rule};
 use nymix_net::{Ip, Mac, NodeKind};
 use nymix_sim::{Rng, SimDuration};
 use nymix_store::cas::ChunkIndex;
-use nymix_store::{NymArchive, SealKey, SealScratch};
+use nymix_store::{ArchiveCommitment, NymArchive, SealKey, SealScratch};
 use nymix_vmm::VmConfig;
 use nymix_workload::browser::BrowserState;
 use nymix_workload::{BrowserSession, Site};
@@ -61,6 +61,14 @@ pub(super) struct ChainState {
     /// reference; retired versions are swept by refcount, retired
     /// epochs by mark-and-sweep.
     pub(super) chunks: ChunkIndex,
+    /// Merkle commitment over `archive`'s stored-form records, with
+    /// every leaf hash and interior node cached. Carrying it across
+    /// saves is what makes a delta save's commitment O(dirty): only
+    /// records that actually changed are rehashed, the root path is
+    /// recomputed incrementally, and everything else is a cache hit.
+    /// Derivable state — rebuilt from the archive on restore, never
+    /// serialized.
+    pub(super) commitment: ArchiveCommitment,
     pub(super) anon_gen: u64,
     pub(super) comm_gen: u64,
 }

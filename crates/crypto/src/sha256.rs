@@ -26,6 +26,32 @@
 //!   hashed in one interleaved pass. The four lanes step in lockstep so
 //!   the per-lane loops vectorize across lanes; batch Merkle leaf/node
 //!   hashing is built on this.
+//!
+//! # Runtime backend dispatch
+//!
+//! PR 2's notes document how a single compile-time codegen target made
+//! `sha256_64k` silently 2.4× slower when `-C target-cpu=native` was
+//! dropped — a build-configuration dependency nobody notices until the
+//! performance envelope is gone. The kernel behind all three entry
+//! points is therefore selected **at runtime**, once per process:
+//!
+//! 1. `NYMIX_SHA_BACKEND=scalar|x4|avx2|shani` overrides everything
+//!    (testing / forensics). Naming a kernel this build or CPU cannot
+//!    run falls back to the portable [`ShaBackend::X4`] floor — it
+//!    never silently upgrades to a different accelerated path.
+//! 2. Otherwise CPUID picks the best supported kernel: SHA-NI
+//!    (hardware rounds), then AVX2 (the interleaved kernel compiled in
+//!    a verified-AVX2 context), then the portable floor.
+//!
+//! The accelerated kernels live in cfg-isolated child modules
+//! (`shani`, `avx2`) compiled only under the `simd-kernels` feature on
+//! `x86_64`; they are the only unsafe code in the workspace, and
+//! `nymix-lint` carries them as registered, reason-required
+//! `unsafe-kernel` exemptions. Without the feature the crate still
+//! `forbid(unsafe_code)`s and runs the portable scalar/[`sha256_x4`]
+//! kernels, which remain the bit-identical floor on every target.
+//! [`sha256_backend`] reports the selection (and exports it as the
+//! `crypto.sha256.backend` gauge); [`set_sha_backend`] forces it.
 
 /// Number of bytes in a SHA-256 digest.
 pub const DIGEST_LEN: usize = 32;
@@ -309,14 +335,27 @@ fn compress_block(state: &mut [u32; 8], block: &[u8; BLOCK_LEN]) {
     state[7] = state[7].wrapping_add(h);
 }
 
-/// Compresses every 64-byte block of `data` (whose length must be a
-/// multiple of [`BLOCK_LEN`]) into `state`, reading the input in place.
-pub(crate) fn compress_blocks(state: &mut [u32; 8], data: &[u8]) {
-    debug_assert_eq!(data.len() % BLOCK_LEN, 0);
-    nymix_obs::counter!("crypto.sha256.blocks", data.len() / BLOCK_LEN);
+/// The portable block loop — also the fallback the cfg-gated kernels
+/// take when the runtime CPU check says no.
+fn compress_blocks_portable(state: &mut [u32; 8], data: &[u8]) {
     for block in data.chunks_exact(BLOCK_LEN) {
         compress_block(state, block.try_into().expect("exact chunk"));
     }
+}
+
+/// Compresses every 64-byte block of `data` (whose length must be a
+/// multiple of [`BLOCK_LEN`]) into `state`, reading the input in place.
+/// Routed through the dispatched backend (single-stream, so only the
+/// SHA-NI kernel beats the unrolled portable loop here).
+pub(crate) fn compress_blocks(state: &mut [u32; 8], data: &[u8]) {
+    debug_assert_eq!(data.len() % BLOCK_LEN, 0);
+    nymix_obs::counter!("crypto.sha256.blocks", data.len() / BLOCK_LEN);
+    #[cfg(all(feature = "simd-kernels", target_arch = "x86_64"))]
+    if backend() == ShaBackend::ShaNi {
+        shani::compress_blocks(state, data);
+        return;
+    }
+    compress_blocks_portable(state, data);
 }
 
 /// Serializes a state into the big-endian digest byte order.
@@ -520,10 +559,37 @@ macro_rules! rnd16x4 {
     }};
 }
 
-/// Compresses one block per lane, all four lanes in lockstep.
-#[inline(always)]
+/// Compresses one block per lane, routed to the dispatched backend.
+/// Every four-lane entry point funnels through here.
 fn compress4(states: &mut [[u32; 8]; LANES], blocks: [&[u8; BLOCK_LEN]; LANES]) {
     nymix_obs::counter!("crypto.sha256.blocks", LANES);
+    match backend() {
+        // The strictly-serial floor: each lane steps alone through the
+        // single-stream kernel (what a non-batching port would do).
+        ShaBackend::Scalar => {
+            for (state, block) in states.iter_mut().zip(blocks) {
+                compress_block(state, block);
+            }
+        }
+        #[cfg(all(feature = "simd-kernels", target_arch = "x86_64"))]
+        ShaBackend::Avx2 => avx2::compress4(states, blocks),
+        #[cfg(all(feature = "simd-kernels", target_arch = "x86_64"))]
+        ShaBackend::ShaNi => {
+            // SHA-NI is a single-stream unit; lane-serial hardware
+            // rounds still beat the interleaved software kernel.
+            for (state, block) in states.iter_mut().zip(blocks) {
+                shani::compress_blocks(state, &block[..]);
+            }
+        }
+        _ => compress4_portable(states, blocks),
+    }
+}
+
+/// The portable interleaved kernel: one block per lane, all four lanes
+/// in lockstep. `inline(always)` so the cfg-gated AVX2 wrapper can
+/// recompile this exact body inside a verified-AVX2 context.
+#[inline(always)]
+fn compress4_portable(states: &mut [[u32; 8]; LANES], blocks: [&[u8; BLOCK_LEN]; LANES]) {
     let mut w = [[0u32; LANES]; 16];
     for (t, lane_words) in w.iter_mut().enumerate() {
         for (l, block) in blocks.iter().enumerate() {
@@ -649,6 +715,153 @@ pub fn sha256_x4(prefix: &[u8], msgs: [&[u8]; LANES]) -> [[u8; DIGEST_LEN]; LANE
     ]
 }
 
+// ---------------------------------------------------------------------------
+// Runtime backend dispatch
+// ---------------------------------------------------------------------------
+
+#[cfg(all(feature = "simd-kernels", target_arch = "x86_64"))]
+mod avx2;
+#[cfg(all(feature = "simd-kernels", target_arch = "x86_64"))]
+mod shani;
+
+use core::sync::atomic::{AtomicU8, Ordering};
+
+/// The SHA-256 compression kernel a process dispatches to (see the
+/// [module docs](self#runtime-backend-dispatch) for the selection
+/// order). Discriminants are stable: they are what the
+/// `crypto.sha256.backend` gauge exports.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u8)]
+pub enum ShaBackend {
+    /// Strictly serial portable kernel: every lane of a four-lane
+    /// batch steps alone. The reference floor every other backend is
+    /// proptested bit-identical against.
+    Scalar = 1,
+    /// Portable four-lane interleaved kernel ([`sha256_x4`]) for
+    /// batches, unrolled scalar for single streams. The default on
+    /// targets without verified CPU features — always available.
+    X4 = 2,
+    /// The interleaved kernel recompiled in a CPUID-verified AVX2
+    /// context, so cross-lane vectorization no longer depends on
+    /// build-wide codegen flags. Requires the `simd-kernels` feature.
+    Avx2 = 3,
+    /// Hardware SHA extensions (single-stream `sha256rnds2` rounds);
+    /// batches run lane-serial through the hardware unit. Requires the
+    /// `simd-kernels` feature.
+    ShaNi = 4,
+}
+
+impl ShaBackend {
+    /// Stable lower-case name, as accepted by `NYMIX_SHA_BACKEND`.
+    pub fn name(self) -> &'static str {
+        match self {
+            ShaBackend::Scalar => "scalar",
+            ShaBackend::X4 => "x4",
+            ShaBackend::Avx2 => "avx2",
+            ShaBackend::ShaNi => "shani",
+        }
+    }
+
+    /// Numeric id exported as the `crypto.sha256.backend` gauge.
+    pub fn id(self) -> usize {
+        self as u8 as usize
+    }
+
+    fn from_name(name: &str) -> Option<Self> {
+        match name {
+            "scalar" => Some(ShaBackend::Scalar),
+            "x4" => Some(ShaBackend::X4),
+            "avx2" => Some(ShaBackend::Avx2),
+            "shani" => Some(ShaBackend::ShaNi),
+            _ => None,
+        }
+    }
+}
+
+/// 0 = not yet selected; otherwise a `ShaBackend` discriminant.
+static BACKEND: AtomicU8 = AtomicU8::new(0);
+
+/// True when this build *and* this CPU can run `b`.
+fn backend_supported(b: ShaBackend) -> bool {
+    match b {
+        ShaBackend::Scalar | ShaBackend::X4 => true,
+        #[cfg(all(feature = "simd-kernels", target_arch = "x86_64"))]
+        ShaBackend::Avx2 => std::is_x86_feature_detected!("avx2"),
+        #[cfg(all(feature = "simd-kernels", target_arch = "x86_64"))]
+        ShaBackend::ShaNi => {
+            std::is_x86_feature_detected!("sha")
+                && std::is_x86_feature_detected!("ssse3")
+                && std::is_x86_feature_detected!("sse4.1")
+        }
+        #[cfg(not(all(feature = "simd-kernels", target_arch = "x86_64")))]
+        ShaBackend::Avx2 | ShaBackend::ShaNi => false,
+    }
+}
+
+/// Best kernel CPUID says this machine can run.
+fn detect_backend() -> ShaBackend {
+    if backend_supported(ShaBackend::ShaNi) {
+        ShaBackend::ShaNi
+    } else if backend_supported(ShaBackend::Avx2) {
+        ShaBackend::Avx2
+    } else {
+        ShaBackend::X4
+    }
+}
+
+/// One-time selection: env override first, then CPUID.
+fn select_backend() -> ShaBackend {
+    match std::env::var("NYMIX_SHA_BACKEND") {
+        Ok(name) => match ShaBackend::from_name(name.trim()) {
+            // An override naming a kernel this build or CPU cannot run
+            // falls back to the portable floor — it must never
+            // silently upgrade to a different accelerated path.
+            Some(b) if backend_supported(b) => b,
+            _ => ShaBackend::X4,
+        },
+        Err(_) => detect_backend(),
+    }
+}
+
+#[inline]
+fn backend() -> ShaBackend {
+    match BACKEND.load(Ordering::Relaxed) {
+        1 => ShaBackend::Scalar,
+        2 => ShaBackend::X4,
+        3 => ShaBackend::Avx2,
+        4 => ShaBackend::ShaNi,
+        _ => {
+            let b = select_backend();
+            BACKEND.store(b as u8, Ordering::Relaxed);
+            b
+        }
+    }
+}
+
+/// The kernel this process dispatches SHA-256 to, selecting it (env
+/// override, then CPUID) on first call. Also exports the selection as
+/// the `crypto.sha256.backend` gauge so bench-smoke snapshots record
+/// which kernel produced the numbers.
+pub fn sha256_backend() -> ShaBackend {
+    let b = backend();
+    nymix_obs::gauge!("crypto.sha256.backend", b.id());
+    b
+}
+
+/// Forces the dispatched backend (testing hook — the equivalence suite
+/// uses it to pin every kernel bit-identical). Requests this build or
+/// CPU cannot run install the portable [`ShaBackend::X4`] floor;
+/// returns the backend actually installed.
+pub fn set_sha_backend(requested: ShaBackend) -> ShaBackend {
+    let b = if backend_supported(requested) {
+        requested
+    } else {
+        ShaBackend::X4
+    };
+    BACKEND.store(b as u8, Ordering::Relaxed);
+    b
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -768,5 +981,95 @@ mod tests {
     #[should_panic(expected = "equal-length")]
     fn x4_rejects_ragged_lanes() {
         let _ = sha256_x4(b"", [b"a", b"b", b"c", b"dd"]);
+    }
+
+    /// One test (not several) because the backend selector is process-
+    /// global: a single test owning every `set_sha_backend` call keeps
+    /// the suite race-free. Output equality across backends means the
+    /// concurrent read-only tests cannot observe a difference anyway.
+    #[test]
+    fn backend_dispatch_and_equivalence() {
+        let prev = sha256_backend();
+
+        // Reference digests under the strictly-serial floor, at lengths
+        // straddling every padding/block boundary.
+        let data: Vec<u8> = (0u8..=255).cycle().take(2000).collect();
+        let lens = [0usize, 1, 31, 55, 56, 63, 64, 65, 127, 128, 129, 1000, 2000];
+        assert_eq!(set_sha_backend(ShaBackend::Scalar), ShaBackend::Scalar);
+        let want: Vec<_> = lens.iter().map(|&n| sha256(&data[..n])).collect();
+        let want_x4: Vec<_> = lens
+            .iter()
+            .map(|&n| sha256_x4(b"tag:", [&data[..n], &data[..n], &data[..n], &data[..n]]))
+            .collect();
+
+        let all = [
+            ShaBackend::Scalar,
+            ShaBackend::X4,
+            ShaBackend::Avx2,
+            ShaBackend::ShaNi,
+        ];
+        for requested in all {
+            let installed = set_sha_backend(requested);
+            // Unsupported requests must land on the portable floor,
+            // never a different accelerated kernel.
+            assert!(
+                installed == requested || installed == ShaBackend::X4,
+                "requested {} installed {}",
+                requested.name(),
+                installed.name()
+            );
+            assert_eq!(sha256_backend(), installed);
+
+            // FIPS vector, one-shot, split-point invariance, and the
+            // four-lane kernel: all bit-identical to the scalar floor.
+            assert_eq!(
+                hex(&sha256(b"abc")),
+                "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad",
+                "backend {}",
+                installed.name()
+            );
+            for (i, &n) in lens.iter().enumerate() {
+                assert_eq!(
+                    sha256(&data[..n]),
+                    want[i],
+                    "backend {} len {n}",
+                    installed.name()
+                );
+                let mut h = Sha256::new();
+                h.update(&data[..n / 2]);
+                h.update(&data[n / 2..n]);
+                assert_eq!(
+                    h.finalize(),
+                    want[i],
+                    "backend {} split {n}",
+                    installed.name()
+                );
+                assert_eq!(
+                    sha256_x4(b"tag:", [&data[..n], &data[..n], &data[..n], &data[..n]]),
+                    want_x4[i],
+                    "backend {} x4 {n}",
+                    installed.name()
+                );
+            }
+        }
+
+        // On a simd-kernels x86_64 build the accelerated requests must
+        // actually install when the CPU advertises the features.
+        #[cfg(all(feature = "simd-kernels", target_arch = "x86_64"))]
+        {
+            if std::is_x86_feature_detected!("avx2") {
+                assert_eq!(set_sha_backend(ShaBackend::Avx2), ShaBackend::Avx2);
+            }
+            if std::is_x86_feature_detected!("sha") {
+                assert_eq!(set_sha_backend(ShaBackend::ShaNi), ShaBackend::ShaNi);
+            }
+        }
+        #[cfg(not(all(feature = "simd-kernels", target_arch = "x86_64")))]
+        {
+            assert_eq!(set_sha_backend(ShaBackend::Avx2), ShaBackend::X4);
+            assert_eq!(set_sha_backend(ShaBackend::ShaNi), ShaBackend::X4);
+        }
+
+        set_sha_backend(prev);
     }
 }

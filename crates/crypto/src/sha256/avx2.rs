@@ -1,0 +1,40 @@
+//! AVX2 kernel: the portable four-lane interleaved compression body
+//! recompiled inside a `#[target_feature(enable = "avx2")]` context.
+//!
+//! The portable kernel's cross-lane loops vectorize beautifully — but
+//! only when the build's codegen target says AVX2 exists, which is
+//! exactly the `-C target-cpu=native` fragility this dispatch layer
+//! removes. Marking the wrapper `target_feature(avx2)` and inlining
+//! [`super::compress4_portable`] (`inline(always)`) into it guarantees
+//! LLVM vectorizes with AVX2 regardless of build-wide flags, while
+//! the CPUID check keeps the binary runnable everywhere.
+//!
+//! Compiled only under the `simd-kernels` feature on `x86_64`, and
+//! carried by `nymix-lint` as a registered `unsafe-kernel` exemption
+//! (with its SHA-NI sibling, the workspace's only unsafe code). The
+//! entry point stays sound on its own: it re-verifies AVX2 and falls
+//! back to the portable kernel, so a bypassed dispatcher degrades
+//! instead of hitting undefined behavior.
+#![allow(unsafe_code)]
+#![deny(unsafe_op_in_unsafe_fn)]
+
+use super::{BLOCK_LEN, LANES};
+
+/// Safe entry point: verifies AVX2 and falls back to the portable
+/// kernel when absent.
+pub(super) fn compress4(states: &mut [[u32; 8]; LANES], blocks: [&[u8; BLOCK_LEN]; LANES]) {
+    if std::is_x86_feature_detected!("avx2") {
+        // SAFETY: the only target feature `compress4_avx2` enables was
+        // verified present on this CPU just above.
+        unsafe { compress4_avx2(states, blocks) }
+    } else {
+        super::compress4_portable(states, blocks);
+    }
+}
+
+/// The portable body in an AVX2 codegen context; no intrinsics — the
+/// vectorization is the compiler's, just with the ISA guaranteed.
+#[target_feature(enable = "avx2")]
+unsafe fn compress4_avx2(states: &mut [[u32; 8]; LANES], blocks: [&[u8; BLOCK_LEN]; LANES]) {
+    super::compress4_portable(states, blocks);
+}

@@ -199,6 +199,89 @@ proptest! {
     }
 
     #[test]
+    fn merkle_incremental_equals_scratch(
+        initial in proptest::collection::vec(any::<u8>(), 0..40),
+        ops in proptest::collection::vec((any::<u8>(), any::<u16>()), 0..40)
+    ) {
+        // Model-based: drive a MerkleAccumulator through random dirty
+        // sets *and* leaf-count changes (push/truncate), checking after
+        // every op that its root is bit-identical to a from-scratch
+        // fold over the model leaf vector.
+        use nymix_crypto::{leaf_hash_parts, merkle_root_from_leaves, MerkleAccumulator};
+        let mut acc = MerkleAccumulator::new();
+        let mut model: Vec<[u8; 32]> = Vec::new();
+        for b in &initial {
+            let leaf = leaf_hash_parts(&[&[*b]]);
+            acc.push_leaf(leaf);
+            model.push(leaf);
+        }
+        prop_assert_eq!(acc.root(), merkle_root_from_leaves(&mut model.clone()));
+        for (step, (op, arg)) in ops.iter().enumerate() {
+            match op % 4 {
+                0 => {
+                    let leaf = leaf_hash_parts(&[&arg.to_le_bytes(), &[step as u8]]);
+                    acc.push_leaf(leaf);
+                    model.push(leaf);
+                }
+                1 | 2 if !model.is_empty() => {
+                    // Dirty an arbitrary leaf; alternate between warm
+                    // interiors (root queried first, so the O(log n)
+                    // path-update runs) and cold ones.
+                    if op % 2 == 1 {
+                        acc.root();
+                    }
+                    let idx = *arg as usize % model.len();
+                    let leaf = leaf_hash_parts(&[&arg.to_be_bytes(), &(step as u32).to_le_bytes()]);
+                    acc.update_leaf(idx, leaf);
+                    model[idx] = leaf;
+                }
+                3 => {
+                    let len = *arg as usize % (model.len() + 1);
+                    acc.truncate(len);
+                    model.truncate(len);
+                }
+                _ => {}
+            }
+            prop_assert_eq!(
+                acc.root(),
+                merkle_root_from_leaves(&mut model.clone()),
+                "step {}",
+                step
+            );
+            prop_assert_eq!(acc.leaf_count(), model.len());
+        }
+    }
+
+    #[test]
+    fn sha256_backends_bit_identical(data in proptest::collection::vec(any::<u8>(), 0..2048),
+                                     split in 0usize..2048) {
+        // Every dispatched kernel must agree with the strictly-serial
+        // scalar floor over arbitrary lengths and split points, both
+        // single-stream and through the four-lane batch entry point.
+        use nymix_crypto::{set_sha_backend, sha256_backend, sha256_x4, ShaBackend};
+        let prev = sha256_backend();
+        let split = split.min(data.len());
+        set_sha_backend(ShaBackend::Scalar);
+        let want = nymix_crypto::sha256(&data);
+        let want_x4 = sha256_x4(b"p:", [&data, &data, &data, &data]);
+        for requested in [ShaBackend::X4, ShaBackend::Avx2, ShaBackend::ShaNi] {
+            let installed = set_sha_backend(requested);
+            let mut h = Sha256::new();
+            h.update(&data[..split]);
+            h.update(&data[split..]);
+            prop_assert_eq!(h.finalize(), want, "backend {}", installed.name());
+            prop_assert_eq!(nymix_crypto::sha256(&data), want, "backend {}", installed.name());
+            prop_assert_eq!(
+                sha256_x4(b"p:", [&data, &data, &data, &data]),
+                want_x4,
+                "backend {}",
+                installed.name()
+            );
+        }
+        set_sha_backend(prev);
+    }
+
+    #[test]
     fn hkdf_deterministic(salt in proptest::collection::vec(any::<u8>(), 0..32),
                           ikm in proptest::collection::vec(any::<u8>(), 1..64),
                           info in proptest::collection::vec(any::<u8>(), 0..32),

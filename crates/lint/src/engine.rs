@@ -25,6 +25,7 @@ pub fn run_workspace(root: &Path, reg: &Registry) -> Vec<Finding> {
     let mut findings = Vec::new();
     let mut seen_trust: Vec<bool> = vec![false; reg.trust_modules.len()];
     let mut seen_secret: Vec<bool> = vec![false; reg.secret_types.len()];
+    let mut seen_kernel: Vec<bool> = vec![false; reg.unsafe_kernels.len()];
     for path in &files {
         let rel = rel_path(root, path);
         for (i, m) in reg.trust_modules.iter().enumerate() {
@@ -35,6 +36,11 @@ pub fn run_workspace(root: &Path, reg: &Registry) -> Vec<Finding> {
         for (i, s) in reg.secret_types.iter().enumerate() {
             if rel.ends_with(&s.defined_in) {
                 seen_secret[i] = true;
+            }
+        }
+        for (i, k) in reg.unsafe_kernels.iter().enumerate() {
+            if rel.ends_with(&k.path_or_name) {
+                seen_kernel[i] = true;
             }
         }
         let Ok(src) = fs::read(path) else {
@@ -73,6 +79,21 @@ pub fn run_workspace(root: &Path, reg: &Registry) -> Vec<Finding> {
                      update the registry to follow the rename",
                     s.name
                 ),
+            ));
+        }
+    }
+    // A registered unsafe-kernel path matching no file is just as
+    // stale: it would silently pre-authorize `unsafe` in whatever file
+    // is later created (or renamed) onto that path.
+    for (i, k) in reg.unsafe_kernels.iter().enumerate() {
+        if !seen_kernel[i] {
+            findings.push(Finding::new(
+                &k.path_or_name,
+                0,
+                ids::REGISTRY_STALE,
+                "registered unsafe-kernel exemption matches no file in the workspace: \
+                 remove it or update it to follow the rename"
+                    .to_string(),
             ));
         }
     }
@@ -260,6 +281,7 @@ pub fn report(reg: &Registry) -> String {
         .iter()
         .map(|e| ("parser", e))
         .chain(reg.exempt_secrets.iter().map(|e| ("secret", e)))
+        .chain(reg.unsafe_kernels.iter().map(|e| ("unsafe-kernel", e)))
     {
         if !first {
             out.push(',');

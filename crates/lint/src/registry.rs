@@ -66,6 +66,13 @@ pub struct Registry {
     pub exempt_parsers: Vec<Exemption>,
     /// Secret-named types exempt from `unregistered-secret`.
     pub exempt_secrets: Vec<Exemption>,
+    /// Cfg-isolated SIMD kernel files exempt from the `forbid-unsafe`
+    /// token ban. Registration is not a blank cheque: the rule
+    /// cross-checks that the file really is a fenced kernel
+    /// (`#[target_feature]` plus a `deny(unsafe_op_in_unsafe_fn)`
+    /// header) and keeps flagging if the fences are missing, and
+    /// `unsafe` anywhere else in the workspace stays a hard finding.
+    pub unsafe_kernels: Vec<Exemption>,
     /// The `nymix-obs` static vocabulary — every stage name, label
     /// key, and metric name admissible at an obs macro call site.
     /// Mirrors the tables between the `lint-vocabulary-begin/end`
@@ -206,6 +213,25 @@ impl Registry {
                          types, it does not hold key material"
                     .to_string(),
             }],
+            unsafe_kernels: vec![
+                Exemption {
+                    path_or_name: "crypto/src/sha256/shani.rs".to_string(),
+                    reason: "SHA-NI compression kernel: hardware intrinsics are \
+                             inherently unsafe. Compiled only under the opt-in \
+                             `simd-kernels` feature on x86_64, every kernel fn is \
+                             `#[target_feature]`-fenced, and the safe wrapper \
+                             re-verifies CPU features at runtime with a portable \
+                             fallback (PR 10)"
+                        .to_string(),
+                },
+                Exemption {
+                    path_or_name: "crypto/src/sha256/avx2.rs".to_string(),
+                    reason: "AVX2 four-lane kernel: a `#[target_feature]` \
+                             recompilation of the portable compressor under the same \
+                             feature gate, runtime detection and fallback (PR 10)"
+                        .to_string(),
+                },
+            ],
             obs_labels: Self::obs_vocabulary(),
         }
     }
@@ -265,10 +291,13 @@ impl Registry {
             "placement.repair_passes",
             "placement.shards_rebuilt",
             "placement.deletes_flushed",
+            "merkle.cache_hit",
+            "merkle.leaf_rehash",
             // Gauges.
             "disk.garbage_bytes",
             "placement.repair_queue",
             "placement.pending_deletes",
+            "crypto.sha256.backend",
             // Histograms.
             "disk.commit_bytes",
             "cloud.put_bytes",
@@ -305,6 +334,14 @@ impl Registry {
 
     pub fn secret_exempt(&self, name: &str) -> bool {
         self.exempt_secrets.iter().any(|e| e.path_or_name == name)
+    }
+
+    /// The registered unsafe-kernel exemption covering `rel_path`, if
+    /// any.
+    pub fn unsafe_kernel(&self, rel_path: &str) -> Option<&Exemption> {
+        self.unsafe_kernels
+            .iter()
+            .find(|e| rel_path.ends_with(&e.path_or_name))
     }
 
     /// True when `name` is in the registered obs vocabulary.

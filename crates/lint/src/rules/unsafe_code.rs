@@ -12,6 +12,15 @@
 //!    string-pasted `unsafe` in a macro or a future attribute edit
 //!    would not be caught until review, and this rule makes the
 //!    invariant grep-simple.
+//!
+//! One registered escape hatch: cfg-isolated SIMD kernel files
+//! ([`Registry::unsafe_kernels`](crate::registry::Registry)) may hold
+//! `unsafe` — hardware intrinsics cannot be expressed without it — but
+//! only with a written reason in the registry *and* the fences the
+//! exemption promises actually present in the file: a
+//! `deny(unsafe_op_in_unsafe_fn)` header and `#[target_feature]` on
+//! the kernels. A registered file missing either fence keeps flagging,
+//! and unregistered `unsafe` is always a hard finding.
 
 use super::{ids, Ctx};
 use crate::diag::Finding;
@@ -28,16 +37,44 @@ pub fn run(ctx: &Ctx<'_>, out: &mut Vec<Finding>) {
                 .to_string(),
         ));
     }
+    let registered = ctx.reg.unsafe_kernel(ctx.rel).is_some();
+    if registered && is_fenced_kernel(ctx) {
+        return;
+    }
     for i in 0..ctx.tokens.len() {
         if ctx.tokens[i].kind == Kind::Ident && ctx.is(i, "unsafe") {
-            ctx.finding(
-                out,
-                i,
-                ids::FORBID_UNSAFE,
-                "`unsafe` token: this workspace is 100% safe Rust, tests included".to_string(),
-            );
+            let msg = if registered {
+                "`unsafe` in a registered kernel file that lacks the promised fences: \
+                 add `#![deny(unsafe_op_in_unsafe_fn)]` and `#[target_feature]` on \
+                 every kernel, or drop the registry exemption"
+                    .to_string()
+            } else {
+                "`unsafe` token: this workspace is safe Rust, tests included; SIMD \
+                 kernels are the one exception and must be registered (with a reason) \
+                 in the lint registry's `unsafe_kernels`"
+                    .to_string()
+            };
+            ctx.finding(out, i, ids::FORBID_UNSAFE, msg);
         }
     }
+}
+
+/// A registered kernel file must actually be fenced the way the
+/// exemption promises: a module-level `unsafe_op_in_unsafe_fn` deny
+/// (so every unsafe operation sits in an explicit `unsafe {}` block)
+/// and `#[target_feature]` (so the unsafe exists to reach gated
+/// instructions, not for general pointer tricks).
+fn is_fenced_kernel(ctx: &Ctx<'_>) -> bool {
+    let mut saw_target_feature = false;
+    let mut saw_op_deny = false;
+    for i in 0..ctx.tokens.len() {
+        if ctx.tokens[i].kind != Kind::Ident {
+            continue;
+        }
+        saw_target_feature |= ctx.is(i, "target_feature");
+        saw_op_deny |= ctx.is(i, "unsafe_op_in_unsafe_fn");
+    }
+    saw_target_feature && saw_op_deny
 }
 
 /// Looks for the token sequence `#` `!` `[` … `forbid` `(` … `unsafe_code` …

@@ -1,0 +1,8 @@
+//! Fixture: `unsafe` without the kernel fences — no
+//! `deny(unsafe_op_in_unsafe_fn)` header, no `#[target_feature]`.
+//! Flags even when the path carries a registered exemption: the
+//! registry entry promises fences the file does not have.
+
+pub fn read_raw(p: *const u8) -> u8 {
+    unsafe { *p }
+}

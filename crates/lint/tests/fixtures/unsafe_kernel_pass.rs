@@ -1,0 +1,22 @@
+//! Fixture: a properly fenced SIMD kernel file. With a matching
+//! `unsafe_kernels` registry entry this is clean — the file carries
+//! both fences the exemption promises (`deny(unsafe_op_in_unsafe_fn)`
+//! and `#[target_feature]` on the kernel). Without the registration it
+//! must still flag every `unsafe` token.
+#![allow(unsafe_code)]
+#![deny(unsafe_op_in_unsafe_fn)]
+
+/// Safe wrapper: re-verifies the CPU features before entering the
+/// kernel, falling back to a portable path otherwise.
+pub fn compress(state: &mut [u32; 8], data: &[u8]) {
+    if std::arch::is_x86_feature_detected!("sha") {
+        // SAFETY: the detection above proves the features the kernel
+        // was compiled for are present on this CPU.
+        unsafe { compress_hw(state, data) }
+    }
+}
+
+#[target_feature(enable = "sha,ssse3,sse4.1")]
+unsafe fn compress_hw(state: &mut [u32; 8], data: &[u8]) {
+    let _ = (state, data);
+}

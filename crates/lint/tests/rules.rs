@@ -32,6 +32,10 @@ fn fixture_registry() -> Registry {
             reason: "fixture exemption".to_string(),
         }],
         exempt_secrets: vec![],
+        unsafe_kernels: vec![Exemption {
+            path_or_name: "fixtures/src/sha256/kernel.rs".to_string(),
+            reason: "fixture SIMD kernel".to_string(),
+        }],
         obs_labels: vec![
             "capture".to_string(),
             "session".to_string(),
@@ -133,6 +137,32 @@ fn forbid_unsafe_pass_is_clean() {
 fn forbid_unsafe_attr_not_required_off_root() {
     let rules = lint("secret_format_pass.rs", "fixtures/src/other.rs");
     assert!(!rules.contains(&ids::FORBID_UNSAFE), "got {rules:?}");
+}
+
+#[test]
+fn unsafe_kernel_registered_and_fenced_is_clean() {
+    let rules = lint("unsafe_kernel_pass.rs", "fixtures/src/sha256/kernel.rs");
+    assert!(rules.is_empty(), "expected clean, got {rules:?}");
+}
+
+#[test]
+fn unsafe_kernel_unregistered_still_flags() {
+    // The same fenced kernel at a path with no registry entry: every
+    // `unsafe` token flags — registration (with a reason) is required.
+    let rules = lint("unsafe_kernel_pass.rs", "fixtures/src/sha256/rogue.rs");
+    assert_eq!(
+        rules.iter().filter(|r| **r == ids::FORBID_UNSAFE).count(),
+        2,
+        "unsafe block + unsafe fn each flag: {rules:?}"
+    );
+}
+
+#[test]
+fn unsafe_kernel_registered_but_unfenced_still_flags() {
+    // Registered path, but the file lacks the promised
+    // `deny(unsafe_op_in_unsafe_fn)` + `#[target_feature]` fences.
+    let rules = lint("unsafe_kernel_fail.rs", "fixtures/src/sha256/kernel.rs");
+    assert!(rules.contains(&ids::FORBID_UNSAFE), "got {rules:?}");
 }
 
 #[test]
@@ -312,10 +342,14 @@ fn workspace_scan_reports_stale_registry_entries() {
     let dir = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("src");
     let findings = run_workspace(&dir, &fixture_registry());
     // None of the fixture registry's paths exist under src/, so every
-    // trust module and secret type reports stale.
+    // trust module, secret type and unsafe-kernel exemption reports
+    // stale.
     let stale = findings
         .iter()
         .filter(|f| f.rule == ids::REGISTRY_STALE)
         .count();
-    assert_eq!(stale, 2, "one trust module + one secret type: {findings:?}");
+    assert_eq!(
+        stale, 3,
+        "one trust module + one secret type + one kernel exemption: {findings:?}"
+    );
 }

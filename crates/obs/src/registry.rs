@@ -76,6 +76,8 @@ pub const COUNTERS: &[&str] = &[
     "placement.repair_passes",
     "placement.shards_rebuilt",
     "placement.deletes_flushed",
+    "merkle.cache_hit",
+    "merkle.leaf_rehash",
 ];
 
 /// Last-write-wins gauges. Indexed by [`gauge_id`].
@@ -83,6 +85,7 @@ pub const GAUGES: &[&str] = &[
     "disk.garbage_bytes",
     "placement.repair_queue",
     "placement.pending_deletes",
+    "crypto.sha256.backend",
 ];
 
 /// Log-bucketed value histograms. Indexed by [`histogram_id`].

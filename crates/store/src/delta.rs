@@ -28,12 +28,24 @@
 //! for the retention-side policy and `nymix-core`'s Nym Manager for the
 //! sealing side).
 //!
+//! Computing `merkle_root` is O(dirty), not O(archive), when the saver
+//! keeps an [`ArchiveCommitment`] warm across saves: the accumulator
+//! caches every leaf hash and interior node, so a save rewrites only
+//! the dirty leaves plus their root paths. The cache is **derivable
+//! state** — rebuilt from the archive bytes on restore
+//! ([`ArchiveCommitment::build`]), never serialized, and bit-identical
+//! to the from-scratch root by construction (property-tested) — so the
+//! `NYMD` wire format above is unchanged and old blobs replay
+//! byte-for-byte.
+//!
 //! Like [`NymArchive::from_bytes`](crate::NymArchive::from_bytes), the
 //! parser treats its input as hostile: overflow-safe bounds checks
 //! everywhere, pre-allocation clamped by the bytes actually present.
 //! Parsing either succeeds or returns an error — never panics.
 
-use nymix_crypto::{leaf_hash_parts, merkle_root_from_leaves};
+use std::collections::HashMap;
+
+use nymix_crypto::{leaf_hash_parts, merkle_root_from_leaves, MerkleAccumulator};
 
 use crate::archive::{
     clamp_count, len_u16, len_u32, read_name, read_record, write_record, ArchiveError, NymArchive,
@@ -115,20 +127,48 @@ impl DeltaArchive {
 
     /// Computes the delta turning `prev` into `next`: records whose
     /// bytes changed (or are new), plus removals. The commitment covers
-    /// `next`'s full record set.
+    /// `next`'s full record set, recomputed from scratch — O(archive)
+    /// hashing. The save hot path uses [`DeltaArchive::diff_with`]
+    /// instead, which reuses a cached [`ArchiveCommitment`].
     pub fn diff(prev: &NymArchive, next: &NymArchive) -> Self {
         let mut delta = Self::new(next.record_count(), archive_merkle_root(next));
+        delta.collect_dirty(prev, next);
+        delta
+    }
+
+    /// [`DeltaArchive::diff`] committing through a cached
+    /// [`ArchiveCommitment`]: only dirty leaves and their root paths
+    /// are rehashed, so the commitment cost is O(dirty · log n)
+    /// instead of O(archive).
+    ///
+    /// `commitment` must currently reflect `prev` (the archive the
+    /// previous save committed); on return it reflects `next`, ready
+    /// for the following save. A fresh cache for a new chain comes
+    /// from [`ArchiveCommitment::build`].
+    pub fn diff_with(
+        prev: &NymArchive,
+        next: &NymArchive,
+        commitment: &mut ArchiveCommitment,
+    ) -> Self {
+        let mut delta = Self::new(next.record_count(), [0u8; 32]);
+        delta.collect_dirty(prev, next);
+        let root = commitment.update(next, |name| delta.dirty.iter().any(|(n, _)| n == name));
+        delta.root = root;
+        delta
+    }
+
+    /// Shared diff body: dirty records (changed or new), then removals.
+    fn collect_dirty(&mut self, prev: &NymArchive, next: &NymArchive) {
         for (name, data) in next.records() {
             if prev.get(name) != Some(data) {
-                delta.put(name, data.to_vec());
+                self.put(name, data.to_vec());
             }
         }
         for (name, _) in prev.records() {
             if next.get(name).is_none() {
-                delta.mark_removed(name);
+                self.mark_removed(name);
             }
         }
-        delta
     }
 
     /// Adds (or replaces) a dirty record.
@@ -215,6 +255,39 @@ impl DeltaArchive {
         Ok(())
     }
 
+    /// [`DeltaArchive::apply`] verifying through a cached
+    /// [`ArchiveCommitment`], so the replay-side root check rehashes
+    /// only the leaves this delta touched — O(dirty · log n) per link
+    /// instead of O(archive), the same asymptotic win the save side
+    /// gets from [`DeltaArchive::diff_with`].
+    ///
+    /// `commitment` must reflect `base` as it was before this call
+    /// (restore builds it once over the parsed base archive and
+    /// threads it through the whole replay chain). On success it
+    /// reflects the replayed state; on failure both `base` and the
+    /// commitment must be considered corrupt and discarded — exactly
+    /// the fail-closed contract of [`DeltaArchive::apply`].
+    pub fn apply_with(
+        &self,
+        base: &mut NymArchive,
+        commitment: &mut ArchiveCommitment,
+    ) -> Result<(), DeltaError> {
+        for (name, data) in &self.dirty {
+            base.put(name, data.clone());
+        }
+        for name in &self.removed {
+            base.remove(name);
+        }
+        if base.record_count() != self.full_count as usize {
+            return Err(DeltaError::CountMismatch);
+        }
+        let root = commitment.update(base, |name| self.dirty.iter().any(|(n, _)| n == name));
+        if root != self.root {
+            return Err(DeltaError::RootMismatch);
+        }
+        Ok(())
+    }
+
     /// Exact byte length [`DeltaArchive::write_into`] will append.
     pub fn serialized_len(&self) -> usize {
         MAGIC.len()
@@ -288,6 +361,127 @@ impl DeltaArchive {
     }
 }
 
+/// A cached Merkle commitment over an archive's record set.
+///
+/// Wraps [`MerkleAccumulator`] with the archive leaf schema (one leaf
+/// per record: `name_len u16 ‖ name ‖ data`, in record order) plus the
+/// record-name list needed to reconcile the cache against an archive
+/// after edits. The cache is **derivable state**: nothing about the
+/// NYMD wire format changes, and a commitment rebuilt from scratch
+/// over the same archive is bit-identical — sessions keep one per
+/// snapshot chain purely to make recommitting O(dirty).
+///
+/// [`ArchiveCommitment::update`] is the single entry point: given the
+/// archive's current state and a dirty predicate, it rehashes exactly
+/// the dirty leaves (`merkle.leaf_rehash` counts them, and
+/// `merkle.cache_hit` the leaves served from cache) and returns the
+/// new root. When the record *shape* changed — names added, removed,
+/// or reordered — it falls back to relinking the whole leaf level,
+/// still reusing cached leaf hashes for clean records carried over by
+/// name.
+///
+/// The dirty predicate is a soundness contract: it must return `true`
+/// for every record whose bytes differ from what this commitment last
+/// saw. An under-reporting caller commits a wrong root — which the
+/// fail-closed replay check then rejects, so the failure mode is a
+/// refused restore, never silently-wrong state.
+#[derive(Debug, Clone, Default)]
+pub struct ArchiveCommitment {
+    /// Record names in committed order, mirroring the archive.
+    names: Vec<String>,
+    acc: MerkleAccumulator,
+}
+
+impl ArchiveCommitment {
+    /// Builds the cache over `archive` from scratch: one full leaf
+    /// pass, the last O(archive) hash this chain pays until the shape
+    /// changes.
+    pub fn build(archive: &NymArchive) -> Self {
+        let mut c = Self::default();
+        for (name, data) in archive.records() {
+            c.names.push(name.to_string());
+            c.acc.push_leaf(record_leaf(name, data));
+        }
+        c.acc.root();
+        c
+    }
+
+    /// The committed root (cached; rebuilds interior nodes only after
+    /// a shape change).
+    pub fn root(&mut self) -> MerkleRoot {
+        self.acc.root()
+    }
+
+    /// Reconciles the cache with `archive` and returns the new root.
+    /// `is_dirty` must flag every record whose bytes changed since the
+    /// last reconciliation (see the type docs for the contract).
+    ///
+    /// Unchanged shape: O(dirty · log n) hashing, allocation-free.
+    /// Changed shape: the leaf level relinks, reusing cached hashes
+    /// for clean same-named records.
+    pub fn update<F: Fn(&str) -> bool>(&mut self, archive: &NymArchive, is_dirty: F) -> MerkleRoot {
+        let same_shape = self.names.len() == archive.record_count()
+            && archive
+                .records()
+                .zip(self.names.iter())
+                .all(|((name, _), cached)| name == cached);
+        if same_shape {
+            let mut rehashed = 0usize;
+            for (i, (name, data)) in archive.records().enumerate() {
+                if is_dirty(name) {
+                    self.acc.update_leaf(i, record_leaf(name, data));
+                    rehashed += 1;
+                }
+            }
+            nymix_obs::counter!("merkle.leaf_rehash", rehashed);
+            nymix_obs::counter!("merkle.cache_hit", self.names.len() - rehashed);
+        } else {
+            // Shape changed: rebuild the leaf level, reusing cached
+            // leaf hashes for clean records carried over by name.
+            let cached: HashMap<&str, MerkleRoot> = self
+                .names
+                .iter()
+                .enumerate()
+                .filter_map(|(i, n)| self.acc.leaf(i).map(|h| (n.as_str(), *h)))
+                .collect();
+            let mut names = Vec::with_capacity(archive.record_count());
+            let mut leaves = Vec::with_capacity(archive.record_count());
+            let mut rehashed = 0usize;
+            for (name, data) in archive.records() {
+                let reused = if is_dirty(name) {
+                    None
+                } else {
+                    cached.get(name)
+                };
+                leaves.push(match reused {
+                    Some(h) => *h,
+                    None => {
+                        rehashed += 1;
+                        record_leaf(name, data)
+                    }
+                });
+                names.push(name.to_string());
+            }
+            nymix_obs::counter!("merkle.leaf_rehash", rehashed);
+            nymix_obs::counter!("merkle.cache_hit", names.len() - rehashed);
+            drop(cached);
+            self.names = names;
+            self.acc.clear();
+            for leaf in leaves {
+                self.acc.push_leaf(leaf);
+            }
+        }
+        self.acc.root()
+    }
+}
+
+/// One commitment leaf: `name_len u16 ‖ name ‖ data`, hashed without
+/// materializing the concatenation.
+fn record_leaf(name: &str, data: &[u8]) -> MerkleRoot {
+    let name_len = len_u16(name.len()).to_le_bytes();
+    leaf_hash_parts(&[&name_len, name.as_bytes(), data])
+}
+
 /// The Merkle root over an archive's full record set: one leaf per
 /// record (`name_len u16 ‖ name ‖ data`), in record order.
 pub fn archive_merkle_root(archive: &NymArchive) -> MerkleRoot {
@@ -300,8 +494,7 @@ pub fn archive_merkle_root(archive: &NymArchive) -> MerkleRoot {
 pub fn archive_merkle_root_with(archive: &NymArchive, leaves: &mut Vec<MerkleRoot>) -> MerkleRoot {
     leaves.clear();
     for (name, data) in archive.records() {
-        let name_len = len_u16(name.len()).to_le_bytes();
-        leaves.push(leaf_hash_parts(&[&name_len, name.as_bytes(), data]));
+        leaves.push(record_leaf(name, data));
     }
     merkle_root_from_leaves(leaves)
 }
@@ -425,6 +618,105 @@ mod tests {
         let n = bytes.len();
         bytes[n - 4..].copy_from_slice(&u32::MAX.to_le_bytes());
         assert_eq!(DeltaArchive::from_bytes(&bytes), Err(DeltaError::Malformed));
+    }
+
+    #[test]
+    fn diff_with_matches_scratch_diff() {
+        // Data-only edits (fast path), new records, and removals
+        // (shape-change path) must all commit to the scratch root.
+        let mut prev = base();
+        let mut commitment = ArchiveCommitment::build(&prev);
+        assert_eq!(commitment.root(), archive_merkle_root(&prev));
+
+        // Data-only change: cached shape holds, only one leaf rehashes.
+        let mut next = prev.clone();
+        next.put("anonvm.disk", vec![7; 350]);
+        let delta = DeltaArchive::diff_with(&prev, &next, &mut commitment);
+        assert_eq!(delta, DeltaArchive::diff(&prev, &next));
+        assert_eq!(*delta.root(), archive_merkle_root(&next));
+        prev = next;
+
+        // New record + removal: the shape-change path.
+        let mut next = prev.clone();
+        next.put("browser.state", b"cookies".to_vec());
+        next.remove("meta");
+        let delta = DeltaArchive::diff_with(&prev, &next, &mut commitment);
+        assert_eq!(delta, DeltaArchive::diff(&prev, &next));
+        assert_eq!(*delta.root(), archive_merkle_root(&next));
+
+        // The commitment now reflects `next` and keeps chaining.
+        let prev = next;
+        let mut next = prev.clone();
+        next.put("commvm.disk", vec![3; 64]);
+        let delta = DeltaArchive::diff_with(&prev, &next, &mut commitment);
+        assert_eq!(delta, DeltaArchive::diff(&prev, &next));
+    }
+
+    #[test]
+    fn apply_with_matches_apply() {
+        let prev = base();
+        let mut next = prev.clone();
+        next.put("anonvm.disk", vec![9; 350]);
+        next.put("browser.state", b"cookies".to_vec());
+        next.remove("meta");
+        let delta = DeltaArchive::diff(&prev, &next);
+
+        let mut replayed = prev.clone();
+        let mut commitment = ArchiveCommitment::build(&replayed);
+        delta.apply_with(&mut replayed, &mut commitment).unwrap();
+        assert_eq!(replayed, next);
+        // The threaded commitment now reflects the replayed state.
+        assert_eq!(commitment.root(), archive_merkle_root(&next));
+    }
+
+    #[test]
+    fn apply_with_fails_closed_like_apply() {
+        let prev = base();
+        let mut next = prev.clone();
+        next.put("anonvm.disk", vec![9; 10]);
+        let delta = DeltaArchive::diff(&prev, &next);
+
+        // A record the delta does not carry was tampered in the base:
+        // the cached leaf for it is *clean of the delta's dirty set*,
+        // so the incremental verify must still catch it — the stale
+        // cache hash disagrees with the tampered bytes' contribution
+        // only through the root the attacker cannot forge. Build the
+        // commitment over the *tampered* base, as restore would.
+        let mut tampered = prev.clone();
+        tampered.put("commvm.disk", vec![0xEE; 200]);
+        let mut commitment = ArchiveCommitment::build(&tampered);
+        assert_eq!(
+            delta.apply_with(&mut tampered, &mut commitment),
+            Err(DeltaError::RootMismatch)
+        );
+
+        // Count mismatch fails before any hashing.
+        let mut fat = prev.clone();
+        fat.put("extra", vec![1]);
+        let mut commitment = ArchiveCommitment::build(&fat);
+        assert_eq!(
+            delta.apply_with(&mut fat, &mut commitment),
+            Err(DeltaError::CountMismatch)
+        );
+    }
+
+    #[test]
+    fn commitment_update_handles_reorder() {
+        // Same name set, different record order: the shape check must
+        // catch it (order is part of the commitment).
+        let a = base();
+        let mut commitment = ArchiveCommitment::build(&a);
+        let mut reordered = NymArchive::new();
+        let records: Vec<_> = a
+            .records()
+            .map(|(n, d)| (n.to_string(), d.to_vec()))
+            .collect();
+        for (name, data) in records.iter().rev() {
+            reordered.put(name, data.clone());
+        }
+        let root = commitment.update(&reordered, |_| false);
+        assert_eq!(root, archive_merkle_root(&reordered));
+        assert_ne!(root, archive_merkle_root(&a));
     }
 
     #[test]

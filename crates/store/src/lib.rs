@@ -104,7 +104,9 @@ pub use cas::{
 };
 pub use chunker::{chunks, AVG_CHUNK, MAX_CHUNK, MIN_CHUNK};
 pub use cloud::{AccessLog, CloudError, CloudProvider, CloudSession};
-pub use delta::{archive_merkle_root, DeltaArchive, DeltaError, DELTA_CHAIN_LIMIT};
+pub use delta::{
+    archive_merkle_root, ArchiveCommitment, DeltaArchive, DeltaError, DELTA_CHAIN_LIMIT,
+};
 pub use disk::{CrashMode, DiskError, DiskStore, FaultPlan, SimDisk};
 pub use local::LocalStore;
 pub use placement::{CloudChild, PlacementStore, RepairReport};

@@ -120,6 +120,31 @@ fn warm_delta_seal_pipeline_is_allocation_free() {
 }
 
 #[test]
+fn warm_commitment_update_is_allocation_free() {
+    // The O(dirty) save path: with the accumulator warm and the record
+    // shape unchanged, re-committing after a dirty record rewrites one
+    // leaf and the root path strictly in place — every save would
+    // otherwise pay a heap round trip per record.
+    use nymix_store::ArchiveCommitment;
+    let a = archive();
+    let mut b = a.clone();
+    b.put("meta", b"nym=alice;site=forum;rev=2".to_vec());
+    let mut commitment = ArchiveCommitment::build(&a);
+    // Warm-up: one update in each direction sizes nothing further —
+    // the fast path must already be in-place.
+    std::hint::black_box(commitment.update(&b, |name| name == "meta"));
+    std::hint::black_box(commitment.update(&a, |name| name == "meta"));
+    let n = allocations_in(|| {
+        for _ in 0..4 {
+            let r1 = commitment.update(&b, |name| name == "meta");
+            let r2 = commitment.update(&a, |name| name == "meta");
+            std::hint::black_box((r1, r2));
+        }
+    });
+    assert_eq!(n, 0, "warm same-shape commitment update must not allocate");
+}
+
+#[test]
 fn disabled_obs_recorder_is_allocation_free() {
     // Every hot path in this crate carries obs call sites; with the
     // recorder disabled (the default — this test binary never enables
